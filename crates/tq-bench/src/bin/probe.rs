@@ -1,0 +1,50 @@
+//! Diagnostic probe: runs the wfs app under the gprof and tQUAD tools and
+//! prints the raw shares, for workload tuning against the paper's tables.
+
+use tq_gprof::{GprofOptions, GprofTool};
+use tq_tquad::{PhaseDetector, TquadOptions, TquadTool};
+use tq_wfs::{WfsApp, WfsConfig};
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => WfsConfig::tiny(),
+        Some("small") => WfsConfig::small(),
+        _ => WfsConfig::paper_scaled(),
+    };
+    let app = WfsApp::build(cfg);
+    let mut vm = app.make_vm();
+    let interval = 20_000;
+    let g = vm.attach_tool(Box::new(GprofTool::new(GprofOptions {
+        sample_interval: 5_000,
+        ..Default::default()
+    })));
+    let t = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(interval),
+    )));
+    let start = std::time::Instant::now();
+    let exit = vm.run(None).expect("runs");
+    let wall = start.elapsed();
+    println!("icount = {} ({:.1} M), wall {:.2?}", exit.icount, exit.icount as f64 / 1e6, wall);
+
+    let gp = vm.detach_tool::<GprofTool>(g).unwrap().into_profile();
+    println!("{}", gp.table("flat profile").render());
+
+    let tp = vm.detach_tool::<TquadTool>(t).unwrap().into_profile();
+    println!("slices = {}", tp.n_slices());
+    let phases = PhaseDetector::default().detect(&tp);
+    println!("phases = {}", phases.len());
+    for (i, ph) in phases.iter().enumerate() {
+        let names: Vec<&str> = ph
+            .kernels
+            .iter()
+            .map(|r| tp.kernels[r.idx()].name.as_str())
+            .collect();
+        println!(
+            "  phase {}: span {:?} ({:.2}%) kernels: {}",
+            i + 1,
+            ph.span,
+            ph.span_pct(tp.n_slices()),
+            names.join(", ")
+        );
+    }
+}

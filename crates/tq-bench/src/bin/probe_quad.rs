@@ -1,0 +1,34 @@
+//! Timing probe for QUAD runs.
+
+use tq_quad::{QuadOptions, QuadTool};
+use tq_wfs::{WfsApp, WfsConfig};
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("small") => WfsConfig::small(),
+        _ => WfsConfig::paper_scaled(),
+    };
+    let app = WfsApp::build(cfg);
+    for include_stack in [false, true] {
+        let mut vm = app.make_vm();
+        let h = vm.attach_tool(Box::new(QuadTool::new(QuadOptions {
+            include_stack,
+            ..Default::default()
+        })));
+        let t0 = std::time::Instant::now();
+        let exit = vm.run(None).unwrap();
+        let q = vm.detach_tool::<QuadTool>(h).unwrap().into_profile();
+        println!(
+            "stack={include_stack}: {:.1} M instr in {:.2?}",
+            exit.icount as f64 / 1e6,
+            t0.elapsed()
+        );
+        for name in ["wav_store", "fft1d", "AudioIo_setFrames", "zeroRealVec", "zeroCplxVec", "bitrev"] {
+            let r = q.row(name).unwrap();
+            println!(
+                "  {name:24} IN {:>12} UnMA {:>10}  OUT {:>12} UnMA {:>10}",
+                r.in_bytes, r.in_unma, r.out_bytes, r.out_unma
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! **Table I** — flat profile for the hArtes wfs application.
+//!
+//! The paper obtains it with gprof: IP sampling at 10 ms plus `mcount`
+//! call counting, averaged over 50 runs. The reproduction samples virtual
+//! time (the VM is deterministic, so one run suffices) and prints the same
+//! columns: %time, self seconds, calls, self ms/call, total ms/call.
+//!
+//! Shape expectations from the paper: `wav_store` and `fft1d` on top with
+//! ~60 % of the time between them; `DelayLine_processChunk` next;
+//! `bitrev`/`zeroRealVec` mid-table with huge call counts;
+//! `AudioIo_setFrames` at a deceptively low ~4–7 % (the point of the case
+//! study); `wav_load` called once at well under 1 %.
+
+use tq_bench::{banner, save, scale_app};
+use tq_gprof::{GprofOptions, GprofTool, TimeModel};
+
+fn main() {
+    banner("Table I: gprof-style flat profile of hArtes wfs");
+    let app = scale_app();
+    let mut vm = app.make_vm();
+    let h = vm.attach_tool(Box::new(GprofTool::new(GprofOptions {
+        sample_interval: 5_000,
+        time_model: TimeModel::q9550(),
+        track_libs: false,
+    })));
+    let exit = vm.run(None).expect("wfs runs");
+    let profile = vm.detach_tool::<GprofTool>(h).unwrap().into_profile();
+
+    let table = profile.table(&format!(
+        "FLAT PROFILE ({} instructions, {} samples at every {} instructions)",
+        exit.icount, profile.total_samples, profile.sample_interval
+    ));
+    println!("{}", table.render());
+
+    let top: Vec<&str> = profile.ranked().iter().take(2).map(|r| r.name.as_str()).collect();
+    let top2_pct: f64 = profile.ranked().iter().take(2).map(|r| profile.pct_time(r)).sum();
+    println!("top-2 kernels: {} ({:.1} % of total; paper: wav_store+fft1d ≈ 60 %)", top.join(" + "), top2_pct);
+
+    save("table1_flat_profile.csv", &table.to_csv());
+
+    // gprof's call-graph section, for the record (heaviest 15 edges).
+    let cg = profile.call_graph_table("CALL GRAPH (top edges)");
+    let rendered: String = cg.render().lines().take(20).collect::<Vec<_>>().join("\n");
+    println!("\n{rendered}\n…");
+    save("table1_call_graph.csv", &cg.to_csv());
+}

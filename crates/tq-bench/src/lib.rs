@@ -1,0 +1,75 @@
+//! # tq-bench — experiment harness for the tQUAD reproduction
+//!
+//! One `repro_*` binary per table/figure of the paper (see the
+//! per-experiment index in `DESIGN.md`), plus Criterion benches for the
+//! performance claims and the design-choice ablations. Binaries print the
+//! paper-shaped rows/series to stdout and drop machine-readable copies
+//! under `results/`.
+//!
+//! All experiments default to [`WfsConfig::paper_scaled`]; set
+//! `TQ_SCALE=small` or `TQ_SCALE=tiny` to shrink them (CI smoke runs).
+
+use std::path::PathBuf;
+use tq_wfs::{WfsApp, WfsConfig};
+
+/// The workload selected by the `TQ_SCALE` environment variable
+/// (`paper` default, `small`, `tiny`).
+pub fn scale_config() -> WfsConfig {
+    match std::env::var("TQ_SCALE").as_deref() {
+        Ok("tiny") => WfsConfig::tiny(),
+        Ok("small") => WfsConfig::small(),
+        _ => WfsConfig::paper_scaled(),
+    }
+}
+
+/// Build the wfs app at the selected scale (fixed seed: experiments are
+/// deterministic).
+pub fn scale_app() -> WfsApp {
+    WfsApp::build(scale_config())
+}
+
+/// Directory for machine-readable experiment outputs (`results/` at the
+/// workspace root), created on demand.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../../results"))
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write an experiment artifact to `results/<name>` and note it on stdout.
+pub fn save(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("write result");
+    println!("[saved {}]", path.display());
+}
+
+/// Banner with the experiment id and the workload in use.
+pub fn banner(what: &str) {
+    let c = scale_config();
+    println!("=== {what} ===");
+    println!(
+        "workload: {} speakers, fft {}, chunk {}, {} chunks, {} trajectory points ({} samples)",
+        c.n_speakers,
+        c.fft_size,
+        c.chunk_len,
+        c.n_chunks,
+        c.n_points,
+        c.n_samples()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        // The env var may leak from a caller; only assert the fallback path.
+        if std::env::var("TQ_SCALE").is_err() {
+            assert_eq!(scale_config(), WfsConfig::paper_scaled());
+        }
+    }
+}

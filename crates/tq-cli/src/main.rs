@@ -1,0 +1,346 @@
+//! `tq` — command-line driver for the tQUAD reproduction.
+//!
+//! Mirrors the paper tool's command line: the profiled program is the
+//! rebuilt *hArtes wfs* application, and the tQUAD options are the paper's
+//! three (time-slice interval, include/exclude local stack area accesses,
+//! exclude library/OS routines).
+//!
+//! ```text
+//! tq run     [--app wfs|img] [--scale tiny|small|paper]
+//! tq gprof   [--scale …] [--interval N]
+//! tq tquad   [--scale …] [--interval N] [--exclude-stack] [--exclude-libs]
+//!            [--chart read|write] [--kernels a,b,c] [--width N]
+//! tq quad    [--scale …] [--exclude-stack] [--exclude-libs] [--dot PATH]
+//! tq phases  [--scale …] [--interval N] [--strategy cosine|interval]
+//! tq intervals [--scale …] [--interval N] [--kernel NAME] [--gap N]
+//! tq disasm  [--routine NAME]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tq_gprof::{GprofOptions, GprofTool};
+use tq_quad::{qdu_graph, QuadOptions, QuadTool};
+use tq_tquad::{
+    figure_chart, phase_table, LibPolicy, Measure, PhaseDetector, PhaseStrategy, TquadOptions,
+    TquadTool,
+};
+use tq_imgproc::{ImgApp, ImgConfig};
+use tq_wfs::{WfsApp, WfsConfig};
+
+struct Args {
+    flags: HashMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut bools = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => bools.push(name.to_string()),
+            }
+        }
+        Ok(Args { flags, bools })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            None => Ok(default),
+        }
+    }
+}
+
+/// The profiled application: compiled program + staged input, behind one
+/// interface so every subcommand works on either case study.
+struct App {
+    program: tq_isa::Program,
+    input: (String, Vec<u8>),
+}
+
+impl App {
+    fn make_vm(&self) -> Result<tq_vm::Vm, String> {
+        let mut vm = tq_vm::Vm::new(self.program.clone()).map_err(|e| e.to_string())?;
+        vm.fs_mut().add_file(&self.input.0, self.input.1.clone());
+        Ok(vm)
+    }
+}
+
+fn app_for(args: &Args) -> Result<App, String> {
+    let scale = args.get("scale").unwrap_or("small");
+    match args.get("app").unwrap_or("wfs") {
+        "wfs" => {
+            let config = match scale {
+                "tiny" => WfsConfig::tiny(),
+                "small" => WfsConfig::small(),
+                "paper" => WfsConfig::paper_scaled(),
+                other => return Err(format!("unknown --scale `{other}` (tiny|small|paper)")),
+            };
+            let a = WfsApp::build(config);
+            Ok(App {
+                program: a.compiled.program.clone(),
+                input: (tq_wfs::INPUT_WAV.into(), a.input_wav.clone()),
+            })
+        }
+        "img" => {
+            let config = match scale {
+                "tiny" => ImgConfig::tiny(),
+                "small" => ImgConfig::small(),
+                "paper" => ImgConfig::scaled(),
+                other => return Err(format!("unknown --scale `{other}` (tiny|small|paper)")),
+            };
+            let a = ImgApp::build(config);
+            Ok(App {
+                program: a.compiled.program.clone(),
+                input: (tq_imgproc::INPUT_PGM.into(), a.input_pgm.clone()),
+            })
+        }
+        other => Err(format!("unknown --app `{other}` (wfs|img)")),
+    }
+}
+
+fn lib_policy(args: &Args) -> LibPolicy {
+    if args.has("exclude-libs") {
+        LibPolicy::Drop
+    } else {
+        LibPolicy::AttributeToCaller
+    }
+}
+
+fn usage() -> String {
+    "usage: tq <run|gprof|tquad|quad|phases|intervals|disasm> [options]\n\
+     common options: --app wfs|img --scale tiny|small|paper\n\
+     tquad options:  --interval N --exclude-stack --exclude-libs --chart read|write\n\
+     \u{20}               --kernels a,b,c --width N\n\
+     quad options:   --exclude-stack --exclude-libs --dot PATH\n\
+     phases options: --interval N --strategy cosine|interval\n\
+     intervals opts: --interval N --kernel NAME --gap N\n\
+     gprof options:  --interval N\n\
+     disasm options: --routine NAME"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    let app = app_for(&args)?;
+
+    match cmd.as_str() {
+        "run" => {
+            let mut vm = app.make_vm()?;
+            let exit = vm.run(None).map_err(|e| e.to_string())?;
+            println!("finished: {} instructions, exit {:?}", exit.icount, exit.reason);
+            let mut names = vm.fs().file_names();
+            names.sort_unstable();
+            for name in names {
+                if name != app.input.0 {
+                    println!("{name}: {} bytes", vm.fs().file(name).map(|f| f.len()).unwrap_or(0));
+                }
+            }
+            if !vm.console().is_empty() {
+                println!("console: {}", vm.console().trim_end());
+            }
+            let s = vm.stats();
+            println!(
+                "code cache: {} blocks built, {} block executions, {} hits",
+                s.blocks_built, s.block_execs, s.cache_hits
+            );
+        }
+        "gprof" => {
+            let interval = args.u64_or("interval", 5_000)?;
+            let mut vm = app.make_vm()?;
+            let h = vm.attach_tool(Box::new(GprofTool::new(GprofOptions {
+                sample_interval: interval,
+                ..Default::default()
+            })));
+            vm.run(None).map_err(|e| e.to_string())?;
+            let p = vm.detach_tool::<GprofTool>(h).expect("tool type");
+            println!("{}", p.into_profile().table("FLAT PROFILE").render());
+        }
+        "tquad" => {
+            let interval = args.u64_or("interval", 20_000)?;
+            let include_stack = !args.has("exclude-stack");
+            let mut vm = app.make_vm()?;
+            let h = vm.attach_tool(Box::new(TquadTool::new(
+                TquadOptions::default()
+                    .with_interval(interval)
+                    .with_lib_policy(lib_policy(&args)),
+            )));
+            vm.run(None).map_err(|e| e.to_string())?;
+            let profile = vm.detach_tool::<TquadTool>(h).expect("tool type").into_profile();
+
+            let measure = match (args.get("chart").unwrap_or("read"), include_stack) {
+                ("read", true) => Measure::ReadIncl,
+                ("read", false) => Measure::ReadExcl,
+                ("write", true) => Measure::WriteIncl,
+                ("write", false) => Measure::WriteExcl,
+                (other, _) => return Err(format!("unknown --chart `{other}` (read|write)")),
+            };
+            let kernels: Vec<String> = match args.get("kernels") {
+                Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+                None => profile
+                    .active_kernels()
+                    .iter()
+                    .take(10)
+                    .map(|k| k.name.clone())
+                    .collect(),
+            };
+            let names: Vec<&str> = kernels.iter().map(|s| s.as_str()).collect();
+            let width = args.u64_or("width", 96)? as usize;
+            println!("{}", figure_chart(&profile, &names, measure, width, None).render());
+            println!(
+                "{} slices of {} instructions; {} prefetches ignored, {} accesses dropped",
+                profile.n_slices(),
+                profile.interval,
+                profile.prefetches_ignored,
+                profile.dropped_accesses
+            );
+        }
+        "quad" => {
+            let include_stack = !args.has("exclude-stack");
+            let mut vm = app.make_vm()?;
+            let h = vm.attach_tool(Box::new(QuadTool::new(QuadOptions {
+                include_stack,
+                lib_policy: lib_policy(&args),
+            })));
+            vm.run(None).map_err(|e| e.to_string())?;
+            let profile = vm.detach_tool::<QuadTool>(h).expect("tool type").into_profile();
+
+            let mut t = tq_report::Table::new(format!(
+                "QUAD (stack accesses {})",
+                if include_stack { "included" } else { "excluded" }
+            ))
+            .col("kernel", tq_report::Align::Left)
+            .col("IN", tq_report::Align::Right)
+            .col("IN UnMA", tq_report::Align::Right)
+            .col("OUT", tq_report::Align::Right)
+            .col("OUT UnMA", tq_report::Align::Right);
+            for r in profile.active_rows() {
+                t.row(vec![
+                    r.name.clone(),
+                    tq_report::n(r.in_bytes),
+                    tq_report::n(r.in_unma),
+                    tq_report::n(r.out_bytes),
+                    tq_report::n(r.out_unma),
+                ]);
+            }
+            println!("{}", t.render());
+            if let Some(path) = args.get("dot") {
+                std::fs::write(path, qdu_graph(&profile, 1024).render())
+                    .map_err(|e| e.to_string())?;
+                println!("QDU graph written to {path}");
+            }
+        }
+        "phases" => {
+            let interval = args.u64_or("interval", 2_000)?;
+            let mut vm = app.make_vm()?;
+            let h = vm.attach_tool(Box::new(TquadTool::new(
+                TquadOptions::default()
+                    .with_interval(interval)
+                    .with_lib_policy(lib_policy(&args)),
+            )));
+            vm.run(None).map_err(|e| e.to_string())?;
+            let profile = vm.detach_tool::<TquadTool>(h).expect("tool type").into_profile();
+            let detector = match args.get("strategy").unwrap_or("cosine") {
+                "cosine" => PhaseDetector::default(),
+                "interval" => PhaseDetector {
+                    strategy: PhaseStrategy::IntervalOverlap { threshold: 0.3 },
+                    ..PhaseDetector::default()
+                },
+                other => return Err(format!("unknown --strategy `{other}` (cosine|interval)")),
+            };
+            let phases = detector.detect(&profile);
+            println!("{}", phase_table(&profile, &phases).render());
+        }
+        "intervals" => {
+            // "tQUAD is capable of providing the detailed information
+            // about the exact time intervals in which a kernel is
+            // communicating with the memory." (§V)
+            let interval = args.u64_or("interval", 2_000)?;
+            let gap = args.u64_or("gap", 0)?;
+            let mut vm = app.make_vm()?;
+            let h = vm.attach_tool(Box::new(TquadTool::new(
+                TquadOptions::default()
+                    .with_interval(interval)
+                    .with_lib_policy(lib_policy(&args)),
+            )));
+            vm.run(None).map_err(|e| e.to_string())?;
+            let profile = vm.detach_tool::<TquadTool>(h).expect("tool type").into_profile();
+            let wanted = args.get("kernel");
+            for k in profile.active_kernels() {
+                if let Some(w) = wanted {
+                    if k.name != w {
+                        continue;
+                    }
+                }
+                let ivs = profile.activity_intervals(k, !args.has("exclude-stack"), gap);
+                println!("{} — {} interval(s):", k.name, ivs.len());
+                for iv in ivs.iter().take(40) {
+                    println!(
+                        "    slices {:>8}-{:<8} ({} slices, {} B, {:.4} B/instr)",
+                        iv.start,
+                        iv.end,
+                        iv.end - iv.start + 1,
+                        iv.bytes,
+                        iv.bytes as f64 / ((iv.end - iv.start + 1) * interval) as f64
+                    );
+                }
+                if ivs.len() > 40 {
+                    println!("    … {} more", ivs.len() - 40);
+                }
+            }
+        }
+        "disasm" => {
+            let program = &app.program;
+            let want = args.get("routine");
+            for img in &program.images {
+                for r in &img.routines {
+                    if let Some(w) = want {
+                        if r.name != w {
+                            continue;
+                        }
+                    }
+                    println!("{} <{}> ({}):", r.name, img.name, if img.is_main { "main" } else { "library" });
+                    let mut pc = r.start;
+                    while pc < r.end {
+                        let inst = img.fetch(pc).map_err(|e| e.to_string())?;
+                        println!("  {pc:#08x}: {}", tq_isa::disassemble(&inst));
+                        pc += tq_isa::INST_BYTES;
+                    }
+                    println!();
+                }
+            }
+        }
+        other => return Err(format!("unknown subcommand `{other}`")),
+    }
+    Ok(())
+}

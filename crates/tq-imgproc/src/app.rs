@@ -1,0 +1,65 @@
+//! Driver: compile, stage input, run (optionally under tools).
+
+use crate::config::ImgConfig;
+use crate::kernels::{build_module, INPUT_PGM};
+use crate::pgm::{encode_pgm, synth_image};
+use crate::reference::{RefImg, RefOutputs};
+use tq_kernelc::{compile, Compiled};
+use tq_vm::{RunExit, Vm, VmError};
+
+/// A ready-to-run image-pipeline instance.
+pub struct ImgApp {
+    /// Workload configuration.
+    pub config: ImgConfig,
+    /// Compiled program + layout.
+    pub compiled: Compiled,
+    /// The staged input PGM.
+    pub input_pgm: Vec<u8>,
+}
+
+impl ImgApp {
+    /// Build with the default input seed.
+    pub fn build(config: ImgConfig) -> Self {
+        Self::build_seeded(config, 42)
+    }
+
+    /// Build with a chosen input seed.
+    pub fn build_seeded(config: ImgConfig, seed: u64) -> Self {
+        config.validate().expect("valid config");
+        let module = build_module(&config);
+        let compiled = compile(&module).expect("imgproc module compiles");
+        let pixels = synth_image(config.width, config.height, seed);
+        let input_pgm = encode_pgm(config.width, config.height, &pixels);
+        ImgApp { config, compiled, input_pgm }
+    }
+
+    /// Fresh VM with the input staged.
+    pub fn make_vm(&self) -> Vm {
+        let mut vm = Vm::new(self.compiled.program.clone()).expect("program loads");
+        vm.fs_mut().add_file(INPUT_PGM, self.input_pgm.clone());
+        vm
+    }
+
+    /// Run without tools.
+    pub fn run_bare(&self) -> Result<(Vm, RunExit), VmError> {
+        let mut vm = self.make_vm();
+        let exit = vm.run(None)?;
+        Ok((vm, exit))
+    }
+
+    /// Reference outputs for the same input.
+    pub fn reference_outputs(&self) -> RefOutputs {
+        RefImg::new(self.config).run(&self.input_pgm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_stages() {
+        let app = ImgApp::build(ImgConfig::tiny());
+        assert!(app.make_vm().fs().file(INPUT_PGM).is_some());
+    }
+}

@@ -1,0 +1,79 @@
+//! Configuration of the image-processing case study.
+
+/// Workload parameters. Width and height must be multiples of 8 (the DCT
+/// block size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImgConfig {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Gaussian blur passes before edge detection.
+    pub blur_passes: u32,
+    /// Edge binarisation threshold (0–255).
+    pub threshold: u32,
+}
+
+impl ImgConfig {
+    /// Unit-test size (~2 M instructions).
+    pub fn tiny() -> Self {
+        ImgConfig { width: 32, height: 24, blur_passes: 1, threshold: 48 }
+    }
+
+    /// Integration-test / example size (~25 M instructions).
+    pub fn small() -> Self {
+        ImgConfig { width: 96, height: 64, blur_passes: 2, threshold: 48 }
+    }
+
+    /// Benchmark size (~250 M instructions).
+    pub fn scaled() -> Self {
+        ImgConfig { width: 320, height: 240, blur_passes: 2, threshold: 48 }
+    }
+
+    /// Pixels per frame.
+    pub fn pixels(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// 8×8 blocks per frame.
+    pub fn blocks(&self) -> u32 {
+        (self.width / 8) * (self.height / 8)
+    }
+
+    /// Validate structural requirements.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.width.is_multiple_of(8) || !self.height.is_multiple_of(8) {
+            return Err("width and height must be multiples of 8".into());
+        }
+        if self.width < 16 || self.height < 16 {
+            return Err("image must be at least 16×16".into());
+        }
+        if self.threshold > 255 {
+            return Err("threshold must be a byte".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for c in [ImgConfig::tiny(), ImgConfig::small(), ImgConfig::scaled()] {
+            c.validate().unwrap();
+            assert_eq!(c.blocks() * 64, c.pixels());
+        }
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        let mut c = ImgConfig::tiny();
+        c.width = 33;
+        assert!(c.validate().is_err());
+        let mut c = ImgConfig::tiny();
+        c.height = 8;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # tq-imgproc — a second case-study application
+//!
+//! The paper states "tQUAD was tested on a set of real applications" but
+//! shows only the *hArtes wfs* results. This crate provides a second,
+//! structurally different workload for the reproduced toolchain: an image
+//! pipeline (Gaussian blur → Sobel edge detection → thresholding, plus an
+//! 8×8 DCT encode/decode path with quantisation, zigzag and RLE),
+//! compiled through the same kernel DSL onto the same VM and validated
+//! against a native mirror byte-for-byte — demonstrating that the
+//! profilers generalise beyond the workload they were calibrated on.
+
+pub mod app;
+pub mod config;
+pub mod kernels;
+pub mod pgm;
+pub mod reference;
+
+pub use app::ImgApp;
+pub use config::ImgConfig;
+pub use kernels::{build_module, KERNEL_NAMES, COEFFS_BIN, EDGES_PGM, INPUT_PGM, RECON_PGM};
+pub use reference::{RefImg, RefOutputs};

@@ -1,0 +1,93 @@
+//! Canonical binary PGM (P5) encoding/decoding and synthetic test images.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Encode an 8-bit grayscale image as canonical P5 PGM.
+pub fn encode_pgm(width: u32, height: u32, pixels: &[u8]) -> Vec<u8> {
+    assert_eq!(pixels.len() as u32, width * height, "whole frames only");
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend_from_slice(pixels);
+    out
+}
+
+/// Decode a canonical P5 PGM (as produced by [`encode_pgm`] or the
+/// simulated application).
+pub fn decode_pgm(bytes: &[u8]) -> Result<(u32, u32, Vec<u8>), String> {
+    let header_end = bytes
+        .windows(4)
+        .position(|w| w == b"255\n")
+        .ok_or("missing maxval")?
+        + 4;
+    let header = std::str::from_utf8(&bytes[..header_end]).map_err(|e| e.to_string())?;
+    let mut parts = header.split_ascii_whitespace();
+    if parts.next() != Some("P5") {
+        return Err("not a P5 PGM".into());
+    }
+    let width: u32 = parts.next().ok_or("missing width")?.parse().map_err(|_| "bad width")?;
+    let height: u32 =
+        parts.next().ok_or("missing height")?.parse().map_err(|_| "bad height")?;
+    let n = (width * height) as usize;
+    if bytes.len() < header_end + n {
+        return Err("truncated pixel data".into());
+    }
+    Ok((width, height, bytes[header_end..header_end + n].to_vec()))
+}
+
+/// Deterministic synthetic test image: gradient + circles + noise, so the
+/// edge detector and the DCT both have real structure to chew on.
+pub fn synth_image(width: u32, height: u32, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let circles: Vec<(f64, f64, f64, f64)> = (0..4)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..width as f64),
+                rng.gen_range(0.0..height as f64),
+                rng.gen_range(3.0..width as f64 / 3.0),
+                rng.gen_range(60.0..160.0),
+            )
+        })
+        .collect();
+    let mut out = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = 40.0 + 100.0 * x as f64 / width as f64;
+            for &(cx, cy, r, amp) in &circles {
+                let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+                if d < r {
+                    v += amp * (1.0 - d / r);
+                }
+            }
+            v += rng.gen_range(-4.0..4.0);
+            out.push(v.clamp(0.0, 255.0) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let px = synth_image(32, 24, 7);
+        let bytes = encode_pgm(32, 24, &px);
+        let (w, h, back) = decode_pgm(&bytes).unwrap();
+        assert_eq!((w, h), (32, 24));
+        assert_eq!(back, px);
+    }
+
+    #[test]
+    fn synth_deterministic() {
+        assert_eq!(synth_image(16, 16, 1), synth_image(16, 16, 1));
+        assert_ne!(synth_image(16, 16, 1), synth_image(16, 16, 2));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_pgm(b"P6\n2 2\n255\n----").is_err());
+        assert!(decode_pgm(b"hello").is_err());
+        assert!(decode_pgm(b"P5\n9 9\n255\nxx").is_err(), "truncated");
+    }
+}

@@ -1,0 +1,349 @@
+//! Native Rust mirror of the image pipeline, operation-for-operation, for
+//! byte-exact differential testing against the VM run.
+//!
+//! Style lints are relaxed here on purpose: the mirror's index-based loops
+//! and branch-ordered clamp are written to correspond line-for-line with
+//! the DSL kernels in `kernels.rs`, so a reviewer can diff the two by eye.
+#![allow(clippy::needless_range_loop, clippy::manual_range_contains)]
+#![cfg_attr(test, allow(clippy::manual_contains))]
+
+use crate::config::ImgConfig;
+use crate::kernels::{KERN_GAUSS, KERN_SOBX, KERN_SOBY, QTAB, ZIGZAG};
+use std::f64::consts::PI;
+
+/// Outputs of a reference run.
+pub struct RefOutputs {
+    /// `edges.pgm` bytes.
+    pub edges_pgm: Vec<u8>,
+    /// `coeffs.bin` bytes (RLE stream).
+    pub coeffs_bin: Vec<u8>,
+    /// `recon.pgm` bytes.
+    pub recon_pgm: Vec<u8>,
+    /// Console output (the MSE print).
+    pub console: String,
+}
+
+/// The reference pipeline.
+pub struct RefImg {
+    cfg: ImgConfig,
+    img: Vec<u8>,
+    tmp16: Vec<i16>,
+    gx: Vec<i16>,
+    gy: Vec<i16>,
+    edges: Vec<u8>,
+    recon: Vec<u8>,
+    dctbuf: [f64; 64],
+    qbuf: [i64; 64],
+    zzbuf: [i64; 64],
+    qcoef: Vec<i16>,
+    ctab: [f64; 64],
+    atab: [f64; 8],
+    rle: Vec<i16>,
+}
+
+#[allow(clippy::manual_clamp)] // mirrors lib_clamp's branch order exactly
+fn clamp255(x: i64) -> i64 {
+    if x < 0 {
+        0
+    } else if x > 255 {
+        255
+    } else {
+        x
+    }
+}
+
+impl RefImg {
+    /// Fresh pipeline.
+    pub fn new(cfg: ImgConfig) -> Self {
+        cfg.validate().expect("valid config");
+        let n = cfg.pixels() as usize;
+        RefImg {
+            cfg,
+            img: vec![0; n],
+            tmp16: vec![0; n],
+            gx: vec![0; n],
+            gy: vec![0; n],
+            edges: vec![0; n],
+            recon: vec![0; n],
+            dctbuf: [0.0; 64],
+            qbuf: [0; 64],
+            zzbuf: [0; 64],
+            qcoef: vec![0; n],
+            ctab: [0.0; 64],
+            atab: [0.0; 8],
+            rle: Vec::new(),
+        }
+    }
+
+    fn init_tables(&mut self) {
+        for u in 0..8usize {
+            for x in 0..8usize {
+                self.ctab[u * 8 + x] =
+                    ((((x as i64 as f64) * 2.0 + 1.0) * (u as i64 as f64) * PI) / 16.0).cos();
+            }
+        }
+        self.atab[0] = 1.0 / 2.0f64.sqrt();
+        for u in 1..8 {
+            self.atab[u] = 1.0;
+        }
+    }
+
+    fn img_load(&mut self, file: &[u8]) {
+        // Header parse mirrors the byte-wise kernel: digits with the same
+        // accumulation; payload copied in.
+        let mut pos = 3; // "P5\n"
+        let mut wv: i64 = 0;
+        while file[pos] != b' ' {
+            wv = wv * 10 + (file[pos] - 48) as i64;
+            pos += 1;
+        }
+        pos += 1;
+        let mut hv: i64 = 0;
+        while file[pos] != b'\n' {
+            hv = hv * 10 + (file[pos] - 48) as i64;
+            pos += 1;
+        }
+        pos += 1 + 4; // '\n' + "255\n"
+        let _ = (wv, hv);
+        let n = self.cfg.pixels() as usize;
+        self.img.copy_from_slice(&file[pos..pos + n]);
+    }
+
+    fn conv3x3(dst: &mut [i16], src: &[u8], k: &[f64; 9], w: usize, h: usize) {
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let mut acc = 0.0f64;
+                for ky in 0..3usize {
+                    for kx in 0..3usize {
+                        acc += src[(y + ky - 1) * w + (x + kx - 1)] as f64 * k[ky * 3 + kx];
+                    }
+                }
+                dst[y * w + x] = (acc as i64) as i16;
+            }
+        }
+    }
+
+    fn copy_clamp_u8(dst: &mut [u8], src: &[i16], n: usize) {
+        for i in 0..n {
+            dst[i] = clamp255(src[i] as i64) as u8;
+        }
+    }
+
+    fn sobel_mag(&mut self) {
+        for i in 0..self.cfg.pixels() as usize {
+            let fx = self.gx[i] as f64;
+            let fy = self.gy[i] as f64;
+            self.edges[i] = clamp255((fx * fx + fy * fy).sqrt() as i64) as u8;
+        }
+    }
+
+    fn threshold_img(&mut self) {
+        let t = self.cfg.threshold as i64;
+        for i in 0..self.cfg.pixels() as usize {
+            self.edges[i] = if (self.edges[i] as i64) > t { 255 } else { 0 };
+        }
+    }
+
+    fn dct8x8(&mut self, bx: usize, by: usize) {
+        let w = self.cfg.width as usize;
+        let base = by * 8 * w + bx * 8;
+        for u in 0..8 {
+            for vv in 0..8 {
+                let mut acc = 0.0f64;
+                for x in 0..8 {
+                    for y in 0..8 {
+                        acc += (self.img[base + x * w + y] as f64 - 128.0)
+                            * self.ctab[u * 8 + x]
+                            * self.ctab[vv * 8 + y];
+                    }
+                }
+                self.dctbuf[u * 8 + vv] = 0.25 * self.atab[u] * self.atab[vv] * acc;
+            }
+        }
+    }
+
+    fn quantize_block(&mut self, bx: usize, by: usize) {
+        let nbx = (self.cfg.width / 8) as usize;
+        let bi = (by * nbx + bx) * 64;
+        for i in 0..64 {
+            let q = self.dctbuf[i] / QTAB[i];
+            let qq = if q >= 0.0 { (q + 0.5) as i64 } else { (q - 0.5) as i64 };
+            self.qbuf[i] = qq;
+            self.qcoef[bi + i] = qq as i16;
+        }
+    }
+
+    fn zigzag_block(&mut self) {
+        for i in 0..64 {
+            self.zzbuf[i] = self.qbuf[ZIGZAG[i] as usize];
+        }
+    }
+
+    fn rle_block(&mut self) {
+        let mut run: i64 = 0;
+        for i in 0..64 {
+            let val = self.zzbuf[i];
+            if val == 0 {
+                run += 1;
+            } else {
+                self.rle.push(run as i16);
+                self.rle.push(val as i16);
+                run = 0;
+            }
+        }
+        self.rle.push(-1);
+        self.rle.push(-1);
+    }
+
+    fn dequantize_block(&mut self, bx: usize, by: usize) {
+        let nbx = (self.cfg.width / 8) as usize;
+        let bi = (by * nbx + bx) * 64;
+        for i in 0..64 {
+            self.dctbuf[i] = self.qcoef[bi + i] as f64 * QTAB[i];
+        }
+    }
+
+    fn idct8x8(&mut self, bx: usize, by: usize) {
+        let w = self.cfg.width as usize;
+        let base = by * 8 * w + bx * 8;
+        for x in 0..8 {
+            for y in 0..8 {
+                let mut acc = 0.0f64;
+                for u in 0..8 {
+                    for vv in 0..8 {
+                        acc += self.atab[u] * self.atab[vv] * self.dctbuf[u * 8 + vv]
+                            * self.ctab[u * 8 + x]
+                            * self.ctab[vv * 8 + y];
+                    }
+                }
+                self.recon[base + x * w + y] = clamp255((0.25 * acc + 128.5) as i64) as u8;
+            }
+        }
+    }
+
+    fn mse(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for i in 0..self.cfg.pixels() as usize {
+            let d = self.img[i] as f64 - self.recon[i] as f64;
+            acc += d * d;
+        }
+        acc / self.cfg.pixels() as i64 as f64
+    }
+
+    fn store_pgm(&self, px: &[u8]) -> Vec<u8> {
+        crate::pgm::encode_pgm(self.cfg.width, self.cfg.height, px)
+    }
+
+    /// Run the whole pipeline on a PGM file.
+    pub fn run(mut self, input_pgm: &[u8]) -> RefOutputs {
+        self.init_tables();
+        self.img_load(input_pgm);
+        let (w, h) = (self.cfg.width as usize, self.cfg.height as usize);
+        let n = self.cfg.pixels() as usize;
+
+        for _ in 0..self.cfg.blur_passes {
+            // split-borrow: conv reads img, writes tmp16
+            let (img, tmp) = (&self.img, &mut self.tmp16);
+            Self::conv3x3(tmp, img, &KERN_GAUSS, w, h);
+            let (img, tmp) = (&mut self.img, &self.tmp16);
+            Self::copy_clamp_u8(img, tmp, n);
+        }
+        {
+            let (img, gx) = (&self.img, &mut self.gx);
+            Self::conv3x3(gx, img, &KERN_SOBX, w, h);
+            let (img, gy) = (&self.img, &mut self.gy);
+            Self::conv3x3(gy, img, &KERN_SOBY, w, h);
+        }
+        self.sobel_mag();
+        self.threshold_img();
+        let edges_pgm = self.store_pgm(&self.edges.clone());
+
+        let nbx = w / 8;
+        let nby = h / 8;
+        for by in 0..nby {
+            for bx in 0..nbx {
+                self.dct8x8(bx, by);
+                self.quantize_block(bx, by);
+                self.zigzag_block();
+                self.rle_block();
+            }
+        }
+        let mut coeffs_bin = Vec::with_capacity(self.rle.len() * 2);
+        for v in &self.rle {
+            coeffs_bin.extend_from_slice(&v.to_le_bytes());
+        }
+
+        for by in 0..nby {
+            for bx in 0..nbx {
+                self.dequantize_block(bx, by);
+                self.idct8x8(bx, by);
+            }
+        }
+        let console = format!("{:.6}\n", self.mse());
+        let recon_pgm = self.store_pgm(&self.recon.clone());
+
+        RefOutputs { edges_pgm, coeffs_bin, recon_pgm, console }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pgm::{decode_pgm, encode_pgm, synth_image};
+
+    #[test]
+    fn pipeline_produces_sane_outputs() {
+        let cfg = ImgConfig::tiny();
+        let input = encode_pgm(cfg.width, cfg.height, &synth_image(cfg.width, cfg.height, 3));
+        let out = RefImg::new(cfg).run(&input);
+        let (w, h, edges) = decode_pgm(&out.edges_pgm).unwrap();
+        assert_eq!((w, h), (cfg.width, cfg.height));
+        assert!(edges.iter().all(|&p| p == 0 || p == 255), "binary edge map");
+        assert!(edges.iter().any(|&p| p == 255), "some edges found");
+        let (_, _, recon) = decode_pgm(&out.recon_pgm).unwrap();
+        assert!(recon.iter().any(|&p| p > 0));
+        let mse: f64 = out.console.trim().parse().unwrap();
+        assert!(mse > 0.0 && mse < 400.0, "lossy but recognisable: mse = {mse}");
+        assert!(!out.coeffs_bin.is_empty());
+    }
+
+    #[test]
+    fn dct_idct_without_quantisation_is_near_lossless() {
+        let cfg = ImgConfig::tiny();
+        let mut r = RefImg::new(cfg);
+        r.init_tables();
+        r.img = synth_image(cfg.width, cfg.height, 9);
+        r.dct8x8(1, 1);
+        // Bypass quantisation: decode straight from dctbuf.
+        let w = cfg.width as usize;
+        let base = 8 * w + 8;
+        let dct = r.dctbuf;
+        r.dctbuf = dct;
+        r.idct8x8(1, 1);
+        for x in 0..8 {
+            for y in 0..8 {
+                let orig = r.img[base + x * w + y] as i64;
+                let back = r.recon[base + x * w + y] as i64;
+                assert!((orig - back).abs() <= 1, "({x},{y}): {orig} vs {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn rle_terminates_every_block() {
+        let cfg = ImgConfig::tiny();
+        let input = encode_pgm(cfg.width, cfg.height, &synth_image(cfg.width, cfg.height, 3));
+        let out = RefImg::new(cfg).run(&input);
+        // Count end-of-block markers (-1, -1 pairs).
+        let vals: Vec<i16> = out
+            .coeffs_bin
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        let eobs = vals
+            .chunks_exact(2)
+            .filter(|p| p[0] == -1 && p[1] == -1)
+            .count();
+        assert_eq!(eobs as u32, cfg.blocks());
+    }
+}

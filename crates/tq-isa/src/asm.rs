@@ -1,0 +1,295 @@
+//! A small assembler: symbolic labels, routine tracking, fixup resolution.
+//!
+//! The kernel compiler and the hand-written runtime routines both emit
+//! through [`Asm`]. Targets are symbolic until [`Asm::finish`] lays the text
+//! out at its base address and patches every branch, jump and call.
+
+use crate::image::{DataSeg, Image, Routine};
+use crate::inst::{BrCond, Inst};
+use crate::reg::Reg;
+use crate::INST_BYTES;
+use std::collections::HashMap;
+
+/// Assembly-time error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A routine was opened while the previous one was still open is fine;
+    /// but finishing with no routines at all is suspicious for an image.
+    NoRoutines,
+    /// The resolved target does not fit the 32-bit target field.
+    TargetOutOfRange(String, u64),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::NoRoutines => write!(f, "image has no routines"),
+            AsmError::TargetOutOfRange(l, a) => {
+                write!(f, "label `{l}` resolves to {a:#x}, outside the 32-bit target range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Clone, Copy, Debug)]
+enum FixKind {
+    Jmp,
+    Br,
+    Call,
+    /// `Li` of a label address (for indirect calls / function pointers).
+    LiAddr,
+}
+
+/// The assembler. Instructions are collected with symbolic control-flow
+/// targets; [`Asm::finish`] resolves everything against a base address and
+/// produces an [`Image`].
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String, FixKind)>,
+    /// (name, first instruction index); closed by the next routine or finish.
+    routines: Vec<(String, usize)>,
+    data: Vec<DataSeg>,
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Asm {
+    /// Fresh assembler.
+    pub fn new() -> Self {
+        Asm {
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            routines: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Emit a fully-resolved instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> Result<(), AsmError> {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.insts.len()).is_some() {
+            return Err(AsmError::DuplicateLabel(name));
+        }
+        Ok(())
+    }
+
+    /// Begin a routine: defines a label with the routine's name and records
+    /// the symbol. Routines run until the next `begin_routine` or `finish`.
+    pub fn begin_routine(&mut self, name: impl Into<String>) -> Result<(), AsmError> {
+        let name = name.into();
+        self.label(name.clone())?;
+        self.routines.push((name, self.insts.len()));
+        Ok(())
+    }
+
+    /// Emit an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: impl Into<String>) {
+        self.fixups.push((self.insts.len(), label.into(), FixKind::Jmp));
+        self.insts.push(Inst::Jmp { target: 0 });
+    }
+
+    /// Emit a conditional branch to `label`.
+    pub fn br(&mut self, cond: BrCond, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.fixups.push((self.insts.len(), label.into(), FixKind::Br));
+        self.insts.push(Inst::Br { cond, rs1, rs2, target: 0 });
+    }
+
+    /// Emit a direct call to the routine labelled `label`.
+    pub fn call(&mut self, label: impl Into<String>) {
+        self.fixups.push((self.insts.len(), label.into(), FixKind::Call));
+        self.insts.push(Inst::Call { target: 0 });
+    }
+
+    /// Load the absolute address of `label` into `rd` (for indirect calls).
+    pub fn li_addr(&mut self, rd: Reg, label: impl Into<String>) {
+        self.fixups.push((self.insts.len(), label.into(), FixKind::LiAddr));
+        self.insts.push(Inst::Li { rd, imm: 0 });
+    }
+
+    /// Attach an initialised data segment to the image being assembled.
+    pub fn data(&mut self, addr: u64, bytes: Vec<u8>) {
+        self.data.push(DataSeg { addr, bytes });
+    }
+
+    /// Resolve all fixups against `base` and produce an image.
+    pub fn finish(self, name: impl Into<String>, base: u64, is_main: bool) -> Result<Image, AsmError> {
+        self.finish_with_externs(name, base, is_main, &HashMap::new())
+    }
+
+    /// Like [`Asm::finish`], but labels not defined locally are resolved
+    /// against `externs` — absolute addresses of symbols in *other* images
+    /// (the linker step for calls from the main image into `libsim`).
+    pub fn finish_with_externs(
+        self,
+        name: impl Into<String>,
+        base: u64,
+        is_main: bool,
+        externs: &HashMap<String, u64>,
+    ) -> Result<Image, AsmError> {
+        if self.routines.is_empty() {
+            return Err(AsmError::NoRoutines);
+        }
+        let mut insts = self.insts;
+        for (idx, label, kind) in &self.fixups {
+            let addr = match self.labels.get(label) {
+                Some(&target_idx) => base + target_idx as u64 * INST_BYTES,
+                None => *externs
+                    .get(label)
+                    .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?,
+            };
+            if addr > u32::MAX as u64 {
+                return Err(AsmError::TargetOutOfRange(label.clone(), addr));
+            }
+            let t = addr as u32;
+            insts[*idx] = match (kind, insts[*idx]) {
+                (FixKind::Jmp, Inst::Jmp { .. }) => Inst::Jmp { target: t },
+                (FixKind::Br, Inst::Br { cond, rs1, rs2, .. }) => {
+                    Inst::Br { cond, rs1, rs2, target: t }
+                }
+                (FixKind::Call, Inst::Call { .. }) => Inst::Call { target: t },
+                (FixKind::LiAddr, Inst::Li { rd, .. }) => Inst::Li { rd, imm: t as i32 },
+                (_, other) => unreachable!("fixup kind mismatch at {idx}: {other:?}"),
+            };
+        }
+
+        // Close routines: each runs to the start of the next.
+        let mut routines = Vec::with_capacity(self.routines.len());
+        for (i, (rname, start_idx)) in self.routines.iter().enumerate() {
+            let end_idx = self
+                .routines
+                .get(i + 1)
+                .map(|(_, s)| *s)
+                .unwrap_or(insts.len());
+            routines.push(Routine {
+                name: rname.clone(),
+                start: base + *start_idx as u64 * INST_BYTES,
+                end: base + end_idx as u64 * INST_BYTES,
+            });
+        }
+
+        let text = insts.into_iter().map(crate::encode).collect();
+        let image = Image {
+            name: name.into(),
+            base,
+            text,
+            routines,
+            data: self.data,
+            is_main,
+        };
+        debug_assert_eq!(image.validate(), Ok(()));
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BrCond, Inst};
+    use crate::reg::Reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.begin_routine("main").unwrap();
+        a.emit(Inst::Li { rd: Reg(1), imm: 0 });
+        a.label("loop").unwrap();
+        a.emit(Inst::AddI { rd: Reg(1), rs1: Reg(1), imm: 1 });
+        a.br(BrCond::Lt, Reg(1), Reg(2), "loop"); // backward
+        a.jmp("done"); // forward
+        a.emit(Inst::Nop);
+        a.label("done").unwrap();
+        a.emit(Inst::Halt);
+        let img = a.finish("t", 0x10000, true).unwrap();
+
+        // Branch at index 2 targets index 1.
+        assert_eq!(
+            img.fetch(0x10010).unwrap(),
+            Inst::Br { cond: BrCond::Lt, rs1: Reg(1), rs2: Reg(2), target: 0x10008 }
+        );
+        // Jump at index 3 targets index 5.
+        assert_eq!(img.fetch(0x10018).unwrap(), Inst::Jmp { target: 0x10028 });
+    }
+
+    #[test]
+    fn routines_close_at_the_next_routine() {
+        let mut a = Asm::new();
+        a.begin_routine("f").unwrap();
+        a.emit(Inst::Nop);
+        a.emit(Inst::Ret);
+        a.begin_routine("g").unwrap();
+        a.emit(Inst::Ret);
+        let img = a.finish("t", 0x20000, true).unwrap();
+        assert_eq!(img.routines[0].name, "f");
+        assert_eq!(img.routines[0].end, 0x20010);
+        assert_eq!(img.routines[1].start, 0x20010);
+        assert_eq!(img.routines[1].end, 0x20018);
+    }
+
+    #[test]
+    fn call_fixups_and_li_addr() {
+        let mut a = Asm::new();
+        a.begin_routine("main").unwrap();
+        a.call("callee");
+        a.li_addr(Reg(5), "callee");
+        a.emit(Inst::Halt);
+        a.begin_routine("callee").unwrap();
+        a.emit(Inst::Ret);
+        let img = a.finish("t", 0x10000, true).unwrap();
+        assert_eq!(img.fetch(0x10000).unwrap(), Inst::Call { target: 0x10018 });
+        assert_eq!(img.fetch(0x10008).unwrap(), Inst::Li { rd: Reg(5), imm: 0x10018 });
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Asm::new();
+        a.begin_routine("main").unwrap();
+        a.jmp("nowhere");
+        assert_eq!(
+            a.finish("t", 0x10000, true).unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        a.begin_routine("main").unwrap();
+        a.label("x").unwrap();
+        assert_eq!(a.label("x").unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn empty_image_errors() {
+        let a = Asm::new();
+        assert_eq!(a.finish("t", 0, true).unwrap_err(), AsmError::NoRoutines);
+    }
+}

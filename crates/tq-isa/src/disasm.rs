@@ -1,0 +1,136 @@
+//! Disassembler — renders instructions in a readable assembly syntax, used
+//! by the CLI's `disasm` subcommand and by error reports from the VM.
+
+use crate::inst::{BrCond, Inst, MemWidth};
+
+fn cond_mnemonic(c: BrCond) -> &'static str {
+    match c {
+        BrCond::Eq => "beq",
+        BrCond::Ne => "bne",
+        BrCond::Lt => "blt",
+        BrCond::Ge => "bge",
+        BrCond::Ltu => "bltu",
+        BrCond::Geu => "bgeu",
+    }
+}
+
+fn width_suffix(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B1 => "1",
+        MemWidth::B2 => "2",
+        MemWidth::B4 => "4",
+        MemWidth::B8 => "8",
+    }
+}
+
+/// Render one instruction.
+pub fn disassemble(inst: &Inst) -> String {
+    use Inst::*;
+    match inst {
+        Add { rd, rs1, rs2 } => format!("add {rd}, {rs1}, {rs2}"),
+        Sub { rd, rs1, rs2 } => format!("sub {rd}, {rs1}, {rs2}"),
+        Mul { rd, rs1, rs2 } => format!("mul {rd}, {rs1}, {rs2}"),
+        Div { rd, rs1, rs2 } => format!("div {rd}, {rs1}, {rs2}"),
+        Rem { rd, rs1, rs2 } => format!("rem {rd}, {rs1}, {rs2}"),
+        And { rd, rs1, rs2 } => format!("and {rd}, {rs1}, {rs2}"),
+        Or { rd, rs1, rs2 } => format!("or {rd}, {rs1}, {rs2}"),
+        Xor { rd, rs1, rs2 } => format!("xor {rd}, {rs1}, {rs2}"),
+        Shl { rd, rs1, rs2 } => format!("shl {rd}, {rs1}, {rs2}"),
+        Shr { rd, rs1, rs2 } => format!("shr {rd}, {rs1}, {rs2}"),
+        Sra { rd, rs1, rs2 } => format!("sra {rd}, {rs1}, {rs2}"),
+        Slt { rd, rs1, rs2 } => format!("slt {rd}, {rs1}, {rs2}"),
+        Sltu { rd, rs1, rs2 } => format!("sltu {rd}, {rs1}, {rs2}"),
+        AddI { rd, rs1, imm } => format!("addi {rd}, {rs1}, {imm}"),
+        MulI { rd, rs1, imm } => format!("muli {rd}, {rs1}, {imm}"),
+        AndI { rd, rs1, imm } => format!("andi {rd}, {rs1}, {imm:#x}"),
+        OrI { rd, rs1, imm } => format!("ori {rd}, {rs1}, {imm:#x}"),
+        XorI { rd, rs1, imm } => format!("xori {rd}, {rs1}, {imm:#x}"),
+        ShlI { rd, rs1, imm } => format!("shli {rd}, {rs1}, {imm}"),
+        ShrI { rd, rs1, imm } => format!("shri {rd}, {rs1}, {imm}"),
+        SraI { rd, rs1, imm } => format!("srai {rd}, {rs1}, {imm}"),
+        SltI { rd, rs1, imm } => format!("slti {rd}, {rs1}, {imm}"),
+        Li { rd, imm } => format!("li {rd}, {imm}"),
+        OrHi { rd, imm } => format!("orhi {rd}, {imm:#x}"),
+        Mv { rd, rs } => format!("mv {rd}, {rs}"),
+        FAdd { fd, fs1, fs2 } => format!("fadd {fd}, {fs1}, {fs2}"),
+        FSub { fd, fs1, fs2 } => format!("fsub {fd}, {fs1}, {fs2}"),
+        FMul { fd, fs1, fs2 } => format!("fmul {fd}, {fs1}, {fs2}"),
+        FDiv { fd, fs1, fs2 } => format!("fdiv {fd}, {fs1}, {fs2}"),
+        FMin { fd, fs1, fs2 } => format!("fmin {fd}, {fs1}, {fs2}"),
+        FMax { fd, fs1, fs2 } => format!("fmax {fd}, {fs1}, {fs2}"),
+        FNeg { fd, fs } => format!("fneg {fd}, {fs}"),
+        FAbs { fd, fs } => format!("fabs {fd}, {fs}"),
+        FSqrt { fd, fs } => format!("fsqrt {fd}, {fs}"),
+        FSin { fd, fs } => format!("fsin {fd}, {fs}"),
+        FCos { fd, fs } => format!("fcos {fd}, {fs}"),
+        FMv { fd, fs } => format!("fmv {fd}, {fs}"),
+        FLi { fd, value } => format!("fli {fd}, {value}"),
+        ItoF { fd, rs } => format!("itof {fd}, {rs}"),
+        FtoI { rd, fs } => format!("ftoi {rd}, {fs}"),
+        FLt { rd, fs1, fs2 } => format!("flt {rd}, {fs1}, {fs2}"),
+        FLe { rd, fs1, fs2 } => format!("fle {rd}, {fs1}, {fs2}"),
+        FEq { rd, fs1, fs2 } => format!("feq {rd}, {fs1}, {fs2}"),
+        Ld { rd, base, off, width } => format!("ld{} {rd}, {off}({base})", width_suffix(*width)),
+        St { rs, base, off, width } => format!("st{} {rs}, {off}({base})", width_suffix(*width)),
+        FLd { fd, base, off } => format!("fld {fd}, {off}({base})"),
+        FSt { fs, base, off } => format!("fst {fs}, {off}({base})"),
+        FLd4 { fd, base, off } => format!("fld4 {fd}, {off}({base})"),
+        FSt4 { fs, base, off } => format!("fst4 {fs}, {off}({base})"),
+        Prefetch { base, off } => format!("prefetch {off}({base})"),
+        PLd64 { rd, base, pred, off } => format!("pld8 {rd}, {off}({base}), if {pred}"),
+        PSt64 { rs, base, pred, off } => format!("pst8 {rs}, {off}({base}), if {pred}"),
+        BCpy { dst, src, len } => format!("bcpy [{dst}], [{src}], {len}"),
+        Jmp { target } => format!("jmp {target:#x}"),
+        Br { cond, rs1, rs2, target } => {
+            format!("{} {rs1}, {rs2}, {target:#x}", cond_mnemonic(*cond))
+        }
+        Call { target } => format!("call {target:#x}"),
+        CallR { rs } => format!("callr {rs}"),
+        Ret => "ret".to_string(),
+        Host { func } => format!("host {func:?}"),
+        Halt => "halt".to_string(),
+        Nop => "nop".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn renders_representative_forms() {
+        assert_eq!(
+            disassemble(&Inst::Add { rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            disassemble(&Inst::Ld { rd: Reg(1), base: Reg(29), off: -16, width: MemWidth::B8 }),
+            "ld8 r1, -16(sp)"
+        );
+        assert_eq!(
+            disassemble(&Inst::Br { cond: BrCond::Ne, rs1: Reg(1), rs2: Reg(2), target: 0x10 }),
+            "bne r1, r2, 0x10"
+        );
+        assert_eq!(
+            disassemble(&Inst::FMul { fd: FReg(1), fs1: FReg(2), fs2: FReg(3) }),
+            "fmul f1, f2, f3"
+        );
+        assert_eq!(disassemble(&Inst::Ret), "ret");
+    }
+
+    /// Every decodable word must disassemble without panicking — fuzz the
+    /// opcode space.
+    #[test]
+    fn disasm_total_over_decodable_words() {
+        for op in 0u8..=0xFF {
+            for fields in [0u64, 0x0102_0300, 0x1D1D_1D00] {
+                let word = (op as u64) | fields | (0x10u64 << 32);
+                if let Ok(inst) = crate::decode(word) {
+                    let s = disassemble(&inst);
+                    assert!(!s.is_empty());
+                }
+            }
+        }
+    }
+}

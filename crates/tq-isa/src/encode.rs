@@ -1,0 +1,430 @@
+//! Fixed-width binary encoding.
+//!
+//! Every instruction encodes to exactly 8 bytes, little-endian:
+//!
+//! ```text
+//! byte 0   opcode
+//! byte 1   field a (register / branch condition)
+//! byte 2   field b (register)
+//! byte 3   field c (register)
+//! byte 4-7 imm (i32; also carries branch targets, f32 immediates and
+//!          host-call codes)
+//! ```
+//!
+//! Text sections of [`crate::Image`]s store encoded words; the VM's code
+//! cache decodes them once per basic block — the analogue of Pin's JIT
+//! reading x86 bytes out of the application image.
+
+use crate::inst::{BrCond, HostFn, Inst, MemWidth};
+use crate::reg::{FReg, Reg};
+
+/// Error produced when decoding an invalid instruction word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The opcode byte that could not be decoded.
+    pub opcode: u8,
+    /// The full instruction word.
+    pub word: u64,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word {:#018x} (opcode {:#04x})", self.word, self.opcode)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const ADD: u8 = 0x01;
+    pub const SUB: u8 = 0x02;
+    pub const MUL: u8 = 0x03;
+    pub const DIV: u8 = 0x04;
+    pub const REM: u8 = 0x05;
+    pub const AND: u8 = 0x06;
+    pub const OR: u8 = 0x07;
+    pub const XOR: u8 = 0x08;
+    pub const SHL: u8 = 0x09;
+    pub const SHR: u8 = 0x0A;
+    pub const SRA: u8 = 0x0B;
+    pub const SLT: u8 = 0x0C;
+    pub const SLTU: u8 = 0x0D;
+
+    pub const ADDI: u8 = 0x10;
+    pub const MULI: u8 = 0x11;
+    pub const ANDI: u8 = 0x12;
+    pub const ORI: u8 = 0x13;
+    pub const XORI: u8 = 0x14;
+    pub const SHLI: u8 = 0x15;
+    pub const SHRI: u8 = 0x16;
+    pub const SRAI: u8 = 0x17;
+    pub const SLTI: u8 = 0x18;
+
+    pub const LI: u8 = 0x20;
+    pub const ORHI: u8 = 0x21;
+    pub const MV: u8 = 0x22;
+
+    pub const FADD: u8 = 0x30;
+    pub const FSUB: u8 = 0x31;
+    pub const FMUL: u8 = 0x32;
+    pub const FDIV: u8 = 0x33;
+    pub const FMIN: u8 = 0x34;
+    pub const FMAX: u8 = 0x35;
+    pub const FNEG: u8 = 0x36;
+    pub const FABS: u8 = 0x37;
+    pub const FSQRT: u8 = 0x38;
+    pub const FSIN: u8 = 0x39;
+    pub const FCOS: u8 = 0x3A;
+    pub const FMV: u8 = 0x3B;
+    pub const FLI: u8 = 0x3C;
+    pub const ITOF: u8 = 0x3D;
+    pub const FTOI: u8 = 0x3E;
+    pub const FLT: u8 = 0x3F;
+    pub const FLE: u8 = 0x40;
+    pub const FEQ: u8 = 0x41;
+
+    pub const LD1: u8 = 0x50;
+    pub const LD2: u8 = 0x51;
+    pub const LD4: u8 = 0x52;
+    pub const LD8: u8 = 0x53;
+    pub const ST1: u8 = 0x54;
+    pub const ST2: u8 = 0x55;
+    pub const ST4: u8 = 0x56;
+    pub const ST8: u8 = 0x57;
+    pub const FLD: u8 = 0x58;
+    pub const FST: u8 = 0x59;
+    pub const FLD4: u8 = 0x5A;
+    pub const FST4: u8 = 0x5B;
+    pub const PREFETCH: u8 = 0x5C;
+    pub const PLD64: u8 = 0x5D;
+    pub const PST64: u8 = 0x5E;
+    pub const BCPY: u8 = 0x5F;
+
+    pub const JMP: u8 = 0x70;
+    pub const BR: u8 = 0x71;
+    pub const CALL: u8 = 0x72;
+    pub const CALLR: u8 = 0x73;
+    pub const RET: u8 = 0x74;
+
+    pub const HOST: u8 = 0x80;
+    pub const HALT: u8 = 0x81;
+    pub const NOP: u8 = 0x82;
+}
+
+#[inline]
+fn pack(opcode: u8, a: u8, b: u8, c: u8, imm: i32) -> u64 {
+    (opcode as u64)
+        | ((a as u64) << 8)
+        | ((b as u64) << 16)
+        | ((c as u64) << 24)
+        | (((imm as u32) as u64) << 32)
+}
+
+#[inline]
+fn cond_code(c: BrCond) -> u8 {
+    match c {
+        BrCond::Eq => 0,
+        BrCond::Ne => 1,
+        BrCond::Lt => 2,
+        BrCond::Ge => 3,
+        BrCond::Ltu => 4,
+        BrCond::Geu => 5,
+    }
+}
+
+#[inline]
+fn cond_from(code: u8) -> Option<BrCond> {
+    Some(match code {
+        0 => BrCond::Eq,
+        1 => BrCond::Ne,
+        2 => BrCond::Lt,
+        3 => BrCond::Ge,
+        4 => BrCond::Ltu,
+        5 => BrCond::Geu,
+        _ => return None,
+    })
+}
+
+/// Encode one instruction into its 8-byte word.
+pub fn encode(inst: Inst) -> u64 {
+    use Inst::*;
+    match inst {
+        Add { rd, rs1, rs2 } => pack(op::ADD, rd.0, rs1.0, rs2.0, 0),
+        Sub { rd, rs1, rs2 } => pack(op::SUB, rd.0, rs1.0, rs2.0, 0),
+        Mul { rd, rs1, rs2 } => pack(op::MUL, rd.0, rs1.0, rs2.0, 0),
+        Div { rd, rs1, rs2 } => pack(op::DIV, rd.0, rs1.0, rs2.0, 0),
+        Rem { rd, rs1, rs2 } => pack(op::REM, rd.0, rs1.0, rs2.0, 0),
+        And { rd, rs1, rs2 } => pack(op::AND, rd.0, rs1.0, rs2.0, 0),
+        Or { rd, rs1, rs2 } => pack(op::OR, rd.0, rs1.0, rs2.0, 0),
+        Xor { rd, rs1, rs2 } => pack(op::XOR, rd.0, rs1.0, rs2.0, 0),
+        Shl { rd, rs1, rs2 } => pack(op::SHL, rd.0, rs1.0, rs2.0, 0),
+        Shr { rd, rs1, rs2 } => pack(op::SHR, rd.0, rs1.0, rs2.0, 0),
+        Sra { rd, rs1, rs2 } => pack(op::SRA, rd.0, rs1.0, rs2.0, 0),
+        Slt { rd, rs1, rs2 } => pack(op::SLT, rd.0, rs1.0, rs2.0, 0),
+        Sltu { rd, rs1, rs2 } => pack(op::SLTU, rd.0, rs1.0, rs2.0, 0),
+
+        AddI { rd, rs1, imm } => pack(op::ADDI, rd.0, rs1.0, 0, imm),
+        MulI { rd, rs1, imm } => pack(op::MULI, rd.0, rs1.0, 0, imm),
+        AndI { rd, rs1, imm } => pack(op::ANDI, rd.0, rs1.0, 0, imm),
+        OrI { rd, rs1, imm } => pack(op::ORI, rd.0, rs1.0, 0, imm),
+        XorI { rd, rs1, imm } => pack(op::XORI, rd.0, rs1.0, 0, imm),
+        ShlI { rd, rs1, imm } => pack(op::SHLI, rd.0, rs1.0, 0, imm),
+        ShrI { rd, rs1, imm } => pack(op::SHRI, rd.0, rs1.0, 0, imm),
+        SraI { rd, rs1, imm } => pack(op::SRAI, rd.0, rs1.0, 0, imm),
+        SltI { rd, rs1, imm } => pack(op::SLTI, rd.0, rs1.0, 0, imm),
+
+        Li { rd, imm } => pack(op::LI, rd.0, 0, 0, imm),
+        OrHi { rd, imm } => pack(op::ORHI, rd.0, 0, 0, imm),
+        Mv { rd, rs } => pack(op::MV, rd.0, rs.0, 0, 0),
+
+        FAdd { fd, fs1, fs2 } => pack(op::FADD, fd.0, fs1.0, fs2.0, 0),
+        FSub { fd, fs1, fs2 } => pack(op::FSUB, fd.0, fs1.0, fs2.0, 0),
+        FMul { fd, fs1, fs2 } => pack(op::FMUL, fd.0, fs1.0, fs2.0, 0),
+        FDiv { fd, fs1, fs2 } => pack(op::FDIV, fd.0, fs1.0, fs2.0, 0),
+        FMin { fd, fs1, fs2 } => pack(op::FMIN, fd.0, fs1.0, fs2.0, 0),
+        FMax { fd, fs1, fs2 } => pack(op::FMAX, fd.0, fs1.0, fs2.0, 0),
+        FNeg { fd, fs } => pack(op::FNEG, fd.0, fs.0, 0, 0),
+        FAbs { fd, fs } => pack(op::FABS, fd.0, fs.0, 0, 0),
+        FSqrt { fd, fs } => pack(op::FSQRT, fd.0, fs.0, 0, 0),
+        FSin { fd, fs } => pack(op::FSIN, fd.0, fs.0, 0, 0),
+        FCos { fd, fs } => pack(op::FCOS, fd.0, fs.0, 0, 0),
+        FMv { fd, fs } => pack(op::FMV, fd.0, fs.0, 0, 0),
+        FLi { fd, value } => pack(op::FLI, fd.0, 0, 0, value.to_bits() as i32),
+        ItoF { fd, rs } => pack(op::ITOF, fd.0, rs.0, 0, 0),
+        FtoI { rd, fs } => pack(op::FTOI, rd.0, fs.0, 0, 0),
+        FLt { rd, fs1, fs2 } => pack(op::FLT, rd.0, fs1.0, fs2.0, 0),
+        FLe { rd, fs1, fs2 } => pack(op::FLE, rd.0, fs1.0, fs2.0, 0),
+        FEq { rd, fs1, fs2 } => pack(op::FEQ, rd.0, fs1.0, fs2.0, 0),
+
+        Ld { rd, base, off, width } => {
+            let opc = match width {
+                MemWidth::B1 => op::LD1,
+                MemWidth::B2 => op::LD2,
+                MemWidth::B4 => op::LD4,
+                MemWidth::B8 => op::LD8,
+            };
+            pack(opc, rd.0, base.0, 0, off)
+        }
+        St { rs, base, off, width } => {
+            let opc = match width {
+                MemWidth::B1 => op::ST1,
+                MemWidth::B2 => op::ST2,
+                MemWidth::B4 => op::ST4,
+                MemWidth::B8 => op::ST8,
+            };
+            pack(opc, rs.0, base.0, 0, off)
+        }
+        FLd { fd, base, off } => pack(op::FLD, fd.0, base.0, 0, off),
+        FSt { fs, base, off } => pack(op::FST, fs.0, base.0, 0, off),
+        FLd4 { fd, base, off } => pack(op::FLD4, fd.0, base.0, 0, off),
+        FSt4 { fs, base, off } => pack(op::FST4, fs.0, base.0, 0, off),
+        Prefetch { base, off } => pack(op::PREFETCH, 0, base.0, 0, off),
+        PLd64 { rd, base, pred, off } => pack(op::PLD64, rd.0, base.0, pred.0, off),
+        PSt64 { rs, base, pred, off } => pack(op::PST64, rs.0, base.0, pred.0, off),
+        BCpy { dst, src, len } => pack(op::BCPY, dst.0, src.0, len.0, 0),
+
+        Jmp { target } => pack(op::JMP, 0, 0, 0, target as i32),
+        Br { cond, rs1, rs2, target } => {
+            pack(op::BR, cond_code(cond), rs1.0, rs2.0, target as i32)
+        }
+        Call { target } => pack(op::CALL, 0, 0, 0, target as i32),
+        CallR { rs } => pack(op::CALLR, 0, rs.0, 0, 0),
+        Ret => pack(op::RET, 0, 0, 0, 0),
+
+        Host { func } => pack(op::HOST, 0, 0, 0, func.code() as i32),
+        Halt => pack(op::HALT, 0, 0, 0, 0),
+        Nop => pack(op::NOP, 0, 0, 0, 0),
+    }
+}
+
+/// Decode one 8-byte instruction word.
+pub fn decode(word: u64) -> Result<Inst, DecodeError> {
+    let opcode = (word & 0xFF) as u8;
+    let a = ((word >> 8) & 0xFF) as u8;
+    let b = ((word >> 16) & 0xFF) as u8;
+    let c = ((word >> 24) & 0xFF) as u8;
+    let imm = (word >> 32) as u32 as i32;
+    let err = || DecodeError { opcode, word };
+
+    let ra = Reg(a);
+    let rb = Reg(b);
+    let rc = Reg(c);
+    let fa = FReg(a);
+    let fb = FReg(b);
+    let fc = FReg(c);
+
+    // Reject register fields outside the file: images are untrusted input
+    // to the VM, like any binary is to Pin.
+    let regs_ok = (a as usize) < Reg::COUNT && (b as usize) < Reg::COUNT && (c as usize) < Reg::COUNT;
+    if !regs_ok {
+        return Err(err());
+    }
+
+    use Inst::*;
+    Ok(match opcode {
+        op::ADD => Add { rd: ra, rs1: rb, rs2: rc },
+        op::SUB => Sub { rd: ra, rs1: rb, rs2: rc },
+        op::MUL => Mul { rd: ra, rs1: rb, rs2: rc },
+        op::DIV => Div { rd: ra, rs1: rb, rs2: rc },
+        op::REM => Rem { rd: ra, rs1: rb, rs2: rc },
+        op::AND => And { rd: ra, rs1: rb, rs2: rc },
+        op::OR => Or { rd: ra, rs1: rb, rs2: rc },
+        op::XOR => Xor { rd: ra, rs1: rb, rs2: rc },
+        op::SHL => Shl { rd: ra, rs1: rb, rs2: rc },
+        op::SHR => Shr { rd: ra, rs1: rb, rs2: rc },
+        op::SRA => Sra { rd: ra, rs1: rb, rs2: rc },
+        op::SLT => Slt { rd: ra, rs1: rb, rs2: rc },
+        op::SLTU => Sltu { rd: ra, rs1: rb, rs2: rc },
+
+        op::ADDI => AddI { rd: ra, rs1: rb, imm },
+        op::MULI => MulI { rd: ra, rs1: rb, imm },
+        op::ANDI => AndI { rd: ra, rs1: rb, imm },
+        op::ORI => OrI { rd: ra, rs1: rb, imm },
+        op::XORI => XorI { rd: ra, rs1: rb, imm },
+        op::SHLI => ShlI { rd: ra, rs1: rb, imm },
+        op::SHRI => ShrI { rd: ra, rs1: rb, imm },
+        op::SRAI => SraI { rd: ra, rs1: rb, imm },
+        op::SLTI => SltI { rd: ra, rs1: rb, imm },
+
+        op::LI => Li { rd: ra, imm },
+        op::ORHI => OrHi { rd: ra, imm },
+        op::MV => Mv { rd: ra, rs: rb },
+
+        op::FADD => FAdd { fd: fa, fs1: fb, fs2: fc },
+        op::FSUB => FSub { fd: fa, fs1: fb, fs2: fc },
+        op::FMUL => FMul { fd: fa, fs1: fb, fs2: fc },
+        op::FDIV => FDiv { fd: fa, fs1: fb, fs2: fc },
+        op::FMIN => FMin { fd: fa, fs1: fb, fs2: fc },
+        op::FMAX => FMax { fd: fa, fs1: fb, fs2: fc },
+        op::FNEG => FNeg { fd: fa, fs: fb },
+        op::FABS => FAbs { fd: fa, fs: fb },
+        op::FSQRT => FSqrt { fd: fa, fs: fb },
+        op::FSIN => FSin { fd: fa, fs: fb },
+        op::FCOS => FCos { fd: fa, fs: fb },
+        op::FMV => FMv { fd: fa, fs: fb },
+        op::FLI => FLi { fd: fa, value: f32::from_bits(imm as u32) },
+        op::ITOF => ItoF { fd: fa, rs: rb },
+        op::FTOI => FtoI { rd: ra, fs: fb },
+        op::FLT => FLt { rd: ra, fs1: fb, fs2: fc },
+        op::FLE => FLe { rd: ra, fs1: fb, fs2: fc },
+        op::FEQ => FEq { rd: ra, fs1: fb, fs2: fc },
+
+        op::LD1 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B1 },
+        op::LD2 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B2 },
+        op::LD4 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B4 },
+        op::LD8 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B8 },
+        op::ST1 => St { rs: ra, base: rb, off: imm, width: MemWidth::B1 },
+        op::ST2 => St { rs: ra, base: rb, off: imm, width: MemWidth::B2 },
+        op::ST4 => St { rs: ra, base: rb, off: imm, width: MemWidth::B4 },
+        op::ST8 => St { rs: ra, base: rb, off: imm, width: MemWidth::B8 },
+        op::FLD => FLd { fd: fa, base: rb, off: imm },
+        op::FST => FSt { fs: fa, base: rb, off: imm },
+        op::FLD4 => FLd4 { fd: fa, base: rb, off: imm },
+        op::FST4 => FSt4 { fs: fa, base: rb, off: imm },
+        op::PREFETCH => Prefetch { base: rb, off: imm },
+        op::PLD64 => PLd64 { rd: ra, base: rb, pred: rc, off: imm },
+        op::PST64 => PSt64 { rs: ra, base: rb, pred: rc, off: imm },
+        op::BCPY => BCpy { dst: ra, src: rb, len: rc },
+
+        op::JMP => Jmp { target: imm as u32 },
+        op::BR => Br { cond: cond_from(a).ok_or_else(err)?, rs1: rb, rs2: rc, target: imm as u32 },
+        op::CALL => Call { target: imm as u32 },
+        op::CALLR => CallR { rs: rb },
+        op::RET => Ret,
+
+        op::HOST => Host { func: HostFn::from_code(imm as u16).ok_or_else(err)? },
+        op::HALT => Halt,
+        op::NOP => Nop,
+
+        _ => return Err(err()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BrCond, HostFn, Inst, MemWidth};
+    use crate::reg::{FReg, Reg};
+
+    fn sample_instructions() -> Vec<Inst> {
+        use Inst::*;
+        vec![
+            Add { rd: Reg(1), rs1: Reg(2), rs2: Reg(3) },
+            Sub { rd: Reg(31), rs1: Reg(0), rs2: Reg(15) },
+            Div { rd: Reg(4), rs1: Reg(5), rs2: Reg(6) },
+            AddI { rd: Reg(7), rs1: Reg(8), imm: -1234567 },
+            ShlI { rd: Reg(7), rs1: Reg(8), imm: 63 },
+            Li { rd: Reg(9), imm: i32::MIN },
+            OrHi { rd: Reg(9), imm: -1 },
+            Mv { rd: Reg(10), rs: Reg(11) },
+            FAdd { fd: FReg(1), fs1: FReg(2), fs2: FReg(3) },
+            FSqrt { fd: FReg(4), fs: FReg(5) },
+            FLi { fd: FReg(6), value: 3.25 },
+            ItoF { fd: FReg(7), rs: Reg(12) },
+            FtoI { rd: Reg(13), fs: FReg(8) },
+            FLt { rd: Reg(14), fs1: FReg(9), fs2: FReg(10) },
+            Ld { rd: Reg(1), base: Reg(29), off: -16, width: MemWidth::B1 },
+            Ld { rd: Reg(1), base: Reg(29), off: 2048, width: MemWidth::B8 },
+            St { rs: Reg(2), base: Reg(3), off: 0, width: MemWidth::B2 },
+            FLd { fd: FReg(1), base: Reg(4), off: 8 },
+            FSt4 { fs: FReg(2), base: Reg(5), off: 12 },
+            Prefetch { base: Reg(6), off: 64 },
+            PLd64 { rd: Reg(7), base: Reg(8), pred: Reg(9), off: 24 },
+            PSt64 { rs: Reg(10), base: Reg(11), pred: Reg(12), off: -8 },
+            BCpy { dst: Reg(1), src: Reg(2), len: Reg(3) },
+            Jmp { target: 0x10010 },
+            Br { cond: BrCond::Ltu, rs1: Reg(1), rs2: Reg(2), target: 0x20000 },
+            Call { target: 0x10000 },
+            CallR { rs: Reg(20) },
+            Ret,
+            Host { func: HostFn::FsRead },
+            Halt,
+            Nop,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_samples() {
+        for inst in sample_instructions() {
+            let word = encode(inst);
+            let back = decode(word).expect("decodes");
+            assert_eq!(back, inst, "word {:#018x}", word);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        assert!(decode(0x00).is_err());
+        assert!(decode(0xFF).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        // Opcode ADD with register field 200.
+        let word = super::pack(super::op::ADD, 200, 0, 0, 0);
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_branch_condition() {
+        let word = super::pack(super::op::BR, 17, 0, 0, 0);
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_host_code() {
+        let word = super::pack(super::op::HOST, 0, 0, 0, 4095);
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn fli_preserves_value_bits() {
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
+            let word = encode(Inst::FLi { fd: FReg(0), value: v });
+            match decode(word).unwrap() {
+                Inst::FLi { value, .. } => assert_eq!(value.to_bits(), v.to_bits()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Binary images and programs — the object model the VM loader consumes.
+//!
+//! Pin presents an executing process as a set of *images* (the main
+//! executable plus shared libraries), each containing *routines* (symbols).
+//! tQUAD relies on this structure in two places: `PIN_InitSymbols` gives it
+//! function names, and the `flag` argument of its `EnterFC` analysis routine
+//! says whether the newly-called function lives in the **main** image
+//! (library/OS routines can be excluded from the internal call stack).
+//!
+//! The reproduction keeps the same shape: a [`Program`] is a main [`Image`]
+//! plus any number of library images (the kernel compiler places its runtime
+//! support routines in a separate `libsim` image so the exclusion option is
+//! meaningful).
+
+use crate::encode::{decode, DecodeError};
+use crate::inst::Inst;
+use crate::INST_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a routine within a [`Program`] (index into
+/// [`Program::routines`]' flattened table).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoutineId(pub u32);
+
+impl RoutineId {
+    /// Sentinel used by tools before any routine has been entered.
+    pub const INVALID: RoutineId = RoutineId(u32::MAX);
+
+    /// Index into per-routine tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named routine (function symbol): `[start, end)` byte addresses in the
+/// text segment.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Routine {
+    /// Symbol name, as reported to tools (the paper passes the name Pin
+    /// reports into `EnterFC`).
+    pub name: String,
+    /// First instruction address.
+    pub start: u64,
+    /// One past the last instruction address.
+    pub end: u64,
+}
+
+/// An initialised data segment.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DataSeg {
+    /// Load address.
+    pub addr: u64,
+    /// Initial bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A binary image: text, symbols and initialised data.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Image {
+    /// Image name (e.g. `"wfs"`, `"libsim"`).
+    pub name: String,
+    /// Base address of the text section.
+    pub base: u64,
+    /// Encoded instruction words, loaded contiguously from `base`.
+    pub text: Vec<u64>,
+    /// Routines, sorted by `start`.
+    pub routines: Vec<Routine>,
+    /// Initialised data segments.
+    pub data: Vec<DataSeg>,
+    /// True for the application's main image; false for libraries. Drives
+    /// tQUAD's option to ignore functions "which are not in the main image
+    /// file of the program".
+    pub is_main: bool,
+}
+
+impl Image {
+    /// Address one past the end of this image's text.
+    pub fn text_end(&self) -> u64 {
+        self.base + self.text.len() as u64 * INST_BYTES
+    }
+
+    /// True if `pc` falls inside this image's text section.
+    pub fn contains(&self, pc: u64) -> bool {
+        pc >= self.base && pc < self.text_end()
+    }
+
+    /// Decode the instruction at byte address `pc`.
+    pub fn fetch(&self, pc: u64) -> Result<Inst, DecodeError> {
+        debug_assert!(self.contains(pc) && pc.is_multiple_of(INST_BYTES));
+        let idx = ((pc - self.base) / INST_BYTES) as usize;
+        decode(self.text[idx])
+    }
+
+    /// The routine containing `pc`, if any (binary search over the sorted
+    /// routine list).
+    pub fn routine_at(&self, pc: u64) -> Option<&Routine> {
+        let idx = match self.routines.binary_search_by(|r| r.start.cmp(&pc)) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let r = &self.routines[idx];
+        (pc < r.end).then_some(r)
+    }
+
+    /// Look a routine up by name.
+    pub fn routine_named(&self, name: &str) -> Option<&Routine> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+
+    /// Validate internal consistency (sorted, non-overlapping routines that
+    /// lie within the text section; all words decodable). Returns the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let end = self.text_end();
+        let mut prev_end = self.base;
+        for r in &self.routines {
+            if r.start < prev_end {
+                return Err(format!("routine {} overlaps its predecessor", r.name));
+            }
+            if r.end <= r.start {
+                return Err(format!("routine {} is empty or inverted", r.name));
+            }
+            if r.end > end {
+                return Err(format!("routine {} extends past the text section", r.name));
+            }
+            if r.start % INST_BYTES != 0 || r.end % INST_BYTES != 0 {
+                return Err(format!("routine {} is misaligned", r.name));
+            }
+            prev_end = r.end;
+        }
+        for (i, &w) in self.text.iter().enumerate() {
+            if let Err(e) = decode(w) {
+                return Err(format!(
+                    "undecodable word at {:#x}: {e}",
+                    self.base + i as u64 * INST_BYTES
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder for hand-assembled images (tests and examples; the
+/// kernel compiler drives [`crate::Asm`] directly).
+pub struct ImageBuilder {
+    name: String,
+    base: u64,
+    is_main: bool,
+    text: Vec<u64>,
+    routines: Vec<Routine>,
+    data: Vec<DataSeg>,
+}
+
+impl ImageBuilder {
+    /// Start building an image with text loaded at `base`.
+    pub fn new(name: impl Into<String>, base: u64) -> Self {
+        ImageBuilder {
+            name: name.into(),
+            base,
+            is_main: true,
+            text: Vec::new(),
+            routines: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Mark the image as a library (not the main image).
+    pub fn library(mut self) -> Self {
+        self.is_main = false;
+        self
+    }
+
+    /// Current emission address.
+    pub fn here(&self) -> u64 {
+        self.base + self.text.len() as u64 * INST_BYTES
+    }
+
+    /// Append a routine made of `insts`. Targets must already be absolute.
+    pub fn routine(&mut self, name: impl Into<String>, insts: &[Inst]) -> u64 {
+        let start = self.here();
+        for &i in insts {
+            self.text.push(crate::encode(i));
+        }
+        let end = self.here();
+        self.routines.push(Routine { name: name.into(), start, end });
+        start
+    }
+
+    /// Add an initialised data segment.
+    pub fn data(&mut self, addr: u64, bytes: Vec<u8>) {
+        self.data.push(DataSeg { addr, bytes });
+    }
+
+    /// Finish the image.
+    pub fn build(self) -> Image {
+        let mut routines = self.routines;
+        routines.sort_by_key(|r| r.start);
+        Image {
+            name: self.name,
+            base: self.base,
+            text: self.text,
+            routines,
+            data: self.data,
+            is_main: self.is_main,
+        }
+    }
+}
+
+/// A complete program: one or more images and an entry point.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Program {
+    /// All images; exactly one should have `is_main == true`.
+    pub images: Vec<Image>,
+    /// Entry address (must lie in some image's text).
+    pub entry: u64,
+}
+
+impl Program {
+    /// Build a program from a single main image, entering at `entry`.
+    pub fn new(main: Image, entry: u64) -> Self {
+        Program { images: vec![main], entry }
+    }
+
+    /// Add a library image.
+    pub fn with_library(mut self, lib: Image) -> Self {
+        self.images.push(lib);
+        self
+    }
+
+    /// The main image.
+    pub fn main_image(&self) -> &Image {
+        self.images
+            .iter()
+            .find(|i| i.is_main)
+            .expect("program has a main image")
+    }
+
+    /// Iterate over `(image index, routine)` pairs in a deterministic order
+    /// (image order, then routine start address).
+    pub fn routines(&self) -> impl Iterator<Item = (usize, &Routine)> {
+        self.images
+            .iter()
+            .enumerate()
+            .flat_map(|(i, img)| img.routines.iter().map(move |r| (i, r)))
+    }
+
+    /// Find the image containing `pc`.
+    pub fn image_at(&self, pc: u64) -> Option<(usize, &Image)> {
+        self.images
+            .iter()
+            .enumerate()
+            .find(|(_, img)| img.contains(pc))
+    }
+
+    /// Validate every image and the entry point.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.images.iter().filter(|i| i.is_main).count() != 1 {
+            return Err("program must have exactly one main image".into());
+        }
+        // Images must not overlap in the address space.
+        let mut spans: Vec<(u64, u64, &str)> = self
+            .images
+            .iter()
+            .map(|i| (i.base, i.text_end(), i.name.as_str()))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(format!("images {} and {} overlap", w[0].2, w[1].2));
+            }
+        }
+        for img in &self.images {
+            img.validate().map_err(|e| format!("image {}: {e}", img.name))?;
+        }
+        if self.image_at(self.entry).is_none() {
+            return Err(format!("entry {:#x} outside all images", self.entry));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::reg::Reg;
+
+    fn tiny_image() -> Image {
+        let mut b = ImageBuilder::new("main", 0x10000);
+        b.routine(
+            "start",
+            &[Inst::Li { rd: Reg(1), imm: 42 }, Inst::Halt],
+        );
+        b.routine("fn2", &[Inst::Nop, Inst::Ret]);
+        b.build()
+    }
+
+    #[test]
+    fn builder_lays_out_routines_contiguously() {
+        let img = tiny_image();
+        assert_eq!(img.routines.len(), 2);
+        assert_eq!(img.routines[0].start, 0x10000);
+        assert_eq!(img.routines[0].end, 0x10010);
+        assert_eq!(img.routines[1].start, 0x10010);
+        assert_eq!(img.text_end(), 0x10020);
+        img.validate().unwrap();
+    }
+
+    #[test]
+    fn routine_lookup_by_address() {
+        let img = tiny_image();
+        assert_eq!(img.routine_at(0x10000).unwrap().name, "start");
+        assert_eq!(img.routine_at(0x10008).unwrap().name, "start");
+        assert_eq!(img.routine_at(0x10010).unwrap().name, "fn2");
+        assert_eq!(img.routine_at(0x10018).unwrap().name, "fn2");
+        assert!(img.routine_at(0x10020).is_none());
+        assert!(img.routine_at(0xFFF8).is_none());
+    }
+
+    #[test]
+    fn fetch_decodes() {
+        let img = tiny_image();
+        assert_eq!(img.fetch(0x10000).unwrap(), Inst::Li { rd: Reg(1), imm: 42 });
+        assert_eq!(img.fetch(0x10008).unwrap(), Inst::Halt);
+    }
+
+    #[test]
+    fn program_validation_catches_overlap() {
+        let a = tiny_image();
+        let mut bb = ImageBuilder::new("lib", 0x10008);
+        bb.routine("libfn", &[Inst::Ret]);
+        let b = bb.library().build();
+        let p = Program::new(a, 0x10000).with_library(b);
+        assert!(p.validate().unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn program_validation_requires_one_main() {
+        let a = tiny_image();
+        let mut p = Program::new(a.clone(), 0x10000);
+        p.images.push({
+            let mut other = a;
+            other.base = 0x40000;
+            other.routines.iter_mut().for_each(|r| {
+                r.start += 0x30000;
+                r.end += 0x30000;
+            });
+            other
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_entry() {
+        let p = Program::new(tiny_image(), 0x999000);
+        assert!(p.validate().unwrap_err().contains("entry"));
+    }
+}

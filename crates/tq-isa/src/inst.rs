@@ -1,0 +1,461 @@
+//! The instruction set.
+//!
+//! Fixed-width RISC-style instructions. The set is deliberately shaped so
+//! that everything Pin's instrumentation API can ask about an instruction has
+//! a faithful counterpart here:
+//!
+//! * loads and stores of 1/2/4/8-byte integers and 4/8-byte floats — tQUAD's
+//!   `IncreaseRead`/`IncreaseWrite` analysis routines receive the byte count;
+//! * `Call`/`CallR` push the return address onto the stack and `Ret` pops it,
+//!   so calls and returns are *memory* operations, as on x86;
+//! * `Prefetch` is a memory-read-shaped hint — the paper's analysis routines
+//!   "return immediately upon detection of a prefetch state";
+//! * `PLd64`/`PSt64` are predicated memory operations — Pin's
+//!   `INS_InsertPredicatedCall` only fires the analysis call when the
+//!   predicate holds, and the VM reproduces that.
+
+use crate::reg::{FReg, Reg};
+
+/// Width of an integer memory access, in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// Comparison condition of a conditional branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BrCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    Ltu,
+    /// Branch if unsigned greater-or-equal.
+    Geu,
+}
+
+impl BrCond {
+    /// Evaluate the condition on two register values.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BrCond::Eq => a == b,
+            BrCond::Ne => a != b,
+            BrCond::Lt => (a as i64) < (b as i64),
+            BrCond::Ge => (a as i64) >= (b as i64),
+            BrCond::Ltu => a < b,
+            BrCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Host-call functions (the VM's "OS interface").
+///
+/// The simulated application performs I/O through these, against an
+/// in-memory file system — the reproduction of the paper's *off-line mode*
+/// where the wfs application reads its audio from files.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum HostFn {
+    /// Terminate the program; `A0` = exit code.
+    Exit,
+    /// Print the integer in `A0` to the VM console.
+    PrintI64,
+    /// Print the float in `FA0` to the VM console.
+    PrintF64,
+    /// Print the byte in `A0` as a character to the VM console.
+    PrintChar,
+    /// Open a file: `A0` = path pointer, `A1` = path length, `A2` = mode
+    /// (0 read, 1 write/create). Returns fd in `A0`, or −1.
+    FsOpen,
+    /// Close fd in `A0`.
+    FsClose,
+    /// Read: `A0` = fd, `A1` = buffer pointer, `A2` = length. Returns bytes
+    /// read. The copy into simulated memory is performed by the *host*, so
+    /// it is invisible to instrumentation — exactly like a kernel-mode copy
+    /// under Pin, which "can only capture user-level code".
+    FsRead,
+    /// Write: `A0` = fd, `A1` = buffer pointer, `A2` = length.
+    FsWrite,
+    /// File size of fd in `A0`.
+    FsSize,
+    /// Current instruction count (virtual clock) in `A0`.
+    Icount,
+}
+
+impl HostFn {
+    /// Encode as a 16-bit code.
+    pub fn code(self) -> u16 {
+        match self {
+            HostFn::Exit => 0,
+            HostFn::PrintI64 => 1,
+            HostFn::PrintF64 => 2,
+            HostFn::PrintChar => 3,
+            HostFn::FsOpen => 4,
+            HostFn::FsClose => 5,
+            HostFn::FsRead => 6,
+            HostFn::FsWrite => 7,
+            HostFn::FsSize => 8,
+            HostFn::Icount => 9,
+        }
+    }
+
+    /// Decode from a 16-bit code.
+    pub fn from_code(code: u16) -> Option<HostFn> {
+        Some(match code {
+            0 => HostFn::Exit,
+            1 => HostFn::PrintI64,
+            2 => HostFn::PrintF64,
+            3 => HostFn::PrintChar,
+            4 => HostFn::FsOpen,
+            5 => HostFn::FsClose,
+            6 => HostFn::FsRead,
+            7 => HostFn::FsWrite,
+            8 => HostFn::FsSize,
+            9 => HostFn::Icount,
+            _ => return None,
+        })
+    }
+}
+
+/// One machine instruction.
+///
+/// Branch, jump and call targets are absolute byte addresses in the text
+/// segment (every instruction occupies [`crate::INST_BYTES`] bytes).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Inst {
+    // ---- integer ALU, register-register ----
+    /// `rd = rs1 + rs2` (wrapping).
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 - rs2` (wrapping).
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 * rs2` (wrapping).
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 / rs2` (signed; division by zero yields 0, as on many DSPs).
+    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 % rs2` (signed; modulo zero yields 0).
+    Rem { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 & rs2`.
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 | rs2`.
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 ^ rs2`.
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 << (rs2 & 63)`.
+    Shl { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    Shr { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic).
+    Sra { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = (rs1 <ₛ rs2) ? 1 : 0`.
+    Slt { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = (rs1 <ᵤ rs2) ? 1 : 0`.
+    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- integer ALU, register-immediate ----
+    /// `rd = rs1 + imm`.
+    AddI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 * imm`.
+    MulI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 & imm` (sign-extended immediate).
+    AndI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 | imm`.
+    OrI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 ^ imm`.
+    XorI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 << (imm & 63)`.
+    ShlI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 >> (imm & 63)` (logical).
+    ShrI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 >> (imm & 63)` (arithmetic).
+    SraI { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = (rs1 <ₛ imm) ? 1 : 0`.
+    SltI { rd: Reg, rs1: Reg, imm: i32 },
+
+    // ---- constants and moves ----
+    /// `rd = imm` (sign-extended to 64 bits).
+    Li { rd: Reg, imm: i32 },
+    /// `rd = (rd & 0xFFFF_FFFF) | (imm << 32)` — pairs with `Li` to build a
+    /// full 64-bit constant.
+    OrHi { rd: Reg, imm: i32 },
+    /// `rd = rs`.
+    Mv { rd: Reg, rs: Reg },
+
+    // ---- floating point ----
+    /// `fd = fs1 + fs2`.
+    FAdd { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = fs1 - fs2`.
+    FSub { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = fs1 * fs2`.
+    FMul { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = fs1 / fs2`.
+    FDiv { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = min(fs1, fs2)`.
+    FMin { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = max(fs1, fs2)`.
+    FMax { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = -fs`.
+    FNeg { fd: FReg, fs: FReg },
+    /// `fd = |fs|`.
+    FAbs { fd: FReg, fs: FReg },
+    /// `fd = √fs`.
+    FSqrt { fd: FReg, fs: FReg },
+    /// `fd = sin(fs)` — hardware transcendental, standing in for the math
+    /// library the real application links against.
+    FSin { fd: FReg, fs: FReg },
+    /// `fd = cos(fs)`.
+    FCos { fd: FReg, fs: FReg },
+    /// `fd = fs`.
+    FMv { fd: FReg, fs: FReg },
+    /// `fd = value` (an `f32` immediate, widened to `f64`; full-precision
+    /// constants are loaded from the data segment).
+    FLi { fd: FReg, value: f32 },
+    /// `fd = rs as f64` (signed conversion).
+    ItoF { fd: FReg, rs: Reg },
+    /// `rd = fs as i64` (truncating; saturates at the i64 range).
+    FtoI { rd: Reg, fs: FReg },
+    /// `rd = (fs1 < fs2) ? 1 : 0`.
+    FLt { rd: Reg, fs1: FReg, fs2: FReg },
+    /// `rd = (fs1 <= fs2) ? 1 : 0`.
+    FLe { rd: Reg, fs1: FReg, fs2: FReg },
+    /// `rd = (fs1 == fs2) ? 1 : 0`.
+    FEq { rd: Reg, fs1: FReg, fs2: FReg },
+
+    // ---- memory ----
+    /// `rd = zero-extend(mem[rs1 + off])`.
+    Ld { rd: Reg, base: Reg, off: i32, width: MemWidth },
+    /// `mem[rs1 + off] = low bytes of rs`.
+    St { rs: Reg, base: Reg, off: i32, width: MemWidth },
+    /// `fd = f64 at mem[base + off]`.
+    FLd { fd: FReg, base: Reg, off: i32 },
+    /// `mem[base + off] = fd` (8 bytes).
+    FSt { fs: FReg, base: Reg, off: i32 },
+    /// `fd = f32 at mem[base + off]`, widened.
+    FLd4 { fd: FReg, base: Reg, off: i32 },
+    /// `mem[base + off] = fs as f32` (4 bytes).
+    FSt4 { fs: FReg, base: Reg, off: i32 },
+    /// Software prefetch of the cache line at `base + off`. Counts as a
+    /// memory-read-shaped instruction with the prefetch flag set; tQUAD's
+    /// analysis routines must ignore it.
+    Prefetch { base: Reg, off: i32 },
+    /// Predicated 8-byte load: executes (and touches memory) only when
+    /// `pred != 0`.
+    PLd64 { rd: Reg, base: Reg, pred: Reg, off: i32 },
+    /// Predicated 8-byte store: executes only when `pred != 0`.
+    PSt64 { rs: Reg, base: Reg, pred: Reg, off: i32 },
+    /// Block copy (`rep movsb` analogue): copies `len` bytes (register
+    /// value, capped by the VM) from `[src]` to `[dst]` as ONE instruction
+    /// — a single memory-read event and a single memory-write event of
+    /// `len` bytes each. This is how a `memcpy`-style kernel reaches the
+    /// tens-of-bytes-per-instruction bandwidth the paper measures for
+    /// `AudioIo_setFrames` (> 50 B/instr, Table IV).
+    BCpy { dst: Reg, src: Reg, len: Reg },
+
+    // ---- control flow ----
+    /// Unconditional jump to the absolute byte address `target`.
+    Jmp { target: u32 },
+    /// Conditional branch.
+    Br { cond: BrCond, rs1: Reg, rs2: Reg, target: u32 },
+    /// Direct call: pushes the return address at `sp - 8`, decrements `sp`,
+    /// jumps to `target`.
+    Call { target: u32 },
+    /// Indirect call through `rs`.
+    CallR { rs: Reg },
+    /// Return: pops the return address from `sp`, increments `sp`.
+    Ret,
+
+    // ---- system ----
+    /// Host call (see [`HostFn`]).
+    Host { func: HostFn },
+    /// Stop the VM.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// True when the instruction can read memory (size may be dynamic, as
+    /// for [`Inst::BCpy`]); this is what instrumentation masks key on.
+    pub fn may_read_memory(&self) -> bool {
+        self.memory_read_size().is_some() || matches!(self, Inst::BCpy { .. })
+    }
+
+    /// True when the instruction can write memory.
+    pub fn may_write_memory(&self) -> bool {
+        self.memory_write_size().is_some() || matches!(self, Inst::BCpy { .. })
+    }
+
+    /// Bytes *read* from memory when this instruction executes (prefetches
+    /// included — use [`Inst::is_prefetch`] to filter them, as tQUAD does).
+    /// `None` for non-memory instructions and for [`Inst::BCpy`], whose
+    /// size is a register value only known at run time.
+    pub fn memory_read_size(&self) -> Option<u32> {
+        match self {
+            Inst::Ld { width, .. } => Some(width.bytes()),
+            Inst::FLd { .. } => Some(8),
+            Inst::FLd4 { .. } => Some(4),
+            Inst::Prefetch { .. } => Some(8),
+            Inst::PLd64 { .. } => Some(8),
+            Inst::Ret => Some(8),
+            _ => None,
+        }
+    }
+
+    /// Bytes *written* to memory when this instruction executes.
+    pub fn memory_write_size(&self) -> Option<u32> {
+        match self {
+            Inst::St { width, .. } => Some(width.bytes()),
+            Inst::FSt { .. } => Some(8),
+            Inst::FSt4 { .. } => Some(4),
+            Inst::PSt64 { .. } => Some(8),
+            Inst::Call { .. } | Inst::CallR { .. } => Some(8),
+            _ => None,
+        }
+    }
+
+    /// True for prefetch hints — the analysis routines of the paper "return
+    /// immediately upon detection of a prefetch state".
+    pub fn is_prefetch(&self) -> bool {
+        matches!(self, Inst::Prefetch { .. })
+    }
+
+    /// The predicate register, for predicated instructions.
+    pub fn predicate(&self) -> Option<Reg> {
+        match self {
+            Inst::PLd64 { pred, .. } | Inst::PSt64 { pred, .. } => Some(*pred),
+            _ => None,
+        }
+    }
+
+    /// True for `Call`/`CallR`.
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. } | Inst::CallR { .. })
+    }
+
+    /// True for `Ret` — tQUAD "monitors instructions for the return from a
+    /// function to maintain the integrity of the internal call stack".
+    pub fn is_ret(&self) -> bool {
+        matches!(self, Inst::Ret)
+    }
+
+    /// True if this instruction may redirect control flow (ends a basic
+    /// block in the code cache).
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. }
+                | Inst::Br { .. }
+                | Inst::Call { .. }
+                | Inst::CallR { .. }
+                | Inst::Ret
+                | Inst::Halt
+                | Inst::Host { func: HostFn::Exit }
+        )
+    }
+
+    /// Static branch/jump/call target, when there is one.
+    pub fn static_target(&self) -> Option<u64> {
+        match self {
+            Inst::Jmp { target } | Inst::Br { target, .. } | Inst::Call { target } => {
+                Some(*target as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_classification() {
+        let ld = Inst::Ld { rd: Reg(1), base: Reg(2), off: 16, width: MemWidth::B4 };
+        assert_eq!(ld.memory_read_size(), Some(4));
+        assert_eq!(ld.memory_write_size(), None);
+        assert!(!ld.is_prefetch());
+
+        let st = Inst::St { rs: Reg(1), base: Reg(2), off: -8, width: MemWidth::B8 };
+        assert_eq!(st.memory_write_size(), Some(8));
+        assert_eq!(st.memory_read_size(), None);
+
+        let pf = Inst::Prefetch { base: Reg(2), off: 64 };
+        assert!(pf.is_prefetch());
+        assert_eq!(pf.memory_read_size(), Some(8));
+    }
+
+    #[test]
+    fn block_copy_classification() {
+        let b = Inst::BCpy { dst: Reg(1), src: Reg(2), len: Reg(3) };
+        assert!(b.may_read_memory() && b.may_write_memory());
+        assert_eq!(b.memory_read_size(), None, "size is dynamic");
+        assert!(!b.ends_block());
+    }
+
+    #[test]
+    fn call_ret_touch_the_stack() {
+        assert_eq!(Inst::Call { target: 0x1000 }.memory_write_size(), Some(8));
+        assert_eq!(Inst::CallR { rs: Reg(5) }.memory_write_size(), Some(8));
+        assert_eq!(Inst::Ret.memory_read_size(), Some(8));
+    }
+
+    #[test]
+    fn predicated_ops_expose_their_predicate() {
+        let p = Inst::PLd64 { rd: Reg(1), base: Reg(2), pred: Reg(3), off: 0 };
+        assert_eq!(p.predicate(), Some(Reg(3)));
+        assert_eq!(Inst::Nop.predicate(), None);
+    }
+
+    #[test]
+    fn block_enders() {
+        assert!(Inst::Ret.ends_block());
+        assert!(Inst::Jmp { target: 8 }.ends_block());
+        assert!(Inst::Host { func: HostFn::Exit }.ends_block());
+        assert!(!Inst::Host { func: HostFn::PrintI64 }.ends_block());
+        assert!(!Inst::Nop.ends_block());
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BrCond::Lt.eval((-1i64) as u64, 0));
+        assert!(!BrCond::Ltu.eval((-1i64) as u64, 0));
+        assert!(BrCond::Geu.eval((-1i64) as u64, 0));
+        assert!(BrCond::Eq.eval(7, 7));
+        assert!(BrCond::Ne.eval(7, 8));
+        assert!(BrCond::Ge.eval(3, 3));
+    }
+
+    #[test]
+    fn hostfn_codes_roundtrip() {
+        for code in 0..32u16 {
+            if let Some(f) = HostFn::from_code(code) {
+                assert_eq!(f.code(), code);
+            }
+        }
+        assert_eq!(HostFn::from_code(999), None);
+    }
+}

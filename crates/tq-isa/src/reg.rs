@@ -1,0 +1,172 @@
+//! Register files and calling convention.
+
+use std::fmt;
+
+/// An integer register (`r0`–`r31`), 64 bits wide.
+///
+/// `r0` is *not* hardwired to zero; all 32 registers are general purpose,
+/// but the calling convention ([`abi`]) reserves the top of the file for the
+/// stack pointer and assembler temporaries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// A floating point register (`f0`–`f31`), holding an `f64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(pub u8);
+
+impl Reg {
+    /// Number of integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Index into a register file array.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FReg {
+    /// Number of floating point registers.
+    pub const COUNT: usize = 32;
+
+    /// Index into a register file array.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == abi::SP {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// The calling convention shared by the kernel compiler, the runtime library
+/// and hand-written assembly.
+///
+/// * integer arguments in `A0`–`A5`, result in `A0`;
+/// * float arguments in `FA0`–`FA5`, result in `FA0`;
+/// * `SP` is the stack pointer; the stack grows *down* and `Call` pushes the
+///   return address (8 bytes) at `sp - 8` before jumping, `Ret` pops it —
+///   exactly the stack traffic an x86 `call`/`ret` pair generates, which is
+///   what makes call-heavy kernels visible to a memory profiler;
+/// * `T0`–`T9` are scratch registers owned by the code generator (caller
+///   saved; in generated code every live value is reloaded from the frame,
+///   so nothing is preserved across calls);
+/// * `FP` holds the frame pointer inside compiled routines.
+pub mod abi {
+    use super::{FReg, Reg};
+
+    /// First integer argument / integer return value.
+    pub const A0: Reg = Reg(1);
+    /// Second integer argument.
+    pub const A1: Reg = Reg(2);
+    /// Third integer argument.
+    pub const A2: Reg = Reg(3);
+    /// Fourth integer argument.
+    pub const A3: Reg = Reg(4);
+    /// Fifth integer argument.
+    pub const A4: Reg = Reg(5);
+    /// Sixth integer argument.
+    pub const A5: Reg = Reg(6);
+
+    /// All integer argument registers, in order.
+    pub const INT_ARGS: [Reg; 6] = [A0, A1, A2, A3, A4, A5];
+
+    /// First float argument / float return value.
+    pub const FA0: FReg = FReg(1);
+    /// All float argument registers, in order.
+    pub const FLOAT_ARGS: [FReg; 6] = [FReg(1), FReg(2), FReg(3), FReg(4), FReg(5), FReg(6)];
+
+    /// Frame pointer used by compiled routines.
+    pub const FP: Reg = Reg(28);
+    /// Stack pointer. The VM exposes its value to analysis routines, which is
+    /// how tQUAD classifies stack-area accesses (the paper's
+    /// `REG_STACK_PTR` argument).
+    pub const SP: Reg = Reg(29);
+
+    /// Scratch registers available to the code generator.
+    pub const TEMPS: [Reg; 10] = [
+        Reg(8),
+        Reg(9),
+        Reg(10),
+        Reg(11),
+        Reg(12),
+        Reg(13),
+        Reg(14),
+        Reg(15),
+        Reg(16),
+        Reg(17),
+    ];
+
+    /// Scratch float registers available to the code generator.
+    pub const FTEMPS: [FReg; 10] = [
+        FReg(8),
+        FReg(9),
+        FReg(10),
+        FReg(11),
+        FReg(12),
+        FReg(13),
+        FReg(14),
+        FReg(15),
+        FReg(16),
+        FReg(17),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(abi::SP.to_string(), "sp");
+        assert_eq!(FReg(7).to_string(), "f7");
+    }
+
+    #[test]
+    fn abi_registers_are_distinct() {
+        let mut all: Vec<Reg> = abi::INT_ARGS.to_vec();
+        all.extend(abi::TEMPS);
+        all.push(abi::SP);
+        all.push(abi::FP);
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "ABI register roles must not overlap");
+    }
+
+    #[test]
+    fn indices_in_range() {
+        for r in abi::INT_ARGS.iter().chain(abi::TEMPS.iter()) {
+            assert!(r.idx() < Reg::COUNT);
+        }
+        for f in abi::FLOAT_ARGS.iter().chain(abi::FTEMPS.iter()) {
+            assert!(f.idx() < FReg::COUNT);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests over the binary encoding: every constructible
+//! instruction round-trips through encode/decode, and the decoder is total
+//! (never panics) over arbitrary 64-bit words.
+
+use proptest::prelude::*;
+use tq_isa::{decode, disassemble, encode, BrCond, FReg, HostFn, Inst, MemWidth, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg)
+}
+
+fn width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B1),
+        Just(MemWidth::B2),
+        Just(MemWidth::B4),
+        Just(MemWidth::B8)
+    ]
+}
+
+fn cond() -> impl Strategy<Value = BrCond> {
+    prop_oneof![
+        Just(BrCond::Eq),
+        Just(BrCond::Ne),
+        Just(BrCond::Lt),
+        Just(BrCond::Ge),
+        Just(BrCond::Ltu),
+        Just(BrCond::Geu)
+    ]
+}
+
+fn hostfn() -> impl Strategy<Value = HostFn> {
+    (0u16..10).prop_map(|c| HostFn::from_code(c).expect("codes 0..10 are valid"))
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (reg(), reg(), reg()).prop_map(|(a, b, c)| Inst::Add { rd: a, rs1: b, rs2: c }),
+        (reg(), reg(), reg()).prop_map(|(a, b, c)| Inst::Sub { rd: a, rs1: b, rs2: c }),
+        (reg(), reg(), reg()).prop_map(|(a, b, c)| Inst::Mul { rd: a, rs1: b, rs2: c }),
+        (reg(), reg(), reg()).prop_map(|(a, b, c)| Inst::Div { rd: a, rs1: b, rs2: c }),
+        (reg(), reg(), reg()).prop_map(|(a, b, c)| Inst::Sltu { rd: a, rs1: b, rs2: c }),
+        (reg(), reg(), any::<i32>()).prop_map(|(a, b, i)| Inst::AddI { rd: a, rs1: b, imm: i }),
+        (reg(), reg(), any::<i32>()).prop_map(|(a, b, i)| Inst::SraI { rd: a, rs1: b, imm: i }),
+        (reg(), any::<i32>()).prop_map(|(a, i)| Inst::Li { rd: a, imm: i }),
+        (reg(), any::<i32>()).prop_map(|(a, i)| Inst::OrHi { rd: a, imm: i }),
+        (freg(), freg(), freg()).prop_map(|(a, b, c)| Inst::FMul { fd: a, fs1: b, fs2: c }),
+        (freg(), freg()).prop_map(|(a, b)| Inst::FSqrt { fd: a, fs: b }),
+        (freg(), any::<f32>()).prop_map(|(a, v)| Inst::FLi { fd: a, value: v }),
+        (reg(), freg(), freg()).prop_map(|(a, b, c)| Inst::FLe { rd: a, fs1: b, fs2: c }),
+        (reg(), reg(), any::<i32>(), width())
+            .prop_map(|(a, b, o, w)| Inst::Ld { rd: a, base: b, off: o, width: w }),
+        (reg(), reg(), any::<i32>(), width())
+            .prop_map(|(a, b, o, w)| Inst::St { rs: a, base: b, off: o, width: w }),
+        (freg(), reg(), any::<i32>()).prop_map(|(a, b, o)| Inst::FLd { fd: a, base: b, off: o }),
+        (freg(), reg(), any::<i32>()).prop_map(|(a, b, o)| Inst::FSt4 { fs: a, base: b, off: o }),
+        (reg(), any::<i32>()).prop_map(|(b, o)| Inst::Prefetch { base: b, off: o }),
+        (reg(), reg(), reg(), any::<i32>())
+            .prop_map(|(a, b, p, o)| Inst::PLd64 { rd: a, base: b, pred: p, off: o }),
+        (reg(), reg(), reg()).prop_map(|(d, s, l)| Inst::BCpy { dst: d, src: s, len: l }),
+        any::<u32>().prop_map(|t| Inst::Jmp { target: t }),
+        (cond(), reg(), reg(), any::<u32>())
+            .prop_map(|(c, a, b, t)| Inst::Br { cond: c, rs1: a, rs2: b, target: t }),
+        any::<u32>().prop_map(|t| Inst::Call { target: t }),
+        reg().prop_map(|r| Inst::CallR { rs: r }),
+        Just(Inst::Ret),
+        hostfn().prop_map(|f| Inst::Host { func: f }),
+        Just(Inst::Halt),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode ∘ decode = identity over constructible instructions. (FLi
+    /// NaN payloads compare by bits via the encoded word.)
+    #[test]
+    fn encode_decode_roundtrip(i in inst()) {
+        let word = encode(i);
+        let back = decode(word).expect("own encoding decodes");
+        // Re-encoding must give the identical word even when NaN makes
+        // `back != i` under PartialEq.
+        prop_assert_eq!(encode(back), word);
+        if let Inst::FLi { value, .. } = i {
+            if !value.is_nan() {
+                prop_assert_eq!(back, i);
+            }
+        } else {
+            prop_assert_eq!(back, i);
+        }
+    }
+
+    /// The decoder is total: arbitrary words either decode or error, never
+    /// panic; successful decodes disassemble and re-encode stably.
+    #[test]
+    fn decoder_is_total(word in any::<u64>()) {
+        if let Ok(i) = decode(word) {
+            let _ = disassemble(&i);
+            let w2 = encode(i);
+            let i2 = decode(w2).expect("canonical re-encoding decodes");
+            prop_assert_eq!(encode(i2), w2, "re-encoding is a fixpoint");
+        }
+    }
+
+    /// Classification helpers never disagree with themselves.
+    #[test]
+    fn classification_consistency(i in inst()) {
+        if i.memory_read_size().is_some() {
+            prop_assert!(i.may_read_memory());
+        }
+        if i.memory_write_size().is_some() {
+            prop_assert!(i.may_write_memory());
+        }
+        if i.is_prefetch() {
+            prop_assert!(i.may_read_memory());
+        }
+        if i.is_call() {
+            prop_assert!(i.may_write_memory(), "calls push the return address");
+            prop_assert!(i.ends_block());
+        }
+        if i.is_ret() {
+            prop_assert!(i.may_read_memory(), "rets pop the return address");
+            prop_assert!(i.ends_block());
+        }
+    }
+}

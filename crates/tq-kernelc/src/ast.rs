@@ -1,0 +1,421 @@
+//! The typed AST of the kernel language.
+//!
+//! The *hArtes wfs* application is written in this small imperative language
+//! (scalars of `i64`/`f64`, typed arrays, loops, calls) and compiled to the
+//! VM's ISA with a deliberately simple, `-O0`-like code generator: every
+//! scalar local lives in a stack slot and is loaded/stored at each use. That
+//! choice is what gives compiled kernels the *stack-area memory traffic* the
+//! paper's include/exclude-stack experiments are about — e.g. `zeroRealVec`
+//! reads its loop counter from the stack thousands of times while writing a
+//! global buffer once per element, reproducing the > 300× stack-to-global
+//! ratios of Table II.
+
+use tq_isa::HostFn;
+
+/// Scalar type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// 64-bit signed integer (also used for pointers).
+    I64,
+    /// 64-bit float.
+    F64,
+}
+
+/// Array element type; determines access width and extension behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElemTy {
+    /// Signed byte (sign-extended on load).
+    I8,
+    /// Signed 16-bit (sign-extended on load) — PCM audio samples.
+    I16,
+    /// Signed 32-bit (sign-extended on load).
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// Unsigned byte.
+    U8,
+    /// Unsigned 16-bit.
+    U16,
+    /// Unsigned 32-bit.
+    U32,
+    /// 32-bit float (widened to `f64` on load, narrowed on store).
+    F32,
+    /// 64-bit float.
+    F64,
+}
+
+impl ElemTy {
+    /// Element size in bytes.
+    pub fn size(self) -> u32 {
+        match self {
+            ElemTy::I8 | ElemTy::U8 => 1,
+            ElemTy::I16 | ElemTy::U16 => 2,
+            ElemTy::I32 | ElemTy::U32 | ElemTy::F32 => 4,
+            ElemTy::I64 | ElemTy::F64 => 8,
+        }
+    }
+
+    /// The scalar type produced by loading an element.
+    pub fn scalar(self) -> Ty {
+        match self {
+            ElemTy::F32 | ElemTy::F64 => Ty::F64,
+            _ => Ty::I64,
+        }
+    }
+}
+
+/// Binary operators. Integer and float uses are disambiguated by operand
+/// type; comparison results are always `i64` 0/1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (`i64`: signed, ÷0 → 0; `f64`: IEEE).
+    Div,
+    /// Remainder (`i64` only; %0 → 0).
+    Rem,
+    /// Bitwise and (`i64` only).
+    And,
+    /// Bitwise or (`i64` only).
+    Or,
+    /// Bitwise xor (`i64` only).
+    Xor,
+    /// Left shift (`i64` only; count masked to 63).
+    Shl,
+    /// Logical right shift (`i64` only).
+    Shr,
+    /// Arithmetic right shift (`i64` only).
+    Sra,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Minimum (`f64` only).
+    Min,
+    /// Maximum (`f64` only).
+    Max,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Absolute value (`f64` only).
+    Abs,
+    /// Square root (`f64` only).
+    Sqrt,
+    /// Sine (`f64` only).
+    Sin,
+    /// Cosine (`f64` only).
+    Cos,
+    /// `i64` → `f64`.
+    I2F,
+    /// `f64` → `i64` (truncating).
+    F2I,
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    ConstI(i64),
+    /// Float literal.
+    ConstF(f64),
+    /// Read a scalar local or parameter.
+    Var(String),
+    /// Absolute address of a global array (an `i64`).
+    GlobalAddr(String),
+    /// Load `elem` element number `idx` from the array at address `base`.
+    Load {
+        /// Base address expression (`i64`).
+        base: Box<Expr>,
+        /// Element type (width + extension).
+        elem: ElemTy,
+        /// Element index (`i64`).
+        idx: Box<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        e: Box<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// Declare (or re-initialise) a scalar local.
+    Let {
+        /// Variable name.
+        var: String,
+        /// Declared type.
+        ty: Ty,
+        /// Initial value.
+        init: Expr,
+    },
+    /// Assign to an existing local.
+    Assign {
+        /// Variable name.
+        var: String,
+        /// New value.
+        e: Expr,
+    },
+    /// Store `val` as `elem` element number `idx` of the array at `base`.
+    Store {
+        /// Base address (`i64`).
+        base: Expr,
+        /// Element type.
+        elem: ElemTy,
+        /// Element index (`i64`).
+        idx: Expr,
+        /// Value.
+        val: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (`i64`, non-zero = true).
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        els: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition (`i64`).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Counted loop: `for var in lo..hi` (step 1). `hi` is evaluated once.
+    For {
+        /// Induction variable (an `i64` local).
+        var: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Call a function; optionally bind the result to a pre-declared local.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments (matched against the callee's parameters).
+        args: Vec<Expr>,
+        /// Destination local for the return value.
+        ret: Option<String>,
+    },
+    /// Invoke a VM host function; integer args map to `A0..`, float args to
+    /// `FA0..`, an integer result lands in the destination local.
+    Host {
+        /// Host function.
+        func: HostFn,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Destination local for the result (integer host results only).
+        ret: Option<String>,
+    },
+    /// Block copy of `bytes` bytes from address `src` to address `dst` —
+    /// lowers to the ISA's single-instruction `BCpy` (`rep movs`-style).
+    MemCpy {
+        /// Destination address (`i64`).
+        dst: Expr,
+        /// Source address (`i64`).
+        src: Expr,
+        /// Byte count (`i64`).
+        bytes: Expr,
+    },
+    /// Software prefetch of element `idx` of the array at `base`.
+    Prefetch {
+        /// Base address (`i64`).
+        base: Expr,
+        /// Element index, in 8-byte units.
+        idx: Expr,
+    },
+    /// Return from the function.
+    Return(Option<Expr>),
+    /// Exit the innermost enclosing loop.
+    Break,
+    /// Jump to the next iteration of the innermost enclosing loop (a
+    /// `For` loop still performs its increment).
+    Continue,
+}
+
+/// A function parameter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Param {
+    /// Name (becomes a local).
+    pub name: String,
+    /// Type (`I64` doubles as pointer).
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Place this function in the `libsim` library image instead of the
+    /// main image (runtime-support routines; tQUAD can exclude them).
+    pub library: bool,
+}
+
+impl Function {
+    /// Construct an empty main-image function.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret: None,
+            body: Vec::new(),
+            library: false,
+        }
+    }
+
+    /// Add a parameter.
+    pub fn param(mut self, name: impl Into<String>, ty: Ty) -> Self {
+        self.params.push(Param { name: name.into(), ty });
+        self
+    }
+
+    /// Set the return type.
+    pub fn returns(mut self, ty: Ty) -> Self {
+        self.ret = Some(ty);
+        self
+    }
+
+    /// Mark as a library (non-main-image) routine.
+    pub fn in_library(mut self) -> Self {
+        self.library = true;
+        self
+    }
+
+    /// Set the body.
+    pub fn body(mut self, body: Vec<Stmt>) -> Self {
+        self.body = body;
+        self
+    }
+}
+
+/// Initial contents of a global array.
+#[derive(Clone, PartialEq, Debug)]
+pub enum GlobalInit {
+    /// Zero-filled.
+    Zero,
+    /// Raw bytes (must not exceed the array size).
+    Bytes(Vec<u8>),
+    /// `f64` values (for `F64` arrays).
+    F64s(Vec<f64>),
+    /// `i64` values (for `I64` arrays).
+    I64s(Vec<i64>),
+}
+
+/// A global array definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GlobalDef {
+    /// Name, referenced by [`Expr::GlobalAddr`].
+    pub name: String,
+    /// Element type.
+    pub elem: ElemTy,
+    /// Number of elements.
+    pub len: u64,
+    /// Initial contents.
+    pub init: GlobalInit,
+}
+
+/// A compilation unit: globals plus functions; `main` is the entry point.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// Module name (becomes the image name).
+    pub name: String,
+    /// Global arrays.
+    pub globals: Vec<GlobalDef>,
+    /// Functions; must contain `main`.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// New empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), ..Default::default() }
+    }
+
+    /// Add a global array.
+    pub fn global(&mut self, name: impl Into<String>, elem: ElemTy, len: u64, init: GlobalInit) {
+        self.globals.push(GlobalDef { name: name.into(), elem, len, init });
+    }
+
+    /// Add a function.
+    pub fn func(&mut self, f: Function) {
+        self.functions.push(f);
+    }
+
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes_and_scalars() {
+        assert_eq!(ElemTy::I8.size(), 1);
+        assert_eq!(ElemTy::I16.size(), 2);
+        assert_eq!(ElemTy::F32.size(), 4);
+        assert_eq!(ElemTy::F64.size(), 8);
+        assert_eq!(ElemTy::I16.scalar(), Ty::I64);
+        assert_eq!(ElemTy::F32.scalar(), Ty::F64);
+    }
+
+    #[test]
+    fn builders() {
+        let f = Function::new("f")
+            .param("x", Ty::I64)
+            .returns(Ty::I64)
+            .in_library()
+            .body(vec![Stmt::Return(Some(Expr::Var("x".into())))]);
+        assert_eq!(f.params.len(), 1);
+        assert!(f.library);
+
+        let mut m = Module::new("m");
+        m.global("buf", ElemTy::F64, 16, GlobalInit::Zero);
+        m.func(f);
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+    }
+}

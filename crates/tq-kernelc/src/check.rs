@@ -1,0 +1,593 @@
+//! Static checking of kernel modules.
+//!
+//! The language is deliberately rigid — no implicit conversions, flat
+//! per-function scopes — so that the reference interpreter and the code
+//! generator cannot diverge on meaning. Everything the code generator
+//! assumes is validated here first.
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// A compile-time error (shared by the checker and the code generator).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// `main` is missing.
+    NoMain,
+    /// `main` must take no parameters.
+    MainHasParams,
+    /// Two functions share a name.
+    DuplicateFunction(String),
+    /// Two globals share a name.
+    DuplicateGlobal(String),
+    /// A referenced variable is not declared.
+    UnknownVar(String, String),
+    /// A referenced global does not exist.
+    UnknownGlobal(String, String),
+    /// A called function does not exist.
+    UnknownFunction(String, String),
+    /// A variable is used at two different types.
+    TypeMismatch {
+        /// Function containing the problem.
+        func: String,
+        /// Explanation.
+        what: String,
+    },
+    /// Wrong number of call arguments.
+    ArgCount {
+        /// Function containing the call.
+        func: String,
+        /// Callee.
+        callee: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// An expression nests deeper than the scratch register file.
+    ExprTooDeep(String),
+    /// A library routine calls a main-image routine (the link model forbids
+    /// upward calls, as a real shared library cannot call statically into
+    /// the executable).
+    LibraryCallsMain {
+        /// Library routine.
+        lib: String,
+        /// Main-image callee.
+        callee: String,
+    },
+    /// Global initialiser does not fit or has the wrong type.
+    BadGlobalInit(String),
+    /// Too many arguments of one kind for the register convention.
+    TooManyArgs(String),
+    /// `break`/`continue` outside a loop.
+    BreakOutsideLoop(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::NoMain => write!(f, "module has no `main`"),
+            CompileError::MainHasParams => write!(f, "`main` must not take parameters"),
+            CompileError::DuplicateFunction(n) => write!(f, "duplicate function `{n}`"),
+            CompileError::DuplicateGlobal(n) => write!(f, "duplicate global `{n}`"),
+            CompileError::UnknownVar(func, n) => write!(f, "in `{func}`: unknown variable `{n}`"),
+            CompileError::UnknownGlobal(func, n) => write!(f, "in `{func}`: unknown global `{n}`"),
+            CompileError::UnknownFunction(func, n) => {
+                write!(f, "in `{func}`: call to unknown function `{n}`")
+            }
+            CompileError::TypeMismatch { func, what } => write!(f, "in `{func}`: {what}"),
+            CompileError::ArgCount { func, callee, expected, got } => write!(
+                f,
+                "in `{func}`: call to `{callee}` expects {expected} arguments, got {got}"
+            ),
+            CompileError::ExprTooDeep(func) => {
+                write!(f, "in `{func}`: expression exceeds the scratch register file")
+            }
+            CompileError::LibraryCallsMain { lib, callee } => {
+                write!(f, "library routine `{lib}` calls main-image routine `{callee}`")
+            }
+            CompileError::BadGlobalInit(n) => write!(f, "bad initialiser for global `{n}`"),
+            CompileError::TooManyArgs(func) => {
+                write!(f, "in `{func}`: more arguments of one kind than argument registers")
+            }
+            CompileError::BreakOutsideLoop(func) => {
+                write!(f, "in `{func}`: break/continue outside a loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Per-function signature table used by both checker and codegen.
+pub(crate) struct Signatures<'m> {
+    pub by_name: HashMap<&'m str, &'m Function>,
+}
+
+impl<'m> Signatures<'m> {
+    pub fn build(module: &'m Module) -> Result<Self, CompileError> {
+        let mut by_name = HashMap::new();
+        for f in &module.functions {
+            if by_name.insert(f.name.as_str(), f).is_some() {
+                return Err(CompileError::DuplicateFunction(f.name.clone()));
+            }
+        }
+        Ok(Signatures { by_name })
+    }
+}
+
+struct Ck<'m> {
+    module: &'m Module,
+    sigs: Signatures<'m>,
+    globals: HashMap<&'m str, &'m GlobalDef>,
+}
+
+/// Type-check a module. On success the code generator can run without
+/// re-validating.
+pub fn check(module: &Module) -> Result<(), CompileError> {
+    let sigs = Signatures::build(module)?;
+    let mut globals = HashMap::new();
+    for g in &module.globals {
+        if globals.insert(g.name.as_str(), g).is_some() {
+            return Err(CompileError::DuplicateGlobal(g.name.clone()));
+        }
+        check_global_init(g)?;
+    }
+
+    let main = module.function("main").ok_or(CompileError::NoMain)?;
+    if !main.params.is_empty() {
+        return Err(CompileError::MainHasParams);
+    }
+
+    let ck = Ck { module, sigs, globals };
+    for f in &ck.module.functions {
+        ck.check_fn(f)?;
+    }
+    Ok(())
+}
+
+fn check_global_init(g: &GlobalDef) -> Result<(), CompileError> {
+    let size = g.elem.size() as u64 * g.len;
+    let ok = match &g.init {
+        GlobalInit::Zero => true,
+        GlobalInit::Bytes(b) => b.len() as u64 <= size,
+        GlobalInit::F64s(v) => {
+            matches!(g.elem, ElemTy::F64) && v.len() as u64 <= g.len
+        }
+        GlobalInit::I64s(v) => {
+            matches!(g.elem, ElemTy::I64) && v.len() as u64 <= g.len
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(CompileError::BadGlobalInit(g.name.clone()))
+    }
+}
+
+impl<'m> Ck<'m> {
+    fn check_fn(&self, f: &Function) -> Result<(), CompileError> {
+        let mut vars: HashMap<String, Ty> = HashMap::new();
+        for p in &f.params {
+            if vars.insert(p.name.clone(), p.ty).is_some() {
+                return Err(CompileError::TypeMismatch {
+                    func: f.name.clone(),
+                    what: format!("duplicate parameter `{}`", p.name),
+                });
+            }
+        }
+        let (ints, floats) = split_counts(f.params.iter().map(|p| p.ty));
+        if ints > tq_isa::abi::INT_ARGS.len() || floats > tq_isa::abi::FLOAT_ARGS.len() {
+            return Err(CompileError::TooManyArgs(f.name.clone()));
+        }
+        self.check_block(f, &f.body, &mut vars, 0)
+    }
+
+    fn check_block(
+        &self,
+        f: &Function,
+        body: &[Stmt],
+        vars: &mut HashMap<String, Ty>,
+        loop_depth: u32,
+    ) -> Result<(), CompileError> {
+        for s in body {
+            self.check_stmt(f, s, vars, loop_depth)?;
+        }
+        Ok(())
+    }
+
+    fn expect(
+        &self,
+        f: &Function,
+        e: &Expr,
+        ty: Ty,
+        vars: &HashMap<String, Ty>,
+        what: &str,
+    ) -> Result<(), CompileError> {
+        let t = self.ty_of(f, e, vars)?;
+        if t != ty {
+            return Err(CompileError::TypeMismatch {
+                func: f.name.clone(),
+                what: format!("{what}: expected {ty:?}, found {t:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        f: &Function,
+        s: &Stmt,
+        vars: &mut HashMap<String, Ty>,
+        loop_depth: u32,
+    ) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let { var, ty, init } => {
+                self.expect(f, init, *ty, vars, &format!("initialiser of `{var}`"))?;
+                if let Some(prev) = vars.insert(var.clone(), *ty) {
+                    if prev != *ty {
+                        return Err(CompileError::TypeMismatch {
+                            func: f.name.clone(),
+                            what: format!("`{var}` redeclared at a different type"),
+                        });
+                    }
+                }
+            }
+            Stmt::Assign { var, e } => {
+                let ty = *vars
+                    .get(var)
+                    .ok_or_else(|| CompileError::UnknownVar(f.name.clone(), var.clone()))?;
+                self.expect(f, e, ty, vars, &format!("assignment to `{var}`"))?;
+            }
+            Stmt::Store { base, elem, idx, val } => {
+                self.expect(f, base, Ty::I64, vars, "store base")?;
+                self.expect(f, idx, Ty::I64, vars, "store index")?;
+                self.expect(f, val, elem.scalar(), vars, "stored value")?;
+            }
+            Stmt::If { cond, then, els } => {
+                self.expect(f, cond, Ty::I64, vars, "if condition")?;
+                self.check_block(f, then, vars, loop_depth)?;
+                self.check_block(f, els, vars, loop_depth)?;
+            }
+            Stmt::While { cond, body } => {
+                self.expect(f, cond, Ty::I64, vars, "while condition")?;
+                self.check_block(f, body, vars, loop_depth + 1)?;
+            }
+            Stmt::For { var, lo, hi, body } => {
+                self.expect(f, lo, Ty::I64, vars, "for lower bound")?;
+                self.expect(f, hi, Ty::I64, vars, "for upper bound")?;
+                if let Some(prev) = vars.insert(var.clone(), Ty::I64) {
+                    if prev != Ty::I64 {
+                        return Err(CompileError::TypeMismatch {
+                            func: f.name.clone(),
+                            what: format!("loop variable `{var}` previously declared as f64"),
+                        });
+                    }
+                }
+                self.check_block(f, body, vars, loop_depth + 1)?;
+            }
+            Stmt::Break | Stmt::Continue => {
+                if loop_depth == 0 {
+                    return Err(CompileError::BreakOutsideLoop(f.name.clone()));
+                }
+            }
+            Stmt::Call { func, args, ret } => {
+                let callee = self
+                    .sigs
+                    .by_name
+                    .get(func.as_str())
+                    .copied()
+                    .ok_or_else(|| CompileError::UnknownFunction(f.name.clone(), func.clone()))?;
+                if f.library && !callee.library {
+                    return Err(CompileError::LibraryCallsMain {
+                        lib: f.name.clone(),
+                        callee: callee.name.clone(),
+                    });
+                }
+                if args.len() != callee.params.len() {
+                    return Err(CompileError::ArgCount {
+                        func: f.name.clone(),
+                        callee: func.clone(),
+                        expected: callee.params.len(),
+                        got: args.len(),
+                    });
+                }
+                for (a, p) in args.iter().zip(&callee.params) {
+                    self.expect(f, a, p.ty, vars, &format!("argument `{}`", p.name))?;
+                }
+                if let Some(rv) = ret {
+                    let rty = callee.ret.ok_or_else(|| CompileError::TypeMismatch {
+                        func: f.name.clone(),
+                        what: format!("`{func}` returns nothing but result is bound"),
+                    })?;
+                    let vty = *vars
+                        .get(rv)
+                        .ok_or_else(|| CompileError::UnknownVar(f.name.clone(), rv.clone()))?;
+                    if vty != rty {
+                        return Err(CompileError::TypeMismatch {
+                            func: f.name.clone(),
+                            what: format!("result of `{func}` bound to `{rv}` of wrong type"),
+                        });
+                    }
+                }
+            }
+            Stmt::Host { func: _, args, ret } => {
+                let (ints, floats) =
+                    split_counts(args.iter().map(|a| self.ty_of(f, a, vars)).collect::<Result<Vec<_>, _>>()?.into_iter());
+                if ints > tq_isa::abi::INT_ARGS.len() || floats > tq_isa::abi::FLOAT_ARGS.len() {
+                    return Err(CompileError::TooManyArgs(f.name.clone()));
+                }
+                if let Some(rv) = ret {
+                    let vty = *vars
+                        .get(rv)
+                        .ok_or_else(|| CompileError::UnknownVar(f.name.clone(), rv.clone()))?;
+                    if vty != Ty::I64 {
+                        return Err(CompileError::TypeMismatch {
+                            func: f.name.clone(),
+                            what: format!("host result bound to non-i64 `{rv}`"),
+                        });
+                    }
+                }
+            }
+            Stmt::MemCpy { dst, src, bytes } => {
+                self.expect(f, dst, Ty::I64, vars, "memcpy destination")?;
+                self.expect(f, src, Ty::I64, vars, "memcpy source")?;
+                self.expect(f, bytes, Ty::I64, vars, "memcpy length")?;
+            }
+            Stmt::Prefetch { base, idx } => {
+                self.expect(f, base, Ty::I64, vars, "prefetch base")?;
+                self.expect(f, idx, Ty::I64, vars, "prefetch index")?;
+            }
+            Stmt::Return(e) => match (e, f.ret) {
+                (None, None) => {}
+                (Some(e), Some(ty)) => self.expect(f, e, ty, vars, "return value")?,
+                (None, Some(_)) => {
+                    return Err(CompileError::TypeMismatch {
+                        func: f.name.clone(),
+                        what: "empty return in a function returning a value".into(),
+                    })
+                }
+                (Some(_), None) => {
+                    return Err(CompileError::TypeMismatch {
+                        func: f.name.clone(),
+                        what: "value returned from a void function".into(),
+                    })
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// The type of an expression; errors on unknown names and misuse.
+    pub(crate) fn ty_of(
+        &self,
+        f: &Function,
+        e: &Expr,
+        vars: &HashMap<String, Ty>,
+    ) -> Result<Ty, CompileError> {
+        Ok(match e {
+            Expr::ConstI(_) => Ty::I64,
+            Expr::ConstF(_) => Ty::F64,
+            Expr::Var(n) => *vars
+                .get(n)
+                .ok_or_else(|| CompileError::UnknownVar(f.name.clone(), n.clone()))?,
+            Expr::GlobalAddr(n) => {
+                if !self.globals.contains_key(n.as_str()) {
+                    return Err(CompileError::UnknownGlobal(f.name.clone(), n.clone()));
+                }
+                Ty::I64
+            }
+            Expr::Load { base, elem, idx } => {
+                self.expect(f, base, Ty::I64, vars, "load base")?;
+                self.expect(f, idx, Ty::I64, vars, "load index")?;
+                elem.scalar()
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let lt = self.ty_of(f, lhs, vars)?;
+                let rt = self.ty_of(f, rhs, vars)?;
+                if lt != rt {
+                    return Err(CompileError::TypeMismatch {
+                        func: f.name.clone(),
+                        what: format!("operands of {op:?} have different types"),
+                    });
+                }
+                let int_only = matches!(
+                    op,
+                    BinOp::Rem
+                        | BinOp::And
+                        | BinOp::Or
+                        | BinOp::Xor
+                        | BinOp::Shl
+                        | BinOp::Shr
+                        | BinOp::Sra
+                );
+                let float_only = matches!(op, BinOp::Min | BinOp::Max);
+                if int_only && lt != Ty::I64 {
+                    return Err(CompileError::TypeMismatch {
+                        func: f.name.clone(),
+                        what: format!("{op:?} requires i64 operands"),
+                    });
+                }
+                if float_only && lt != Ty::F64 {
+                    return Err(CompileError::TypeMismatch {
+                        func: f.name.clone(),
+                        what: format!("{op:?} requires f64 operands"),
+                    });
+                }
+                match op {
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        Ty::I64
+                    }
+                    _ => lt,
+                }
+            }
+            Expr::Un { op, e } => {
+                let t = self.ty_of(f, e, vars)?;
+                match op {
+                    UnOp::Neg => t,
+                    UnOp::Abs | UnOp::Sqrt | UnOp::Sin | UnOp::Cos => {
+                        if t != Ty::F64 {
+                            return Err(CompileError::TypeMismatch {
+                                func: f.name.clone(),
+                                what: format!("{op:?} requires an f64 operand"),
+                            });
+                        }
+                        Ty::F64
+                    }
+                    UnOp::I2F => {
+                        if t != Ty::I64 {
+                            return Err(CompileError::TypeMismatch {
+                                func: f.name.clone(),
+                                what: "i2f requires an i64 operand".into(),
+                            });
+                        }
+                        Ty::F64
+                    }
+                    UnOp::F2I => {
+                        if t != Ty::F64 {
+                            return Err(CompileError::TypeMismatch {
+                                func: f.name.clone(),
+                                what: "f2i requires an f64 operand".into(),
+                            });
+                        }
+                        Ty::I64
+                    }
+                }
+            }
+        })
+    }
+}
+
+fn split_counts(tys: impl Iterator<Item = Ty>) -> (usize, usize) {
+    let mut ints = 0;
+    let mut floats = 0;
+    for t in tys {
+        match t {
+            Ty::I64 => ints += 1,
+            Ty::F64 => floats += 1,
+        }
+    }
+    (ints, floats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    fn module_with_main(body: Vec<Stmt>) -> Module {
+        let mut m = Module::new("t");
+        m.func(Function::new("main").body(body));
+        m
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let m = Module::new("t");
+        assert_eq!(check(&m), Err(CompileError::NoMain));
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        let mut m = Module::new("t");
+        m.func(Function::new("main").param("x", Ty::I64));
+        assert_eq!(check(&m), Err(CompileError::MainHasParams));
+    }
+
+    #[test]
+    fn simple_ok() {
+        let m = module_with_main(vec![
+            leti("x", ci(1)),
+            letf("y", cf(2.0)),
+            set("x", add(v("x"), ci(1))),
+            set("y", mul(v("y"), cf(3.0))),
+        ]);
+        assert_eq!(check(&m), Ok(()));
+    }
+
+    #[test]
+    fn type_confusion_rejected() {
+        let m = module_with_main(vec![leti("x", cf(1.0))]);
+        assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
+
+        let m = module_with_main(vec![leti("x", ci(1)), set("x", cf(1.0))]);
+        assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
+
+        let m = module_with_main(vec![letf("x", cf(1.0)), leti("y", add(v("x"), ci(1)))]);
+        assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let m = module_with_main(vec![leti("x", v("nope"))]);
+        assert!(matches!(check(&m), Err(CompileError::UnknownVar(..))));
+
+        let m = module_with_main(vec![leti("x", ga("nope"))]);
+        assert!(matches!(check(&m), Err(CompileError::UnknownGlobal(..))));
+
+        let m = module_with_main(vec![call("nope", vec![])]);
+        assert!(matches!(check(&m), Err(CompileError::UnknownFunction(..))));
+    }
+
+    #[test]
+    fn call_arity_and_types() {
+        let mut m = Module::new("t");
+        m.func(
+            Function::new("f")
+                .param("a", Ty::I64)
+                .param("b", Ty::F64)
+                .returns(Ty::F64)
+                .body(vec![ret(v("b"))]),
+        );
+        m.func(Function::new("main").body(vec![
+            letf("r", cf(0.0)),
+            call_ret("r", "f", vec![ci(1), cf(2.0)]),
+        ]));
+        assert_eq!(check(&m), Ok(()));
+
+        let mut bad = m.clone();
+        bad.functions[1].body = vec![call("f", vec![ci(1)])];
+        assert!(matches!(check(&bad), Err(CompileError::ArgCount { .. })));
+
+        let mut bad2 = m.clone();
+        bad2.functions[1].body = vec![call("f", vec![cf(1.0), cf(2.0)])];
+        assert!(matches!(check(&bad2), Err(CompileError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn library_cannot_call_main_image() {
+        let mut m = Module::new("t");
+        m.func(Function::new("app_helper"));
+        m.func(Function::new("lib_fn").in_library().body(vec![call("app_helper", vec![])]));
+        m.func(Function::new("main"));
+        assert!(matches!(check(&m), Err(CompileError::LibraryCallsMain { .. })));
+    }
+
+    #[test]
+    fn int_only_ops_reject_floats() {
+        let m = module_with_main(vec![letf("x", cf(1.0)), letf("y", rem(v("x"), v("x")))]);
+        assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn global_init_validation() {
+        let mut m = Module::new("t");
+        m.global("g", ElemTy::F64, 2, GlobalInit::F64s(vec![1.0, 2.0, 3.0]));
+        m.func(Function::new("main"));
+        assert!(matches!(check(&m), Err(CompileError::BadGlobalInit(_))));
+
+        let mut m2 = Module::new("t");
+        m2.global("g", ElemTy::I32, 2, GlobalInit::F64s(vec![1.0]));
+        m2.func(Function::new("main"));
+        assert!(matches!(check(&m2), Err(CompileError::BadGlobalInit(_))));
+    }
+
+    #[test]
+    fn comparisons_produce_i64() {
+        let m = module_with_main(vec![
+            letf("a", cf(1.0)),
+            leti("c", lt(v("a"), cf(2.0))),
+            if_(v("c"), vec![leti("x", ci(1))]),
+        ]);
+        assert_eq!(check(&m), Ok(()));
+    }
+}

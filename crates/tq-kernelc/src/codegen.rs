@@ -1,0 +1,882 @@
+//! Lowering from the kernel AST to the VM ISA.
+//!
+//! The code generator is intentionally `-O0`-shaped:
+//!
+//! * every scalar local (and every parameter) lives in an 8-byte stack slot
+//!   and is loaded/stored at each use;
+//! * call and host-call arguments are staged through hidden stack slots
+//!   before being moved into the argument registers;
+//! * expression temporaries live in the scratch register files.
+//!
+//! This is what unoptimised compiler output looks like, and it matters for
+//! fidelity: the paper's include/exclude-stack-accesses experiments rely on
+//! kernels with heavy local (stack) traffic next to their global traffic.
+//! Float literals that are not exactly representable in `f32` are placed in
+//! a constant pool in the data segment and loaded with `FLd` — also what
+//! real compilers do, and another source of (global) memory traffic.
+
+use crate::ast::*;
+use crate::check::{check, CompileError, Signatures};
+use crate::layout::GlobalLayout;
+use std::collections::HashMap;
+use tq_isa::{abi, Asm, BrCond, FReg, Inst, MemWidth, Program, Reg};
+use tq_vm::layout::{LIB_TEXT_BASE, MAIN_TEXT_BASE};
+
+/// Result of compiling a module.
+pub struct Compiled {
+    /// The runnable program (main image + `libsim` if any library routines
+    /// exist).
+    pub program: Program,
+    /// Where each global array landed (for staging inputs / reading outputs
+    /// from tests and the application driver).
+    pub layout: GlobalLayout,
+}
+
+/// Compile a checked module to a [`Program`].
+///
+/// ```
+/// use tq_kernelc::dsl::*;
+/// use tq_kernelc::{compile, ElemTy, Function, GlobalInit, Module};
+///
+/// let mut m = Module::new("demo");
+/// m.global("out", ElemTy::I64, 1, GlobalInit::Zero);
+/// m.func(Function::new("main").body(vec![
+///     leti("acc", ci(0)),
+///     for_("i", ci(1), ci(11), vec![set("acc", add(v("acc"), v("i")))]),
+///     sti(ga("out"), ci(0), v("acc")),
+/// ]));
+///
+/// let compiled = compile(&m).unwrap();
+/// let mut vm = tq_vm::Vm::new(compiled.program).unwrap();
+/// vm.run(None).unwrap();
+/// let mut buf = [0u8; 8];
+/// vm.mem_read(compiled.layout.get("out").unwrap().addr, &mut buf).unwrap();
+/// assert_eq!(u64::from_le_bytes(buf), 55);
+/// ```
+pub fn compile(module: &Module) -> Result<Compiled, CompileError> {
+    check(module)?;
+    let layout = GlobalLayout::of(module);
+    let sigs = Signatures::build(module)?;
+
+    let mut consts = ConstPool { base: layout.end(), values: Vec::new() };
+
+    // Library image first: its symbols become externs for the main image.
+    let lib_fns: Vec<&Function> = module.functions.iter().filter(|f| f.library).collect();
+    let main_fns: Vec<&Function> = module.functions.iter().filter(|f| !f.library).collect();
+
+    let mut externs = HashMap::new();
+    let lib_image = if lib_fns.is_empty() {
+        None
+    } else {
+        let mut asm = Asm::new();
+        for f in &lib_fns {
+            gen_fn(f, &sigs, &layout, &mut consts, &mut asm)?;
+        }
+        let img = asm
+            .finish("libsim", LIB_TEXT_BASE, false)
+            .map_err(|e| CompileError::TypeMismatch {
+                func: "<libsim>".into(),
+                what: format!("assembly failed: {e}"),
+            })?;
+        for r in &img.routines {
+            externs.insert(r.name.clone(), r.start);
+        }
+        Some(img)
+    };
+
+    let mut asm = Asm::new();
+    for f in &main_fns {
+        gen_fn(f, &sigs, &layout, &mut consts, &mut asm)?;
+    }
+
+    // Data segments: global initialisers + the float constant pool.
+    for g in &module.globals {
+        if let Some(bytes) = GlobalLayout::init_bytes(g) {
+            let slot = layout.get(&g.name).expect("checked global");
+            asm.data(slot.addr, bytes);
+        }
+    }
+    if !consts.values.is_empty() {
+        let mut bytes = Vec::with_capacity(consts.values.len() * 8);
+        for v in &consts.values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        asm.data(consts.base, bytes);
+    }
+
+    let main_image = asm
+        .finish_with_externs(module.name.clone(), MAIN_TEXT_BASE, true, &externs)
+        .map_err(|e| CompileError::TypeMismatch {
+            func: "<main image>".into(),
+            what: format!("assembly failed: {e}"),
+        })?;
+
+    let entry = main_image
+        .routine_named("main")
+        .expect("checked module has main")
+        .start;
+    let mut program = Program::new(main_image, entry);
+    if let Some(lib) = lib_image {
+        program = program.with_library(lib);
+    }
+    debug_assert_eq!(program.validate(), Ok(()));
+    Ok(Compiled { program, layout })
+}
+
+/// Float constant pool, shared across the whole module.
+struct ConstPool {
+    base: u64,
+    values: Vec<f64>,
+}
+
+impl ConstPool {
+    /// Address of `v` in the pool (deduplicated by bit pattern).
+    fn addr_of(&mut self, v: f64) -> u64 {
+        let bits = v.to_bits();
+        let idx = match self.values.iter().position(|x| x.to_bits() == bits) {
+            Some(i) => i,
+            None => {
+                self.values.push(v);
+                self.values.len() - 1
+            }
+        };
+        self.base + idx as u64 * 8
+    }
+}
+
+/// An expression result: a scratch register of either file.
+enum Operand {
+    I(Reg),
+    F(FReg),
+}
+
+struct FnCg<'a> {
+    f: &'a Function,
+    sigs: &'a Signatures<'a>,
+    layout: &'a GlobalLayout,
+    consts: &'a mut ConstPool,
+    /// name → sp-relative slot offset.
+    slots: HashMap<String, i32>,
+    var_tys: HashMap<String, Ty>,
+    /// Hidden slot offsets in traversal order (For bounds, call staging).
+    hidden: Vec<i32>,
+    hidden_cursor: usize,
+    frame: i32,
+    label_n: u64,
+    ipool: Vec<Reg>,
+    fpool: Vec<FReg>,
+    /// `(break target, continue target)` per enclosing loop.
+    loop_labels: Vec<(String, String)>,
+}
+
+fn gen_fn(
+    f: &Function,
+    sigs: &Signatures<'_>,
+    layout: &GlobalLayout,
+    consts: &mut ConstPool,
+    asm: &mut Asm,
+) -> Result<(), CompileError> {
+    let mut cg = FnCg {
+        f,
+        sigs,
+        layout,
+        consts,
+        slots: HashMap::new(),
+        var_tys: HashMap::new(),
+        hidden: Vec::new(),
+        hidden_cursor: 0,
+        frame: 0,
+        label_n: 0,
+        ipool: abi::TEMPS.to_vec(),
+        fpool: abi::FTEMPS.to_vec(),
+        loop_labels: Vec::new(),
+    };
+
+    // Slot assignment pre-pass: params, then locals and hidden slots in
+    // traversal order (the emit pass repeats the same traversal).
+    for p in &f.params {
+        cg.add_var(&p.name, p.ty);
+    }
+    cg.scan_block(&f.body);
+
+    asm.begin_routine(f.name.clone())
+        .map_err(|e| CompileError::TypeMismatch {
+            func: f.name.clone(),
+            what: format!("duplicate symbol: {e}"),
+        })?;
+
+    // Prologue.
+    if cg.frame > 0 {
+        asm.emit(Inst::AddI { rd: abi::SP, rs1: abi::SP, imm: -cg.frame });
+    }
+    let mut ii = 0;
+    let mut fi = 0;
+    for p in &f.params {
+        let off = cg.slots[&p.name];
+        match p.ty {
+            Ty::I64 => {
+                asm.emit(Inst::St {
+                    rs: abi::INT_ARGS[ii],
+                    base: abi::SP,
+                    off,
+                    width: MemWidth::B8,
+                });
+                ii += 1;
+            }
+            Ty::F64 => {
+                asm.emit(Inst::FSt { fs: abi::FLOAT_ARGS[fi], base: abi::SP, off });
+                fi += 1;
+            }
+        }
+    }
+
+    for s in &f.body {
+        cg.gen_stmt(s, asm)?;
+    }
+
+    // Implicit epilogue for fallthrough off the end of the body.
+    cg.emit_epilogue(None, asm)?;
+    Ok(())
+}
+
+impl<'a> FnCg<'a> {
+    fn add_var(&mut self, name: &str, ty: Ty) {
+        if !self.slots.contains_key(name) {
+            self.slots.insert(name.to_string(), self.frame);
+            self.var_tys.insert(name.to_string(), ty);
+            self.frame += 8;
+        }
+    }
+
+    fn add_hidden(&mut self, n: usize) {
+        for _ in 0..n {
+            self.hidden.push(self.frame);
+            self.frame += 8;
+        }
+    }
+
+    /// Pre-pass: discover locals and hidden slots, in the exact order the
+    /// emit pass consumes them.
+    fn scan_block(&mut self, body: &[Stmt]) {
+        for s in body {
+            match s {
+                Stmt::Let { var, ty, .. } => self.add_var(var, *ty),
+                Stmt::For { var, body, .. } => {
+                    self.add_var(var, Ty::I64);
+                    self.add_hidden(1); // loop bound
+                    self.scan_block(body);
+                }
+                Stmt::If { then, els, .. } => {
+                    self.scan_block(then);
+                    self.scan_block(els);
+                }
+                Stmt::While { body, .. } => self.scan_block(body),
+                Stmt::Call { args, .. } | Stmt::Host { args, .. } => {
+                    self.add_hidden(args.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn next_hidden(&mut self) -> i32 {
+        let off = self.hidden[self.hidden_cursor];
+        self.hidden_cursor += 1;
+        off
+    }
+
+    fn fresh_label(&mut self, tag: &str) -> String {
+        self.label_n += 1;
+        format!("{}${}{}", self.f.name, tag, self.label_n)
+    }
+
+    fn alloc_i(&mut self) -> Result<Reg, CompileError> {
+        self.ipool
+            .pop()
+            .ok_or_else(|| CompileError::ExprTooDeep(self.f.name.clone()))
+    }
+
+    fn alloc_f(&mut self) -> Result<FReg, CompileError> {
+        self.fpool
+            .pop()
+            .ok_or_else(|| CompileError::ExprTooDeep(self.f.name.clone()))
+    }
+
+    fn free(&mut self, op: Operand) {
+        match op {
+            Operand::I(r) => self.ipool.push(r),
+            Operand::F(r) => self.fpool.push(r),
+        }
+    }
+
+    fn slot_of(&self, var: &str) -> i32 {
+        self.slots[var]
+    }
+
+    fn ty_of_var(&self, var: &str) -> Ty {
+        self.var_tys[var]
+    }
+
+    fn emit_epilogue(&mut self, value: Option<&Expr>, asm: &mut Asm) -> Result<(), CompileError> {
+        if self.f.name == "main" {
+            // main exits the VM rather than returning.
+            match value {
+                Some(e) => {
+                    let op = self.gen_expr(e, asm)?;
+                    match op {
+                        Operand::I(r) => {
+                            asm.emit(Inst::Mv { rd: abi::A0, rs: r });
+                            self.free(Operand::I(r));
+                        }
+                        Operand::F(_) => {
+                            return Err(CompileError::TypeMismatch {
+                                func: self.f.name.clone(),
+                                what: "main cannot return f64".into(),
+                            })
+                        }
+                    }
+                }
+                None => asm.emit(Inst::Li { rd: abi::A0, imm: 0 }),
+            }
+            asm.emit(Inst::Host { func: tq_isa::HostFn::Exit });
+            return Ok(());
+        }
+        if let Some(e) = value {
+            let op = self.gen_expr(e, asm)?;
+            match op {
+                Operand::I(r) => {
+                    asm.emit(Inst::Mv { rd: abi::A0, rs: r });
+                    self.free(Operand::I(r));
+                }
+                Operand::F(r) => {
+                    asm.emit(Inst::FMv { fd: abi::FA0, fs: r });
+                    self.free(Operand::F(r));
+                }
+            }
+        }
+        if self.frame > 0 {
+            asm.emit(Inst::AddI { rd: abi::SP, rs1: abi::SP, imm: self.frame });
+        }
+        asm.emit(Inst::Ret);
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt, asm: &mut Asm) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let { var, init, .. } => {
+                let op = self.gen_expr(init, asm)?;
+                self.store_var(var, op, asm);
+            }
+            Stmt::Assign { var, e } => {
+                let op = self.gen_expr(e, asm)?;
+                self.store_var(var, op, asm);
+            }
+            Stmt::Store { base, elem, idx, val } => {
+                let addr = self.gen_addr(base, *elem, idx, asm)?;
+                let op = self.gen_expr(val, asm)?;
+                match (op, elem) {
+                    (Operand::F(fr), ElemTy::F64) => {
+                        asm.emit(Inst::FSt { fs: fr, base: addr, off: 0 });
+                        self.free(Operand::F(fr));
+                    }
+                    (Operand::F(fr), ElemTy::F32) => {
+                        asm.emit(Inst::FSt4 { fs: fr, base: addr, off: 0 });
+                        self.free(Operand::F(fr));
+                    }
+                    (Operand::I(ir), e) => {
+                        let width = match e {
+                            ElemTy::I8 | ElemTy::U8 => MemWidth::B1,
+                            ElemTy::I16 | ElemTy::U16 => MemWidth::B2,
+                            ElemTy::I32 | ElemTy::U32 => MemWidth::B4,
+                            ElemTy::I64 => MemWidth::B8,
+                            _ => unreachable!("checked store type"),
+                        };
+                        asm.emit(Inst::St { rs: ir, base: addr, off: 0, width });
+                        self.free(Operand::I(ir));
+                    }
+                    _ => unreachable!("checked store type"),
+                }
+                self.free(Operand::I(addr));
+            }
+            Stmt::If { cond, then, els } => {
+                let lelse = self.fresh_label("else");
+                let lend = self.fresh_label("endif");
+                self.gen_branch_if_false(cond, &lelse, asm)?;
+                for st in then {
+                    self.gen_stmt(st, asm)?;
+                }
+                asm.jmp(lend.clone());
+                asm.label(lelse).expect("fresh label");
+                for st in els {
+                    self.gen_stmt(st, asm)?;
+                }
+                asm.label(lend).expect("fresh label");
+            }
+            Stmt::While { cond, body } => {
+                let lstart = self.fresh_label("while");
+                let lend = self.fresh_label("endwhile");
+                asm.label(lstart.clone()).expect("fresh label");
+                self.gen_branch_if_false(cond, &lend, asm)?;
+                // continue re-tests the condition; break exits.
+                self.loop_labels.push((lend.clone(), lstart.clone()));
+                for st in body {
+                    self.gen_stmt(st, asm)?;
+                }
+                self.loop_labels.pop();
+                asm.jmp(lstart);
+                asm.label(lend).expect("fresh label");
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let hi_slot = self.next_hidden();
+                let var_slot = self.slot_of(var);
+                // var = lo
+                let op = self.gen_expr(lo, asm)?;
+                let Operand::I(r) = op else { unreachable!("checked i64 bound") };
+                asm.emit(Inst::St { rs: r, base: abi::SP, off: var_slot, width: MemWidth::B8 });
+                self.free(Operand::I(r));
+                // bound = hi (evaluated once)
+                let op = self.gen_expr(hi, asm)?;
+                let Operand::I(r) = op else { unreachable!("checked i64 bound") };
+                asm.emit(Inst::St { rs: r, base: abi::SP, off: hi_slot, width: MemWidth::B8 });
+                self.free(Operand::I(r));
+
+                let lstart = self.fresh_label("for");
+                let lstep = self.fresh_label("forstep");
+                let lend = self.fresh_label("endfor");
+                asm.label(lstart.clone()).expect("fresh label");
+                let a = self.alloc_i()?;
+                let b = self.alloc_i()?;
+                asm.emit(Inst::Ld { rd: a, base: abi::SP, off: var_slot, width: MemWidth::B8 });
+                asm.emit(Inst::Ld { rd: b, base: abi::SP, off: hi_slot, width: MemWidth::B8 });
+                asm.br(BrCond::Ge, a, b, lend.clone());
+                self.ipool.push(a);
+                self.ipool.push(b);
+                // continue jumps to the increment; break past it.
+                self.loop_labels.push((lend.clone(), lstep.clone()));
+                for st in body {
+                    self.gen_stmt(st, asm)?;
+                }
+                self.loop_labels.pop();
+                asm.label(lstep).expect("fresh label");
+                let a = self.alloc_i()?;
+                asm.emit(Inst::Ld { rd: a, base: abi::SP, off: var_slot, width: MemWidth::B8 });
+                asm.emit(Inst::AddI { rd: a, rs1: a, imm: 1 });
+                asm.emit(Inst::St { rs: a, base: abi::SP, off: var_slot, width: MemWidth::B8 });
+                self.ipool.push(a);
+                asm.jmp(lstart);
+                asm.label(lend).expect("fresh label");
+            }
+            Stmt::Call { func, args, ret } => {
+                let callee = *self.sigs.by_name.get(func.as_str()).expect("checked callee");
+                self.gen_args(args, asm)?;
+                self.load_args(&callee.params.iter().map(|p| p.ty).collect::<Vec<_>>(), args.len(), asm);
+                asm.call(func.clone());
+                if let Some(rv) = ret {
+                    let off = self.slot_of(rv);
+                    match callee.ret.expect("checked ret") {
+                        Ty::I64 => asm.emit(Inst::St {
+                            rs: abi::A0,
+                            base: abi::SP,
+                            off,
+                            width: MemWidth::B8,
+                        }),
+                        Ty::F64 => asm.emit(Inst::FSt { fs: abi::FA0, base: abi::SP, off }),
+                    }
+                }
+            }
+            Stmt::Host { func, args, ret } => {
+                // Determine arg scalar types for register mapping.
+                let tys: Vec<Ty> = args.iter().map(|a| self.expr_ty(a)).collect();
+                self.gen_args(args, asm)?;
+                self.load_args(&tys, args.len(), asm);
+                asm.emit(Inst::Host { func: *func });
+                if let Some(rv) = ret {
+                    let off = self.slot_of(rv);
+                    asm.emit(Inst::St { rs: abi::A0, base: abi::SP, off, width: MemWidth::B8 });
+                }
+            }
+            Stmt::MemCpy { dst, src, bytes } => {
+                let d_op = self.gen_expr(dst, asm)?;
+                let s_op = self.gen_expr(src, asm)?;
+                let n_op = self.gen_expr(bytes, asm)?;
+                let (Operand::I(dr), Operand::I(sr), Operand::I(nr)) = (d_op, s_op, n_op) else {
+                    unreachable!("checked i64 memcpy operands")
+                };
+                asm.emit(Inst::BCpy { dst: dr, src: sr, len: nr });
+                self.ipool.push(dr);
+                self.ipool.push(sr);
+                self.ipool.push(nr);
+            }
+            Stmt::Prefetch { base, idx } => {
+                let addr = self.gen_addr(base, ElemTy::I64, idx, asm)?;
+                asm.emit(Inst::Prefetch { base: addr, off: 0 });
+                self.free(Operand::I(addr));
+            }
+            Stmt::Return(e) => {
+                self.emit_epilogue(e.as_ref(), asm)?;
+            }
+            Stmt::Break => {
+                let (brk, _) = self.loop_labels.last().expect("checked: inside a loop").clone();
+                asm.jmp(brk);
+            }
+            Stmt::Continue => {
+                let (_, cont) = self.loop_labels.last().expect("checked: inside a loop").clone();
+                asm.jmp(cont);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate call/host arguments into their hidden staging slots, in
+    /// order. Consumes one hidden slot per argument.
+    fn gen_args(&mut self, args: &[Expr], asm: &mut Asm) -> Result<Vec<i32>, CompileError> {
+        let mut offs = Vec::with_capacity(args.len());
+        for a in args {
+            let off = self.next_hidden();
+            let op = self.gen_expr(a, asm)?;
+            match op {
+                Operand::I(r) => {
+                    asm.emit(Inst::St { rs: r, base: abi::SP, off, width: MemWidth::B8 });
+                    self.free(Operand::I(r));
+                }
+                Operand::F(r) => {
+                    asm.emit(Inst::FSt { fs: r, base: abi::SP, off });
+                    self.free(Operand::F(r));
+                }
+            }
+            offs.push(off);
+        }
+        // Remember where they are for load_args (slots were consumed in
+        // order, so the last `args.len()` hidden offsets are ours).
+        Ok(offs)
+    }
+
+    /// Load staged arguments into the argument registers by type order.
+    fn load_args(&mut self, tys: &[Ty], n: usize, asm: &mut Asm) {
+        let start = self.hidden_cursor - n;
+        let mut ii = 0;
+        let mut fi = 0;
+        for (k, ty) in tys.iter().enumerate() {
+            let off = self.hidden[start + k];
+            match ty {
+                Ty::I64 => {
+                    asm.emit(Inst::Ld {
+                        rd: abi::INT_ARGS[ii],
+                        base: abi::SP,
+                        off,
+                        width: MemWidth::B8,
+                    });
+                    ii += 1;
+                }
+                Ty::F64 => {
+                    asm.emit(Inst::FLd { fd: abi::FLOAT_ARGS[fi], base: abi::SP, off });
+                    fi += 1;
+                }
+            }
+        }
+    }
+
+    /// Best-effort expression typing for host-arg register mapping (the
+    /// checker has already validated the module, so names resolve).
+    fn expr_ty(&self, e: &Expr) -> Ty {
+        match e {
+            Expr::ConstI(_) | Expr::GlobalAddr(_) => Ty::I64,
+            Expr::ConstF(_) => Ty::F64,
+            Expr::Var(n) => self.ty_of_var(n),
+            Expr::Load { elem, .. } => elem.scalar(),
+            Expr::Bin { op, lhs, .. } => match op {
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => Ty::I64,
+                _ => self.expr_ty(lhs),
+            },
+            Expr::Un { op, e } => match op {
+                UnOp::I2F => Ty::F64,
+                UnOp::F2I => Ty::I64,
+                UnOp::Abs | UnOp::Sqrt | UnOp::Sin | UnOp::Cos => Ty::F64,
+                UnOp::Neg => self.expr_ty(e),
+            },
+        }
+    }
+
+    fn store_var(&mut self, var: &str, op: Operand, asm: &mut Asm) {
+        let off = self.slot_of(var);
+        match op {
+            Operand::I(r) => {
+                asm.emit(Inst::St { rs: r, base: abi::SP, off, width: MemWidth::B8 });
+                self.free(Operand::I(r));
+            }
+            Operand::F(r) => {
+                asm.emit(Inst::FSt { fs: r, base: abi::SP, off });
+                self.free(Operand::F(r));
+            }
+        }
+    }
+
+    /// Branch to `target` when `cond` evaluates to zero.
+    fn gen_branch_if_false(
+        &mut self,
+        cond: &Expr,
+        target: &str,
+        asm: &mut Asm,
+    ) -> Result<(), CompileError> {
+        let op = self.gen_expr(cond, asm)?;
+        let Operand::I(c) = op else { unreachable!("checked i64 condition") };
+        let z = self.alloc_i()?;
+        asm.emit(Inst::Li { rd: z, imm: 0 });
+        asm.br(BrCond::Eq, c, z, target.to_string());
+        self.ipool.push(z);
+        self.ipool.push(c);
+        Ok(())
+    }
+
+    /// Compute `base + idx * elem.size()` into a fresh integer register.
+    fn gen_addr(
+        &mut self,
+        base: &Expr,
+        elem: ElemTy,
+        idx: &Expr,
+        asm: &mut Asm,
+    ) -> Result<Reg, CompileError> {
+        let b = match self.gen_expr(base, asm)? {
+            Operand::I(r) => r,
+            Operand::F(_) => unreachable!("checked i64 base"),
+        };
+        let i = match self.gen_expr(idx, asm)? {
+            Operand::I(r) => r,
+            Operand::F(_) => unreachable!("checked i64 index"),
+        };
+        let size = elem.size() as i32;
+        if size != 1 {
+            asm.emit(Inst::MulI { rd: i, rs1: i, imm: size });
+        }
+        asm.emit(Inst::Add { rd: b, rs1: b, rs2: i });
+        self.ipool.push(i);
+        Ok(b)
+    }
+
+    fn gen_expr(&mut self, e: &Expr, asm: &mut Asm) -> Result<Operand, CompileError> {
+        Ok(match e {
+            Expr::ConstI(v) => {
+                let r = self.alloc_i()?;
+                emit_const_i64(*v, r, asm);
+                Operand::I(r)
+            }
+            Expr::ConstF(v) => {
+                let f = self.alloc_f()?;
+                if (*v as f32) as f64 == *v {
+                    asm.emit(Inst::FLi { fd: f, value: *v as f32 });
+                } else {
+                    // Full-precision constants come from the pool.
+                    let addr = self.consts.addr_of(*v);
+                    let r = self.alloc_i()?;
+                    emit_const_i64(addr as i64, r, asm);
+                    asm.emit(Inst::FLd { fd: f, base: r, off: 0 });
+                    self.ipool.push(r);
+                }
+                Operand::F(f)
+            }
+            Expr::Var(n) => {
+                let off = self.slot_of(n);
+                match self.ty_of_var(n) {
+                    Ty::I64 => {
+                        let r = self.alloc_i()?;
+                        asm.emit(Inst::Ld { rd: r, base: abi::SP, off, width: MemWidth::B8 });
+                        Operand::I(r)
+                    }
+                    Ty::F64 => {
+                        let f = self.alloc_f()?;
+                        asm.emit(Inst::FLd { fd: f, base: abi::SP, off });
+                        Operand::F(f)
+                    }
+                }
+            }
+            Expr::GlobalAddr(n) => {
+                let slot = self.layout.get(n).expect("checked global");
+                let r = self.alloc_i()?;
+                emit_const_i64(slot.addr as i64, r, asm);
+                Operand::I(r)
+            }
+            Expr::Load { base, elem, idx } => {
+                let addr = self.gen_addr(base, *elem, idx, asm)?;
+                match elem {
+                    ElemTy::F64 => {
+                        let f = self.alloc_f()?;
+                        asm.emit(Inst::FLd { fd: f, base: addr, off: 0 });
+                        self.ipool.push(addr);
+                        Operand::F(f)
+                    }
+                    ElemTy::F32 => {
+                        let f = self.alloc_f()?;
+                        asm.emit(Inst::FLd4 { fd: f, base: addr, off: 0 });
+                        self.ipool.push(addr);
+                        Operand::F(f)
+                    }
+                    e => {
+                        let (width, sign_bits) = match e {
+                            ElemTy::I8 => (MemWidth::B1, 56),
+                            ElemTy::U8 => (MemWidth::B1, 0),
+                            ElemTy::I16 => (MemWidth::B2, 48),
+                            ElemTy::U16 => (MemWidth::B2, 0),
+                            ElemTy::I32 => (MemWidth::B4, 32),
+                            ElemTy::U32 => (MemWidth::B4, 0),
+                            ElemTy::I64 => (MemWidth::B8, 0),
+                            _ => unreachable!(),
+                        };
+                        asm.emit(Inst::Ld { rd: addr, base: addr, off: 0, width });
+                        if sign_bits != 0 {
+                            asm.emit(Inst::ShlI { rd: addr, rs1: addr, imm: sign_bits });
+                            asm.emit(Inst::SraI { rd: addr, rs1: addr, imm: sign_bits });
+                        }
+                        Operand::I(addr)
+                    }
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let l = self.gen_expr(lhs, asm)?;
+                let r = self.gen_expr(rhs, asm)?;
+                self.gen_bin(*op, l, r, asm)?
+            }
+            Expr::Un { op, e } => {
+                let v = self.gen_expr(e, asm)?;
+                match (op, v) {
+                    (UnOp::Neg, Operand::I(r)) => {
+                        let z = self.alloc_i()?;
+                        asm.emit(Inst::Li { rd: z, imm: 0 });
+                        asm.emit(Inst::Sub { rd: r, rs1: z, rs2: r });
+                        self.ipool.push(z);
+                        Operand::I(r)
+                    }
+                    (UnOp::Neg, Operand::F(f)) => {
+                        asm.emit(Inst::FNeg { fd: f, fs: f });
+                        Operand::F(f)
+                    }
+                    (UnOp::Abs, Operand::F(f)) => {
+                        asm.emit(Inst::FAbs { fd: f, fs: f });
+                        Operand::F(f)
+                    }
+                    (UnOp::Sqrt, Operand::F(f)) => {
+                        asm.emit(Inst::FSqrt { fd: f, fs: f });
+                        Operand::F(f)
+                    }
+                    (UnOp::Sin, Operand::F(f)) => {
+                        asm.emit(Inst::FSin { fd: f, fs: f });
+                        Operand::F(f)
+                    }
+                    (UnOp::Cos, Operand::F(f)) => {
+                        asm.emit(Inst::FCos { fd: f, fs: f });
+                        Operand::F(f)
+                    }
+                    (UnOp::I2F, Operand::I(r)) => {
+                        let f = self.alloc_f()?;
+                        asm.emit(Inst::ItoF { fd: f, rs: r });
+                        self.ipool.push(r);
+                        Operand::F(f)
+                    }
+                    (UnOp::F2I, Operand::F(f)) => {
+                        let r = self.alloc_i()?;
+                        asm.emit(Inst::FtoI { rd: r, fs: f });
+                        self.fpool.push(f);
+                        Operand::I(r)
+                    }
+                    _ => unreachable!("checked unary op typing"),
+                }
+            }
+        })
+    }
+
+    fn gen_bin(
+        &mut self,
+        op: BinOp,
+        l: Operand,
+        r: Operand,
+        asm: &mut Asm,
+    ) -> Result<Operand, CompileError> {
+        Ok(match (l, r) {
+            (Operand::I(a), Operand::I(b)) => {
+                let out = a;
+                match op {
+                    BinOp::Add => asm.emit(Inst::Add { rd: out, rs1: a, rs2: b }),
+                    BinOp::Sub => asm.emit(Inst::Sub { rd: out, rs1: a, rs2: b }),
+                    BinOp::Mul => asm.emit(Inst::Mul { rd: out, rs1: a, rs2: b }),
+                    BinOp::Div => asm.emit(Inst::Div { rd: out, rs1: a, rs2: b }),
+                    BinOp::Rem => asm.emit(Inst::Rem { rd: out, rs1: a, rs2: b }),
+                    BinOp::And => asm.emit(Inst::And { rd: out, rs1: a, rs2: b }),
+                    BinOp::Or => asm.emit(Inst::Or { rd: out, rs1: a, rs2: b }),
+                    BinOp::Xor => asm.emit(Inst::Xor { rd: out, rs1: a, rs2: b }),
+                    BinOp::Shl => asm.emit(Inst::Shl { rd: out, rs1: a, rs2: b }),
+                    BinOp::Shr => asm.emit(Inst::Shr { rd: out, rs1: a, rs2: b }),
+                    BinOp::Sra => asm.emit(Inst::Sra { rd: out, rs1: a, rs2: b }),
+                    BinOp::Lt => asm.emit(Inst::Slt { rd: out, rs1: a, rs2: b }),
+                    BinOp::Gt => asm.emit(Inst::Slt { rd: out, rs1: b, rs2: a }),
+                    BinOp::Le => {
+                        asm.emit(Inst::Slt { rd: out, rs1: b, rs2: a });
+                        asm.emit(Inst::XorI { rd: out, rs1: out, imm: 1 });
+                    }
+                    BinOp::Ge => {
+                        asm.emit(Inst::Slt { rd: out, rs1: a, rs2: b });
+                        asm.emit(Inst::XorI { rd: out, rs1: out, imm: 1 });
+                    }
+                    BinOp::Eq => {
+                        asm.emit(Inst::Xor { rd: out, rs1: a, rs2: b });
+                        let one = self.alloc_i()?;
+                        asm.emit(Inst::Li { rd: one, imm: 1 });
+                        asm.emit(Inst::Sltu { rd: out, rs1: out, rs2: one });
+                        self.ipool.push(one);
+                    }
+                    BinOp::Ne => {
+                        asm.emit(Inst::Xor { rd: out, rs1: a, rs2: b });
+                        let z = self.alloc_i()?;
+                        asm.emit(Inst::Li { rd: z, imm: 0 });
+                        asm.emit(Inst::Sltu { rd: out, rs1: z, rs2: out });
+                        self.ipool.push(z);
+                    }
+                    BinOp::Min | BinOp::Max => unreachable!("checked float-only op"),
+                }
+                self.ipool.push(b);
+                Operand::I(out)
+            }
+            (Operand::F(a), Operand::F(b)) => {
+                match op {
+                    BinOp::Add => asm.emit(Inst::FAdd { fd: a, fs1: a, fs2: b }),
+                    BinOp::Sub => asm.emit(Inst::FSub { fd: a, fs1: a, fs2: b }),
+                    BinOp::Mul => asm.emit(Inst::FMul { fd: a, fs1: a, fs2: b }),
+                    BinOp::Div => asm.emit(Inst::FDiv { fd: a, fs1: a, fs2: b }),
+                    BinOp::Min => asm.emit(Inst::FMin { fd: a, fs1: a, fs2: b }),
+                    BinOp::Max => asm.emit(Inst::FMax { fd: a, fs1: a, fs2: b }),
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        let out = self.alloc_i()?;
+                        match op {
+                            BinOp::Lt => asm.emit(Inst::FLt { rd: out, fs1: a, fs2: b }),
+                            BinOp::Gt => asm.emit(Inst::FLt { rd: out, fs1: b, fs2: a }),
+                            BinOp::Le => asm.emit(Inst::FLe { rd: out, fs1: a, fs2: b }),
+                            BinOp::Ge => asm.emit(Inst::FLe { rd: out, fs1: b, fs2: a }),
+                            BinOp::Eq => asm.emit(Inst::FEq { rd: out, fs1: a, fs2: b }),
+                            BinOp::Ne => {
+                                asm.emit(Inst::FEq { rd: out, fs1: a, fs2: b });
+                                asm.emit(Inst::XorI { rd: out, rs1: out, imm: 1 });
+                            }
+                            _ => unreachable!(),
+                        }
+                        self.fpool.push(a);
+                        self.fpool.push(b);
+                        return Ok(Operand::I(out));
+                    }
+                    _ => unreachable!("checked int-only op"),
+                }
+                self.fpool.push(b);
+                Operand::F(a)
+            }
+            _ => unreachable!("checked operand types match"),
+        })
+    }
+}
+
+/// Materialise a 64-bit constant (splits into `Li` + `OrHi` when it does not
+/// fit a sign-extended 32-bit immediate).
+fn emit_const_i64(v: i64, rd: Reg, asm: &mut Asm) {
+    if v >= i32::MIN as i64 && v <= i32::MAX as i64 {
+        asm.emit(Inst::Li { rd, imm: v as i32 });
+    } else {
+        asm.emit(Inst::Li { rd, imm: v as u32 as i32 });
+        asm.emit(Inst::OrHi { rd, imm: (v >> 32) as i32 });
+    }
+}

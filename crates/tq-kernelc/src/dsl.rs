@@ -1,0 +1,253 @@
+//! Terse constructors for building kernel ASTs in Rust.
+//!
+//! The wfs application (21 kernels) is assembled with these helpers; they
+//! keep kernel definitions close to the pseudo-C shape of the original
+//! sources.
+
+use crate::ast::{BinOp, ElemTy, Expr, Stmt, Ty, UnOp};
+use tq_isa::HostFn;
+
+/// Integer literal.
+pub fn ci(v: i64) -> Expr {
+    Expr::ConstI(v)
+}
+
+/// Float literal.
+pub fn cf(v: f64) -> Expr {
+    Expr::ConstF(v)
+}
+
+/// Variable read.
+pub fn v(name: &str) -> Expr {
+    Expr::Var(name.to_string())
+}
+
+/// Address of a global array.
+pub fn ga(name: &str) -> Expr {
+    Expr::GlobalAddr(name.to_string())
+}
+
+/// Typed array load.
+pub fn load(base: Expr, elem: ElemTy, idx: Expr) -> Expr {
+    Expr::Load { base: Box::new(base), elem, idx: Box::new(idx) }
+}
+
+/// `f64` array load.
+pub fn ldf(base: Expr, idx: Expr) -> Expr {
+    load(base, ElemTy::F64, idx)
+}
+
+/// `i64` array load.
+pub fn ldi(base: Expr, idx: Expr) -> Expr {
+    load(base, ElemTy::I64, idx)
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::Bin { op, lhs: Box::new(a), rhs: Box::new(b) }
+}
+
+/// `a + b`.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Add, a, b)
+}
+/// `a - b`.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Sub, a, b)
+}
+/// `a * b`.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Mul, a, b)
+}
+/// `a / b`.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Div, a, b)
+}
+/// `a % b` (integers).
+pub fn rem(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Rem, a, b)
+}
+/// Bitwise and.
+pub fn band(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::And, a, b)
+}
+/// Bitwise or.
+pub fn bor(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Or, a, b)
+}
+/// Bitwise xor.
+pub fn bxor(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Xor, a, b)
+}
+/// Left shift.
+pub fn shl(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Shl, a, b)
+}
+/// Logical right shift.
+pub fn shr(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Shr, a, b)
+}
+/// `a < b` (0/1).
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Lt, a, b)
+}
+/// `a <= b`.
+pub fn le(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Le, a, b)
+}
+/// `a > b`.
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Gt, a, b)
+}
+/// `a >= b`.
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ge, a, b)
+}
+/// `a == b`.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Eq, a, b)
+}
+/// `a != b`.
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ne, a, b)
+}
+/// `min(a, b)` (floats).
+pub fn fmin(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Min, a, b)
+}
+/// `max(a, b)` (floats).
+pub fn fmax(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Max, a, b)
+}
+
+fn un(op: UnOp, e: Expr) -> Expr {
+    Expr::Un { op, e: Box::new(e) }
+}
+
+/// `-e`.
+pub fn neg(e: Expr) -> Expr {
+    un(UnOp::Neg, e)
+}
+/// `|e|` (float).
+pub fn fabs(e: Expr) -> Expr {
+    un(UnOp::Abs, e)
+}
+/// `√e`.
+pub fn sqrt(e: Expr) -> Expr {
+    un(UnOp::Sqrt, e)
+}
+/// `sin e`.
+pub fn sin(e: Expr) -> Expr {
+    un(UnOp::Sin, e)
+}
+/// `cos e`.
+pub fn cos(e: Expr) -> Expr {
+    un(UnOp::Cos, e)
+}
+/// `i64` → `f64`.
+pub fn i2f(e: Expr) -> Expr {
+    un(UnOp::I2F, e)
+}
+/// `f64` → `i64`.
+pub fn f2i(e: Expr) -> Expr {
+    un(UnOp::F2I, e)
+}
+
+/// Declare an `i64` local.
+pub fn leti(var: &str, init: Expr) -> Stmt {
+    Stmt::Let { var: var.to_string(), ty: Ty::I64, init }
+}
+
+/// Declare an `f64` local.
+pub fn letf(var: &str, init: Expr) -> Stmt {
+    Stmt::Let { var: var.to_string(), ty: Ty::F64, init }
+}
+
+/// Assign to a local.
+pub fn set(var: &str, e: Expr) -> Stmt {
+    Stmt::Assign { var: var.to_string(), e }
+}
+
+/// Typed array store.
+pub fn store(base: Expr, elem: ElemTy, idx: Expr, val: Expr) -> Stmt {
+    Stmt::Store { base, elem, idx, val }
+}
+
+/// `f64` array store.
+pub fn stf(base: Expr, idx: Expr, val: Expr) -> Stmt {
+    store(base, ElemTy::F64, idx, val)
+}
+
+/// `i64` array store.
+pub fn sti(base: Expr, idx: Expr, val: Expr) -> Stmt {
+    store(base, ElemTy::I64, idx, val)
+}
+
+/// `if cond { then }`.
+pub fn if_(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then, els: Vec::new() }
+}
+
+/// `if cond { then } else { els }`.
+pub fn if_else(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then, els }
+}
+
+/// `while cond { body }`.
+pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::While { cond, body }
+}
+
+/// `for var in lo..hi { body }`.
+pub fn for_(var: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var: var.to_string(), lo, hi, body }
+}
+
+/// Call with no result.
+pub fn call(func: &str, args: Vec<Expr>) -> Stmt {
+    Stmt::Call { func: func.to_string(), args, ret: None }
+}
+
+/// Call binding the result to `ret`.
+pub fn call_ret(ret: &str, func: &str, args: Vec<Expr>) -> Stmt {
+    Stmt::Call { func: func.to_string(), args, ret: Some(ret.to_string()) }
+}
+
+/// Host call with no result.
+pub fn host(func: HostFn, args: Vec<Expr>) -> Stmt {
+    Stmt::Host { func, args, ret: None }
+}
+
+/// Host call binding the integer result to `ret`.
+pub fn host_ret(ret: &str, func: HostFn, args: Vec<Expr>) -> Stmt {
+    Stmt::Host { func, args, ret: Some(ret.to_string()) }
+}
+
+/// Block copy (single-instruction `memcpy`).
+pub fn memcpy_(dst: Expr, src: Expr, bytes: Expr) -> Stmt {
+    Stmt::MemCpy { dst, src, bytes }
+}
+
+/// Software prefetch.
+pub fn prefetch(base: Expr, idx: Expr) -> Stmt {
+    Stmt::Prefetch { base, idx }
+}
+
+/// `return e`.
+pub fn ret(e: Expr) -> Stmt {
+    Stmt::Return(Some(e))
+}
+
+/// `return` (void).
+pub fn ret_void() -> Stmt {
+    Stmt::Return(None)
+}
+
+/// `break` out of the innermost loop.
+pub fn brk() -> Stmt {
+    Stmt::Break
+}
+
+/// `continue` the innermost loop.
+pub fn cont() -> Stmt {
+    Stmt::Continue
+}

@@ -1,0 +1,124 @@
+//! Global-array address assignment, shared by the code generator and the
+//! reference interpreter so that compiled code and reference execution read
+//! and write the *same* simulated addresses.
+
+use crate::ast::{ElemTy, GlobalDef, GlobalInit, Module};
+use std::collections::HashMap;
+use tq_vm::layout::GLOBALS_BASE;
+
+/// One laid-out global.
+#[derive(Clone, Copy, Debug)]
+pub struct GlobalSlot {
+    /// Absolute base address.
+    pub addr: u64,
+    /// Element type.
+    pub elem: ElemTy,
+    /// Element count.
+    pub len: u64,
+}
+
+impl GlobalSlot {
+    /// Size in bytes.
+    pub fn size(&self) -> u64 {
+        self.elem.size() as u64 * self.len
+    }
+}
+
+/// Addresses of every global in a module.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalLayout {
+    map: HashMap<String, GlobalSlot>,
+    end: u64,
+}
+
+impl GlobalLayout {
+    /// Lay out the globals of `module` starting at
+    /// [`tq_vm::layout::GLOBALS_BASE`], each 8-byte aligned, in declaration
+    /// order.
+    pub fn of(module: &Module) -> GlobalLayout {
+        let mut map = HashMap::new();
+        let mut addr = GLOBALS_BASE;
+        for g in &module.globals {
+            let slot = GlobalSlot { addr, elem: g.elem, len: g.len };
+            map.insert(g.name.clone(), slot);
+            addr += (slot.size() + 7) & !7;
+        }
+        GlobalLayout { map, end: addr }
+    }
+
+    /// Address and shape of a global.
+    pub fn get(&self, name: &str) -> Option<GlobalSlot> {
+        self.map.get(name).copied()
+    }
+
+    /// One past the last allocated byte (where the code generator places its
+    /// float constant pool).
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Initial bytes for a global (used both for image data segments and for
+    /// seeding the interpreter memory). `None` for all-zero initialisers —
+    /// fresh memory is already zero.
+    pub fn init_bytes(def: &GlobalDef) -> Option<Vec<u8>> {
+        match &def.init {
+            GlobalInit::Zero => None,
+            GlobalInit::Bytes(b) => Some(b.clone()),
+            GlobalInit::F64s(vals) => {
+                let mut out = Vec::with_capacity(vals.len() * 8);
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Some(out)
+            }
+            GlobalInit::I64s(vals) => {
+                let mut out = Vec::with_capacity(vals.len() * 8);
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Function, Module};
+
+    #[test]
+    fn globals_are_packed_and_aligned() {
+        let mut m = Module::new("t");
+        m.global("a", ElemTy::I16, 3, GlobalInit::Zero); // 6 bytes → pads to 8
+        m.global("b", ElemTy::F64, 2, GlobalInit::Zero); // 16 bytes
+        m.global("c", ElemTy::U8, 1, GlobalInit::Zero); // 1 byte → pads to 8
+        m.func(Function::new("main"));
+        let l = GlobalLayout::of(&m);
+        let a = l.get("a").unwrap();
+        let b = l.get("b").unwrap();
+        let c = l.get("c").unwrap();
+        assert_eq!(a.addr, GLOBALS_BASE);
+        assert_eq!(b.addr, GLOBALS_BASE + 8);
+        assert_eq!(c.addr, GLOBALS_BASE + 24);
+        assert_eq!(l.end(), GLOBALS_BASE + 32);
+        assert!(l.get("missing").is_none());
+    }
+
+    #[test]
+    fn init_bytes_encodings() {
+        let g = GlobalDef {
+            name: "g".into(),
+            elem: ElemTy::F64,
+            len: 2,
+            init: GlobalInit::F64s(vec![1.0, -2.0]),
+        };
+        let b = GlobalLayout::init_bytes(&g).unwrap();
+        assert_eq!(b.len(), 16);
+        assert_eq!(f64::from_le_bytes(b[0..8].try_into().unwrap()), 1.0);
+        assert_eq!(f64::from_le_bytes(b[8..16].try_into().unwrap()), -2.0);
+
+        let z = GlobalDef { name: "z".into(), elem: ElemTy::I64, len: 4, init: GlobalInit::Zero };
+        assert!(GlobalLayout::init_bytes(&z).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # tq-kernelc — the kernel compiler
+//!
+//! The paper's case study profiles the *hArtes wfs* C application. The
+//! reproduction rebuilds that application in a small imperative kernel
+//! language and compiles it onto the [`tq_vm`] virtual machine with a
+//! deliberately `-O0`-like code generator (stack-resident locals, staged
+//! call arguments), so that compiled kernels exhibit the stack-versus-global
+//! memory traffic the paper's experiments measure.
+//!
+//! * [`ast`] — the typed AST ([`Module`], [`Function`], [`Stmt`], [`Expr`]);
+//! * [`dsl`] — terse constructors used to write kernels in Rust;
+//! * [`check()`] — static validation shared by both back ends;
+//! * [`interp`] — a reference interpreter with bit-identical scalar
+//!   semantics, used for differential testing of the compiler;
+//! * [`codegen`] — lowering to [`tq_isa`] images ([`compile`]);
+//! * [`opt`] — optional constant folding / dead-branch elimination (the
+//!   `-O0` vs `-O1` ablation; the default stays `-O0` for profile
+//!   fidelity).
+
+pub mod ast;
+pub mod check;
+pub mod codegen;
+pub mod dsl;
+pub mod interp;
+pub mod layout;
+pub mod opt;
+
+pub use ast::{BinOp, ElemTy, Expr, Function, GlobalDef, GlobalInit, Module, Param, Stmt, Ty, UnOp};
+pub use check::{check, CompileError};
+pub use codegen::{compile, Compiled};
+pub use interp::{CallOutcome, Interp, InterpError, Value};
+pub use layout::{GlobalLayout, GlobalSlot};
+pub use opt::{fold_expr, fold_module};

@@ -1,0 +1,251 @@
+//! Constant folding and branch simplification — an optional `-O1`-style
+//! pass over the AST.
+//!
+//! The default pipeline compiles at `-O0` on purpose: the paper's
+//! include/exclude-stack experiments depend on unoptimised code's local
+//! traffic (see `codegen`). This pass exists for the *ablation*: folding
+//! shrinks instruction counts and shifts the stack/global traffic balance,
+//! demonstrating on our own substrate why the paper's bytes-per-instruction
+//! numbers are compiler-sensitive while the access-pattern *shapes*
+//! (UnMA footprints, phases, producer→consumer structure) are not.
+//!
+//! Folding reuses the interpreter's scalar semantics verbatim
+//! ([`crate::interp`]'s `eval_bin`), so a folded program cannot diverge
+//! from its unfolded meaning — property-tested in
+//! `tests/prop_differential.rs`.
+
+use crate::ast::*;
+use crate::interp::{eval_bin, Value};
+
+/// Fold a whole module. The input is unchanged; the result is
+/// semantically identical (same memory effects and results, typically
+/// fewer instructions once compiled).
+pub fn fold_module(module: &Module) -> Module {
+    let mut out = module.clone();
+    for f in &mut out.functions {
+        f.body = fold_block(std::mem::take(&mut f.body));
+    }
+    out
+}
+
+fn as_const(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::ConstI(v) => Some(Value::I(*v)),
+        Expr::ConstF(v) => Some(Value::F(*v)),
+        _ => None,
+    }
+}
+
+fn from_value(v: Value) -> Expr {
+    match v {
+        Value::I(x) => Expr::ConstI(x),
+        Value::F(x) => Expr::ConstF(x),
+    }
+}
+
+/// Fold one expression bottom-up.
+pub fn fold_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Bin { op, lhs, rhs } => {
+            let l = fold_expr(*lhs);
+            let r = fold_expr(*rhs);
+            if let (Some(a), Some(b)) = (as_const(&l), as_const(&r)) {
+                // NaN-producing float folds are still exact: the constant
+                // carries the same bits the runtime op would produce.
+                return from_value(eval_bin(op, a, b));
+            }
+            // Integer identities that drop only the constant operand
+            // (never a side-effect-bearing subtree). Float identities are
+            // deliberately omitted: x + 0.0 is NOT identity for -0.0.
+            match (op, &l, &r) {
+                (BinOp::Add, _, Expr::ConstI(0)) => return l,
+                (BinOp::Add, Expr::ConstI(0), _) => return r,
+                (BinOp::Sub, _, Expr::ConstI(0)) => return l,
+                (BinOp::Mul, _, Expr::ConstI(1)) => return l,
+                (BinOp::Mul, Expr::ConstI(1), _) => return r,
+                (BinOp::Or, _, Expr::ConstI(0)) => return l,
+                (BinOp::Or, Expr::ConstI(0), _) => return r,
+                (BinOp::Xor, _, Expr::ConstI(0)) => return l,
+                (BinOp::Xor, Expr::ConstI(0), _) => return r,
+                (BinOp::Shl | BinOp::Shr | BinOp::Sra, _, Expr::ConstI(0)) => return l,
+                _ => {}
+            }
+            Expr::Bin { op, lhs: Box::new(l), rhs: Box::new(r) }
+        }
+        Expr::Un { op, e } => {
+            let inner = fold_expr(*e);
+            if let Some(v) = as_const(&inner) {
+                let folded = match (op, v) {
+                    (UnOp::Neg, Value::I(x)) => Some(Value::I(x.wrapping_neg())),
+                    (UnOp::Neg, Value::F(x)) => Some(Value::F(-x)),
+                    (UnOp::Abs, Value::F(x)) => Some(Value::F(x.abs())),
+                    (UnOp::Sqrt, Value::F(x)) => Some(Value::F(x.sqrt())),
+                    (UnOp::Sin, Value::F(x)) => Some(Value::F(x.sin())),
+                    (UnOp::Cos, Value::F(x)) => Some(Value::F(x.cos())),
+                    (UnOp::I2F, Value::I(x)) => Some(Value::F(x as f64)),
+                    (UnOp::F2I, Value::F(x)) => Some(Value::I(x as i64)),
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    return from_value(v);
+                }
+            }
+            Expr::Un { op, e: Box::new(inner) }
+        }
+        Expr::Load { base, elem, idx } => Expr::Load {
+            base: Box::new(fold_expr(*base)),
+            elem,
+            idx: Box::new(fold_expr(*idx)),
+        },
+        leaf @ (Expr::ConstI(_) | Expr::ConstF(_) | Expr::Var(_) | Expr::GlobalAddr(_)) => leaf,
+    }
+}
+
+fn fold_block(body: Vec<Stmt>) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(body.len());
+    for s in body {
+        match fold_stmt(s) {
+            Folded::Keep(s) => out.push(s),
+            Folded::Splice(stmts) => out.extend(stmts),
+            Folded::Drop => {}
+        }
+    }
+    out
+}
+
+enum Folded {
+    Keep(Stmt),
+    Splice(Vec<Stmt>),
+    Drop,
+}
+
+fn fold_stmt(s: Stmt) -> Folded {
+    Folded::Keep(match s {
+        Stmt::Let { var, ty, init } => Stmt::Let { var, ty, init: fold_expr(init) },
+        Stmt::Assign { var, e } => Stmt::Assign { var, e: fold_expr(e) },
+        Stmt::Store { base, elem, idx, val } => Stmt::Store {
+            base: fold_expr(base),
+            elem,
+            idx: fold_expr(idx),
+            val: fold_expr(val),
+        },
+        Stmt::If { cond, then, els } => {
+            let cond = fold_expr(cond);
+            if let Expr::ConstI(c) = cond {
+                // Dead-branch elimination.
+                let taken = if c != 0 { then } else { els };
+                return Folded::Splice(fold_block(taken));
+            }
+            Stmt::If { cond, then: fold_block(then), els: fold_block(els) }
+        }
+        Stmt::While { cond, body } => {
+            let cond = fold_expr(cond);
+            if matches!(cond, Expr::ConstI(0)) {
+                return Folded::Drop;
+            }
+            Stmt::While { cond, body: fold_block(body) }
+        }
+        Stmt::For { var, lo, hi, body } => {
+            let lo = fold_expr(lo);
+            let hi = fold_expr(hi);
+            if let (Expr::ConstI(a), Expr::ConstI(b)) = (&lo, &hi) {
+                if a >= b {
+                    // Zero-trip loop still defines its variable (the
+                    // compiled form stores `lo` before the bound check).
+                    return Folded::Keep(Stmt::Let { var, ty: Ty::I64, init: lo });
+                }
+            }
+            Stmt::For { var, lo, hi, body: fold_block(body) }
+        }
+        Stmt::Call { func, args, ret } => Stmt::Call {
+            func,
+            args: args.into_iter().map(fold_expr).collect(),
+            ret,
+        },
+        Stmt::Host { func, args, ret } => Stmt::Host {
+            func,
+            args: args.into_iter().map(fold_expr).collect(),
+            ret,
+        },
+        Stmt::MemCpy { dst, src, bytes } => Stmt::MemCpy {
+            dst: fold_expr(dst),
+            src: fold_expr(src),
+            bytes: fold_expr(bytes),
+        },
+        Stmt::Prefetch { base, idx } => {
+            Stmt::Prefetch { base: fold_expr(base), idx: fold_expr(idx) }
+        }
+        Stmt::Return(e) => Stmt::Return(e.map(fold_expr)),
+        Stmt::Break => Stmt::Break,
+        Stmt::Continue => Stmt::Continue,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        assert_eq!(fold_expr(add(ci(2), mul(ci(3), ci(4)))), ci(14));
+        assert_eq!(fold_expr(div(ci(7), ci(0))), ci(0), "÷0 folds to the runtime value");
+        assert_eq!(fold_expr(add(cf(1.5), cf(2.5))), cf(4.0));
+        assert_eq!(fold_expr(f2i(cf(3.99))), ci(3));
+        assert_eq!(fold_expr(neg(ci(i64::MIN))), ci(i64::MIN), "wrapping neg");
+    }
+
+    #[test]
+    fn integer_identities() {
+        assert_eq!(fold_expr(add(v("x"), ci(0))), v("x"));
+        assert_eq!(fold_expr(mul(ci(1), v("x"))), v("x"));
+        assert_eq!(fold_expr(bxor(v("x"), ci(0))), v("x"));
+        assert_eq!(fold_expr(shl(v("x"), ci(0))), v("x"));
+        // NOT folded: float pseudo-identities and value-dropping forms.
+        assert_ne!(fold_expr(add(v("f"), cf(0.0))), v("f"));
+        assert_ne!(fold_expr(mul(v("x"), ci(0))), ci(0));
+    }
+
+    #[test]
+    fn dead_branches_eliminated() {
+        let m = {
+            let mut m = Module::new("t");
+            m.func(Function::new("main").body(vec![
+                if_else(ci(1), vec![leti("a", ci(1))], vec![leti("a", ci(2))]),
+                if_else(eq(ci(3), ci(4)), vec![leti("b", ci(1))], vec![leti("b", ci(2))]),
+                while_(ci(0), vec![leti("dead", ci(9))]),
+                for_("i", ci(5), ci(5), vec![leti("dead2", ci(9))]),
+            ]));
+            m
+        };
+        let folded = fold_module(&m);
+        let body = &folded.function("main").unwrap().body;
+        assert_eq!(body.len(), 3, "{body:?}"); // a=1, b=2, i=5 (loop var kept)
+        assert!(matches!(&body[0], Stmt::Let { var, init: Expr::ConstI(1), .. } if var == "a"));
+        assert!(matches!(&body[1], Stmt::Let { var, init: Expr::ConstI(2), .. } if var == "b"));
+        assert!(matches!(&body[2], Stmt::Let { var, init: Expr::ConstI(5), .. } if var == "i"));
+    }
+
+    #[test]
+    fn folding_preserves_checkability() {
+        // The wfs module must still check and compile after folding.
+        let m = tq_wfs_placeholder();
+        let folded = fold_module(&m);
+        crate::check(&folded).expect("folded module still checks");
+    }
+
+    /// A small stand-in (tq-wfs depends on this crate, not vice versa).
+    fn tq_wfs_placeholder() -> Module {
+        let mut m = Module::new("t");
+        m.global("buf", ElemTy::F64, 8, GlobalInit::Zero);
+        m.func(Function::new("main").body(vec![
+            leti("n", add(ci(4), ci(4))),
+            for_("i", ci(0), v("n"), vec![stf(
+                ga("buf"),
+                v("i"),
+                mul(i2f(v("i")), add(cf(1.0), cf(0.5))),
+            )]),
+        ]));
+        m
+    }
+}

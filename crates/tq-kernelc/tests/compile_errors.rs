@@ -1,0 +1,120 @@
+//! Error-path coverage for the compiler front end: every rejection the
+//! checker and code generator promise actually fires.
+
+use tq_kernelc::dsl::*;
+use tq_kernelc::{check, compile, CompileError, ElemTy, Expr, Function, GlobalInit, Module, Ty};
+
+fn with_main(body: Vec<tq_kernelc::Stmt>) -> Module {
+    let mut m = Module::new("t");
+    m.global("g", ElemTy::I64, 4, GlobalInit::Zero);
+    m.func(Function::new("main").body(body));
+    m
+}
+
+#[test]
+fn too_many_int_args_rejected() {
+    let mut m = Module::new("t");
+    let mut f = Function::new("f");
+    for i in 0..7 {
+        f = f.param(format!("a{i}"), Ty::I64);
+    }
+    m.func(f);
+    m.func(Function::new("main"));
+    assert!(matches!(check(&m), Err(CompileError::TooManyArgs(_))));
+}
+
+#[test]
+fn too_many_float_args_in_host_call_rejected() {
+    let args: Vec<Expr> = (0..7).map(|i| cf(i as f64)).collect();
+    let m = with_main(vec![host(tq_isa::HostFn::PrintF64, args)]);
+    assert!(matches!(check(&m), Err(CompileError::TooManyArgs(_))));
+}
+
+#[test]
+fn expression_deeper_than_the_register_file_rejected() {
+    // A left-leaning addition chain deep enough to exhaust the 10 scratch
+    // registers: each pending operand holds one.
+    let mut e = v("x");
+    for _ in 0..16 {
+        e = add(ci(1), e); // right-recursive: lhs const held while rhs recurses
+    }
+    let m = with_main(vec![leti("x", ci(0)), leti("y", e)]);
+    check(&m).expect("checker does not bound depth");
+    assert!(matches!(compile(&m), Err(CompileError::ExprTooDeep(_))));
+}
+
+#[test]
+fn shallow_right_recursion_is_fine() {
+    let mut e = v("x");
+    for _ in 0..6 {
+        e = add(ci(1), e);
+    }
+    let m = with_main(vec![leti("x", ci(0)), leti("y", e)]);
+    compile(&m).expect("six pending operands fit the pool");
+}
+
+#[test]
+fn duplicate_function_rejected() {
+    let mut m = Module::new("t");
+    m.func(Function::new("f"));
+    m.func(Function::new("f"));
+    m.func(Function::new("main"));
+    assert!(matches!(check(&m), Err(CompileError::DuplicateFunction(_))));
+}
+
+#[test]
+fn duplicate_global_rejected() {
+    let mut m = Module::new("t");
+    m.global("g", ElemTy::I64, 1, GlobalInit::Zero);
+    m.global("g", ElemTy::F64, 1, GlobalInit::Zero);
+    m.func(Function::new("main"));
+    assert!(matches!(check(&m), Err(CompileError::DuplicateGlobal(_))));
+}
+
+#[test]
+fn void_callee_result_binding_rejected() {
+    let mut m = Module::new("t");
+    m.func(Function::new("void_fn"));
+    m.func(Function::new("main").body(vec![
+        leti("r", ci(0)),
+        call_ret("r", "void_fn", vec![]),
+    ]));
+    assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
+}
+
+#[test]
+fn host_result_into_float_rejected() {
+    let m = with_main(vec![
+        letf("r", cf(0.0)),
+        host_ret("r", tq_isa::HostFn::Icount, vec![]),
+    ]);
+    assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
+}
+
+#[test]
+fn wrong_return_arity_rejected() {
+    let mut m = Module::new("t");
+    m.func(Function::new("f").returns(Ty::I64).body(vec![ret_void()]));
+    m.func(Function::new("main"));
+    assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
+
+    let mut m2 = Module::new("t");
+    m2.func(Function::new("f").body(vec![ret(ci(1))]));
+    m2.func(Function::new("main"));
+    assert!(matches!(check(&m2), Err(CompileError::TypeMismatch { .. })));
+}
+
+#[test]
+fn compiled_error_messages_render() {
+    // Display impls are part of the public surface.
+    let msgs = [
+        CompileError::NoMain.to_string(),
+        CompileError::ExprTooDeep("f".into()).to_string(),
+        CompileError::BreakOutsideLoop("f".into()).to_string(),
+        CompileError::UnknownVar("f".into(), "x".into()).to_string(),
+        CompileError::LibraryCallsMain { lib: "l".into(), callee: "c".into() }.to_string(),
+    ];
+    for m in msgs {
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based differential testing: random expression trees and random
+//! straight-line programs must evaluate identically in the reference
+//! interpreter and on the VM.
+
+use proptest::prelude::*;
+use tq_kernelc::dsl::*;
+use tq_kernelc::{compile, ElemTy, Expr, Function, GlobalInit, Interp, Module};
+use tq_vm::Vm;
+
+/// Random integer expression over variables `v0`, `v1`, `v2` (declared with
+/// fixed seeds by the harness). Depth-bounded so register pools suffice.
+fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(ci),
+        any::<i64>().prop_map(ci),
+        Just(v("v0")),
+        Just(v("v1")),
+        Just(v("v2")),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| div(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| rem(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| band(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| bor(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| bxor(a, b)),
+            (inner.clone(), 0i64..64).prop_map(|(a, s)| shl(a, ci(s))),
+            (inner.clone(), 0i64..64).prop_map(|(a, s)| shr(a, ci(s))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| lt(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| le(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| eq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ne(a, b)),
+            inner.clone().prop_map(neg),
+        ]
+    })
+}
+
+/// Random float expression over `f0`, `f1` and literals.
+fn float_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100.0f64..100.0).prop_map(cf),
+        Just(cf(0.1)),
+        Just(cf(1.0)),
+        Just(v("f0")),
+        Just(v("f1")),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| div(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fmin(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fmax(a, b)),
+            inner.clone().prop_map(neg),
+            inner.clone().prop_map(fabs),
+        ]
+    })
+}
+
+fn run_both_and_compare(m: &Module) {
+    let mut interp = Interp::new(m);
+    interp.set_step_limit(1_000_000);
+    let ref_exit = interp.run().expect("reference run");
+
+    let compiled = compile(m).expect("compiles");
+    let mut vm = Vm::new(compiled.program).expect("loads");
+    let exit = vm.run(Some(10_000_000)).expect("vm run");
+    let vm_exit = match exit.reason {
+        tq_vm::ExitReason::Exited(c) => c,
+        tq_vm::ExitReason::Halted => 0,
+    };
+    assert_eq!(vm_exit, ref_exit);
+
+    for g in &m.globals {
+        let slot = compiled.layout.get(&g.name).unwrap();
+        let size = slot.size() as usize;
+        let mut a = vec![0u8; size];
+        vm.mem_read(slot.addr, &mut a).unwrap();
+        let mut b = vec![0u8; size];
+        interp.mem.read(slot.addr, &mut b).unwrap();
+        assert_eq!(a, b, "global `{}` diverges", g.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_int_expressions_agree(e in int_expr(4), s0 in any::<i64>(), s1 in any::<i64>(), s2 in -16i64..16) {
+        let mut m = Module::new("p");
+        m.global("out", ElemTy::I64, 1, GlobalInit::Zero);
+        m.func(Function::new("main").body(vec![
+            leti("v0", ci(s0)),
+            leti("v1", ci(s1)),
+            leti("v2", ci(s2)),
+            sti(ga("out"), ci(0), e),
+        ]));
+        run_both_and_compare(&m);
+    }
+
+    #[test]
+    fn random_float_expressions_agree(e in float_expr(4), s0 in -1.0e6f64..1.0e6, s1 in -1.0f64..1.0) {
+        let mut m = Module::new("p");
+        m.global("out", ElemTy::F64, 1, GlobalInit::Zero);
+        m.func(Function::new("main").body(vec![
+            letf("f0", cf(s0)),
+            letf("f1", cf(s1)),
+            stf(ga("out"), ci(0), e),
+        ]));
+        run_both_and_compare(&m);
+    }
+
+    #[test]
+    fn random_array_programs_agree(
+        ops in prop::collection::vec((0u8..4, 0i64..16, 0i64..16, -100i64..100), 1..40),
+    ) {
+        // A random straight-line program of stores/loads/adds over a 16-slot
+        // array, then a checksum loop.
+        let mut body = vec![];
+        for (kind, i, j, k) in ops {
+            body.push(match kind {
+                0 => sti(ga("arr"), ci(i), ci(k)),
+                1 => sti(ga("arr"), ci(i), add(ldi(ga("arr"), ci(j)), ci(k))),
+                2 => sti(ga("arr"), ci(i), mul(ldi(ga("arr"), ci(j)), ldi(ga("arr"), ci(i)))),
+                _ => sti(ga("arr"), ci(i), sub(ci(k), ldi(ga("arr"), ci(j)))),
+            });
+        }
+        body.push(leti("sum", ci(0)));
+        body.push(for_("i", ci(0), ci(16), vec![
+            set("sum", add(v("sum"), ldi(ga("arr"), v("i")))),
+        ]));
+        body.push(sti(ga("chk"), ci(0), v("sum")));
+
+        let mut m = Module::new("p");
+        m.global("arr", ElemTy::I64, 16, GlobalInit::Zero);
+        m.global("chk", ElemTy::I64, 1, GlobalInit::Zero);
+        m.func(Function::new("main").body(body));
+        run_both_and_compare(&m);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Constant folding preserves meaning: the folded module compiles and
+    /// runs to the same result as the original.
+    #[test]
+    fn folding_preserves_semantics(e in int_expr(4), fe in float_expr(4), s0 in any::<i64>(), s1 in -1.0e3f64..1.0e3) {
+        let mut m = Module::new("p");
+        m.global("out", ElemTy::I64, 1, GlobalInit::Zero);
+        m.global("fout", ElemTy::F64, 1, GlobalInit::Zero);
+        m.func(Function::new("main").body(vec![
+            leti("v0", ci(s0)),
+            leti("v1", ci(s0 ^ 0x55)),
+            leti("v2", ci(s0 % 17)),
+            letf("f0", cf(s1)),
+            letf("f1", cf(-s1)),
+            sti(ga("out"), ci(0), e),
+            stf(ga("fout"), ci(0), fe),
+        ]));
+        let folded = tq_kernelc::fold_module(&m);
+
+        // Run the ORIGINAL on the interpreter, the FOLDED on the VM.
+        let mut interp = Interp::new(&m);
+        interp.set_step_limit(1_000_000);
+        let ref_exit = interp.run().expect("reference run");
+
+        let compiled = compile(&folded).expect("folded module compiles");
+        let mut vm = Vm::new(compiled.program).expect("loads");
+        let exit = vm.run(Some(10_000_000)).expect("vm run");
+        let vm_exit = match exit.reason {
+            tq_vm::ExitReason::Exited(c) => c,
+            tq_vm::ExitReason::Halted => 0,
+        };
+        prop_assert_eq!(vm_exit, ref_exit);
+
+        for g in &m.globals {
+            let slot = compiled.layout.get(&g.name).unwrap();
+            let size = slot.size() as usize;
+            let mut a = vec![0u8; size];
+            vm.mem_read(slot.addr, &mut a).unwrap();
+            let mut b = vec![0u8; size];
+            interp.mem.read(slot.addr, &mut b).unwrap();
+            prop_assert_eq!(a, b, "global `{}` diverges after folding", &g.name);
+        }
+    }
+}

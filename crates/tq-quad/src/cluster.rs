@@ -1,0 +1,258 @@
+//! Task clustering from QUAD bindings — the paper's stated future work.
+//!
+//! §VI: "In future work, we are planning to utilize the information
+//! provided by the tool for task clustering in heterogeneous reconfigurable
+//! systems", feeding the Delft WorkBench clustering framework whose goal
+//! the paper states in §V: "some relevant kernels are clustered together in
+//! a sense that the intra-cluster communication is maximized whereas the
+//! inter-cluster communication is minimized."
+//!
+//! This module implements that objective: greedy agglomerative clustering
+//! over the QDU graph (bindings = communication volume in bytes), with a
+//! per-cluster capacity bound standing in for the reconfigurable fabric's
+//! area budget. Combined with [`tq_tquad`]'s phases (kernels active
+//! together are candidates for co-residence), this is the hardware/software
+//! partitioning front end the Delft WorkBench papers describe.
+
+use crate::tool::QuadProfile;
+use std::collections::HashMap;
+use tq_isa::RoutineId;
+
+/// Clustering options.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterOptions {
+    /// Maximum kernels per cluster (the "area" budget; the reconfigurable
+    /// device holds only so many kernels at once).
+    pub max_cluster_size: usize,
+    /// Stop merging when the best edge carries fewer bytes than this.
+    pub min_edge_bytes: u64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions { max_cluster_size: 8, min_edge_bytes: 1 }
+    }
+}
+
+/// One cluster of communicating kernels.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Member kernels.
+    pub kernels: Vec<RoutineId>,
+    /// Bytes exchanged between members (the maximised quantity).
+    pub internal_bytes: u64,
+}
+
+/// A clustering result.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Clusters, largest internal communication first.
+    pub clusters: Vec<Cluster>,
+    /// Bytes crossing cluster boundaries (the minimised quantity).
+    pub cut_bytes: u64,
+}
+
+impl Clustering {
+    /// Total communication covered (internal + cut).
+    pub fn total_bytes(&self) -> u64 {
+        self.clusters.iter().map(|c| c.internal_bytes).sum::<u64>() + self.cut_bytes
+    }
+
+    /// Fraction of all communication kept inside clusters — the quality
+    /// metric of the DWB objective.
+    pub fn internal_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.cut_bytes as f64 / total as f64
+    }
+
+    /// The cluster containing `kernel`, if any.
+    pub fn cluster_of(&self, kernel: RoutineId) -> Option<usize> {
+        self.clusters.iter().position(|c| c.kernels.contains(&kernel))
+    }
+}
+
+/// Cluster the kernels of a QUAD profile by communication volume.
+///
+/// Greedy agglomeration: repeatedly merge the two clusters joined by the
+/// heaviest inter-cluster edge, subject to the size bound — the classic
+/// Kernighan-Lin-style seed the DWB clustering papers start from. Kernels
+/// with no communication at all are left out of the result.
+pub fn cluster_by_communication(profile: &QuadProfile, opts: ClusterOptions) -> Clustering {
+    // Symmetric communication matrix over kernels that communicate.
+    let mut weight: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut seen: Vec<u32> = Vec::new();
+    for b in &profile.bindings {
+        let (p, c) = (b.producer.0, b.consumer.0);
+        if p == c {
+            // Self-communication is internal by definition; it does not
+            // drive merging.
+            continue;
+        }
+        let key = (p.min(c), p.max(c));
+        *weight.entry(key).or_insert(0) += b.bytes;
+        for k in [p, c] {
+            if !seen.contains(&k) {
+                seen.push(k);
+            }
+        }
+    }
+    seen.sort_unstable();
+
+    // Disjoint clusters, merged greedily.
+    let mut clusters: Vec<Vec<u32>> = seen.iter().map(|&k| vec![k]).collect();
+    let inter = |a: &[u32], b: &[u32], w: &HashMap<(u32, u32), u64>| -> u64 {
+        let mut sum = 0;
+        for &x in a {
+            for &y in b {
+                sum += w.get(&(x.min(y), x.max(y))).copied().unwrap_or(0);
+            }
+        }
+        sum
+    };
+    loop {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                if clusters[i].len() + clusters[j].len() > opts.max_cluster_size {
+                    continue;
+                }
+                let w = inter(&clusters[i], &clusters[j], &weight);
+                if w >= opts.min_edge_bytes && best.is_none_or(|(_, _, bw)| w > bw) {
+                    best = Some((i, j, w));
+                }
+            }
+        }
+        match best {
+            Some((i, j, _)) => {
+                let merged = clusters.remove(j);
+                clusters[i].extend(merged);
+            }
+            None => break,
+        }
+    }
+
+    // Score.
+    let mut out = Vec::new();
+    let mut cut = 0u64;
+    for (i, members) in clusters.iter().enumerate() {
+        let mut internal = 0u64;
+        for a in 0..members.len() {
+            for b in a + 1..members.len() {
+                let (x, y) = (members[a], members[b]);
+                internal += weight.get(&(x.min(y), x.max(y))).copied().unwrap_or(0);
+            }
+        }
+        // Self-bindings are internal too.
+        for b in &profile.bindings {
+            if b.producer == b.consumer && members.contains(&b.producer.0) {
+                internal += b.bytes;
+            }
+        }
+        for other in clusters.iter().skip(i + 1) {
+            cut += inter(members, other, &weight);
+        }
+        out.push(Cluster {
+            kernels: members.iter().map(|&k| RoutineId(k)).collect(),
+            internal_bytes: internal,
+        });
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.internal_bytes));
+    Clustering { clusters: out, cut_bytes: cut }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::{QuadBinding, QuadRow};
+
+    fn profile(edges: &[(u32, u32, u64)], n: u32) -> QuadProfile {
+        QuadProfile {
+            include_stack: true,
+            rows: (0..n)
+                .map(|i| QuadRow {
+                    rtn: RoutineId(i),
+                    name: format!("k{i}"),
+                    main_image: true,
+                    in_bytes: 1,
+                    in_unma: 1,
+                    out_bytes: 1,
+                    out_unma: 1,
+                    checked_accesses: 0,
+                    traced_accesses: 0,
+                })
+                .collect(),
+            bindings: edges
+                .iter()
+                .map(|&(p, c, bytes)| QuadBinding {
+                    producer: RoutineId(p),
+                    consumer: RoutineId(c),
+                    bytes,
+                    unma: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn two_obvious_communities() {
+        // {0,1,2} talk a lot among themselves, {3,4} likewise; one thin
+        // edge between the groups.
+        let p = profile(
+            &[
+                (0, 1, 1000),
+                (1, 2, 900),
+                (0, 2, 800),
+                (3, 4, 1000),
+                (2, 3, 10), // the cut edge
+            ],
+            5,
+        );
+        let c = cluster_by_communication(&p, ClusterOptions { max_cluster_size: 3, ..Default::default() });
+        assert_eq!(c.clusters.len(), 2);
+        assert_eq!(c.cut_bytes, 10);
+        assert!(c.internal_fraction() > 0.99);
+        assert_eq!(c.cluster_of(RoutineId(0)), c.cluster_of(RoutineId(2)));
+        assert_ne!(c.cluster_of(RoutineId(0)), c.cluster_of(RoutineId(3)));
+    }
+
+    #[test]
+    fn size_bound_is_respected() {
+        let p = profile(&[(0, 1, 10), (1, 2, 10), (2, 3, 10), (3, 0, 10)], 4);
+        let c = cluster_by_communication(&p, ClusterOptions { max_cluster_size: 2, ..Default::default() });
+        for cl in &c.clusters {
+            assert!(cl.kernels.len() <= 2);
+        }
+        assert!(c.cut_bytes > 0, "a bounded clustering must cut something here");
+    }
+
+    #[test]
+    fn self_bindings_count_as_internal() {
+        let p = profile(&[(0, 0, 500), (0, 1, 10)], 2);
+        let c = cluster_by_communication(&p, ClusterOptions::default());
+        assert_eq!(c.cut_bytes, 0, "everything merges");
+        assert_eq!(c.clusters[0].internal_bytes, 510);
+    }
+
+    #[test]
+    fn silent_kernels_are_omitted() {
+        let p = profile(&[(0, 1, 10)], 4);
+        let c = cluster_by_communication(&p, ClusterOptions::default());
+        let members: usize = c.clusters.iter().map(|cl| cl.kernels.len()).sum();
+        assert_eq!(members, 2, "kernels 2 and 3 never communicate");
+    }
+
+    #[test]
+    fn min_edge_threshold_stops_merging() {
+        let p = profile(&[(0, 1, 5), (2, 3, 5000)], 4);
+        let c = cluster_by_communication(
+            &p,
+            ClusterOptions { min_edge_bytes: 100, ..Default::default() },
+        );
+        // Only the heavy pair merges; the light pair stays split.
+        assert_eq!(c.clusters.iter().filter(|cl| cl.kernels.len() == 2).count(), 1);
+        assert_eq!(c.cut_bytes, 5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Table II rendering and QDU graph export.
+
+use crate::tool::QuadProfile;
+use tq_report::{n, Align, Digraph, Table};
+
+/// Build the paper's Table II: per kernel, IN / IN UnMA / OUT / OUT UnMA
+/// with stack accesses excluded and included, from two runs of the tool.
+///
+/// Panics if the two profiles disagree on their stack setting (they must be
+/// one excluded, one included run).
+pub fn table2(excl: &QuadProfile, incl: &QuadProfile) -> Table {
+    assert!(!excl.include_stack && incl.include_stack, "pass (excluded, included) profiles");
+    let mut t = Table::new("Data produced/consumed by the kernels (stack excluded | stack included)")
+        .col("kernel", Align::Left)
+        .col("IN", Align::Right)
+        .col("IN UnMA", Align::Right)
+        .col("OUT", Align::Right)
+        .col("OUT UnMA", Align::Right)
+        .col("IN (incl)", Align::Right)
+        .col("IN UnMA (incl)", Align::Right)
+        .col("OUT (incl)", Align::Right)
+        .col("OUT UnMA (incl)", Align::Right);
+
+    let mut names: Vec<&str> = incl
+        .rows
+        .iter()
+        .filter(|r| r.in_bytes + r.out_bytes + r.out_unma > 0)
+        .map(|r| r.name.as_str())
+        .collect();
+    names.sort();
+    for name in names {
+        let e = excl.row(name);
+        let i = incl.row(name).expect("row exists in included profile");
+        t.row(vec![
+            name.to_string(),
+            e.map(|r| n(r.in_bytes)).unwrap_or_default(),
+            e.map(|r| n(r.in_unma)).unwrap_or_default(),
+            e.map(|r| n(r.out_bytes)).unwrap_or_default(),
+            e.map(|r| n(r.out_unma)).unwrap_or_default(),
+            n(i.in_bytes),
+            n(i.in_unma),
+            n(i.out_bytes),
+            n(i.out_unma),
+        ]);
+    }
+    t
+}
+
+/// Export the Quantitative Data Usage graph: kernels as nodes, bindings as
+/// edges labelled with bytes and UnMA. Edges under `min_bytes` are dropped
+/// to keep the graph legible.
+pub fn qdu_graph(profile: &QuadProfile, min_bytes: u64) -> Digraph {
+    let mut g = Digraph::new("QDU");
+    for b in &profile.bindings {
+        if b.bytes < min_bytes {
+            continue;
+        }
+        let p = &profile.rows[b.producer.idx()].name;
+        let c = &profile.rows[b.consumer.idx()].name;
+        g.node(p.clone(), p.clone());
+        g.node(c.clone(), c.clone());
+        g.edge(p.clone(), c.clone(), format!("{} B / {} UnMA", b.bytes, b.unma));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::{QuadBinding, QuadRow};
+    use tq_isa::RoutineId;
+
+    fn profile(include_stack: bool, in_bytes: u64) -> QuadProfile {
+        QuadProfile {
+            include_stack,
+            rows: vec![QuadRow {
+                rtn: RoutineId(0),
+                name: "k".into(),
+                main_image: true,
+                in_bytes,
+                in_unma: 4,
+                out_bytes: 2,
+                out_unma: 2,
+                checked_accesses: 10,
+                traced_accesses: 5,
+            }],
+            bindings: vec![QuadBinding {
+                producer: RoutineId(0),
+                consumer: RoutineId(0),
+                bytes: 2,
+                unma: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn table2_combines_runs() {
+        let t = table2(&profile(false, 8), &profile(true, 100));
+        let s = t.render();
+        assert!(s.contains("k"));
+        assert!(s.contains("100"));
+        assert!(s.contains("8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "excluded, included")]
+    fn table2_rejects_swapped_profiles() {
+        table2(&profile(true, 1), &profile(false, 1));
+    }
+
+    #[test]
+    fn qdu_graph_filters_small_edges() {
+        let p = profile(true, 8);
+        assert_eq!(qdu_graph(&p, 1).edge_count(), 1);
+        assert_eq!(qdu_graph(&p, 1000).edge_count(), 0);
+        assert!(qdu_graph(&p, 1).render().contains("2 B / 2 UnMA"));
+    }
+}

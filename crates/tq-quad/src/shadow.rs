@@ -1,0 +1,137 @@
+//! Byte-granular shadow memory tracking the *last writer* of every address.
+//!
+//! QUAD's producer→consumer semantics: when kernel `f` reads a byte that
+//! kernel `g` most recently wrote, a binding `g → f` of one byte exists.
+//! The shadow memory answers "who wrote this byte last?" in O(1).
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 4096;
+
+/// Kernel tag stored per byte; 0 means "never written".
+pub type WriterTag = u32;
+
+/// The shadow memory.
+#[derive(Default)]
+pub struct ShadowMemory {
+    pages: HashMap<u64, Box<[WriterTag; PAGE_SIZE]>>,
+}
+
+impl ShadowMemory {
+    /// Empty shadow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `writer` (a 1-based tag) wrote `[addr, addr+len)`.
+    #[inline]
+    pub fn write(&mut self, addr: u64, len: u32, writer: WriterTag) {
+        debug_assert!(writer != 0, "writer tags are 1-based");
+        let mut a = addr;
+        let end = addr + len as u64;
+        while a < end {
+            let page = a >> PAGE_SHIFT;
+            let off = (a & 0xFFF) as usize;
+            let n = ((end - a) as usize).min(PAGE_SIZE - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            p[off..off + n].fill(writer);
+            a += n as u64;
+        }
+    }
+
+    /// The last writer of the byte at `addr` (0 if never written).
+    #[inline]
+    pub fn writer_at(&self, addr: u64) -> WriterTag {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr & 0xFFF) as usize;
+        self.pages.get(&page).map(|p| p[off]).unwrap_or(0)
+    }
+
+    /// Visit the writers of `[addr, addr+len)`, one callback per byte.
+    #[inline]
+    pub fn for_each_writer(&self, addr: u64, len: u32, mut f: impl FnMut(u64, WriterTag)) {
+        let mut a = addr;
+        let end = addr + len as u64;
+        while a < end {
+            let page = a >> PAGE_SHIFT;
+            let off = (a & 0xFFF) as usize;
+            let n = ((end - a) as usize).min(PAGE_SIZE - off);
+            match self.pages.get(&page) {
+                Some(p) => {
+                    for (i, &w) in p[off..off + n].iter().enumerate() {
+                        f(a + i as u64, w);
+                    }
+                }
+                None => {
+                    for i in 0..n {
+                        f(a + i as u64, 0);
+                    }
+                }
+            }
+            a += n as u64;
+        }
+    }
+
+    /// Number of shadow pages materialised.
+    pub fn pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_query() {
+        let mut s = ShadowMemory::new();
+        s.write(0x100, 8, 3);
+        assert_eq!(s.writer_at(0x100), 3);
+        assert_eq!(s.writer_at(0x107), 3);
+        assert_eq!(s.writer_at(0x108), 0);
+        assert_eq!(s.writer_at(0xFF), 0);
+    }
+
+    #[test]
+    fn overwrites_supersede() {
+        let mut s = ShadowMemory::new();
+        s.write(0x100, 8, 1);
+        s.write(0x104, 8, 2);
+        assert_eq!(s.writer_at(0x103), 1);
+        assert_eq!(s.writer_at(0x104), 2);
+        assert_eq!(s.writer_at(0x10B), 2);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut s = ShadowMemory::new();
+        s.write(4096 - 2, 4, 7);
+        assert_eq!(s.writer_at(4094), 7);
+        assert_eq!(s.writer_at(4097), 7);
+        assert_eq!(s.pages(), 2);
+    }
+
+    #[test]
+    fn for_each_writer_mixed() {
+        let mut s = ShadowMemory::new();
+        s.write(10, 2, 5);
+        let mut seen = Vec::new();
+        s.for_each_writer(8, 6, |a, w| seen.push((a, w)));
+        assert_eq!(seen, vec![(8, 0), (9, 0), (10, 5), (11, 5), (12, 0), (13, 0)]);
+    }
+
+    #[test]
+    fn unmapped_region_reports_zero() {
+        let s = ShadowMemory::new();
+        let mut count = 0;
+        s.for_each_writer(1 << 20, 16, |_, w| {
+            assert_eq!(w, 0);
+            count += 1;
+        });
+        assert_eq!(count, 16);
+    }
+}

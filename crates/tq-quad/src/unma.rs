@@ -1,0 +1,170 @@
+//! Compact sets of byte addresses — the UnMA (Unique Memory Address)
+//! counters of QUAD's Table II.
+//!
+//! The paper's `wav_store` touches ~65 *million* distinct addresses; a
+//! `HashSet<u64>` costs ~48 bytes per element where this page-bitmap
+//! representation costs one bit (plus one 4 KiB bitmap per touched page).
+//! The `unma_sets` bench quantifies the difference; this module is the
+//! production representation.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const WORDS_PER_PAGE: usize = 4096 / 64;
+
+/// A set of 64-bit byte addresses, one bit per address within 4 KiB pages.
+///
+/// ```
+/// use tq_quad::AddressSet;
+/// let mut s = AddressSet::new();
+/// s.insert_range(0x1000, 8);
+/// assert!(s.contains(0x1007) && !s.contains(0x1008));
+/// assert_eq!(s.len(), 8);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AddressSet {
+    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+    len: u64,
+}
+
+impl AddressSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an address; returns true if it was new.
+    #[inline]
+    pub fn insert(&mut self, addr: u64) -> bool {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr & 0xFFF) as usize;
+        let bitmap = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]));
+        let word = &mut bitmap[off / 64];
+        let mask = 1u64 << (off % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert a contiguous range `[addr, addr+len)` (one access of `len`
+    /// bytes). Ranges that stay within one 64-bit bitmap word — every
+    /// aligned access of ≤ 8 bytes — take a single-mask fast path.
+    #[inline]
+    pub fn insert_range(&mut self, addr: u64, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let off = (addr & 0xFFF) as usize;
+        if len <= 8 && off / 64 == (off + len as usize - 1) / 64 {
+            let page = addr >> PAGE_SHIFT;
+            let bitmap = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]));
+            let word = &mut bitmap[off / 64];
+            let mask = (u64::MAX >> (64 - len)) << (off % 64);
+            self.len += (mask & !*word).count_ones() as u64;
+            *word |= mask;
+            return;
+        }
+        for a in addr..addr + len as u64 {
+            self.insert(a);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, addr: u64) -> bool {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr & 0xFFF) as usize;
+        match self.pages.get(&page) {
+            Some(b) => b[off / 64] & (1u64 << (off % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Number of addresses in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes (for the ablation bench).
+    pub fn heap_bytes(&self) -> usize {
+        self.pages.len() * (WORDS_PER_PAGE * 8 + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = AddressSet::new();
+        assert!(s.insert(0x1000));
+        assert!(!s.insert(0x1000), "duplicate");
+        assert!(s.insert(0x1001));
+        assert!(s.contains(0x1000));
+        assert!(!s.contains(0x0FFF));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn range_insert_counts_bytes() {
+        let mut s = AddressSet::new();
+        s.insert_range(0x2000 - 3, 8); // straddles a page boundary
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(0x1FFD));
+        assert!(s.contains(0x2004));
+        assert!(!s.contains(0x2005));
+    }
+
+    #[test]
+    fn page_boundaries() {
+        let mut s = AddressSet::new();
+        s.insert(0x0FFF);
+        s.insert(0x1000);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pages.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_ranges_dedupe() {
+        let mut s = AddressSet::new();
+        s.insert_range(100, 8);
+        s.insert_range(104, 8);
+        assert_eq!(s.len(), 12);
+    }
+
+    /// Differential check against a HashSet reference over random inserts.
+    #[test]
+    fn matches_hashset_reference() {
+        use std::collections::HashSet;
+        let mut ours = AddressSet::new();
+        let mut reference = HashSet::new();
+        let mut x: u64 = 0x12345;
+        for _ in 0..10_000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % 100_000;
+            assert_eq!(ours.insert(addr), reference.insert(addr));
+        }
+        assert_eq!(ours.len(), reference.len() as u64);
+        for a in 0..1000 {
+            assert_eq!(ours.contains(a), reference.contains(&a));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! ASCII time-series charts — the terminal rendition of the paper's Fig. 6
+//! and Fig. 7 ("memory bandwidth usage of the kernels over time slices",
+//! one lane per kernel along the z-axis).
+
+/// One lane of a [`SeriesChart`].
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Lane label (kernel name).
+    pub label: String,
+    /// One value per time slice (bytes in that slice).
+    pub values: Vec<f64>,
+}
+
+/// A multi-lane time-series chart.
+#[derive(Clone, Debug)]
+pub struct SeriesChart {
+    title: String,
+    width: usize,
+    series: Vec<Series>,
+    /// Normalise lanes jointly (comparable intensities, as in the paper's
+    /// figures) or per-lane.
+    global_scale: bool,
+}
+
+const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+impl SeriesChart {
+    /// New chart rendered `width` characters wide.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        SeriesChart {
+            title: title.into(),
+            width: width.max(8),
+            series: Vec::new(),
+            global_scale: true,
+        }
+    }
+
+    /// Normalise each lane to its own maximum instead of the global one.
+    pub fn per_lane_scale(mut self) -> Self {
+        self.global_scale = false;
+        self
+    }
+
+    /// Add a lane.
+    pub fn series(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.series.push(Series { label: label.into(), values });
+    }
+
+    /// Downsample `values` to `width` buckets by taking each bucket's peak
+    /// (peaks are what bandwidth plots must not lose).
+    fn resample(values: &[f64], width: usize) -> Vec<f64> {
+        if values.is_empty() {
+            return vec![0.0; width];
+        }
+        if values.len() <= width {
+            let mut out = values.to_vec();
+            out.resize(width, 0.0);
+            return out;
+        }
+        let mut out = Vec::with_capacity(width);
+        for b in 0..width {
+            let lo = b * values.len() / width;
+            let hi = (((b + 1) * values.len()) / width).max(lo + 1);
+            let peak = values[lo..hi.min(values.len())]
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max);
+            out.push(peak);
+        }
+        out
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let label_w = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let global_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().copied())
+            .fold(0.0f64, f64::max);
+        for s in &self.series {
+            let lane_max = if self.global_scale {
+                global_max
+            } else {
+                s.values.iter().copied().fold(0.0f64, f64::max)
+            };
+            let resampled = Self::resample(&s.values, self.width);
+            let mut line = String::with_capacity(self.width + label_w + 16);
+            line.push_str(&format!("{:<w$} |", s.label, w = label_w));
+            for v in resampled {
+                let idx = if lane_max <= 0.0 || v <= 0.0 {
+                    0
+                } else {
+                    // Non-zero values always render at least level 1 so
+                    // brief activity does not vanish.
+                    let frac = (v / lane_max).clamp(0.0, 1.0);
+                    ((frac * (LEVELS.len() - 1) as f64).ceil() as usize).clamp(1, LEVELS.len() - 1)
+                };
+                line.push(LEVELS[idx]);
+            }
+            line.push_str(&format!("| peak {:.4}", s.values.iter().copied().fold(0.0f64, f64::max)));
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_render_with_labels_and_peaks() {
+        let mut c = SeriesChart::new("Fig", 16);
+        c.series("fft1d", vec![0.0, 1.0, 2.0, 4.0]);
+        c.series("wav_store", vec![0.0; 4]);
+        let s = c.render();
+        assert!(s.starts_with("Fig\n"));
+        assert!(s.contains("fft1d"));
+        assert!(s.contains("wav_store"));
+        assert!(s.contains("peak 4.0000"));
+        assert!(s.contains("peak 0.0000"));
+    }
+
+    #[test]
+    fn zero_series_is_blank() {
+        let mut c = SeriesChart::new("", 8);
+        c.series("quiet", vec![0.0; 100]);
+        let line = c.render();
+        let bars: String = line
+            .split('|')
+            .nth(1)
+            .unwrap()
+            .chars()
+            .filter(|ch| *ch != ' ')
+            .collect();
+        assert!(bars.is_empty(), "zero series must render blank: {line}");
+    }
+
+    #[test]
+    fn resample_keeps_peaks() {
+        let mut values = vec![0.0; 1000];
+        values[777] = 42.0;
+        let r = SeriesChart::resample(&values, 10);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[7], 42.0, "the spike must survive downsampling");
+    }
+
+    #[test]
+    fn short_series_pad() {
+        let r = SeriesChart::resample(&[1.0, 2.0], 8);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[1], 2.0);
+        assert_eq!(r[7], 0.0);
+    }
+
+    #[test]
+    fn global_vs_per_lane_scaling() {
+        let mut g = SeriesChart::new("", 4);
+        g.series("big", vec![8.0; 4]);
+        g.series("small", vec![1.0; 4]);
+        let gs = g.render();
+        // In global scale, "small" is dim (level 1 of 8).
+        assert!(gs.lines().nth(1).unwrap().contains('▁'));
+
+        let mut p = SeriesChart::new("", 4).per_lane_scale();
+        p.series("big", vec![8.0; 4]);
+        p.series("small", vec![1.0; 4]);
+        let ps = p.render();
+        // Per-lane, both are full intensity.
+        assert!(ps.lines().nth(1).unwrap().contains('█'));
+    }
+}

@@ -1,0 +1,93 @@
+//! Graphviz DOT export — the Quantitative Data Usage (QDU) graph of QUAD is
+//! "a large graph" the paper could not include; we regenerate it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A directed graph with labelled, weighted edges.
+#[derive(Clone, Debug, Default)]
+pub struct Digraph {
+    name: String,
+    nodes: BTreeMap<String, String>,
+    edges: Vec<(String, String, String)>,
+}
+
+impl Digraph {
+    /// New graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Digraph { name: name.into(), ..Default::default() }
+    }
+
+    /// Declare a node with a display label.
+    pub fn node(&mut self, id: impl Into<String>, label: impl Into<String>) {
+        self.nodes.insert(id.into(), label.into());
+    }
+
+    /// Add an edge with a label (e.g. `"bytes: 1234 / UnMA: 56"`).
+    pub fn edge(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        label: impl Into<String>,
+    ) {
+        self.edges.push((from.into(), to.into(), label.into()));
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn quote(s: &str) -> String {
+        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+
+    /// Render as DOT source.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "digraph {} {{", Self::quote(&self.name)).unwrap();
+        writeln!(out, "  rankdir=LR;").unwrap();
+        writeln!(out, "  node [shape=box, fontsize=10];").unwrap();
+        for (id, label) in &self.nodes {
+            writeln!(out, "  {} [label={}];", Self::quote(id), Self::quote(label)).unwrap();
+        }
+        for (from, to, label) in &self.edges {
+            writeln!(
+                out,
+                "  {} -> {} [label={}];",
+                Self::quote(from),
+                Self::quote(to),
+                Self::quote(label)
+            )
+            .unwrap();
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = Digraph::new("qdu");
+        g.node("fft1d", "fft1d");
+        g.node("perm", "perm");
+        g.edge("fft1d", "perm", "bytes: 10 / UnMA: 2");
+        let s = g.render();
+        assert!(s.starts_with("digraph \"qdu\" {"));
+        assert!(s.contains("\"fft1d\" -> \"perm\" [label=\"bytes: 10 / UnMA: 2\"];"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quoting_escapes() {
+        let mut g = Digraph::new("g");
+        g.node("a\"b", "lab\\el");
+        let s = g.render();
+        assert!(s.contains("\"a\\\"b\""));
+        assert!(s.contains("\"lab\\\\el\""));
+    }
+}

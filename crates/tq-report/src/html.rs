@@ -1,0 +1,243 @@
+//! Self-contained HTML reports with inline SVG time-series charts — the
+//! paper's Figures 6/7 as actual graphics, one lane per kernel.
+
+use std::fmt::Write as _;
+
+/// Escape text for HTML/SVG bodies and attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One lane of an [`SvgChart`].
+struct Lane {
+    label: String,
+    values: Vec<f64>,
+}
+
+/// A multi-lane SVG time-series chart (lanes stacked vertically, shared
+/// x-axis — the layout of the paper's figures).
+pub struct SvgChart {
+    title: String,
+    width: u32,
+    lane_height: u32,
+    lanes: Vec<Lane>,
+}
+
+impl SvgChart {
+    /// New chart `width` pixels wide with `lane_height`-pixel lanes.
+    pub fn new(title: impl Into<String>, width: u32, lane_height: u32) -> Self {
+        SvgChart {
+            title: title.into(),
+            width: width.max(100),
+            lane_height: lane_height.max(16),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// Add a lane (one value per time slice).
+    pub fn lane(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.lanes.push(Lane { label: label.into(), values });
+    }
+
+    /// Render the `<svg>` element.
+    pub fn render(&self) -> String {
+        const LABEL_W: u32 = 170;
+        const TITLE_H: u32 = 24;
+        let plot_w = self.width - LABEL_W;
+        let total_h = TITLE_H + self.lanes.len() as u32 * (self.lane_height + 4) + 8;
+        let global_max = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.values.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+
+        let mut svg = String::new();
+        write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="monospace" font-size="11">"#,
+            w = self.width,
+            h = total_h
+        )
+        .expect("write to String");
+        write!(
+            svg,
+            r#"<text x="4" y="15" font-size="13">{}</text>"#,
+            escape(&self.title)
+        )
+        .expect("write to String");
+
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let top = TITLE_H + i as u32 * (self.lane_height + 4);
+            let base = top + self.lane_height;
+            write!(
+                svg,
+                r#"<text x="4" y="{y}">{label}</text>"#,
+                y = base - 2,
+                label = escape(&lane.label)
+            )
+            .expect("write to String");
+            write!(
+                svg,
+                r##"<rect x="{x}" y="{top}" width="{pw}" height="{lh}" fill="#f6f6f6"/>"##,
+                x = LABEL_W,
+                top = top,
+                pw = plot_w,
+                lh = self.lane_height
+            )
+            .expect("write to String");
+
+            if lane.values.is_empty() {
+                continue;
+            }
+            // Filled step path over the lane; peak-preserving bucket
+            // downsampling to one bucket per pixel.
+            let n = lane.values.len();
+            let mut d = format!("M {x} {y}", x = LABEL_W, y = base);
+            for px in 0..plot_w {
+                let lo = px as usize * n / plot_w as usize;
+                let hi = (((px + 1) as usize * n) / plot_w as usize).max(lo + 1).min(n);
+                let peak = lane.values[lo..hi].iter().copied().fold(0.0f64, f64::max);
+                let y = base as f64 - (peak / global_max) * self.lane_height as f64;
+                write!(d, " L {x} {y:.1}", x = LABEL_W + px).expect("write to String");
+            }
+            write!(d, " L {x} {y} Z", x = LABEL_W + plot_w - 1, y = base).expect("write");
+            write!(
+                svg,
+                r##"<path d="{d}" fill="#4878a8" stroke="none"/>"##
+            )
+            .expect("write to String");
+
+            let peak = lane.values.iter().copied().fold(0.0f64, f64::max);
+            write!(
+                svg,
+                r##"<text x="{x}" y="{y}" fill="#666">peak {peak:.4}</text>"##,
+                x = LABEL_W + plot_w - 80,
+                y = top + 11
+            )
+            .expect("write to String");
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// A whole HTML report: title, free paragraphs, charts and pre-rendered
+/// monospace blocks (tables), emitted as one self-contained page.
+pub struct HtmlReport {
+    title: String,
+    body: String,
+}
+
+impl HtmlReport {
+    /// New report.
+    pub fn new(title: impl Into<String>) -> Self {
+        HtmlReport { title: title.into(), body: String::new() }
+    }
+
+    /// Add a section heading.
+    pub fn heading(&mut self, text: &str) {
+        write!(self.body, "<h2>{}</h2>", escape(text)).expect("write to String");
+    }
+
+    /// Add a paragraph.
+    pub fn paragraph(&mut self, text: &str) {
+        write!(self.body, "<p>{}</p>", escape(text)).expect("write to String");
+    }
+
+    /// Add a monospace block (e.g. a rendered [`crate::Table`]).
+    pub fn pre(&mut self, text: &str) {
+        write!(self.body, "<pre>{}</pre>", escape(text)).expect("write to String");
+    }
+
+    /// Embed a chart.
+    pub fn chart(&mut self, chart: &SvgChart) {
+        self.body.push_str(&chart.render());
+    }
+
+    /// Render the complete page.
+    pub fn render(&self) -> String {
+        format!(
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{title}</title>\
+             <style>body{{font-family:sans-serif;margin:2em;max-width:1100px}}\
+             pre{{background:#f6f6f6;padding:8px;overflow-x:auto}}</style>\
+             </head><body><h1>{title}</h1>{body}</body></html>",
+            title = escape(&self.title),
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn svg_renders_lanes_and_peaks() {
+        let mut c = SvgChart::new("Fig & co", 600, 28);
+        c.lane("fft1d", vec![0.0, 1.0, 4.0, 2.0]);
+        c.lane("wav_store <odd>", vec![0.0; 4]);
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Fig &amp; co"));
+        assert!(svg.contains("fft1d"));
+        assert!(svg.contains("wav_store &lt;odd&gt;"), "labels escaped");
+        assert!(svg.contains("peak 4.0000"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn svg_peak_survives_downsampling() {
+        let mut values = vec![0.0; 10_000];
+        values[7_777] = 9.0;
+        let mut c = SvgChart::new("t", 400, 24);
+        c.lane("spiky", values);
+        let svg = c.render();
+        assert!(svg.contains("peak 9.0000"));
+        // Some path point must reach the lane top (y == lane top = 24+0…).
+        assert!(svg.contains("L "), "has a path");
+    }
+
+    #[test]
+    fn html_report_is_self_contained() {
+        let mut r = HtmlReport::new("tQUAD report");
+        r.heading("Phases");
+        r.paragraph("Five phases & counting");
+        r.pre("kernel | %time\nfft1d  | 25.58");
+        let mut c = SvgChart::new("bandwidth", 500, 24);
+        c.lane("k", vec![1.0, 2.0]);
+        r.chart(&c);
+        let html = r.render();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<h2>Phases</h2>"));
+        assert!(html.contains("Five phases &amp; counting"));
+        assert!(html.contains("fft1d  | 25.58"));
+        assert!(html.contains("<svg"));
+        assert!(html.ends_with("</body></html>"));
+    }
+
+    #[test]
+    fn empty_lane_is_safe() {
+        let mut c = SvgChart::new("t", 300, 20);
+        c.lane("empty", vec![]);
+        let svg = c.render();
+        assert!(svg.contains("empty"));
+    }
+}

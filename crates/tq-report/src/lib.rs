@@ -1,0 +1,17 @@
+//! # tq-report — report rendering for the tQUAD reproduction
+//!
+//! Shared presentation layer: aligned text tables with CSV/TSV export (the
+//! paper's Tables I–IV), multi-lane ASCII time-series charts (Figures 6–7),
+//! self-contained HTML reports with inline SVG charts, Graphviz DOT export
+//! (the QDU graph of QUAD), and small numeric helpers.
+
+pub mod chart;
+pub mod dot;
+pub mod html;
+pub mod stats;
+pub mod table;
+
+pub use chart::{Series, SeriesChart};
+pub use html::{HtmlReport, SvgChart};
+pub use dot::Digraph;
+pub use table::{f, n, Align, Table};

@@ -1,0 +1,72 @@
+//! Small numeric helpers shared by the profiler reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Maximum; 0 for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0f64, f64::max)
+}
+
+/// `q`-quantile (0..=1) by linear interpolation on the sorted data; 0 for an
+/// empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in profile data"));
+    let pos = q.clamp(0.0, 1.0) * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = pos - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+/// Geometric mean of strictly positive values; 0 if any value is ≤ 0 or the
+/// slice is empty. Used to summarise slowdown factors across configurations.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_max() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(max(&[1.0, 5.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, -1.0]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

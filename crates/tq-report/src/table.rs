@@ -1,0 +1,217 @@
+//! Plain-text table rendering plus CSV/TSV serialisation — used to print
+//! the paper-style tables (flat profiles, QUAD bindings, phase summaries).
+
+/// Column alignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A renderable table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    columns: Vec<(String, Align)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table { title: title.into(), columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Add a column.
+    pub fn col(mut self, name: impl Into<String>, align: Align) -> Self {
+        self.columns.push((name.into(), align));
+        self
+    }
+
+    /// Append a row; must match the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned monospace text.
+    pub fn render(&self) -> String {
+        let ncols = self.columns.len();
+        let mut widths: Vec<usize> = self.columns.iter().map(|(n, _)| n.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-");
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| format!("{:<w$}", n, w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| match self.columns[i].1 {
+                    Align::Left => format!("{:<w$}", c, w = widths[i]),
+                    Align::Right => format!("{:>w$}", c, w = widths[i]),
+                })
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        let _ = ncols;
+        out
+    }
+
+    /// Serialise as CSV (RFC-4180-style quoting of commas/quotes/newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|(n, _)| quote(n))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialise as TSV (tabs stripped from cells).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|(n, _)| n.replace('\t', " "))
+                .collect::<Vec<_>>()
+                .join("\t"),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| c.replace('\t', " "))
+                    .collect::<Vec<_>>()
+                    .join("\t"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `p` decimal places (the paper's tables use 4).
+pub fn f(v: f64, p: usize) -> String {
+    format!("{v:.p$}")
+}
+
+/// Format an integer with thousands separators for readability.
+pub fn n(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T")
+            .col("kernel", Align::Left)
+            .col("%time", Align::Right);
+        t.row(vec!["wav_store".into(), "31.91".into()]);
+        t.row(vec!["fft1d".into(), "28.23".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("kernel"));
+        assert!(lines[3].contains("wav_store | 31.91"));
+        assert!(lines[4].contains("fft1d     | 28.23"));
+    }
+
+    #[test]
+    fn csv_quotes_specials() {
+        let mut t = Table::new("").col("a", Align::Left).col("b", Align::Left);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn tsv_strips_tabs() {
+        let mut t = Table::new("").col("a", Align::Left);
+        t.row(vec!["p\tq".into()]);
+        assert!(t.to_tsv().contains("p q"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("").col("a", Align::Left).col("b", Align::Left);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(n(0), "0");
+        assert_eq!(n(999), "999");
+        assert_eq!(n(1000), "1,000");
+        assert_eq!(n(64941803), "64,941,803");
+        assert_eq!(f(21.5553, 4), "21.5553");
+    }
+}

@@ -1,0 +1,148 @@
+//! The internal call stack.
+//!
+//! "In run-time instrumentation we do not necessarily have any kind of extra
+//! information about the structure of the program […] we needed to implement
+//! our own call graph. For this purpose, an internal call stack data
+//! structure is dynamically created and maintained in tQUAD." (§IV.A)
+//!
+//! Frames are pushed by routine-entry events (`EnterFC`) and popped when a
+//! return executes inside the routine at the top of the stack — the same
+//! "monitor instructions for the return from a function to maintain the
+//! integrity of the internal call stack" logic as the paper. Untracked
+//! (library) routines never get a frame, so their returns do not disturb
+//! the stack and their memory traffic falls through to the tracked caller.
+
+use tq_isa::RoutineId;
+
+/// One stack frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Routine of the frame.
+    pub rtn: RoutineId,
+    /// Stack pointer at entry (distinguishes recursive frames).
+    pub sp: u64,
+}
+
+/// The internal call stack maintained by the tools.
+#[derive(Clone, Debug, Default)]
+pub struct CallStack {
+    frames: Vec<Frame>,
+}
+
+impl CallStack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A routine was entered (tracked routines only).
+    pub fn enter(&mut self, rtn: RoutineId, sp: u64) {
+        self.frames.push(Frame { rtn, sp });
+    }
+
+    /// A `ret` executed inside routine `rtn`. Pops the top frame when it
+    /// belongs to that routine; returns the popped frame.
+    ///
+    /// Returns inside untracked routines (not on the stack) are ignored, as
+    /// are spurious returns when the stack is empty.
+    pub fn ret_in(&mut self, rtn: RoutineId) -> Option<Frame> {
+        match self.frames.last() {
+            Some(top) if top.rtn == rtn => self.frames.pop(),
+            _ => None,
+        }
+    }
+
+    /// The routine currently executing according to the stack, if any.
+    pub fn current(&self) -> Option<RoutineId> {
+        self.frames.last().map(|f| f.rtn)
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when `rtn` has a frame anywhere on the stack (used for
+    /// cumulative-time attribution in the sampling profiler).
+    pub fn contains(&self, rtn: RoutineId) -> bool {
+        self.frames.iter().any(|f| f.rtn == rtn)
+    }
+
+    /// Iterate frames from outermost to innermost.
+    pub fn frames(&self) -> impl Iterator<Item = &Frame> {
+        self.frames.iter()
+    }
+
+    /// Distinct routines on the stack, outermost first (a routine recursing
+    /// appears once — cumulative time must not be double-counted).
+    pub fn distinct_routines(&self) -> Vec<RoutineId> {
+        let mut seen = Vec::new();
+        for f in &self.frames {
+            if !seen.contains(&f.rtn) {
+                seen.push(f.rtn);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: RoutineId = RoutineId(0);
+    const B: RoutineId = RoutineId(1);
+    const LIB: RoutineId = RoutineId(7);
+
+    #[test]
+    fn push_pop_balanced() {
+        let mut cs = CallStack::new();
+        cs.enter(A, 1000);
+        cs.enter(B, 900);
+        assert_eq!(cs.current(), Some(B));
+        assert_eq!(cs.ret_in(B).map(|f| f.rtn), Some(B));
+        assert_eq!(cs.current(), Some(A));
+        assert_eq!(cs.ret_in(A).map(|f| f.rtn), Some(A));
+        assert_eq!(cs.current(), None);
+    }
+
+    #[test]
+    fn untracked_returns_do_not_pop() {
+        let mut cs = CallStack::new();
+        cs.enter(A, 1000);
+        // A library routine (never pushed) returns: the user frame stays.
+        assert_eq!(cs.ret_in(LIB), None);
+        assert_eq!(cs.current(), Some(A));
+    }
+
+    #[test]
+    fn spurious_ret_on_empty_stack_is_ignored() {
+        let mut cs = CallStack::new();
+        assert_eq!(cs.ret_in(A), None);
+        assert_eq!(cs.depth(), 0);
+    }
+
+    #[test]
+    fn recursion_tracks_depth_and_distinct() {
+        let mut cs = CallStack::new();
+        cs.enter(A, 1000);
+        cs.enter(A, 900);
+        cs.enter(A, 800);
+        assert_eq!(cs.depth(), 3);
+        assert_eq!(cs.distinct_routines(), vec![A]);
+        assert!(cs.contains(A));
+        assert!(!cs.contains(B));
+        cs.ret_in(A);
+        assert_eq!(cs.depth(), 2);
+        assert_eq!(cs.current(), Some(A));
+    }
+
+    #[test]
+    fn distinct_preserves_outer_to_inner_order() {
+        let mut cs = CallStack::new();
+        cs.enter(A, 1000);
+        cs.enter(B, 900);
+        cs.enter(A, 800);
+        assert_eq!(cs.distinct_routines(), vec![A, B]);
+    }
+}

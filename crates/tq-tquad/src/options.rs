@@ -1,0 +1,69 @@
+//! Profiling options — the three command-line options of the paper's tool:
+//! time-slice interval, inclusion/exclusion of local stack-area accesses,
+//! and exclusion of library/OS routines.
+
+/// How library (non-main-image) routines are handled — the paper's option
+/// "to exclude them from the internal call stack".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LibPolicy {
+    /// Track library routines like any kernel (they appear in reports).
+    Track,
+    /// Do not push library routines on the internal call stack: their memory
+    /// traffic is attributed to the calling user kernel.
+    AttributeToCaller,
+    /// Drop memory traffic performed inside library routines entirely ("the
+    /// exclusion of memory bandwidth usage data caused by OS and library
+    /// routine calls").
+    Drop,
+}
+
+/// tQUAD options.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TquadOptions {
+    /// Time-slice interval in instructions. The paper sweeps 5000 … 10⁸;
+    /// "with large time slices, we lose some information".
+    pub slice_interval: u64,
+    /// Library-routine policy.
+    pub lib_policy: LibPolicy,
+}
+
+impl Default for TquadOptions {
+    fn default() -> Self {
+        TquadOptions { slice_interval: 100_000, lib_policy: LibPolicy::AttributeToCaller }
+    }
+}
+
+impl TquadOptions {
+    /// Set the slice interval.
+    pub fn with_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "slice interval must be positive");
+        self.slice_interval = interval;
+        self
+    }
+
+    /// Set the library policy.
+    pub fn with_lib_policy(mut self, p: LibPolicy) -> Self {
+        self.lib_policy = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        let o = TquadOptions::default();
+        assert!(o.slice_interval > 0);
+        let o = o.with_interval(5000).with_lib_policy(LibPolicy::Drop);
+        assert_eq!(o.slice_interval, 5000);
+        assert_eq!(o.lib_policy, LibPolicy::Drop);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        TquadOptions::default().with_interval(0);
+    }
+}

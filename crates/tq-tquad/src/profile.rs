@@ -1,0 +1,332 @@
+//! The measurement results of a tQUAD run and the derived per-kernel
+//! bandwidth statistics of Table IV.
+
+use crate::series::KernelSeries;
+use serde::{Deserialize, Serialize};
+use tq_isa::RoutineId;
+
+/// Measurements for one kernel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Routine id.
+    pub rtn: RoutineId,
+    /// Kernel name.
+    pub name: String,
+    /// Whether the kernel lives in the main image.
+    pub main_image: bool,
+    /// Number of (tracked) invocations.
+    pub calls: u64,
+    /// Time-sliced bandwidth series.
+    pub series: KernelSeries,
+}
+
+/// Derived bandwidth statistics for one kernel under one stack filter — one
+/// row of Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthStats {
+    /// Number of slices in which the kernel accessed memory ("activity
+    /// span" in Table IV).
+    pub activity_span: u64,
+    /// First active slice.
+    pub first_slice: u64,
+    /// Last active slice.
+    pub last_slice: u64,
+    /// Average read bandwidth in bytes/instruction over the active slices.
+    pub avg_read_bpi: f64,
+    /// Average write bandwidth in bytes/instruction over the active slices.
+    pub avg_write_bpi: f64,
+    /// Peak read+write bandwidth in bytes/instruction over any slice.
+    pub max_total_bpi: f64,
+}
+
+/// The complete result of a tQUAD run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TquadProfile {
+    /// Slice interval in instructions.
+    pub interval: u64,
+    /// Total instructions executed.
+    pub total_icount: u64,
+    /// One entry per routine (including never-active ones).
+    pub kernels: Vec<KernelProfile>,
+    /// Accesses dropped by the library policy.
+    pub dropped_accesses: u64,
+    /// Prefetch events the analysis routines ignored.
+    pub prefetches_ignored: u64,
+}
+
+impl TquadProfile {
+    /// Number of time slices the run spanned ("64 time slices are counted
+    /// representing the execution of more than six billion instructions").
+    pub fn n_slices(&self) -> u64 {
+        self.total_icount.div_ceil(self.interval).max(1)
+    }
+
+    /// Look a kernel up by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelProfile> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Kernels that accessed memory at all, ordered by total traffic
+    /// (stack included), descending — the "top kernels" selection.
+    pub fn active_kernels(&self) -> Vec<&KernelProfile> {
+        let mut ks: Vec<&KernelProfile> = self
+            .kernels
+            .iter()
+            .filter(|k| k.series.active_slices(true) > 0)
+            .collect();
+        ks.sort_by_key(|k| {
+            let (r, w) = k.series.totals(true);
+            std::cmp::Reverse(r + w)
+        });
+        ks
+    }
+
+    /// Table IV statistics for one kernel under a stack filter. `None` when
+    /// the kernel never accessed memory under that filter.
+    pub fn stats(&self, kernel: &KernelProfile, include_stack: bool) -> Option<BandwidthStats> {
+        let active = kernel.series.active_slices(include_stack);
+        if active == 0 {
+            return None;
+        }
+        let (first, last) = kernel.series.span(include_stack).expect("active kernel has a span");
+        let (r, w) = kernel.series.totals(include_stack);
+        let denom = (active * self.interval) as f64;
+        Some(BandwidthStats {
+            activity_span: active,
+            first_slice: first,
+            last_slice: last,
+            avg_read_bpi: r as f64 / denom,
+            avg_write_bpi: w as f64 / denom,
+            max_total_bpi: kernel.series.peak_total(include_stack) as f64 / self.interval as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_one() -> TquadProfile {
+        let mut s = KernelSeries::new();
+        // slice 0: 100 B read (40 global), 50 B write (all global)
+        s.record(0, true, 40, false);
+        s.record(0, true, 60, true);
+        s.record(0, false, 50, false);
+        // slice 2: stack-only
+        s.record(2, true, 10, true);
+        TquadProfile {
+            interval: 100,
+            total_icount: 500,
+            kernels: vec![KernelProfile {
+                rtn: RoutineId(0),
+                name: "k".into(),
+                main_image: true,
+                calls: 3,
+                series: s,
+            }],
+            dropped_accesses: 0,
+            prefetches_ignored: 0,
+        }
+    }
+
+    #[test]
+    fn n_slices_rounds_up() {
+        let p = profile_one();
+        assert_eq!(p.n_slices(), 5);
+    }
+
+    #[test]
+    fn stats_include_stack() {
+        let p = profile_one();
+        let st = p.stats(&p.kernels[0], true).unwrap();
+        assert_eq!(st.activity_span, 2);
+        assert_eq!((st.first_slice, st.last_slice), (0, 2));
+        // (100+10) read bytes over 2 active slices × 100 instr.
+        assert!((st.avg_read_bpi - 110.0 / 200.0).abs() < 1e-12);
+        assert!((st.avg_write_bpi - 50.0 / 200.0).abs() < 1e-12);
+        // Peak slice: slice 0 with 150 B.
+        assert!((st.max_total_bpi - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_exclude_stack() {
+        let p = profile_one();
+        let st = p.stats(&p.kernels[0], false).unwrap();
+        assert_eq!(st.activity_span, 1, "stack-only slice drops out");
+        assert_eq!((st.first_slice, st.last_slice), (0, 0));
+        assert!((st.avg_read_bpi - 0.4).abs() < 1e-12);
+        assert!((st.avg_write_bpi - 0.5).abs() < 1e-12);
+        assert!((st.max_total_bpi - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_kernel_has_no_stats() {
+        let p = TquadProfile {
+            interval: 10,
+            total_icount: 100,
+            kernels: vec![KernelProfile {
+                rtn: RoutineId(0),
+                name: "idle".into(),
+                main_image: true,
+                calls: 0,
+                series: KernelSeries::new(),
+            }],
+            dropped_accesses: 0,
+            prefetches_ignored: 0,
+        };
+        assert!(p.stats(&p.kernels[0], true).is_none());
+        assert!(p.active_kernels().is_empty());
+    }
+}
+
+/// A contiguous run of active slices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityInterval {
+    /// First slice of the interval.
+    pub start: u64,
+    /// Last slice of the interval (inclusive).
+    pub end: u64,
+    /// Bytes moved (read + write) within the interval.
+    pub bytes: u64,
+}
+
+impl TquadProfile {
+    /// The exact time intervals in which a kernel communicates with memory
+    /// — "tQUAD is capable of providing the detailed information about the
+    /// exact time intervals in which a kernel is communicating with the
+    /// memory" (§V). Active slices separated by at most `gap_tolerance`
+    /// silent slices are merged into one interval (0 = strictly
+    /// contiguous).
+    pub fn activity_intervals(
+        &self,
+        kernel: &KernelProfile,
+        include_stack: bool,
+        gap_tolerance: u64,
+    ) -> Vec<ActivityInterval> {
+        let mut out: Vec<ActivityInterval> = Vec::new();
+        for e in kernel.series.entries() {
+            let total = e.total(include_stack);
+            if total == 0 {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if e.slice <= last.end + gap_tolerance + 1 => {
+                    last.end = e.slice;
+                    last.bytes += total;
+                }
+                _ => out.push(ActivityInterval { start: e.slice, end: e.slice, bytes: total }),
+            }
+        }
+        out
+    }
+
+    /// Average the Table IV statistics of one kernel across several runs
+    /// of the *same* program at different slice intervals — "the average
+    /// memory bandwidth usage is calculated over several passes with
+    /// different time slices" (§V). Bytes/instruction is already
+    /// interval-normalised, so a plain mean is meaningful; `None` when the
+    /// kernel is inactive in every pass.
+    pub fn averaged_stats(
+        passes: &[&TquadProfile],
+        kernel_name: &str,
+        include_stack: bool,
+    ) -> Option<BandwidthStats> {
+        let per_pass: Vec<BandwidthStats> = passes
+            .iter()
+            .filter_map(|p| {
+                let k = p.kernel(kernel_name)?;
+                p.stats(k, include_stack)
+            })
+            .collect();
+        if per_pass.is_empty() {
+            return None;
+        }
+        let n = per_pass.len() as f64;
+        Some(BandwidthStats {
+            // Span counts are interval-dependent; report the finest pass's
+            // (largest count), like the paper's per-pass tables.
+            activity_span: per_pass.iter().map(|s| s.activity_span).max().expect("non-empty"),
+            first_slice: per_pass.iter().map(|s| s.first_slice).min().expect("non-empty"),
+            last_slice: per_pass.iter().map(|s| s.last_slice).max().expect("non-empty"),
+            avg_read_bpi: per_pass.iter().map(|s| s.avg_read_bpi).sum::<f64>() / n,
+            avg_write_bpi: per_pass.iter().map(|s| s.avg_write_bpi).sum::<f64>() / n,
+            max_total_bpi: per_pass.iter().map(|s| s.max_total_bpi).sum::<f64>() / n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod interval_tests {
+    use super::*;
+    use crate::series::KernelSeries;
+
+    fn kp(slices: &[(u64, u64)]) -> KernelProfile {
+        let mut s = KernelSeries::new();
+        for &(slice, bytes) in slices {
+            s.record(slice, true, bytes, false);
+        }
+        KernelProfile {
+            rtn: RoutineId(0),
+            name: "k".into(),
+            main_image: true,
+            calls: 1,
+            series: s,
+        }
+    }
+
+    fn profile(k: KernelProfile, interval: u64, icount: u64) -> TquadProfile {
+        TquadProfile {
+            interval,
+            total_icount: icount,
+            kernels: vec![k],
+            dropped_accesses: 0,
+            prefetches_ignored: 0,
+        }
+    }
+
+    #[test]
+    fn intervals_merge_within_tolerance() {
+        let p = profile(kp(&[(0, 8), (1, 8), (5, 8), (6, 8), (20, 8)]), 100, 3000);
+        let k = &p.kernels[0];
+        let strict = p.activity_intervals(k, true, 0);
+        assert_eq!(
+            strict,
+            vec![
+                ActivityInterval { start: 0, end: 1, bytes: 16 },
+                ActivityInterval { start: 5, end: 6, bytes: 16 },
+                ActivityInterval { start: 20, end: 20, bytes: 8 },
+            ]
+        );
+        let loose = p.activity_intervals(k, true, 3);
+        assert_eq!(loose.len(), 2, "gap of 3 merges the first two runs: {loose:?}");
+        assert_eq!(loose[0], ActivityInterval { start: 0, end: 6, bytes: 32 });
+    }
+
+    #[test]
+    fn intervals_respect_stack_filter() {
+        let mut s = KernelSeries::new();
+        s.record(0, true, 8, true); // stack-only slice
+        s.record(2, true, 8, false);
+        let k = KernelProfile {
+            rtn: RoutineId(0),
+            name: "k".into(),
+            main_image: true,
+            calls: 1,
+            series: s,
+        };
+        let p = profile(k, 100, 300);
+        assert_eq!(p.activity_intervals(&p.kernels[0], true, 0).len(), 2);
+        assert_eq!(p.activity_intervals(&p.kernels[0], false, 0).len(), 1);
+    }
+
+    #[test]
+    fn averaging_across_passes() {
+        // Same 80 bytes over the run, measured at two intervals.
+        let p1 = profile(kp(&[(0, 40), (1, 40)]), 100, 200); // avg R = 80/200
+        let p2 = profile(kp(&[(0, 80)]), 200, 200); // avg R = 80/200
+        let avg = TquadProfile::averaged_stats(&[&p1, &p2], "k", true).unwrap();
+        assert!((avg.avg_read_bpi - 0.4).abs() < 1e-12);
+        assert_eq!(avg.activity_span, 2, "finest pass's span");
+        assert!(TquadProfile::averaged_stats(&[&p1], "nope", true).is_none());
+    }
+}

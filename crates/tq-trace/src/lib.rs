@@ -1,0 +1,525 @@
+//! # tq-trace — event-trace recording and offline replay
+//!
+//! Decouples *capture* from *analysis*, the standard profiler architecture
+//! the paper's framework implies: the [`TraceRecorder`] tool runs under
+//! the VM once, writing every memory/call/return/routine-entry event into
+//! a compact delta+varint stream; [`Trace::replay`] then feeds any
+//! [`tq_vm::Tool`] offline, as many times as needed — e.g. the §V.B
+//! slice-interval sweep becomes one capture plus N cheap replays instead
+//! of N instrumented executions.
+//!
+//! Replay is **exact** for event-driven tools (tQUAD, QUAD): the replayed
+//! event sequence is bit-identical to the live one, which the round-trip
+//! tests assert. Tick-driven tools (the sampling profiler) get ticks
+//! synthesised from the recorded virtual clock; the tick's instruction
+//! pointer is the most recent event's, an approximation documented on
+//! [`Trace::replay`].
+
+pub mod varint;
+
+use std::io::{Read, Write};
+use tq_isa::RoutineId;
+use tq_vm::{standard_mask, Event, HookMask, InsContext, ProgramInfo, RoutineMeta, Tool};
+use varint::{read_i64, read_u64, write_i64, write_u64};
+
+const MAGIC: &[u8; 8] = b"TQTRACE1";
+
+const K_MEM_READ: u64 = 0;
+const K_MEM_WRITE: u64 = 1;
+const K_CALL: u64 = 2;
+const K_RET: u64 = 3;
+const K_RTN_ENTER: u64 = 4;
+const K_FINI: u64 = 5;
+
+/// A recorded trace: program facts plus the encoded event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Routine table and stack base, as tools received them at attach time.
+    pub info: ProgramInfo,
+    /// Encoded events.
+    pub events: Vec<u8>,
+    /// Number of events recorded.
+    pub n_events: u64,
+}
+
+/// Decoder state shared by writer and reader so deltas stay in sync.
+#[derive(Default)]
+struct DeltaState {
+    icount: u64,
+    ip: u64,
+    ea: u64,
+    sp: u64,
+}
+
+/// The recording tool: subscribe to everything, append deltas.
+pub struct TraceRecorder {
+    info: Option<ProgramInfo>,
+    buf: Vec<u8>,
+    state: DeltaState,
+    n_events: u64,
+}
+
+impl TraceRecorder {
+    /// New recorder.
+    pub fn new() -> Self {
+        TraceRecorder { info: None, buf: Vec::new(), state: DeltaState::default(), n_events: 0 }
+    }
+
+    /// Consume into the finished trace. Panics if the recorder was never
+    /// attached to a VM.
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            info: self.info.expect("recorder was attached"),
+            events: self.buf,
+            n_events: self.n_events,
+        }
+    }
+
+    #[inline]
+    fn head(&mut self, kind: u64, icount: u64) {
+        write_u64(&mut self.buf, kind);
+        write_u64(&mut self.buf, icount - self.state.icount);
+        self.state.icount = icount;
+        self.n_events += 1;
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tool for TraceRecorder {
+    fn name(&self) -> &str {
+        "trace-recorder"
+    }
+
+    fn on_attach(&mut self, info: &ProgramInfo) {
+        self.info = Some(info.clone());
+    }
+
+    fn instrument_ins(&mut self, ins: &InsContext<'_>) -> HookMask {
+        standard_mask(ins)
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        match *ev {
+            Event::MemRead { ip, ea, size, sp, is_prefetch, icount, rtn } => {
+                self.head(K_MEM_READ, icount);
+                write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
+                self.state.ip = ip;
+                write_i64(&mut self.buf, ea as i64 - self.state.ea as i64);
+                self.state.ea = ea;
+                write_u64(&mut self.buf, size as u64);
+                write_i64(&mut self.buf, sp as i64 - self.state.sp as i64);
+                self.state.sp = sp;
+                write_u64(&mut self.buf, ((rtn.0 as u64) << 1) | is_prefetch as u64);
+            }
+            Event::MemWrite { ip, ea, size, sp, icount, rtn } => {
+                self.head(K_MEM_WRITE, icount);
+                write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
+                self.state.ip = ip;
+                write_i64(&mut self.buf, ea as i64 - self.state.ea as i64);
+                self.state.ea = ea;
+                write_u64(&mut self.buf, size as u64);
+                write_i64(&mut self.buf, sp as i64 - self.state.sp as i64);
+                self.state.sp = sp;
+                write_u64(&mut self.buf, rtn.0 as u64);
+            }
+            Event::Call { ip, callee, icount, rtn } => {
+                self.head(K_CALL, icount);
+                write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
+                self.state.ip = ip;
+                write_u64(&mut self.buf, callee.0 as u64);
+                write_u64(&mut self.buf, rtn.0 as u64);
+            }
+            Event::Ret { ip, return_to, icount, rtn } => {
+                self.head(K_RET, icount);
+                write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
+                self.state.ip = ip;
+                write_i64(&mut self.buf, return_to as i64 - self.state.ip as i64);
+                write_u64(&mut self.buf, rtn.0 as u64);
+            }
+            Event::RoutineEnter { rtn, sp, icount } => {
+                self.head(K_RTN_ENTER, icount);
+                write_u64(&mut self.buf, rtn.0 as u64);
+                write_i64(&mut self.buf, sp as i64 - self.state.sp as i64);
+                self.state.sp = sp;
+            }
+            Event::Tick { .. } => {} // never subscribed
+        }
+    }
+
+    fn on_fini(&mut self, final_icount: u64) {
+        self.head(K_FINI, final_icount);
+    }
+}
+
+/// Replay/serialisation error.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The byte stream is truncated or malformed.
+    Malformed(&'static str),
+    /// Bad magic/version on load.
+    BadHeader,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Malformed(what) => write!(f, "malformed trace: {what}"),
+            TraceError::BadHeader => write!(f, "not a TQTRACE1 file"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Replay the trace into `tool`: `on_attach`, every event in order,
+    /// then `on_fini`. The tool's `instrument_ins` is never called —
+    /// recording already applied the standard all-events instrumentation,
+    /// so replay delivers a superset of what any instrumentation mask
+    /// would have selected; event-driven tools behave identically.
+    ///
+    /// If the tool requests ticks, they are synthesised whenever the
+    /// virtual clock passes a multiple of the interval; the tick's `ip`
+    /// and `rtn` are those of the most recent event (live ticks carry the
+    /// *current* instruction — exact for event-dense code, approximate
+    /// across long event-free stretches).
+    pub fn replay(&self, tool: &mut dyn Tool) -> Result<(), TraceError> {
+        tool.on_attach(&self.info);
+        let tick = tool.tick_interval().unwrap_or(0);
+        let mut next_tick = if tick > 0 { tick } else { u64::MAX };
+
+        let buf = &self.events;
+        let mut pos = 0usize;
+        let mut st = DeltaState::default();
+        let bad = TraceError::Malformed("truncated event");
+        macro_rules! ru {
+            () => {
+                read_u64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
+            };
+        }
+        macro_rules! ri {
+            () => {
+                read_i64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
+            };
+        }
+
+        let mut last_rtn = RoutineId::INVALID;
+        while pos < buf.len() {
+            let kind = ru!();
+            let icount = st.icount + ru!();
+            st.icount = icount;
+
+            while next_tick <= icount {
+                tool.on_event(&Event::Tick { icount: next_tick, ip: st.ip, rtn: last_rtn });
+                next_tick += tick;
+            }
+
+            match kind {
+                K_MEM_READ => {
+                    st.ip = (st.ip as i64 + ri!()) as u64;
+                    st.ea = (st.ea as i64 + ri!()) as u64;
+                    let size = ru!() as u32;
+                    st.sp = (st.sp as i64 + ri!()) as u64;
+                    let packed = ru!();
+                    let rtn = RoutineId((packed >> 1) as u32);
+                    last_rtn = rtn;
+                    tool.on_event(&Event::MemRead {
+                        ip: st.ip,
+                        ea: st.ea,
+                        size,
+                        sp: st.sp,
+                        is_prefetch: packed & 1 != 0,
+                        icount,
+                        rtn,
+                    });
+                }
+                K_MEM_WRITE => {
+                    st.ip = (st.ip as i64 + ri!()) as u64;
+                    st.ea = (st.ea as i64 + ri!()) as u64;
+                    let size = ru!() as u32;
+                    st.sp = (st.sp as i64 + ri!()) as u64;
+                    let rtn = RoutineId(ru!() as u32);
+                    last_rtn = rtn;
+                    tool.on_event(&Event::MemWrite {
+                        ip: st.ip,
+                        ea: st.ea,
+                        size,
+                        sp: st.sp,
+                        icount,
+                        rtn,
+                    });
+                }
+                K_CALL => {
+                    st.ip = (st.ip as i64 + ri!()) as u64;
+                    let callee = RoutineId(ru!() as u32);
+                    let rtn = RoutineId(ru!() as u32);
+                    last_rtn = rtn;
+                    tool.on_event(&Event::Call { ip: st.ip, callee, icount, rtn });
+                }
+                K_RET => {
+                    st.ip = (st.ip as i64 + ri!()) as u64;
+                    let return_to = (st.ip as i64 + ri!()) as u64;
+                    let rtn = RoutineId(ru!() as u32);
+                    last_rtn = rtn;
+                    tool.on_event(&Event::Ret { ip: st.ip, return_to, icount, rtn });
+                }
+                K_RTN_ENTER => {
+                    let rtn = RoutineId(ru!() as u32);
+                    st.sp = (st.sp as i64 + ri!()) as u64;
+                    last_rtn = rtn;
+                    tool.on_event(&Event::RoutineEnter { rtn, sp: st.sp, icount });
+                }
+                K_FINI => {
+                    tool.on_fini(icount);
+                    return Ok(());
+                }
+                _ => return Err(bad),
+            }
+        }
+        // No Fini record (recorder detached before program end).
+        tool.on_fini(st.icount);
+        Ok(())
+    }
+
+    /// Serialise (header + routine table + events) to a writer.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut head = Vec::new();
+        head.extend_from_slice(MAGIC);
+        write_u64(&mut head, self.info.stack_base);
+        write_u64(&mut head, self.info.entry);
+        write_u64(&mut head, self.info.routines.len() as u64);
+        for r in &self.info.routines {
+            write_u64(&mut head, r.name.len() as u64);
+            head.extend_from_slice(r.name.as_bytes());
+            write_u64(&mut head, r.image.len() as u64);
+            head.extend_from_slice(r.image.as_bytes());
+            head.push(r.main_image as u8);
+            write_u64(&mut head, r.start);
+            write_u64(&mut head, r.end);
+        }
+        write_u64(&mut head, self.n_events);
+        write_u64(&mut head, self.events.len() as u64);
+        w.write_all(&head)?;
+        w.write_all(&self.events)
+    }
+
+    /// Deserialise from a reader.
+    pub fn load<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes).map_err(|_| TraceError::Malformed("io error"))?;
+        if bytes.len() < 8 || &bytes[..8] != MAGIC {
+            return Err(TraceError::BadHeader);
+        }
+        let mut pos = 8usize;
+        let bad = |_: ()| TraceError::Malformed("truncated header");
+        let ru = |pos: &mut usize| read_u64(&bytes, pos).ok_or(bad(()));
+        let stack_base = ru(&mut pos)?;
+        let entry = ru(&mut pos)?;
+        let n_routines = ru(&mut pos)? as usize;
+        let mut routines = Vec::with_capacity(n_routines);
+        for i in 0..n_routines {
+            let name_len = ru(&mut pos)? as usize;
+            let name = String::from_utf8(
+                bytes.get(pos..pos + name_len).ok_or(bad(()))?.to_vec(),
+            )
+            .map_err(|_| TraceError::Malformed("bad utf8"))?;
+            pos += name_len;
+            let img_len = ru(&mut pos)? as usize;
+            let image = String::from_utf8(
+                bytes.get(pos..pos + img_len).ok_or(bad(()))?.to_vec(),
+            )
+            .map_err(|_| TraceError::Malformed("bad utf8"))?;
+            pos += img_len;
+            let main_image = *bytes.get(pos).ok_or(bad(()))? != 0;
+            pos += 1;
+            let start = ru(&mut pos)?;
+            let end = ru(&mut pos)?;
+            routines.push(RoutineMeta {
+                id: RoutineId(i as u32),
+                name,
+                image,
+                main_image,
+                start,
+                end,
+            });
+        }
+        let n_events = ru(&mut pos)?;
+        let ev_len = ru(&mut pos)? as usize;
+        let events = bytes.get(pos..pos + ev_len).ok_or(bad(()))?.to_vec();
+        Ok(Trace {
+            info: ProgramInfo { routines, stack_base, entry },
+            events,
+            n_events,
+        })
+    }
+
+    /// Average encoded bytes per event.
+    pub fn bytes_per_event(&self) -> f64 {
+        self.events.len() as f64 / self.n_events.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects replayed events for comparison.
+    #[derive(Default)]
+    struct Collector {
+        events: Vec<String>,
+        fini: Option<u64>,
+    }
+
+    impl Tool for Collector {
+        fn name(&self) -> &str {
+            "collector"
+        }
+        fn instrument_ins(&mut self, ins: &InsContext<'_>) -> HookMask {
+            standard_mask(ins)
+        }
+        fn on_event(&mut self, ev: &Event) {
+            self.events.push(format!("{ev:?}"));
+        }
+        fn on_fini(&mut self, icount: u64) {
+            self.fini = Some(icount);
+        }
+    }
+
+    fn dummy_info() -> ProgramInfo {
+        ProgramInfo {
+            routines: vec![RoutineMeta {
+                id: RoutineId(0),
+                name: "main".into(),
+                image: "app".into(),
+                main_image: true,
+                start: 0x10000,
+                end: 0x10100,
+            }],
+            stack_base: 0x3FFF_FF00,
+            entry: 0x10000,
+        }
+    }
+
+    #[test]
+    fn record_replay_roundtrip_event_for_event() {
+        let mut rec = TraceRecorder::new();
+        rec.on_attach(&dummy_info());
+        let evs = [
+            Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 },
+            Event::MemWrite {
+                ip: 0x10008,
+                ea: 0x1000_0000,
+                size: 8,
+                sp: 0x3FFF_FE00,
+                icount: 2,
+                rtn: RoutineId(0),
+            },
+            Event::MemRead {
+                ip: 0x10010,
+                ea: 0x1000_0000,
+                size: 4,
+                sp: 0x3FFF_FE00,
+                is_prefetch: false,
+                icount: 3,
+                rtn: RoutineId(0),
+            },
+            Event::MemRead {
+                ip: 0x10018,
+                ea: 0x1000_0040,
+                size: 8,
+                sp: 0x3FFF_FE00,
+                is_prefetch: true,
+                icount: 4,
+                rtn: RoutineId(0),
+            },
+            Event::Call { ip: 0x10020, callee: RoutineId(0), icount: 5, rtn: RoutineId(0) },
+            Event::Ret { ip: 0x10028, return_to: 0x10028, icount: 9, rtn: RoutineId(0) },
+        ];
+        let mut expected = Vec::new();
+        for e in &evs {
+            rec.on_event(e);
+            expected.push(format!("{e:?}"));
+        }
+        rec.on_fini(12);
+        let trace = rec.into_trace();
+
+        let mut c = Collector::default();
+        trace.replay(&mut c).unwrap();
+        assert_eq!(c.events, expected);
+        assert_eq!(c.fini, Some(12));
+        assert!(trace.bytes_per_event() < 16.0, "{} B/event", trace.bytes_per_event());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rec = TraceRecorder::new();
+        rec.on_attach(&dummy_info());
+        rec.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 100, icount: 1 });
+        rec.on_fini(5);
+        let trace = rec.into_trace();
+
+        let mut bytes = Vec::new();
+        trace.save(&mut bytes).unwrap();
+        let back = Trace::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert_eq!(Trace::load(&mut &b"nope"[..]), Err(TraceError::BadHeader));
+        let mut bytes = Vec::new();
+        TraceRecorder::new()
+            .into_trace_guarded(&dummy_info())
+            .save(&mut bytes)
+            .unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(Trace::load(&mut bytes.as_slice()).is_err());
+    }
+
+    impl TraceRecorder {
+        /// Test helper: force-attach and convert.
+        fn into_trace_guarded(mut self, info: &ProgramInfo) -> Trace {
+            self.on_attach(info);
+            self.on_fini(1);
+            self.into_trace()
+        }
+    }
+
+    #[test]
+    fn synthesised_ticks_fire_on_schedule() {
+        struct Ticker {
+            ticks: Vec<u64>,
+        }
+        impl Tool for Ticker {
+            fn name(&self) -> &str {
+                "ticker"
+            }
+            fn instrument_ins(&mut self, _: &InsContext<'_>) -> HookMask {
+                0
+            }
+            fn tick_interval(&self) -> Option<u64> {
+                Some(10)
+            }
+            fn on_event(&mut self, ev: &Event) {
+                if let Event::Tick { icount, .. } = ev {
+                    self.ticks.push(*icount);
+                }
+            }
+        }
+        let mut rec = TraceRecorder::new();
+        rec.on_attach(&dummy_info());
+        for i in [3u64, 12, 25, 47] {
+            rec.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0, icount: i });
+        }
+        rec.on_fini(50);
+        let trace = rec.into_trace();
+        let mut t = Ticker { ticks: Vec::new() };
+        trace.replay(&mut t).unwrap();
+        assert_eq!(t.ticks, vec![10, 20, 30, 40, 50]);
+    }
+}

@@ -1,0 +1,94 @@
+//! LEB128 varints with zigzag signing — the trace format's primitive.
+
+/// Append an unsigned LEB128 varint.
+#[inline]
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-encoded signed varint.
+#[inline]
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Decode an unsigned varint at `pos`, advancing it. `None` on truncation
+/// or a varint longer than 10 bytes.
+#[inline]
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut out: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow
+        }
+        out |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Decode a zigzag-encoded signed varint.
+#[inline]
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    let z = read_u64(buf, pos)?;
+    Some(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_edges() {
+        for v in [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf[..buf.len() - 1], &mut pos), None);
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+}

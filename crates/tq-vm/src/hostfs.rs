@@ -1,0 +1,200 @@
+//! The simulated file system and console behind the VM's host calls.
+//!
+//! The *hArtes wfs* case study runs in off-line mode: audio comes from and
+//! goes to files. Pin cannot see kernel-mode code, so the bytes moved by a
+//! `read(2)` never appear in the instrumented trace — only the user-level
+//! loop that subsequently walks the buffer does. The reproduction keeps that
+//! boundary: host calls move bytes between [`HostFs`] files and simulated
+//! memory *outside* the instrumented world.
+
+use std::collections::BTreeMap;
+
+/// Open-mode of a file descriptor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsMode {
+    /// Reading an existing file.
+    Read,
+    /// Writing (creates or truncates).
+    Write,
+}
+
+#[derive(Debug)]
+struct OpenFile {
+    name: String,
+    pos: usize,
+    mode: FsMode,
+    open: bool,
+}
+
+/// An in-memory file system plus a console buffer.
+#[derive(Default, Debug)]
+pub struct HostFs {
+    files: BTreeMap<String, Vec<u8>>,
+    fds: Vec<OpenFile>,
+    console: String,
+}
+
+impl HostFs {
+    /// Empty file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) a file.
+    pub fn add_file(&mut self, name: impl Into<String>, bytes: Vec<u8>) {
+        self.files.insert(name.into(), bytes);
+    }
+
+    /// Fetch a file's contents.
+    pub fn file(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|v| v.as_slice())
+    }
+
+    /// Names of all files, sorted.
+    pub fn file_names(&self) -> Vec<&str> {
+        self.files.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Open `name`; returns a file descriptor or `None` (read of a missing
+    /// file).
+    pub fn open(&mut self, name: &str, mode: FsMode) -> Option<i64> {
+        match mode {
+            FsMode::Read => {
+                if !self.files.contains_key(name) {
+                    return None;
+                }
+            }
+            FsMode::Write => {
+                self.files.insert(name.to_string(), Vec::new());
+            }
+        }
+        self.fds.push(OpenFile { name: name.to_string(), pos: 0, mode, open: true });
+        Some(self.fds.len() as i64 - 1)
+    }
+
+    /// Close a descriptor. Closing twice or closing a bad fd is a no-op
+    /// returning `false`.
+    pub fn close(&mut self, fd: i64) -> bool {
+        match self.fds.get_mut(fd as usize) {
+            Some(f) if f.open => {
+                f.open = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Read up to `buf.len()` bytes from `fd` at its cursor. Returns bytes
+    /// read, or −1 for a bad descriptor/mode.
+    pub fn read(&mut self, fd: i64, buf: &mut [u8]) -> i64 {
+        let Some(f) = self.fds.get_mut(fd as usize) else { return -1 };
+        if !f.open || f.mode != FsMode::Read {
+            return -1;
+        }
+        let data = self.files.get(&f.name).map(|v| v.as_slice()).unwrap_or(&[]);
+        let n = buf.len().min(data.len().saturating_sub(f.pos));
+        buf[..n].copy_from_slice(&data[f.pos..f.pos + n]);
+        f.pos += n;
+        n as i64
+    }
+
+    /// Append `buf` to `fd`. Returns bytes written, or −1.
+    pub fn write(&mut self, fd: i64, buf: &[u8]) -> i64 {
+        let Some(f) = self.fds.get_mut(fd as usize) else { return -1 };
+        if !f.open || f.mode != FsMode::Write {
+            return -1;
+        }
+        let data = self.files.get_mut(&f.name).expect("open write fd has a file");
+        data.extend_from_slice(buf);
+        f.pos += buf.len();
+        buf.len() as i64
+    }
+
+    /// Size of the file behind `fd`, or −1.
+    pub fn size(&self, fd: i64) -> i64 {
+        match self.fds.get(fd as usize) {
+            Some(f) if f.open => self.files.get(&f.name).map(|v| v.len() as i64).unwrap_or(0),
+            _ => -1,
+        }
+    }
+
+    /// Append to the console buffer.
+    pub fn console_push(&mut self, s: &str) {
+        self.console.push_str(s);
+    }
+
+    /// Everything printed so far.
+    pub fn console(&self) -> &str {
+        &self.console
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_read_missing_file_fails() {
+        let mut fs = HostFs::new();
+        assert_eq!(fs.open("nope", FsMode::Read), None);
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let mut fs = HostFs::new();
+        let w = fs.open("out.bin", FsMode::Write).unwrap();
+        assert_eq!(fs.write(w, b"hello "), 6);
+        assert_eq!(fs.write(w, b"world"), 5);
+        assert!(fs.close(w));
+
+        let r = fs.open("out.bin", FsMode::Read).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(r, &mut buf), 4);
+        assert_eq!(&buf, b"hell");
+        assert_eq!(fs.size(r), 11);
+        let mut rest = [0u8; 32];
+        assert_eq!(fs.read(r, &mut rest), 7);
+        assert_eq!(&rest[..7], b"o world");
+        assert_eq!(fs.read(r, &mut rest), 0, "EOF");
+    }
+
+    #[test]
+    fn mode_enforcement() {
+        let mut fs = HostFs::new();
+        fs.add_file("in.bin", vec![1, 2, 3]);
+        let r = fs.open("in.bin", FsMode::Read).unwrap();
+        assert_eq!(fs.write(r, b"x"), -1);
+        let w = fs.open("o", FsMode::Write).unwrap();
+        let mut b = [0u8; 1];
+        assert_eq!(fs.read(w, &mut b), -1);
+    }
+
+    #[test]
+    fn close_semantics() {
+        let mut fs = HostFs::new();
+        fs.add_file("f", vec![9]);
+        let fd = fs.open("f", FsMode::Read).unwrap();
+        assert!(fs.close(fd));
+        assert!(!fs.close(fd), "double close");
+        assert!(!fs.close(42), "bad fd");
+        let mut b = [0u8; 1];
+        assert_eq!(fs.read(fd, &mut b), -1, "read after close");
+    }
+
+    #[test]
+    fn write_mode_truncates() {
+        let mut fs = HostFs::new();
+        fs.add_file("f", vec![1, 2, 3, 4]);
+        let w = fs.open("f", FsMode::Write).unwrap();
+        fs.write(w, &[9]);
+        assert_eq!(fs.file("f").unwrap(), &[9]);
+    }
+
+    #[test]
+    fn console_accumulates() {
+        let mut fs = HostFs::new();
+        fs.console_push("a=");
+        fs.console_push("1\n");
+        assert_eq!(fs.console(), "a=1\n");
+    }
+}

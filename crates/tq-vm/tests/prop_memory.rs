@@ -1,0 +1,84 @@
+//! Property-based tests of the paged memory against a `HashMap<u64, u8>`
+//! reference model: arbitrary interleavings of sized reads and writes must
+//! behave like a flat byte array.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tq_vm::Memory;
+
+#[derive(Clone, Debug)]
+enum Op {
+    WriteUint { addr: u64, size: u32, value: u64 },
+    ReadUint { addr: u64, size: u32 },
+    WriteBulk { addr: u64, bytes: Vec<u8> },
+    ReadBulk { addr: u64, len: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // Confined to a few page-straddling hot spots so collisions happen.
+    let addr = prop_oneof![
+        0u64..64,
+        4090u64..4110,        // page boundary
+        0x1000_0000u64..0x1000_0040,
+        0xFFFF_FE00u64..0xFFFF_FE40, // near (not at) the top of the space
+    ];
+    let size = prop_oneof![Just(1u32), Just(2), Just(4), Just(8)];
+    prop_oneof![
+        (addr.clone(), size.clone(), any::<u64>())
+            .prop_map(|(addr, size, value)| Op::WriteUint { addr, size, value }),
+        (addr.clone(), size).prop_map(|(addr, size)| Op::ReadUint { addr, size }),
+        (addr.clone(), prop::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(addr, bytes)| Op::WriteBulk { addr, bytes }),
+        (addr, 0usize..40).prop_map(|(addr, len)| Op::ReadBulk { addr, len }),
+    ]
+}
+
+fn ref_read(model: &HashMap<u64, u8>, addr: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| model.get(&(addr + i as u64)).copied().unwrap_or(0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn memory_matches_flat_byte_model(ops in prop::collection::vec(op(), 1..120)) {
+        let mut mem = Memory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for o in ops {
+            match o {
+                Op::WriteUint { addr, size, value } => {
+                    mem.write_uint(addr, size, value).expect("in range");
+                    for (i, b) in value.to_le_bytes().iter().take(size as usize).enumerate() {
+                        model.insert(addr + i as u64, *b);
+                    }
+                }
+                Op::ReadUint { addr, size } => {
+                    let got = mem.read_uint(addr, size).expect("in range");
+                    let mut buf = [0u8; 8];
+                    buf[..size as usize]
+                        .copy_from_slice(&ref_read(&model, addr, size as usize));
+                    prop_assert_eq!(got, u64::from_le_bytes(buf));
+                }
+                Op::WriteBulk { addr, bytes } => {
+                    mem.write(addr, &bytes).expect("in range");
+                    for (i, b) in bytes.iter().enumerate() {
+                        model.insert(addr + i as u64, *b);
+                    }
+                }
+                Op::ReadBulk { addr, len } => {
+                    let mut got = vec![0u8; len];
+                    mem.read(addr, &mut got).expect("in range");
+                    prop_assert_eq!(got, ref_read(&model, addr, len));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_roundtrips_anywhere(addr in 0u64..0xFFFF_0000, v in any::<f64>()) {
+        let mut mem = Memory::new();
+        mem.write_f64(addr, v).expect("in range");
+        let back = mem.read_f64(addr).expect("in range");
+        prop_assert_eq!(back.to_bits(), v.to_bits(), "bit-exact incl. NaN payloads");
+    }
+}

@@ -1,0 +1,82 @@
+//! Application driver: compile the wfs module, stage input audio, run on
+//! the VM (optionally under tools), and read results back.
+
+use crate::config::WfsConfig;
+use crate::kernels::{build_module, INPUT_WAV, OUTPUT_WAV};
+use crate::reference::RefWfs;
+use crate::wav::{encode_wav, synth_source};
+use tq_kernelc::{compile, Compiled};
+use tq_vm::{RunExit, Vm, VmError};
+
+/// A ready-to-run wfs application instance.
+pub struct WfsApp {
+    /// The workload configuration.
+    pub config: WfsConfig,
+    /// Compiled program + global layout.
+    pub compiled: Compiled,
+    /// The synthetic input WAVE file staged as `input.wav`.
+    pub input_wav: Vec<u8>,
+}
+
+impl WfsApp {
+    /// Compile the application for `config` with a deterministic synthetic
+    /// input (seed fixed at 42).
+    pub fn build(config: WfsConfig) -> Self {
+        Self::build_seeded(config, 42)
+    }
+
+    /// Compile with a chosen input seed.
+    pub fn build_seeded(config: WfsConfig, seed: u64) -> Self {
+        config.validate().expect("valid config");
+        let module = build_module(&config);
+        let compiled = compile(&module).expect("wfs module compiles");
+        let input = synth_source(config.n_samples(), config.sample_rate, seed);
+        let input_wav = encode_wav(1, config.sample_rate, &input);
+        WfsApp { config, compiled, input_wav }
+    }
+
+    /// A fresh VM with the program loaded and the input staged. Attach
+    /// tools before calling [`Vm::run`].
+    pub fn make_vm(&self) -> Vm {
+        let mut vm = Vm::new(self.compiled.program.clone()).expect("program loads");
+        vm.fs_mut().add_file(INPUT_WAV, self.input_wav.clone());
+        vm
+    }
+
+    /// Run without tools; returns the VM (for inspection) and the exit.
+    pub fn run_bare(&self) -> Result<(Vm, RunExit), VmError> {
+        let mut vm = self.make_vm();
+        let exit = vm.run(None)?;
+        Ok((vm, exit))
+    }
+
+    /// The output WAVE bytes from a finished VM.
+    pub fn output_wav<'v>(&self, vm: &'v Vm) -> Option<&'v [u8]> {
+        vm.fs().file(OUTPUT_WAV)
+    }
+
+    /// Run the native reference pipeline on the same input.
+    pub fn reference_output(&self) -> Vec<u8> {
+        RefWfs::new(self.config).run(&self.input_wav)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_stages() {
+        let app = WfsApp::build(WfsConfig::tiny());
+        let vm = app.make_vm();
+        assert!(vm.fs().file(INPUT_WAV).is_some());
+        assert_eq!(app.input_wav.len() as u32, 44 + app.config.n_samples() * 2);
+    }
+
+    #[test]
+    fn different_seeds_different_input() {
+        let a = WfsApp::build_seeded(WfsConfig::tiny(), 1);
+        let b = WfsApp::build_seeded(WfsConfig::tiny(), 2);
+        assert_ne!(a.input_wav, b.input_wav);
+    }
+}

@@ -1,0 +1,139 @@
+//! Configuration of the wave-field-synthesis application.
+//!
+//! The paper's experiments use one primary wavefront source and 32
+//! secondary sources (speakers), a 2048-point FFT, 493 processing chunks
+//! and 236 trajectory points, for ~6.4 × 10⁹ executed instructions — too
+//! slow for an interpreted reproduction to sweep. The presets scale the
+//! workload down while preserving every structural ratio the evaluation
+//! depends on (calls per chunk, per-speaker loops, FFT size as a power of
+//! two, second-half `wav_store` dominance). `EXPERIMENTS.md` documents the
+//! mapping.
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WfsConfig {
+    /// Number of secondary sources (speakers). Paper: 32.
+    pub n_speakers: u32,
+    /// FFT length (power of two). Paper: 2048.
+    pub fft_size: u32,
+    /// Samples per processing chunk (≤ `fft_size`). Paper: 2048-point FFT
+    /// over 1024-sample chunks.
+    pub chunk_len: u32,
+    /// Number of processing chunks. Paper: 493.
+    pub n_chunks: u32,
+    /// Trajectory points of the moving primary source. Paper: 236.
+    pub n_points: u32,
+    /// Sample rate in Hz (only affects delay computation).
+    pub sample_rate: u32,
+    /// Maximum delay-line depth in samples.
+    pub max_delay: u32,
+}
+
+impl WfsConfig {
+    /// Minimal configuration for unit tests (~0.5 M instructions).
+    pub fn tiny() -> Self {
+        WfsConfig {
+            n_speakers: 4,
+            fft_size: 32,
+            chunk_len: 16,
+            n_chunks: 6,
+            n_points: 8,
+            sample_rate: 8000,
+            max_delay: 64,
+        }
+    }
+
+    /// Small configuration for integration tests and examples
+    /// (~10 M instructions).
+    pub fn small() -> Self {
+        WfsConfig {
+            n_speakers: 8,
+            fft_size: 128,
+            chunk_len: 64,
+            n_chunks: 24,
+            n_points: 30,
+            sample_rate: 16000,
+            max_delay: 256,
+        }
+    }
+
+    /// The benchmark configuration: the paper's workload scaled down
+    /// (speakers kept at 32, trajectory points kept at 236 — the paper's
+    /// exact counts; FFT 2048 → 512; chunks 493 → 123). ~2 × 10⁸
+    /// instructions.
+    pub fn paper_scaled() -> Self {
+        WfsConfig {
+            n_speakers: 32,
+            fft_size: 512,
+            chunk_len: 128,
+            n_chunks: 123,
+            n_points: 236,
+            sample_rate: 44100,
+            max_delay: 512,
+        }
+    }
+
+    /// Total primary-source samples processed.
+    pub fn n_samples(&self) -> u32 {
+        self.n_chunks * self.chunk_len
+    }
+
+    /// log₂ of the FFT size.
+    pub fn log2_fft(&self) -> u32 {
+        self.fft_size.trailing_zeros()
+    }
+
+    /// Delay-line ring length per speaker.
+    pub fn dline_len(&self) -> u32 {
+        self.max_delay + self.chunk_len
+    }
+
+    /// Validate structural requirements.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.fft_size.is_power_of_two() || self.fft_size < 4 {
+            return Err("fft_size must be a power of two ≥ 4".into());
+        }
+        if self.chunk_len == 0 || self.chunk_len > self.fft_size {
+            return Err("chunk_len must be in 1..=fft_size".into());
+        }
+        if self.n_speakers == 0 || self.n_chunks == 0 || self.n_points == 0 {
+            return Err("speakers, chunks and points must be positive".into());
+        }
+        if self.max_delay == 0 {
+            return Err("max_delay must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for c in [WfsConfig::tiny(), WfsConfig::small(), WfsConfig::paper_scaled()] {
+            c.validate().unwrap();
+            assert_eq!(c.n_samples(), c.n_chunks * c.chunk_len);
+            assert_eq!(1u32 << c.log2_fft(), c.fft_size);
+        }
+    }
+
+    #[test]
+    fn paper_scaled_keeps_speaker_count() {
+        assert_eq!(WfsConfig::paper_scaled().n_speakers, 32, "the paper uses 32 speakers");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = WfsConfig::tiny();
+        c.fft_size = 48;
+        assert!(c.validate().is_err());
+        let mut c = WfsConfig::tiny();
+        c.chunk_len = c.fft_size * 2;
+        assert!(c.validate().is_err());
+        let mut c = WfsConfig::tiny();
+        c.n_speakers = 0;
+        assert!(c.validate().is_err());
+    }
+}

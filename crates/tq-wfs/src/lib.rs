@@ -1,0 +1,27 @@
+//! # tq-wfs — the *hArtes wfs* case-study application, rebuilt
+//!
+//! The paper evaluates tQUAD on the *hArtes wfs* wave-field-synthesis audio
+//! application (Fraunhofer IDMT), which is not publicly available. This
+//! crate rebuilds it from the paper's structural description: all 21
+//! kernels of Tables I–IV, compiled through [`tq_kernelc`] onto the VM,
+//! running in the paper's *off-line mode* (input and output are WAVE files
+//! in the simulated file system).
+//!
+//! * [`WfsConfig`] — scaled workload presets (`tiny`, `small`,
+//!   `paper_scaled`);
+//! * [`build_module`] — the kernels, in the kernel DSL;
+//! * [`WfsApp`] — compile + stage + run driver;
+//! * [`RefWfs`] — a native Rust mirror of the pipeline; VM output is
+//!   byte-compared against it;
+//! * [`wav`] — RIFF/WAVE encode/decode and synthetic input generation.
+
+pub mod app;
+pub mod config;
+pub mod kernels;
+pub mod reference;
+pub mod wav;
+
+pub use app::WfsApp;
+pub use config::WfsConfig;
+pub use kernels::{build_module, cfg_idx, KERNEL_NAMES, INPUT_WAV, OUTPUT_WAV};
+pub use reference::RefWfs;

@@ -1,0 +1,471 @@
+//! Native Rust reference implementation of the wfs pipeline.
+//!
+//! Mirrors the DSL kernels operation-for-operation (same expression
+//! shapes, same `f32` narrowing points, same integer semantics), so the
+//! output WAVE bytes of a VM run and of this reference must be identical.
+//! Divergence means a bug in the kernel compiler, the VM, or the mirror —
+//! the `wfs_differential` integration test enforces it.
+
+use crate::config::WfsConfig;
+use crate::kernels::{DITHER_SCALE, LCG_INC, LCG_MUL, LCG_SEED};
+use crate::wav::wav_header;
+use std::f64::consts::PI;
+
+/// The reference pipeline state.
+pub struct RefWfs {
+    cfg: WfsConfig,
+    log2n: u32,
+    dlen: u32,
+    src: Vec<f32>,
+    inbuf: Vec<f32>,
+    fft_re: Vec<f64>,
+    fft_im: Vec<f64>,
+    tmp_re: Vec<f64>,
+    tmp_im: Vec<f64>,
+    carry_re: Vec<f64>,
+    carry_im: Vec<f64>,
+    coef1_re: Vec<f64>,
+    coef1_im: Vec<f64>,
+    coef2_re: Vec<f64>,
+    coef2_im: Vec<f64>,
+    procbuf: Vec<f32>,
+    dline: Vec<f32>,
+    dpos: i64,
+    mix: Vec<f64>,
+    frames: Vec<f64>,
+    gains: Vec<f64>,
+    delays: Vec<i64>,
+    srcpos: Vec<f64>,
+    dirvec: Vec<f64>,
+    spkpos: Vec<f64>,
+    lcg: i64,
+    errfb: f64,
+    meter: f64,
+    rms: f64,
+}
+
+impl RefWfs {
+    /// Fresh pipeline for a configuration.
+    pub fn new(cfg: WfsConfig) -> Self {
+        cfg.validate().expect("valid config");
+        let n = cfg.fft_size as usize;
+        let s = cfg.n_speakers as usize;
+        let c = cfg.chunk_len as usize;
+        let p = cfg.n_points as usize;
+        let nsamp = cfg.n_samples() as usize;
+        let dlen = cfg.dline_len() as usize;
+        RefWfs {
+            cfg,
+            log2n: 0,
+            dlen: 0,
+            src: vec![0.0; nsamp],
+            inbuf: vec![0.0; n],
+            fft_re: vec![0.0; n],
+            fft_im: vec![0.0; n],
+            tmp_re: vec![0.0; n],
+            tmp_im: vec![0.0; n],
+            carry_re: vec![0.0; n],
+            carry_im: vec![0.0; n],
+            coef1_re: vec![0.0; n],
+            coef1_im: vec![0.0; n],
+            coef2_re: vec![0.0; n],
+            coef2_im: vec![0.0; n],
+            procbuf: vec![0.0; c],
+            dline: vec![0.0; s * dlen],
+            dpos: 0,
+            mix: vec![0.0; s * c * 2],
+            frames: vec![0.0; nsamp * s],
+            gains: vec![0.0; p * s],
+            delays: vec![0; p * s],
+            srcpos: vec![0.0; p * 2],
+            dirvec: vec![0.0; s * 2],
+            spkpos: crate::kernels::speaker_positions(cfg.n_speakers),
+            lcg: LCG_SEED,
+            errfb: 0.0,
+            meter: 0.0,
+            rms: 0.0,
+        }
+    }
+
+    fn ldint(&mut self) {
+        let mut n = self.cfg.fft_size as i64;
+        let mut l = 0;
+        while n > 1 {
+            l += 1;
+            n >>= 1;
+        }
+        self.log2n = l;
+        self.dlen = self.cfg.max_delay + self.cfg.chunk_len;
+    }
+
+    fn ffw(which: &mut [f64], im: &mut [f64], n: usize, scale: f64) {
+        let fnn = n as i64 as f64;
+        for k in 0..n {
+            let h = (0.5 + 0.5 * ((PI * k as f64) / fnn).cos()) * scale;
+            which[k] = h;
+            im[k] = 0.0;
+        }
+        for _it in 0..4 {
+            for k in 1..n - 1 {
+                which[k] = ((which[k - 1] + which[k]) + which[k + 1]) * (1.0 / 3.0);
+            }
+        }
+    }
+
+    fn wav_load(&mut self, file: &[u8]) {
+        // Header parse mirrors the DSL byte assembly.
+        let hdr = &file[..44.min(file.len())];
+        let db = (hdr[40] as i64)
+            | ((hdr[41] as i64) << 8)
+            | ((hdr[42] as i64) << 16)
+            | ((hdr[43] as i64) << 24);
+        let mut ns = db / 2;
+        let cap = self.cfg.n_samples() as i64;
+        if ns > cap {
+            ns = cap;
+        }
+        for i in 0..ns as usize {
+            let lo = file[44 + 2 * i] as u16;
+            let hi = file[45 + 2 * i] as u16;
+            let s16 = i16::from_le_bytes([lo as u8, (hi & 0xFF) as u8]) as i64;
+            self.src[i] = ((s16 as f64) * (1.0 / 32768.0)) as f32;
+        }
+        // Peak normalisation, mirroring the kernel.
+        let mut peak = 1.0e-9f64;
+        for i in 0..ns as usize {
+            let a = (self.src[i] as f64).abs();
+            if a > peak {
+                peak = a;
+            }
+        }
+        let ng = 0.9 / peak;
+        for i in 0..ns as usize {
+            self.src[i] = ((self.src[i] as f64) * ng) as f32;
+        }
+    }
+
+    fn derive_tp(&mut self, p: usize) {
+        let ang = p as f64 * 0.13;
+        self.srcpos[p * 2] = ang.cos() * 3.0;
+        self.srcpos[p * 2 + 1] = ang.sin() * 3.0 + 5.0;
+    }
+
+    fn calculate_gain_pq(&mut self, p: usize, s: usize) {
+        let ns = self.cfg.n_speakers as usize;
+        let dx = self.srcpos[p * 2] - self.spkpos[s * 2];
+        let dy = self.srcpos[p * 2 + 1] - self.spkpos[s * 2 + 1];
+        let dist = (dx * dx + dy * dy).sqrt();
+        let g = 1.0 / dist.max(0.3);
+        self.gains[p * ns + s] = g;
+        let d = ((dist * self.cfg.sample_rate as f64) / 340.0) as i64;
+        self.delays[p * ns + s] = d % self.cfg.max_delay as i64 + 1;
+    }
+
+    fn vsmult2d(&mut self, p: usize, s: usize) {
+        let ns = self.cfg.n_speakers as usize;
+        let g = self.gains[p * ns + s];
+        let dx = self.spkpos[s * 2] - self.srcpos[p * 2];
+        let dy = self.spkpos[s * 2 + 1] - self.srcpos[p * 2 + 1];
+        self.dirvec[s * 2] = dx * g;
+        self.dirvec[s * 2 + 1] = dy * g;
+    }
+
+    fn bitrev(mut x: i64, bits: u32) -> i64 {
+        let mut r = 0i64;
+        for _ in 0..bits {
+            r = (r << 1) | (x & 1);
+            x >>= 1;
+        }
+        r
+    }
+
+    fn perm(&mut self) {
+        let n = self.cfg.fft_size as usize;
+        for i in 0..n {
+            let j = Self::bitrev(i as i64, self.log2n) as usize;
+            if j > i {
+                self.fft_re.swap(i, j);
+                self.fft_im.swap(i, j);
+            }
+        }
+    }
+
+    fn fft1d(&mut self, dir: i64) {
+        self.perm();
+        let n = self.cfg.fft_size as usize;
+        let mut mmax = 1usize;
+        while mmax < n {
+            let istep = mmax * 2;
+            let w0 = (dir as f64 * PI) / (mmax as i64 as f64);
+            for m in 0..mmax {
+                let theta = w0 * (m as i64 as f64);
+                let wr = theta.cos();
+                let wi = theta.sin();
+                let mut i = m;
+                while i < n {
+                    let j = i + mmax;
+                    let tr = wr * self.fft_re[j] - wi * self.fft_im[j];
+                    let ti = wr * self.fft_im[j] + wi * self.fft_re[j];
+                    self.fft_re[j] = self.fft_re[i] - tr;
+                    self.fft_im[j] = self.fft_im[i] - ti;
+                    self.fft_re[i] += tr;
+                    self.fft_im[i] += ti;
+                    i += istep;
+                }
+            }
+            mmax = istep;
+        }
+        if dir < 0 {
+            let invn = 1.0 / (n as i64 as f64);
+            for k in 0..n {
+                self.fft_re[k] *= invn;
+                self.fft_im[k] *= invn;
+            }
+        }
+    }
+
+    fn filter_process_pre(&mut self) {
+        let n = self.cfg.fft_size as usize;
+        for k in 0..n {
+            self.carry_re[k] = self.carry_re[k] * 0.5 + (self.fft_re[k] * self.coef2_re[k]) * 0.05;
+            self.carry_im[k] = self.carry_im[k] * 0.5 + (self.fft_im[k] * self.coef2_re[k]) * 0.05;
+        }
+    }
+
+    fn filter_process(&mut self) {
+        self.filter_process_pre();
+        let n = self.cfg.fft_size as usize;
+        for k in 0..n {
+            // cmult
+            self.tmp_re[k] =
+                self.fft_re[k] * self.coef1_re[k] - self.fft_im[k] * self.coef1_im[k];
+            self.tmp_im[k] =
+                self.fft_re[k] * self.coef1_im[k] + self.fft_im[k] * self.coef1_re[k];
+            // cadd
+            self.fft_re[k] = self.tmp_re[k] + self.carry_re[k];
+            self.fft_im[k] = self.tmp_im[k] + self.carry_im[k];
+        }
+    }
+
+    fn delay_line_process_chunk(&mut self, c: usize) {
+        let ns = self.cfg.n_speakers as usize;
+        let cl = self.cfg.chunk_len as usize;
+        let dl = self.dlen as i64;
+        let p = (c as i64 * self.cfg.n_points as i64 / self.cfg.n_chunks as i64) as usize;
+        let dp = self.dpos;
+        for s in 0..ns {
+            for i in 0..cl * 2 {
+                self.mix[s * cl * 2 + i] = 0.0;
+            }
+            let g = self.gains[p * ns + s];
+            let d = self.delays[p * ns + s];
+            for i in 0..cl {
+                let wpos = (dp + i as i64) % dl;
+                self.dline[s * dl as usize + wpos as usize] = self.procbuf[i];
+                let rpos = ((dp + i as i64 - d) + dl * 4) % dl;
+                let x = self.dline[s * dl as usize + rpos as usize] as f64;
+                self.mix[s * cl * 2 + i] += x * g;
+            }
+        }
+        self.dpos = (dp + cl as i64) % dl;
+    }
+
+    fn audio_io_set_frames(&mut self, c: usize) {
+        // Mirrors the block copies: planar layout, f64 bit-copies.
+        let ns = self.cfg.n_speakers as usize;
+        let cl = self.cfg.chunk_len as usize;
+        let nsm = self.cfg.n_samples() as usize;
+        for s in 0..ns {
+            for i in 0..cl {
+                self.frames[s * nsm + c * cl + i] = self.mix[s * cl * 2 + i];
+            }
+        }
+    }
+
+    fn wav_store(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&wav_header(
+            self.cfg.n_speakers as u16,
+            self.cfg.sample_rate,
+            self.cfg.n_samples(),
+        ));
+        let total = self.frames.len();
+        let ns = self.cfg.n_speakers as usize;
+        let nsm = self.cfg.n_samples() as usize;
+        for i in 0..total {
+            let x = self.frames[(i % ns) * nsm + i / ns];
+            self.lcg = self.lcg.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+            let d1 = ((((self.lcg as u64) >> 33) as i64) & 0xFFFF) as f64;
+            self.lcg = self.lcg.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+            let d2 = ((((self.lcg as u64) >> 33) as i64) & 0xFFFF) as f64;
+            let mut y = x * 32767.0 + ((d1 + d2) - 65536.0) * DITHER_SCALE;
+            y += self.errfb * 0.25;
+            let q = Self::lib_round(y);
+            self.errfb = y - q as f64;
+            let am = y.abs();
+            if am > self.meter {
+                self.meter = am;
+            }
+            self.rms += y * y;
+            out.extend_from_slice(&(q as i16).to_le_bytes());
+        }
+        out
+    }
+
+    fn lib_round(x: f64) -> i64 {
+        if x > 32767.0 {
+            return 32767;
+        }
+        if x < -32768.0 {
+            return -32768;
+        }
+        if x >= 0.0 {
+            (x + 0.5) as i64
+        } else {
+            (x - 0.5) as i64
+        }
+    }
+
+    /// Run the whole pipeline on an input WAVE file, returning the output
+    /// WAVE bytes.
+    pub fn run(mut self, input_wav: &[u8]) -> Vec<u8> {
+        self.ldint();
+        let n = self.cfg.fft_size as usize;
+        {
+            let (re, im) = (&mut self.coef1_re, &mut self.coef1_im);
+            Self::ffw(re, im, n, 1.0);
+        }
+        {
+            let (re, im) = (&mut self.coef2_re, &mut self.coef2_im);
+            Self::ffw(re, im, n, 0.3);
+        }
+        self.wav_load(input_wav);
+
+        let np = self.cfg.n_points as usize;
+        let nsp = self.cfg.n_speakers as usize;
+        for p in 0..np {
+            self.derive_tp(p);
+            for s in 0..nsp {
+                if (p as i64 + s as i64) % 13 != 0 {
+                    self.calculate_gain_pq(p, s);
+                    self.vsmult2d(p, s);
+                }
+            }
+        }
+
+        let nk = self.cfg.n_chunks as usize;
+        let cl = self.cfg.chunk_len as usize;
+        for c in 0..nk {
+            // AudioIo_getFrames (lib_memcpy4)
+            for i in 0..cl {
+                self.inbuf[i] = self.src[c * cl + i];
+            }
+            // zeroCplxVec
+            for i in 0..n {
+                self.fft_re[i] = 0.0;
+                self.fft_im[i] = 0.0;
+            }
+            // r2c
+            for i in 0..cl {
+                self.fft_re[i] = self.inbuf[i] as f64;
+            }
+            self.fft1d(1);
+            self.filter_process();
+            self.fft1d(-1);
+            // c2r
+            for i in 0..cl {
+                self.procbuf[i] = self.fft_re[i] as f32;
+            }
+            self.delay_line_process_chunk(c);
+            self.audio_io_set_frames(c);
+        }
+        self.wav_store()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wav::{decode_wav, encode_wav, synth_source};
+
+    #[test]
+    fn reference_produces_wellformed_output() {
+        let cfg = WfsConfig::tiny();
+        let input = encode_wav(1, cfg.sample_rate, &synth_source(cfg.n_samples(), cfg.sample_rate, 1));
+        let out = RefWfs::new(cfg).run(&input);
+        let w = decode_wav(&out).unwrap();
+        assert_eq!(w.n_channels as u32, cfg.n_speakers);
+        assert_eq!(w.samples.len() as u32, cfg.n_samples() * cfg.n_speakers);
+        assert!(w.samples.iter().any(|&s| s != 0), "non-silent output");
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let cfg = WfsConfig::tiny();
+        let mut r = RefWfs::new(cfg);
+        r.ldint();
+        let n = cfg.fft_size as usize;
+        let orig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        r.fft_re.copy_from_slice(&orig);
+        r.fft_im.iter_mut().for_each(|x| *x = 0.0);
+        r.fft1d(1);
+        r.fft1d(-1);
+        for (a, b) in r.fft_re.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let cfg = WfsConfig::tiny();
+        let mut r = RefWfs::new(cfg);
+        r.ldint();
+        let n = cfg.fft_size as usize;
+        let sig: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).cos()).collect();
+        r.fft_re.copy_from_slice(&sig);
+        r.fft_im.iter_mut().for_each(|x| *x = 0.0);
+        r.fft1d(1);
+        // Naive DFT with the same sign convention (dir=+1 ⇒ e^{+iθ}).
+        for k in 0..n {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (t, &x) in sig.iter().enumerate() {
+                let ang = 2.0 * PI * (k * t) as f64 / n as f64;
+                re += x * ang.cos();
+                im += x * ang.sin();
+            }
+            assert!((r.fft_re[k] - re).abs() < 1e-6, "re[{k}]: {} vs {re}", r.fft_re[k]);
+            assert!((r.fft_im[k] - im).abs() < 1e-6, "im[{k}]: {} vs {im}", r.fft_im[k]);
+        }
+    }
+
+    #[test]
+    fn bitrev_is_an_involution() {
+        for bits in 1..12u32 {
+            for x in 0..(1i64 << bits).min(256) {
+                let r = RefWfs::bitrev(x, bits);
+                assert!(r < (1 << bits));
+                assert_eq!(RefWfs::bitrev(r, bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn lib_round_clamps_and_rounds_half_away() {
+        assert_eq!(RefWfs::lib_round(1e9), 32767);
+        assert_eq!(RefWfs::lib_round(-1e9), -32768);
+        assert_eq!(RefWfs::lib_round(0.4), 0);
+        assert_eq!(RefWfs::lib_round(0.5), 1);
+        assert_eq!(RefWfs::lib_round(-0.5), -1);
+        assert_eq!(RefWfs::lib_round(-0.4), 0);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let cfg = WfsConfig::tiny();
+        let input = encode_wav(1, cfg.sample_rate, &synth_source(cfg.n_samples(), cfg.sample_rate, 3));
+        let a = RefWfs::new(cfg).run(&input);
+        let b = RefWfs::new(cfg).run(&input);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! RIFF/WAVE (16-bit PCM) encoding and decoding, plus deterministic
+//! synthetic input generation.
+//!
+//! The paper's input is real audio from Fraunhofer IDMT, which we do not
+//! have; the access *patterns* of the kernels do not depend on sample
+//! values, so a deterministic mixture of sinusoids with pseudo-random
+//! phases stands in (documented as a substitution in `DESIGN.md`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a canonical 44-byte PCM WAVE header.
+pub fn wav_header(n_channels: u16, sample_rate: u32, n_samples_per_channel: u32) -> [u8; 44] {
+    let data_bytes = n_samples_per_channel * n_channels as u32 * 2;
+    let byte_rate = sample_rate * n_channels as u32 * 2;
+    let block_align = n_channels * 2;
+    let mut h = [0u8; 44];
+    h[0..4].copy_from_slice(b"RIFF");
+    h[4..8].copy_from_slice(&(36 + data_bytes).to_le_bytes());
+    h[8..12].copy_from_slice(b"WAVE");
+    h[12..16].copy_from_slice(b"fmt ");
+    h[16..20].copy_from_slice(&16u32.to_le_bytes());
+    h[20..22].copy_from_slice(&1u16.to_le_bytes()); // PCM
+    h[22..24].copy_from_slice(&n_channels.to_le_bytes());
+    h[24..28].copy_from_slice(&sample_rate.to_le_bytes());
+    h[28..32].copy_from_slice(&byte_rate.to_le_bytes());
+    h[32..34].copy_from_slice(&block_align.to_le_bytes());
+    h[34..36].copy_from_slice(&16u16.to_le_bytes());
+    h[36..40].copy_from_slice(b"data");
+    h[40..44].copy_from_slice(&data_bytes.to_le_bytes());
+    h
+}
+
+/// Encode interleaved i16 samples as a WAVE file.
+pub fn encode_wav(n_channels: u16, sample_rate: u32, samples: &[i16]) -> Vec<u8> {
+    assert_eq!(samples.len() % n_channels as usize, 0, "whole frames only");
+    let per_channel = (samples.len() / n_channels as usize) as u32;
+    let mut out = Vec::with_capacity(44 + samples.len() * 2);
+    out.extend_from_slice(&wav_header(n_channels, sample_rate, per_channel));
+    for s in samples {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// A decoded WAVE file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WavData {
+    /// Channel count.
+    pub n_channels: u16,
+    /// Sample rate.
+    pub sample_rate: u32,
+    /// Interleaved samples.
+    pub samples: Vec<i16>,
+}
+
+/// Decode a canonical PCM WAVE file (as produced by [`encode_wav`] or the
+/// simulated application).
+pub fn decode_wav(bytes: &[u8]) -> Result<WavData, String> {
+    if bytes.len() < 44 {
+        return Err("file shorter than a WAVE header".into());
+    }
+    if &bytes[0..4] != b"RIFF" || &bytes[8..12] != b"WAVE" || &bytes[12..16] != b"fmt " {
+        return Err("not a canonical RIFF/WAVE file".into());
+    }
+    let format = u16::from_le_bytes(bytes[20..22].try_into().unwrap());
+    if format != 1 {
+        return Err(format!("not PCM (format tag {format})"));
+    }
+    let n_channels = u16::from_le_bytes(bytes[22..24].try_into().unwrap());
+    let sample_rate = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    let bits = u16::from_le_bytes(bytes[34..36].try_into().unwrap());
+    if bits != 16 {
+        return Err(format!("only 16-bit PCM supported, found {bits}"));
+    }
+    if &bytes[36..40] != b"data" {
+        return Err("missing data chunk".into());
+    }
+    let data_bytes = u32::from_le_bytes(bytes[40..44].try_into().unwrap()) as usize;
+    let avail = bytes.len() - 44;
+    let n = data_bytes.min(avail) / 2;
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        samples.push(i16::from_le_bytes(bytes[44 + 2 * i..46 + 2 * i].try_into().unwrap()));
+    }
+    Ok(WavData { n_channels, sample_rate, samples })
+}
+
+/// Deterministic synthetic source signal: a mixture of sinusoids with
+/// pseudo-random frequencies/phases plus low-level noise, in i16 PCM.
+pub fn synth_source(n_samples: u32, sample_rate: u32, seed: u64) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let partials: Vec<(f64, f64, f64)> = (0..6)
+        .map(|_| {
+            (
+                rng.gen_range(80.0..2000.0),           // frequency
+                rng.gen_range(0.0..std::f64::consts::TAU), // phase
+                rng.gen_range(0.05..0.2),              // amplitude
+            )
+        })
+        .collect();
+    (0..n_samples)
+        .map(|i| {
+            let t = i as f64 / sample_rate as f64;
+            let mut x = 0.0;
+            for &(f, p, a) in &partials {
+                x += a * (std::f64::consts::TAU * f * t + p).sin();
+            }
+            x += rng.gen_range(-0.01..0.01);
+            (x.clamp(-1.0, 1.0) * 30000.0) as i16
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let samples: Vec<i16> = vec![0, 100, -100, i16::MAX, i16::MIN, 7, -7, 42];
+        let bytes = encode_wav(2, 44100, &samples);
+        let w = decode_wav(&bytes).unwrap();
+        assert_eq!(w.n_channels, 2);
+        assert_eq!(w.sample_rate, 44100);
+        assert_eq!(w.samples, samples);
+    }
+
+    #[test]
+    fn header_fields() {
+        let h = wav_header(4, 16000, 100);
+        assert_eq!(&h[0..4], b"RIFF");
+        assert_eq!(u32::from_le_bytes(h[40..44].try_into().unwrap()), 100 * 4 * 2);
+        assert_eq!(u16::from_le_bytes(h[22..24].try_into().unwrap()), 4);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_wav(b"nope").is_err());
+        assert!(decode_wav(&[0u8; 44]).is_err());
+        let mut bad = encode_wav(1, 8000, &[0; 4]);
+        bad[20] = 3; // not PCM
+        assert!(decode_wav(&bad).is_err());
+    }
+
+    #[test]
+    fn synth_is_deterministic_and_bounded() {
+        let a = synth_source(256, 8000, 7);
+        let b = synth_source(256, 8000, 7);
+        let c = synth_source(256, 8000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().any(|&s| s != 0), "signal is non-trivial");
+    }
+}

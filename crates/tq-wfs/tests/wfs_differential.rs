@@ -1,0 +1,178 @@
+//! End-to-end differential test: the compiled wfs application running on
+//! the VM must produce byte-identical output to the native reference
+//! pipeline.
+
+use tq_wfs::{RefWfs, WfsApp, WfsConfig};
+
+#[test]
+fn vm_output_matches_reference_tiny() {
+    let app = WfsApp::build(WfsConfig::tiny());
+    let (vm, exit) = app.run_bare().expect("wfs runs");
+    assert!(exit.icount > 100_000, "non-trivial run: {} instructions", exit.icount);
+
+    let vm_out = app.output_wav(&vm).expect("output.wav written").to_vec();
+    let ref_out = app.reference_output();
+    assert_eq!(vm_out.len(), ref_out.len(), "output sizes match");
+    assert_eq!(vm_out, ref_out, "VM and reference outputs are byte-identical");
+}
+
+#[test]
+fn vm_output_matches_reference_small() {
+    let app = WfsApp::build_seeded(WfsConfig::small(), 7);
+    let (vm, _) = app.run_bare().expect("wfs runs");
+    let vm_out = app.output_wav(&vm).expect("output.wav written").to_vec();
+    assert_eq!(vm_out, app.reference_output());
+}
+
+#[test]
+fn output_is_sound_not_noise() {
+    // The output must actually contain delayed/attenuated copies of the
+    // source — check that at least one speaker channel correlates with the
+    // input signal.
+    let cfg = WfsConfig::tiny();
+    let app = WfsApp::build(cfg);
+    let (vm, _) = app.run_bare().unwrap();
+    let out = tq_wfs::wav::decode_wav(app.output_wav(&vm).unwrap()).unwrap();
+    let inp = tq_wfs::wav::decode_wav(&app.input_wav).unwrap();
+
+    let ns = cfg.n_speakers as usize;
+    let n = inp.samples.len();
+    let mut best = 0.0f64;
+    for s in 0..ns {
+        for lag in 0..64usize {
+            let mut dot = 0.0;
+            let mut na = 0.0;
+            let mut nb = 0.0;
+            for t in lag..n {
+                let a = inp.samples[t - lag] as f64;
+                let b = out.samples[t * ns + s] as f64;
+                dot += a * b;
+                na += a * a;
+                nb += b * b;
+            }
+            if na > 0.0 && nb > 0.0 {
+                best = best.max(dot.abs() / (na.sqrt() * nb.sqrt()));
+            }
+        }
+    }
+    assert!(best > 0.3, "output correlates with input (best |r| = {best:.3})");
+}
+
+#[test]
+fn changing_config_changes_instruction_count_proportionally() {
+    let tiny = WfsApp::build(WfsConfig::tiny());
+    let (_, e1) = tiny.run_bare().unwrap();
+
+    let mut bigger = WfsConfig::tiny();
+    bigger.n_chunks *= 2;
+    let app2 = WfsApp::build(bigger);
+    let (_, e2) = app2.run_bare().unwrap();
+
+    assert!(e2.icount > e1.icount, "more chunks → more instructions");
+    let ratio = e2.icount as f64 / e1.icount as f64;
+    assert!(ratio > 1.2 && ratio < 2.5, "roughly linear in chunks: {ratio:.2}");
+}
+
+#[test]
+fn reference_matches_vm_for_multiple_seeds() {
+    for seed in [1u64, 99, 4242] {
+        let app = WfsApp::build_seeded(WfsConfig::tiny(), seed);
+        let (vm, _) = app.run_bare().unwrap();
+        assert_eq!(
+            app.output_wav(&vm).unwrap(),
+            &app.reference_output()[..],
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn full_output_decodes_with_correct_shape() {
+    let cfg = WfsConfig::tiny();
+    let app = WfsApp::build(cfg);
+    let (vm, _) = app.run_bare().unwrap();
+    let out = tq_wfs::wav::decode_wav(app.output_wav(&vm).unwrap()).unwrap();
+    assert_eq!(out.n_channels as u32, cfg.n_speakers);
+    assert_eq!(out.sample_rate, cfg.sample_rate);
+    assert_eq!(out.samples.len() as u32, cfg.n_samples() * cfg.n_speakers);
+}
+
+/// The reference FFT path through the VM: drive `fft1d` in isolation by
+/// checking that a silent input yields a silent output.
+#[test]
+fn silence_in_silence_out() {
+    let cfg = WfsConfig::tiny();
+    let module = tq_wfs::build_module(&cfg);
+    let compiled = tq_kernelc::compile(&module).unwrap();
+    let mut vm = tq_vm::Vm::new(compiled.program).unwrap();
+    // Stage an all-zero input.
+    let silent = tq_wfs::wav::encode_wav(1, cfg.sample_rate, &vec![0i16; cfg.n_samples() as usize]);
+    vm.fs_mut().add_file(tq_wfs::INPUT_WAV, silent);
+    vm.run(None).unwrap();
+    let out = tq_wfs::wav::decode_wav(vm.fs().file(tq_wfs::OUTPUT_WAV).unwrap()).unwrap();
+    // Dither is ±~1 LSB; nothing should exceed 2 counts.
+    assert!(
+        out.samples.iter().all(|&s| s.abs() <= 2),
+        "max |sample| = {}",
+        out.samples.iter().map(|s| s.abs()).max().unwrap()
+    );
+}
+
+#[test]
+fn reference_struct_standalone() {
+    let cfg = WfsConfig::tiny();
+    let input = tq_wfs::wav::encode_wav(
+        1,
+        cfg.sample_rate,
+        &tq_wfs::wav::synth_source(cfg.n_samples(), cfg.sample_rate, 5),
+    );
+    let out = RefWfs::new(cfg).run(&input);
+    assert_eq!(out.len() as u32, 44 + cfg.n_samples() * cfg.n_speakers * 2);
+}
+
+/// The paper's third command-line option: excluding library/OS routines.
+/// `lib_round` (in the `libsim` image) is called once per output sample by
+/// `wav_store`; under `AttributeToCaller` its memory traffic lands on
+/// `wav_store`, and under `Drop` it disappears from the report.
+#[test]
+fn library_exclusion_option_changes_attribution() {
+    use tq_tquad::{LibPolicy, TquadOptions, TquadTool};
+
+    let cfg = WfsConfig::tiny();
+    let app = WfsApp::build(cfg);
+    let run = |policy: LibPolicy| {
+        let mut vm = app.make_vm();
+        let t = vm.attach_tool(Box::new(TquadTool::new(
+            TquadOptions::default().with_interval(1_000).with_lib_policy(policy),
+        )));
+        vm.run(None).expect("runs");
+        vm.detach_tool::<TquadTool>(t).unwrap().into_profile()
+    };
+
+    let attr = run(LibPolicy::AttributeToCaller);
+    let drop = run(LibPolicy::Drop);
+    let track = run(LibPolicy::Track);
+
+    let reads = |p: &tq_tquad::TquadProfile, name: &str| p.kernel(name).unwrap().series.totals(true).0;
+
+    // Dropping library traffic shrinks wav_store's attributed reads.
+    assert!(
+        reads(&drop, "wav_store") < reads(&attr, "wav_store"),
+        "drop {} vs attribute {}",
+        reads(&drop, "wav_store"),
+        reads(&attr, "wav_store")
+    );
+    assert!(drop.dropped_accesses > 0);
+    assert_eq!(attr.dropped_accesses, 0);
+
+    // Under Track, lib_round appears as its own kernel and receives exactly
+    // the traffic that moved off wav_store.
+    assert_eq!(reads(&track, "lib_round") + reads(&track, "wav_store"), reads(&attr, "wav_store"));
+    assert!(reads(&attr, "lib_round") == 0, "untracked routines report nothing");
+
+    // The per-sample call count: lib_round once per output sample.
+    assert_eq!(
+        track.kernel("lib_round").unwrap().calls,
+        (cfg.n_samples() * cfg.n_speakers) as u64
+    );
+}

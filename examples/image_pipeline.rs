@@ -1,0 +1,55 @@
+//! The second case study: profile the image pipeline (blur → Sobel →
+//! threshold, DCT encode → decode) with tQUAD and watch its phases — the
+//! tool generalises beyond the workload it was calibrated on.
+//!
+//! ```sh
+//! cargo run --release --example image_pipeline
+//! ```
+
+use tquad_suite::imgproc::{ImgApp, ImgConfig};
+use tquad_suite::tquad::{figure_chart, Measure, PhaseDetector, TquadOptions, TquadTool};
+
+fn main() {
+    let app = ImgApp::build(ImgConfig::small());
+    let mut vm = app.make_vm();
+    let handle = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(2_000),
+    )));
+    let exit = vm.run(None).expect("pipeline runs");
+    let profile = vm.detach_tool::<TquadTool>(handle).expect("tool detaches").into_profile();
+
+    println!(
+        "{} instructions; outputs: edges.pgm ({} B), coeffs.bin ({} B), recon.pgm ({} B)",
+        exit.icount,
+        vm.fs().file("edges.pgm").map(|f| f.len()).unwrap_or(0),
+        vm.fs().file("coeffs.bin").map(|f| f.len()).unwrap_or(0),
+        vm.fs().file("recon.pgm").map(|f| f.len()).unwrap_or(0),
+    );
+    println!("console (MSE): {}", vm.console().trim());
+
+    let chart = figure_chart(
+        &profile,
+        &["img_load", "conv3x3", "sobel_mag", "dct8x8", "idct8x8", "img_store"],
+        Measure::ReadIncl,
+        96,
+        None,
+    );
+    println!("\n{}", chart.render());
+
+    let phases = PhaseDetector::default().detect_excluding(&profile, &["main", "img_store"]);
+    println!("{} phases:", phases.len());
+    for (i, ph) in phases.iter().enumerate() {
+        let names: Vec<&str> = ph
+            .kernels
+            .iter()
+            .map(|r| profile.kernels[r.idx()].name.as_str())
+            .collect();
+        println!(
+            "  phase {} [{:>6}-{:<6}] {}",
+            i + 1,
+            ph.span.0,
+            ph.span.1,
+            names.join(", ")
+        );
+    }
+}

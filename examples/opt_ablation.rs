@@ -1,0 +1,94 @@
+//! Compiler-optimisation ablation: the same wfs application compiled at
+//! `-O0` (the fidelity default) and after constant folding (`-O1`-ish),
+//! profiled both ways. Folding shrinks the instruction count and shifts
+//! the stack/global traffic balance — demonstrating on our own substrate
+//! why bytes-per-instruction numbers are compiler-sensitive while the
+//! access-pattern *shapes* (who talks to whom, UnMA footprints, phases)
+//! are not.
+//!
+//! ```sh
+//! cargo run --release --example opt_ablation
+//! ```
+
+use tquad_suite::kernelc::{compile, fold_module};
+use tquad_suite::tquad::{TquadOptions, TquadTool};
+use tquad_suite::vm::Vm;
+use tquad_suite::wfs::{build_module, WfsConfig, INPUT_WAV, OUTPUT_WAV};
+
+fn main() {
+    let config = WfsConfig::small();
+    let module = build_module(&config);
+    let app = tquad_suite::wfs::WfsApp::build(config);
+
+    let mut results = Vec::new();
+    for (label, m) in [("-O0 (default)", module.clone()), ("-O1 (folded)", fold_module(&module))]
+    {
+        let compiled = compile(&m).expect("compiles");
+        let mut vm = Vm::new(compiled.program).expect("loads");
+        vm.fs_mut().add_file(INPUT_WAV, app.input_wav.clone());
+        let h = vm.attach_tool(Box::new(TquadTool::new(
+            TquadOptions::default().with_interval(2_000),
+        )));
+        let exit = vm.run(None).expect("runs");
+        let profile = vm.detach_tool::<TquadTool>(h).expect("tool detaches").into_profile();
+
+        let (mut incl, mut excl) = (0u64, 0u64);
+        for k in &profile.kernels {
+            let (ri, wi) = k.series.totals(true);
+            let (re, we) = k.series.totals(false);
+            incl += ri + wi;
+            excl += re + we;
+        }
+        let out = vm.fs().file(OUTPUT_WAV).expect("output written").to_vec();
+        println!(
+            "{label:<16} {:>12} instr | traffic incl stack {:>12} B, excl {:>12} B | stack share {:>5.1} %",
+            exit.icount,
+            incl,
+            excl,
+            100.0 * (incl - excl) as f64 / incl as f64
+        );
+        results.push((exit.icount, out));
+    }
+
+    let (i0, out0) = &results[0];
+    let (i1, out1) = &results[1];
+    assert_eq!(out0, out1, "folding must not change the audio output");
+    println!(
+        "\nidentical output.wav from both builds; folding removed {:.1} % of the wfs \
+         instructions — the hand-written kernels are already constant-lean, so the \
+         profile is stable across optimisation levels.",
+        100.0 * (1.0 - *i1 as f64 / *i0 as f64)
+    );
+
+    // A constant-heavy synthetic kernel, where folding bites hard.
+    synthetic_comparison();
+}
+
+/// A filter-bank-style kernel full of foldable constant math (coefficient
+/// expressions written out as literal arithmetic, constant-flag branches).
+fn synthetic_comparison() {
+    use tquad_suite::kernelc::dsl::*;
+    use tquad_suite::kernelc::{ElemTy, Function, GlobalInit, Module};
+
+    let mut m = Module::new("synth");
+    m.global("out", ElemTy::F64, 4096, GlobalInit::Zero);
+    m.func(Function::new("main").body(vec![for_("i", ci(0), ci(4096), vec![
+        // Coefficients spelled out as constant arithmetic, as generated
+        // code often does.
+        letf("c0", div(mul(cf(2.0), cf(std::f64::consts::PI)), cf(32.0))),
+        letf("c1", add(mul(cf(0.5), cf(0.54)), cf(0.19))),
+        letf("x", mul(i2f(v("i")), v("c0"))),
+        if_else(
+            eq(ci(1), ci(1)), // constant branch
+            vec![stf(ga("out"), v("i"), add(mul(sin(v("x")), v("c1")), mul(cf(3.0), cf(0.1))))],
+            vec![stf(ga("out"), v("i"), cf(0.0))],
+        ),
+    ])]));
+
+    for (label, module) in [("synthetic -O0", m.clone()), ("synthetic -O1", fold_module(&m))] {
+        let compiled = compile(&module).expect("compiles");
+        let mut vm = Vm::new(compiled.program).expect("loads");
+        let exit = vm.run(None).expect("runs");
+        println!("{label:<16} {:>12} instr", exit.icount);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's future work, implemented: cluster the wfs kernels for
+//! hardware/software partitioning so that "the intra-cluster communication
+//! is maximized whereas the inter-cluster communication is minimized"
+//! (§V/§VI), using QUAD's producer→consumer bindings and tQUAD's phases.
+//!
+//! ```sh
+//! cargo run --release --example task_clustering
+//! ```
+
+use tquad_suite::quad::{cluster_by_communication, ClusterOptions, QuadOptions, QuadTool};
+use tquad_suite::tquad::{PhaseDetector, TquadOptions, TquadTool};
+use tquad_suite::wfs::{WfsApp, WfsConfig};
+
+fn main() {
+    let app = WfsApp::build(WfsConfig::small());
+    let mut vm = app.make_vm();
+    let q = vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
+    let t = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(2_000),
+    )));
+    vm.run(None).expect("wfs runs");
+    let quad = vm.detach_tool::<QuadTool>(q).expect("tool detaches").into_profile();
+    let tquad = vm.detach_tool::<TquadTool>(t).expect("tool detaches").into_profile();
+
+    let clustering = cluster_by_communication(
+        &quad,
+        ClusterOptions { max_cluster_size: 6, min_edge_bytes: 1024 },
+    );
+
+    println!(
+        "task clustering over {} communication edges — {:.1} % of all traffic kept \
+         intra-cluster ({} B cut)\n",
+        quad.bindings.len(),
+        100.0 * clustering.internal_fraction(),
+        clustering.cut_bytes
+    );
+
+    let phases = PhaseDetector::default().detect(&tquad);
+    let phase_of = |rtn: tquad_suite::isa::RoutineId| -> Option<usize> {
+        phases.iter().position(|p| p.kernels.contains(&rtn))
+    };
+
+    for (i, c) in clustering.clusters.iter().enumerate() {
+        println!("cluster {} — {} B internal traffic:", i + 1, c.internal_bytes);
+        for &k in &c.kernels {
+            let name = &quad.rows[k.idx()].name;
+            let ph = phase_of(k)
+                .map(|p| format!("phase {}", p + 1))
+                .unwrap_or_else(|| "no phase".into());
+            println!("    {name:<24} ({ph})");
+        }
+    }
+
+    // Co-phase check: clusters should mostly stay within one phase, since
+    // "the kernels that are active at the same time interval are possibly
+    // relevant (communicating)" (§IV).
+    let mut same = 0;
+    let mut cross = 0;
+    for c in &clustering.clusters {
+        let ps: Vec<Option<usize>> = c.kernels.iter().map(|&k| phase_of(k)).collect();
+        if ps.windows(2).all(|w| w[0] == w[1]) {
+            same += 1;
+        } else {
+            cross += 1;
+        }
+    }
+    println!("\n{same} clusters lie within a single phase, {cross} span phases");
+}

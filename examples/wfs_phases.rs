@@ -1,0 +1,61 @@
+//! The paper's headline result on the rebuilt case study: profile the
+//! *hArtes wfs* application with tQUAD and identify its execution phases
+//! (Table IV / §V "Phase identification").
+//!
+//! ```sh
+//! cargo run --release --example wfs_phases [-- tiny|small|paper]
+//! ```
+
+use tquad_suite::tquad::{phase_table, PhaseDetector, TquadOptions, TquadTool};
+use tquad_suite::wfs::{WfsApp, WfsConfig};
+
+fn main() {
+    let config = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => WfsConfig::tiny(),
+        Some("paper") => WfsConfig::paper_scaled(),
+        _ => WfsConfig::small(),
+    };
+    println!(
+        "profiling hArtes wfs: {} speakers, {}-point FFT, {} chunks…\n",
+        config.n_speakers, config.fft_size, config.n_chunks
+    );
+
+    let app = WfsApp::build(config);
+    let mut vm = app.make_vm();
+    let handle = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(2_000),
+    )));
+    let exit = vm.run(None).expect("wfs runs");
+    let profile = vm.detach_tool::<TquadTool>(handle).expect("tool detaches").into_profile();
+
+    println!(
+        "{} instructions in {} slices of {}\n",
+        exit.icount,
+        profile.n_slices(),
+        profile.interval
+    );
+
+    let phases = PhaseDetector::default().detect(&profile);
+    println!(
+        "{} phases identified (the paper identifies 5: initialization, wave load, \
+         wave propagation, WFS main processing, wave save)\n",
+        phases.len()
+    );
+    for (i, phase) in phases.iter().enumerate() {
+        let names: Vec<&str> = phase
+            .kernels
+            .iter()
+            .map(|r| profile.kernels[r.idx()].name.as_str())
+            .collect();
+        println!(
+            "phase {} [{:>6}-{:<6}] {:>7.3}%  {}",
+            i + 1,
+            phase.span.0,
+            phase.span.1,
+            phase.span_pct(profile.n_slices()),
+            names.join(", ")
+        );
+    }
+
+    println!("\n{}", phase_table(&profile, &phases).render());
+}
