@@ -1,30 +1,22 @@
 //! Ablation: Pin's decode-once code cache versus naive re-decoding (and
 //! re-instrumenting) every block execution — the architectural choice the
-//! whole DBI approach rests on.
+//! whole DBI approach rests on. Plain timing harness (`tq_bench::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tq_bench::bench;
 use tq_tquad::{TquadOptions, TquadTool};
 use tq_wfs::{WfsApp, WfsConfig};
 
-fn bench_codecache(c: &mut Criterion) {
+fn main() {
     let app = WfsApp::build(WfsConfig::tiny());
-    let mut g = c.benchmark_group("codecache");
-    g.sample_size(10);
 
     for (label, enabled) in [("cached", true), ("naive_redecoding", false)] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut vm = app.make_vm();
-                vm.set_cache_enabled(enabled);
-                vm.attach_tool(Box::new(TquadTool::new(
-                    TquadOptions::default().with_interval(20_000),
-                )));
-                vm.run(None).expect("runs")
-            })
+        bench(&format!("codecache/{label}"), || {
+            let mut vm = app.make_vm();
+            vm.set_cache_enabled(enabled);
+            vm.attach_tool(Box::new(TquadTool::new(
+                TquadOptions::default().with_interval(20_000),
+            )));
+            vm.run(None).expect("runs")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_codecache);
-criterion_main!(benches);

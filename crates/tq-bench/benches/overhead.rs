@@ -1,59 +1,46 @@
-//! Criterion bench for the §V.A overhead claim: instrumented-vs-bare
+//! Timing bench for the §V.A overhead claim: instrumented-vs-bare
 //! execution of the wfs application (tiny config so the bench converges),
-//! across tools and slice granularities.
+//! across tools and slice granularities. Plain timing harness
+//! (`tq_bench::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tq_bench::bench;
 use tq_gprof::{GprofOptions, GprofTool};
 use tq_quad::{QuadOptions, QuadTool};
 use tq_tquad::{TquadOptions, TquadTool};
 use tq_wfs::{WfsApp, WfsConfig};
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let app = WfsApp::build(WfsConfig::tiny());
-    let mut g = c.benchmark_group("wfs_run");
-    g.sample_size(10);
 
-    g.bench_function("bare", |b| {
-        b.iter(|| {
-            let mut vm = app.make_vm();
-            vm.run(None).expect("runs")
-        })
+    bench("wfs_run/bare", || {
+        let mut vm = app.make_vm();
+        vm.run(None).expect("runs")
     });
-    g.bench_function("tquad_coarse_20k", |b| {
-        b.iter(|| {
-            let mut vm = app.make_vm();
-            vm.attach_tool(Box::new(TquadTool::new(
-                TquadOptions::default().with_interval(20_000),
-            )));
-            vm.run(None).expect("runs")
-        })
+    bench("wfs_run/tquad_coarse_20k", || {
+        let mut vm = app.make_vm();
+        vm.attach_tool(Box::new(TquadTool::new(
+            TquadOptions::default().with_interval(20_000),
+        )));
+        vm.run(None).expect("runs")
     });
-    g.bench_function("tquad_fine_500", |b| {
-        b.iter(|| {
-            let mut vm = app.make_vm();
-            vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(500))));
-            vm.run(None).expect("runs")
-        })
+    bench("wfs_run/tquad_fine_500", || {
+        let mut vm = app.make_vm();
+        vm.attach_tool(Box::new(TquadTool::new(
+            TquadOptions::default().with_interval(500),
+        )));
+        vm.run(None).expect("runs")
     });
-    g.bench_function("gprof", |b| {
-        b.iter(|| {
-            let mut vm = app.make_vm();
-            vm.attach_tool(Box::new(GprofTool::new(GprofOptions {
-                sample_interval: 1_000,
-                ..Default::default()
-            })));
-            vm.run(None).expect("runs")
-        })
+    bench("wfs_run/gprof", || {
+        let mut vm = app.make_vm();
+        vm.attach_tool(Box::new(GprofTool::new(GprofOptions {
+            sample_interval: 1_000,
+            ..Default::default()
+        })));
+        vm.run(None).expect("runs")
     });
-    g.bench_function("quad", |b| {
-        b.iter(|| {
-            let mut vm = app.make_vm();
-            vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
-            vm.run(None).expect("runs")
-        })
+    bench("wfs_run/quad", || {
+        let mut vm = app.make_vm();
+        vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
+        vm.run(None).expect("runs")
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

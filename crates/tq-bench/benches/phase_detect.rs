@@ -1,8 +1,8 @@
 //! Ablation: the two phase-detection strategies (activity-vector cosine
 //! with span-overlap rescue vs pure interval IoU) on synthetic profiles of
-//! growing size.
+//! growing size. Plain timing harness (`tq_bench::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tq_bench::bench;
 use tq_isa::RoutineId;
 use tq_tquad::{KernelProfile, KernelSeries, PhaseDetector, PhaseStrategy, TquadProfile};
 
@@ -39,29 +39,23 @@ fn synthetic(phases: usize, kernels_per_phase: usize, slices_per_phase: u64) -> 
     }
 }
 
-fn bench_phase(c: &mut Criterion) {
-    let mut g = c.benchmark_group("phase_detection");
+fn main() {
     for &(phases, kernels) in &[(5usize, 4usize), (8, 8)] {
         let profile = synthetic(phases, kernels, 10_000);
         let label = format!("{phases}phases_x{kernels}kernels");
-        g.bench_with_input(BenchmarkId::new("activity_cosine", &label), &profile, |b, p| {
-            let det = PhaseDetector::default();
-            b.iter(|| det.detect(p).len())
+        bench(&format!("phase_detection/activity_cosine/{label}"), || {
+            PhaseDetector::default().detect(&profile).len()
         });
-        g.bench_with_input(BenchmarkId::new("interval_iou", &label), &profile, |b, p| {
+        bench(&format!("phase_detection/interval_iou/{label}"), || {
             let det = PhaseDetector {
                 strategy: PhaseStrategy::IntervalOverlap { threshold: 0.3 },
                 ..PhaseDetector::default()
             };
-            b.iter(|| det.detect(p).len())
+            det.detect(&profile).len()
         });
     }
-    g.finish();
 
     // Correctness-of-ablation sanity: both strategies find the layout.
     let p = synthetic(5, 4, 10_000);
     assert_eq!(PhaseDetector::default().detect(&p).len(), 5);
 }
-
-criterion_group!(benches, bench_phase);
-criterion_main!(benches);

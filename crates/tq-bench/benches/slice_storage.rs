@@ -2,9 +2,9 @@
 //! [`tq_tquad::KernelSeries`]) versus a dense kernels×slices matrix, over
 //! access streams with realistic sparsity (most kernels are silent in most
 //! slices — `AudioIo_setFrames` is active in 616 of 1 270 684 slices in
-//! the paper's Table IV).
+//! the paper's Table IV). Plain timing harness (`tq_bench::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tq_bench::bench;
 use tq_tquad::KernelSeries;
 
 /// A synthetic access stream: (kernel, slice, bytes), slices nondecreasing.
@@ -24,43 +24,32 @@ fn stream(n_kernels: usize, n_slices: u64, density: f64) -> Vec<(usize, u64, u64
     out
 }
 
-fn bench_storage(c: &mut Criterion) {
+fn main() {
     let n_kernels = 24;
     let n_slices = 50_000u64;
-    let mut g = c.benchmark_group("slice_storage");
     for density in [0.02f64, 0.5] {
         let s = stream(n_kernels, n_slices, density);
-        g.bench_with_input(
-            BenchmarkId::new("sparse_series", format!("density_{density}")),
-            &s,
-            |b, s| {
-                b.iter(|| {
-                    let mut series: Vec<KernelSeries> =
-                        (0..n_kernels).map(|_| KernelSeries::new()).collect();
-                    for &(k, slice, bytes) in s {
-                        series[k].record(slice, true, bytes, false);
-                    }
-                    series.iter().map(|s| s.entries().len()).sum::<usize>()
-                })
+        bench(
+            &format!("slice_storage/sparse_series/density_{density}"),
+            || {
+                let mut series: Vec<KernelSeries> =
+                    (0..n_kernels).map(|_| KernelSeries::new()).collect();
+                for &(k, slice, bytes) in &s {
+                    series[k].record(slice, true, bytes, false);
+                }
+                series.iter().map(|s| s.entries().len()).sum::<usize>()
             },
         );
-        g.bench_with_input(
-            BenchmarkId::new("dense_matrix", format!("density_{density}")),
-            &s,
-            |b, s| {
-                b.iter(|| {
-                    // The naive alternative: one u64 per (kernel, slice).
-                    let mut matrix = vec![0u64; n_kernels * n_slices as usize];
-                    for &(k, slice, bytes) in s {
-                        matrix[k * n_slices as usize + slice as usize] += bytes;
-                    }
-                    matrix.iter().filter(|&&v| v > 0).count()
-                })
+        bench(
+            &format!("slice_storage/dense_matrix/density_{density}"),
+            || {
+                // The naive alternative: one u64 per (kernel, slice).
+                let mut matrix = vec![0u64; n_kernels * n_slices as usize];
+                for &(k, slice, bytes) in &s {
+                    matrix[k * n_slices as usize + slice as usize] += bytes;
+                }
+                matrix.iter().filter(|&&v| v > 0).count()
             },
         );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_storage);
-criterion_main!(benches);

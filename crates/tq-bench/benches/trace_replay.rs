@@ -1,13 +1,14 @@
 //! Bench: analysing from a recorded trace versus re-running the
 //! instrumented VM — the payoff of the capture-once/analyse-many
-//! architecture for parameter sweeps like §V.B.
+//! architecture for parameter sweeps like §V.B. Plain timing harness
+//! (`tq_bench::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use tq_trace::TraceRecorder;
+use tq_bench::bench;
 use tq_tquad::{TquadOptions, TquadTool};
+use tq_trace::TraceRecorder;
 use tq_wfs::{WfsApp, WfsConfig};
 
-fn bench_trace(c: &mut Criterion) {
+fn main() {
     let app = WfsApp::build(WfsConfig::tiny());
 
     // Capture once, outside the timed region.
@@ -16,27 +17,20 @@ fn bench_trace(c: &mut Criterion) {
     vm.run(None).expect("capture run");
     let trace = vm.detach_tool::<TraceRecorder>(r).unwrap().into_trace();
 
-    let mut g = c.benchmark_group("tquad_analysis");
-    g.sample_size(10);
-    g.bench_function("live_rerun", |b| {
-        b.iter(|| {
-            let mut vm = app.make_vm();
-            let t = vm.attach_tool(Box::new(TquadTool::new(
-                TquadOptions::default().with_interval(5_000),
-            )));
-            vm.run(None).expect("runs");
-            vm.detach_tool::<TquadTool>(t).unwrap().into_profile().n_slices()
-        })
+    bench("tquad_analysis/live_rerun", || {
+        let mut vm = app.make_vm();
+        let t = vm.attach_tool(Box::new(TquadTool::new(
+            TquadOptions::default().with_interval(5_000),
+        )));
+        vm.run(None).expect("runs");
+        vm.detach_tool::<TquadTool>(t)
+            .unwrap()
+            .into_profile()
+            .n_slices()
     });
-    g.bench_function("trace_replay", |b| {
-        b.iter(|| {
-            let mut tool = TquadTool::new(TquadOptions::default().with_interval(5_000));
-            trace.replay(&mut tool).expect("replays");
-            tool.into_profile().n_slices()
-        })
+    bench("tquad_analysis/trace_replay", || {
+        let mut tool = TquadTool::new(TquadOptions::default().with_interval(5_000));
+        trace.replay(&mut tool).expect("replays");
+        tool.into_profile().n_slices()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_trace);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Ablation: the page-bitmap [`tq_quad::AddressSet`] versus `HashSet<u64>`
 //! for UnMA tracking. The paper's `wav_store` touches ~65 M distinct
 //! addresses; representation choice dominates QUAD's memory footprint and
-//! insert throughput.
+//! insert throughput. Plain timing harness (`tq_bench::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
+use tq_bench::bench;
 use tq_quad::AddressSet;
 
 /// Address streams with different locality patterns.
@@ -13,7 +13,9 @@ fn stream(pattern: &str, n: usize) -> Vec<u64> {
         // Sequential bytes (wav_store scanning the frame buffer).
         "sequential" => (0..n as u64).map(|i| 0x1000_0000 + i).collect(),
         // Strided interleaving (AudioIo_setFrames-like).
-        "strided" => (0..n as u64).map(|i| 0x1000_0000 + (i % 32) * 65536 + (i / 32) * 4).collect(),
+        "strided" => (0..n as u64)
+            .map(|i| 0x1000_0000 + (i % 32) * 65536 + (i / 32) * 4)
+            .collect(),
         // Pseudo-random within a working set (hash-hostile).
         _ => {
             let mut x: u64 = 0x9E3779B97F4A7C15;
@@ -29,55 +31,40 @@ fn stream(pattern: &str, n: usize) -> Vec<u64> {
     }
 }
 
-fn bench_unma(c: &mut Criterion) {
-    let mut g = c.benchmark_group("unma_insert_100k");
+fn main() {
     for pattern in ["sequential", "strided", "random"] {
         let addrs = stream(pattern, 100_000);
-        g.bench_with_input(BenchmarkId::new("page_bitmap", pattern), &addrs, |b, addrs| {
-            b.iter(|| {
-                let mut s = AddressSet::new();
-                for &a in addrs {
-                    s.insert(a);
-                }
-                s.len()
-            })
+        bench(&format!("unma_insert_100k/page_bitmap/{pattern}"), || {
+            let mut s = AddressSet::new();
+            for &a in &addrs {
+                s.insert(a);
+            }
+            s.len()
         });
-        g.bench_with_input(BenchmarkId::new("hashset", pattern), &addrs, |b, addrs| {
-            b.iter(|| {
-                let mut s: HashSet<u64> = HashSet::new();
-                for &a in addrs {
-                    s.insert(a);
-                }
-                s.len()
-            })
+        bench(&format!("unma_insert_100k/hashset/{pattern}"), || {
+            let mut s: HashSet<u64> = HashSet::new();
+            for &a in &addrs {
+                s.insert(a);
+            }
+            s.len()
         });
     }
-    g.finish();
 
     // Range inserts (the per-access path).
-    let mut g = c.benchmark_group("unma_insert_range_8B_x100k");
-    g.bench_function("page_bitmap", |b| {
-        b.iter(|| {
-            let mut s = AddressSet::new();
-            for i in 0..100_000u64 {
-                s.insert_range(0x1000_0000 + i * 8, 8);
-            }
-            s.len()
-        })
+    bench("unma_insert_range_8B_x100k/page_bitmap", || {
+        let mut s = AddressSet::new();
+        for i in 0..100_000u64 {
+            s.insert_range(0x1000_0000 + i * 8, 8);
+        }
+        s.len()
     });
-    g.bench_function("hashset", |b| {
-        b.iter(|| {
-            let mut s: HashSet<u64> = HashSet::new();
-            for i in 0..100_000u64 {
-                for a in 0..8u64 {
-                    s.insert(0x1000_0000 + i * 8 + a);
-                }
+    bench("unma_insert_range_8B_x100k/hashset", || {
+        let mut s: HashSet<u64> = HashSet::new();
+        for i in 0..100_000u64 {
+            for a in 0..8u64 {
+                s.insert(0x1000_0000 + i * 8 + a);
             }
-            s.len()
-        })
+        }
+        s.len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_unma);
-criterion_main!(benches);

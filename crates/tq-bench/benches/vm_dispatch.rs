@@ -1,8 +1,10 @@
 //! Microbench of the VM's dispatch loop: raw interpretation throughput and
 //! the marginal cost of instrumentation events (what one analysis call
-//! costs, independent of any particular tool).
+//! costs, independent of any particular tool). Plain timing harness
+//! (`tq_bench::bench`); Criterion is out under the zero-external-crates
+//! policy.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tq_bench::bench;
 use tq_isa::{Asm, BrCond, Inst, MemWidth, Program, Reg};
 use tq_vm::{hooks, layout, Event, HookMask, InsContext, Tool, Vm};
 
@@ -35,12 +37,31 @@ fn alu_program(iters: i32) -> Program {
     let mut a = Asm::new();
     a.begin_routine("main").unwrap();
     a.emit(Inst::Li { rd: Reg(1), imm: 0 });
-    a.emit(Inst::Li { rd: Reg(2), imm: iters });
+    a.emit(Inst::Li {
+        rd: Reg(2),
+        imm: iters,
+    });
     a.label("loop").unwrap();
-    a.emit(Inst::AddI { rd: Reg(3), rs1: Reg(1), imm: 7 });
-    a.emit(Inst::Mul { rd: Reg(3), rs1: Reg(3), rs2: Reg(3) });
-    a.emit(Inst::Xor { rd: Reg(4), rs1: Reg(3), rs2: Reg(1) });
-    a.emit(Inst::AddI { rd: Reg(1), rs1: Reg(1), imm: 1 });
+    a.emit(Inst::AddI {
+        rd: Reg(3),
+        rs1: Reg(1),
+        imm: 7,
+    });
+    a.emit(Inst::Mul {
+        rd: Reg(3),
+        rs1: Reg(3),
+        rs2: Reg(3),
+    });
+    a.emit(Inst::Xor {
+        rd: Reg(4),
+        rs1: Reg(3),
+        rs2: Reg(1),
+    });
+    a.emit(Inst::AddI {
+        rd: Reg(1),
+        rs1: Reg(1),
+        imm: 1,
+    });
     a.br(BrCond::Lt, Reg(1), Reg(2), "loop");
     a.emit(Inst::Halt);
     let img = a.finish("alu", layout::MAIN_TEXT_BASE, true).unwrap();
@@ -53,13 +74,37 @@ fn mem_program(iters: i32) -> Program {
     let mut a = Asm::new();
     a.begin_routine("main").unwrap();
     a.emit(Inst::Li { rd: Reg(1), imm: 0 });
-    a.emit(Inst::Li { rd: Reg(2), imm: iters });
-    a.emit(Inst::Li { rd: Reg(5), imm: layout::GLOBALS_BASE as i32 });
+    a.emit(Inst::Li {
+        rd: Reg(2),
+        imm: iters,
+    });
+    a.emit(Inst::Li {
+        rd: Reg(5),
+        imm: layout::GLOBALS_BASE as i32,
+    });
     a.label("loop").unwrap();
-    a.emit(Inst::Ld { rd: Reg(3), base: Reg(5), off: 0, width: MemWidth::B8 });
-    a.emit(Inst::AddI { rd: Reg(3), rs1: Reg(3), imm: 1 });
-    a.emit(Inst::St { rs: Reg(3), base: Reg(5), off: 0, width: MemWidth::B8 });
-    a.emit(Inst::AddI { rd: Reg(1), rs1: Reg(1), imm: 1 });
+    a.emit(Inst::Ld {
+        rd: Reg(3),
+        base: Reg(5),
+        off: 0,
+        width: MemWidth::B8,
+    });
+    a.emit(Inst::AddI {
+        rd: Reg(3),
+        rs1: Reg(3),
+        imm: 1,
+    });
+    a.emit(Inst::St {
+        rs: Reg(3),
+        base: Reg(5),
+        off: 0,
+        width: MemWidth::B8,
+    });
+    a.emit(Inst::AddI {
+        rd: Reg(1),
+        rs1: Reg(1),
+        imm: 1,
+    });
     a.br(BrCond::Lt, Reg(1), Reg(2), "loop");
     a.emit(Inst::Halt);
     let img = a.finish("mem", layout::MAIN_TEXT_BASE, true).unwrap();
@@ -67,34 +112,25 @@ fn mem_program(iters: i32) -> Program {
     Program::new(img, entry)
 }
 
-fn bench_dispatch(c: &mut Criterion) {
+fn main() {
     const ITERS: i32 = 100_000;
-    let mut g = c.benchmark_group("vm_dispatch");
-    g.throughput(Throughput::Elements(ITERS as u64 * 5));
 
-    g.bench_function("alu_bare", |b| {
-        let p = alu_program(ITERS);
-        b.iter(|| {
-            let mut vm = Vm::new(p.clone()).unwrap();
-            vm.run(None).unwrap().icount
-        })
+    let alu = alu_program(ITERS);
+    bench("vm_dispatch/alu_bare", || {
+        let mut vm = Vm::new(alu.clone()).unwrap();
+        vm.run(None).unwrap().icount
     });
-    g.bench_function("mem_bare", |b| {
-        let p = mem_program(ITERS);
-        b.iter(|| {
-            let mut vm = Vm::new(p.clone()).unwrap();
-            vm.run(None).unwrap().icount
-        })
+
+    let mem = mem_program(ITERS);
+    bench("vm_dispatch/mem_bare", || {
+        let mut vm = Vm::new(mem.clone()).unwrap();
+        vm.run(None).unwrap().icount
     });
-    g.bench_function("mem_with_event_counter", |b| {
-        let p = mem_program(ITERS);
-        b.iter(|| {
-            let mut vm = Vm::new(p.clone()).unwrap();
-            vm.attach_tool(Box::new(Counter { n: 0 }));
-            vm.run(None).unwrap().icount
-        })
+    bench("vm_dispatch/mem_with_event_counter", || {
+        let mut vm = Vm::new(mem.clone()).unwrap();
+        vm.attach_tool(Box::new(Counter { n: 0 }));
+        vm.run(None).unwrap().icount
     });
-    g.finish();
 
     // Sanity: the counter actually fires per memory op (2 per iteration
     // plus the fallthrough Halt path has none).
@@ -104,6 +140,3 @@ fn bench_dispatch(c: &mut Criterion) {
     let t = vm.detach_tool::<Counter>(h).unwrap();
     assert_eq!(t.n, 200);
 }
-
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);

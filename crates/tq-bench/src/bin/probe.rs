@@ -24,7 +24,12 @@ fn main() {
     let start = std::time::Instant::now();
     let exit = vm.run(None).expect("runs");
     let wall = start.elapsed();
-    println!("icount = {} ({:.1} M), wall {:.2?}", exit.icount, exit.icount as f64 / 1e6, wall);
+    println!(
+        "icount = {} ({:.1} M), wall {:.2?}",
+        exit.icount,
+        exit.icount as f64 / 1e6,
+        wall
+    );
 
     let gp = vm.detach_tool::<GprofTool>(g).unwrap().into_profile();
     println!("{}", gp.table("flat profile").render());

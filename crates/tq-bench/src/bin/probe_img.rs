@@ -6,7 +6,9 @@ use tq_tquad::{PhaseDetector, TquadOptions, TquadTool};
 fn main() {
     let app = ImgApp::build(ImgConfig::small());
     let mut vm = app.make_vm();
-    let t = vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(2_000))));
+    let t = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(2_000),
+    )));
     let exit = vm.run(None).unwrap();
     let p = vm.detach_tool::<TquadTool>(t).unwrap().into_profile();
     println!("icount {} slices {}", exit.icount, p.n_slices());
@@ -24,8 +26,11 @@ fn main() {
     }
     let phases = PhaseDetector::default().detect(&p);
     for (i, ph) in phases.iter().enumerate() {
-        let names: Vec<&str> =
-            ph.kernels.iter().map(|r| p.kernels[r.idx()].name.as_str()).collect();
+        let names: Vec<&str> = ph
+            .kernels
+            .iter()
+            .map(|r| p.kernels[r.idx()].name.as_str())
+            .collect();
         println!("phase {} {:?} {}", i + 1, ph.span, names.join(","));
     }
 }

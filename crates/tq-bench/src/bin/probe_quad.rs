@@ -23,7 +23,14 @@ fn main() {
             exit.icount as f64 / 1e6,
             t0.elapsed()
         );
-        for name in ["wav_store", "fft1d", "AudioIo_setFrames", "zeroRealVec", "zeroCplxVec", "bitrev"] {
+        for name in [
+            "wav_store",
+            "fft1d",
+            "AudioIo_setFrames",
+            "zeroRealVec",
+            "zeroCplxVec",
+            "bitrev",
+        ] {
             let r = q.row(name).unwrap();
             println!(
                 "  {name:24} IN {:>12} UnMA {:>10}  OUT {:>12} UnMA {:>10}",

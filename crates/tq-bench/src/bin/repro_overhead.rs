@@ -33,7 +33,9 @@ fn time_tquad(app: &WfsApp, interval: u64, policy: LibPolicy, cache: bool) -> f6
     let mut vm = app.make_vm();
     vm.set_cache_enabled(cache);
     vm.attach_tool(Box::new(TquadTool::new(
-        TquadOptions::default().with_interval(interval).with_lib_policy(policy),
+        TquadOptions::default()
+            .with_interval(interval)
+            .with_lib_policy(policy),
     )));
     let t0 = Instant::now();
     vm.run(None).expect("instrumented run");
@@ -99,7 +101,10 @@ fn main() {
     // Ablation: instrumentation without a code cache (re-decode and
     // re-instrument every block execution).
     let no_cache = time_tquad(&app, intervals[1], LibPolicy::AttributeToCaller, false);
-    rows.push((format!("tquad interval={} WITHOUT code cache", intervals[1]), no_cache));
+    rows.push((
+        format!("tquad interval={} WITHOUT code cache", intervals[1]),
+        no_cache,
+    ));
 
     let mut table = Table::new(format!(
         "INSTRUMENTATION SLOWDOWN (baseline: bare VM, {bare:.3} s; paper reports 37.2–68.95× vs native x86)"

@@ -33,9 +33,15 @@ fn main() {
         ..Default::default()
     })));
     let q = vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
-    let t = vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(2_000))));
+    let t = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(2_000),
+    )));
     let exit = vm.run(None).expect("pipeline runs");
-    println!("{} instructions; MSE = {}", exit.icount, vm.console().trim());
+    println!(
+        "{} instructions; MSE = {}",
+        exit.icount,
+        vm.console().trim()
+    );
 
     let gprof = vm.detach_tool::<GprofTool>(g).unwrap().into_profile();
     println!("\n{}", gprof.table("FLAT PROFILE").render());
@@ -43,7 +49,10 @@ fn main() {
     let quad = vm.detach_tool::<QuadTool>(q).unwrap().into_profile();
     let clustering = cluster_by_communication(
         &quad,
-        ClusterOptions { max_cluster_size: 5, min_edge_bytes: 1024 },
+        ClusterOptions {
+            max_cluster_size: 5,
+            min_edge_bytes: 1024,
+        },
     );
     println!(
         "task clustering: {} clusters, {:.1} % of traffic intra-cluster",

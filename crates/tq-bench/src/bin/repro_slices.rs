@@ -12,7 +12,6 @@
 //! bursts away, so measured peaks fall), the number of detected phases,
 //! and the per-kernel activity spans.
 
-use rayon::prelude::*;
 use tq_bench::{banner, save, scale_app};
 use tq_report::{f, Align, Table};
 use tq_tquad::{PhaseDetector, TquadOptions, TquadProfile, TquadTool};
@@ -44,10 +43,18 @@ fn main() {
         .map(|p| ((p * scale) as u64).max(16))
         .collect();
 
-    let profiles: Vec<(u64, TquadProfile)> = intervals
-        .par_iter()
-        .map(|&i| (i, run_with_interval(&app, i)))
-        .collect();
+    // One instrumented run per interval, in parallel on std threads.
+    let app_ref = &app;
+    let profiles: Vec<(u64, TquadProfile)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = intervals
+            .iter()
+            .map(|&i| scope.spawn(move || (i, run_with_interval(app_ref, i))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
+    });
 
     let mut table = Table::new("SLICE-INTERVAL SWEEP")
         .col("paper interval", Align::Right)
@@ -62,9 +69,7 @@ fn main() {
         table = table.col(c.clone(), Align::Right);
     }
 
-    for ((paper, &ours), (_, profile)) in
-        paper_intervals.iter().zip(&intervals).zip(&profiles)
-    {
+    for ((paper, &ours), (_, profile)) in paper_intervals.iter().zip(&intervals).zip(&profiles) {
         let phases = PhaseDetector::default().detect(profile);
         let mut row = vec![
             format!("{paper:.0}"),

@@ -32,9 +32,23 @@ fn main() {
     ));
     println!("{}", table.render());
 
-    let top: Vec<&str> = profile.ranked().iter().take(2).map(|r| r.name.as_str()).collect();
-    let top2_pct: f64 = profile.ranked().iter().take(2).map(|r| profile.pct_time(r)).sum();
-    println!("top-2 kernels: {} ({:.1} % of total; paper: wav_store+fft1d ≈ 60 %)", top.join(" + "), top2_pct);
+    let top: Vec<&str> = profile
+        .ranked()
+        .iter()
+        .take(2)
+        .map(|r| r.name.as_str())
+        .collect();
+    let top2_pct: f64 = profile
+        .ranked()
+        .iter()
+        .take(2)
+        .map(|r| profile.pct_time(r))
+        .sum();
+    println!(
+        "top-2 kernels: {} ({:.1} % of total; paper: wav_store+fft1d ≈ 60 %)",
+        top.join(" + "),
+        top2_pct
+    );
 
     save("table1_flat_profile.csv", &table.to_csv());
 

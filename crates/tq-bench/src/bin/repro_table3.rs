@@ -54,9 +54,8 @@ fn main() {
     println!("{}", table.render());
 
     // Verify the paper's two headline trend observations.
-    let pct = |p: &tq_gprof::FlatProfile, name: &str| {
-        p.row(name).map(|r| p.pct_time(r)).unwrap_or(0.0)
-    };
+    let pct =
+        |p: &tq_gprof::FlatProfile, name: &str| p.row(name).map(|r| p.pct_time(r)).unwrap_or(0.0);
     println!(
         "AudioIo_setFrames: {:.2} % → {:.2} % (paper: 4.01 → 11.19, ^^)",
         pct(&baseline, "AudioIo_setFrames"),

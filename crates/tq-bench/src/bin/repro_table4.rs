@@ -16,7 +16,7 @@
 //! accesses are excluded.
 
 use tq_bench::{banner, save, scale_app};
-use tq_tquad::{phase_table, PhaseDetector, TquadOptions, TquadTool};
+use tq_tquad::{phase_table, profile_json, PhaseDetector, TquadOptions, TquadTool};
 
 fn main() {
     banner("Table IV: phases in the execution path of hArtes wfs");
@@ -49,7 +49,11 @@ fn main() {
         .active_kernels()
         .iter()
         .filter(|k| k.name != "main")
-        .filter_map(|k| profile.stats(k, true).map(|s| (k.name.clone(), s.max_total_bpi)))
+        .filter_map(|k| {
+            profile
+                .stats(k, true)
+                .map(|s| (k.name.clone(), s.max_total_bpi))
+        })
         .collect();
     peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
     if peaks.len() >= 2 {
@@ -64,7 +68,10 @@ fn main() {
     for name in ["zeroRealVec", "zeroCplxVec"] {
         if let Some(k) = profile.kernel(name) {
             let incl = profile.stats(k, true).map(|s| s.activity_span).unwrap_or(0);
-            let excl = profile.stats(k, false).map(|s| s.activity_span).unwrap_or(0);
+            let excl = profile
+                .stats(k, false)
+                .map(|s| s.activity_span)
+                .unwrap_or(0);
             println!(
                 "{name}: activity span {incl} (stack incl) → {excl} (excl), factor {:.1} \
                  (paper: 2 and 8)",
@@ -76,8 +83,5 @@ fn main() {
     save("table4_phases.csv", &table.to_csv());
     // Machine-readable profile (per-kernel slice series) for downstream
     // analysis.
-    save(
-        "table4_profile.json",
-        &serde_json::to_string(&profile).expect("profile serialises"),
-    );
+    save("table4_profile.json", &profile_json(&profile).render());
 }

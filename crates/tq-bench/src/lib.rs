@@ -1,10 +1,11 @@
 //! # tq-bench — experiment harness for the tQUAD reproduction
 //!
 //! One `repro_*` binary per table/figure of the paper (see the
-//! per-experiment index in `DESIGN.md`), plus Criterion benches for the
-//! performance claims and the design-choice ablations. Binaries print the
-//! paper-shaped rows/series to stdout and drop machine-readable copies
-//! under `results/`.
+//! per-experiment index in `DESIGN.md`), plus plain timing benches
+//! ([`bench`], `benches/*.rs` with `harness = false`) for the performance
+//! claims and the design-choice ablations. Binaries print the paper-shaped
+//! rows/series to stdout and drop machine-readable copies under
+//! `results/`.
 //!
 //! All experiments default to [`WfsConfig::paper_scaled`]; set
 //! `TQ_SCALE=small` or `TQ_SCALE=tiny` to shrink them (CI smoke runs).
@@ -61,9 +62,46 @@ pub fn banner(what: &str) {
     println!();
 }
 
+/// Minimal timing harness for the `benches/*.rs` entry points (the
+/// workspace builds with zero external crates, so Criterion is out).
+/// Runs `f` for a warmup round, then measures `iters` timed rounds and
+/// prints min/median/mean wall-clock per round. `TQ_BENCH_ITERS`
+/// overrides the round count (CI smoke runs use 1).
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let iters: usize = std::env::var("TQ_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    std::hint::black_box(f()); // warmup
+    let mut samples: Vec<std::time::Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let total: std::time::Duration = samples.iter().sum();
+    println!(
+        "{name}: min {:?}  median {:?}  mean {:?}  ({} iters)",
+        samples[0],
+        samples[samples.len() / 2],
+        total / samples.len() as u32,
+        samples.len()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("TQ_BENCH_ITERS", "2");
+        let mut calls = 0u32;
+        bench("noop", || calls += 1);
+        std::env::remove_var("TQ_BENCH_ITERS");
+        assert_eq!(calls, 3, "warmup + 2 timed rounds");
+    }
 
     #[test]
     fn default_scale_is_paper() {

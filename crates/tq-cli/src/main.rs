@@ -14,17 +14,28 @@
 //! tq phases  [--scale …] [--interval N] [--strategy cosine|interval]
 //! tq intervals [--scale …] [--interval N] [--kernel NAME] [--gap N]
 //! tq disasm  [--routine NAME]
+//! tq serve   [--addr HOST:PORT] [--workers N] [--state-dir PATH]
+//!            [--cache-mb N] [--queue N] [--timeout-ms N] [--capture-fuel N]
+//! tq submit  [--addr HOST:PORT] [--tool tquad|quad|gprof|phases]
+//!            [--app …] [--scale …] [--interval N] [--exclude-stack]
+//!            [--exclude-libs|--track-libs] | --stats | --ping | --shutdown
 //! ```
+//!
+//! `serve`/`submit` are the front end for the `tq-profd` service: one
+//! daemon records each workload once and answers every profiling variant
+//! by parallel offline replay (see `crates/tq-profd`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 use tq_gprof::{GprofOptions, GprofTool};
+use tq_imgproc::{ImgApp, ImgConfig};
+use tq_profd::{AppId, Client, JobSpec, Scale, Server, ServerConfig, StackPolicy, ToolId};
 use tq_quad::{qdu_graph, QuadOptions, QuadTool};
 use tq_tquad::{
     figure_chart, phase_table, LibPolicy, Measure, PhaseDetector, PhaseStrategy, TquadOptions,
     TquadTool,
 };
-use tq_imgproc::{ImgApp, ImgConfig};
 use tq_wfs::{WfsApp, WfsConfig};
 
 struct Args {
@@ -43,7 +54,10 @@ impl Args {
             };
             match it.peek() {
                 Some(next) if !next.starts_with("--") => {
-                    flags.insert(name.to_string(), it.next().expect("peeked").clone());
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} expects a value"))?;
+                    flags.insert(name.to_string(), value.clone());
                 }
                 _ => bools.push(name.to_string()),
             }
@@ -61,7 +75,9 @@ impl Args {
 
     fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
             None => Ok(default),
         }
     }
@@ -118,13 +134,15 @@ fn app_for(args: &Args) -> Result<App, String> {
 fn lib_policy(args: &Args) -> LibPolicy {
     if args.has("exclude-libs") {
         LibPolicy::Drop
+    } else if args.has("track-libs") {
+        LibPolicy::Track
     } else {
         LibPolicy::AttributeToCaller
     }
 }
 
 fn usage() -> String {
-    "usage: tq <run|gprof|tquad|quad|phases|intervals|disasm> [options]\n\
+    "usage: tq <run|gprof|tquad|quad|phases|intervals|disasm|serve|submit> [options]\n\
      common options: --app wfs|img --scale tiny|small|paper\n\
      tquad options:  --interval N --exclude-stack --exclude-libs --chart read|write\n\
      \u{20}               --kernels a,b,c --width N\n\
@@ -132,7 +150,12 @@ fn usage() -> String {
      phases options: --interval N --strategy cosine|interval\n\
      intervals opts: --interval N --kernel NAME --gap N\n\
      gprof options:  --interval N\n\
-     disasm options: --routine NAME"
+     disasm options: --routine NAME\n\
+     serve options:  --addr HOST:PORT --workers N --state-dir PATH --cache-mb N\n\
+     \u{20}               --queue N --timeout-ms N --capture-fuel N\n\
+     submit options: --addr HOST:PORT --tool tquad|quad|gprof|phases --app --scale\n\
+     \u{20}               --interval N --exclude-stack --exclude-libs --track-libs\n\
+     \u{20}               (or one of: --stats --ping --shutdown)"
         .to_string()
 }
 
@@ -152,18 +175,24 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Err("missing subcommand".into());
     };
     let args = Args::parse(&argv[1..])?;
-    let app = app_for(&args)?;
 
     match cmd.as_str() {
         "run" => {
+            let app = app_for(&args)?;
             let mut vm = app.make_vm()?;
             let exit = vm.run(None).map_err(|e| e.to_string())?;
-            println!("finished: {} instructions, exit {:?}", exit.icount, exit.reason);
+            println!(
+                "finished: {} instructions, exit {:?}",
+                exit.icount, exit.reason
+            );
             let mut names = vm.fs().file_names();
             names.sort_unstable();
             for name in names {
                 if name != app.input.0 {
-                    println!("{name}: {} bytes", vm.fs().file(name).map(|f| f.len()).unwrap_or(0));
+                    println!(
+                        "{name}: {} bytes",
+                        vm.fs().file(name).map(|f| f.len()).unwrap_or(0)
+                    );
                 }
             }
             if !vm.console().is_empty() {
@@ -176,6 +205,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             );
         }
         "gprof" => {
+            let app = app_for(&args)?;
             let interval = args.u64_or("interval", 5_000)?;
             let mut vm = app.make_vm()?;
             let h = vm.attach_tool(Box::new(GprofTool::new(GprofOptions {
@@ -183,10 +213,13 @@ fn run(argv: &[String]) -> Result<(), String> {
                 ..Default::default()
             })));
             vm.run(None).map_err(|e| e.to_string())?;
-            let p = vm.detach_tool::<GprofTool>(h).expect("tool type");
+            let p = vm
+                .detach_tool::<GprofTool>(h)
+                .ok_or("internal error: detached tool had unexpected type")?;
             println!("{}", p.into_profile().table("FLAT PROFILE").render());
         }
         "tquad" => {
+            let app = app_for(&args)?;
             let interval = args.u64_or("interval", 20_000)?;
             let include_stack = !args.has("exclude-stack");
             let mut vm = app.make_vm()?;
@@ -196,7 +229,10 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .with_lib_policy(lib_policy(&args)),
             )));
             vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm.detach_tool::<TquadTool>(h).expect("tool type").into_profile();
+            let profile = vm
+                .detach_tool::<TquadTool>(h)
+                .ok_or("internal error: detached tool had unexpected type")?
+                .into_profile();
 
             let measure = match (args.get("chart").unwrap_or("read"), include_stack) {
                 ("read", true) => Measure::ReadIncl,
@@ -216,7 +252,10 @@ fn run(argv: &[String]) -> Result<(), String> {
             };
             let names: Vec<&str> = kernels.iter().map(|s| s.as_str()).collect();
             let width = args.u64_or("width", 96)? as usize;
-            println!("{}", figure_chart(&profile, &names, measure, width, None).render());
+            println!(
+                "{}",
+                figure_chart(&profile, &names, measure, width, None).render()
+            );
             println!(
                 "{} slices of {} instructions; {} prefetches ignored, {} accesses dropped",
                 profile.n_slices(),
@@ -226,6 +265,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             );
         }
         "quad" => {
+            let app = app_for(&args)?;
             let include_stack = !args.has("exclude-stack");
             let mut vm = app.make_vm()?;
             let h = vm.attach_tool(Box::new(QuadTool::new(QuadOptions {
@@ -233,11 +273,18 @@ fn run(argv: &[String]) -> Result<(), String> {
                 lib_policy: lib_policy(&args),
             })));
             vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm.detach_tool::<QuadTool>(h).expect("tool type").into_profile();
+            let profile = vm
+                .detach_tool::<QuadTool>(h)
+                .ok_or("internal error: detached tool had unexpected type")?
+                .into_profile();
 
             let mut t = tq_report::Table::new(format!(
                 "QUAD (stack accesses {})",
-                if include_stack { "included" } else { "excluded" }
+                if include_stack {
+                    "included"
+                } else {
+                    "excluded"
+                }
             ))
             .col("kernel", tq_report::Align::Left)
             .col("IN", tq_report::Align::Right)
@@ -261,6 +308,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
         }
         "phases" => {
+            let app = app_for(&args)?;
             let interval = args.u64_or("interval", 2_000)?;
             let mut vm = app.make_vm()?;
             let h = vm.attach_tool(Box::new(TquadTool::new(
@@ -269,7 +317,10 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .with_lib_policy(lib_policy(&args)),
             )));
             vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm.detach_tool::<TquadTool>(h).expect("tool type").into_profile();
+            let profile = vm
+                .detach_tool::<TquadTool>(h)
+                .ok_or("internal error: detached tool had unexpected type")?
+                .into_profile();
             let detector = match args.get("strategy").unwrap_or("cosine") {
                 "cosine" => PhaseDetector::default(),
                 "interval" => PhaseDetector {
@@ -285,6 +336,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             // "tQUAD is capable of providing the detailed information
             // about the exact time intervals in which a kernel is
             // communicating with the memory." (§V)
+            let app = app_for(&args)?;
             let interval = args.u64_or("interval", 2_000)?;
             let gap = args.u64_or("gap", 0)?;
             let mut vm = app.make_vm()?;
@@ -294,7 +346,10 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .with_lib_policy(lib_policy(&args)),
             )));
             vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm.detach_tool::<TquadTool>(h).expect("tool type").into_profile();
+            let profile = vm
+                .detach_tool::<TquadTool>(h)
+                .ok_or("internal error: detached tool had unexpected type")?
+                .into_profile();
             let wanted = args.get("kernel");
             for k in profile.active_kernels() {
                 if let Some(w) = wanted {
@@ -320,6 +375,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
         }
         "disasm" => {
+            let app = app_for(&args)?;
             let program = &app.program;
             let want = args.get("routine");
             for img in &program.images {
@@ -329,7 +385,12 @@ fn run(argv: &[String]) -> Result<(), String> {
                             continue;
                         }
                     }
-                    println!("{} <{}> ({}):", r.name, img.name, if img.is_main { "main" } else { "library" });
+                    println!(
+                        "{} <{}> ({}):",
+                        r.name,
+                        img.name,
+                        if img.is_main { "main" } else { "library" }
+                    );
                     let mut pc = r.start;
                     while pc < r.end {
                         let inst = img.fetch(pc).map_err(|e| e.to_string())?;
@@ -338,6 +399,58 @@ fn run(argv: &[String]) -> Result<(), String> {
                     }
                     println!();
                 }
+            }
+        }
+        "serve" => {
+            let defaults = ServerConfig::default();
+            let config = ServerConfig {
+                addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
+                workers: args.u64_or("workers", defaults.workers as u64)? as usize,
+                state_dir: args.get("state-dir").map(std::path::PathBuf::from),
+                cache_bytes: args.u64_or("cache-mb", defaults.cache_bytes >> 20)? << 20,
+                queue_depth: args.u64_or("queue", defaults.queue_depth as u64)? as usize,
+                job_timeout: Duration::from_millis(
+                    args.u64_or("timeout-ms", defaults.job_timeout.as_millis() as u64)?,
+                ),
+                capture_fuel: match args.u64_or("capture-fuel", 0)? {
+                    0 => None,
+                    n => Some(n),
+                },
+            };
+            let server = Server::start(config)?;
+            let addr = server.local_addr();
+            println!("tq-profd listening on {addr}");
+            println!("stop with: tq submit --addr {addr} --shutdown");
+            server.join()?;
+            println!("tq-profd stopped");
+        }
+        "submit" => {
+            let default_addr = ServerConfig::default().addr;
+            let addr = args.get("addr").unwrap_or(&default_addr);
+            let mut client = Client::connect(addr)?;
+            if args.has("ping") {
+                let r = client.ping()?;
+                println!("{}", r.encode());
+            } else if args.has("shutdown") {
+                let r = client.shutdown()?;
+                println!("{}", r.encode());
+            } else if args.has("stats") {
+                println!("{}", client.stats()?.render());
+            } else {
+                let tool = ToolId::parse(args.get("tool").unwrap_or("tquad"))?;
+                let app = AppId::parse(args.get("app").unwrap_or("wfs"))?;
+                let scale = Scale::parse(args.get("scale").unwrap_or("tiny"))?;
+                let mut spec = JobSpec::new(app, scale, tool);
+                spec.interval = args.u64_or("interval", spec.interval)?;
+                if args.has("exclude-stack") {
+                    spec.stack = StackPolicy::Exclude;
+                }
+                spec.lib_policy = lib_policy(&args);
+                let (profile, cached) = client.submit(spec)?;
+                // Profile JSON alone on stdout (byte-identical cold vs warm);
+                // bookkeeping goes to stderr.
+                println!("{}", profile.render());
+                eprintln!("# cached: {cached}");
             }
         }
         other => return Err(format!("unknown subcommand `{other}`")),

@@ -30,7 +30,10 @@ impl TimeModel {
     /// The paper's testbed: an Intel Core 2 Quad Q9550 @ 2.83 GHz, modelled
     /// at CPI 1.
     pub fn q9550() -> Self {
-        TimeModel { cpi: 1.0, clock_hz: 2.83e9 }
+        TimeModel {
+            cpi: 1.0,
+            clock_hz: 2.83e9,
+        }
     }
 
     /// Seconds for `instructions` of virtual time.
@@ -193,16 +196,15 @@ impl Tool for GprofTool {
                     self.cum_samples[rtn.idx()] += 1;
                 }
             }
-            Event::RoutineEnter { rtn, sp, .. }
-                if self.tracked[rtn.idx()] => {
-                    // Call-graph edge from the current (tracked) caller —
-                    // gprof's second output section.
-                    if let Some(caller) = self.stack.current() {
-                        *self.edges.entry((caller, rtn)).or_insert(0) += 1;
-                    }
-                    self.stack.enter(rtn, sp);
-                    self.calls[rtn.idx()] += 1;
+            Event::RoutineEnter { rtn, sp, .. } if self.tracked[rtn.idx()] => {
+                // Call-graph edge from the current (tracked) caller —
+                // gprof's second output section.
+                if let Some(caller) = self.stack.current() {
+                    *self.edges.entry((caller, rtn)).or_insert(0) += 1;
                 }
+                self.stack.enter(rtn, sp);
+                self.calls[rtn.idx()] += 1;
+            }
             Event::Ret { rtn, .. } => {
                 self.stack.ret_in(rtn);
             }
@@ -268,7 +270,11 @@ impl FlatProfile {
     }
 
     fn total_instr(&self) -> f64 {
-        self.rows.iter().map(|r| self.self_instr(r)).sum::<f64>().max(1.0)
+        self.rows
+            .iter()
+            .map(|r| self.self_instr(r))
+            .sum::<f64>()
+            .max(1.0)
     }
 
     /// The `%time` column: this function's share of total self time.
@@ -338,7 +344,11 @@ impl FlatProfile {
             .col("callee", Align::Left)
             .col("calls", Align::Right);
         for e in &self.edges {
-            t.row(vec![e.caller_name.clone(), e.callee_name.clone(), e.count.to_string()]);
+            t.row(vec![
+                e.caller_name.clone(),
+                e.callee_name.clone(),
+                e.count.to_string(),
+            ]);
         }
         t
     }
@@ -396,7 +406,11 @@ impl Trend {
     /// Classify the change from `old_pct` to `new_pct` of total time.
     pub fn classify(old_pct: f64, new_pct: f64) -> Trend {
         if old_pct <= 0.0 {
-            return if new_pct > 0.5 { Trend::UpUp } else { Trend::Flat };
+            return if new_pct > 0.5 {
+                Trend::UpUp
+            } else {
+                Trend::Flat
+            };
         }
         let ratio = new_pct / old_pct;
         if ratio >= 2.0 {
@@ -429,7 +443,11 @@ pub fn comparison_table(baseline: &FlatProfile, instrumented: &FlatProfile, titl
             Some(nr) => (
                 instrumented.pct_time(nr),
                 instrumented.self_seconds(nr),
-                ranked.iter().position(|r| r.name == nr.name).map(|p| p + 1).unwrap_or(0),
+                ranked
+                    .iter()
+                    .position(|r| r.name == nr.name)
+                    .map(|p| p + 1)
+                    .unwrap_or(0),
             ),
             None => (0.0, 0.0, 0),
         };
@@ -460,7 +478,11 @@ mod tests {
             end: 0x10000 + id as u64 * 0x100 + 0x100,
         };
         ProgramInfo {
-            routines: vec![mk(0, "main", true), mk(1, "work", true), mk(2, "lib_fn", false)],
+            routines: vec![
+                mk(0, "main", true),
+                mk(1, "work", true),
+                mk(2, "lib_fn", false),
+            ],
             stack_base: 0x3FFF_FF00,
             entry: 0x10000,
         }
@@ -468,16 +490,40 @@ mod tests {
 
     #[test]
     fn sampling_and_calls() {
-        let mut g = GprofTool::new(GprofOptions { sample_interval: 100, ..Default::default() });
+        let mut g = GprofTool::new(GprofOptions {
+            sample_interval: 100,
+            ..Default::default()
+        });
         g.on_attach(&info());
-        g.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 1000, icount: 1 });
-        g.on_event(&Event::RoutineEnter { rtn: RoutineId(1), sp: 900, icount: 5 });
+        g.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 1000,
+            icount: 1,
+        });
+        g.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(1),
+            sp: 900,
+            icount: 5,
+        });
         // Three ticks inside `work`, one after returning to `main`.
         for i in 0..3 {
-            g.on_event(&Event::Tick { icount: 100 * (i + 1), ip: 0x10100, rtn: RoutineId(1) });
+            g.on_event(&Event::Tick {
+                icount: 100 * (i + 1),
+                ip: 0x10100,
+                rtn: RoutineId(1),
+            });
         }
-        g.on_event(&Event::Ret { ip: 0x10180, return_to: 0x10008, icount: 350, rtn: RoutineId(1) });
-        g.on_event(&Event::Tick { icount: 400, ip: 0x10008, rtn: RoutineId(0) });
+        g.on_event(&Event::Ret {
+            ip: 0x10180,
+            return_to: 0x10008,
+            icount: 350,
+            rtn: RoutineId(1),
+        });
+        g.on_event(&Event::Tick {
+            icount: 400,
+            ip: 0x10008,
+            rtn: RoutineId(0),
+        });
 
         let p = g.into_profile();
         assert_eq!(p.total_samples, 4);
@@ -494,10 +540,21 @@ mod tests {
 
     #[test]
     fn untracked_lib_samples_do_not_count() {
-        let mut g = GprofTool::new(GprofOptions { sample_interval: 100, ..Default::default() });
+        let mut g = GprofTool::new(GprofOptions {
+            sample_interval: 100,
+            ..Default::default()
+        });
         g.on_attach(&info());
-        g.on_event(&Event::RoutineEnter { rtn: RoutineId(2), sp: 1000, icount: 1 });
-        g.on_event(&Event::Tick { icount: 100, ip: 0x10200, rtn: RoutineId(2) });
+        g.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(2),
+            sp: 1000,
+            icount: 1,
+        });
+        g.on_event(&Event::Tick {
+            icount: 100,
+            ip: 0x10200,
+            rtn: RoutineId(2),
+        });
         let p = g.into_profile();
         assert_eq!(p.total_samples, 1);
         assert!(p.rows.iter().all(|r| r.self_samples == 0));
@@ -506,12 +563,23 @@ mod tests {
 
     #[test]
     fn ranked_sorts_by_self_time() {
-        let mut g = GprofTool::new(GprofOptions { sample_interval: 10, ..Default::default() });
+        let mut g = GprofTool::new(GprofOptions {
+            sample_interval: 10,
+            ..Default::default()
+        });
         g.on_attach(&info());
         for _ in 0..5 {
-            g.on_event(&Event::Tick { icount: 0, ip: 0x10100, rtn: RoutineId(1) });
+            g.on_event(&Event::Tick {
+                icount: 0,
+                ip: 0x10100,
+                rtn: RoutineId(1),
+            });
         }
-        g.on_event(&Event::Tick { icount: 0, ip: 0x10000, rtn: RoutineId(0) });
+        g.on_event(&Event::Tick {
+            icount: 0,
+            ip: 0x10000,
+            rtn: RoutineId(0),
+        });
         let p = g.into_profile();
         let names: Vec<&str> = p.ranked().iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["work", "main"]);
@@ -519,12 +587,23 @@ mod tests {
 
     #[test]
     fn add_cost_changes_ranking() {
-        let mut g = GprofTool::new(GprofOptions { sample_interval: 10, ..Default::default() });
+        let mut g = GprofTool::new(GprofOptions {
+            sample_interval: 10,
+            ..Default::default()
+        });
         g.on_attach(&info());
         for _ in 0..5 {
-            g.on_event(&Event::Tick { icount: 0, ip: 0x10100, rtn: RoutineId(1) });
+            g.on_event(&Event::Tick {
+                icount: 0,
+                ip: 0x10100,
+                rtn: RoutineId(1),
+            });
         }
-        g.on_event(&Event::Tick { icount: 0, ip: 0x10000, rtn: RoutineId(0) });
+        g.on_event(&Event::Tick {
+            icount: 0,
+            ip: 0x10000,
+            rtn: RoutineId(0),
+        });
         let mut p = g.into_profile();
         p.add_cost(RoutineId(0), 1_000);
         let names: Vec<&str> = p.ranked().iter().map(|r| r.name.as_str()).collect();
@@ -550,10 +629,21 @@ mod tests {
 
     #[test]
     fn table_and_comparison_render() {
-        let mut g = GprofTool::new(GprofOptions { sample_interval: 10, ..Default::default() });
+        let mut g = GprofTool::new(GprofOptions {
+            sample_interval: 10,
+            ..Default::default()
+        });
         g.on_attach(&info());
-        g.on_event(&Event::RoutineEnter { rtn: RoutineId(1), sp: 100, icount: 1 });
-        g.on_event(&Event::Tick { icount: 10, ip: 0x10100, rtn: RoutineId(1) });
+        g.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(1),
+            sp: 100,
+            icount: 1,
+        });
+        g.on_event(&Event::Tick {
+            icount: 10,
+            ip: 0x10100,
+            rtn: RoutineId(1),
+        });
         let p = g.into_profile();
         let s = p.table("FLAT PROFILE").render();
         assert!(s.contains("FLAT PROFILE"));
@@ -592,10 +682,19 @@ mod call_graph_tests {
         g.on_attach(&info);
 
         let enter = |g: &mut GprofTool, rtn: u32, sp: u64| {
-            g.on_event(&Event::RoutineEnter { rtn: RoutineId(rtn), sp, icount: 0 });
+            g.on_event(&Event::RoutineEnter {
+                rtn: RoutineId(rtn),
+                sp,
+                icount: 0,
+            });
         };
         let ret = |g: &mut GprofTool, rtn: u32| {
-            g.on_event(&Event::Ret { ip: 0, return_to: 0, icount: 0, rtn: RoutineId(rtn) });
+            g.on_event(&Event::Ret {
+                ip: 0,
+                return_to: 0,
+                icount: 0,
+                rtn: RoutineId(rtn),
+            });
         };
 
         enter(&mut g, 0, 1000);

@@ -30,7 +30,11 @@ impl ImgApp {
         let compiled = compile(&module).expect("imgproc module compiles");
         let pixels = synth_image(config.width, config.height, seed);
         let input_pgm = encode_pgm(config.width, config.height, &pixels);
-        ImgApp { config, compiled, input_pgm }
+        ImgApp {
+            config,
+            compiled,
+            input_pgm,
+        }
     }
 
     /// Fresh VM with the input staged.

@@ -17,17 +17,32 @@ pub struct ImgConfig {
 impl ImgConfig {
     /// Unit-test size (~2 M instructions).
     pub fn tiny() -> Self {
-        ImgConfig { width: 32, height: 24, blur_passes: 1, threshold: 48 }
+        ImgConfig {
+            width: 32,
+            height: 24,
+            blur_passes: 1,
+            threshold: 48,
+        }
     }
 
     /// Integration-test / example size (~25 M instructions).
     pub fn small() -> Self {
-        ImgConfig { width: 96, height: 64, blur_passes: 2, threshold: 48 }
+        ImgConfig {
+            width: 96,
+            height: 64,
+            blur_passes: 2,
+            threshold: 48,
+        }
     }
 
     /// Benchmark size (~250 M instructions).
     pub fn scaled() -> Self {
-        ImgConfig { width: 320, height: 240, blur_passes: 2, threshold: 48 }
+        ImgConfig {
+            width: 320,
+            height: 240,
+            blur_passes: 2,
+            threshold: 48,
+        }
     }
 
     /// Pixels per frame.

@@ -43,18 +43,18 @@ pub const KERNEL_NAMES: [&str; 14] = [
 
 /// Standard zigzag scan order for an 8×8 block.
 pub const ZIGZAG: [i64; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// JPEG-flavoured luminance quantisation table.
 pub const QTAB: [f64; 64] = [
-    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, 12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0,
-    55.0, 14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, 14.0, 17.0, 22.0, 29.0, 51.0, 87.0,
-    80.0, 62.0, 18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, 24.0, 35.0, 55.0, 64.0, 81.0,
-    104.0, 113.0, 92.0, 49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, 72.0, 92.0, 95.0,
-    98.0, 112.0, 100.0, 103.0, 99.0,
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, 12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0,
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, 14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0,
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, 24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0,
+    92.0, 49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, 72.0, 92.0, 95.0, 98.0, 112.0, 100.0,
+    103.0, 99.0,
 ];
 
 /// Gaussian 3×3 kernel (unnormalised 1-2-1; divided by 16 in the table).
@@ -118,13 +118,28 @@ pub fn build_module(config: &ImgConfig) -> Module {
         ("path_recon", RECON_PGM),
         ("path_rle", COEFFS_BIN),
     ] {
-        m.global(name, ElemTy::U8, val.len() as u64, GlobalInit::Bytes(val.into()));
+        m.global(
+            name,
+            ElemTy::U8,
+            val.len() as u64,
+            GlobalInit::Bytes(val.into()),
+        );
     }
     // Output header is static for a fixed config (same simplification as
     // wfs's outhdr).
     let outhdr = format!("P5\n{w} {h}\n255\n").into_bytes();
-    m.global("outhdr_len", ElemTy::I64, 1, GlobalInit::I64s(vec![outhdr.len() as i64]));
-    m.global("outhdr", ElemTy::U8, outhdr.len() as u64, GlobalInit::Bytes(outhdr));
+    m.global(
+        "outhdr_len",
+        ElemTy::I64,
+        1,
+        GlobalInit::I64s(vec![outhdr.len() as i64]),
+    );
+    m.global(
+        "outhdr",
+        ElemTy::U8,
+        outhdr.len() as u64,
+        GlobalInit::Bytes(outhdr),
+    );
 
     m.global("hdrbuf", ElemTy::U8, 32, GlobalInit::Zero);
     m.global("stage", ElemTy::U8, 4096, GlobalInit::Zero);
@@ -142,9 +157,24 @@ pub fn build_module(config: &ImgConfig) -> Module {
     m.global("atab", ElemTy::F64, 8, GlobalInit::Zero);
     m.global("ztab", ElemTy::I64, 64, GlobalInit::I64s(ZIGZAG.to_vec()));
     m.global("qtab", ElemTy::F64, 64, GlobalInit::F64s(QTAB.to_vec()));
-    m.global("kern_gauss", ElemTy::F64, 9, GlobalInit::F64s(KERN_GAUSS.to_vec()));
-    m.global("kern_sobx", ElemTy::F64, 9, GlobalInit::F64s(KERN_SOBX.to_vec()));
-    m.global("kern_soby", ElemTy::F64, 9, GlobalInit::F64s(KERN_SOBY.to_vec()));
+    m.global(
+        "kern_gauss",
+        ElemTy::F64,
+        9,
+        GlobalInit::F64s(KERN_GAUSS.to_vec()),
+    );
+    m.global(
+        "kern_sobx",
+        ElemTy::F64,
+        9,
+        GlobalInit::F64s(KERN_SOBX.to_vec()),
+    );
+    m.global(
+        "kern_soby",
+        ElemTy::F64,
+        9,
+        GlobalInit::F64s(KERN_SOBY.to_vec()),
+    );
     m.global("rle", ElemTy::I16, npix * 2 + 256, GlobalInit::Zero);
     m.global("rlepos", ElemTy::I64, 1, GlobalInit::Zero);
     m.global("mse_acc", ElemTy::F64, 1, GlobalInit::Zero);
@@ -164,44 +194,81 @@ pub fn build_module(config: &ImgConfig) -> Module {
 
     // ---- kernels ----
     m.func(Function::new("init_tables").body(vec![
-        for_("u", ci(0), ci(8), vec![
-            for_("x", ci(0), ci(8), vec![stf(
-                ga("ctab"),
-                add(mul(v("u"), ci(8)), v("x")),
-                cos(div(
-                    mul(mul(add(mul(i2f(v("x")), cf(2.0)), cf(1.0)), i2f(v("u"))), cf(PI)),
-                    cf(16.0),
-                )),
-            )]),
-        ]),
+        for_(
+            "u",
+            ci(0),
+            ci(8),
+            vec![for_(
+                "x",
+                ci(0),
+                ci(8),
+                vec![stf(
+                    ga("ctab"),
+                    add(mul(v("u"), ci(8)), v("x")),
+                    cos(div(
+                        mul(
+                            mul(add(mul(i2f(v("x")), cf(2.0)), cf(1.0)), i2f(v("u"))),
+                            cf(PI),
+                        ),
+                        cf(16.0),
+                    )),
+                )],
+            )],
+        ),
         stf(ga("atab"), ci(0), div(cf(1.0), sqrt(cf(2.0)))),
         for_("u", ci(1), ci(8), vec![stf(ga("atab"), v("u"), cf(1.0))]),
     ]));
 
     m.func(Function::new("img_load").body(vec![
         leti("fd", ci(0)),
-        host_ret("fd", HostFn::FsOpen, vec![ga("path_in"), ci(INPUT_PGM.len() as i64), ci(0)]),
+        host_ret(
+            "fd",
+            HostFn::FsOpen,
+            vec![ga("path_in"), ci(INPUT_PGM.len() as i64), ci(0)],
+        ),
         leti("got", ci(0)),
         // Skip "P5\n".
         host_ret("got", HostFn::FsRead, vec![v("fd"), ga("hdrbuf"), ci(3)]),
         // Parse width (digits until the separating space).
         leti("wv", ci(0)),
-        host_ret("got", HostFn::FsRead, vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)]),
+        host_ret(
+            "got",
+            HostFn::FsRead,
+            vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)],
+        ),
         leti("ch", load(ga("hdrbuf"), ElemTy::U8, ci(16))),
-        while_(ne(v("ch"), ci(32)), vec![
-            set("wv", add(mul(v("wv"), ci(10)), sub(v("ch"), ci(48)))),
-            host_ret("got", HostFn::FsRead, vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)]),
-            set("ch", load(ga("hdrbuf"), ElemTy::U8, ci(16))),
-        ]),
+        while_(
+            ne(v("ch"), ci(32)),
+            vec![
+                set("wv", add(mul(v("wv"), ci(10)), sub(v("ch"), ci(48)))),
+                host_ret(
+                    "got",
+                    HostFn::FsRead,
+                    vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)],
+                ),
+                set("ch", load(ga("hdrbuf"), ElemTy::U8, ci(16))),
+            ],
+        ),
         // Parse height (digits until the newline).
         leti("hv", ci(0)),
-        host_ret("got", HostFn::FsRead, vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)]),
+        host_ret(
+            "got",
+            HostFn::FsRead,
+            vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)],
+        ),
         set("ch", load(ga("hdrbuf"), ElemTy::U8, ci(16))),
-        while_(ne(v("ch"), ci(10)), vec![
-            set("hv", add(mul(v("hv"), ci(10)), sub(v("ch"), ci(48)))),
-            host_ret("got", HostFn::FsRead, vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)]),
-            set("ch", load(ga("hdrbuf"), ElemTy::U8, ci(16))),
-        ]),
+        while_(
+            ne(v("ch"), ci(10)),
+            vec![
+                set("hv", add(mul(v("hv"), ci(10)), sub(v("ch"), ci(48)))),
+                host_ret(
+                    "got",
+                    HostFn::FsRead,
+                    vec![v("fd"), add(ga("hdrbuf"), ci(16)), ci(1)],
+                ),
+                set("ch", load(ga("hdrbuf"), ElemTy::U8, ci(16))),
+            ],
+        ),
         sti(ga("cfg"), ci(cfg_idx::PARSED_W), v("wv")),
         sti(ga("cfg"), ci(cfg_idx::PARSED_H), v("hv")),
         // Skip "255\n".
@@ -209,18 +276,26 @@ pub fn build_module(config: &ImgConfig) -> Module {
         // Pixel payload, staged in 4 KiB chunks.
         leti("npix", mul(cfg(cfg_idx::W), cfg(cfg_idx::H))),
         leti("pos", ci(0)),
-        while_(lt(v("pos"), v("npix")), vec![
-            leti("todo", sub(v("npix"), v("pos"))),
-            if_(gt(v("todo"), ci(4096)), vec![set("todo", ci(4096))]),
-            host_ret("got", HostFn::FsRead, vec![v("fd"), ga("stage"), v("todo")]),
-            for_("i", ci(0), v("todo"), vec![store(
-                ga("img"),
-                ElemTy::U8,
-                add(v("pos"), v("i")),
-                load(ga("stage"), ElemTy::U8, v("i")),
-            )]),
-            set("pos", add(v("pos"), v("todo"))),
-        ]),
+        while_(
+            lt(v("pos"), v("npix")),
+            vec![
+                leti("todo", sub(v("npix"), v("pos"))),
+                if_(gt(v("todo"), ci(4096)), vec![set("todo", ci(4096))]),
+                host_ret("got", HostFn::FsRead, vec![v("fd"), ga("stage"), v("todo")]),
+                for_(
+                    "i",
+                    ci(0),
+                    v("todo"),
+                    vec![store(
+                        ga("img"),
+                        ElemTy::U8,
+                        add(v("pos"), v("i")),
+                        load(ga("stage"), ElemTy::U8, v("i")),
+                    )],
+                ),
+                set("pos", add(v("pos"), v("todo"))),
+            ],
+        ),
         host(HostFn::FsClose, vec![v("fd")]),
     ]));
 
@@ -233,36 +308,55 @@ pub fn build_module(config: &ImgConfig) -> Module {
             .body(vec![
                 leti("w", cfg(cfg_idx::W)),
                 leti("h", cfg(cfg_idx::H)),
-                for_("y", ci(1), sub(v("h"), ci(1)), vec![
-                    for_("x", ci(1), sub(v("w"), ci(1)), vec![
-                        letf("acc", cf(0.0)),
-                        for_("ky", ci(0), ci(3), vec![
-                            for_("kx", ci(0), ci(3), vec![set(
-                                "acc",
-                                add(
-                                    v("acc"),
-                                    mul(
-                                        i2f(load(
-                                            v("srcp"),
-                                            ElemTy::U8,
-                                            add(
-                                                mul(add(v("y"), sub(v("ky"), ci(1))), v("w")),
-                                                add(v("x"), sub(v("kx"), ci(1))),
+                for_(
+                    "y",
+                    ci(1),
+                    sub(v("h"), ci(1)),
+                    vec![for_(
+                        "x",
+                        ci(1),
+                        sub(v("w"), ci(1)),
+                        vec![
+                            letf("acc", cf(0.0)),
+                            for_(
+                                "ky",
+                                ci(0),
+                                ci(3),
+                                vec![for_(
+                                    "kx",
+                                    ci(0),
+                                    ci(3),
+                                    vec![set(
+                                        "acc",
+                                        add(
+                                            v("acc"),
+                                            mul(
+                                                i2f(load(
+                                                    v("srcp"),
+                                                    ElemTy::U8,
+                                                    add(
+                                                        mul(
+                                                            add(v("y"), sub(v("ky"), ci(1))),
+                                                            v("w"),
+                                                        ),
+                                                        add(v("x"), sub(v("kx"), ci(1))),
+                                                    ),
+                                                )),
+                                                ldf(v("kptr"), add(mul(v("ky"), ci(3)), v("kx"))),
                                             ),
-                                        )),
-                                        ldf(v("kptr"), add(mul(v("ky"), ci(3)), v("kx"))),
-                                    ),
-                                ),
-                            )]),
-                        ]),
-                        store(
-                            v("dst"),
-                            ElemTy::I16,
-                            add(mul(v("y"), v("w")), v("x")),
-                            f2i(v("acc")),
-                        ),
-                    ]),
-                ]),
+                                        ),
+                                    )],
+                                )],
+                            ),
+                            store(
+                                v("dst"),
+                                ElemTy::I16,
+                                add(mul(v("y"), v("w")), v("x")),
+                                f2i(v("acc")),
+                            ),
+                        ],
+                    )],
+                ),
             ]),
     );
 
@@ -271,32 +365,51 @@ pub fn build_module(config: &ImgConfig) -> Module {
             .param("dst", Ty::I64)
             .param("srcp", Ty::I64)
             .param("n", Ty::I64)
-            .body(vec![for_("i", ci(0), v("n"), vec![
-                leti("q", ci(0)),
-                call_ret("q", "lib_clamp", vec![load(v("srcp"), ElemTy::I16, v("i"))]),
-                store(v("dst"), ElemTy::U8, v("i"), v("q")),
-            ])]),
+            .body(vec![for_(
+                "i",
+                ci(0),
+                v("n"),
+                vec![
+                    leti("q", ci(0)),
+                    call_ret("q", "lib_clamp", vec![load(v("srcp"), ElemTy::I16, v("i"))]),
+                    store(v("dst"), ElemTy::U8, v("i"), v("q")),
+                ],
+            )]),
     );
 
     m.func(Function::new("sobel_mag").body(vec![
         leti("npix", mul(cfg(cfg_idx::W), cfg(cfg_idx::H))),
-        for_("i", ci(0), v("npix"), vec![
-            letf("fx", i2f(load(ga("gx"), ElemTy::I16, v("i")))),
-            letf("fy", i2f(load(ga("gy"), ElemTy::I16, v("i")))),
-            leti("q", ci(0)),
-            call_ret("q", "lib_clamp", vec![f2i(sqrt(add(mul(v("fx"), v("fx")), mul(v("fy"), v("fy")))))]),
-            store(ga("edges"), ElemTy::U8, v("i"), v("q")),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            v("npix"),
+            vec![
+                letf("fx", i2f(load(ga("gx"), ElemTy::I16, v("i")))),
+                letf("fy", i2f(load(ga("gy"), ElemTy::I16, v("i")))),
+                leti("q", ci(0)),
+                call_ret(
+                    "q",
+                    "lib_clamp",
+                    vec![f2i(sqrt(add(mul(v("fx"), v("fx")), mul(v("fy"), v("fy")))))],
+                ),
+                store(ga("edges"), ElemTy::U8, v("i"), v("q")),
+            ],
+        ),
     ]));
 
     m.func(Function::new("threshold_img").body(vec![
         leti("npix", mul(cfg(cfg_idx::W), cfg(cfg_idx::H))),
         leti("t", cfg(cfg_idx::THRESH)),
-        for_("i", ci(0), v("npix"), vec![if_else(
-            gt(load(ga("edges"), ElemTy::U8, v("i")), v("t")),
-            vec![store(ga("edges"), ElemTy::U8, v("i"), ci(255))],
-            vec![store(ga("edges"), ElemTy::U8, v("i"), ci(0))],
-        )]),
+        for_(
+            "i",
+            ci(0),
+            v("npix"),
+            vec![if_else(
+                gt(load(ga("edges"), ElemTy::U8, v("i")), v("t")),
+                vec![store(ga("edges"), ElemTy::U8, v("i"), ci(255))],
+                vec![store(ga("edges"), ElemTy::U8, v("i"), ci(0))],
+            )],
+        ),
     ]));
 
     // Forward DCT of the 8×8 block at (bx, by) from `img` into `dctbuf`.
@@ -306,39 +419,70 @@ pub fn build_module(config: &ImgConfig) -> Module {
             .param("by", Ty::I64)
             .body(vec![
                 leti("w", cfg(cfg_idx::W)),
-                leti("base", add(mul(mul(v("by"), ci(8)), v("w")), mul(v("bx"), ci(8)))),
-                for_("u", ci(0), ci(8), vec![
-                    for_("vv", ci(0), ci(8), vec![
-                        letf("acc", cf(0.0)),
-                        for_("x", ci(0), ci(8), vec![
-                            for_("y", ci(0), ci(8), vec![set(
-                                "acc",
-                                add(
-                                    v("acc"),
-                                    mul(
-                                        mul(
-                                            sub(
-                                                i2f(load(
-                                                    ga("img"),
-                                                    ElemTy::U8,
-                                                    add(add(v("base"), mul(v("x"), v("w"))), v("y")),
-                                                )),
-                                                cf(128.0),
+                leti(
+                    "base",
+                    add(mul(mul(v("by"), ci(8)), v("w")), mul(v("bx"), ci(8))),
+                ),
+                for_(
+                    "u",
+                    ci(0),
+                    ci(8),
+                    vec![for_(
+                        "vv",
+                        ci(0),
+                        ci(8),
+                        vec![
+                            letf("acc", cf(0.0)),
+                            for_(
+                                "x",
+                                ci(0),
+                                ci(8),
+                                vec![for_(
+                                    "y",
+                                    ci(0),
+                                    ci(8),
+                                    vec![set(
+                                        "acc",
+                                        add(
+                                            v("acc"),
+                                            mul(
+                                                mul(
+                                                    sub(
+                                                        i2f(load(
+                                                            ga("img"),
+                                                            ElemTy::U8,
+                                                            add(
+                                                                add(v("base"), mul(v("x"), v("w"))),
+                                                                v("y"),
+                                                            ),
+                                                        )),
+                                                        cf(128.0),
+                                                    ),
+                                                    ldf(
+                                                        ga("ctab"),
+                                                        add(mul(v("u"), ci(8)), v("x")),
+                                                    ),
+                                                ),
+                                                ldf(ga("ctab"), add(mul(v("vv"), ci(8)), v("y"))),
                                             ),
-                                            ldf(ga("ctab"), add(mul(v("u"), ci(8)), v("x"))),
                                         ),
-                                        ldf(ga("ctab"), add(mul(v("vv"), ci(8)), v("y"))),
+                                    )],
+                                )],
+                            ),
+                            stf(
+                                ga("dctbuf"),
+                                add(mul(v("u"), ci(8)), v("vv")),
+                                mul(
+                                    mul(
+                                        mul(cf(0.25), ldf(ga("atab"), v("u"))),
+                                        ldf(ga("atab"), v("vv")),
                                     ),
+                                    v("acc"),
                                 ),
-                            )]),
-                        ]),
-                        stf(
-                            ga("dctbuf"),
-                            add(mul(v("u"), ci(8)), v("vv")),
-                            mul(mul(mul(cf(0.25), ldf(ga("atab"), v("u"))), ldf(ga("atab"), v("vv"))), v("acc")),
-                        ),
-                    ]),
-                ]),
+                            ),
+                        ],
+                    )],
+                ),
             ]),
     );
 
@@ -348,43 +492,61 @@ pub fn build_module(config: &ImgConfig) -> Module {
             .param("bx", Ty::I64)
             .param("by", Ty::I64)
             .body(vec![
-                leti("bi", mul(add(mul(v("by"), cfg(cfg_idx::NBX)), v("bx")), ci(64))),
-                for_("i", ci(0), ci(64), vec![
-                    letf("q", div(ldf(ga("dctbuf"), v("i")), ldf(ga("qtab"), v("i")))),
-                    leti("qq", ci(0)),
-                    if_else(
-                        ge(v("q"), cf(0.0)),
-                        vec![set("qq", f2i(add(v("q"), cf(0.5))))],
-                        vec![set("qq", f2i(sub(v("q"), cf(0.5))))],
-                    ),
-                    sti(ga("qbuf"), v("i"), v("qq")),
-                    store(ga("qcoef"), ElemTy::I16, add(v("bi"), v("i")), v("qq")),
-                ]),
+                leti(
+                    "bi",
+                    mul(add(mul(v("by"), cfg(cfg_idx::NBX)), v("bx")), ci(64)),
+                ),
+                for_(
+                    "i",
+                    ci(0),
+                    ci(64),
+                    vec![
+                        letf("q", div(ldf(ga("dctbuf"), v("i")), ldf(ga("qtab"), v("i")))),
+                        leti("qq", ci(0)),
+                        if_else(
+                            ge(v("q"), cf(0.0)),
+                            vec![set("qq", f2i(add(v("q"), cf(0.5))))],
+                            vec![set("qq", f2i(sub(v("q"), cf(0.5))))],
+                        ),
+                        sti(ga("qbuf"), v("i"), v("qq")),
+                        store(ga("qcoef"), ElemTy::I16, add(v("bi"), v("i")), v("qq")),
+                    ],
+                ),
             ]),
     );
 
-    m.func(Function::new("zigzag_block").body(vec![for_("i", ci(0), ci(64), vec![sti(
-        ga("zzbuf"),
-        v("i"),
-        ldi(ga("qbuf"), ldi(ga("ztab"), v("i"))),
-    )])]));
+    m.func(Function::new("zigzag_block").body(vec![for_(
+        "i",
+        ci(0),
+        ci(64),
+        vec![sti(
+            ga("zzbuf"),
+            v("i"),
+            ldi(ga("qbuf"), ldi(ga("ztab"), v("i"))),
+        )],
+    )]));
 
     m.func(Function::new("rle_block").body(vec![
         leti("run", ci(0)),
-        for_("i", ci(0), ci(64), vec![
-            leti("val", ldi(ga("zzbuf"), v("i"))),
-            if_else(
-                eq(v("val"), ci(0)),
-                vec![set("run", add(v("run"), ci(1)))],
-                vec![
-                    leti("pos", ldi(ga("rlepos"), ci(0))),
-                    store(ga("rle"), ElemTy::I16, v("pos"), v("run")),
-                    store(ga("rle"), ElemTy::I16, add(v("pos"), ci(1)), v("val")),
-                    sti(ga("rlepos"), ci(0), add(v("pos"), ci(2))),
-                    set("run", ci(0)),
-                ],
-            ),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            ci(64),
+            vec![
+                leti("val", ldi(ga("zzbuf"), v("i"))),
+                if_else(
+                    eq(v("val"), ci(0)),
+                    vec![set("run", add(v("run"), ci(1)))],
+                    vec![
+                        leti("pos", ldi(ga("rlepos"), ci(0))),
+                        store(ga("rle"), ElemTy::I16, v("pos"), v("run")),
+                        store(ga("rle"), ElemTy::I16, add(v("pos"), ci(1)), v("val")),
+                        sti(ga("rlepos"), ci(0), add(v("pos"), ci(2))),
+                        set("run", ci(0)),
+                    ],
+                ),
+            ],
+        ),
         // End-of-block marker.
         leti("pos2", ldi(ga("rlepos"), ci(0))),
         store(ga("rle"), ElemTy::I16, v("pos2"), ci(-1)),
@@ -397,15 +559,23 @@ pub fn build_module(config: &ImgConfig) -> Module {
             .param("bx", Ty::I64)
             .param("by", Ty::I64)
             .body(vec![
-                leti("bi", mul(add(mul(v("by"), cfg(cfg_idx::NBX)), v("bx")), ci(64))),
-                for_("i", ci(0), ci(64), vec![stf(
-                    ga("dctbuf"),
-                    v("i"),
-                    mul(
-                        i2f(load(ga("qcoef"), ElemTy::I16, add(v("bi"), v("i")))),
-                        ldf(ga("qtab"), v("i")),
-                    ),
-                )]),
+                leti(
+                    "bi",
+                    mul(add(mul(v("by"), cfg(cfg_idx::NBX)), v("bx")), ci(64)),
+                ),
+                for_(
+                    "i",
+                    ci(0),
+                    ci(64),
+                    vec![stf(
+                        ga("dctbuf"),
+                        v("i"),
+                        mul(
+                            i2f(load(ga("qcoef"), ElemTy::I16, add(v("bi"), v("i")))),
+                            ldf(ga("qtab"), v("i")),
+                        ),
+                    )],
+                ),
             ]),
     );
 
@@ -415,55 +585,99 @@ pub fn build_module(config: &ImgConfig) -> Module {
             .param("by", Ty::I64)
             .body(vec![
                 leti("w", cfg(cfg_idx::W)),
-                leti("base", add(mul(mul(v("by"), ci(8)), v("w")), mul(v("bx"), ci(8)))),
-                for_("x", ci(0), ci(8), vec![
-                    for_("y", ci(0), ci(8), vec![
-                        letf("acc", cf(0.0)),
-                        for_("u", ci(0), ci(8), vec![
-                            for_("vv", ci(0), ci(8), vec![set(
-                                "acc",
-                                add(
-                                    v("acc"),
-                                    mul(
-                                        mul(
+                leti(
+                    "base",
+                    add(mul(mul(v("by"), ci(8)), v("w")), mul(v("bx"), ci(8))),
+                ),
+                for_(
+                    "x",
+                    ci(0),
+                    ci(8),
+                    vec![for_(
+                        "y",
+                        ci(0),
+                        ci(8),
+                        vec![
+                            letf("acc", cf(0.0)),
+                            for_(
+                                "u",
+                                ci(0),
+                                ci(8),
+                                vec![for_(
+                                    "vv",
+                                    ci(0),
+                                    ci(8),
+                                    vec![set(
+                                        "acc",
+                                        add(
+                                            v("acc"),
                                             mul(
-                                                mul(ldf(ga("atab"), v("u")), ldf(ga("atab"), v("vv"))),
-                                                ldf(ga("dctbuf"), add(mul(v("u"), ci(8)), v("vv"))),
+                                                mul(
+                                                    mul(
+                                                        mul(
+                                                            ldf(ga("atab"), v("u")),
+                                                            ldf(ga("atab"), v("vv")),
+                                                        ),
+                                                        ldf(
+                                                            ga("dctbuf"),
+                                                            add(mul(v("u"), ci(8)), v("vv")),
+                                                        ),
+                                                    ),
+                                                    ldf(
+                                                        ga("ctab"),
+                                                        add(mul(v("u"), ci(8)), v("x")),
+                                                    ),
+                                                ),
+                                                ldf(ga("ctab"), add(mul(v("vv"), ci(8)), v("y"))),
                                             ),
-                                            ldf(ga("ctab"), add(mul(v("u"), ci(8)), v("x"))),
                                         ),
-                                        ldf(ga("ctab"), add(mul(v("vv"), ci(8)), v("y"))),
-                                    ),
-                                ),
-                            )]),
-                        ]),
-                        leti("q", ci(0)),
-                        call_ret("q", "lib_clamp", vec![f2i(add(mul(cf(0.25), v("acc")), cf(128.5)))]),
-                        store(
-                            ga("recon"),
-                            ElemTy::U8,
-                            add(add(v("base"), mul(v("x"), v("w"))), v("y")),
-                            v("q"),
-                        ),
-                    ]),
-                ]),
+                                    )],
+                                )],
+                            ),
+                            leti("q", ci(0)),
+                            call_ret(
+                                "q",
+                                "lib_clamp",
+                                vec![f2i(add(mul(cf(0.25), v("acc")), cf(128.5)))],
+                            ),
+                            store(
+                                ga("recon"),
+                                ElemTy::U8,
+                                add(add(v("base"), mul(v("x"), v("w"))), v("y")),
+                                v("q"),
+                            ),
+                        ],
+                    )],
+                ),
             ]),
     );
 
     m.func(Function::new("mse").body(vec![
         leti("npix", mul(cfg(cfg_idx::W), cfg(cfg_idx::H))),
         stf(ga("mse_acc"), ci(0), cf(0.0)),
-        for_("i", ci(0), v("npix"), vec![
-            letf(
-                "d",
-                sub(
-                    i2f(load(ga("img"), ElemTy::U8, v("i"))),
-                    i2f(load(ga("recon"), ElemTy::U8, v("i"))),
+        for_(
+            "i",
+            ci(0),
+            v("npix"),
+            vec![
+                letf(
+                    "d",
+                    sub(
+                        i2f(load(ga("img"), ElemTy::U8, v("i"))),
+                        i2f(load(ga("recon"), ElemTy::U8, v("i"))),
+                    ),
                 ),
-            ),
-            stf(ga("mse_acc"), ci(0), add(ldf(ga("mse_acc"), ci(0)), mul(v("d"), v("d")))),
-        ]),
-        host(HostFn::PrintF64, vec![div(ldf(ga("mse_acc"), ci(0)), i2f(v("npix")))]),
+                stf(
+                    ga("mse_acc"),
+                    ci(0),
+                    add(ldf(ga("mse_acc"), ci(0)), mul(v("d"), v("d"))),
+                ),
+            ],
+        ),
+        host(
+            HostFn::PrintF64,
+            vec![div(ldf(ga("mse_acc"), ci(0)), i2f(v("npix")))],
+        ),
     ]));
 
     m.func(
@@ -474,21 +688,32 @@ pub fn build_module(config: &ImgConfig) -> Module {
             .body(vec![
                 leti("fd", ci(0)),
                 host_ret("fd", HostFn::FsOpen, vec![v("pathp"), v("pathlen"), ci(1)]),
-                host(HostFn::FsWrite, vec![v("fd"), ga("outhdr"), ldi(ga("outhdr_len"), ci(0))]),
+                host(
+                    HostFn::FsWrite,
+                    vec![v("fd"), ga("outhdr"), ldi(ga("outhdr_len"), ci(0))],
+                ),
                 leti("npix", mul(cfg(cfg_idx::W), cfg(cfg_idx::H))),
                 leti("pos", ci(0)),
-                while_(lt(v("pos"), v("npix")), vec![
-                    leti("todo", sub(v("npix"), v("pos"))),
-                    if_(gt(v("todo"), ci(4096)), vec![set("todo", ci(4096))]),
-                    for_("i", ci(0), v("todo"), vec![store(
-                        ga("stage"),
-                        ElemTy::U8,
-                        v("i"),
-                        load(v("srcp"), ElemTy::U8, add(v("pos"), v("i"))),
-                    )]),
-                    host(HostFn::FsWrite, vec![v("fd"), ga("stage"), v("todo")]),
-                    set("pos", add(v("pos"), v("todo"))),
-                ]),
+                while_(
+                    lt(v("pos"), v("npix")),
+                    vec![
+                        leti("todo", sub(v("npix"), v("pos"))),
+                        if_(gt(v("todo"), ci(4096)), vec![set("todo", ci(4096))]),
+                        for_(
+                            "i",
+                            ci(0),
+                            v("todo"),
+                            vec![store(
+                                ga("stage"),
+                                ElemTy::U8,
+                                v("i"),
+                                load(v("srcp"), ElemTy::U8, add(v("pos"), v("i"))),
+                            )],
+                        ),
+                        host(HostFn::FsWrite, vec![v("fd"), ga("stage"), v("todo")]),
+                        set("pos", add(v("pos"), v("todo"))),
+                    ],
+                ),
                 host(HostFn::FsClose, vec![v("fd")]),
             ]),
     );
@@ -498,35 +723,73 @@ pub fn build_module(config: &ImgConfig) -> Module {
         call("img_load", vec![]),
         // Filter phase.
         leti("np", mul(cfg(cfg_idx::W), cfg(cfg_idx::H))),
-        for_("p", ci(0), cfg(cfg_idx::BLUR), vec![
-            call("conv3x3", vec![ga("tmp16"), ga("img"), ga("kern_gauss")]),
-            call("copy_clamp_u8", vec![ga("img"), ga("tmp16"), v("np")]),
-        ]),
+        for_(
+            "p",
+            ci(0),
+            cfg(cfg_idx::BLUR),
+            vec![
+                call("conv3x3", vec![ga("tmp16"), ga("img"), ga("kern_gauss")]),
+                call("copy_clamp_u8", vec![ga("img"), ga("tmp16"), v("np")]),
+            ],
+        ),
         call("conv3x3", vec![ga("gx"), ga("img"), ga("kern_sobx")]),
         call("conv3x3", vec![ga("gy"), ga("img"), ga("kern_soby")]),
         call("sobel_mag", vec![]),
         call("threshold_img", vec![]),
-        call("img_store", vec![ga("edges"), ga("path_edges"), ci(EDGES_PGM.len() as i64)]),
+        call(
+            "img_store",
+            vec![ga("edges"), ga("path_edges"), ci(EDGES_PGM.len() as i64)],
+        ),
         // Encode phase.
         leti("nbx", cfg(cfg_idx::NBX)),
         leti("nby", cfg(cfg_idx::NBY)),
-        for_("by", ci(0), v("nby"), vec![for_("bx", ci(0), v("nbx"), vec![
-            call("dct8x8", vec![v("bx"), v("by")]),
-            call("quantize_block", vec![v("bx"), v("by")]),
-            call("zigzag_block", vec![]),
-            call("rle_block", vec![]),
-        ])]),
+        for_(
+            "by",
+            ci(0),
+            v("nby"),
+            vec![for_(
+                "bx",
+                ci(0),
+                v("nbx"),
+                vec![
+                    call("dct8x8", vec![v("bx"), v("by")]),
+                    call("quantize_block", vec![v("bx"), v("by")]),
+                    call("zigzag_block", vec![]),
+                    call("rle_block", vec![]),
+                ],
+            )],
+        ),
         leti("fd", ci(0)),
-        host_ret("fd", HostFn::FsOpen, vec![ga("path_rle"), ci(COEFFS_BIN.len() as i64), ci(1)]),
-        host(HostFn::FsWrite, vec![v("fd"), ga("rle"), mul(ldi(ga("rlepos"), ci(0)), ci(2))]),
+        host_ret(
+            "fd",
+            HostFn::FsOpen,
+            vec![ga("path_rle"), ci(COEFFS_BIN.len() as i64), ci(1)],
+        ),
+        host(
+            HostFn::FsWrite,
+            vec![v("fd"), ga("rle"), mul(ldi(ga("rlepos"), ci(0)), ci(2))],
+        ),
         host(HostFn::FsClose, vec![v("fd")]),
         // Decode + verify phase.
-        for_("by2", ci(0), v("nby"), vec![for_("bx2", ci(0), v("nbx"), vec![
-            call("dequantize_block", vec![v("bx2"), v("by2")]),
-            call("idct8x8", vec![v("bx2"), v("by2")]),
-        ])]),
+        for_(
+            "by2",
+            ci(0),
+            v("nby"),
+            vec![for_(
+                "bx2",
+                ci(0),
+                v("nbx"),
+                vec![
+                    call("dequantize_block", vec![v("bx2"), v("by2")]),
+                    call("idct8x8", vec![v("bx2"), v("by2")]),
+                ],
+            )],
+        ),
         call("mse", vec![]),
-        call("img_store", vec![ga("recon"), ga("path_recon"), ci(RECON_PGM.len() as i64)]),
+        call(
+            "img_store",
+            vec![ga("recon"), ga("path_recon"), ci(RECON_PGM.len() as i64)],
+        ),
     ]));
 
     m

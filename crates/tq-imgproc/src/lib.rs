@@ -17,5 +17,5 @@ pub mod reference;
 
 pub use app::ImgApp;
 pub use config::ImgConfig;
-pub use kernels::{build_module, KERNEL_NAMES, COEFFS_BIN, EDGES_PGM, INPUT_PGM, RECON_PGM};
+pub use kernels::{build_module, COEFFS_BIN, EDGES_PGM, INPUT_PGM, KERNEL_NAMES, RECON_PGM};
 pub use reference::{RefImg, RefOutputs};

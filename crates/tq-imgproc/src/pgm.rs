@@ -1,7 +1,6 @@
 //! Canonical binary PGM (P5) encoding/decoding and synthetic test images.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tq_isa::prng::Rng;
 
 /// Encode an 8-bit grayscale image as canonical P5 PGM.
 pub fn encode_pgm(width: u32, height: u32, pixels: &[u8]) -> Vec<u8> {
@@ -24,9 +23,16 @@ pub fn decode_pgm(bytes: &[u8]) -> Result<(u32, u32, Vec<u8>), String> {
     if parts.next() != Some("P5") {
         return Err("not a P5 PGM".into());
     }
-    let width: u32 = parts.next().ok_or("missing width")?.parse().map_err(|_| "bad width")?;
-    let height: u32 =
-        parts.next().ok_or("missing height")?.parse().map_err(|_| "bad height")?;
+    let width: u32 = parts
+        .next()
+        .ok_or("missing width")?
+        .parse()
+        .map_err(|_| "bad width")?;
+    let height: u32 = parts
+        .next()
+        .ok_or("missing height")?
+        .parse()
+        .map_err(|_| "bad height")?;
     let n = (width * height) as usize;
     if bytes.len() < header_end + n {
         return Err("truncated pixel data".into());
@@ -37,14 +43,14 @@ pub fn decode_pgm(bytes: &[u8]) -> Result<(u32, u32, Vec<u8>), String> {
 /// Deterministic synthetic test image: gradient + circles + noise, so the
 /// edge detector and the DCT both have real structure to chew on.
 pub fn synth_image(width: u32, height: u32, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let circles: Vec<(f64, f64, f64, f64)> = (0..4)
         .map(|_| {
             (
-                rng.gen_range(0.0..width as f64),
-                rng.gen_range(0.0..height as f64),
-                rng.gen_range(3.0..width as f64 / 3.0),
-                rng.gen_range(60.0..160.0),
+                rng.f64_in(0.0, width as f64),
+                rng.f64_in(0.0, height as f64),
+                rng.f64_in(3.0, width as f64 / 3.0),
+                rng.f64_in(60.0, 160.0),
             )
         })
         .collect();
@@ -58,7 +64,7 @@ pub fn synth_image(width: u32, height: u32, seed: u64) -> Vec<u8> {
                     v += amp * (1.0 - d / r);
                 }
             }
-            v += rng.gen_range(-4.0..4.0);
+            v += rng.f64_in(-4.0, 4.0);
             out.push(v.clamp(0.0, 255.0) as u8);
         }
     }

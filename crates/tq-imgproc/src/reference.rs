@@ -167,7 +167,11 @@ impl RefImg {
         let bi = (by * nbx + bx) * 64;
         for i in 0..64 {
             let q = self.dctbuf[i] / QTAB[i];
-            let qq = if q >= 0.0 { (q + 0.5) as i64 } else { (q - 0.5) as i64 };
+            let qq = if q >= 0.0 {
+                (q + 0.5) as i64
+            } else {
+                (q - 0.5) as i64
+            };
             self.qbuf[i] = qq;
             self.qcoef[bi + i] = qq as i16;
         }
@@ -211,7 +215,9 @@ impl RefImg {
                 let mut acc = 0.0f64;
                 for u in 0..8 {
                     for vv in 0..8 {
-                        acc += self.atab[u] * self.atab[vv] * self.dctbuf[u * 8 + vv]
+                        acc += self.atab[u]
+                            * self.atab[vv]
+                            * self.dctbuf[u * 8 + vv]
                             * self.ctab[u * 8 + x]
                             * self.ctab[vv * 8 + y];
                     }
@@ -282,7 +288,12 @@ impl RefImg {
         let console = format!("{:.6}\n", self.mse());
         let recon_pgm = self.store_pgm(&self.recon.clone());
 
-        RefOutputs { edges_pgm, coeffs_bin, recon_pgm, console }
+        RefOutputs {
+            edges_pgm,
+            coeffs_bin,
+            recon_pgm,
+            console,
+        }
     }
 }
 
@@ -294,7 +305,11 @@ mod tests {
     #[test]
     fn pipeline_produces_sane_outputs() {
         let cfg = ImgConfig::tiny();
-        let input = encode_pgm(cfg.width, cfg.height, &synth_image(cfg.width, cfg.height, 3));
+        let input = encode_pgm(
+            cfg.width,
+            cfg.height,
+            &synth_image(cfg.width, cfg.height, 3),
+        );
         let out = RefImg::new(cfg).run(&input);
         let (w, h, edges) = decode_pgm(&out.edges_pgm).unwrap();
         assert_eq!((w, h), (cfg.width, cfg.height));
@@ -303,7 +318,10 @@ mod tests {
         let (_, _, recon) = decode_pgm(&out.recon_pgm).unwrap();
         assert!(recon.iter().any(|&p| p > 0));
         let mse: f64 = out.console.trim().parse().unwrap();
-        assert!(mse > 0.0 && mse < 400.0, "lossy but recognisable: mse = {mse}");
+        assert!(
+            mse > 0.0 && mse < 400.0,
+            "lossy but recognisable: mse = {mse}"
+        );
         assert!(!out.coeffs_bin.is_empty());
     }
 
@@ -332,7 +350,11 @@ mod tests {
     #[test]
     fn rle_terminates_every_block() {
         let cfg = ImgConfig::tiny();
-        let input = encode_pgm(cfg.width, cfg.height, &synth_image(cfg.width, cfg.height, 3));
+        let input = encode_pgm(
+            cfg.width,
+            cfg.height,
+            &synth_image(cfg.width, cfg.height, 3),
+        );
         let out = RefImg::new(cfg).run(&input);
         // Count end-of-block markers (-1, -1 pairs).
         let vals: Vec<i16> = out

@@ -13,9 +13,21 @@ fn vm_matches_reference_tiny() {
     assert!(exit.icount > 500_000, "non-trivial run: {}", exit.icount);
 
     let r = app.reference_outputs();
-    assert_eq!(vm.fs().file(tq_imgproc::EDGES_PGM).unwrap(), &r.edges_pgm[..], "edges.pgm");
-    assert_eq!(vm.fs().file(tq_imgproc::COEFFS_BIN).unwrap(), &r.coeffs_bin[..], "coeffs.bin");
-    assert_eq!(vm.fs().file(tq_imgproc::RECON_PGM).unwrap(), &r.recon_pgm[..], "recon.pgm");
+    assert_eq!(
+        vm.fs().file(tq_imgproc::EDGES_PGM).unwrap(),
+        &r.edges_pgm[..],
+        "edges.pgm"
+    );
+    assert_eq!(
+        vm.fs().file(tq_imgproc::COEFFS_BIN).unwrap(),
+        &r.coeffs_bin[..],
+        "coeffs.bin"
+    );
+    assert_eq!(
+        vm.fs().file(tq_imgproc::RECON_PGM).unwrap(),
+        &r.recon_pgm[..],
+        "recon.pgm"
+    );
     assert_eq!(vm.console(), r.console, "MSE print");
 }
 
@@ -25,7 +37,11 @@ fn vm_matches_reference_across_seeds() {
         let app = ImgApp::build_seeded(ImgConfig::tiny(), seed);
         let (vm, _) = app.run_bare().expect("runs");
         let r = app.reference_outputs();
-        assert_eq!(vm.fs().file(tq_imgproc::RECON_PGM).unwrap(), &r.recon_pgm[..], "seed {seed}");
+        assert_eq!(
+            vm.fs().file(tq_imgproc::RECON_PGM).unwrap(),
+            &r.recon_pgm[..],
+            "seed {seed}"
+        );
         assert_eq!(vm.console(), r.console, "seed {seed}");
     }
 }
@@ -49,7 +65,9 @@ fn header_parse_is_exercised() {
 fn profilers_see_the_pipeline_structure() {
     let app = ImgApp::build(ImgConfig::small());
     let mut vm = app.make_vm();
-    let t = vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(2_000))));
+    let t = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(2_000),
+    )));
     vm.run(None).expect("runs under tQUAD");
     let p = vm.detach_tool::<TquadTool>(t).unwrap().into_profile();
 
@@ -73,12 +91,29 @@ fn profilers_see_the_pipeline_structure() {
     assert!(phases.len() >= 3, "got {} phases", phases.len());
     let phase_of = |name: &str| -> usize {
         let rtn = p.kernel(name).unwrap().rtn;
-        phases.iter().position(|ph| ph.kernels.contains(&rtn)).unwrap_or(usize::MAX)
+        phases
+            .iter()
+            .position(|ph| ph.kernels.contains(&rtn))
+            .unwrap_or(usize::MAX)
     };
-    assert!(phase_of("conv3x3") < phase_of("dct8x8"), "filter before encode");
-    assert!(phase_of("dct8x8") < phase_of("idct8x8"), "encode before decode");
-    assert_eq!(phase_of("dct8x8"), phase_of("rle_block"), "encode kernels cluster");
-    assert_eq!(phase_of("idct8x8"), phase_of("dequantize_block"), "decode kernels cluster");
+    assert!(
+        phase_of("conv3x3") < phase_of("dct8x8"),
+        "filter before encode"
+    );
+    assert!(
+        phase_of("dct8x8") < phase_of("idct8x8"),
+        "encode before decode"
+    );
+    assert_eq!(
+        phase_of("dct8x8"),
+        phase_of("rle_block"),
+        "encode kernels cluster"
+    );
+    assert_eq!(
+        phase_of("idct8x8"),
+        phase_of("dequantize_block"),
+        "decode kernels cluster"
+    );
 }
 
 #[test]
@@ -102,8 +137,17 @@ fn quad_sees_the_dataflow() {
     // The pipeline's producer→consumer chain.
     assert!(edge("img_load", "conv3x3") > 0, "loader feeds the filter");
     assert!(edge("conv3x3", "copy_clamp_u8") > 0);
-    assert!(edge("conv3x3", "sobel_mag") > 0, "gradients feed the magnitude");
-    assert!(edge("quantize_block", "dequantize_block") > 0, "coeff store crosses enc/dec");
+    assert!(
+        edge("conv3x3", "sobel_mag") > 0,
+        "gradients feed the magnitude"
+    );
+    assert!(
+        edge("quantize_block", "dequantize_block") > 0,
+        "coeff store crosses enc/dec"
+    );
     assert!(edge("quantize_block", "zigzag_block") > 0);
-    assert!(edge("init_tables", "dct8x8") > 0, "cos tables consumed by the DCT");
+    assert!(
+        edge("init_tables", "dct8x8") > 0,
+        "cos tables consumed by the DCT"
+    );
 }

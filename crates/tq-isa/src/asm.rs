@@ -31,7 +31,10 @@ impl std::fmt::Display for AsmError {
             AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AsmError::NoRoutines => write!(f, "image has no routines"),
             AsmError::TargetOutOfRange(l, a) => {
-                write!(f, "label `{l}` resolves to {a:#x}, outside the 32-bit target range")
+                write!(
+                    f,
+                    "label `{l}` resolves to {a:#x}, outside the 32-bit target range"
+                )
             }
         }
     }
@@ -113,25 +116,34 @@ impl Asm {
 
     /// Emit an unconditional jump to `label`.
     pub fn jmp(&mut self, label: impl Into<String>) {
-        self.fixups.push((self.insts.len(), label.into(), FixKind::Jmp));
+        self.fixups
+            .push((self.insts.len(), label.into(), FixKind::Jmp));
         self.insts.push(Inst::Jmp { target: 0 });
     }
 
     /// Emit a conditional branch to `label`.
     pub fn br(&mut self, cond: BrCond, rs1: Reg, rs2: Reg, label: impl Into<String>) {
-        self.fixups.push((self.insts.len(), label.into(), FixKind::Br));
-        self.insts.push(Inst::Br { cond, rs1, rs2, target: 0 });
+        self.fixups
+            .push((self.insts.len(), label.into(), FixKind::Br));
+        self.insts.push(Inst::Br {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        });
     }
 
     /// Emit a direct call to the routine labelled `label`.
     pub fn call(&mut self, label: impl Into<String>) {
-        self.fixups.push((self.insts.len(), label.into(), FixKind::Call));
+        self.fixups
+            .push((self.insts.len(), label.into(), FixKind::Call));
         self.insts.push(Inst::Call { target: 0 });
     }
 
     /// Load the absolute address of `label` into `rd` (for indirect calls).
     pub fn li_addr(&mut self, rd: Reg, label: impl Into<String>) {
-        self.fixups.push((self.insts.len(), label.into(), FixKind::LiAddr));
+        self.fixups
+            .push((self.insts.len(), label.into(), FixKind::LiAddr));
         self.insts.push(Inst::Li { rd, imm: 0 });
     }
 
@@ -141,7 +153,12 @@ impl Asm {
     }
 
     /// Resolve all fixups against `base` and produce an image.
-    pub fn finish(self, name: impl Into<String>, base: u64, is_main: bool) -> Result<Image, AsmError> {
+    pub fn finish(
+        self,
+        name: impl Into<String>,
+        base: u64,
+        is_main: bool,
+    ) -> Result<Image, AsmError> {
         self.finish_with_externs(name, base, is_main, &HashMap::new())
     }
 
@@ -172,9 +189,12 @@ impl Asm {
             let t = addr as u32;
             insts[*idx] = match (kind, insts[*idx]) {
                 (FixKind::Jmp, Inst::Jmp { .. }) => Inst::Jmp { target: t },
-                (FixKind::Br, Inst::Br { cond, rs1, rs2, .. }) => {
-                    Inst::Br { cond, rs1, rs2, target: t }
-                }
+                (FixKind::Br, Inst::Br { cond, rs1, rs2, .. }) => Inst::Br {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: t,
+                },
                 (FixKind::Call, Inst::Call { .. }) => Inst::Call { target: t },
                 (FixKind::LiAddr, Inst::Li { rd, .. }) => Inst::Li { rd, imm: t as i32 },
                 (_, other) => unreachable!("fixup kind mismatch at {idx}: {other:?}"),
@@ -222,7 +242,11 @@ mod tests {
         a.begin_routine("main").unwrap();
         a.emit(Inst::Li { rd: Reg(1), imm: 0 });
         a.label("loop").unwrap();
-        a.emit(Inst::AddI { rd: Reg(1), rs1: Reg(1), imm: 1 });
+        a.emit(Inst::AddI {
+            rd: Reg(1),
+            rs1: Reg(1),
+            imm: 1,
+        });
         a.br(BrCond::Lt, Reg(1), Reg(2), "loop"); // backward
         a.jmp("done"); // forward
         a.emit(Inst::Nop);
@@ -233,7 +257,12 @@ mod tests {
         // Branch at index 2 targets index 1.
         assert_eq!(
             img.fetch(0x10010).unwrap(),
-            Inst::Br { cond: BrCond::Lt, rs1: Reg(1), rs2: Reg(2), target: 0x10008 }
+            Inst::Br {
+                cond: BrCond::Lt,
+                rs1: Reg(1),
+                rs2: Reg(2),
+                target: 0x10008
+            }
         );
         // Jump at index 3 targets index 5.
         assert_eq!(img.fetch(0x10018).unwrap(), Inst::Jmp { target: 0x10028 });
@@ -265,7 +294,13 @@ mod tests {
         a.emit(Inst::Ret);
         let img = a.finish("t", 0x10000, true).unwrap();
         assert_eq!(img.fetch(0x10000).unwrap(), Inst::Call { target: 0x10018 });
-        assert_eq!(img.fetch(0x10008).unwrap(), Inst::Li { rd: Reg(5), imm: 0x10018 });
+        assert_eq!(
+            img.fetch(0x10008).unwrap(),
+            Inst::Li {
+                rd: Reg(5),
+                imm: 0x10018
+            }
+        );
     }
 
     #[test]
@@ -284,7 +319,10 @@ mod tests {
         let mut a = Asm::new();
         a.begin_routine("main").unwrap();
         a.label("x").unwrap();
-        assert_eq!(a.label("x").unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.label("x").unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

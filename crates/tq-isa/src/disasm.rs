@@ -70,18 +70,43 @@ pub fn disassemble(inst: &Inst) -> String {
         FLt { rd, fs1, fs2 } => format!("flt {rd}, {fs1}, {fs2}"),
         FLe { rd, fs1, fs2 } => format!("fle {rd}, {fs1}, {fs2}"),
         FEq { rd, fs1, fs2 } => format!("feq {rd}, {fs1}, {fs2}"),
-        Ld { rd, base, off, width } => format!("ld{} {rd}, {off}({base})", width_suffix(*width)),
-        St { rs, base, off, width } => format!("st{} {rs}, {off}({base})", width_suffix(*width)),
+        Ld {
+            rd,
+            base,
+            off,
+            width,
+        } => format!("ld{} {rd}, {off}({base})", width_suffix(*width)),
+        St {
+            rs,
+            base,
+            off,
+            width,
+        } => format!("st{} {rs}, {off}({base})", width_suffix(*width)),
         FLd { fd, base, off } => format!("fld {fd}, {off}({base})"),
         FSt { fs, base, off } => format!("fst {fs}, {off}({base})"),
         FLd4 { fd, base, off } => format!("fld4 {fd}, {off}({base})"),
         FSt4 { fs, base, off } => format!("fst4 {fs}, {off}({base})"),
         Prefetch { base, off } => format!("prefetch {off}({base})"),
-        PLd64 { rd, base, pred, off } => format!("pld8 {rd}, {off}({base}), if {pred}"),
-        PSt64 { rs, base, pred, off } => format!("pst8 {rs}, {off}({base}), if {pred}"),
+        PLd64 {
+            rd,
+            base,
+            pred,
+            off,
+        } => format!("pld8 {rd}, {off}({base}), if {pred}"),
+        PSt64 {
+            rs,
+            base,
+            pred,
+            off,
+        } => format!("pst8 {rs}, {off}({base}), if {pred}"),
         BCpy { dst, src, len } => format!("bcpy [{dst}], [{src}], {len}"),
         Jmp { target } => format!("jmp {target:#x}"),
-        Br { cond, rs1, rs2, target } => {
+        Br {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             format!("{} {rs1}, {rs2}, {target:#x}", cond_mnemonic(*cond))
         }
         Call { target } => format!("call {target:#x}"),
@@ -101,19 +126,37 @@ mod tests {
     #[test]
     fn renders_representative_forms() {
         assert_eq!(
-            disassemble(&Inst::Add { rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }),
+            disassemble(&Inst::Add {
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3)
+            }),
             "add r1, r2, r3"
         );
         assert_eq!(
-            disassemble(&Inst::Ld { rd: Reg(1), base: Reg(29), off: -16, width: MemWidth::B8 }),
+            disassemble(&Inst::Ld {
+                rd: Reg(1),
+                base: Reg(29),
+                off: -16,
+                width: MemWidth::B8
+            }),
             "ld8 r1, -16(sp)"
         );
         assert_eq!(
-            disassemble(&Inst::Br { cond: BrCond::Ne, rs1: Reg(1), rs2: Reg(2), target: 0x10 }),
+            disassemble(&Inst::Br {
+                cond: BrCond::Ne,
+                rs1: Reg(1),
+                rs2: Reg(2),
+                target: 0x10
+            }),
             "bne r1, r2, 0x10"
         );
         assert_eq!(
-            disassemble(&Inst::FMul { fd: FReg(1), fs1: FReg(2), fs2: FReg(3) }),
+            disassemble(&Inst::FMul {
+                fd: FReg(1),
+                fs1: FReg(2),
+                fs2: FReg(3)
+            }),
             "fmul f1, f2, f3"
         );
         assert_eq!(disassemble(&Inst::Ret), "ret");

@@ -29,7 +29,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid instruction word {:#018x} (opcode {:#04x})", self.word, self.opcode)
+        write!(
+            f,
+            "invalid instruction word {:#018x} (opcode {:#04x})",
+            self.word, self.opcode
+        )
     }
 }
 
@@ -196,7 +200,12 @@ pub fn encode(inst: Inst) -> u64 {
         FLe { rd, fs1, fs2 } => pack(op::FLE, rd.0, fs1.0, fs2.0, 0),
         FEq { rd, fs1, fs2 } => pack(op::FEQ, rd.0, fs1.0, fs2.0, 0),
 
-        Ld { rd, base, off, width } => {
+        Ld {
+            rd,
+            base,
+            off,
+            width,
+        } => {
             let opc = match width {
                 MemWidth::B1 => op::LD1,
                 MemWidth::B2 => op::LD2,
@@ -205,7 +214,12 @@ pub fn encode(inst: Inst) -> u64 {
             };
             pack(opc, rd.0, base.0, 0, off)
         }
-        St { rs, base, off, width } => {
+        St {
+            rs,
+            base,
+            off,
+            width,
+        } => {
             let opc = match width {
                 MemWidth::B1 => op::ST1,
                 MemWidth::B2 => op::ST2,
@@ -219,14 +233,27 @@ pub fn encode(inst: Inst) -> u64 {
         FLd4 { fd, base, off } => pack(op::FLD4, fd.0, base.0, 0, off),
         FSt4 { fs, base, off } => pack(op::FST4, fs.0, base.0, 0, off),
         Prefetch { base, off } => pack(op::PREFETCH, 0, base.0, 0, off),
-        PLd64 { rd, base, pred, off } => pack(op::PLD64, rd.0, base.0, pred.0, off),
-        PSt64 { rs, base, pred, off } => pack(op::PST64, rs.0, base.0, pred.0, off),
+        PLd64 {
+            rd,
+            base,
+            pred,
+            off,
+        } => pack(op::PLD64, rd.0, base.0, pred.0, off),
+        PSt64 {
+            rs,
+            base,
+            pred,
+            off,
+        } => pack(op::PST64, rs.0, base.0, pred.0, off),
         BCpy { dst, src, len } => pack(op::BCPY, dst.0, src.0, len.0, 0),
 
         Jmp { target } => pack(op::JMP, 0, 0, 0, target as i32),
-        Br { cond, rs1, rs2, target } => {
-            pack(op::BR, cond_code(cond), rs1.0, rs2.0, target as i32)
-        }
+        Br {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => pack(op::BR, cond_code(cond), rs1.0, rs2.0, target as i32),
         Call { target } => pack(op::CALL, 0, 0, 0, target as i32),
         CallR { rs } => pack(op::CALLR, 0, rs.0, 0, 0),
         Ret => pack(op::RET, 0, 0, 0, 0),
@@ -255,84 +282,289 @@ pub fn decode(word: u64) -> Result<Inst, DecodeError> {
 
     // Reject register fields outside the file: images are untrusted input
     // to the VM, like any binary is to Pin.
-    let regs_ok = (a as usize) < Reg::COUNT && (b as usize) < Reg::COUNT && (c as usize) < Reg::COUNT;
+    let regs_ok =
+        (a as usize) < Reg::COUNT && (b as usize) < Reg::COUNT && (c as usize) < Reg::COUNT;
     if !regs_ok {
         return Err(err());
     }
 
     use Inst::*;
     Ok(match opcode {
-        op::ADD => Add { rd: ra, rs1: rb, rs2: rc },
-        op::SUB => Sub { rd: ra, rs1: rb, rs2: rc },
-        op::MUL => Mul { rd: ra, rs1: rb, rs2: rc },
-        op::DIV => Div { rd: ra, rs1: rb, rs2: rc },
-        op::REM => Rem { rd: ra, rs1: rb, rs2: rc },
-        op::AND => And { rd: ra, rs1: rb, rs2: rc },
-        op::OR => Or { rd: ra, rs1: rb, rs2: rc },
-        op::XOR => Xor { rd: ra, rs1: rb, rs2: rc },
-        op::SHL => Shl { rd: ra, rs1: rb, rs2: rc },
-        op::SHR => Shr { rd: ra, rs1: rb, rs2: rc },
-        op::SRA => Sra { rd: ra, rs1: rb, rs2: rc },
-        op::SLT => Slt { rd: ra, rs1: rb, rs2: rc },
-        op::SLTU => Sltu { rd: ra, rs1: rb, rs2: rc },
+        op::ADD => Add {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::SUB => Sub {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::MUL => Mul {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::DIV => Div {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::REM => Rem {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::AND => And {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::OR => Or {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::XOR => Xor {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::SHL => Shl {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::SHR => Shr {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::SRA => Sra {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::SLT => Slt {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        op::SLTU => Sltu {
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
 
-        op::ADDI => AddI { rd: ra, rs1: rb, imm },
-        op::MULI => MulI { rd: ra, rs1: rb, imm },
-        op::ANDI => AndI { rd: ra, rs1: rb, imm },
-        op::ORI => OrI { rd: ra, rs1: rb, imm },
-        op::XORI => XorI { rd: ra, rs1: rb, imm },
-        op::SHLI => ShlI { rd: ra, rs1: rb, imm },
-        op::SHRI => ShrI { rd: ra, rs1: rb, imm },
-        op::SRAI => SraI { rd: ra, rs1: rb, imm },
-        op::SLTI => SltI { rd: ra, rs1: rb, imm },
+        op::ADDI => AddI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::MULI => MulI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::ANDI => AndI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::ORI => OrI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::XORI => XorI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::SHLI => ShlI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::SHRI => ShrI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::SRAI => SraI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
+        op::SLTI => SltI {
+            rd: ra,
+            rs1: rb,
+            imm,
+        },
 
         op::LI => Li { rd: ra, imm },
         op::ORHI => OrHi { rd: ra, imm },
         op::MV => Mv { rd: ra, rs: rb },
 
-        op::FADD => FAdd { fd: fa, fs1: fb, fs2: fc },
-        op::FSUB => FSub { fd: fa, fs1: fb, fs2: fc },
-        op::FMUL => FMul { fd: fa, fs1: fb, fs2: fc },
-        op::FDIV => FDiv { fd: fa, fs1: fb, fs2: fc },
-        op::FMIN => FMin { fd: fa, fs1: fb, fs2: fc },
-        op::FMAX => FMax { fd: fa, fs1: fb, fs2: fc },
+        op::FADD => FAdd {
+            fd: fa,
+            fs1: fb,
+            fs2: fc,
+        },
+        op::FSUB => FSub {
+            fd: fa,
+            fs1: fb,
+            fs2: fc,
+        },
+        op::FMUL => FMul {
+            fd: fa,
+            fs1: fb,
+            fs2: fc,
+        },
+        op::FDIV => FDiv {
+            fd: fa,
+            fs1: fb,
+            fs2: fc,
+        },
+        op::FMIN => FMin {
+            fd: fa,
+            fs1: fb,
+            fs2: fc,
+        },
+        op::FMAX => FMax {
+            fd: fa,
+            fs1: fb,
+            fs2: fc,
+        },
         op::FNEG => FNeg { fd: fa, fs: fb },
         op::FABS => FAbs { fd: fa, fs: fb },
         op::FSQRT => FSqrt { fd: fa, fs: fb },
         op::FSIN => FSin { fd: fa, fs: fb },
         op::FCOS => FCos { fd: fa, fs: fb },
         op::FMV => FMv { fd: fa, fs: fb },
-        op::FLI => FLi { fd: fa, value: f32::from_bits(imm as u32) },
+        op::FLI => FLi {
+            fd: fa,
+            value: f32::from_bits(imm as u32),
+        },
         op::ITOF => ItoF { fd: fa, rs: rb },
         op::FTOI => FtoI { rd: ra, fs: fb },
-        op::FLT => FLt { rd: ra, fs1: fb, fs2: fc },
-        op::FLE => FLe { rd: ra, fs1: fb, fs2: fc },
-        op::FEQ => FEq { rd: ra, fs1: fb, fs2: fc },
+        op::FLT => FLt {
+            rd: ra,
+            fs1: fb,
+            fs2: fc,
+        },
+        op::FLE => FLe {
+            rd: ra,
+            fs1: fb,
+            fs2: fc,
+        },
+        op::FEQ => FEq {
+            rd: ra,
+            fs1: fb,
+            fs2: fc,
+        },
 
-        op::LD1 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B1 },
-        op::LD2 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B2 },
-        op::LD4 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B4 },
-        op::LD8 => Ld { rd: ra, base: rb, off: imm, width: MemWidth::B8 },
-        op::ST1 => St { rs: ra, base: rb, off: imm, width: MemWidth::B1 },
-        op::ST2 => St { rs: ra, base: rb, off: imm, width: MemWidth::B2 },
-        op::ST4 => St { rs: ra, base: rb, off: imm, width: MemWidth::B4 },
-        op::ST8 => St { rs: ra, base: rb, off: imm, width: MemWidth::B8 },
-        op::FLD => FLd { fd: fa, base: rb, off: imm },
-        op::FST => FSt { fs: fa, base: rb, off: imm },
-        op::FLD4 => FLd4 { fd: fa, base: rb, off: imm },
-        op::FST4 => FSt4 { fs: fa, base: rb, off: imm },
+        op::LD1 => Ld {
+            rd: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B1,
+        },
+        op::LD2 => Ld {
+            rd: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B2,
+        },
+        op::LD4 => Ld {
+            rd: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B4,
+        },
+        op::LD8 => Ld {
+            rd: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B8,
+        },
+        op::ST1 => St {
+            rs: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B1,
+        },
+        op::ST2 => St {
+            rs: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B2,
+        },
+        op::ST4 => St {
+            rs: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B4,
+        },
+        op::ST8 => St {
+            rs: ra,
+            base: rb,
+            off: imm,
+            width: MemWidth::B8,
+        },
+        op::FLD => FLd {
+            fd: fa,
+            base: rb,
+            off: imm,
+        },
+        op::FST => FSt {
+            fs: fa,
+            base: rb,
+            off: imm,
+        },
+        op::FLD4 => FLd4 {
+            fd: fa,
+            base: rb,
+            off: imm,
+        },
+        op::FST4 => FSt4 {
+            fs: fa,
+            base: rb,
+            off: imm,
+        },
         op::PREFETCH => Prefetch { base: rb, off: imm },
-        op::PLD64 => PLd64 { rd: ra, base: rb, pred: rc, off: imm },
-        op::PST64 => PSt64 { rs: ra, base: rb, pred: rc, off: imm },
-        op::BCPY => BCpy { dst: ra, src: rb, len: rc },
+        op::PLD64 => PLd64 {
+            rd: ra,
+            base: rb,
+            pred: rc,
+            off: imm,
+        },
+        op::PST64 => PSt64 {
+            rs: ra,
+            base: rb,
+            pred: rc,
+            off: imm,
+        },
+        op::BCPY => BCpy {
+            dst: ra,
+            src: rb,
+            len: rc,
+        },
 
         op::JMP => Jmp { target: imm as u32 },
-        op::BR => Br { cond: cond_from(a).ok_or_else(err)?, rs1: rb, rs2: rc, target: imm as u32 },
+        op::BR => Br {
+            cond: cond_from(a).ok_or_else(err)?,
+            rs1: rb,
+            rs2: rc,
+            target: imm as u32,
+        },
         op::CALL => Call { target: imm as u32 },
         op::CALLR => CallR { rs: rb },
         op::RET => Ret,
 
-        op::HOST => Host { func: HostFn::from_code(imm as u16).ok_or_else(err)? },
+        op::HOST => Host {
+            func: HostFn::from_code(imm as u16).ok_or_else(err)?,
+        },
         op::HALT => Halt,
         op::NOP => Nop,
 
@@ -349,35 +581,131 @@ mod tests {
     fn sample_instructions() -> Vec<Inst> {
         use Inst::*;
         vec![
-            Add { rd: Reg(1), rs1: Reg(2), rs2: Reg(3) },
-            Sub { rd: Reg(31), rs1: Reg(0), rs2: Reg(15) },
-            Div { rd: Reg(4), rs1: Reg(5), rs2: Reg(6) },
-            AddI { rd: Reg(7), rs1: Reg(8), imm: -1234567 },
-            ShlI { rd: Reg(7), rs1: Reg(8), imm: 63 },
-            Li { rd: Reg(9), imm: i32::MIN },
-            OrHi { rd: Reg(9), imm: -1 },
-            Mv { rd: Reg(10), rs: Reg(11) },
-            FAdd { fd: FReg(1), fs1: FReg(2), fs2: FReg(3) },
-            FSqrt { fd: FReg(4), fs: FReg(5) },
-            FLi { fd: FReg(6), value: 3.25 },
-            ItoF { fd: FReg(7), rs: Reg(12) },
-            FtoI { rd: Reg(13), fs: FReg(8) },
-            FLt { rd: Reg(14), fs1: FReg(9), fs2: FReg(10) },
-            Ld { rd: Reg(1), base: Reg(29), off: -16, width: MemWidth::B1 },
-            Ld { rd: Reg(1), base: Reg(29), off: 2048, width: MemWidth::B8 },
-            St { rs: Reg(2), base: Reg(3), off: 0, width: MemWidth::B2 },
-            FLd { fd: FReg(1), base: Reg(4), off: 8 },
-            FSt4 { fs: FReg(2), base: Reg(5), off: 12 },
-            Prefetch { base: Reg(6), off: 64 },
-            PLd64 { rd: Reg(7), base: Reg(8), pred: Reg(9), off: 24 },
-            PSt64 { rs: Reg(10), base: Reg(11), pred: Reg(12), off: -8 },
-            BCpy { dst: Reg(1), src: Reg(2), len: Reg(3) },
+            Add {
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3),
+            },
+            Sub {
+                rd: Reg(31),
+                rs1: Reg(0),
+                rs2: Reg(15),
+            },
+            Div {
+                rd: Reg(4),
+                rs1: Reg(5),
+                rs2: Reg(6),
+            },
+            AddI {
+                rd: Reg(7),
+                rs1: Reg(8),
+                imm: -1234567,
+            },
+            ShlI {
+                rd: Reg(7),
+                rs1: Reg(8),
+                imm: 63,
+            },
+            Li {
+                rd: Reg(9),
+                imm: i32::MIN,
+            },
+            OrHi {
+                rd: Reg(9),
+                imm: -1,
+            },
+            Mv {
+                rd: Reg(10),
+                rs: Reg(11),
+            },
+            FAdd {
+                fd: FReg(1),
+                fs1: FReg(2),
+                fs2: FReg(3),
+            },
+            FSqrt {
+                fd: FReg(4),
+                fs: FReg(5),
+            },
+            FLi {
+                fd: FReg(6),
+                value: 3.25,
+            },
+            ItoF {
+                fd: FReg(7),
+                rs: Reg(12),
+            },
+            FtoI {
+                rd: Reg(13),
+                fs: FReg(8),
+            },
+            FLt {
+                rd: Reg(14),
+                fs1: FReg(9),
+                fs2: FReg(10),
+            },
+            Ld {
+                rd: Reg(1),
+                base: Reg(29),
+                off: -16,
+                width: MemWidth::B1,
+            },
+            Ld {
+                rd: Reg(1),
+                base: Reg(29),
+                off: 2048,
+                width: MemWidth::B8,
+            },
+            St {
+                rs: Reg(2),
+                base: Reg(3),
+                off: 0,
+                width: MemWidth::B2,
+            },
+            FLd {
+                fd: FReg(1),
+                base: Reg(4),
+                off: 8,
+            },
+            FSt4 {
+                fs: FReg(2),
+                base: Reg(5),
+                off: 12,
+            },
+            Prefetch {
+                base: Reg(6),
+                off: 64,
+            },
+            PLd64 {
+                rd: Reg(7),
+                base: Reg(8),
+                pred: Reg(9),
+                off: 24,
+            },
+            PSt64 {
+                rs: Reg(10),
+                base: Reg(11),
+                pred: Reg(12),
+                off: -8,
+            },
+            BCpy {
+                dst: Reg(1),
+                src: Reg(2),
+                len: Reg(3),
+            },
             Jmp { target: 0x10010 },
-            Br { cond: BrCond::Ltu, rs1: Reg(1), rs2: Reg(2), target: 0x20000 },
+            Br {
+                cond: BrCond::Ltu,
+                rs1: Reg(1),
+                rs2: Reg(2),
+                target: 0x20000,
+            },
             Call { target: 0x10000 },
             CallR { rs: Reg(20) },
             Ret,
-            Host { func: HostFn::FsRead },
+            Host {
+                func: HostFn::FsRead,
+            },
             Halt,
             Nop,
         ]
@@ -420,7 +748,10 @@ mod tests {
     #[test]
     fn fli_preserves_value_bits() {
         for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
-            let word = encode(Inst::FLi { fd: FReg(0), value: v });
+            let word = encode(Inst::FLi {
+                fd: FReg(0),
+                value: v,
+            });
             match decode(word).unwrap() {
                 Inst::FLi { value, .. } => assert_eq!(value.to_bits(), v.to_bits()),
                 other => panic!("unexpected {other:?}"),

@@ -15,11 +15,10 @@
 use crate::encode::{decode, DecodeError};
 use crate::inst::Inst;
 use crate::INST_BYTES;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a routine within a [`Program`] (index into
 /// [`Program::routines`]' flattened table).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct RoutineId(pub u32);
 
 impl RoutineId {
@@ -35,7 +34,7 @@ impl RoutineId {
 
 /// A named routine (function symbol): `[start, end)` byte addresses in the
 /// text segment.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Routine {
     /// Symbol name, as reported to tools (the paper passes the name Pin
     /// reports into `EnterFC`).
@@ -47,7 +46,7 @@ pub struct Routine {
 }
 
 /// An initialised data segment.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DataSeg {
     /// Load address.
     pub addr: u64,
@@ -56,7 +55,7 @@ pub struct DataSeg {
 }
 
 /// A binary image: text, symbols and initialised data.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Image {
     /// Image name (e.g. `"wfs"`, `"libsim"`).
     pub name: String,
@@ -184,7 +183,11 @@ impl ImageBuilder {
             self.text.push(crate::encode(i));
         }
         let end = self.here();
-        self.routines.push(Routine { name: name.into(), start, end });
+        self.routines.push(Routine {
+            name: name.into(),
+            start,
+            end,
+        });
         start
     }
 
@@ -209,7 +212,7 @@ impl ImageBuilder {
 }
 
 /// A complete program: one or more images and an entry point.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Program {
     /// All images; exactly one should have `is_main == true`.
     pub images: Vec<Image>,
@@ -220,7 +223,10 @@ pub struct Program {
 impl Program {
     /// Build a program from a single main image, entering at `entry`.
     pub fn new(main: Image, entry: u64) -> Self {
-        Program { images: vec![main], entry }
+        Program {
+            images: vec![main],
+            entry,
+        }
     }
 
     /// Add a library image.
@@ -272,7 +278,8 @@ impl Program {
             }
         }
         for img in &self.images {
-            img.validate().map_err(|e| format!("image {}: {e}", img.name))?;
+            img.validate()
+                .map_err(|e| format!("image {}: {e}", img.name))?;
         }
         if self.image_at(self.entry).is_none() {
             return Err(format!("entry {:#x} outside all images", self.entry));
@@ -291,7 +298,13 @@ mod tests {
         let mut b = ImageBuilder::new("main", 0x10000);
         b.routine(
             "start",
-            &[Inst::Li { rd: Reg(1), imm: 42 }, Inst::Halt],
+            &[
+                Inst::Li {
+                    rd: Reg(1),
+                    imm: 42,
+                },
+                Inst::Halt,
+            ],
         );
         b.routine("fn2", &[Inst::Nop, Inst::Ret]);
         b.build()
@@ -322,7 +335,13 @@ mod tests {
     #[test]
     fn fetch_decodes() {
         let img = tiny_image();
-        assert_eq!(img.fetch(0x10000).unwrap(), Inst::Li { rd: Reg(1), imm: 42 });
+        assert_eq!(
+            img.fetch(0x10000).unwrap(),
+            Inst::Li {
+                rd: Reg(1),
+                imm: 42
+            }
+        );
         assert_eq!(img.fetch(0x10008).unwrap(), Inst::Halt);
     }
 

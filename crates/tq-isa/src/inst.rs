@@ -247,9 +247,19 @@ pub enum Inst {
 
     // ---- memory ----
     /// `rd = zero-extend(mem[rs1 + off])`.
-    Ld { rd: Reg, base: Reg, off: i32, width: MemWidth },
+    Ld {
+        rd: Reg,
+        base: Reg,
+        off: i32,
+        width: MemWidth,
+    },
     /// `mem[rs1 + off] = low bytes of rs`.
-    St { rs: Reg, base: Reg, off: i32, width: MemWidth },
+    St {
+        rs: Reg,
+        base: Reg,
+        off: i32,
+        width: MemWidth,
+    },
     /// `fd = f64 at mem[base + off]`.
     FLd { fd: FReg, base: Reg, off: i32 },
     /// `mem[base + off] = fd` (8 bytes).
@@ -264,9 +274,19 @@ pub enum Inst {
     Prefetch { base: Reg, off: i32 },
     /// Predicated 8-byte load: executes (and touches memory) only when
     /// `pred != 0`.
-    PLd64 { rd: Reg, base: Reg, pred: Reg, off: i32 },
+    PLd64 {
+        rd: Reg,
+        base: Reg,
+        pred: Reg,
+        off: i32,
+    },
     /// Predicated 8-byte store: executes only when `pred != 0`.
-    PSt64 { rs: Reg, base: Reg, pred: Reg, off: i32 },
+    PSt64 {
+        rs: Reg,
+        base: Reg,
+        pred: Reg,
+        off: i32,
+    },
     /// Block copy (`rep movsb` analogue): copies `len` bytes (register
     /// value, capped by the VM) from `[src]` to `[dst]` as ONE instruction
     /// — a single memory-read event and a single memory-write event of
@@ -279,7 +299,12 @@ pub enum Inst {
     /// Unconditional jump to the absolute byte address `target`.
     Jmp { target: u32 },
     /// Conditional branch.
-    Br { cond: BrCond, rs1: Reg, rs2: Reg, target: u32 },
+    Br {
+        cond: BrCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
     /// Direct call: pushes the return address at `sp - 8`, decrements `sp`,
     /// jumps to `target`.
     Call { target: u32 },
@@ -394,23 +419,40 @@ mod tests {
 
     #[test]
     fn mem_classification() {
-        let ld = Inst::Ld { rd: Reg(1), base: Reg(2), off: 16, width: MemWidth::B4 };
+        let ld = Inst::Ld {
+            rd: Reg(1),
+            base: Reg(2),
+            off: 16,
+            width: MemWidth::B4,
+        };
         assert_eq!(ld.memory_read_size(), Some(4));
         assert_eq!(ld.memory_write_size(), None);
         assert!(!ld.is_prefetch());
 
-        let st = Inst::St { rs: Reg(1), base: Reg(2), off: -8, width: MemWidth::B8 };
+        let st = Inst::St {
+            rs: Reg(1),
+            base: Reg(2),
+            off: -8,
+            width: MemWidth::B8,
+        };
         assert_eq!(st.memory_write_size(), Some(8));
         assert_eq!(st.memory_read_size(), None);
 
-        let pf = Inst::Prefetch { base: Reg(2), off: 64 };
+        let pf = Inst::Prefetch {
+            base: Reg(2),
+            off: 64,
+        };
         assert!(pf.is_prefetch());
         assert_eq!(pf.memory_read_size(), Some(8));
     }
 
     #[test]
     fn block_copy_classification() {
-        let b = Inst::BCpy { dst: Reg(1), src: Reg(2), len: Reg(3) };
+        let b = Inst::BCpy {
+            dst: Reg(1),
+            src: Reg(2),
+            len: Reg(3),
+        };
         assert!(b.may_read_memory() && b.may_write_memory());
         assert_eq!(b.memory_read_size(), None, "size is dynamic");
         assert!(!b.ends_block());
@@ -425,7 +467,12 @@ mod tests {
 
     #[test]
     fn predicated_ops_expose_their_predicate() {
-        let p = Inst::PLd64 { rd: Reg(1), base: Reg(2), pred: Reg(3), off: 0 };
+        let p = Inst::PLd64 {
+            rd: Reg(1),
+            base: Reg(2),
+            pred: Reg(3),
+            off: 0,
+        };
         assert_eq!(p.predicate(), Some(Reg(3)));
         assert_eq!(Inst::Nop.predicate(), None);
     }
@@ -435,7 +482,10 @@ mod tests {
         assert!(Inst::Ret.ends_block());
         assert!(Inst::Jmp { target: 8 }.ends_block());
         assert!(Inst::Host { func: HostFn::Exit }.ends_block());
-        assert!(!Inst::Host { func: HostFn::PrintI64 }.ends_block());
+        assert!(!Inst::Host {
+            func: HostFn::PrintI64
+        }
+        .ends_block());
         assert!(!Inst::Nop.ends_block());
     }
 

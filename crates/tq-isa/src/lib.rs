@@ -29,6 +29,7 @@ pub mod disasm;
 pub mod encode;
 pub mod image;
 pub mod inst;
+pub mod prng;
 pub mod reg;
 
 pub use asm::{Asm, AsmError};

@@ -1,0 +1,172 @@
+//! Vendored pseudo-random number generator — SplitMix64 seeding an
+//! xorshift64* core.
+//!
+//! The workspace builds with zero external crates (no registry access in
+//! the build environment), so the `rand` crate is replaced by this module.
+//! It is used for deterministic synthetic *inputs* (wfs audio, imgproc
+//! test images) and for the randomized differential tests; none of the
+//! profiling results depend on the statistical quality of the generator,
+//! only on its determinism for a fixed seed.
+
+/// A small deterministic PRNG: SplitMix64 expands the seed, xorshift64*
+/// generates the stream.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+/// One SplitMix64 step — also usable standalone for hashing/seeding.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Deterministic generator for `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Rng {
+        let mut s = seed;
+        // SplitMix64 guarantees a non-degenerate xorshift state even for
+        // pathological seeds (0, small integers).
+        let state = splitmix64(&mut s) | 1;
+        Rng { state }
+    }
+
+    /// Next 64 uniformly distributed bits (xorshift64*).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Panics when the range is empty.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift range reduction; the modulo bias over a 64-bit
+        // stream is far below anything the tests can observe.
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = (hi as i128 - lo as i128) as u128;
+        let off = ((self.next_u64() as u128 * span) >> 64) as i128;
+        (lo as i128 + off) as i64
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.u64_in(0, n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.f64_unit()
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Fill a byte slice with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8).map(|_| Rng::new(42).next_u64()).collect();
+        assert!(
+            a.windows(2).all(|w| w[0] == w[1]),
+            "same seed, same first draw"
+        );
+        let mut r1 = Rng::new(1);
+        let mut r2 = Rng::new(1);
+        let mut r3 = Rng::new(2);
+        let s1: Vec<u64> = (0..32).map(|_| r1.next_u64()).collect();
+        let s2: Vec<u64> = (0..32).map(|_| r2.next_u64()).collect();
+        let s3: Vec<u64> = (0..32).map(|_| r3.next_u64()).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..2000 {
+            let u = r.u64_in(10, 20);
+            assert!((10..20).contains(&u));
+            let i = r.i64_in(-5, 5);
+            assert!((-5..5).contains(&i));
+            let f = r.f64_in(-1.5, 2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let n = r.index(3);
+            assert!(n < 3);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = Rng::new(0);
+        let draws: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = Rng::new(3);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..4000 {
+            let x = r.f64_unit();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.05 && hi > 0.95, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut r = Rng::new(9);
+        for len in 0..20 {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} all zero");
+            }
+        }
+    }
+}

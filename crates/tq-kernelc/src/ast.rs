@@ -306,7 +306,10 @@ impl Function {
 
     /// Add a parameter.
     pub fn param(mut self, name: impl Into<String>, ty: Ty) -> Self {
-        self.params.push(Param { name: name.into(), ty });
+        self.params.push(Param {
+            name: name.into(),
+            ty,
+        });
         self
     }
 
@@ -369,12 +372,20 @@ pub struct Module {
 impl Module {
     /// New empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), ..Default::default() }
+        Module {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a global array.
     pub fn global(&mut self, name: impl Into<String>, elem: ElemTy, len: u64, init: GlobalInit) {
-        self.globals.push(GlobalDef { name: name.into(), elem, len, init });
+        self.globals.push(GlobalDef {
+            name: name.into(),
+            elem,
+            len,
+            init,
+        });
     }
 
     /// Add a function.

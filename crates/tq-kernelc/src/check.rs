@@ -75,19 +75,33 @@ impl std::fmt::Display for CompileError {
                 write!(f, "in `{func}`: call to unknown function `{n}`")
             }
             CompileError::TypeMismatch { func, what } => write!(f, "in `{func}`: {what}"),
-            CompileError::ArgCount { func, callee, expected, got } => write!(
+            CompileError::ArgCount {
+                func,
+                callee,
+                expected,
+                got,
+            } => write!(
                 f,
                 "in `{func}`: call to `{callee}` expects {expected} arguments, got {got}"
             ),
             CompileError::ExprTooDeep(func) => {
-                write!(f, "in `{func}`: expression exceeds the scratch register file")
+                write!(
+                    f,
+                    "in `{func}`: expression exceeds the scratch register file"
+                )
             }
             CompileError::LibraryCallsMain { lib, callee } => {
-                write!(f, "library routine `{lib}` calls main-image routine `{callee}`")
+                write!(
+                    f,
+                    "library routine `{lib}` calls main-image routine `{callee}`"
+                )
             }
             CompileError::BadGlobalInit(n) => write!(f, "bad initialiser for global `{n}`"),
             CompileError::TooManyArgs(func) => {
-                write!(f, "in `{func}`: more arguments of one kind than argument registers")
+                write!(
+                    f,
+                    "in `{func}`: more arguments of one kind than argument registers"
+                )
             }
             CompileError::BreakOutsideLoop(func) => {
                 write!(f, "in `{func}`: break/continue outside a loop")
@@ -138,7 +152,11 @@ pub fn check(module: &Module) -> Result<(), CompileError> {
         return Err(CompileError::MainHasParams);
     }
 
-    let ck = Ck { module, sigs, globals };
+    let ck = Ck {
+        module,
+        sigs,
+        globals,
+    };
     for f in &ck.module.functions {
         ck.check_fn(f)?;
     }
@@ -150,12 +168,8 @@ fn check_global_init(g: &GlobalDef) -> Result<(), CompileError> {
     let ok = match &g.init {
         GlobalInit::Zero => true,
         GlobalInit::Bytes(b) => b.len() as u64 <= size,
-        GlobalInit::F64s(v) => {
-            matches!(g.elem, ElemTy::F64) && v.len() as u64 <= g.len
-        }
-        GlobalInit::I64s(v) => {
-            matches!(g.elem, ElemTy::I64) && v.len() as u64 <= g.len
-        }
+        GlobalInit::F64s(v) => matches!(g.elem, ElemTy::F64) && v.len() as u64 <= g.len,
+        GlobalInit::I64s(v) => matches!(g.elem, ElemTy::I64) && v.len() as u64 <= g.len,
     };
     if ok {
         Ok(())
@@ -238,7 +252,12 @@ impl<'m> Ck<'m> {
                     .ok_or_else(|| CompileError::UnknownVar(f.name.clone(), var.clone()))?;
                 self.expect(f, e, ty, vars, &format!("assignment to `{var}`"))?;
             }
-            Stmt::Store { base, elem, idx, val } => {
+            Stmt::Store {
+                base,
+                elem,
+                idx,
+                val,
+            } => {
                 self.expect(f, base, Ty::I64, vars, "store base")?;
                 self.expect(f, idx, Ty::I64, vars, "store index")?;
                 self.expect(f, val, elem.scalar(), vars, "stored value")?;
@@ -311,8 +330,12 @@ impl<'m> Ck<'m> {
                 }
             }
             Stmt::Host { func: _, args, ret } => {
-                let (ints, floats) =
-                    split_counts(args.iter().map(|a| self.ty_of(f, a, vars)).collect::<Result<Vec<_>, _>>()?.into_iter());
+                let (ints, floats) = split_counts(
+                    args.iter()
+                        .map(|a| self.ty_of(f, a, vars))
+                        .collect::<Result<Vec<_>, _>>()?
+                        .into_iter(),
+                );
                 if ints > tq_isa::abi::INT_ARGS.len() || floats > tq_isa::abi::FLOAT_ARGS.len() {
                     return Err(CompileError::TooManyArgs(f.name.clone()));
                 }
@@ -550,16 +573,26 @@ mod tests {
 
         let mut bad2 = m.clone();
         bad2.functions[1].body = vec![call("f", vec![cf(1.0), cf(2.0)])];
-        assert!(matches!(check(&bad2), Err(CompileError::TypeMismatch { .. })));
+        assert!(matches!(
+            check(&bad2),
+            Err(CompileError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
     fn library_cannot_call_main_image() {
         let mut m = Module::new("t");
         m.func(Function::new("app_helper"));
-        m.func(Function::new("lib_fn").in_library().body(vec![call("app_helper", vec![])]));
+        m.func(
+            Function::new("lib_fn")
+                .in_library()
+                .body(vec![call("app_helper", vec![])]),
+        );
         m.func(Function::new("main"));
-        assert!(matches!(check(&m), Err(CompileError::LibraryCallsMain { .. })));
+        assert!(matches!(
+            check(&m),
+            Err(CompileError::LibraryCallsMain { .. })
+        ));
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn compile(module: &Module) -> Result<Compiled, CompileError> {
     let layout = GlobalLayout::of(module);
     let sigs = Signatures::build(module)?;
 
-    let mut consts = ConstPool { base: layout.end(), values: Vec::new() };
+    let mut consts = ConstPool {
+        base: layout.end(),
+        values: Vec::new(),
+    };
 
     // Library image first: its symbols become externs for the main image.
     let lib_fns: Vec<&Function> = module.functions.iter().filter(|f| f.library).collect();
@@ -72,12 +75,12 @@ pub fn compile(module: &Module) -> Result<Compiled, CompileError> {
         for f in &lib_fns {
             gen_fn(f, &sigs, &layout, &mut consts, &mut asm)?;
         }
-        let img = asm
-            .finish("libsim", LIB_TEXT_BASE, false)
-            .map_err(|e| CompileError::TypeMismatch {
-                func: "<libsim>".into(),
-                what: format!("assembly failed: {e}"),
-            })?;
+        let img =
+            asm.finish("libsim", LIB_TEXT_BASE, false)
+                .map_err(|e| CompileError::TypeMismatch {
+                    func: "<libsim>".into(),
+                    what: format!("assembly failed: {e}"),
+                })?;
         for r in &img.routines {
             externs.insert(r.name.clone(), r.start);
         }
@@ -207,7 +210,11 @@ fn gen_fn(
 
     // Prologue.
     if cg.frame > 0 {
-        asm.emit(Inst::AddI { rd: abi::SP, rs1: abi::SP, imm: -cg.frame });
+        asm.emit(Inst::AddI {
+            rd: abi::SP,
+            rs1: abi::SP,
+            imm: -cg.frame,
+        });
     }
     let mut ii = 0;
     let mut fi = 0;
@@ -224,7 +231,11 @@ fn gen_fn(
                 ii += 1;
             }
             Ty::F64 => {
-                asm.emit(Inst::FSt { fs: abi::FLOAT_ARGS[fi], base: abi::SP, off });
+                asm.emit(Inst::FSt {
+                    fs: abi::FLOAT_ARGS[fi],
+                    base: abi::SP,
+                    off,
+                });
                 fi += 1;
             }
         }
@@ -336,9 +347,14 @@ impl<'a> FnCg<'a> {
                         }
                     }
                 }
-                None => asm.emit(Inst::Li { rd: abi::A0, imm: 0 }),
+                None => asm.emit(Inst::Li {
+                    rd: abi::A0,
+                    imm: 0,
+                }),
             }
-            asm.emit(Inst::Host { func: tq_isa::HostFn::Exit });
+            asm.emit(Inst::Host {
+                func: tq_isa::HostFn::Exit,
+            });
             return Ok(());
         }
         if let Some(e) = value {
@@ -349,13 +365,20 @@ impl<'a> FnCg<'a> {
                     self.free(Operand::I(r));
                 }
                 Operand::F(r) => {
-                    asm.emit(Inst::FMv { fd: abi::FA0, fs: r });
+                    asm.emit(Inst::FMv {
+                        fd: abi::FA0,
+                        fs: r,
+                    });
                     self.free(Operand::F(r));
                 }
             }
         }
         if self.frame > 0 {
-            asm.emit(Inst::AddI { rd: abi::SP, rs1: abi::SP, imm: self.frame });
+            asm.emit(Inst::AddI {
+                rd: abi::SP,
+                rs1: abi::SP,
+                imm: self.frame,
+            });
         }
         asm.emit(Inst::Ret);
         Ok(())
@@ -371,16 +394,29 @@ impl<'a> FnCg<'a> {
                 let op = self.gen_expr(e, asm)?;
                 self.store_var(var, op, asm);
             }
-            Stmt::Store { base, elem, idx, val } => {
+            Stmt::Store {
+                base,
+                elem,
+                idx,
+                val,
+            } => {
                 let addr = self.gen_addr(base, *elem, idx, asm)?;
                 let op = self.gen_expr(val, asm)?;
                 match (op, elem) {
                     (Operand::F(fr), ElemTy::F64) => {
-                        asm.emit(Inst::FSt { fs: fr, base: addr, off: 0 });
+                        asm.emit(Inst::FSt {
+                            fs: fr,
+                            base: addr,
+                            off: 0,
+                        });
                         self.free(Operand::F(fr));
                     }
                     (Operand::F(fr), ElemTy::F32) => {
-                        asm.emit(Inst::FSt4 { fs: fr, base: addr, off: 0 });
+                        asm.emit(Inst::FSt4 {
+                            fs: fr,
+                            base: addr,
+                            off: 0,
+                        });
                         self.free(Operand::F(fr));
                     }
                     (Operand::I(ir), e) => {
@@ -391,7 +427,12 @@ impl<'a> FnCg<'a> {
                             ElemTy::I64 => MemWidth::B8,
                             _ => unreachable!("checked store type"),
                         };
-                        asm.emit(Inst::St { rs: ir, base: addr, off: 0, width });
+                        asm.emit(Inst::St {
+                            rs: ir,
+                            base: addr,
+                            off: 0,
+                            width,
+                        });
                         self.free(Operand::I(ir));
                     }
                     _ => unreachable!("checked store type"),
@@ -431,13 +472,27 @@ impl<'a> FnCg<'a> {
                 let var_slot = self.slot_of(var);
                 // var = lo
                 let op = self.gen_expr(lo, asm)?;
-                let Operand::I(r) = op else { unreachable!("checked i64 bound") };
-                asm.emit(Inst::St { rs: r, base: abi::SP, off: var_slot, width: MemWidth::B8 });
+                let Operand::I(r) = op else {
+                    unreachable!("checked i64 bound")
+                };
+                asm.emit(Inst::St {
+                    rs: r,
+                    base: abi::SP,
+                    off: var_slot,
+                    width: MemWidth::B8,
+                });
                 self.free(Operand::I(r));
                 // bound = hi (evaluated once)
                 let op = self.gen_expr(hi, asm)?;
-                let Operand::I(r) = op else { unreachable!("checked i64 bound") };
-                asm.emit(Inst::St { rs: r, base: abi::SP, off: hi_slot, width: MemWidth::B8 });
+                let Operand::I(r) = op else {
+                    unreachable!("checked i64 bound")
+                };
+                asm.emit(Inst::St {
+                    rs: r,
+                    base: abi::SP,
+                    off: hi_slot,
+                    width: MemWidth::B8,
+                });
                 self.free(Operand::I(r));
 
                 let lstart = self.fresh_label("for");
@@ -446,8 +501,18 @@ impl<'a> FnCg<'a> {
                 asm.label(lstart.clone()).expect("fresh label");
                 let a = self.alloc_i()?;
                 let b = self.alloc_i()?;
-                asm.emit(Inst::Ld { rd: a, base: abi::SP, off: var_slot, width: MemWidth::B8 });
-                asm.emit(Inst::Ld { rd: b, base: abi::SP, off: hi_slot, width: MemWidth::B8 });
+                asm.emit(Inst::Ld {
+                    rd: a,
+                    base: abi::SP,
+                    off: var_slot,
+                    width: MemWidth::B8,
+                });
+                asm.emit(Inst::Ld {
+                    rd: b,
+                    base: abi::SP,
+                    off: hi_slot,
+                    width: MemWidth::B8,
+                });
                 asm.br(BrCond::Ge, a, b, lend.clone());
                 self.ipool.push(a);
                 self.ipool.push(b);
@@ -459,17 +524,39 @@ impl<'a> FnCg<'a> {
                 self.loop_labels.pop();
                 asm.label(lstep).expect("fresh label");
                 let a = self.alloc_i()?;
-                asm.emit(Inst::Ld { rd: a, base: abi::SP, off: var_slot, width: MemWidth::B8 });
-                asm.emit(Inst::AddI { rd: a, rs1: a, imm: 1 });
-                asm.emit(Inst::St { rs: a, base: abi::SP, off: var_slot, width: MemWidth::B8 });
+                asm.emit(Inst::Ld {
+                    rd: a,
+                    base: abi::SP,
+                    off: var_slot,
+                    width: MemWidth::B8,
+                });
+                asm.emit(Inst::AddI {
+                    rd: a,
+                    rs1: a,
+                    imm: 1,
+                });
+                asm.emit(Inst::St {
+                    rs: a,
+                    base: abi::SP,
+                    off: var_slot,
+                    width: MemWidth::B8,
+                });
                 self.ipool.push(a);
                 asm.jmp(lstart);
                 asm.label(lend).expect("fresh label");
             }
             Stmt::Call { func, args, ret } => {
-                let callee = *self.sigs.by_name.get(func.as_str()).expect("checked callee");
+                let callee = *self
+                    .sigs
+                    .by_name
+                    .get(func.as_str())
+                    .expect("checked callee");
                 self.gen_args(args, asm)?;
-                self.load_args(&callee.params.iter().map(|p| p.ty).collect::<Vec<_>>(), args.len(), asm);
+                self.load_args(
+                    &callee.params.iter().map(|p| p.ty).collect::<Vec<_>>(),
+                    args.len(),
+                    asm,
+                );
                 asm.call(func.clone());
                 if let Some(rv) = ret {
                     let off = self.slot_of(rv);
@@ -480,7 +567,11 @@ impl<'a> FnCg<'a> {
                             off,
                             width: MemWidth::B8,
                         }),
-                        Ty::F64 => asm.emit(Inst::FSt { fs: abi::FA0, base: abi::SP, off }),
+                        Ty::F64 => asm.emit(Inst::FSt {
+                            fs: abi::FA0,
+                            base: abi::SP,
+                            off,
+                        }),
                     }
                 }
             }
@@ -492,7 +583,12 @@ impl<'a> FnCg<'a> {
                 asm.emit(Inst::Host { func: *func });
                 if let Some(rv) = ret {
                     let off = self.slot_of(rv);
-                    asm.emit(Inst::St { rs: abi::A0, base: abi::SP, off, width: MemWidth::B8 });
+                    asm.emit(Inst::St {
+                        rs: abi::A0,
+                        base: abi::SP,
+                        off,
+                        width: MemWidth::B8,
+                    });
                 }
             }
             Stmt::MemCpy { dst, src, bytes } => {
@@ -502,7 +598,11 @@ impl<'a> FnCg<'a> {
                 let (Operand::I(dr), Operand::I(sr), Operand::I(nr)) = (d_op, s_op, n_op) else {
                     unreachable!("checked i64 memcpy operands")
                 };
-                asm.emit(Inst::BCpy { dst: dr, src: sr, len: nr });
+                asm.emit(Inst::BCpy {
+                    dst: dr,
+                    src: sr,
+                    len: nr,
+                });
                 self.ipool.push(dr);
                 self.ipool.push(sr);
                 self.ipool.push(nr);
@@ -516,11 +616,19 @@ impl<'a> FnCg<'a> {
                 self.emit_epilogue(e.as_ref(), asm)?;
             }
             Stmt::Break => {
-                let (brk, _) = self.loop_labels.last().expect("checked: inside a loop").clone();
+                let (brk, _) = self
+                    .loop_labels
+                    .last()
+                    .expect("checked: inside a loop")
+                    .clone();
                 asm.jmp(brk);
             }
             Stmt::Continue => {
-                let (_, cont) = self.loop_labels.last().expect("checked: inside a loop").clone();
+                let (_, cont) = self
+                    .loop_labels
+                    .last()
+                    .expect("checked: inside a loop")
+                    .clone();
                 asm.jmp(cont);
             }
         }
@@ -536,11 +644,20 @@ impl<'a> FnCg<'a> {
             let op = self.gen_expr(a, asm)?;
             match op {
                 Operand::I(r) => {
-                    asm.emit(Inst::St { rs: r, base: abi::SP, off, width: MemWidth::B8 });
+                    asm.emit(Inst::St {
+                        rs: r,
+                        base: abi::SP,
+                        off,
+                        width: MemWidth::B8,
+                    });
                     self.free(Operand::I(r));
                 }
                 Operand::F(r) => {
-                    asm.emit(Inst::FSt { fs: r, base: abi::SP, off });
+                    asm.emit(Inst::FSt {
+                        fs: r,
+                        base: abi::SP,
+                        off,
+                    });
                     self.free(Operand::F(r));
                 }
             }
@@ -569,7 +686,11 @@ impl<'a> FnCg<'a> {
                     ii += 1;
                 }
                 Ty::F64 => {
-                    asm.emit(Inst::FLd { fd: abi::FLOAT_ARGS[fi], base: abi::SP, off });
+                    asm.emit(Inst::FLd {
+                        fd: abi::FLOAT_ARGS[fi],
+                        base: abi::SP,
+                        off,
+                    });
                     fi += 1;
                 }
             }
@@ -601,11 +722,20 @@ impl<'a> FnCg<'a> {
         let off = self.slot_of(var);
         match op {
             Operand::I(r) => {
-                asm.emit(Inst::St { rs: r, base: abi::SP, off, width: MemWidth::B8 });
+                asm.emit(Inst::St {
+                    rs: r,
+                    base: abi::SP,
+                    off,
+                    width: MemWidth::B8,
+                });
                 self.free(Operand::I(r));
             }
             Operand::F(r) => {
-                asm.emit(Inst::FSt { fs: r, base: abi::SP, off });
+                asm.emit(Inst::FSt {
+                    fs: r,
+                    base: abi::SP,
+                    off,
+                });
                 self.free(Operand::F(r));
             }
         }
@@ -619,7 +749,9 @@ impl<'a> FnCg<'a> {
         asm: &mut Asm,
     ) -> Result<(), CompileError> {
         let op = self.gen_expr(cond, asm)?;
-        let Operand::I(c) = op else { unreachable!("checked i64 condition") };
+        let Operand::I(c) = op else {
+            unreachable!("checked i64 condition")
+        };
         let z = self.alloc_i()?;
         asm.emit(Inst::Li { rd: z, imm: 0 });
         asm.br(BrCond::Eq, c, z, target.to_string());
@@ -646,9 +778,17 @@ impl<'a> FnCg<'a> {
         };
         let size = elem.size() as i32;
         if size != 1 {
-            asm.emit(Inst::MulI { rd: i, rs1: i, imm: size });
+            asm.emit(Inst::MulI {
+                rd: i,
+                rs1: i,
+                imm: size,
+            });
         }
-        asm.emit(Inst::Add { rd: b, rs1: b, rs2: i });
+        asm.emit(Inst::Add {
+            rd: b,
+            rs1: b,
+            rs2: i,
+        });
         self.ipool.push(i);
         Ok(b)
     }
@@ -663,13 +803,20 @@ impl<'a> FnCg<'a> {
             Expr::ConstF(v) => {
                 let f = self.alloc_f()?;
                 if (*v as f32) as f64 == *v {
-                    asm.emit(Inst::FLi { fd: f, value: *v as f32 });
+                    asm.emit(Inst::FLi {
+                        fd: f,
+                        value: *v as f32,
+                    });
                 } else {
                     // Full-precision constants come from the pool.
                     let addr = self.consts.addr_of(*v);
                     let r = self.alloc_i()?;
                     emit_const_i64(addr as i64, r, asm);
-                    asm.emit(Inst::FLd { fd: f, base: r, off: 0 });
+                    asm.emit(Inst::FLd {
+                        fd: f,
+                        base: r,
+                        off: 0,
+                    });
                     self.ipool.push(r);
                 }
                 Operand::F(f)
@@ -679,12 +826,21 @@ impl<'a> FnCg<'a> {
                 match self.ty_of_var(n) {
                     Ty::I64 => {
                         let r = self.alloc_i()?;
-                        asm.emit(Inst::Ld { rd: r, base: abi::SP, off, width: MemWidth::B8 });
+                        asm.emit(Inst::Ld {
+                            rd: r,
+                            base: abi::SP,
+                            off,
+                            width: MemWidth::B8,
+                        });
                         Operand::I(r)
                     }
                     Ty::F64 => {
                         let f = self.alloc_f()?;
-                        asm.emit(Inst::FLd { fd: f, base: abi::SP, off });
+                        asm.emit(Inst::FLd {
+                            fd: f,
+                            base: abi::SP,
+                            off,
+                        });
                         Operand::F(f)
                     }
                 }
@@ -700,13 +856,21 @@ impl<'a> FnCg<'a> {
                 match elem {
                     ElemTy::F64 => {
                         let f = self.alloc_f()?;
-                        asm.emit(Inst::FLd { fd: f, base: addr, off: 0 });
+                        asm.emit(Inst::FLd {
+                            fd: f,
+                            base: addr,
+                            off: 0,
+                        });
                         self.ipool.push(addr);
                         Operand::F(f)
                     }
                     ElemTy::F32 => {
                         let f = self.alloc_f()?;
-                        asm.emit(Inst::FLd4 { fd: f, base: addr, off: 0 });
+                        asm.emit(Inst::FLd4 {
+                            fd: f,
+                            base: addr,
+                            off: 0,
+                        });
                         self.ipool.push(addr);
                         Operand::F(f)
                     }
@@ -721,10 +885,23 @@ impl<'a> FnCg<'a> {
                             ElemTy::I64 => (MemWidth::B8, 0),
                             _ => unreachable!(),
                         };
-                        asm.emit(Inst::Ld { rd: addr, base: addr, off: 0, width });
+                        asm.emit(Inst::Ld {
+                            rd: addr,
+                            base: addr,
+                            off: 0,
+                            width,
+                        });
                         if sign_bits != 0 {
-                            asm.emit(Inst::ShlI { rd: addr, rs1: addr, imm: sign_bits });
-                            asm.emit(Inst::SraI { rd: addr, rs1: addr, imm: sign_bits });
+                            asm.emit(Inst::ShlI {
+                                rd: addr,
+                                rs1: addr,
+                                imm: sign_bits,
+                            });
+                            asm.emit(Inst::SraI {
+                                rd: addr,
+                                rs1: addr,
+                                imm: sign_bits,
+                            });
                         }
                         Operand::I(addr)
                     }
@@ -741,7 +918,11 @@ impl<'a> FnCg<'a> {
                     (UnOp::Neg, Operand::I(r)) => {
                         let z = self.alloc_i()?;
                         asm.emit(Inst::Li { rd: z, imm: 0 });
-                        asm.emit(Inst::Sub { rd: r, rs1: z, rs2: r });
+                        asm.emit(Inst::Sub {
+                            rd: r,
+                            rs1: z,
+                            rs2: r,
+                        });
                         self.ipool.push(z);
                         Operand::I(r)
                     }
@@ -794,39 +975,123 @@ impl<'a> FnCg<'a> {
             (Operand::I(a), Operand::I(b)) => {
                 let out = a;
                 match op {
-                    BinOp::Add => asm.emit(Inst::Add { rd: out, rs1: a, rs2: b }),
-                    BinOp::Sub => asm.emit(Inst::Sub { rd: out, rs1: a, rs2: b }),
-                    BinOp::Mul => asm.emit(Inst::Mul { rd: out, rs1: a, rs2: b }),
-                    BinOp::Div => asm.emit(Inst::Div { rd: out, rs1: a, rs2: b }),
-                    BinOp::Rem => asm.emit(Inst::Rem { rd: out, rs1: a, rs2: b }),
-                    BinOp::And => asm.emit(Inst::And { rd: out, rs1: a, rs2: b }),
-                    BinOp::Or => asm.emit(Inst::Or { rd: out, rs1: a, rs2: b }),
-                    BinOp::Xor => asm.emit(Inst::Xor { rd: out, rs1: a, rs2: b }),
-                    BinOp::Shl => asm.emit(Inst::Shl { rd: out, rs1: a, rs2: b }),
-                    BinOp::Shr => asm.emit(Inst::Shr { rd: out, rs1: a, rs2: b }),
-                    BinOp::Sra => asm.emit(Inst::Sra { rd: out, rs1: a, rs2: b }),
-                    BinOp::Lt => asm.emit(Inst::Slt { rd: out, rs1: a, rs2: b }),
-                    BinOp::Gt => asm.emit(Inst::Slt { rd: out, rs1: b, rs2: a }),
+                    BinOp::Add => asm.emit(Inst::Add {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Sub => asm.emit(Inst::Sub {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Mul => asm.emit(Inst::Mul {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Div => asm.emit(Inst::Div {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Rem => asm.emit(Inst::Rem {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::And => asm.emit(Inst::And {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Or => asm.emit(Inst::Or {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Xor => asm.emit(Inst::Xor {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Shl => asm.emit(Inst::Shl {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Shr => asm.emit(Inst::Shr {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Sra => asm.emit(Inst::Sra {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Lt => asm.emit(Inst::Slt {
+                        rd: out,
+                        rs1: a,
+                        rs2: b,
+                    }),
+                    BinOp::Gt => asm.emit(Inst::Slt {
+                        rd: out,
+                        rs1: b,
+                        rs2: a,
+                    }),
                     BinOp::Le => {
-                        asm.emit(Inst::Slt { rd: out, rs1: b, rs2: a });
-                        asm.emit(Inst::XorI { rd: out, rs1: out, imm: 1 });
+                        asm.emit(Inst::Slt {
+                            rd: out,
+                            rs1: b,
+                            rs2: a,
+                        });
+                        asm.emit(Inst::XorI {
+                            rd: out,
+                            rs1: out,
+                            imm: 1,
+                        });
                     }
                     BinOp::Ge => {
-                        asm.emit(Inst::Slt { rd: out, rs1: a, rs2: b });
-                        asm.emit(Inst::XorI { rd: out, rs1: out, imm: 1 });
+                        asm.emit(Inst::Slt {
+                            rd: out,
+                            rs1: a,
+                            rs2: b,
+                        });
+                        asm.emit(Inst::XorI {
+                            rd: out,
+                            rs1: out,
+                            imm: 1,
+                        });
                     }
                     BinOp::Eq => {
-                        asm.emit(Inst::Xor { rd: out, rs1: a, rs2: b });
+                        asm.emit(Inst::Xor {
+                            rd: out,
+                            rs1: a,
+                            rs2: b,
+                        });
                         let one = self.alloc_i()?;
                         asm.emit(Inst::Li { rd: one, imm: 1 });
-                        asm.emit(Inst::Sltu { rd: out, rs1: out, rs2: one });
+                        asm.emit(Inst::Sltu {
+                            rd: out,
+                            rs1: out,
+                            rs2: one,
+                        });
                         self.ipool.push(one);
                     }
                     BinOp::Ne => {
-                        asm.emit(Inst::Xor { rd: out, rs1: a, rs2: b });
+                        asm.emit(Inst::Xor {
+                            rd: out,
+                            rs1: a,
+                            rs2: b,
+                        });
                         let z = self.alloc_i()?;
                         asm.emit(Inst::Li { rd: z, imm: 0 });
-                        asm.emit(Inst::Sltu { rd: out, rs1: z, rs2: out });
+                        asm.emit(Inst::Sltu {
+                            rd: out,
+                            rs1: z,
+                            rs2: out,
+                        });
                         self.ipool.push(z);
                     }
                     BinOp::Min | BinOp::Max => unreachable!("checked float-only op"),
@@ -836,23 +1101,75 @@ impl<'a> FnCg<'a> {
             }
             (Operand::F(a), Operand::F(b)) => {
                 match op {
-                    BinOp::Add => asm.emit(Inst::FAdd { fd: a, fs1: a, fs2: b }),
-                    BinOp::Sub => asm.emit(Inst::FSub { fd: a, fs1: a, fs2: b }),
-                    BinOp::Mul => asm.emit(Inst::FMul { fd: a, fs1: a, fs2: b }),
-                    BinOp::Div => asm.emit(Inst::FDiv { fd: a, fs1: a, fs2: b }),
-                    BinOp::Min => asm.emit(Inst::FMin { fd: a, fs1: a, fs2: b }),
-                    BinOp::Max => asm.emit(Inst::FMax { fd: a, fs1: a, fs2: b }),
+                    BinOp::Add => asm.emit(Inst::FAdd {
+                        fd: a,
+                        fs1: a,
+                        fs2: b,
+                    }),
+                    BinOp::Sub => asm.emit(Inst::FSub {
+                        fd: a,
+                        fs1: a,
+                        fs2: b,
+                    }),
+                    BinOp::Mul => asm.emit(Inst::FMul {
+                        fd: a,
+                        fs1: a,
+                        fs2: b,
+                    }),
+                    BinOp::Div => asm.emit(Inst::FDiv {
+                        fd: a,
+                        fs1: a,
+                        fs2: b,
+                    }),
+                    BinOp::Min => asm.emit(Inst::FMin {
+                        fd: a,
+                        fs1: a,
+                        fs2: b,
+                    }),
+                    BinOp::Max => asm.emit(Inst::FMax {
+                        fd: a,
+                        fs1: a,
+                        fs2: b,
+                    }),
                     BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
                         let out = self.alloc_i()?;
                         match op {
-                            BinOp::Lt => asm.emit(Inst::FLt { rd: out, fs1: a, fs2: b }),
-                            BinOp::Gt => asm.emit(Inst::FLt { rd: out, fs1: b, fs2: a }),
-                            BinOp::Le => asm.emit(Inst::FLe { rd: out, fs1: a, fs2: b }),
-                            BinOp::Ge => asm.emit(Inst::FLe { rd: out, fs1: b, fs2: a }),
-                            BinOp::Eq => asm.emit(Inst::FEq { rd: out, fs1: a, fs2: b }),
+                            BinOp::Lt => asm.emit(Inst::FLt {
+                                rd: out,
+                                fs1: a,
+                                fs2: b,
+                            }),
+                            BinOp::Gt => asm.emit(Inst::FLt {
+                                rd: out,
+                                fs1: b,
+                                fs2: a,
+                            }),
+                            BinOp::Le => asm.emit(Inst::FLe {
+                                rd: out,
+                                fs1: a,
+                                fs2: b,
+                            }),
+                            BinOp::Ge => asm.emit(Inst::FLe {
+                                rd: out,
+                                fs1: b,
+                                fs2: a,
+                            }),
+                            BinOp::Eq => asm.emit(Inst::FEq {
+                                rd: out,
+                                fs1: a,
+                                fs2: b,
+                            }),
                             BinOp::Ne => {
-                                asm.emit(Inst::FEq { rd: out, fs1: a, fs2: b });
-                                asm.emit(Inst::XorI { rd: out, rs1: out, imm: 1 });
+                                asm.emit(Inst::FEq {
+                                    rd: out,
+                                    fs1: a,
+                                    fs2: b,
+                                });
+                                asm.emit(Inst::XorI {
+                                    rd: out,
+                                    rs1: out,
+                                    imm: 1,
+                                });
                             }
                             _ => unreachable!(),
                         }
@@ -876,7 +1193,13 @@ fn emit_const_i64(v: i64, rd: Reg, asm: &mut Asm) {
     if v >= i32::MIN as i64 && v <= i32::MAX as i64 {
         asm.emit(Inst::Li { rd, imm: v as i32 });
     } else {
-        asm.emit(Inst::Li { rd, imm: v as u32 as i32 });
-        asm.emit(Inst::OrHi { rd, imm: (v >> 32) as i32 });
+        asm.emit(Inst::Li {
+            rd,
+            imm: v as u32 as i32,
+        });
+        asm.emit(Inst::OrHi {
+            rd,
+            imm: (v >> 32) as i32,
+        });
     }
 }

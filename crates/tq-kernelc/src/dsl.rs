@@ -29,7 +29,11 @@ pub fn ga(name: &str) -> Expr {
 
 /// Typed array load.
 pub fn load(base: Expr, elem: ElemTy, idx: Expr) -> Expr {
-    Expr::Load { base: Box::new(base), elem, idx: Box::new(idx) }
+    Expr::Load {
+        base: Box::new(base),
+        elem,
+        idx: Box::new(idx),
+    }
 }
 
 /// `f64` array load.
@@ -43,7 +47,11 @@ pub fn ldi(base: Expr, idx: Expr) -> Expr {
 }
 
 fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
-    Expr::Bin { op, lhs: Box::new(a), rhs: Box::new(b) }
+    Expr::Bin {
+        op,
+        lhs: Box::new(a),
+        rhs: Box::new(b),
+    }
 }
 
 /// `a + b`.
@@ -154,22 +162,38 @@ pub fn f2i(e: Expr) -> Expr {
 
 /// Declare an `i64` local.
 pub fn leti(var: &str, init: Expr) -> Stmt {
-    Stmt::Let { var: var.to_string(), ty: Ty::I64, init }
+    Stmt::Let {
+        var: var.to_string(),
+        ty: Ty::I64,
+        init,
+    }
 }
 
 /// Declare an `f64` local.
 pub fn letf(var: &str, init: Expr) -> Stmt {
-    Stmt::Let { var: var.to_string(), ty: Ty::F64, init }
+    Stmt::Let {
+        var: var.to_string(),
+        ty: Ty::F64,
+        init,
+    }
 }
 
 /// Assign to a local.
 pub fn set(var: &str, e: Expr) -> Stmt {
-    Stmt::Assign { var: var.to_string(), e }
+    Stmt::Assign {
+        var: var.to_string(),
+        e,
+    }
 }
 
 /// Typed array store.
 pub fn store(base: Expr, elem: ElemTy, idx: Expr, val: Expr) -> Stmt {
-    Stmt::Store { base, elem, idx, val }
+    Stmt::Store {
+        base,
+        elem,
+        idx,
+        val,
+    }
 }
 
 /// `f64` array store.
@@ -184,7 +208,11 @@ pub fn sti(base: Expr, idx: Expr, val: Expr) -> Stmt {
 
 /// `if cond { then }`.
 pub fn if_(cond: Expr, then: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then, els: Vec::new() }
+    Stmt::If {
+        cond,
+        then,
+        els: Vec::new(),
+    }
 }
 
 /// `if cond { then } else { els }`.
@@ -199,27 +227,48 @@ pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
 
 /// `for var in lo..hi { body }`.
 pub fn for_(var: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::For { var: var.to_string(), lo, hi, body }
+    Stmt::For {
+        var: var.to_string(),
+        lo,
+        hi,
+        body,
+    }
 }
 
 /// Call with no result.
 pub fn call(func: &str, args: Vec<Expr>) -> Stmt {
-    Stmt::Call { func: func.to_string(), args, ret: None }
+    Stmt::Call {
+        func: func.to_string(),
+        args,
+        ret: None,
+    }
 }
 
 /// Call binding the result to `ret`.
 pub fn call_ret(ret: &str, func: &str, args: Vec<Expr>) -> Stmt {
-    Stmt::Call { func: func.to_string(), args, ret: Some(ret.to_string()) }
+    Stmt::Call {
+        func: func.to_string(),
+        args,
+        ret: Some(ret.to_string()),
+    }
 }
 
 /// Host call with no result.
 pub fn host(func: HostFn, args: Vec<Expr>) -> Stmt {
-    Stmt::Host { func, args, ret: None }
+    Stmt::Host {
+        func,
+        args,
+        ret: None,
+    }
 }
 
 /// Host call binding the integer result to `ret`.
 pub fn host_ret(ret: &str, func: HostFn, args: Vec<Expr>) -> Stmt {
-    Stmt::Host { func, args, ret: Some(ret.to_string()) }
+    Stmt::Host {
+        func,
+        args,
+        ret: Some(ret.to_string()),
+    }
 }
 
 /// Block copy (single-instruction `memcpy`).

@@ -91,7 +91,8 @@ impl Interp {
         for g in &module.globals {
             if let Some(bytes) = GlobalLayout::init_bytes(g) {
                 let slot = layout.get(&g.name).expect("own global");
-                mem.write(slot.addr, &bytes).expect("globals fit the address space");
+                mem.write(slot.addr, &bytes)
+                    .expect("globals fit the address space");
             }
         }
         Interp {
@@ -185,7 +186,12 @@ impl Interp {
                 let v = self.eval(init, env)?;
                 env.insert(var.clone(), v);
             }
-            Stmt::Store { base, elem, idx, val } => {
+            Stmt::Store {
+                base,
+                elem,
+                idx,
+                val,
+            } => {
                 let b = self.eval(base, env)?.as_i() as u64;
                 let i = self.eval(idx, env)?.as_i() as u64;
                 let addr = b.wrapping_add(i.wrapping_mul(elem.size() as u64));
@@ -238,10 +244,7 @@ impl Interp {
                     CallOutcome::Exited(code) => return Ok(Flow::Exit(code)),
                     CallOutcome::Returned(v) => {
                         if let Some(rv) = ret {
-                            env.insert(
-                                rv.clone(),
-                                v.expect("checked: callee returns a value"),
-                            );
+                            env.insert(rv.clone(), v.expect("checked: callee returns a value"));
                         }
                     }
                 }
@@ -266,8 +269,12 @@ impl Interp {
                 let n = self.eval(bytes, env)?.as_i() as u64;
                 // Mirror the VM: read everything, then write (memmove).
                 let mut buf = vec![0u8; n as usize];
-                self.mem.read(sa, &mut buf).map_err(|_| InterpError::MemOutOfRange(sa))?;
-                self.mem.write(d, &buf).map_err(|_| InterpError::MemOutOfRange(d))?;
+                self.mem
+                    .read(sa, &mut buf)
+                    .map_err(|_| InterpError::MemOutOfRange(sa))?;
+                self.mem
+                    .write(d, &buf)
+                    .map_err(|_| InterpError::MemOutOfRange(d))?;
             }
             Stmt::Prefetch { base, idx } => {
                 // Evaluate for effect parity; no architectural change.
@@ -309,16 +316,22 @@ impl Interp {
     fn store_elem(&mut self, addr: u64, elem: ElemTy, v: Value) -> Result<(), InterpError> {
         let merr = |_| InterpError::MemOutOfRange(addr);
         match elem {
-            ElemTy::I8 | ElemTy::U8 => {
-                self.mem.write_uint(addr, 1, v.as_i() as u64).map_err(merr)?
-            }
-            ElemTy::I16 | ElemTy::U16 => {
-                self.mem.write_uint(addr, 2, v.as_i() as u64).map_err(merr)?
-            }
-            ElemTy::I32 | ElemTy::U32 => {
-                self.mem.write_uint(addr, 4, v.as_i() as u64).map_err(merr)?
-            }
-            ElemTy::I64 => self.mem.write_uint(addr, 8, v.as_i() as u64).map_err(merr)?,
+            ElemTy::I8 | ElemTy::U8 => self
+                .mem
+                .write_uint(addr, 1, v.as_i() as u64)
+                .map_err(merr)?,
+            ElemTy::I16 | ElemTy::U16 => self
+                .mem
+                .write_uint(addr, 2, v.as_i() as u64)
+                .map_err(merr)?,
+            ElemTy::I32 | ElemTy::U32 => self
+                .mem
+                .write_uint(addr, 4, v.as_i() as u64)
+                .map_err(merr)?,
+            ElemTy::I64 => self
+                .mem
+                .write_uint(addr, 8, v.as_i() as u64)
+                .map_err(merr)?,
             ElemTy::F32 => self.mem.write_f32(addr, v.as_f()).map_err(merr)?,
             ElemTy::F64 => self.mem.write_f64(addr, v.as_f()).map_err(merr)?,
         }
@@ -404,15 +417,19 @@ impl Interp {
             HostFn::FsOpen => {
                 let ptr = int_arg(0) as u64;
                 let len = (int_arg(1) as usize).min(4096);
-                let mode = if int_arg(2) == 0 { FsMode::Read } else { FsMode::Write };
+                let mode = if int_arg(2) == 0 {
+                    FsMode::Read
+                } else {
+                    FsMode::Write
+                };
                 let mut buf = vec![0u8; len];
-                self.mem.read(ptr, &mut buf).map_err(|_| InterpError::MemOutOfRange(ptr))?;
+                self.mem
+                    .read(ptr, &mut buf)
+                    .map_err(|_| InterpError::MemOutOfRange(ptr))?;
                 let name = String::from_utf8_lossy(&buf).into_owned();
                 HostOutcome::Value(self.fs.open(&name, mode).unwrap_or(-1))
             }
-            HostFn::FsClose => {
-                HostOutcome::Value(if self.fs.close(int_arg(0)) { 0 } else { -1 })
-            }
+            HostFn::FsClose => HostOutcome::Value(if self.fs.close(int_arg(0)) { 0 } else { -1 }),
             HostFn::FsRead => {
                 let fd = int_arg(0);
                 let ptr = int_arg(1) as u64;
@@ -431,7 +448,9 @@ impl Interp {
                 let ptr = int_arg(1) as u64;
                 let len = int_arg(2) as usize;
                 let mut buf = vec![0u8; len];
-                self.mem.read(ptr, &mut buf).map_err(|_| InterpError::MemOutOfRange(ptr))?;
+                self.mem
+                    .read(ptr, &mut buf)
+                    .map_err(|_| InterpError::MemOutOfRange(ptr))?;
                 HostOutcome::Value(self.fs.write(fd, &buf))
             }
             HostFn::FsSize => HostOutcome::Value(self.fs.size(int_arg(0))),

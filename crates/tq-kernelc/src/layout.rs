@@ -39,7 +39,11 @@ impl GlobalLayout {
         let mut map = HashMap::new();
         let mut addr = GLOBALS_BASE;
         for g in &module.globals {
-            let slot = GlobalSlot { addr, elem: g.elem, len: g.len };
+            let slot = GlobalSlot {
+                addr,
+                elem: g.elem,
+                len: g.len,
+            };
             map.insert(g.name.clone(), slot);
             addr += (slot.size() + 7) & !7;
         }
@@ -118,7 +122,12 @@ mod tests {
         assert_eq!(f64::from_le_bytes(b[0..8].try_into().unwrap()), 1.0);
         assert_eq!(f64::from_le_bytes(b[8..16].try_into().unwrap()), -2.0);
 
-        let z = GlobalDef { name: "z".into(), elem: ElemTy::I64, len: 4, init: GlobalInit::Zero };
+        let z = GlobalDef {
+            name: "z".into(),
+            elem: ElemTy::I64,
+            len: 4,
+            init: GlobalInit::Zero,
+        };
         assert!(GlobalLayout::init_bytes(&z).is_none());
     }
 }

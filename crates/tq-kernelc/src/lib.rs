@@ -25,7 +25,9 @@ pub mod interp;
 pub mod layout;
 pub mod opt;
 
-pub use ast::{BinOp, ElemTy, Expr, Function, GlobalDef, GlobalInit, Module, Param, Stmt, Ty, UnOp};
+pub use ast::{
+    BinOp, ElemTy, Expr, Function, GlobalDef, GlobalInit, Module, Param, Stmt, Ty, UnOp,
+};
 pub use check::{check, CompileError};
 pub use codegen::{compile, Compiled};
 pub use interp::{CallOutcome, Interp, InterpError, Value};

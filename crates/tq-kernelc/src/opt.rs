@@ -70,7 +70,11 @@ pub fn fold_expr(e: Expr) -> Expr {
                 (BinOp::Shl | BinOp::Shr | BinOp::Sra, _, Expr::ConstI(0)) => return l,
                 _ => {}
             }
-            Expr::Bin { op, lhs: Box::new(l), rhs: Box::new(r) }
+            Expr::Bin {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
         }
         Expr::Un { op, e } => {
             let inner = fold_expr(*e);
@@ -90,7 +94,10 @@ pub fn fold_expr(e: Expr) -> Expr {
                     return from_value(v);
                 }
             }
-            Expr::Un { op, e: Box::new(inner) }
+            Expr::Un {
+                op,
+                e: Box::new(inner),
+            }
         }
         Expr::Load { base, elem, idx } => Expr::Load {
             base: Box::new(fold_expr(*base)),
@@ -121,9 +128,21 @@ enum Folded {
 
 fn fold_stmt(s: Stmt) -> Folded {
     Folded::Keep(match s {
-        Stmt::Let { var, ty, init } => Stmt::Let { var, ty, init: fold_expr(init) },
-        Stmt::Assign { var, e } => Stmt::Assign { var, e: fold_expr(e) },
-        Stmt::Store { base, elem, idx, val } => Stmt::Store {
+        Stmt::Let { var, ty, init } => Stmt::Let {
+            var,
+            ty,
+            init: fold_expr(init),
+        },
+        Stmt::Assign { var, e } => Stmt::Assign {
+            var,
+            e: fold_expr(e),
+        },
+        Stmt::Store {
+            base,
+            elem,
+            idx,
+            val,
+        } => Stmt::Store {
             base: fold_expr(base),
             elem,
             idx: fold_expr(idx),
@@ -136,14 +155,21 @@ fn fold_stmt(s: Stmt) -> Folded {
                 let taken = if c != 0 { then } else { els };
                 return Folded::Splice(fold_block(taken));
             }
-            Stmt::If { cond, then: fold_block(then), els: fold_block(els) }
+            Stmt::If {
+                cond,
+                then: fold_block(then),
+                els: fold_block(els),
+            }
         }
         Stmt::While { cond, body } => {
             let cond = fold_expr(cond);
             if matches!(cond, Expr::ConstI(0)) {
                 return Folded::Drop;
             }
-            Stmt::While { cond, body: fold_block(body) }
+            Stmt::While {
+                cond,
+                body: fold_block(body),
+            }
         }
         Stmt::For { var, lo, hi, body } => {
             let lo = fold_expr(lo);
@@ -152,10 +178,19 @@ fn fold_stmt(s: Stmt) -> Folded {
                 if a >= b {
                     // Zero-trip loop still defines its variable (the
                     // compiled form stores `lo` before the bound check).
-                    return Folded::Keep(Stmt::Let { var, ty: Ty::I64, init: lo });
+                    return Folded::Keep(Stmt::Let {
+                        var,
+                        ty: Ty::I64,
+                        init: lo,
+                    });
                 }
             }
-            Stmt::For { var, lo, hi, body: fold_block(body) }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                body: fold_block(body),
+            }
         }
         Stmt::Call { func, args, ret } => Stmt::Call {
             func,
@@ -172,9 +207,10 @@ fn fold_stmt(s: Stmt) -> Folded {
             src: fold_expr(src),
             bytes: fold_expr(bytes),
         },
-        Stmt::Prefetch { base, idx } => {
-            Stmt::Prefetch { base: fold_expr(base), idx: fold_expr(idx) }
-        }
+        Stmt::Prefetch { base, idx } => Stmt::Prefetch {
+            base: fold_expr(base),
+            idx: fold_expr(idx),
+        },
         Stmt::Return(e) => Stmt::Return(e.map(fold_expr)),
         Stmt::Break => Stmt::Break,
         Stmt::Continue => Stmt::Continue,
@@ -189,7 +225,11 @@ mod tests {
     #[test]
     fn folds_constant_arithmetic() {
         assert_eq!(fold_expr(add(ci(2), mul(ci(3), ci(4)))), ci(14));
-        assert_eq!(fold_expr(div(ci(7), ci(0))), ci(0), "÷0 folds to the runtime value");
+        assert_eq!(
+            fold_expr(div(ci(7), ci(0))),
+            ci(0),
+            "÷0 folds to the runtime value"
+        );
         assert_eq!(fold_expr(add(cf(1.5), cf(2.5))), cf(4.0));
         assert_eq!(fold_expr(f2i(cf(3.99))), ci(3));
         assert_eq!(fold_expr(neg(ci(i64::MIN))), ci(i64::MIN), "wrapping neg");
@@ -212,7 +252,11 @@ mod tests {
             let mut m = Module::new("t");
             m.func(Function::new("main").body(vec![
                 if_else(ci(1), vec![leti("a", ci(1))], vec![leti("a", ci(2))]),
-                if_else(eq(ci(3), ci(4)), vec![leti("b", ci(1))], vec![leti("b", ci(2))]),
+                if_else(
+                    eq(ci(3), ci(4)),
+                    vec![leti("b", ci(1))],
+                    vec![leti("b", ci(2))],
+                ),
                 while_(ci(0), vec![leti("dead", ci(9))]),
                 for_("i", ci(5), ci(5), vec![leti("dead2", ci(9))]),
             ]));
@@ -240,11 +284,16 @@ mod tests {
         m.global("buf", ElemTy::F64, 8, GlobalInit::Zero);
         m.func(Function::new("main").body(vec![
             leti("n", add(ci(4), ci(4))),
-            for_("i", ci(0), v("n"), vec![stf(
-                ga("buf"),
-                v("i"),
-                mul(i2f(v("i")), add(cf(1.0), cf(0.5))),
-            )]),
+            for_(
+                "i",
+                ci(0),
+                v("n"),
+                vec![stf(
+                    ga("buf"),
+                    v("i"),
+                    mul(i2f(v("i")), add(cf(1.0), cf(0.5))),
+                )],
+            ),
         ]));
         m
     }

@@ -75,10 +75,7 @@ fn duplicate_global_rejected() {
 fn void_callee_result_binding_rejected() {
     let mut m = Module::new("t");
     m.func(Function::new("void_fn"));
-    m.func(Function::new("main").body(vec![
-        leti("r", ci(0)),
-        call_ret("r", "void_fn", vec![]),
-    ]));
+    m.func(Function::new("main").body(vec![leti("r", ci(0)), call_ret("r", "void_fn", vec![])]));
     assert!(matches!(check(&m), Err(CompileError::TypeMismatch { .. })));
 }
 
@@ -112,7 +109,11 @@ fn compiled_error_messages_render() {
         CompileError::ExprTooDeep("f".into()).to_string(),
         CompileError::BreakOutsideLoop("f".into()).to_string(),
         CompileError::UnknownVar("f".into(), "x".into()).to_string(),
-        CompileError::LibraryCallsMain { lib: "l".into(), callee: "c".into() }.to_string(),
+        CompileError::LibraryCallsMain {
+            lib: "l".into(),
+            callee: "c".into(),
+        }
+        .to_string(),
     ];
     for m in msgs {
         assert!(!m.is_empty());

@@ -147,16 +147,30 @@ fn control_flow_loops_and_conditionals() {
         // Sum of odds below 100 via while.
         leti("i", ci(0)),
         leti("acc", ci(0)),
-        while_(lt(v("i"), ci(100)), vec![
-            if_(eq(rem(v("i"), ci(2)), ci(1)), vec![set("acc", add(v("acc"), v("i")))]),
-            set("i", add(v("i"), ci(1))),
-        ]),
+        while_(
+            lt(v("i"), ci(100)),
+            vec![
+                if_(
+                    eq(rem(v("i"), ci(2)), ci(1)),
+                    vec![set("acc", add(v("acc"), v("i")))],
+                ),
+                set("i", add(v("i"), ci(1))),
+            ],
+        ),
         sti(ga("out"), ci(0), v("acc")),
         // Nested fors.
         leti("s", ci(0)),
-        for_("a", ci(0), ci(10), vec![
-            for_("b", ci(0), v("a"), vec![set("s", add(v("s"), mul(v("a"), v("b"))))]),
-        ]),
+        for_(
+            "a",
+            ci(0),
+            ci(10),
+            vec![for_(
+                "b",
+                ci(0),
+                v("a"),
+                vec![set("s", add(v("s"), mul(v("a"), v("b"))))],
+            )],
+        ),
         sti(ga("out"), ci(1), v("s")),
         // If/else chain.
         leti("x", ci(7)),
@@ -200,7 +214,10 @@ fn functions_args_returns_recursion() {
             .param("j", Ty::I64)
             .param("y", Ty::F64)
             .returns(Ty::F64)
-            .body(vec![ret(add(mul(i2f(add(v("i"), v("j"))), v("x")), v("y")))]),
+            .body(vec![ret(add(
+                mul(i2f(add(v("i"), v("j"))), v("x")),
+                v("y"),
+            ))]),
     );
     m.func(Function::new("main").body(vec![
         leti("r", ci(0)),
@@ -217,7 +234,12 @@ fn functions_args_returns_recursion() {
 #[test]
 fn library_functions_link_across_images() {
     let mut m = Module::new("t");
-    m.global("buf", ElemTy::I64, 8, GlobalInit::I64s(vec![9, 8, 7, 6, 5, 4, 3, 2]));
+    m.global(
+        "buf",
+        ElemTy::I64,
+        8,
+        GlobalInit::I64s(vec![9, 8, 7, 6, 5, 4, 3, 2]),
+    );
     m.global("dst", ElemTy::I64, 8, GlobalInit::Zero);
     m.func(
         Function::new("lib_copy8")
@@ -225,13 +247,14 @@ fn library_functions_link_across_images() {
             .param("src", Ty::I64)
             .param("n", Ty::I64)
             .in_library()
-            .body(vec![for_("i", ci(0), v("n"), vec![
-                sti(v("dst"), v("i"), ldi(v("src"), v("i"))),
-            ])]),
+            .body(vec![for_(
+                "i",
+                ci(0),
+                v("n"),
+                vec![sti(v("dst"), v("i"), ldi(v("src"), v("i")))],
+            )]),
     );
-    m.func(Function::new("main").body(vec![
-        call("lib_copy8", vec![ga("dst"), ga("buf"), ci(8)]),
-    ]));
+    m.func(Function::new("main").body(vec![call("lib_copy8", vec![ga("dst"), ga("buf"), ci(8)])]));
     run_both(&m, &[]);
 
     // And the library routine must land in a non-main image.
@@ -244,21 +267,51 @@ fn library_functions_link_across_images() {
 #[test]
 fn host_file_io_roundtrip() {
     let mut m = Module::new("t");
-    m.global("path_in", ElemTy::U8, 6, GlobalInit::Bytes(b"in.dat".to_vec()));
-    m.global("path_out", ElemTy::U8, 7, GlobalInit::Bytes(b"out.dat".to_vec()));
+    m.global(
+        "path_in",
+        ElemTy::U8,
+        6,
+        GlobalInit::Bytes(b"in.dat".to_vec()),
+    );
+    m.global(
+        "path_out",
+        ElemTy::U8,
+        7,
+        GlobalInit::Bytes(b"out.dat".to_vec()),
+    );
     m.global("buf", ElemTy::U8, 64, GlobalInit::Zero);
     m.func(Function::new("main").body(vec![
         leti("fd", ci(0)),
-        host_ret("fd", tq_isa::HostFn::FsOpen, vec![ga("path_in"), ci(6), ci(0)]),
+        host_ret(
+            "fd",
+            tq_isa::HostFn::FsOpen,
+            vec![ga("path_in"), ci(6), ci(0)],
+        ),
         leti("n", ci(0)),
-        host_ret("n", tq_isa::HostFn::FsRead, vec![v("fd"), ga("buf"), ci(64)]),
+        host_ret(
+            "n",
+            tq_isa::HostFn::FsRead,
+            vec![v("fd"), ga("buf"), ci(64)],
+        ),
         host(tq_isa::HostFn::FsClose, vec![v("fd")]),
         // Transform: double every byte.
-        for_("i", ci(0), v("n"), vec![
-            store(ga("buf"), ElemTy::U8, v("i"), mul(load(ga("buf"), ElemTy::U8, v("i")), ci(2))),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            v("n"),
+            vec![store(
+                ga("buf"),
+                ElemTy::U8,
+                v("i"),
+                mul(load(ga("buf"), ElemTy::U8, v("i")), ci(2)),
+            )],
+        ),
         leti("fo", ci(0)),
-        host_ret("fo", tq_isa::HostFn::FsOpen, vec![ga("path_out"), ci(7), ci(1)]),
+        host_ret(
+            "fo",
+            tq_isa::HostFn::FsOpen,
+            vec![ga("path_out"), ci(7), ci(1)],
+        ),
         host(tq_isa::HostFn::FsWrite, vec![v("fo"), ga("buf"), v("n")]),
         host(tq_isa::HostFn::FsClose, vec![v("fo")]),
         host(tq_isa::HostFn::PrintI64, vec![v("n")]),
@@ -270,7 +323,11 @@ fn host_file_io_roundtrip() {
 #[test]
 fn main_return_value_becomes_exit_code() {
     let mut m = Module::new("t");
-    m.func(Function::new("main").returns(Ty::I64).body(vec![ret(ci(17))]));
+    m.func(
+        Function::new("main")
+            .returns(Ty::I64)
+            .body(vec![ret(ci(17))]),
+    );
     let (exit, _) = run_both(&m, &[]);
     assert_eq!(exit, 17);
 }
@@ -293,11 +350,16 @@ fn for_loop_body_can_modify_induction_var() {
     m.global("out", ElemTy::I64, 1, GlobalInit::Zero);
     m.func(Function::new("main").body(vec![
         leti("acc", ci(0)),
-        for_("i", ci(0), ci(10), vec![
-            set("acc", add(v("acc"), ci(1))),
-            // Skip ahead: i += 1 inside the body → loop runs 5 times.
-            set("i", add(v("i"), ci(1))),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            ci(10),
+            vec![
+                set("acc", add(v("acc"), ci(1))),
+                // Skip ahead: i += 1 inside the body → loop runs 5 times.
+                set("i", add(v("i"), ci(1))),
+            ],
+        ),
         sti(ga("out"), ci(0), v("acc")),
     ]));
     run_both(&m, &[]);
@@ -310,10 +372,15 @@ fn shadowing_free_scopes_share_one_slot() {
     m.global("out", ElemTy::I64, 1, GlobalInit::Zero);
     m.func(Function::new("main").body(vec![
         leti("acc", ci(0)),
-        for_("i", ci(0), ci(4), vec![
-            leti("x", mul(v("i"), ci(10))),
-            set("acc", add(v("acc"), v("x"))),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            ci(4),
+            vec![
+                leti("x", mul(v("i"), ci(10))),
+                set("acc", add(v("acc"), v("x"))),
+            ],
+        ),
         sti(ga("out"), ci(0), v("acc")),
     ]));
     run_both(&m, &[]);
@@ -334,7 +401,12 @@ fn i64_constants_beyond_32_bits() {
 #[test]
 fn memcpy_block_copies() {
     let mut m = Module::new("t");
-    m.global("src_buf", ElemTy::I64, 64, GlobalInit::I64s((0..64).map(|i| i * 17 - 3).collect()));
+    m.global(
+        "src_buf",
+        ElemTy::I64,
+        64,
+        GlobalInit::I64s((0..64).map(|i| i * 17 - 3).collect()),
+    );
     m.global("dst_buf", ElemTy::I64, 64, GlobalInit::Zero);
     m.global("out", ElemTy::I64, 2, GlobalInit::Zero);
     m.func(Function::new("main").body(vec![
@@ -358,47 +430,76 @@ fn break_and_continue() {
     m.func(Function::new("main").body(vec![
         // break in a for: sum 0..i until i == 5.
         leti("acc", ci(0)),
-        for_("i", ci(0), ci(100), vec![
-            if_(eq(v("i"), ci(5)), vec![brk()]),
-            set("acc", add(v("acc"), v("i"))),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            ci(100),
+            vec![
+                if_(eq(v("i"), ci(5)), vec![brk()]),
+                set("acc", add(v("acc"), v("i"))),
+            ],
+        ),
         sti(ga("out"), ci(0), v("acc")),
         sti(ga("out"), ci(1), v("i")), // loop variable after break (= 5)
         // continue in a for: sum of evens below 10.
         leti("ev", ci(0)),
-        for_("j", ci(0), ci(10), vec![
-            if_(eq(rem(v("j"), ci(2)), ci(1)), vec![cont()]),
-            set("ev", add(v("ev"), v("j"))),
-        ]),
+        for_(
+            "j",
+            ci(0),
+            ci(10),
+            vec![
+                if_(eq(rem(v("j"), ci(2)), ci(1)), vec![cont()]),
+                set("ev", add(v("ev"), v("j"))),
+            ],
+        ),
         sti(ga("out"), ci(2), v("ev")),
         // break in a while.
         leti("k", ci(0)),
-        while_(ci(1), vec![
-            set("k", add(v("k"), ci(1))),
-            if_(ge(v("k"), ci(7)), vec![brk()]),
-        ]),
+        while_(
+            ci(1),
+            vec![
+                set("k", add(v("k"), ci(1))),
+                if_(ge(v("k"), ci(7)), vec![brk()]),
+            ],
+        ),
         sti(ga("out"), ci(3), v("k")),
         // continue in a while (must still make progress before continuing).
         leti("n", ci(0)),
         leti("odd_sum", ci(0)),
-        while_(lt(v("n"), ci(10)), vec![
-            set("n", add(v("n"), ci(1))),
-            if_(eq(rem(v("n"), ci(2)), ci(0)), vec![cont()]),
-            set("odd_sum", add(v("odd_sum"), v("n"))),
-        ]),
+        while_(
+            lt(v("n"), ci(10)),
+            vec![
+                set("n", add(v("n"), ci(1))),
+                if_(eq(rem(v("n"), ci(2)), ci(0)), vec![cont()]),
+                set("odd_sum", add(v("odd_sum"), v("n"))),
+            ],
+        ),
         sti(ga("out"), ci(4), v("odd_sum")),
         // nested loops: break only exits the inner one.
         leti("pairs", ci(0)),
-        for_("a", ci(0), ci(4), vec![
-            for_("b", ci(0), ci(4), vec![
-                if_(gt(v("b"), v("a")), vec![brk()]),
-                set("pairs", add(v("pairs"), ci(1))),
-            ]),
-        ]),
+        for_(
+            "a",
+            ci(0),
+            ci(4),
+            vec![for_(
+                "b",
+                ci(0),
+                ci(4),
+                vec![
+                    if_(gt(v("b"), v("a")), vec![brk()]),
+                    set("pairs", add(v("pairs"), ci(1))),
+                ],
+            )],
+        ),
         sti(ga("out"), ci(5), v("pairs")),
         // continue at the last statement of a for body is a no-op.
         leti("c2", ci(0)),
-        for_("q", ci(0), ci(3), vec![set("c2", add(v("c2"), ci(1))), cont()]),
+        for_(
+            "q",
+            ci(0),
+            ci(3),
+            vec![set("c2", add(v("c2"), ci(1))), cont()],
+        ),
         sti(ga("out"), ci(6), v("c2")),
     ]));
     run_both(&m, &[]);

@@ -1,64 +1,88 @@
-//! Property-based differential testing: random expression trees and random
+//! Randomised differential testing: random expression trees and random
 //! straight-line programs must evaluate identically in the reference
 //! interpreter and on the VM.
+//!
+//! Formerly proptest-based; now deterministic sweeps driven by the vendored
+//! [`tq_isa::prng::Rng`] (zero external crates). `heavy-tests` multiplies
+//! the iteration counts.
 
-use proptest::prelude::*;
+use tq_isa::prng::Rng;
 use tq_kernelc::dsl::*;
 use tq_kernelc::{compile, ElemTy, Expr, Function, GlobalInit, Interp, Module};
 use tq_vm::Vm;
 
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 16
+    } else {
+        base
+    }
+}
+
 /// Random integer expression over variables `v0`, `v1`, `v2` (declared with
 /// fixed seeds by the harness). Depth-bounded so register pools suffice.
-fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(ci),
-        any::<i64>().prop_map(ci),
-        Just(v("v0")),
-        Just(v("v1")),
-        Just(v("v2")),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| mul(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| div(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| rem(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| band(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| bor(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| bxor(a, b)),
-            (inner.clone(), 0i64..64).prop_map(|(a, s)| shl(a, ci(s))),
-            (inner.clone(), 0i64..64).prop_map(|(a, s)| shr(a, ci(s))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| lt(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| le(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| eq(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| ne(a, b)),
-            inner.clone().prop_map(neg),
-        ]
-    })
+fn int_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.chance(0.3) {
+        return match rng.index(4) {
+            0 => ci(rng.i64_in(-1000, 1000)),
+            1 => ci(rng.next_u64() as i64),
+            2 => v("v0"),
+            _ => {
+                if rng.chance(0.5) {
+                    v("v1")
+                } else {
+                    v("v2")
+                }
+            }
+        };
+    }
+    let a = int_expr(rng, depth - 1);
+    match rng.index(15) {
+        0 => add(a, int_expr(rng, depth - 1)),
+        1 => sub(a, int_expr(rng, depth - 1)),
+        2 => mul(a, int_expr(rng, depth - 1)),
+        3 => div(a, int_expr(rng, depth - 1)),
+        4 => rem(a, int_expr(rng, depth - 1)),
+        5 => band(a, int_expr(rng, depth - 1)),
+        6 => bor(a, int_expr(rng, depth - 1)),
+        7 => bxor(a, int_expr(rng, depth - 1)),
+        8 => shl(a, ci(rng.i64_in(0, 63))),
+        9 => shr(a, ci(rng.i64_in(0, 63))),
+        10 => lt(a, int_expr(rng, depth - 1)),
+        11 => le(a, int_expr(rng, depth - 1)),
+        12 => eq(a, int_expr(rng, depth - 1)),
+        13 => ne(a, int_expr(rng, depth - 1)),
+        _ => neg(a),
+    }
 }
 
 /// Random float expression over `f0`, `f1` and literals.
-fn float_expr(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-100.0f64..100.0).prop_map(cf),
-        Just(cf(0.1)),
-        Just(cf(1.0)),
-        Just(v("f0")),
-        Just(v("f1")),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| mul(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| div(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| fmin(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| fmax(a, b)),
-            inner.clone().prop_map(neg),
-            inner.clone().prop_map(fabs),
-        ]
-    })
+fn float_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.chance(0.3) {
+        return match rng.index(4) {
+            0 => cf(rng.f64_in(-100.0, 100.0)),
+            1 => cf(0.1),
+            2 => v("f0"),
+            _ => {
+                if rng.chance(0.5) {
+                    cf(1.0)
+                } else {
+                    v("f1")
+                }
+            }
+        };
+    }
+    let a = float_expr(rng, depth - 1);
+    match rng.index(8) {
+        0 => add(a, float_expr(rng, depth - 1)),
+        1 => sub(a, float_expr(rng, depth - 1)),
+        2 => mul(a, float_expr(rng, depth - 1)),
+        3 => div(a, float_expr(rng, depth - 1)),
+        4 => fmin(a, float_expr(rng, depth - 1)),
+        5 => fmax(a, float_expr(rng, depth - 1)),
+        6 => neg(a),
+        _ => fabs(a),
+    }
 }
 
 fn run_both_and_compare(m: &Module) {
@@ -86,11 +110,13 @@ fn run_both_and_compare(m: &Module) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_int_expressions_agree(e in int_expr(4), s0 in any::<i64>(), s1 in any::<i64>(), s2 in -16i64..16) {
+#[test]
+fn random_int_expressions_agree() {
+    let mut rng = Rng::new(0x1207_5001);
+    for _ in 0..cases(128) {
+        let e = int_expr(&mut rng, 4);
+        let (s0, s1) = (rng.next_u64() as i64, rng.next_u64() as i64);
+        let s2 = rng.i64_in(-16, 15);
         let mut m = Module::new("p");
         m.global("out", ElemTy::I64, 1, GlobalInit::Zero);
         m.func(Function::new("main").body(vec![
@@ -101,9 +127,15 @@ proptest! {
         ]));
         run_both_and_compare(&m);
     }
+}
 
-    #[test]
-    fn random_float_expressions_agree(e in float_expr(4), s0 in -1.0e6f64..1.0e6, s1 in -1.0f64..1.0) {
+#[test]
+fn random_float_expressions_agree() {
+    let mut rng = Rng::new(0xF207_5002);
+    for _ in 0..cases(128) {
+        let e = float_expr(&mut rng, 4);
+        let s0 = rng.f64_in(-1.0e6, 1.0e6);
+        let s1 = rng.f64_in(-1.0, 1.0);
         let mut m = Module::new("p");
         m.global("out", ElemTy::F64, 1, GlobalInit::Zero);
         m.func(Function::new("main").body(vec![
@@ -113,26 +145,35 @@ proptest! {
         ]));
         run_both_and_compare(&m);
     }
+}
 
-    #[test]
-    fn random_array_programs_agree(
-        ops in prop::collection::vec((0u8..4, 0i64..16, 0i64..16, -100i64..100), 1..40),
-    ) {
+#[test]
+fn random_array_programs_agree() {
+    let mut rng = Rng::new(0xA22A_5003);
+    for _ in 0..cases(128) {
         // A random straight-line program of stores/loads/adds over a 16-slot
         // array, then a checksum loop.
         let mut body = vec![];
-        for (kind, i, j, k) in ops {
-            body.push(match kind {
+        for _ in 0..1 + rng.index(40) {
+            let (i, j, k) = (rng.i64_in(0, 15), rng.i64_in(0, 15), rng.i64_in(-100, 100));
+            body.push(match rng.index(4) {
                 0 => sti(ga("arr"), ci(i), ci(k)),
                 1 => sti(ga("arr"), ci(i), add(ldi(ga("arr"), ci(j)), ci(k))),
-                2 => sti(ga("arr"), ci(i), mul(ldi(ga("arr"), ci(j)), ldi(ga("arr"), ci(i)))),
+                2 => sti(
+                    ga("arr"),
+                    ci(i),
+                    mul(ldi(ga("arr"), ci(j)), ldi(ga("arr"), ci(i))),
+                ),
                 _ => sti(ga("arr"), ci(i), sub(ci(k), ldi(ga("arr"), ci(j)))),
             });
         }
         body.push(leti("sum", ci(0)));
-        body.push(for_("i", ci(0), ci(16), vec![
-            set("sum", add(v("sum"), ldi(ga("arr"), v("i")))),
-        ]));
+        body.push(for_(
+            "i",
+            ci(0),
+            ci(16),
+            vec![set("sum", add(v("sum"), ldi(ga("arr"), v("i"))))],
+        ));
         body.push(sti(ga("chk"), ci(0), v("sum")));
 
         let mut m = Module::new("p");
@@ -143,13 +184,16 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Constant folding preserves meaning: the folded module compiles and
-    /// runs to the same result as the original.
-    #[test]
-    fn folding_preserves_semantics(e in int_expr(4), fe in float_expr(4), s0 in any::<i64>(), s1 in -1.0e3f64..1.0e3) {
+/// Constant folding preserves meaning: the folded module compiles and runs
+/// to the same result as the original.
+#[test]
+fn folding_preserves_semantics() {
+    let mut rng = Rng::new(0xF01D_5004);
+    for _ in 0..cases(128) {
+        let e = int_expr(&mut rng, 4);
+        let fe = float_expr(&mut rng, 4);
+        let s0 = rng.next_u64() as i64;
+        let s1 = rng.f64_in(-1.0e3, 1.0e3);
         let mut m = Module::new("p");
         m.global("out", ElemTy::I64, 1, GlobalInit::Zero);
         m.global("fout", ElemTy::F64, 1, GlobalInit::Zero);
@@ -176,7 +220,7 @@ proptest! {
             tq_vm::ExitReason::Exited(c) => c,
             tq_vm::ExitReason::Halted => 0,
         };
-        prop_assert_eq!(vm_exit, ref_exit);
+        assert_eq!(vm_exit, ref_exit);
 
         for g in &m.globals {
             let slot = compiled.layout.get(&g.name).unwrap();
@@ -185,7 +229,7 @@ proptest! {
             vm.mem_read(slot.addr, &mut a).unwrap();
             let mut b = vec![0u8; size];
             interp.mem.read(slot.addr, &mut b).unwrap();
-            prop_assert_eq!(a, b, "global `{}` diverges after folding", &g.name);
+            assert_eq!(a, b, "global `{}` diverges after folding", &g.name);
         }
     }
 }

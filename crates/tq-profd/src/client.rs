@@ -1,0 +1,82 @@
+//! The line-oriented client used by `tq submit` and the tests.
+
+use crate::protocol::{JobSpec, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use tq_report::Json;
+
+/// A connected client. One request/response at a time; the connection
+/// stays open across requests.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running service.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Client {
+            writer: stream,
+            reader: BufReader::new(read_half),
+        })
+    }
+
+    /// Send one request, wait for its response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        let mut line = req.encode();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => Response::decode(&reply),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<Response, String> {
+        self.request(&Request::Ping)
+    }
+
+    /// Submit a job; on success returns `(profile, cached)`.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(Json, bool), String> {
+        let resp = self.request(&Request::Submit(spec))?;
+        if !resp.is_ok() {
+            return Err(resp.error().unwrap_or("unknown server error").to_string());
+        }
+        let cached = resp
+            .0
+            .get("cached")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let profile = resp
+            .0
+            .get("profile")
+            .cloned()
+            .ok_or("response missing `profile`")?;
+        Ok((profile, cached))
+    }
+
+    /// Fetch the service stats object.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        let resp = self.request(&Request::Stats)?;
+        if !resp.is_ok() {
+            return Err(resp.error().unwrap_or("unknown server error").to_string());
+        }
+        resp.0
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| "response missing `stats`".into())
+    }
+
+    /// Request a graceful shutdown.
+    pub fn shutdown(&mut self) -> Result<Response, String> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,272 @@
+//! Job execution: capture on a cold workload, replay for every tool.
+//!
+//! [`record_capture`] is the only function in the service that runs the VM
+//! interpreter; everything else is offline replay of the recorded event
+//! stream. [`run_tool`] dispatches a [`JobSpec`] over a capture and renders
+//! the resulting profile as canonical JSON — the object the server
+//! memoizes, so its key order must be deterministic (it is: `tq_report`'s
+//! `Json` objects keep insertion order, and every list below is emitted in
+//! a sorted or index order, never hash order).
+
+use crate::apps::Workload;
+use crate::protocol::{JobSpec, ToolId};
+use tq_gprof::{FlatProfile, GprofOptions, GprofTool};
+use tq_quad::{QuadOptions, QuadProfile, QuadTool};
+use tq_report::Json;
+use tq_tquad::{profile_json, LibPolicy, PhaseDetector, TquadOptions, TquadTool};
+use tq_trace::{Trace, TraceRecorder};
+
+/// Run the workload under the trace recorder — the one VM execution a
+/// content address ever needs. `fuel` bounds the run (a misbehaving
+/// workload must not wedge a worker forever).
+pub fn record_capture(workload: &Workload, fuel: Option<u64>) -> Result<Trace, String> {
+    let mut vm = workload.make_vm()?;
+    let h = vm.attach_tool(Box::new(TraceRecorder::new()));
+    vm.run(fuel)
+        .map_err(|e| format!("capture run failed: {e}"))?;
+    let rec = vm
+        .detach_tool::<TraceRecorder>(h)
+        .ok_or("trace recorder lost its handle")?;
+    Ok(rec.into_trace())
+}
+
+/// Replay `trace` under the job's tool and render the profile as canonical
+/// JSON. Pure function of `(spec, trace)` — the basis of result memoizing.
+pub fn run_tool(spec: &JobSpec, trace: &Trace) -> Result<Json, String> {
+    match spec.tool {
+        ToolId::Tquad => {
+            let profile = replay_tquad(spec, trace)?;
+            Ok(profile_json(&profile))
+        }
+        ToolId::Quad => {
+            let mut tool = QuadTool::new(QuadOptions {
+                include_stack: spec.stack.include(),
+                lib_policy: spec.lib_policy,
+            });
+            trace
+                .replay(&mut tool)
+                .map_err(|e| format!("replay failed: {e:?}"))?;
+            Ok(quad_json(&tool.into_profile()))
+        }
+        ToolId::Gprof => {
+            if spec.interval == 0 {
+                return Err("gprof requires a positive `interval`".into());
+            }
+            let mut tool = GprofTool::new(GprofOptions {
+                sample_interval: spec.interval,
+                track_libs: matches!(spec.lib_policy, LibPolicy::Track),
+                ..Default::default()
+            });
+            trace
+                .replay(&mut tool)
+                .map_err(|e| format!("replay failed: {e:?}"))?;
+            Ok(gprof_json(&tool.into_profile()))
+        }
+        ToolId::Phases => {
+            let profile = replay_tquad(spec, trace)?;
+            let detector = PhaseDetector {
+                include_stack: spec.stack.include(),
+                ..PhaseDetector::default()
+            };
+            let phases = detector.detect(&profile);
+            Ok(phases_json(&profile, &phases))
+        }
+    }
+}
+
+fn replay_tquad(spec: &JobSpec, trace: &Trace) -> Result<tq_tquad::TquadProfile, String> {
+    if spec.interval == 0 {
+        return Err(format!(
+            "{} requires a positive `interval`",
+            spec.tool.as_str()
+        ));
+    }
+    let mut tool = TquadTool::new(
+        TquadOptions::default()
+            .with_interval(spec.interval)
+            .with_lib_policy(spec.lib_policy),
+    );
+    trace
+        .replay(&mut tool)
+        .map_err(|e| format!("replay failed: {e:?}"))?;
+    Ok(tool.into_profile())
+}
+
+fn quad_json(p: &QuadProfile) -> Json {
+    let name_of = |rtn: tq_isa::RoutineId| {
+        p.rows
+            .get(rtn.idx())
+            .map(|r| r.name.as_str())
+            .unwrap_or("?")
+    };
+    let rows: Vec<Json> = p
+        .rows
+        .iter()
+        .filter(|r| r.in_bytes > 0 || r.out_bytes > 0 || r.checked_accesses > 0)
+        .map(|r| {
+            Json::obj([
+                ("rtn", Json::from(u64::from(r.rtn.0))),
+                ("name", Json::from(r.name.as_str())),
+                ("main_image", Json::from(r.main_image)),
+                ("in_bytes", Json::from(r.in_bytes)),
+                ("in_unma", Json::from(r.in_unma)),
+                ("out_bytes", Json::from(r.out_bytes)),
+                ("out_unma", Json::from(r.out_unma)),
+                ("checked_accesses", Json::from(r.checked_accesses)),
+                ("traced_accesses", Json::from(r.traced_accesses)),
+            ])
+        })
+        .collect();
+    // Bindings come out of a hash map: sort for a canonical rendering.
+    let mut bindings: Vec<_> = p.bindings.iter().collect();
+    bindings.sort_by_key(|b| (b.producer.0, b.consumer.0));
+    let bindings: Vec<Json> = bindings
+        .into_iter()
+        .map(|b| {
+            Json::obj([
+                ("producer", Json::from(name_of(b.producer))),
+                ("consumer", Json::from(name_of(b.consumer))),
+                ("bytes", Json::from(b.bytes)),
+                ("unma", Json::from(b.unma)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("include_stack", Json::from(p.include_stack)),
+        ("rows", Json::from(rows)),
+        ("bindings", Json::from(bindings)),
+    ])
+}
+
+fn gprof_json(p: &FlatProfile) -> Json {
+    let rows: Vec<Json> = p
+        .rows
+        .iter()
+        .filter(|r| r.self_samples > 0 || r.cum_samples > 0 || r.calls > 0)
+        .map(|r| {
+            Json::obj([
+                ("rtn", Json::from(u64::from(r.rtn.0))),
+                ("name", Json::from(r.name.as_str())),
+                ("self_samples", Json::from(r.self_samples)),
+                ("cum_samples", Json::from(r.cum_samples)),
+                ("calls", Json::from(r.calls)),
+            ])
+        })
+        .collect();
+    let mut edges: Vec<_> = p.edges.iter().collect();
+    edges.sort_by_key(|e| (e.caller.0, e.callee.0));
+    let edges: Vec<Json> = edges
+        .into_iter()
+        .map(|e| {
+            Json::obj([
+                ("caller", Json::from(e.caller_name.as_str())),
+                ("callee", Json::from(e.callee_name.as_str())),
+                ("count", Json::from(e.count)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("sample_interval", Json::from(p.sample_interval)),
+        ("total_samples", Json::from(p.total_samples)),
+        ("rows", Json::from(rows)),
+        ("edges", Json::from(edges)),
+    ])
+}
+
+fn phases_json(profile: &tq_tquad::TquadProfile, phases: &[tq_tquad::Phase]) -> Json {
+    let items: Vec<Json> = phases
+        .iter()
+        .map(|ph| {
+            let kernels: Vec<Json> = ph
+                .kernels
+                .iter()
+                .map(|&id| {
+                    Json::from(
+                        profile
+                            .kernels
+                            .get(id.idx())
+                            .map(|k| k.name.as_str())
+                            .unwrap_or("?"),
+                    )
+                })
+                .collect();
+            Json::obj([
+                ("start", Json::from(ph.span.0)),
+                ("end", Json::from(ph.span.1)),
+                ("slices", Json::from(ph.len())),
+                ("kernels", Json::from(kernels)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("interval", Json::from(profile.interval)),
+        ("n_slices", Json::from(profile.n_slices())),
+        ("n_phases", Json::from(items.len())),
+        ("phases", Json::from(items)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{AppId, Scale};
+    use crate::protocol::StackPolicy;
+
+    fn tiny_capture() -> (Workload, Trace) {
+        let w = Workload::build(AppId::Wfs, Scale::Tiny);
+        let t = record_capture(&w, None).expect("capture");
+        (w, t)
+    }
+
+    #[test]
+    fn every_tool_replays_and_renders() {
+        let (_, trace) = tiny_capture();
+        for tool in [ToolId::Tquad, ToolId::Quad, ToolId::Gprof, ToolId::Phases] {
+            let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, tool);
+            let json = run_tool(&spec, &trace).unwrap_or_else(|e| panic!("{tool:?}: {e}"));
+            let line = json.render();
+            assert!(!line.is_empty());
+            // Canonical: render ∘ parse ∘ render is the identity.
+            assert_eq!(Json::parse(&line).expect("reparse").render(), line);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_spec() {
+        let (_, trace) = tiny_capture();
+        let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Quad);
+        let a = run_tool(&spec, &trace).unwrap().render();
+        let b = run_tool(&spec, &trace).unwrap().render();
+        assert_eq!(a, b, "same spec, same capture, same bytes");
+    }
+
+    #[test]
+    fn variants_change_the_answer() {
+        let (_, trace) = tiny_capture();
+        let base = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Quad);
+        let with_stack = run_tool(&base, &trace).unwrap().render();
+        let without = run_tool(
+            &JobSpec {
+                stack: StackPolicy::Exclude,
+                ..base.clone()
+            },
+            &trace,
+        )
+        .unwrap()
+        .render();
+        assert_ne!(
+            with_stack, without,
+            "stack policy is visible in the profile"
+        );
+    }
+
+    #[test]
+    fn zero_interval_is_an_error_not_a_panic() {
+        let (_, trace) = tiny_capture();
+        let mut spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad);
+        spec.interval = 0;
+        assert!(run_tool(&spec, &trace).is_err());
+        spec.tool = ToolId::Gprof;
+        assert!(run_tool(&spec, &trace).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # tq-profd — a concurrent profiling service for the tQUAD reproduction
+//!
+//! The capture-once/replay-many architecture (`tq-trace`) makes every
+//! profiling question after the first a pure function of a recorded event
+//! stream. This crate turns that property into a long-running service:
+//! a TCP daemon (`tq serve`) accepts profiling jobs from any number of
+//! clients (`tq submit`), schedules them across a pool of replay workers,
+//! and answers from a **content-addressed capture cache**:
+//!
+//! * the first job for an `(app, scale)` pair runs the VM once, recording
+//!   a full `tq-trace` capture keyed by a digest of the program (text,
+//!   symbols, data) and its staged input — the *content address*;
+//! * every subsequent tool/interval/stack variant against the same
+//!   workload is served by offline replay of that capture, in parallel
+//!   across workers;
+//! * each distinct job's rendered result is memoized, so repeats are pure
+//!   cache hits returning **byte-identical** responses.
+//!
+//! Layering:
+//!
+//! * [`protocol`] — request/response model over JSON lines (codec shared
+//!   with `tq-report`'s hand-rolled [`tq_report::Json`]);
+//! * [`apps`] — workload construction (wfs / imgproc at each scale) and
+//!   content addressing;
+//! * [`cache`] — the two-tier capture store (LRU in-memory over a
+//!   persistent on-disk tier) with single-flight recording;
+//! * [`exec`] — job execution: capture or replay, tool dispatch, JSON
+//!   rendering;
+//! * [`stats`] — service observability (cache counters, per-tool latency
+//!   histograms);
+//! * [`server`] / [`client`] — the TCP daemon (bounded job queue, worker
+//!   pool, graceful shutdown, per-job timeout) and the line-oriented
+//!   client used by `tq submit`.
+
+pub mod apps;
+pub mod cache;
+pub mod client;
+pub mod exec;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use apps::{AppId, Scale, Workload};
+pub use cache::CaptureStore;
+pub use client::Client;
+pub use protocol::{JobSpec, Request, Response, StackPolicy, ToolId};
+pub use server::{Server, ServerConfig};
+pub use stats::ServiceStats;

@@ -1,0 +1,322 @@
+//! The wire protocol: JSON lines over TCP.
+//!
+//! One request per line, one response line back, connection stays open for
+//! further requests. The codec is the workspace's hand-rolled
+//! [`tq_report::Json`]; objects keep insertion order, so a response built
+//! twice from the same data is byte-identical — the property the capture
+//! cache's "warm responses equal cold responses" guarantee rests on.
+
+use crate::apps::{AppId, Scale};
+use tq_report::Json;
+use tq_tquad::LibPolicy;
+
+/// Which profiling tool a job runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ToolId {
+    /// tQUAD time-sliced bandwidth profile (full per-kernel series).
+    Tquad,
+    /// QUAD producer→consumer bindings and UnMA counts.
+    Quad,
+    /// Sampling flat profile.
+    Gprof,
+    /// Phase detection over a tQUAD profile.
+    Phases,
+}
+
+impl ToolId {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ToolId::Tquad => "tquad",
+            ToolId::Quad => "quad",
+            ToolId::Gprof => "gprof",
+            ToolId::Phases => "phases",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Result<ToolId, String> {
+        match s {
+            "tquad" => Ok(ToolId::Tquad),
+            "quad" => Ok(ToolId::Quad),
+            "gprof" => Ok(ToolId::Gprof),
+            "phases" => Ok(ToolId::Phases),
+            other => Err(format!("unknown tool `{other}` (tquad|quad|gprof|phases)")),
+        }
+    }
+
+    /// Default slice/sample interval when the job does not set one.
+    pub fn default_interval(self) -> u64 {
+        match self {
+            ToolId::Tquad => 20_000,
+            ToolId::Quad => 0, // interval-free
+            ToolId::Gprof => 5_000,
+            ToolId::Phases => 2_000,
+        }
+    }
+}
+
+/// Stack-accesses setting (the paper's include/exclude local stack option).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum StackPolicy {
+    /// Count stack-area accesses (paper default).
+    #[default]
+    Include,
+    /// Drop them.
+    Exclude,
+}
+
+impl StackPolicy {
+    /// True if stack accesses count.
+    pub fn include(self) -> bool {
+        matches!(self, StackPolicy::Include)
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            StackPolicy::Include => "include",
+            StackPolicy::Exclude => "exclude",
+        }
+    }
+
+    fn parse(s: &str) -> Result<StackPolicy, String> {
+        match s {
+            "include" => Ok(StackPolicy::Include),
+            "exclude" => Ok(StackPolicy::Exclude),
+            other => Err(format!("unknown stack policy `{other}` (include|exclude)")),
+        }
+    }
+}
+
+/// A profiling job: workload plus tool configuration. Doubles as the
+/// result-memo key (hash/eq over every field that affects the output).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct JobSpec {
+    /// Which application to profile.
+    pub app: AppId,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Which tool to run.
+    pub tool: ToolId,
+    /// Slice/sample interval in instructions (tool-dependent default).
+    pub interval: u64,
+    /// Stack-accesses policy.
+    pub stack: StackPolicy,
+    /// Library-routine policy.
+    pub lib_policy: LibPolicy,
+}
+
+impl JobSpec {
+    /// A job with tool defaults for everything but app/scale/tool.
+    pub fn new(app: AppId, scale: Scale, tool: ToolId) -> JobSpec {
+        JobSpec {
+            app,
+            scale,
+            tool,
+            interval: tool.default_interval(),
+            stack: StackPolicy::default(),
+            lib_policy: LibPolicy::AttributeToCaller,
+        }
+    }
+
+    fn libs_str(&self) -> &'static str {
+        match self.lib_policy {
+            LibPolicy::Track => "track",
+            LibPolicy::AttributeToCaller => "attribute",
+            LibPolicy::Drop => "drop",
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::from("submit")),
+            ("app", Json::from(self.app.as_str())),
+            ("scale", Json::from(self.scale.as_str())),
+            ("tool", Json::from(self.tool.as_str())),
+            ("interval", Json::from(self.interval)),
+            ("stack", Json::from(self.stack.as_str())),
+            ("libs", Json::from(self.libs_str())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let app = AppId::parse(v.get("app").and_then(Json::as_str).unwrap_or("wfs"))?;
+        let scale = Scale::parse(v.get("scale").and_then(Json::as_str).unwrap_or("tiny"))?;
+        let tool = ToolId::parse(
+            v.get("tool")
+                .and_then(Json::as_str)
+                .ok_or("submit requires `tool`")?,
+        )?;
+        let interval = match v.get("interval") {
+            Some(j) => j
+                .as_u64()
+                .ok_or("`interval` must be a non-negative integer")?,
+            None => tool.default_interval(),
+        };
+        let stack = StackPolicy::parse(v.get("stack").and_then(Json::as_str).unwrap_or("include"))?;
+        let lib_policy = match v.get("libs").and_then(Json::as_str).unwrap_or("attribute") {
+            "track" => LibPolicy::Track,
+            "attribute" => LibPolicy::AttributeToCaller,
+            "drop" => LibPolicy::Drop,
+            other => {
+                return Err(format!(
+                    "unknown lib policy `{other}` (track|attribute|drop)"
+                ))
+            }
+        };
+        Ok(JobSpec {
+            app,
+            scale,
+            tool,
+            interval,
+            stack,
+            lib_policy,
+        })
+    }
+}
+
+/// A client request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Run (or fetch) a profiling job.
+    Submit(JobSpec),
+    /// Service statistics snapshot.
+    Stats,
+    /// Graceful shutdown: drain the queue, stop workers, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => Json::obj([("type", Json::from("ping"))]).render(),
+            Request::Stats => Json::obj([("type", Json::from("stats"))]).render(),
+            Request::Shutdown => Json::obj([("type", Json::from("shutdown"))]).render(),
+            Request::Submit(spec) => spec.to_json().render(),
+        }
+    }
+
+    /// Decode one line.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+        match v.get("type").and_then(Json::as_str) {
+            Some("ping") => Ok(Request::Ping),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some("submit") => Ok(Request::Submit(JobSpec::from_json(&v)?)),
+            Some(other) => Err(format!("unknown request type `{other}`")),
+            None => Err("request missing `type`".into()),
+        }
+    }
+}
+
+/// A server response (already in JSON form; `ok`/`error` discipline is
+/// uniform across request kinds).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Response(pub Json);
+
+impl Response {
+    /// A successful response carrying extra fields.
+    pub fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Response {
+        let mut obj = Json::obj([("ok", Json::from(true))]);
+        for (k, v) in fields {
+            obj.set(k, v);
+        }
+        Response(obj)
+    }
+
+    /// An error response.
+    pub fn err(message: impl Into<String>) -> Response {
+        Response(Json::obj([
+            ("ok", Json::from(false)),
+            ("error", Json::from(message.into())),
+        ]))
+    }
+
+    /// Encode as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.0.render()
+    }
+
+    /// Decode one line.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        Json::parse(line.trim())
+            .map(Response)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.0.get("ok").and_then(Json::as_bool).unwrap_or(false)
+    }
+
+    /// The error message, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.0.get("error").and_then(Json::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Submit(JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad)),
+            Request::Submit(JobSpec {
+                interval: 123,
+                stack: StackPolicy::Exclude,
+                lib_policy: LibPolicy::Drop,
+                ..JobSpec::new(AppId::Img, Scale::Small, ToolId::Quad)
+            }),
+        ] {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one line per request");
+            assert_eq!(Request::decode(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn submit_defaults_fill_in() {
+        let req = Request::decode(r#"{"type":"submit","tool":"gprof"}"#).unwrap();
+        let Request::Submit(spec) = req else {
+            panic!("submit")
+        };
+        assert_eq!(spec.app, AppId::Wfs);
+        assert_eq!(spec.scale, Scale::Tiny);
+        assert_eq!(spec.interval, ToolId::Gprof.default_interval());
+        assert_eq!(spec.stack, StackPolicy::Include);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(Request::decode("").is_err());
+        assert!(Request::decode("{}").is_err());
+        assert!(Request::decode(r#"{"type":"nope"}"#).is_err());
+        assert!(
+            Request::decode(r#"{"type":"submit"}"#).is_err(),
+            "tool is required"
+        );
+        assert!(Request::decode(r#"{"type":"submit","tool":"tquad","interval":-4}"#).is_err());
+    }
+
+    #[test]
+    fn response_shapes() {
+        let ok = Response::ok([("cached", Json::from(true))]);
+        assert!(ok.is_ok());
+        assert_eq!(ok.error(), None);
+        let back = Response::decode(&ok.encode()).unwrap();
+        assert_eq!(back, ok);
+
+        let e = Response::err("boom");
+        assert!(!e.is_ok());
+        assert_eq!(e.error(), Some("boom"));
+    }
+}

@@ -1,0 +1,386 @@
+//! The TCP daemon: acceptor, bounded job queue, replay worker pool.
+//!
+//! One thread per client connection parses JSON-line requests; `submit`
+//! requests go through a bounded queue (backpressure: submitters block
+//! while the queue is full) to N worker threads. Workers answer in three
+//! tiers, cheapest first:
+//!
+//! 1. **result memo** — this exact [`JobSpec`] ran before: return the
+//!    memoized profile (byte-identical, no replay);
+//! 2. **capture cache** — the workload's capture exists (memory or disk):
+//!    replay it under the requested tool;
+//! 3. **cold** — run the VM once under the trace recorder (single-flight
+//!    per content address), then replay.
+//!
+//! Shutdown is graceful: the queue drains, workers exit, the acceptor is
+//! woken by a self-connection and joins.
+
+use crate::apps::{AppId, Scale, Workload};
+use crate::cache::{CaptureSource, CaptureStore};
+use crate::exec::{record_capture, run_tool};
+use crate::protocol::{JobSpec, Request, Response};
+use crate::stats::ServiceStats;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tq_report::Json;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Replay worker threads.
+    pub workers: usize,
+    /// State directory for the persistent capture tier (`None` = memory
+    /// only).
+    pub state_dir: Option<PathBuf>,
+    /// In-memory capture budget in bytes.
+    pub cache_bytes: u64,
+    /// Bounded job-queue depth; submitters block when it is full.
+    pub queue_depth: usize,
+    /// Per-job reply timeout. The job keeps running and still populates
+    /// the caches; only the waiting client gets an error.
+    pub job_timeout: Duration,
+    /// Instruction budget for capture runs (`None` = unbounded).
+    pub capture_fuel: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7471".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            state_dir: None,
+            cache_bytes: 256 << 20,
+            queue_depth: 64,
+            job_timeout: Duration::from_secs(600),
+            capture_fuel: None,
+        }
+    }
+}
+
+/// One queued job: the spec plus where to send the answer. The reply is
+/// the rendered-deterministic profile and whether it was a memo hit.
+struct Job {
+    spec: JobSpec,
+    reply: mpsc::Sender<Result<(Json, bool), String>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    config: ServerConfig,
+    started: Instant,
+    store: CaptureStore,
+    stats: Mutex<ServiceStats>,
+    /// `(app, scale)` → content address, so warm jobs skip rebuilding the
+    /// workload entirely.
+    digests: Mutex<HashMap<(AppId, Scale), String>>,
+    /// JobSpec → rendered profile (tier 1).
+    results: Mutex<HashMap<JobSpec, Arc<Json>>>,
+    queue: Mutex<Queue>,
+    /// Signalled when a job arrives or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when a job is taken (backpressure release).
+    not_full: Condvar,
+    shutdown: AtomicBool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    /// Enqueue a job, blocking while the queue is full. Fails once
+    /// shutdown has begun.
+    fn push(&self, job: Job) -> Result<(), String> {
+        let mut q = lock(&self.queue);
+        while q.jobs.len() >= self.config.queue_depth && !q.closed {
+            q = self.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if q.closed {
+            return Err("server is shutting down".into());
+        }
+        q.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next job; `None` means the queue closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut q = lock(&self.queue);
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close_queue(&self) {
+        lock(&self.queue).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// The content address for `(app, scale)`, building the workload at
+    /// most once per pair per process.
+    fn digest_for(&self, app: AppId, scale: Scale) -> (String, Option<Workload>) {
+        if let Some(d) = lock(&self.digests).get(&(app, scale)) {
+            return (d.clone(), None);
+        }
+        let w = Workload::build(app, scale);
+        let d = w.digest();
+        lock(&self.digests).insert((app, scale), d.clone());
+        (d, Some(w))
+    }
+
+    /// Execute one job through the three answer tiers.
+    fn execute(&self, spec: &JobSpec) -> Result<(Json, bool), String> {
+        let t0 = Instant::now();
+        if let Some(hit) = lock(&self.results).get(spec) {
+            let json = (**hit).clone();
+            let mut st = lock(&self.stats);
+            st.result_hits += 1;
+            st.jobs_completed += 1;
+            st.record_latency(spec.tool, t0.elapsed().as_micros() as u64);
+            return Ok((json, true));
+        }
+
+        let (digest, mut prebuilt) = self.digest_for(spec.app, spec.scale);
+        let fuel = self.config.capture_fuel;
+        let (trace, source) = self.store.get_or_record(&digest, || {
+            let w = prebuilt
+                .take()
+                .unwrap_or_else(|| Workload::build(spec.app, spec.scale));
+            record_capture(&w, fuel)
+        })?;
+        {
+            let mut st = lock(&self.stats);
+            match source {
+                CaptureSource::Memory => st.capture_mem_hits += 1,
+                CaptureSource::Disk => st.capture_disk_hits += 1,
+                CaptureSource::Recorded => st.vm_runs += 1,
+            }
+        }
+
+        let json = run_tool(spec, &trace)?;
+        lock(&self.results).insert(spec.clone(), Arc::new(json.clone()));
+        let mut st = lock(&self.stats);
+        st.jobs_completed += 1;
+        st.bytes_replayed += trace.events.len() as u64;
+        st.events_replayed += trace.n_events;
+        st.record_latency(spec.tool, t0.elapsed().as_micros() as u64);
+        Ok((json, false))
+    }
+
+    fn stats_json(&self) -> Json {
+        let uptime = self.started.elapsed().as_micros() as u64;
+        let mut j = lock(&self.stats).to_json(uptime);
+        j.set("workers", Json::from(self.config.workers as u64));
+        j.set("queue_depth", Json::from(self.config.queue_depth as u64));
+        j.set(
+            "captures_in_memory",
+            Json::from(self.store.mem_entries() as u64),
+        );
+        j.set(
+            "capture_bytes_in_memory",
+            Json::from(self.store.mem_bytes()),
+        );
+        j
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.pop() {
+        let result = shared.execute(&job.spec);
+        if result.is_err() {
+            lock(&shared.stats).jobs_failed += 1;
+        }
+        // A submitter that timed out dropped its receiver; the work is
+        // done and cached either way.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Response, bool) {
+    match req {
+        Request::Ping => (Response::ok([("pong", Json::from(true))]), false),
+        Request::Stats => (Response::ok([("stats", shared.stats_json())]), false),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.close_queue();
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(addr);
+            (Response::ok([("stopping", Json::from(true))]), true)
+        }
+        Request::Submit(spec) => {
+            lock(&shared.stats).jobs_submitted += 1;
+            let (tx, rx) = mpsc::channel();
+            if let Err(e) = shared.push(Job { spec, reply: tx }) {
+                lock(&shared.stats).jobs_failed += 1;
+                return (Response::err(e), false);
+            }
+            match rx.recv_timeout(shared.config.job_timeout) {
+                Ok(Ok((profile, cached))) => (
+                    Response::ok([("cached", Json::from(cached)), ("profile", profile)]),
+                    false,
+                ),
+                Ok(Err(e)) => (Response::err(e), false),
+                Err(_) => (
+                    Response::err(format!(
+                        "job timed out after {:?} (it continues and will warm the cache)",
+                        shared.config.job_timeout
+                    )),
+                    false,
+                ),
+            }
+        }
+    }
+}
+
+fn connection_loop(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = match Request::decode(&line) {
+            Ok(req) => handle_request(&shared, addr, req),
+            Err(e) => (Response::err(format!("bad request: {e}")), false),
+        };
+        let mut out = response.encode();
+        out.push('\n');
+        if writer
+            .write_all(out.as_bytes())
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+/// A running profiling service.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start: acceptor plus `config.workers` replay workers.
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let workers_n = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            store: CaptureStore::new(config.state_dir.clone(), config.cache_bytes),
+            config,
+            started: Instant::now(),
+            stats: Mutex::new(ServiceStats::default()),
+            digests: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+            queue: Mutex::new(Queue::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = (0..workers_n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tq-profd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tq-profd-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let _ = std::thread::Builder::new()
+                            .name("tq-profd-conn".into())
+                            .spawn(move || connection_loop(shared, addr, stream));
+                    }
+                })
+                .map_err(|e| e.to_string())?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a shutdown request has been accepted.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Ask the server to stop (same path as a client `shutdown` request).
+    pub fn request_stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.close_queue();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the acceptor and all workers have exited (after a
+    /// shutdown request drained the queue).
+    pub fn join(self) -> Result<(), String> {
+        self.acceptor
+            .join()
+            .map_err(|_| "acceptor panicked".to_string())?;
+        for w in self.workers {
+            w.join().map_err(|_| "worker panicked".to_string())?;
+        }
+        Ok(())
+    }
+}

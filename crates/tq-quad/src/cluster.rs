@@ -30,7 +30,10 @@ pub struct ClusterOptions {
 
 impl Default for ClusterOptions {
     fn default() -> Self {
-        ClusterOptions { max_cluster_size: 8, min_edge_bytes: 1 }
+        ClusterOptions {
+            max_cluster_size: 8,
+            min_edge_bytes: 1,
+        }
     }
 }
 
@@ -70,7 +73,9 @@ impl Clustering {
 
     /// The cluster containing `kernel`, if any.
     pub fn cluster_of(&self, kernel: RoutineId) -> Option<usize> {
-        self.clusters.iter().position(|c| c.kernels.contains(&kernel))
+        self.clusters
+            .iter()
+            .position(|c| c.kernels.contains(&kernel))
     }
 }
 
@@ -160,7 +165,10 @@ pub fn cluster_by_communication(profile: &QuadProfile, opts: ClusterOptions) -> 
         });
     }
     out.sort_by_key(|c| std::cmp::Reverse(c.internal_bytes));
-    Clustering { clusters: out, cut_bytes: cut }
+    Clustering {
+        clusters: out,
+        cut_bytes: cut,
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +218,13 @@ mod tests {
             ],
             5,
         );
-        let c = cluster_by_communication(&p, ClusterOptions { max_cluster_size: 3, ..Default::default() });
+        let c = cluster_by_communication(
+            &p,
+            ClusterOptions {
+                max_cluster_size: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(c.clusters.len(), 2);
         assert_eq!(c.cut_bytes, 10);
         assert!(c.internal_fraction() > 0.99);
@@ -221,11 +235,20 @@ mod tests {
     #[test]
     fn size_bound_is_respected() {
         let p = profile(&[(0, 1, 10), (1, 2, 10), (2, 3, 10), (3, 0, 10)], 4);
-        let c = cluster_by_communication(&p, ClusterOptions { max_cluster_size: 2, ..Default::default() });
+        let c = cluster_by_communication(
+            &p,
+            ClusterOptions {
+                max_cluster_size: 2,
+                ..Default::default()
+            },
+        );
         for cl in &c.clusters {
             assert!(cl.kernels.len() <= 2);
         }
-        assert!(c.cut_bytes > 0, "a bounded clustering must cut something here");
+        assert!(
+            c.cut_bytes > 0,
+            "a bounded clustering must cut something here"
+        );
     }
 
     #[test]
@@ -249,10 +272,16 @@ mod tests {
         let p = profile(&[(0, 1, 5), (2, 3, 5000)], 4);
         let c = cluster_by_communication(
             &p,
-            ClusterOptions { min_edge_bytes: 100, ..Default::default() },
+            ClusterOptions {
+                min_edge_bytes: 100,
+                ..Default::default()
+            },
         );
         // Only the heavy pair merges; the light pair stays split.
-        assert_eq!(c.clusters.iter().filter(|cl| cl.kernels.len() == 2).count(), 1);
+        assert_eq!(
+            c.clusters.iter().filter(|cl| cl.kernels.len() == 2).count(),
+            1
+        );
         assert_eq!(c.cut_bytes, 5);
     }
 }

@@ -9,17 +9,21 @@ use tq_report::{n, Align, Digraph, Table};
 /// Panics if the two profiles disagree on their stack setting (they must be
 /// one excluded, one included run).
 pub fn table2(excl: &QuadProfile, incl: &QuadProfile) -> Table {
-    assert!(!excl.include_stack && incl.include_stack, "pass (excluded, included) profiles");
-    let mut t = Table::new("Data produced/consumed by the kernels (stack excluded | stack included)")
-        .col("kernel", Align::Left)
-        .col("IN", Align::Right)
-        .col("IN UnMA", Align::Right)
-        .col("OUT", Align::Right)
-        .col("OUT UnMA", Align::Right)
-        .col("IN (incl)", Align::Right)
-        .col("IN UnMA (incl)", Align::Right)
-        .col("OUT (incl)", Align::Right)
-        .col("OUT UnMA (incl)", Align::Right);
+    assert!(
+        !excl.include_stack && incl.include_stack,
+        "pass (excluded, included) profiles"
+    );
+    let mut t =
+        Table::new("Data produced/consumed by the kernels (stack excluded | stack included)")
+            .col("kernel", Align::Left)
+            .col("IN", Align::Right)
+            .col("IN UnMA", Align::Right)
+            .col("OUT", Align::Right)
+            .col("OUT UnMA", Align::Right)
+            .col("IN (incl)", Align::Right)
+            .col("IN UnMA (incl)", Align::Right)
+            .col("OUT (incl)", Align::Right)
+            .col("OUT UnMA (incl)", Align::Right);
 
     let mut names: Vec<&str> = incl
         .rows
@@ -59,7 +63,11 @@ pub fn qdu_graph(profile: &QuadProfile, min_bytes: u64) -> Digraph {
         let c = &profile.rows[b.consumer.idx()].name;
         g.node(p.clone(), p.clone());
         g.node(c.clone(), c.clone());
-        g.edge(p.clone(), c.clone(), format!("{} B / {} UnMA", b.bytes, b.unma));
+        g.edge(
+            p.clone(),
+            c.clone(),
+            format!("{} B / {} UnMA", b.bytes, b.unma),
+        );
     }
     g
 }

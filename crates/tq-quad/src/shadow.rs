@@ -121,7 +121,10 @@ mod tests {
         s.write(10, 2, 5);
         let mut seen = Vec::new();
         s.for_each_writer(8, 6, |a, w| seen.push((a, w)));
-        assert_eq!(seen, vec![(8, 0), (9, 0), (10, 5), (11, 5), (12, 0), (13, 0)]);
+        assert_eq!(
+            seen,
+            vec![(8, 0), (9, 0), (10, 5), (11, 5), (12, 0), (13, 0)]
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct QuadOptions {
 
 impl Default for QuadOptions {
     fn default() -> Self {
-        QuadOptions { include_stack: true, lib_policy: LibPolicy::AttributeToCaller }
+        QuadOptions {
+            include_stack: true,
+            lib_policy: LibPolicy::AttributeToCaller,
+        }
     }
 }
 
@@ -130,7 +133,11 @@ impl QuadTool {
                 unma: b.unma.len(),
             })
             .collect();
-        QuadProfile { include_stack: self.opts.include_stack, rows, bindings }
+        QuadProfile {
+            include_stack: self.opts.include_stack,
+            rows,
+            bindings,
+        }
     }
 }
 
@@ -171,7 +178,14 @@ impl Tool for QuadTool {
 
     fn on_event(&mut self, ev: &Event) {
         match *ev {
-            Event::MemRead { ea, size, sp, is_prefetch, rtn, .. } => {
+            Event::MemRead {
+                ea,
+                size,
+                sp,
+                is_prefetch,
+                rtn,
+                ..
+            } => {
                 if is_prefetch {
                     return;
                 }
@@ -209,7 +223,9 @@ impl Tool for QuadTool {
                     }
                 });
             }
-            Event::MemWrite { ea, size, sp, rtn, .. } => {
+            Event::MemWrite {
+                ea, size, sp, rtn, ..
+            } => {
                 if self.opts.lib_policy == LibPolicy::Drop
                     && rtn != RoutineId::INVALID
                     && !self.tracked[rtn.idx()]
@@ -229,10 +245,9 @@ impl Tool for QuadTool {
                 self.kernels[ki].out_unma.insert_range(ea, size);
                 self.shadow.write(ea, size, k + 1);
             }
-            Event::RoutineEnter { rtn, sp, .. }
-                if self.tracked[rtn.idx()] => {
-                    self.stack.enter(rtn, sp);
-                }
+            Event::RoutineEnter { rtn, sp, .. } if self.tracked[rtn.idx()] => {
+                self.stack.enter(rtn, sp);
+            }
             Event::Ret { rtn, .. } => {
                 self.stack.ret_in(rtn);
             }
@@ -353,11 +368,20 @@ mod tests {
     }
 
     fn enter(t: &mut QuadTool, rtn: u32, sp: u64) {
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(rtn), sp, icount: 0 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(rtn),
+            sp,
+            icount: 0,
+        });
     }
 
     fn ret(t: &mut QuadTool, rtn: u32) {
-        t.on_event(&Event::Ret { ip: 0, return_to: 0, icount: 0, rtn: RoutineId(rtn) });
+        t.on_event(&Event::Ret {
+            ip: 0,
+            return_to: 0,
+            icount: 0,
+            rtn: RoutineId(rtn),
+        });
     }
 
     fn write(t: &mut QuadTool, rtn: u32, ea: u64, size: u32) {
@@ -442,7 +466,10 @@ mod tests {
 
     #[test]
     fn stack_exclusion_filters_but_still_counts_checks() {
-        let mut t = QuadTool::new(QuadOptions { include_stack: false, ..Default::default() });
+        let mut t = QuadTool::new(QuadOptions {
+            include_stack: false,
+            ..Default::default()
+        });
         t.on_attach(&info());
         enter(&mut t, 0, 0x3FFF_FF00);
         // Stack write (ea above sp): filtered from IN/OUT but checked.

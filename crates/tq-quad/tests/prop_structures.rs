@@ -1,68 +1,83 @@
-//! Property-based tests of QUAD's substrate structures against reference
+//! Randomised tests of QUAD's substrate structures against reference
 //! models: AddressSet vs `HashSet<u64>`, ShadowMemory vs `HashMap<u64,u32>`.
+//!
+//! Formerly proptest-based; now deterministic sweeps driven by the vendored
+//! [`tq_isa::prng::Rng`] (zero external crates). `heavy-tests` multiplies
+//! the iteration counts.
 
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
+use tq_isa::prng::Rng;
 use tq_quad::{AddressSet, ShadowMemory};
 
-fn addr() -> impl Strategy<Value = u64> {
-    prop_oneof![
-        0u64..256,
-        4080u64..4120, // page straddles
-        0x1000_0000u64..0x1000_0100,
-    ]
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 16
+    } else {
+        base
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn addr(rng: &mut Rng) -> u64 {
+    match rng.index(3) {
+        0 => rng.u64_in(0, 255),
+        1 => rng.u64_in(4080, 4119), // page straddles
+        _ => rng.u64_in(0x1000_0000, 0x1000_00FF),
+    }
+}
 
-    #[test]
-    fn address_set_matches_hashset(
-        singles in prop::collection::vec(addr(), 0..200),
-        ranges in prop::collection::vec((addr(), 0u32..16), 0..60),
-    ) {
+#[test]
+fn address_set_matches_hashset() {
+    let mut rng = Rng::new(0xADD2_E550);
+    for _ in 0..cases(256) {
         let mut ours = AddressSet::new();
         let mut reference: HashSet<u64> = HashSet::new();
-        for a in singles {
-            prop_assert_eq!(ours.insert(a), reference.insert(a));
+        for _ in 0..rng.index(200) {
+            let a = addr(&mut rng);
+            assert_eq!(ours.insert(a), reference.insert(a), "insert {a:#x}");
         }
-        for (a, len) in ranges {
+        for _ in 0..rng.index(60) {
+            let a = addr(&mut rng);
+            let len = rng.next_u32() % 16;
             ours.insert_range(a, len);
             for x in a..a + len as u64 {
                 reference.insert(x);
             }
         }
-        prop_assert_eq!(ours.len(), reference.len() as u64);
+        assert_eq!(ours.len(), reference.len() as u64);
         // Membership spot checks around the hot ranges.
         for probe in (0..256).chain(4070..4130) {
-            prop_assert_eq!(ours.contains(probe), reference.contains(&probe));
+            assert_eq!(ours.contains(probe), reference.contains(&probe));
         }
     }
+}
 
-    #[test]
-    fn shadow_memory_matches_map(
-        writes in prop::collection::vec((addr(), 1u32..16, 1u32..8), 1..100),
-    ) {
+#[test]
+fn shadow_memory_matches_map() {
+    let mut rng = Rng::new(0x5AD0_3333);
+    for _ in 0..cases(256) {
         let mut shadow = ShadowMemory::new();
         let mut reference: HashMap<u64, u32> = HashMap::new();
-        for (a, len, writer) in writes {
+        for _ in 0..1 + rng.index(100) {
+            let a = addr(&mut rng);
+            let len = 1 + rng.next_u32() % 15;
+            let writer = 1 + rng.next_u32() % 7;
             shadow.write(a, len, writer);
             for x in a..a + len as u64 {
                 reference.insert(x, writer);
             }
         }
         for probe in (0..300).chain(4060..4140).chain(0x1000_0000..0x1000_0110) {
-            prop_assert_eq!(
+            assert_eq!(
                 shadow.writer_at(probe),
                 reference.get(&probe).copied().unwrap_or(0),
-                "byte {:#x}", probe
+                "byte {probe:#x}"
             );
         }
         // for_each_writer agrees with writer_at over a straddling window.
         let mut seen = Vec::new();
         shadow.for_each_writer(4080, 48, |a, w| seen.push((a, w)));
         for (a, w) in seen {
-            prop_assert_eq!(w, reference.get(&a).copied().unwrap_or(0));
+            assert_eq!(w, reference.get(&a).copied().unwrap_or(0));
         }
     }
 }

@@ -43,7 +43,10 @@ impl SeriesChart {
 
     /// Add a lane.
     pub fn series(&mut self, label: impl Into<String>, values: Vec<f64>) {
-        self.series.push(Series { label: label.into(), values });
+        self.series.push(Series {
+            label: label.into(),
+            values,
+        });
     }
 
     /// Downsample `values` to `width` buckets by taking each bucket's peak
@@ -109,7 +112,10 @@ impl SeriesChart {
                 };
                 line.push(LEVELS[idx]);
             }
-            line.push_str(&format!("| peak {:.4}", s.values.iter().copied().fold(0.0f64, f64::max)));
+            line.push_str(&format!(
+                "| peak {:.4}",
+                s.values.iter().copied().fold(0.0f64, f64::max)
+            ));
             out.push_str(&line);
             out.push('\n');
         }

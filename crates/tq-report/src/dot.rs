@@ -15,7 +15,10 @@ pub struct Digraph {
 impl Digraph {
     /// New graph.
     pub fn new(name: impl Into<String>) -> Self {
-        Digraph { name: name.into(), ..Default::default() }
+        Digraph {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declare a node with a display label.

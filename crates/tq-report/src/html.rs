@@ -47,7 +47,10 @@ impl SvgChart {
 
     /// Add a lane (one value per time slice).
     pub fn lane(&mut self, label: impl Into<String>, values: Vec<f64>) {
-        self.lanes.push(Lane { label: label.into(), values });
+        self.lanes.push(Lane {
+            label: label.into(),
+            values,
+        });
     }
 
     /// Render the `<svg>` element.
@@ -107,17 +110,16 @@ impl SvgChart {
             let mut d = format!("M {x} {y}", x = LABEL_W, y = base);
             for px in 0..plot_w {
                 let lo = px as usize * n / plot_w as usize;
-                let hi = (((px + 1) as usize * n) / plot_w as usize).max(lo + 1).min(n);
+                let hi = (((px + 1) as usize * n) / plot_w as usize)
+                    .max(lo + 1)
+                    .min(n);
                 let peak = lane.values[lo..hi].iter().copied().fold(0.0f64, f64::max);
                 let y = base as f64 - (peak / global_max) * self.lane_height as f64;
                 write!(d, " L {x} {y:.1}", x = LABEL_W + px).expect("write to String");
             }
             write!(d, " L {x} {y} Z", x = LABEL_W + plot_w - 1, y = base).expect("write");
-            write!(
-                svg,
-                r##"<path d="{d}" fill="#4878a8" stroke="none"/>"##
-            )
-            .expect("write to String");
+            write!(svg, r##"<path d="{d}" fill="#4878a8" stroke="none"/>"##)
+                .expect("write to String");
 
             let peak = lane.values.iter().copied().fold(0.0f64, f64::max);
             write!(
@@ -143,7 +145,10 @@ pub struct HtmlReport {
 impl HtmlReport {
     /// New report.
     pub fn new(title: impl Into<String>) -> Self {
-        HtmlReport { title: title.into(), body: String::new() }
+        HtmlReport {
+            title: title.into(),
+            body: String::new(),
+        }
     }
 
     /// Add a section heading.

@@ -8,10 +8,12 @@
 pub mod chart;
 pub mod dot;
 pub mod html;
+pub mod json;
 pub mod stats;
 pub mod table;
 
 pub use chart::{Series, SeriesChart};
-pub use html::{HtmlReport, SvgChart};
 pub use dot::Digraph;
+pub use html::{HtmlReport, SvgChart};
+pub use json::{Json, JsonError};
 pub use table::{f, n, Align, Table};

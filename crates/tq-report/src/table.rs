@@ -21,7 +21,11 @@ pub struct Table {
 impl Table {
     /// New table with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        Table { title: title.into(), columns: Vec::new(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Add a column.

@@ -26,6 +26,6 @@ pub use callstack::CallStack;
 pub use options::{LibPolicy, TquadOptions};
 pub use phase::{Phase, PhaseDetector, PhaseStrategy};
 pub use profile::{ActivityInterval, BandwidthStats, KernelProfile, TquadProfile};
-pub use report::{figure_chart, phase_table, Measure};
+pub use report::{figure_chart, phase_table, profile_json, Measure};
 pub use series::{KernelSeries, SliceEntry};
 pub use tool::TquadTool;

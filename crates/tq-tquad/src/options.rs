@@ -4,7 +4,7 @@
 
 /// How library (non-main-image) routines are handled — the paper's option
 /// "to exclude them from the internal call stack".
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum LibPolicy {
     /// Track library routines like any kernel (they appear in reports).
     Track,
@@ -29,7 +29,10 @@ pub struct TquadOptions {
 
 impl Default for TquadOptions {
     fn default() -> Self {
-        TquadOptions { slice_interval: 100_000, lib_policy: LibPolicy::AttributeToCaller }
+        TquadOptions {
+            slice_interval: 100_000,
+            lib_policy: LibPolicy::AttributeToCaller,
+        }
     }
 }
 

@@ -20,7 +20,6 @@
 //!   a very short time and then becomes silent until the 14663th").
 
 use crate::profile::TquadProfile;
-use serde::{Deserialize, Serialize};
 use tq_isa::RoutineId;
 
 /// Clustering strategy for phase detection.
@@ -61,7 +60,10 @@ pub struct PhaseDetector {
 impl Default for PhaseDetector {
     fn default() -> Self {
         PhaseDetector {
-            strategy: PhaseStrategy::ActivityCosine { buckets: 1024, threshold: 0.5 },
+            strategy: PhaseStrategy::ActivityCosine {
+                buckets: 1024,
+                threshold: 0.5,
+            },
             trim_quantile: 0.01,
             include_stack: true,
             max_span_fraction: 0.95,
@@ -70,7 +72,7 @@ impl Default for PhaseDetector {
 }
 
 /// One detected phase.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Phase {
     /// Earliest starting and latest ending slice over the member kernels
     /// (the paper's "phase span").
@@ -141,7 +143,12 @@ impl PhaseDetector {
                 }
                 PhaseStrategy::IntervalOverlap { .. } => Vec::new(),
             };
-            items.push(Item { rtn: k.rtn, interval, vector, weight: 1 });
+            items.push(Item {
+                rtn: k.rtn,
+                interval,
+                vector,
+                weight: 1,
+            });
         }
         if items.is_empty() {
             return Vec::new();
@@ -180,9 +187,20 @@ impl PhaseDetector {
                     .map(|&i| (items[i].interval.0, items[i].rtn))
                     .collect();
                 ks.sort();
-                let start = members.iter().map(|&i| items[i].interval.0).min().expect("non-empty");
-                let end = members.iter().map(|&i| items[i].interval.1).max().expect("non-empty");
-                Phase { span: (start, end), kernels: ks.into_iter().map(|(_, r)| r).collect() }
+                let start = members
+                    .iter()
+                    .map(|&i| items[i].interval.0)
+                    .min()
+                    .expect("non-empty");
+                let end = members
+                    .iter()
+                    .map(|&i| items[i].interval.1)
+                    .max()
+                    .expect("non-empty");
+                Phase {
+                    span: (start, end),
+                    kernels: ks.into_iter().map(|(_, r)| r).collect(),
+                }
             })
             .collect();
         phases.sort_by_key(|p| p.span);
@@ -260,8 +278,16 @@ fn cosine(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn union_interval(members: &[usize], items: &[Item]) -> (u64, u64) {
-    let start = members.iter().map(|&i| items[i].interval.0).min().expect("non-empty");
-    let end = members.iter().map(|&i| items[i].interval.1).max().expect("non-empty");
+    let start = members
+        .iter()
+        .map(|&i| items[i].interval.0)
+        .min()
+        .expect("non-empty");
+    let end = members
+        .iter()
+        .map(|&i| items[i].interval.1)
+        .max()
+        .expect("non-empty");
     (start, end)
 }
 
@@ -270,7 +296,11 @@ fn union_interval(members: &[usize], items: &[Item]) -> (u64, u64) {
 fn overlap_coefficient(a: (u64, u64), b: (u64, u64)) -> f64 {
     let inter_lo = a.0.max(b.0);
     let inter_hi = a.1.min(b.1);
-    let inter = if inter_hi >= inter_lo { inter_hi - inter_lo + 1 } else { 0 };
+    let inter = if inter_hi >= inter_lo {
+        inter_hi - inter_lo + 1
+    } else {
+        0
+    };
     let min_len = (a.1 - a.0 + 1).min(b.1 - b.0 + 1);
     inter as f64 / min_len as f64
 }
@@ -278,7 +308,11 @@ fn overlap_coefficient(a: (u64, u64), b: (u64, u64)) -> f64 {
 fn iou(a: (u64, u64), b: (u64, u64)) -> f64 {
     let inter_lo = a.0.max(b.0);
     let inter_hi = a.1.min(b.1);
-    let inter = if inter_hi >= inter_lo { inter_hi - inter_lo + 1 } else { 0 };
+    let inter = if inter_hi >= inter_lo {
+        inter_hi - inter_lo + 1
+    } else {
+        0
+    };
     let union = a.1.max(b.1) - a.0.min(b.0) + 1;
     inter as f64 / union as f64
 }
@@ -344,7 +378,11 @@ mod tests {
             assert_eq!(phases[0].kernels.len(), 2);
             assert_eq!(phases[2].kernels.len(), 3);
             let (lo, hi) = phases[3].span;
-            assert!((510..=520).contains(&lo) && hi >= 985, "save span ~(510,1000): {:?}", (lo, hi));
+            assert!(
+                (510..=520).contains(&lo) && hi >= 985,
+                "save span ~(510,1000): {:?}",
+                (lo, hi)
+            );
         }
     }
 
@@ -391,7 +429,10 @@ mod tests {
 
     #[test]
     fn phase_span_pct() {
-        let ph = Phase { span: (10, 19), kernels: vec![] };
+        let ph = Phase {
+            span: (10, 19),
+            kernels: vec![],
+        };
         assert_eq!(ph.len(), 10);
         assert!((ph.span_pct(100) - 10.0).abs() < 1e-12);
     }
@@ -400,7 +441,11 @@ mod tests {
     fn iou_and_cosine_helpers() {
         assert!((iou((0, 9), (5, 14)) - 5.0 / 15.0).abs() < 1e-12);
         assert_eq!(iou((0, 4), (10, 14)), 0.0);
-        assert_eq!(overlap_coefficient((100, 200), (0, 1000)), 1.0, "containment");
+        assert_eq!(
+            overlap_coefficient((100, 200), (0, 1000)),
+            1.0,
+            "containment"
+        );
         assert_eq!(overlap_coefficient((0, 4), (10, 14)), 0.0);
         assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
         assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);

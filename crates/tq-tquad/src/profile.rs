@@ -2,11 +2,10 @@
 //! bandwidth statistics of Table IV.
 
 use crate::series::KernelSeries;
-use serde::{Deserialize, Serialize};
 use tq_isa::RoutineId;
 
 /// Measurements for one kernel.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KernelProfile {
     /// Routine id.
     pub rtn: RoutineId,
@@ -22,7 +21,7 @@ pub struct KernelProfile {
 
 /// Derived bandwidth statistics for one kernel under one stack filter — one
 /// row of Table IV.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BandwidthStats {
     /// Number of slices in which the kernel accessed memory ("activity
     /// span" in Table IV).
@@ -40,7 +39,7 @@ pub struct BandwidthStats {
 }
 
 /// The complete result of a tQUAD run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TquadProfile {
     /// Slice interval in instructions.
     pub interval: u64,
@@ -88,7 +87,10 @@ impl TquadProfile {
         if active == 0 {
             return None;
         }
-        let (first, last) = kernel.series.span(include_stack).expect("active kernel has a span");
+        let (first, last) = kernel
+            .series
+            .span(include_stack)
+            .expect("active kernel has a span");
         let (r, w) = kernel.series.totals(include_stack);
         let denom = (active * self.interval) as f64;
         Some(BandwidthStats {
@@ -180,7 +182,7 @@ mod tests {
 }
 
 /// A contiguous run of active slices.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ActivityInterval {
     /// First slice of the interval.
     pub start: u64,
@@ -214,7 +216,11 @@ impl TquadProfile {
                     last.end = e.slice;
                     last.bytes += total;
                 }
-                _ => out.push(ActivityInterval { start: e.slice, end: e.slice, bytes: total }),
+                _ => out.push(ActivityInterval {
+                    start: e.slice,
+                    end: e.slice,
+                    bytes: total,
+                }),
             }
         }
         out
@@ -245,9 +251,21 @@ impl TquadProfile {
         Some(BandwidthStats {
             // Span counts are interval-dependent; report the finest pass's
             // (largest count), like the paper's per-pass tables.
-            activity_span: per_pass.iter().map(|s| s.activity_span).max().expect("non-empty"),
-            first_slice: per_pass.iter().map(|s| s.first_slice).min().expect("non-empty"),
-            last_slice: per_pass.iter().map(|s| s.last_slice).max().expect("non-empty"),
+            activity_span: per_pass
+                .iter()
+                .map(|s| s.activity_span)
+                .max()
+                .expect("non-empty"),
+            first_slice: per_pass
+                .iter()
+                .map(|s| s.first_slice)
+                .min()
+                .expect("non-empty"),
+            last_slice: per_pass
+                .iter()
+                .map(|s| s.last_slice)
+                .max()
+                .expect("non-empty"),
             avg_read_bpi: per_pass.iter().map(|s| s.avg_read_bpi).sum::<f64>() / n,
             avg_write_bpi: per_pass.iter().map(|s| s.avg_write_bpi).sum::<f64>() / n,
             max_total_bpi: per_pass.iter().map(|s| s.max_total_bpi).sum::<f64>() / n,
@@ -292,14 +310,37 @@ mod interval_tests {
         assert_eq!(
             strict,
             vec![
-                ActivityInterval { start: 0, end: 1, bytes: 16 },
-                ActivityInterval { start: 5, end: 6, bytes: 16 },
-                ActivityInterval { start: 20, end: 20, bytes: 8 },
+                ActivityInterval {
+                    start: 0,
+                    end: 1,
+                    bytes: 16
+                },
+                ActivityInterval {
+                    start: 5,
+                    end: 6,
+                    bytes: 16
+                },
+                ActivityInterval {
+                    start: 20,
+                    end: 20,
+                    bytes: 8
+                },
             ]
         );
         let loose = p.activity_intervals(k, true, 3);
-        assert_eq!(loose.len(), 2, "gap of 3 merges the first two runs: {loose:?}");
-        assert_eq!(loose[0], ActivityInterval { start: 0, end: 6, bytes: 32 });
+        assert_eq!(
+            loose.len(),
+            2,
+            "gap of 3 merges the first two runs: {loose:?}"
+        );
+        assert_eq!(
+            loose[0],
+            ActivityInterval {
+                start: 0,
+                end: 6,
+                bytes: 32
+            }
+        );
     }
 
     #[test]

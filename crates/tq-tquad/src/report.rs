@@ -3,7 +3,7 @@
 
 use crate::phase::Phase;
 use crate::profile::TquadProfile;
-use tq_report::{f, Align, SeriesChart, Table};
+use tq_report::{f, Align, Json, SeriesChart, Table};
 
 /// Which bandwidth measure a figure plots.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,22 +69,35 @@ pub fn phase_table(profile: &TquadProfile, phases: &[Phase]) -> Table {
             let excl = profile.stats(k, false);
             let first_row = ki == 0;
             t.row(vec![
-                if first_row { format!("phase-{}", pi + 1) } else { String::new() },
+                if first_row {
+                    format!("phase-{}", pi + 1)
+                } else {
+                    String::new()
+                },
                 if first_row {
                     format!("{}-{}", phase.span.0, phase.span.1)
                 } else {
                     String::new()
                 },
-                if first_row { f(phase.span_pct(total), 4) } else { String::new() },
+                if first_row {
+                    f(phase.span_pct(total), 4)
+                } else {
+                    String::new()
+                },
                 k.name.clone(),
-                incl.map(|s| s.activity_span.to_string()).unwrap_or_default(),
+                incl.map(|s| s.activity_span.to_string())
+                    .unwrap_or_default(),
                 incl.map(|s| f(s.avg_read_bpi, 4)).unwrap_or_default(),
                 excl.map(|s| f(s.avg_read_bpi, 4)).unwrap_or_default(),
                 incl.map(|s| f(s.avg_write_bpi, 4)).unwrap_or_default(),
                 excl.map(|s| f(s.avg_write_bpi, 4)).unwrap_or_default(),
                 incl.map(|s| f(s.max_total_bpi, 4)).unwrap_or_default(),
                 excl.map(|s| f(s.max_total_bpi, 4)).unwrap_or_default(),
-                if first_row { f(aggregate, 4) } else { String::new() },
+                if first_row {
+                    f(aggregate, 4)
+                } else {
+                    String::new()
+                },
             ]);
         }
     }
@@ -101,7 +114,9 @@ pub fn figure_chart(
     width: usize,
     max_slices: Option<u64>,
 ) -> SeriesChart {
-    let n = max_slices.unwrap_or_else(|| profile.n_slices()).min(profile.n_slices());
+    let n = max_slices
+        .unwrap_or_else(|| profile.n_slices())
+        .min(profile.n_slices());
     let mut chart = SeriesChart::new(
         format!(
             "Memory bandwidth usage (bytes/instruction), {}; slice = {} instructions, showing {} of {} slices",
@@ -113,7 +128,9 @@ pub fn figure_chart(
         width,
     );
     for name in kernel_names {
-        let Some(k) = profile.kernel(name) else { continue };
+        let Some(k) = profile.kernel(name) else {
+            continue;
+        };
         let interval = profile.interval as f64;
         let values = k.series.dense(n, |e| match measure {
             Measure::ReadIncl => e.r_incl,
@@ -124,6 +141,48 @@ pub fn figure_chart(
         chart.series(*name, values.into_iter().map(|v| v / interval).collect());
     }
     chart
+}
+
+/// Machine-readable form of a full profile (per-kernel sparse slice
+/// series included). Key order is fixed and kernels appear in routine
+/// order, so the canonical rendering of the result is deterministic —
+/// `repro_table4` saves it, and the `tq-profd` cache relies on it for
+/// byte-identical replies.
+pub fn profile_json(profile: &TquadProfile) -> Json {
+    let kernels: Vec<Json> = profile
+        .kernels
+        .iter()
+        .map(|k| {
+            let entries: Vec<Json> = k
+                .series
+                .entries()
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("slice", Json::from(e.slice)),
+                        ("r_incl", Json::from(e.r_incl)),
+                        ("r_excl", Json::from(e.r_excl)),
+                        ("w_incl", Json::from(e.w_incl)),
+                        ("w_excl", Json::from(e.w_excl)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("rtn", Json::from(k.rtn.0)),
+                ("name", Json::from(k.name.as_str())),
+                ("main_image", Json::from(k.main_image)),
+                ("calls", Json::from(k.calls)),
+                ("series", Json::from(entries)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("interval", Json::from(profile.interval)),
+        ("total_icount", Json::from(profile.total_icount)),
+        ("dropped_accesses", Json::from(profile.dropped_accesses)),
+        ("prefetches_ignored", Json::from(profile.prefetches_ignored)),
+        ("kernels", Json::from(kernels)),
+    ])
 }
 
 #[cfg(test)]
@@ -167,8 +226,14 @@ mod tests {
     fn phase_table_renders_rows_per_kernel() {
         let p = sample_profile();
         let phases = vec![
-            Phase { span: (0, 1), kernels: vec![RoutineId(0)] },
-            Phase { span: (2, 2), kernels: vec![RoutineId(1)] },
+            Phase {
+                span: (0, 1),
+                kernels: vec![RoutineId(0)],
+            },
+            Phase {
+                span: (2, 2),
+                kernels: vec![RoutineId(1)],
+            },
         ];
         let t = phase_table(&p, &phases);
         assert_eq!(t.len(), 2);
@@ -203,5 +268,21 @@ mod tests {
         let p = sample_profile();
         let c = figure_chart(&p, &["nope"], Measure::WriteExcl, 16, None);
         assert_eq!(c.render().lines().count(), 1, "title only");
+    }
+
+    #[test]
+    fn profile_json_is_deterministic_and_complete() {
+        let p = sample_profile();
+        let a = profile_json(&p).render();
+        let b = profile_json(&p).render();
+        assert_eq!(a, b, "canonical rendering is stable");
+        let v = Json::parse(&a).unwrap();
+        assert_eq!(v.get("interval").unwrap().as_u64(), Some(100));
+        let kernels = v.get("kernels").unwrap().as_arr().unwrap();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].get("name").unwrap().as_str(), Some("alpha"));
+        let entries = kernels[0].get("series").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get("r_incl").unwrap().as_u64(), Some(100));
     }
 }

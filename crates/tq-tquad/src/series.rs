@@ -7,10 +7,8 @@
 //! the stack-included and stack-excluded views the paper obtains from
 //! separate runs.
 
-use serde::{Deserialize, Serialize};
-
 /// Traffic of one kernel in one time slice.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SliceEntry {
     /// Slice index (`icount / interval`).
     pub slice: u64,
@@ -53,7 +51,7 @@ impl SliceEntry {
 }
 
 /// The sparse slice series of one kernel.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct KernelSeries {
     entries: Vec<SliceEntry>,
 }
@@ -75,7 +73,10 @@ impl KernelSeries {
                     self.entries.last().is_none_or(|e| e.slice < slice),
                     "slices must be recorded in order"
                 );
-                self.entries.push(SliceEntry { slice, ..Default::default() });
+                self.entries.push(SliceEntry {
+                    slice,
+                    ..Default::default()
+                });
                 self.entries.last_mut().expect("just pushed")
             }
         };

@@ -98,7 +98,15 @@ impl TquadTool {
     }
 
     #[inline]
-    fn record(&mut self, static_rtn: RoutineId, icount: u64, is_read: bool, size: u32, ea: u64, sp: u64) {
+    fn record(
+        &mut self,
+        static_rtn: RoutineId,
+        icount: u64,
+        is_read: bool,
+        size: u32,
+        ea: u64,
+        sp: u64,
+    ) {
         // Under the Drop policy, traffic executed inside untracked routines
         // vanishes from the report entirely.
         if self.opts.lib_policy == LibPolicy::Drop
@@ -159,7 +167,15 @@ impl Tool for TquadTool {
 
     fn on_event(&mut self, ev: &Event) {
         match *ev {
-            Event::MemRead { ea, size, sp, is_prefetch, icount, rtn, .. } => {
+            Event::MemRead {
+                ea,
+                size,
+                sp,
+                is_prefetch,
+                icount,
+                rtn,
+                ..
+            } => {
                 self.max_icount = icount;
                 if is_prefetch {
                     // "The corresponding analysis routines return
@@ -169,7 +185,14 @@ impl Tool for TquadTool {
                 }
                 self.record(rtn, icount, true, size, ea, sp);
             }
-            Event::MemWrite { ea, size, sp, icount, rtn, .. } => {
+            Event::MemWrite {
+                ea,
+                size,
+                sp,
+                icount,
+                rtn,
+                ..
+            } => {
                 self.max_icount = icount;
                 self.record(rtn, icount, false, size, ea, sp);
             }
@@ -242,7 +265,11 @@ mod tests {
     fn slices_and_stack_classification() {
         let mut t = TquadTool::new(TquadOptions::default().with_interval(100));
         t.on_attach(&info2());
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 0x3FFF_FF00,
+            icount: 1,
+        });
         t.on_event(&read_ev(0x1000_0000, 5, RoutineId(0))); // global, slice 0
         t.on_event(&read_ev(0x3FFF_F800, 150, RoutineId(0))); // stack, slice 1
         let p = t.into_profile();
@@ -258,7 +285,11 @@ mod tests {
     fn prefetches_are_ignored() {
         let mut t = TquadTool::new(TquadOptions::default());
         t.on_attach(&info2());
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 0x3FFF_FF00,
+            icount: 1,
+        });
         t.on_event(&Event::MemRead {
             ip: 0x10008,
             ea: 0x1000_0000,
@@ -281,12 +312,24 @@ mod tests {
                 .with_lib_policy(LibPolicy::AttributeToCaller),
         );
         t.on_attach(&info2());
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 0x3FFF_FF00,
+            icount: 1,
+        });
         // Library routine entered: no frame. Its read attributes to main.
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(1), sp: 0x3FFF_FE00, icount: 10 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(1),
+            sp: 0x3FFF_FE00,
+            icount: 10,
+        });
         t.on_event(&read_ev(0x1000_0000, 11, RoutineId(1)));
         let p = t.into_profile();
-        assert_eq!(p.kernels[0].series.totals(true).0, 8, "attributed to caller");
+        assert_eq!(
+            p.kernels[0].series.totals(true).0,
+            8,
+            "attributed to caller"
+        );
         assert_eq!(p.kernels[1].series.totals(true).0, 0);
         assert_eq!(p.kernels[1].calls, 0, "untracked routines count no calls");
     }
@@ -294,11 +337,21 @@ mod tests {
     #[test]
     fn lib_drop_policy() {
         let mut t = TquadTool::new(
-            TquadOptions::default().with_interval(100).with_lib_policy(LibPolicy::Drop),
+            TquadOptions::default()
+                .with_interval(100)
+                .with_lib_policy(LibPolicy::Drop),
         );
         t.on_attach(&info2());
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 });
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(1), sp: 0x3FFF_FE00, icount: 10 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 0x3FFF_FF00,
+            icount: 1,
+        });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(1),
+            sp: 0x3FFF_FE00,
+            icount: 10,
+        });
         t.on_event(&read_ev(0x1000_0000, 11, RoutineId(1)));
         let p = t.into_profile();
         assert_eq!(p.kernels[0].series.totals(true).0, 0);
@@ -309,11 +362,21 @@ mod tests {
     #[test]
     fn lib_track_policy() {
         let mut t = TquadTool::new(
-            TquadOptions::default().with_interval(100).with_lib_policy(LibPolicy::Track),
+            TquadOptions::default()
+                .with_interval(100)
+                .with_lib_policy(LibPolicy::Track),
         );
         t.on_attach(&info2());
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 });
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(1), sp: 0x3FFF_FE00, icount: 10 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 0x3FFF_FF00,
+            icount: 1,
+        });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(1),
+            sp: 0x3FFF_FE00,
+            icount: 10,
+        });
         t.on_event(&read_ev(0x1000_0000, 11, RoutineId(1)));
         let p = t.into_profile();
         assert_eq!(p.kernels[1].series.totals(true).0, 8);
@@ -324,10 +387,23 @@ mod tests {
     fn ret_pops_back_to_caller() {
         let mut t = TquadTool::new(TquadOptions::default().with_interval(100));
         t.on_attach(&info2());
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 0x3FFF_FF00,
+            icount: 1,
+        });
         // main calls itself (recursion-like second frame).
-        t.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FE00, icount: 5 });
-        t.on_event(&Event::Ret { ip: 0x10020, return_to: 0x10008, icount: 9, rtn: RoutineId(0) });
+        t.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 0x3FFF_FE00,
+            icount: 5,
+        });
+        t.on_event(&Event::Ret {
+            ip: 0x10020,
+            return_to: 0x10008,
+            icount: 9,
+            rtn: RoutineId(0),
+        });
         assert_eq!(t.stack.depth(), 1);
         t.on_event(&read_ev(0x1000_0000, 12, RoutineId(0)));
         let p = t.into_profile();

@@ -15,12 +15,16 @@
 //! pointer is the most recent event's, an approximation documented on
 //! [`Trace::replay`].
 
+pub mod digest;
 pub mod varint;
 
 use std::io::{Read, Write};
+use std::path::Path;
 use tq_isa::RoutineId;
 use tq_vm::{standard_mask, Event, HookMask, InsContext, ProgramInfo, RoutineMeta, Tool};
 use varint::{read_i64, read_u64, write_i64, write_u64};
+
+pub use digest::{digest_program, Digest128};
 
 const MAGIC: &[u8; 8] = b"TQTRACE1";
 
@@ -62,7 +66,12 @@ pub struct TraceRecorder {
 impl TraceRecorder {
     /// New recorder.
     pub fn new() -> Self {
-        TraceRecorder { info: None, buf: Vec::new(), state: DeltaState::default(), n_events: 0 }
+        TraceRecorder {
+            info: None,
+            buf: Vec::new(),
+            state: DeltaState::default(),
+            n_events: 0,
+        }
     }
 
     /// Consume into the finished trace. Panics if the recorder was never
@@ -105,7 +114,15 @@ impl Tool for TraceRecorder {
 
     fn on_event(&mut self, ev: &Event) {
         match *ev {
-            Event::MemRead { ip, ea, size, sp, is_prefetch, icount, rtn } => {
+            Event::MemRead {
+                ip,
+                ea,
+                size,
+                sp,
+                is_prefetch,
+                icount,
+                rtn,
+            } => {
                 self.head(K_MEM_READ, icount);
                 write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
                 self.state.ip = ip;
@@ -116,7 +133,14 @@ impl Tool for TraceRecorder {
                 self.state.sp = sp;
                 write_u64(&mut self.buf, ((rtn.0 as u64) << 1) | is_prefetch as u64);
             }
-            Event::MemWrite { ip, ea, size, sp, icount, rtn } => {
+            Event::MemWrite {
+                ip,
+                ea,
+                size,
+                sp,
+                icount,
+                rtn,
+            } => {
                 self.head(K_MEM_WRITE, icount);
                 write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
                 self.state.ip = ip;
@@ -127,14 +151,24 @@ impl Tool for TraceRecorder {
                 self.state.sp = sp;
                 write_u64(&mut self.buf, rtn.0 as u64);
             }
-            Event::Call { ip, callee, icount, rtn } => {
+            Event::Call {
+                ip,
+                callee,
+                icount,
+                rtn,
+            } => {
                 self.head(K_CALL, icount);
                 write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
                 self.state.ip = ip;
                 write_u64(&mut self.buf, callee.0 as u64);
                 write_u64(&mut self.buf, rtn.0 as u64);
             }
-            Event::Ret { ip, return_to, icount, rtn } => {
+            Event::Ret {
+                ip,
+                return_to,
+                icount,
+                rtn,
+            } => {
                 self.head(K_RET, icount);
                 write_i64(&mut self.buf, ip as i64 - self.state.ip as i64);
                 self.state.ip = ip;
@@ -215,7 +249,11 @@ impl Trace {
             st.icount = icount;
 
             while next_tick <= icount {
-                tool.on_event(&Event::Tick { icount: next_tick, ip: st.ip, rtn: last_rtn });
+                tool.on_event(&Event::Tick {
+                    icount: next_tick,
+                    ip: st.ip,
+                    rtn: last_rtn,
+                });
                 next_tick += tick;
             }
 
@@ -259,20 +297,34 @@ impl Trace {
                     let callee = RoutineId(ru!() as u32);
                     let rtn = RoutineId(ru!() as u32);
                     last_rtn = rtn;
-                    tool.on_event(&Event::Call { ip: st.ip, callee, icount, rtn });
+                    tool.on_event(&Event::Call {
+                        ip: st.ip,
+                        callee,
+                        icount,
+                        rtn,
+                    });
                 }
                 K_RET => {
                     st.ip = (st.ip as i64 + ri!()) as u64;
                     let return_to = (st.ip as i64 + ri!()) as u64;
                     let rtn = RoutineId(ru!() as u32);
                     last_rtn = rtn;
-                    tool.on_event(&Event::Ret { ip: st.ip, return_to, icount, rtn });
+                    tool.on_event(&Event::Ret {
+                        ip: st.ip,
+                        return_to,
+                        icount,
+                        rtn,
+                    });
                 }
                 K_RTN_ENTER => {
                     let rtn = RoutineId(ru!() as u32);
                     st.sp = (st.sp as i64 + ri!()) as u64;
                     last_rtn = rtn;
-                    tool.on_event(&Event::RoutineEnter { rtn, sp: st.sp, icount });
+                    tool.on_event(&Event::RoutineEnter {
+                        rtn,
+                        sp: st.sp,
+                        icount,
+                    });
                 }
                 K_FINI => {
                     tool.on_fini(icount);
@@ -311,7 +363,8 @@ impl Trace {
     /// Deserialise from a reader.
     pub fn load<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
         let mut bytes = Vec::new();
-        r.read_to_end(&mut bytes).map_err(|_| TraceError::Malformed("io error"))?;
+        r.read_to_end(&mut bytes)
+            .map_err(|_| TraceError::Malformed("io error"))?;
         if bytes.len() < 8 || &bytes[..8] != MAGIC {
             return Err(TraceError::BadHeader);
         }
@@ -324,16 +377,12 @@ impl Trace {
         let mut routines = Vec::with_capacity(n_routines);
         for i in 0..n_routines {
             let name_len = ru(&mut pos)? as usize;
-            let name = String::from_utf8(
-                bytes.get(pos..pos + name_len).ok_or(bad(()))?.to_vec(),
-            )
-            .map_err(|_| TraceError::Malformed("bad utf8"))?;
+            let name = String::from_utf8(bytes.get(pos..pos + name_len).ok_or(bad(()))?.to_vec())
+                .map_err(|_| TraceError::Malformed("bad utf8"))?;
             pos += name_len;
             let img_len = ru(&mut pos)? as usize;
-            let image = String::from_utf8(
-                bytes.get(pos..pos + img_len).ok_or(bad(()))?.to_vec(),
-            )
-            .map_err(|_| TraceError::Malformed("bad utf8"))?;
+            let image = String::from_utf8(bytes.get(pos..pos + img_len).ok_or(bad(()))?.to_vec())
+                .map_err(|_| TraceError::Malformed("bad utf8"))?;
             pos += img_len;
             let main_image = *bytes.get(pos).ok_or(bad(()))? != 0;
             pos += 1;
@@ -352,7 +401,11 @@ impl Trace {
         let ev_len = ru(&mut pos)? as usize;
         let events = bytes.get(pos..pos + ev_len).ok_or(bad(()))?.to_vec();
         Ok(Trace {
-            info: ProgramInfo { routines, stack_base, entry },
+            info: ProgramInfo {
+                routines,
+                stack_base,
+                entry,
+            },
             events,
             n_events,
         })
@@ -361,6 +414,43 @@ impl Trace {
     /// Average encoded bytes per event.
     pub fn bytes_per_event(&self) -> f64 {
         self.events.len() as f64 / self.n_events.max(1) as f64
+    }
+
+    /// Content digest of the trace itself (routine table + event stream).
+    /// Two traces digest equal iff replay delivers the same event sequence
+    /// to any tool.
+    pub fn digest(&self) -> String {
+        let mut d = Digest128::new();
+        d.update_u64(self.info.stack_base);
+        d.update_u64(self.info.entry);
+        d.update_u64(self.info.routines.len() as u64);
+        for r in &self.info.routines {
+            d.update_str(&r.name);
+            d.update_str(&r.image);
+            d.update_u64(r.main_image as u64);
+            d.update_u64(r.start);
+            d.update_u64(r.end);
+        }
+        d.update_u64(self.n_events);
+        d.update(&self.events);
+        d.finish_hex()
+    }
+
+    /// Serialise to a file (written via a sibling temp file + rename so a
+    /// crash mid-write never leaves a torn capture behind).
+    pub fn save_to_path(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        self.save(&mut f)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Deserialise from a file.
+    pub fn load_from_path(path: &Path) -> Result<Trace, TraceError> {
+        let mut f = std::fs::File::open(path).map_err(|_| TraceError::Malformed("open failed"))?;
+        Trace::load(&mut f)
     }
 }
 
@@ -410,7 +500,11 @@ mod tests {
         let mut rec = TraceRecorder::new();
         rec.on_attach(&dummy_info());
         let evs = [
-            Event::RoutineEnter { rtn: RoutineId(0), sp: 0x3FFF_FF00, icount: 1 },
+            Event::RoutineEnter {
+                rtn: RoutineId(0),
+                sp: 0x3FFF_FF00,
+                icount: 1,
+            },
             Event::MemWrite {
                 ip: 0x10008,
                 ea: 0x1000_0000,
@@ -437,8 +531,18 @@ mod tests {
                 icount: 4,
                 rtn: RoutineId(0),
             },
-            Event::Call { ip: 0x10020, callee: RoutineId(0), icount: 5, rtn: RoutineId(0) },
-            Event::Ret { ip: 0x10028, return_to: 0x10028, icount: 9, rtn: RoutineId(0) },
+            Event::Call {
+                ip: 0x10020,
+                callee: RoutineId(0),
+                icount: 5,
+                rtn: RoutineId(0),
+            },
+            Event::Ret {
+                ip: 0x10028,
+                return_to: 0x10028,
+                icount: 9,
+                rtn: RoutineId(0),
+            },
         ];
         let mut expected = Vec::new();
         for e in &evs {
@@ -452,14 +556,22 @@ mod tests {
         trace.replay(&mut c).unwrap();
         assert_eq!(c.events, expected);
         assert_eq!(c.fini, Some(12));
-        assert!(trace.bytes_per_event() < 16.0, "{} B/event", trace.bytes_per_event());
+        assert!(
+            trace.bytes_per_event() < 16.0,
+            "{} B/event",
+            trace.bytes_per_event()
+        );
     }
 
     #[test]
     fn save_load_roundtrip() {
         let mut rec = TraceRecorder::new();
         rec.on_attach(&dummy_info());
-        rec.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 100, icount: 1 });
+        rec.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 100,
+            icount: 1,
+        });
         rec.on_fini(5);
         let trace = rec.into_trace();
 
@@ -491,6 +603,46 @@ mod tests {
     }
 
     #[test]
+    fn digest_tracks_content() {
+        let mut rec = TraceRecorder::new();
+        rec.on_attach(&dummy_info());
+        rec.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 100,
+            icount: 1,
+        });
+        rec.on_fini(5);
+        let t1 = rec.into_trace();
+        assert_eq!(t1.digest(), t1.digest(), "digest is a pure function");
+
+        let mut rec2 = TraceRecorder::new();
+        rec2.on_attach(&dummy_info());
+        rec2.on_event(&Event::RoutineEnter {
+            rtn: RoutineId(0),
+            sp: 100,
+            icount: 2,
+        });
+        rec2.on_fini(5);
+        assert_ne!(t1.digest(), rec2.into_trace().digest());
+    }
+
+    #[test]
+    fn save_load_via_path() {
+        let mut rec = TraceRecorder::new();
+        rec.on_attach(&dummy_info());
+        rec.on_fini(3);
+        let trace = rec.into_trace();
+        let dir = std::env::temp_dir().join("tq-trace-path-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.capture");
+        trace.save_to_path(&path).unwrap();
+        let back = Trace::load_from_path(&path).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.digest(), trace.digest());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn synthesised_ticks_fire_on_schedule() {
         struct Ticker {
             ticks: Vec<u64>,
@@ -514,7 +666,11 @@ mod tests {
         let mut rec = TraceRecorder::new();
         rec.on_attach(&dummy_info());
         for i in [3u64, 12, 25, 47] {
-            rec.on_event(&Event::RoutineEnter { rtn: RoutineId(0), sp: 0, icount: i });
+            rec.on_event(&Event::RoutineEnter {
+                rtn: RoutineId(0),
+                sp: 0,
+                icount: i,
+            });
         }
         rec.on_fini(50);
         let trace = rec.into_trace();

@@ -12,7 +12,9 @@ fn record(app: &WfsApp) -> (Trace, tq_tquad::TquadProfile, tq_quad::QuadProfile)
     // and replayed tools see the very same execution.
     let mut vm = app.make_vm();
     let r = vm.attach_tool(Box::new(TraceRecorder::new()));
-    let t = vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(777))));
+    let t = vm.attach_tool(Box::new(TquadTool::new(
+        TquadOptions::default().with_interval(777),
+    )));
     let q = vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
     vm.run(None).expect("wfs runs");
     let trace = vm.detach_tool::<TraceRecorder>(r).unwrap().into_trace();
@@ -41,7 +43,12 @@ fn quad_fingerprint(p: &tq_quad::QuadProfile) -> String {
     for r in &p.rows {
         s.push_str(&format!(
             "{} {} {} {} {} {} {}\n",
-            r.name, r.in_bytes, r.in_unma, r.out_bytes, r.out_unma, r.checked_accesses,
+            r.name,
+            r.in_bytes,
+            r.in_unma,
+            r.out_bytes,
+            r.out_unma,
+            r.checked_accesses,
             r.traced_accesses
         ));
     }

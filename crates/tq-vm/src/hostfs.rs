@@ -68,7 +68,12 @@ impl HostFs {
                 self.files.insert(name.to_string(), Vec::new());
             }
         }
-        self.fds.push(OpenFile { name: name.to_string(), pos: 0, mode, open: true });
+        self.fds.push(OpenFile {
+            name: name.to_string(),
+            pos: 0,
+            mode,
+            open: true,
+        });
         Some(self.fds.len() as i64 - 1)
     }
 
@@ -87,7 +92,9 @@ impl HostFs {
     /// Read up to `buf.len()` bytes from `fd` at its cursor. Returns bytes
     /// read, or −1 for a bad descriptor/mode.
     pub fn read(&mut self, fd: i64, buf: &mut [u8]) -> i64 {
-        let Some(f) = self.fds.get_mut(fd as usize) else { return -1 };
+        let Some(f) = self.fds.get_mut(fd as usize) else {
+            return -1;
+        };
         if !f.open || f.mode != FsMode::Read {
             return -1;
         }
@@ -100,11 +107,16 @@ impl HostFs {
 
     /// Append `buf` to `fd`. Returns bytes written, or −1.
     pub fn write(&mut self, fd: i64, buf: &[u8]) -> i64 {
-        let Some(f) = self.fds.get_mut(fd as usize) else { return -1 };
+        let Some(f) = self.fds.get_mut(fd as usize) else {
+            return -1;
+        };
         if !f.open || f.mode != FsMode::Write {
             return -1;
         }
-        let data = self.files.get_mut(&f.name).expect("open write fd has a file");
+        let data = self
+            .files
+            .get_mut(&f.name)
+            .expect("open write fd has a file");
         data.extend_from_slice(buf);
         f.pos += buf.len();
         buf.len() as i64

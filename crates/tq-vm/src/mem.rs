@@ -29,7 +29,11 @@ pub struct OutOfRange {
 
 impl std::fmt::Display for OutOfRange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "memory access at {:#x} ({} bytes) outside the address space", self.addr, self.size)
+        write!(
+            f,
+            "memory access at {:#x} ({} bytes) outside the address space",
+            self.addr, self.size
+        )
     }
 }
 
@@ -49,7 +53,10 @@ impl Memory {
     pub fn new() -> Self {
         let mut pages = Vec::new();
         pages.resize_with(NUM_PAGES, || None);
-        Memory { pages, resident_pages: 0 }
+        Memory {
+            pages,
+            resident_pages: 0,
+        }
     }
 
     /// Number of 4 KiB pages currently materialised.
@@ -59,7 +66,10 @@ impl Memory {
 
     #[inline]
     fn check(&self, addr: u64, size: u32) -> Result<(), OutOfRange> {
-        if addr.checked_add(size as u64).is_some_and(|end| end <= ADDR_SPACE_END) {
+        if addr
+            .checked_add(size as u64)
+            .is_some_and(|end| end <= ADDR_SPACE_END)
+        {
             Ok(())
         } else {
             Err(OutOfRange { addr, size })
@@ -200,7 +210,12 @@ mod tests {
     #[test]
     fn read_your_writes_all_sizes() {
         let mut m = Memory::new();
-        for (size, val) in [(1u32, 0xAB), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)] {
+        for (size, val) in [
+            (1u32, 0xAB),
+            (2, 0xBEEF),
+            (4, 0xDEAD_BEEF),
+            (8, 0x0123_4567_89AB_CDEF),
+        ] {
             let addr = 0x10_0000 + size as u64 * 64;
             m.write_uint(addr, size, val).unwrap();
             assert_eq!(m.read_uint(addr, size).unwrap(), val);

@@ -280,33 +280,63 @@ mod tests {
     use tq_isa::{Inst, MemWidth, Reg};
 
     fn ctx<'a>(inst: &'a Inst, is_rtn_start: bool) -> InsContext<'a> {
-        InsContext { pc: 0x10000, inst, rtn: RoutineId(0), main_image: true, is_rtn_start }
+        InsContext {
+            pc: 0x10000,
+            inst,
+            rtn: RoutineId(0),
+            main_image: true,
+            is_rtn_start,
+        }
     }
 
     #[test]
     fn standard_mask_covers_the_paper_instruction_set() {
-        let ld = Inst::Ld { rd: Reg(1), base: Reg(2), off: 0, width: MemWidth::B4 };
+        let ld = Inst::Ld {
+            rd: Reg(1),
+            base: Reg(2),
+            off: 0,
+            width: MemWidth::B4,
+        };
         assert_eq!(standard_mask(&ctx(&ld, false)), hooks::MEM_READ);
 
-        let st = Inst::St { rs: Reg(1), base: Reg(2), off: 0, width: MemWidth::B8 };
+        let st = Inst::St {
+            rs: Reg(1),
+            base: Reg(2),
+            off: 0,
+            width: MemWidth::B8,
+        };
         assert_eq!(standard_mask(&ctx(&st, false)), hooks::MEM_WRITE);
 
         // A call both writes memory (return address push) and is a call.
         let call = Inst::Call { target: 0x20000 };
-        assert_eq!(standard_mask(&ctx(&call, false)), hooks::MEM_WRITE | hooks::CALL);
+        assert_eq!(
+            standard_mask(&ctx(&call, false)),
+            hooks::MEM_WRITE | hooks::CALL
+        );
 
         // Ret reads the stack and is a return.
-        assert_eq!(standard_mask(&ctx(&Inst::Ret, false)), hooks::MEM_READ | hooks::RET);
+        assert_eq!(
+            standard_mask(&ctx(&Inst::Ret, false)),
+            hooks::MEM_READ | hooks::RET
+        );
 
         // Plain ALU op at a routine start only reports routine entry.
-        let add = Inst::Add { rd: Reg(1), rs1: Reg(2), rs2: Reg(3) };
+        let add = Inst::Add {
+            rd: Reg(1),
+            rs1: Reg(2),
+            rs2: Reg(3),
+        };
         assert_eq!(standard_mask(&ctx(&add, true)), hooks::RTN_ENTER);
         assert_eq!(standard_mask(&ctx(&add, false)), hooks::NONE);
     }
 
     #[test]
     fn event_icount_accessor() {
-        let ev = Event::Tick { icount: 42, ip: 0, rtn: RoutineId::INVALID };
+        let ev = Event::Tick {
+            icount: 42,
+            ip: 0,
+            rtn: RoutineId::INVALID,
+        };
         assert_eq!(ev.icount(), 42);
         let ev = Event::MemRead {
             ip: 0,

@@ -83,7 +83,10 @@ impl std::fmt::Display for VmError {
             VmError::Mem { pc, err } => write!(f, "at {pc:#x}: {err}"),
             VmError::StackOverflow { sp } => write!(f, "stack overflow (sp={sp:#x})"),
             VmError::FuelExhausted { icount } => {
-                write!(f, "instruction budget exhausted after {icount} instructions")
+                write!(
+                    f,
+                    "instruction budget exhausted after {icount} instructions"
+                )
             }
         }
     }
@@ -210,7 +213,11 @@ impl Vm {
 
         let entry = program.entry;
         Ok(Vm {
-            info: ProgramInfo { routines, stack_base: layout::STACK_BASE, entry },
+            info: ProgramInfo {
+                routines,
+                stack_base: layout::STACK_BASE,
+                entry,
+            },
             program,
             rtn_index,
             mem,
@@ -312,7 +319,11 @@ impl Vm {
         let handle = ToolHandle(self.tools.len());
         self.tools.push(Some(tool));
         self.tick_interval.push(interval);
-        self.tick_due.push(if interval == u64::MAX { u64::MAX } else { interval });
+        self.tick_due.push(if interval == u64::MAX {
+            u64::MAX
+        } else {
+            interval
+        });
         self.recompute_next_tick();
         handle
     }
@@ -367,8 +378,7 @@ impl Vm {
             let inst = tq_isa::decode(word).map_err(|err| VmError::Decode { pc, err })?;
 
             let rtn = Self::rtn_at(&self.rtn_index, pc);
-            let rtn_enter = rtn != RoutineId::INVALID
-                && self.info.routines[rtn.idx()].start == pc;
+            let rtn_enter = rtn != RoutineId::INVALID && self.info.routines[rtn.idx()].start == pc;
             let static_callee = match inst {
                 Inst::Call { target } => Self::rtn_at(&self.rtn_index, target as u64),
                 _ => RoutineId::INVALID,
@@ -411,13 +421,14 @@ impl Vm {
             }
             // Do not flow past a routine boundary: routine-entry events must
             // sit at the head position of their own block.
-            if Self::rtn_at(&self.rtn_index, pc) != Self::rtn_at(&self.rtn_index, pc - INST_BYTES)
-            {
+            if Self::rtn_at(&self.rtn_index, pc) != Self::rtn_at(&self.rtn_index, pc - INST_BYTES) {
                 break;
             }
         }
         self.stats.blocks_built += 1;
-        Ok(Block { insts: insts.into_boxed_slice() })
+        Ok(Block {
+            insts: insts.into_boxed_slice(),
+        })
     }
 
     fn fetch_block(&mut self, pc: u64) -> Result<Rc<Block>, VmError> {
@@ -486,7 +497,11 @@ impl Vm {
     fn fire_ticks(&mut self, ip: u64, rtn: RoutineId) {
         for ti in 0..self.tools.len() {
             while self.tick_due[ti] <= self.icount {
-                let ev = Event::Tick { icount: self.icount, ip, rtn };
+                let ev = Event::Tick {
+                    icount: self.icount,
+                    ip,
+                    rtn,
+                };
                 if let Some(tool) = self.tools[ti].as_mut() {
                     self.stats.events_delivered += 1;
                     tool.on_event(&ev);
@@ -525,7 +540,9 @@ impl Vm {
 
             for d in block.insts.iter() {
                 if self.icount >= fuel_limit {
-                    return Err(VmError::FuelExhausted { icount: self.icount });
+                    return Err(VmError::FuelExhausted {
+                        icount: self.icount,
+                    });
                 }
                 self.icount += 1;
                 if self.icount >= self.next_tick {
@@ -554,7 +571,10 @@ impl Vm {
 
             if let Some(reason) = exited {
                 self.fini();
-                return Ok(RunExit { reason, icount: self.icount });
+                return Ok(RunExit {
+                    reason,
+                    icount: self.icount,
+                });
             }
             self.pc = match next {
                 Some(t) => t,
@@ -624,8 +644,7 @@ impl Vm {
 
             Li { rd, imm } => self.regs[rd.idx()] = imm as i64 as u64,
             OrHi { rd, imm } => {
-                self.regs[rd.idx()] =
-                    (self.r(rd) & 0xFFFF_FFFF) | (((imm as u32) as u64) << 32)
+                self.regs[rd.idx()] = (self.r(rd) & 0xFFFF_FFFF) | (((imm as u32) as u64) << 32)
             }
             Mv { rd, rs } => self.regs[rd.idx()] = self.r(rs),
 
@@ -648,14 +667,24 @@ impl Vm {
             FLe { rd, fs1, fs2 } => self.regs[rd.idx()] = (self.f(fs1) <= self.f(fs2)) as u64,
             FEq { rd, fs1, fs2 } => self.regs[rd.idx()] = (self.f(fs1) == self.f(fs2)) as u64,
 
-            Ld { rd, base, off, width } => {
+            Ld {
+                rd,
+                base,
+                off,
+                width,
+            } => {
                 let ea = self.r(base).wrapping_add(off as i64 as u64);
                 let size = width.bytes();
                 let v = self.mem.read_uint(ea, size).map_err(merr)?;
                 self.regs[rd.idx()] = v;
                 self.fire_mem_read(d, ea, size, false);
             }
-            St { rs, base, off, width } => {
+            St {
+                rs,
+                base,
+                off,
+                width,
+            } => {
                 let ea = self.r(base).wrapping_add(off as i64 as u64);
                 let size = width.bytes();
                 self.mem.write_uint(ea, size, self.r(rs)).map_err(merr)?;
@@ -686,14 +715,24 @@ impl Vm {
                 // No architectural effect; the event fires flagged.
                 self.fire_mem_read(d, ea, 8, true);
             }
-            PLd64 { rd, base, pred, off } => {
+            PLd64 {
+                rd,
+                base,
+                pred,
+                off,
+            } => {
                 if self.r(pred) != 0 {
                     let ea = self.r(base).wrapping_add(off as i64 as u64);
                     self.regs[rd.idx()] = self.mem.read_uint(ea, 8).map_err(merr)?;
                     self.fire_mem_read(d, ea, 8, false);
                 }
             }
-            PSt64 { rs, base, pred, off } => {
+            PSt64 {
+                rs,
+                base,
+                pred,
+                off,
+            } => {
                 if self.r(pred) != 0 {
                     let ea = self.r(base).wrapping_add(off as i64 as u64);
                     self.mem.write_uint(ea, 8, self.r(rs)).map_err(merr)?;
@@ -708,7 +747,10 @@ impl Vm {
                 if n > MAX_BLOCK_COPY {
                     return Err(VmError::Mem {
                         pc,
-                        err: OutOfRange { addr: self.r(src), size: u32::MAX },
+                        err: OutOfRange {
+                            addr: self.r(src),
+                            size: u32::MAX,
+                        },
                     });
                 }
                 if n > 0 {
@@ -723,7 +765,12 @@ impl Vm {
             }
 
             Jmp { target } => return Ok(Next::Jump(target as u64)),
-            Br { cond, rs1, rs2, target } => {
+            Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if cond.eval(self.r(rs1), self.r(rs2)) {
                     return Ok(Next::Jump(target as u64));
                 }
@@ -761,7 +808,12 @@ impl Vm {
         Ok(Next::Fall)
     }
 
-    fn exec_call(&mut self, d: &DecodedInst, target: u64, callee: RoutineId) -> Result<Next, VmError> {
+    fn exec_call(
+        &mut self,
+        d: &DecodedInst,
+        target: u64,
+        callee: RoutineId,
+    ) -> Result<Next, VmError> {
         let sp = self.r(abi::SP).wrapping_sub(8);
         if sp < layout::STACK_BASE - self.stack_limit {
             return Err(VmError::StackOverflow { sp });
@@ -805,7 +857,11 @@ impl Vm {
             HostFn::FsOpen => {
                 let ptr = self.r(abi::A0);
                 let len = self.r(abi::A1) as usize;
-                let mode = if self.r(abi::A2) == 0 { FsMode::Read } else { FsMode::Write };
+                let mode = if self.r(abi::A2) == 0 {
+                    FsMode::Read
+                } else {
+                    FsMode::Write
+                };
                 let mut buf = vec![0u8; len.min(4096)];
                 self.mem.read(ptr, &mut buf).map_err(merr)?;
                 let name = String::from_utf8_lossy(&buf).into_owned();

@@ -1,10 +1,22 @@
-//! Property-based tests of the paged memory against a `HashMap<u64, u8>`
+//! Randomised tests of the paged memory against a `HashMap<u64, u8>`
 //! reference model: arbitrary interleavings of sized reads and writes must
 //! behave like a flat byte array.
+//!
+//! Formerly proptest-based; now deterministic sweeps driven by the vendored
+//! [`tq_isa::prng::Rng`] (zero external crates). `heavy-tests` multiplies
+//! the iteration counts.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use tq_isa::prng::Rng;
 use tq_vm::Memory;
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 16
+    } else {
+        base
+    }
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -14,38 +26,57 @@ enum Op {
     ReadBulk { addr: u64, len: usize },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    // Confined to a few page-straddling hot spots so collisions happen.
-    let addr = prop_oneof![
-        0u64..64,
-        4090u64..4110,        // page boundary
-        0x1000_0000u64..0x1000_0040,
-        0xFFFF_FE00u64..0xFFFF_FE40, // near (not at) the top of the space
-    ];
-    let size = prop_oneof![Just(1u32), Just(2), Just(4), Just(8)];
-    prop_oneof![
-        (addr.clone(), size.clone(), any::<u64>())
-            .prop_map(|(addr, size, value)| Op::WriteUint { addr, size, value }),
-        (addr.clone(), size).prop_map(|(addr, size)| Op::ReadUint { addr, size }),
-        (addr.clone(), prop::collection::vec(any::<u8>(), 0..40))
-            .prop_map(|(addr, bytes)| Op::WriteBulk { addr, bytes }),
-        (addr, 0usize..40).prop_map(|(addr, len)| Op::ReadBulk { addr, len }),
-    ]
+// Confined to a few page-straddling hot spots so collisions happen.
+fn addr(rng: &mut Rng) -> u64 {
+    match rng.index(4) {
+        0 => rng.u64_in(0, 63),
+        1 => rng.u64_in(4090, 4109), // page boundary
+        2 => rng.u64_in(0x1000_0000, 0x1000_003F),
+        _ => rng.u64_in(0xFFFF_FE00, 0xFFFF_FE3F), // near (not at) the top
+    }
+}
+
+fn op(rng: &mut Rng) -> Op {
+    let size = [1u32, 2, 4, 8][rng.index(4)];
+    match rng.index(4) {
+        0 => Op::WriteUint {
+            addr: addr(rng),
+            size,
+            value: rng.next_u64(),
+        },
+        1 => Op::ReadUint {
+            addr: addr(rng),
+            size,
+        },
+        2 => {
+            let mut bytes = vec![0u8; rng.index(40)];
+            rng.fill_bytes(&mut bytes);
+            Op::WriteBulk {
+                addr: addr(rng),
+                bytes,
+            }
+        }
+        _ => Op::ReadBulk {
+            addr: addr(rng),
+            len: rng.index(40),
+        },
+    }
 }
 
 fn ref_read(model: &HashMap<u64, u8>, addr: u64, len: usize) -> Vec<u8> {
-    (0..len).map(|i| model.get(&(addr + i as u64)).copied().unwrap_or(0)).collect()
+    (0..len)
+        .map(|i| model.get(&(addr + i as u64)).copied().unwrap_or(0))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn memory_matches_flat_byte_model(ops in prop::collection::vec(op(), 1..120)) {
+#[test]
+fn memory_matches_flat_byte_model() {
+    let mut rng = Rng::new(0x4D45_4D00);
+    for _ in 0..cases(256) {
         let mut mem = Memory::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
-        for o in ops {
-            match o {
+        for _ in 0..1 + rng.index(120) {
+            match op(&mut rng) {
                 Op::WriteUint { addr, size, value } => {
                     mem.write_uint(addr, size, value).expect("in range");
                     for (i, b) in value.to_le_bytes().iter().take(size as usize).enumerate() {
@@ -55,9 +86,8 @@ proptest! {
                 Op::ReadUint { addr, size } => {
                     let got = mem.read_uint(addr, size).expect("in range");
                     let mut buf = [0u8; 8];
-                    buf[..size as usize]
-                        .copy_from_slice(&ref_read(&model, addr, size as usize));
-                    prop_assert_eq!(got, u64::from_le_bytes(buf));
+                    buf[..size as usize].copy_from_slice(&ref_read(&model, addr, size as usize));
+                    assert_eq!(got, u64::from_le_bytes(buf));
                 }
                 Op::WriteBulk { addr, bytes } => {
                     mem.write(addr, &bytes).expect("in range");
@@ -68,17 +98,27 @@ proptest! {
                 Op::ReadBulk { addr, len } => {
                     let mut got = vec![0u8; len];
                     mem.read(addr, &mut got).expect("in range");
-                    prop_assert_eq!(got, ref_read(&model, addr, len));
+                    assert_eq!(got, ref_read(&model, addr, len));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn float_roundtrips_anywhere(addr in 0u64..0xFFFF_0000, v in any::<f64>()) {
+#[test]
+fn float_roundtrips_anywhere() {
+    let mut rng = Rng::new(0xF10A_7000);
+    for n in 0..cases(512) {
+        let addr = rng.u64_in(0, 0xFFFE_FFFF);
+        // Exercise ordinary values, all-bits patterns and NaN payloads.
+        let v = match n % 3 {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => rng.f64_in(-1.0e18, 1.0e18),
+            _ => f64::from_bits(0x7FF8_0000_0000_0000 | rng.u64_in(0, 0xF_FFFF)),
+        };
         let mut mem = Memory::new();
         mem.write_f64(addr, v).expect("in range");
         let back = mem.read_f64(addr).expect("in range");
-        prop_assert_eq!(back.to_bits(), v.to_bits(), "bit-exact incl. NaN payloads");
+        assert_eq!(back.to_bits(), v.to_bits(), "bit-exact incl. NaN payloads");
     }
 }

@@ -52,10 +52,21 @@ fn arithmetic_and_branching_loop() {
         a.begin_routine("main").unwrap();
         a.emit(Inst::Li { rd: Reg(1), imm: 0 }); // acc
         a.emit(Inst::Li { rd: Reg(2), imm: 1 }); // i
-        a.emit(Inst::Li { rd: Reg(3), imm: 10 }); // limit
+        a.emit(Inst::Li {
+            rd: Reg(3),
+            imm: 10,
+        }); // limit
         a.label("loop").unwrap();
-        a.emit(Inst::Add { rd: Reg(1), rs1: Reg(1), rs2: Reg(2) });
-        a.emit(Inst::AddI { rd: Reg(2), rs1: Reg(2), imm: 1 });
+        a.emit(Inst::Add {
+            rd: Reg(1),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        });
+        a.emit(Inst::AddI {
+            rd: Reg(2),
+            rs1: Reg(2),
+            imm: 1,
+        });
         a.br(BrCond::Ge, Reg(3), Reg(2), "loop");
         a.emit(Inst::Halt);
     });
@@ -70,10 +81,26 @@ fn arithmetic_and_branching_loop() {
 fn loads_stores_and_event_delivery() {
     let (mut vm, h) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::Li { rd: Reg(1), imm: layout::GLOBALS_BASE as i32 });
-        a.emit(Inst::Li { rd: Reg(2), imm: 0x7777 });
-        a.emit(Inst::St { rs: Reg(2), base: Reg(1), off: 16, width: MemWidth::B8 });
-        a.emit(Inst::Ld { rd: Reg(3), base: Reg(1), off: 16, width: MemWidth::B4 });
+        a.emit(Inst::Li {
+            rd: Reg(1),
+            imm: layout::GLOBALS_BASE as i32,
+        });
+        a.emit(Inst::Li {
+            rd: Reg(2),
+            imm: 0x7777,
+        });
+        a.emit(Inst::St {
+            rs: Reg(2),
+            base: Reg(1),
+            off: 16,
+            width: MemWidth::B8,
+        });
+        a.emit(Inst::Ld {
+            rd: Reg(3),
+            base: Reg(1),
+            off: 16,
+            width: MemWidth::B4,
+        });
         a.emit(Inst::Halt);
     });
     vm.run(None).unwrap();
@@ -103,7 +130,12 @@ fn loads_stores_and_event_delivery() {
         ref other => panic!("unexpected {other:?}"),
     }
     match rec.events[2] {
-        Event::MemRead { ea, size, is_prefetch, .. } => {
+        Event::MemRead {
+            ea,
+            size,
+            is_prefetch,
+            ..
+        } => {
             assert_eq!(ea, layout::GLOBALS_BASE + 16);
             assert_eq!(size, 4);
             assert!(!is_prefetch);
@@ -119,12 +151,19 @@ fn call_and_ret_maintain_stack_and_fire_events() {
         a.call("callee");
         a.emit(Inst::Halt);
         a.begin_routine("callee").unwrap();
-        a.emit(Inst::Li { rd: Reg(9), imm: 123 });
+        a.emit(Inst::Li {
+            rd: Reg(9),
+            imm: 123,
+        });
         a.emit(Inst::Ret);
     });
     vm.run(None).unwrap();
     assert_eq!(vm.reg(Reg(9)), 123);
-    assert_eq!(vm.reg(abi::SP), layout::STACK_BASE, "stack balanced after ret");
+    assert_eq!(
+        vm.reg(abi::SP),
+        layout::STACK_BASE,
+        "stack balanced after ret"
+    );
 
     let rec = vm.detach_tool::<Recorder>(h).unwrap();
     // main enter, call push (write), call, callee enter, ret pop (read), ret.
@@ -167,13 +206,34 @@ fn call_and_ret_maintain_stack_and_fire_events() {
 fn prefetch_fires_flagged_event_and_predication_suppresses() {
     let (mut vm, h) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::Li { rd: Reg(1), imm: layout::GLOBALS_BASE as i32 });
-        a.emit(Inst::Prefetch { base: Reg(1), off: 64 });
+        a.emit(Inst::Li {
+            rd: Reg(1),
+            imm: layout::GLOBALS_BASE as i32,
+        });
+        a.emit(Inst::Prefetch {
+            base: Reg(1),
+            off: 64,
+        });
         a.emit(Inst::Li { rd: Reg(2), imm: 0 }); // predicate false
-        a.emit(Inst::PLd64 { rd: Reg(3), base: Reg(1), pred: Reg(2), off: 0 });
+        a.emit(Inst::PLd64 {
+            rd: Reg(3),
+            base: Reg(1),
+            pred: Reg(2),
+            off: 0,
+        });
         a.emit(Inst::Li { rd: Reg(2), imm: 1 }); // predicate true
-        a.emit(Inst::PLd64 { rd: Reg(3), base: Reg(1), pred: Reg(2), off: 0 });
-        a.emit(Inst::PSt64 { rs: Reg(3), base: Reg(1), pred: Reg(2), off: 8 });
+        a.emit(Inst::PLd64 {
+            rd: Reg(3),
+            base: Reg(1),
+            pred: Reg(2),
+            off: 0,
+        });
+        a.emit(Inst::PSt64 {
+            rs: Reg(3),
+            base: Reg(1),
+            pred: Reg(2),
+            off: 8,
+        });
         a.emit(Inst::Halt);
     });
     vm.run(None).unwrap();
@@ -185,8 +245,20 @@ fn prefetch_fires_flagged_event_and_predication_suppresses() {
         .collect();
     // prefetch (flagged), one predicated load (true case only), one store.
     assert_eq!(mem_events.len(), 3);
-    assert!(matches!(mem_events[0], Event::MemRead { is_prefetch: true, .. }));
-    assert!(matches!(mem_events[1], Event::MemRead { is_prefetch: false, .. }));
+    assert!(matches!(
+        mem_events[0],
+        Event::MemRead {
+            is_prefetch: true,
+            ..
+        }
+    ));
+    assert!(matches!(
+        mem_events[1],
+        Event::MemRead {
+            is_prefetch: false,
+            ..
+        }
+    ));
     assert!(matches!(mem_events[2], Event::MemWrite { .. }));
 }
 
@@ -195,9 +267,16 @@ fn code_cache_reuses_blocks() {
     let (mut vm, _) = run_asm(|a| {
         a.begin_routine("main").unwrap();
         a.emit(Inst::Li { rd: Reg(1), imm: 0 });
-        a.emit(Inst::Li { rd: Reg(2), imm: 1000 });
+        a.emit(Inst::Li {
+            rd: Reg(2),
+            imm: 1000,
+        });
         a.label("loop").unwrap();
-        a.emit(Inst::AddI { rd: Reg(1), rs1: Reg(1), imm: 1 });
+        a.emit(Inst::AddI {
+            rd: Reg(1),
+            rs1: Reg(1),
+            imm: 1,
+        });
         a.br(BrCond::Lt, Reg(1), Reg(2), "loop");
         a.emit(Inst::Halt);
     });
@@ -206,7 +285,11 @@ fn code_cache_reuses_blocks() {
     assert!(s.blocks_built <= 3, "blocks_built = {}", s.blocks_built);
     assert!(s.cache_hits >= 990, "cache_hits = {}", s.cache_hits);
     // Instrumentation ran once per instruction, not once per execution.
-    assert!(s.instrument_calls <= 8, "instrument_calls = {}", s.instrument_calls);
+    assert!(
+        s.instrument_calls <= 8,
+        "instrument_calls = {}",
+        s.instrument_calls
+    );
 }
 
 #[test]
@@ -214,9 +297,16 @@ fn disabled_cache_reinstruments_every_execution() {
     let mut a = Asm::new();
     a.begin_routine("main").unwrap();
     a.emit(Inst::Li { rd: Reg(1), imm: 0 });
-    a.emit(Inst::Li { rd: Reg(2), imm: 100 });
+    a.emit(Inst::Li {
+        rd: Reg(2),
+        imm: 100,
+    });
     a.label("loop").unwrap();
-    a.emit(Inst::AddI { rd: Reg(1), rs1: Reg(1), imm: 1 });
+    a.emit(Inst::AddI {
+        rd: Reg(1),
+        rs1: Reg(1),
+        imm: 1,
+    });
     a.br(BrCond::Lt, Reg(1), Reg(2), "loop");
     a.emit(Inst::Halt);
     let img = a.finish("main", layout::MAIN_TEXT_BASE, true).unwrap();
@@ -227,7 +317,11 @@ fn disabled_cache_reinstruments_every_execution() {
     vm.run(None).unwrap();
     let s = *vm.stats();
     assert_eq!(s.cache_hits, 0);
-    assert!(s.blocks_built > 100, "every dispatch rebuilds: {}", s.blocks_built);
+    assert!(
+        s.blocks_built > 100,
+        "every dispatch rebuilds: {}",
+        s.blocks_built
+    );
     assert!(s.instrument_calls > 200);
 }
 
@@ -235,12 +329,28 @@ fn disabled_cache_reinstruments_every_execution() {
 fn float_pipeline() {
     let (mut vm, _) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::FLi { fd: tq_isa::FReg(1), value: 2.0 });
-        a.emit(Inst::FSqrt { fd: tq_isa::FReg(2), fs: tq_isa::FReg(1) });
-        a.emit(Inst::FMul { fd: tq_isa::FReg(3), fs1: tq_isa::FReg(2), fs2: tq_isa::FReg(2) });
+        a.emit(Inst::FLi {
+            fd: tq_isa::FReg(1),
+            value: 2.0,
+        });
+        a.emit(Inst::FSqrt {
+            fd: tq_isa::FReg(2),
+            fs: tq_isa::FReg(1),
+        });
+        a.emit(Inst::FMul {
+            fd: tq_isa::FReg(3),
+            fs1: tq_isa::FReg(2),
+            fs2: tq_isa::FReg(2),
+        });
         a.emit(Inst::Li { rd: Reg(1), imm: 7 });
-        a.emit(Inst::ItoF { fd: tq_isa::FReg(4), rs: Reg(1) });
-        a.emit(Inst::FtoI { rd: Reg(2), fs: tq_isa::FReg(4) });
+        a.emit(Inst::ItoF {
+            fd: tq_isa::FReg(4),
+            rs: Reg(1),
+        });
+        a.emit(Inst::FtoI {
+            rd: Reg(2),
+            fs: tq_isa::FReg(4),
+        });
         a.emit(Inst::Halt);
     });
     vm.run(None).unwrap();
@@ -256,19 +366,52 @@ fn host_fs_roundtrip_is_invisible_to_tools() {
         a.data(layout::GLOBALS_BASE, path.to_vec());
         a.begin_routine("main").unwrap();
         // fd = open("in.dat", len=6, read)
-        a.emit(Inst::Li { rd: abi::A0, imm: layout::GLOBALS_BASE as i32 });
-        a.emit(Inst::Li { rd: abi::A1, imm: path.len() as i32 });
-        a.emit(Inst::Li { rd: abi::A2, imm: 0 });
-        a.emit(Inst::Host { func: HostFn::FsOpen });
-        a.emit(Inst::Mv { rd: Reg(20), rs: abi::A0 });
+        a.emit(Inst::Li {
+            rd: abi::A0,
+            imm: layout::GLOBALS_BASE as i32,
+        });
+        a.emit(Inst::Li {
+            rd: abi::A1,
+            imm: path.len() as i32,
+        });
+        a.emit(Inst::Li {
+            rd: abi::A2,
+            imm: 0,
+        });
+        a.emit(Inst::Host {
+            func: HostFn::FsOpen,
+        });
+        a.emit(Inst::Mv {
+            rd: Reg(20),
+            rs: abi::A0,
+        });
         // read(fd, GLOBALS+0x100, 4)
-        a.emit(Inst::Li { rd: abi::A1, imm: (layout::GLOBALS_BASE + 0x100) as i32 });
-        a.emit(Inst::Li { rd: abi::A2, imm: 4 });
-        a.emit(Inst::Host { func: HostFn::FsRead });
-        a.emit(Inst::Mv { rd: Reg(21), rs: abi::A0 });
+        a.emit(Inst::Li {
+            rd: abi::A1,
+            imm: (layout::GLOBALS_BASE + 0x100) as i32,
+        });
+        a.emit(Inst::Li {
+            rd: abi::A2,
+            imm: 4,
+        });
+        a.emit(Inst::Host {
+            func: HostFn::FsRead,
+        });
+        a.emit(Inst::Mv {
+            rd: Reg(21),
+            rs: abi::A0,
+        });
         // The *application-level* load of the buffer IS instrumented.
-        a.emit(Inst::Li { rd: Reg(1), imm: (layout::GLOBALS_BASE + 0x100) as i32 });
-        a.emit(Inst::Ld { rd: Reg(22), base: Reg(1), off: 0, width: MemWidth::B4 });
+        a.emit(Inst::Li {
+            rd: Reg(1),
+            imm: (layout::GLOBALS_BASE + 0x100) as i32,
+        });
+        a.emit(Inst::Ld {
+            rd: Reg(22),
+            base: Reg(1),
+            off: 0,
+            width: MemWidth::B4,
+        });
         a.emit(Inst::Halt);
     });
     vm.fs_mut().add_file("in.dat", vec![0xDE, 0xAD, 0xBE, 0xEF]);
@@ -282,7 +425,11 @@ fn host_fs_roundtrip_is_invisible_to_tools() {
         .iter()
         .filter(|e| matches!(e, Event::MemRead { .. }))
         .collect();
-    assert_eq!(reads.len(), 1, "only the user-level load is visible, not the host copy");
+    assert_eq!(
+        reads.len(),
+        1,
+        "only the user-level load is visible, not the host copy"
+    );
 }
 
 #[test]
@@ -310,9 +457,16 @@ fn tick_events_fire_at_requested_interval() {
     let mut a = Asm::new();
     a.begin_routine("main").unwrap();
     a.emit(Inst::Li { rd: Reg(1), imm: 0 });
-    a.emit(Inst::Li { rd: Reg(2), imm: 50 });
+    a.emit(Inst::Li {
+        rd: Reg(2),
+        imm: 50,
+    });
     a.label("loop").unwrap();
-    a.emit(Inst::AddI { rd: Reg(1), rs1: Reg(1), imm: 1 });
+    a.emit(Inst::AddI {
+        rd: Reg(1),
+        rs1: Reg(1),
+        imm: 1,
+    });
     a.br(BrCond::Lt, Reg(1), Reg(2), "loop");
     a.emit(Inst::Halt);
     let img = a.finish("main", layout::MAIN_TEXT_BASE, true).unwrap();
@@ -343,7 +497,10 @@ fn fuel_exhaustion_is_reported() {
 fn jump_outside_text_is_a_bad_pc() {
     let (mut vm, _) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::Li { rd: Reg(1), imm: 0x0DEAD000 });
+        a.emit(Inst::Li {
+            rd: Reg(1),
+            imm: 0x0DEAD000,
+        });
         a.emit(Inst::CallR { rs: Reg(1) });
         a.emit(Inst::Halt);
     });
@@ -357,7 +514,10 @@ fn jump_outside_text_is_a_bad_pc() {
 fn exit_code_propagates() {
     let (mut vm, _) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::Li { rd: abi::A0, imm: 42 });
+        a.emit(Inst::Li {
+            rd: abi::A0,
+            imm: 42,
+        });
         a.emit(Inst::Host { func: HostFn::Exit });
     });
     let exit = vm.run(None).unwrap();
@@ -368,10 +528,20 @@ fn exit_code_propagates() {
 fn console_output() {
     let (mut vm, _) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::Li { rd: abi::A0, imm: -7 });
-        a.emit(Inst::Host { func: HostFn::PrintI64 });
-        a.emit(Inst::Li { rd: abi::A0, imm: 'x' as i32 });
-        a.emit(Inst::Host { func: HostFn::PrintChar });
+        a.emit(Inst::Li {
+            rd: abi::A0,
+            imm: -7,
+        });
+        a.emit(Inst::Host {
+            func: HostFn::PrintI64,
+        });
+        a.emit(Inst::Li {
+            rd: abi::A0,
+            imm: 'x' as i32,
+        });
+        a.emit(Inst::Host {
+            func: HostFn::PrintChar,
+        });
         a.emit(Inst::Halt);
     });
     vm.run(None).unwrap();
@@ -382,10 +552,15 @@ fn console_output() {
 fn library_image_routines_are_flagged() {
     let mut main_asm = Asm::new();
     main_asm.begin_routine("main").unwrap();
-    main_asm.emit(Inst::Li { rd: Reg(5), imm: tq_vm::layout::LIB_TEXT_BASE as i32 });
+    main_asm.emit(Inst::Li {
+        rd: Reg(5),
+        imm: tq_vm::layout::LIB_TEXT_BASE as i32,
+    });
     main_asm.emit(Inst::CallR { rs: Reg(5) });
     main_asm.emit(Inst::Halt);
-    let main_img = main_asm.finish("app", layout::MAIN_TEXT_BASE, true).unwrap();
+    let main_img = main_asm
+        .finish("app", layout::MAIN_TEXT_BASE, true)
+        .unwrap();
 
     let mut lib = ImageBuilder::new("libsim", layout::LIB_TEXT_BASE);
     lib.routine("lib_memcpy", &[Inst::Nop, Inst::Ret]);
@@ -397,7 +572,11 @@ fn library_image_routines_are_flagged() {
 
     let info = vm.program_info().clone();
     assert!(info.routine(info.routine_named("main").unwrap()).main_image);
-    assert!(!info.routine(info.routine_named("lib_memcpy").unwrap()).main_image);
+    assert!(
+        !info
+            .routine(info.routine_named("lib_memcpy").unwrap())
+            .main_image
+    );
 
     vm.run(None).unwrap();
     let rec = vm.detach_tool::<Recorder>(h).unwrap();
@@ -434,19 +613,54 @@ fn block_copy_semantics_and_events() {
     let (mut vm, h) = run_asm(|a| {
         a.begin_routine("main").unwrap();
         // Source data staged via stores.
-        a.emit(Inst::Li { rd: Reg(1), imm: layout::GLOBALS_BASE as i32 });
-        a.emit(Inst::Li { rd: Reg(2), imm: 0x11223344 });
-        a.emit(Inst::St { rs: Reg(2), base: Reg(1), off: 0, width: MemWidth::B8 });
-        a.emit(Inst::St { rs: Reg(2), base: Reg(1), off: 8, width: MemWidth::B4 });
+        a.emit(Inst::Li {
+            rd: Reg(1),
+            imm: layout::GLOBALS_BASE as i32,
+        });
+        a.emit(Inst::Li {
+            rd: Reg(2),
+            imm: 0x11223344,
+        });
+        a.emit(Inst::St {
+            rs: Reg(2),
+            base: Reg(1),
+            off: 0,
+            width: MemWidth::B8,
+        });
+        a.emit(Inst::St {
+            rs: Reg(2),
+            base: Reg(1),
+            off: 8,
+            width: MemWidth::B4,
+        });
         // dst = GLOBALS + 0x100, src = GLOBALS, len = 12.
-        a.emit(Inst::Li { rd: Reg(3), imm: (layout::GLOBALS_BASE + 0x100) as i32 });
-        a.emit(Inst::Li { rd: Reg(4), imm: 12 });
-        a.emit(Inst::BCpy { dst: Reg(3), src: Reg(1), len: Reg(4) });
+        a.emit(Inst::Li {
+            rd: Reg(3),
+            imm: (layout::GLOBALS_BASE + 0x100) as i32,
+        });
+        a.emit(Inst::Li {
+            rd: Reg(4),
+            imm: 12,
+        });
+        a.emit(Inst::BCpy {
+            dst: Reg(3),
+            src: Reg(1),
+            len: Reg(4),
+        });
         // Read back from the destination.
-        a.emit(Inst::Ld { rd: Reg(5), base: Reg(3), off: 0, width: MemWidth::B8 });
+        a.emit(Inst::Ld {
+            rd: Reg(5),
+            base: Reg(3),
+            off: 0,
+            width: MemWidth::B8,
+        });
         // Zero-length copy: no events.
         a.emit(Inst::Li { rd: Reg(4), imm: 0 });
-        a.emit(Inst::BCpy { dst: Reg(3), src: Reg(1), len: Reg(4) });
+        a.emit(Inst::BCpy {
+            dst: Reg(3),
+            src: Reg(1),
+            len: Reg(4),
+        });
         a.emit(Inst::Halt);
     });
     vm.run(None).unwrap();
@@ -476,9 +690,19 @@ fn block_copy_semantics_and_events() {
 fn oversized_block_copy_rejected() {
     let (mut vm, _) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::Li { rd: Reg(1), imm: layout::GLOBALS_BASE as i32 });
-        a.emit(Inst::Li { rd: Reg(2), imm: (tq_vm::vm::MAX_BLOCK_COPY + 1) as i32 });
-        a.emit(Inst::BCpy { dst: Reg(1), src: Reg(1), len: Reg(2) });
+        a.emit(Inst::Li {
+            rd: Reg(1),
+            imm: layout::GLOBALS_BASE as i32,
+        });
+        a.emit(Inst::Li {
+            rd: Reg(2),
+            imm: (tq_vm::vm::MAX_BLOCK_COPY + 1) as i32,
+        });
+        a.emit(Inst::BCpy {
+            dst: Reg(1),
+            src: Reg(1),
+            len: Reg(2),
+        });
         a.emit(Inst::Halt);
     });
     assert!(matches!(vm.run(None), Err(VmError::Mem { .. })));
@@ -506,15 +730,26 @@ fn tool_handles_downcast_safely() {
     // Wrong-type downcast returns None and CONSUMES the slot (the tool is
     // gone either way — handles are single-use).
     assert!(vm.detach_tool::<OtherTool>(h).is_none());
-    assert!(vm.detach_tool::<Recorder>(h).is_none(), "slot already taken");
+    assert!(
+        vm.detach_tool::<Recorder>(h).is_none(),
+        "slot already taken"
+    );
 }
 
 #[test]
 fn borrowing_tool_without_detaching() {
     let (mut vm, h) = run_asm(|a| {
         a.begin_routine("main").unwrap();
-        a.emit(Inst::Li { rd: Reg(1), imm: layout::GLOBALS_BASE as i32 });
-        a.emit(Inst::St { rs: Reg(1), base: Reg(1), off: 0, width: MemWidth::B8 });
+        a.emit(Inst::Li {
+            rd: Reg(1),
+            imm: layout::GLOBALS_BASE as i32,
+        });
+        a.emit(Inst::St {
+            rs: Reg(1),
+            base: Reg(1),
+            off: 0,
+            width: MemWidth::B8,
+        });
         a.emit(Inst::Halt);
     });
     vm.run(None).unwrap();
@@ -529,8 +764,16 @@ fn borrowing_tool_without_detaching() {
 fn two_tools_same_type_independent() {
     let mut a = Asm::new();
     a.begin_routine("main").unwrap();
-    a.emit(Inst::Li { rd: Reg(1), imm: layout::GLOBALS_BASE as i32 });
-    a.emit(Inst::Ld { rd: Reg(2), base: Reg(1), off: 0, width: MemWidth::B4 });
+    a.emit(Inst::Li {
+        rd: Reg(1),
+        imm: layout::GLOBALS_BASE as i32,
+    });
+    a.emit(Inst::Ld {
+        rd: Reg(2),
+        base: Reg(1),
+        off: 0,
+        width: MemWidth::B4,
+    });
     a.emit(Inst::Halt);
     let img = a.finish("main", layout::MAIN_TEXT_BASE, true).unwrap();
     let entry = img.routines[0].start;

@@ -32,7 +32,11 @@ impl WfsApp {
         let compiled = compile(&module).expect("wfs module compiles");
         let input = synth_source(config.n_samples(), config.sample_rate, seed);
         let input_wav = encode_wav(1, config.sample_rate, &input);
-        WfsApp { config, compiled, input_wav }
+        WfsApp {
+            config,
+            compiled,
+            input_wav,
+        }
     }
 
     /// A fresh VM with the program loaded and the input staged. Attach

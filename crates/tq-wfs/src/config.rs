@@ -112,7 +112,11 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for c in [WfsConfig::tiny(), WfsConfig::small(), WfsConfig::paper_scaled()] {
+        for c in [
+            WfsConfig::tiny(),
+            WfsConfig::small(),
+            WfsConfig::paper_scaled(),
+        ] {
             c.validate().unwrap();
             assert_eq!(c.n_samples(), c.n_chunks * c.chunk_len);
             assert_eq!(1u32 << c.log2_fft(), c.fft_size);
@@ -121,7 +125,11 @@ mod tests {
 
     #[test]
     fn paper_scaled_keeps_speaker_count() {
-        assert_eq!(WfsConfig::paper_scaled().n_speakers, 32, "the paper uses 32 speakers");
+        assert_eq!(
+            WfsConfig::paper_scaled().n_speakers,
+            32,
+            "the paper uses 32 speakers"
+        );
     }
 
     #[test]

@@ -129,7 +129,12 @@ pub fn build_module(config: &WfsConfig) -> Module {
             0, // dline_len: computed by ldint
         ]),
     );
-    m.global("path_in", ElemTy::U8, INPUT_WAV.len() as u64, GlobalInit::Bytes(INPUT_WAV.into()));
+    m.global(
+        "path_in",
+        ElemTy::U8,
+        INPUT_WAV.len() as u64,
+        GlobalInit::Bytes(INPUT_WAV.into()),
+    );
     m.global(
         "path_out",
         ElemTy::U8,
@@ -144,7 +149,12 @@ pub fn build_module(config: &WfsConfig) -> Module {
         ElemTy::U8,
         44,
         GlobalInit::Bytes(
-            wav_header(config.n_speakers as u16, config.sample_rate, config.n_samples()).to_vec(),
+            wav_header(
+                config.n_speakers as u16,
+                config.sample_rate,
+                config.n_samples(),
+            )
+            .to_vec(),
         ),
     );
     m.global("stage", ElemTy::U8, 4096, GlobalInit::Zero);
@@ -207,24 +217,33 @@ pub fn build_module(config: &WfsConfig) -> Module {
             .param("srcp", Ty::I64)
             .param("n", Ty::I64)
             .in_library()
-            .body(vec![for_("i", ci(0), v("n"), vec![store(
-                v("dst"),
-                ElemTy::F32,
-                v("i"),
-                load(v("srcp"), ElemTy::F32, v("i")),
-            )])]),
+            .body(vec![for_(
+                "i",
+                ci(0),
+                v("n"),
+                vec![store(
+                    v("dst"),
+                    ElemTy::F32,
+                    v("i"),
+                    load(v("srcp"), ElemTy::F32, v("i")),
+                )],
+            )]),
     );
 
     // ---- application kernels ----
     m.func(Function::new("ldint").body(vec![
         leti("n", cfg(cfg_idx::N)),
         leti("l", ci(0)),
-        while_(gt(v("n"), ci(1)), vec![
-            set("l", add(v("l"), ci(1))),
-            set("n", shr(v("n"), ci(1))),
-        ]),
+        while_(
+            gt(v("n"), ci(1)),
+            vec![set("l", add(v("l"), ci(1))), set("n", shr(v("n"), ci(1)))],
+        ),
         sti(ga("cfg"), ci(cfg_idx::LOG2N), v("l")),
-        sti(ga("cfg"), ci(cfg_idx::DLEN), add(cfg(cfg_idx::MAXD), cfg(cfg_idx::C))),
+        sti(
+            ga("cfg"),
+            ci(cfg_idx::DLEN),
+            add(cfg(cfg_idx::MAXD), cfg(cfg_idx::C)),
+        ),
     ]));
 
     m.func(
@@ -235,37 +254,59 @@ pub fn build_module(config: &WfsConfig) -> Module {
             .body(vec![
                 leti("n", cfg(cfg_idx::N)),
                 letf("fn_", i2f(v("n"))),
-                for_("k", ci(0), v("n"), vec![
-                    letf(
-                        "h",
-                        mul(
-                            add(cf(0.5), mul(cf(0.5), cos(div(mul(cf(PI), i2f(v("k"))), v("fn_"))))),
-                            v("scale"),
+                for_(
+                    "k",
+                    ci(0),
+                    v("n"),
+                    vec![
+                        letf(
+                            "h",
+                            mul(
+                                add(
+                                    cf(0.5),
+                                    mul(cf(0.5), cos(div(mul(cf(PI), i2f(v("k"))), v("fn_")))),
+                                ),
+                                v("scale"),
+                            ),
                         ),
-                    ),
-                    stf(v("dre"), v("k"), v("h")),
-                    stf(v("dim"), v("k"), cf(0.0)),
-                ]),
+                        stf(v("dre"), v("k"), v("h")),
+                        stf(v("dim"), v("k"), cf(0.0)),
+                    ],
+                ),
                 // Iterative refinement passes — the real `ffw` repeatedly
                 // rewrites the coefficient arrays, giving it the large
                 // OUT-to-UnMA ratio of Table II.
-                for_("it", ci(0), ci(4), vec![for_("k", ci(1), sub(v("n"), ci(1)), vec![stf(
-                    v("dre"),
-                    v("k"),
-                    mul(
-                        add(
-                            add(ldf(v("dre"), sub(v("k"), ci(1))), ldf(v("dre"), v("k"))),
-                            ldf(v("dre"), add(v("k"), ci(1))),
-                        ),
-                        cf(1.0 / 3.0),
-                    ),
-                )])]),
+                for_(
+                    "it",
+                    ci(0),
+                    ci(4),
+                    vec![for_(
+                        "k",
+                        ci(1),
+                        sub(v("n"), ci(1)),
+                        vec![stf(
+                            v("dre"),
+                            v("k"),
+                            mul(
+                                add(
+                                    add(ldf(v("dre"), sub(v("k"), ci(1))), ldf(v("dre"), v("k"))),
+                                    ldf(v("dre"), add(v("k"), ci(1))),
+                                ),
+                                cf(1.0 / 3.0),
+                            ),
+                        )],
+                    )],
+                ),
             ]),
     );
 
     m.func(Function::new("wav_load").body(vec![
         leti("fd", ci(0)),
-        host_ret("fd", HostFn::FsOpen, vec![ga("path_in"), ci(INPUT_WAV.len() as i64), ci(0)]),
+        host_ret(
+            "fd",
+            HostFn::FsOpen,
+            vec![ga("path_in"), ci(INPUT_WAV.len() as i64), ci(0)],
+        ),
         leti("got", ci(0)),
         host_ret("got", HostFn::FsRead, vec![v("fd"), ga("hdr"), ci(44)]),
         // Parse the data-chunk size from the header bytes.
@@ -286,32 +327,57 @@ pub fn build_module(config: &WfsConfig) -> Module {
         leti("cap", cfg(cfg_idx::NSAMP)),
         if_(gt(v("ns"), v("cap")), vec![set("ns", v("cap"))]),
         leti("pos", ci(0)),
-        while_(lt(v("pos"), v("ns")), vec![
-            leti("todo", sub(v("ns"), v("pos"))),
-            if_(gt(v("todo"), ci(2048)), vec![set("todo", ci(2048))]),
-            host_ret("got", HostFn::FsRead, vec![v("fd"), ga("stage"), mul(v("todo"), ci(2))]),
-            for_("i", ci(0), v("todo"), vec![store(
-                ga("src"),
-                ElemTy::F32,
-                add(v("pos"), v("i")),
-                mul(i2f(load(ga("stage"), ElemTy::I16, v("i"))), cf(1.0 / 32768.0)),
-            )]),
-            set("pos", add(v("pos"), v("todo"))),
-        ]),
+        while_(
+            lt(v("pos"), v("ns")),
+            vec![
+                leti("todo", sub(v("ns"), v("pos"))),
+                if_(gt(v("todo"), ci(2048)), vec![set("todo", ci(2048))]),
+                host_ret(
+                    "got",
+                    HostFn::FsRead,
+                    vec![v("fd"), ga("stage"), mul(v("todo"), ci(2))],
+                ),
+                for_(
+                    "i",
+                    ci(0),
+                    v("todo"),
+                    vec![store(
+                        ga("src"),
+                        ElemTy::F32,
+                        add(v("pos"), v("i")),
+                        mul(
+                            i2f(load(ga("stage"), ElemTy::I16, v("i"))),
+                            cf(1.0 / 32768.0),
+                        ),
+                    )],
+                ),
+                set("pos", add(v("pos"), v("todo"))),
+            ],
+        ),
         // Peak-normalisation pass over the loaded signal (the off-line
         // loader conditions the source before synthesis).
         letf("peak", cf(1.0e-9)),
-        for_("i", ci(0), v("ns"), vec![
-            letf("a", fabs(load(ga("src"), ElemTy::F32, v("i")))),
-            if_(gt(v("a"), v("peak")), vec![set("peak", v("a"))]),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            v("ns"),
+            vec![
+                letf("a", fabs(load(ga("src"), ElemTy::F32, v("i")))),
+                if_(gt(v("a"), v("peak")), vec![set("peak", v("a"))]),
+            ],
+        ),
         letf("ng", div(cf(0.9), v("peak"))),
-        for_("i", ci(0), v("ns"), vec![store(
-            ga("src"),
-            ElemTy::F32,
-            v("i"),
-            mul(load(ga("src"), ElemTy::F32, v("i")), v("ng")),
-        )]),
+        for_(
+            "i",
+            ci(0),
+            v("ns"),
+            vec![store(
+                ga("src"),
+                ElemTy::F32,
+                v("i"),
+                mul(load(ga("src"), ElemTy::F32, v("i")), v("ng")),
+            )],
+        ),
         host(HostFn::FsClose, vec![v("fd")]),
     ]));
 
@@ -320,7 +386,11 @@ pub fn build_module(config: &WfsConfig) -> Module {
             .param("p", Ty::I64)
             .body(vec![
                 letf("ang", mul(i2f(v("p")), cf(0.13))),
-                stf(ga("srcpos"), mul(v("p"), ci(2)), mul(cos(v("ang")), cf(3.0))),
+                stf(
+                    ga("srcpos"),
+                    mul(v("p"), ci(2)),
+                    mul(cos(v("ang")), cf(3.0)),
+                ),
                 stf(
                     ga("srcpos"),
                     add(mul(v("p"), ci(2)), ci(1)),
@@ -335,7 +405,13 @@ pub fn build_module(config: &WfsConfig) -> Module {
             .param("s", Ty::I64)
             .body(vec![
                 leti("ns", cfg(cfg_idx::S)),
-                letf("dx", sub(ldf(ga("srcpos"), mul(v("p"), ci(2))), ldf(ga("spkpos"), mul(v("s"), ci(2))))),
+                letf(
+                    "dx",
+                    sub(
+                        ldf(ga("srcpos"), mul(v("p"), ci(2))),
+                        ldf(ga("spkpos"), mul(v("s"), ci(2))),
+                    ),
+                ),
                 letf(
                     "dy",
                     sub(
@@ -343,10 +419,16 @@ pub fn build_module(config: &WfsConfig) -> Module {
                         ldf(ga("spkpos"), add(mul(v("s"), ci(2)), ci(1))),
                     ),
                 ),
-                letf("dist", sqrt(add(mul(v("dx"), v("dx")), mul(v("dy"), v("dy"))))),
+                letf(
+                    "dist",
+                    sqrt(add(mul(v("dx"), v("dx")), mul(v("dy"), v("dy")))),
+                ),
                 letf("g", div(cf(1.0), fmax(v("dist"), cf(0.3)))),
                 stf(ga("gains"), add(mul(v("p"), v("ns")), v("s")), v("g")),
-                leti("d", f2i(div(mul(v("dist"), i2f(cfg(cfg_idx::RATE))), cf(340.0)))),
+                leti(
+                    "d",
+                    f2i(div(mul(v("dist"), i2f(cfg(cfg_idx::RATE))), cf(340.0))),
+                ),
                 set("d", add(rem(v("d"), cfg(cfg_idx::MAXD)), ci(1))),
                 sti(ga("delays"), add(mul(v("p"), v("ns")), v("s")), v("d")),
             ]),
@@ -359,7 +441,13 @@ pub fn build_module(config: &WfsConfig) -> Module {
             .body(vec![
                 leti("ns", cfg(cfg_idx::S)),
                 letf("g", ldf(ga("gains"), add(mul(v("p"), v("ns")), v("s")))),
-                letf("dx", sub(ldf(ga("spkpos"), mul(v("s"), ci(2))), ldf(ga("srcpos"), mul(v("p"), ci(2))))),
+                letf(
+                    "dx",
+                    sub(
+                        ldf(ga("spkpos"), mul(v("s"), ci(2))),
+                        ldf(ga("srcpos"), mul(v("p"), ci(2))),
+                    ),
+                ),
                 letf(
                     "dy",
                     sub(
@@ -368,7 +456,11 @@ pub fn build_module(config: &WfsConfig) -> Module {
                     ),
                 ),
                 stf(ga("dirvec"), mul(v("s"), ci(2)), mul(v("dx"), v("g"))),
-                stf(ga("dirvec"), add(mul(v("s"), ci(2)), ci(1)), mul(v("dy"), v("g"))),
+                stf(
+                    ga("dirvec"),
+                    add(mul(v("s"), ci(2)), ci(1)),
+                    mul(v("dy"), v("g")),
+                ),
             ]),
     );
 
@@ -379,10 +471,15 @@ pub fn build_module(config: &WfsConfig) -> Module {
             .returns(Ty::I64)
             .body(vec![
                 leti("r", ci(0)),
-                for_("b", ci(0), v("bits"), vec![
-                    set("r", bor(shl(v("r"), ci(1)), band(v("x"), ci(1)))),
-                    set("x", shr(v("x"), ci(1))),
-                ]),
+                for_(
+                    "b",
+                    ci(0),
+                    v("bits"),
+                    vec![
+                        set("r", bor(shl(v("r"), ci(1)), band(v("x"), ci(1)))),
+                        set("x", shr(v("x"), ci(1))),
+                    ],
+                ),
                 ret(v("r")),
             ]),
     );
@@ -390,173 +487,245 @@ pub fn build_module(config: &WfsConfig) -> Module {
     m.func(Function::new("perm").body(vec![
         leti("n", cfg(cfg_idx::N)),
         leti("l", cfg(cfg_idx::LOG2N)),
-        for_("i", ci(0), v("n"), vec![
-            leti("j", ci(0)),
-            call_ret("j", "bitrev", vec![v("i"), v("l")]),
-            if_(gt(v("j"), v("i")), vec![
-                letf("t", ldf(ga("fft_re"), v("i"))),
-                stf(ga("fft_re"), v("i"), ldf(ga("fft_re"), v("j"))),
-                stf(ga("fft_re"), v("j"), v("t")),
-                letf("u", ldf(ga("fft_im"), v("i"))),
-                stf(ga("fft_im"), v("i"), ldf(ga("fft_im"), v("j"))),
-                stf(ga("fft_im"), v("j"), v("u")),
-            ]),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            v("n"),
+            vec![
+                leti("j", ci(0)),
+                call_ret("j", "bitrev", vec![v("i"), v("l")]),
+                if_(
+                    gt(v("j"), v("i")),
+                    vec![
+                        letf("t", ldf(ga("fft_re"), v("i"))),
+                        stf(ga("fft_re"), v("i"), ldf(ga("fft_re"), v("j"))),
+                        stf(ga("fft_re"), v("j"), v("t")),
+                        letf("u", ldf(ga("fft_im"), v("i"))),
+                        stf(ga("fft_im"), v("i"), ldf(ga("fft_im"), v("j"))),
+                        stf(ga("fft_im"), v("j"), v("u")),
+                    ],
+                ),
+            ],
+        ),
     ]));
 
-    m.func(
-        Function::new("fft1d")
-            .param("dir", Ty::I64)
-            .body(vec![
-                call("perm", vec![]),
-                leti("n", cfg(cfg_idx::N)),
-                leti("mmax", ci(1)),
-                while_(lt(v("mmax"), v("n")), vec![
-                    leti("istep", mul(v("mmax"), ci(2))),
-                    letf("w0", div(mul(i2f(v("dir")), cf(PI)), i2f(v("mmax")))),
-                    for_("mm", ci(0), v("mmax"), vec![
+    m.func(Function::new("fft1d").param("dir", Ty::I64).body(vec![
+        call("perm", vec![]),
+        leti("n", cfg(cfg_idx::N)),
+        leti("mmax", ci(1)),
+        while_(
+            lt(v("mmax"), v("n")),
+            vec![
+                leti("istep", mul(v("mmax"), ci(2))),
+                letf("w0", div(mul(i2f(v("dir")), cf(PI)), i2f(v("mmax")))),
+                for_(
+                    "mm",
+                    ci(0),
+                    v("mmax"),
+                    vec![
                         letf("theta", mul(v("w0"), i2f(v("mm")))),
                         letf("wr", cos(v("theta"))),
                         letf("wi", sin(v("theta"))),
                         leti("i", v("mm")),
-                        while_(lt(v("i"), v("n")), vec![
-                            leti("j", add(v("i"), v("mmax"))),
-                            letf(
-                                "tr",
-                                sub(
-                                    mul(v("wr"), ldf(ga("fft_re"), v("j"))),
-                                    mul(v("wi"), ldf(ga("fft_im"), v("j"))),
+                        while_(
+                            lt(v("i"), v("n")),
+                            vec![
+                                leti("j", add(v("i"), v("mmax"))),
+                                letf(
+                                    "tr",
+                                    sub(
+                                        mul(v("wr"), ldf(ga("fft_re"), v("j"))),
+                                        mul(v("wi"), ldf(ga("fft_im"), v("j"))),
+                                    ),
                                 ),
-                            ),
-                            letf(
-                                "ti",
-                                add(
-                                    mul(v("wr"), ldf(ga("fft_im"), v("j"))),
-                                    mul(v("wi"), ldf(ga("fft_re"), v("j"))),
+                                letf(
+                                    "ti",
+                                    add(
+                                        mul(v("wr"), ldf(ga("fft_im"), v("j"))),
+                                        mul(v("wi"), ldf(ga("fft_re"), v("j"))),
+                                    ),
                                 ),
-                            ),
-                            stf(ga("fft_re"), v("j"), sub(ldf(ga("fft_re"), v("i")), v("tr"))),
-                            stf(ga("fft_im"), v("j"), sub(ldf(ga("fft_im"), v("i")), v("ti"))),
-                            stf(ga("fft_re"), v("i"), add(ldf(ga("fft_re"), v("i")), v("tr"))),
-                            stf(ga("fft_im"), v("i"), add(ldf(ga("fft_im"), v("i")), v("ti"))),
-                            set("i", add(v("i"), v("istep"))),
-                        ]),
-                    ]),
-                    set("mmax", v("istep")),
-                ]),
-                if_(lt(v("dir"), ci(0)), vec![
-                    letf("invn", div(cf(1.0), i2f(v("n")))),
-                    for_("k", ci(0), v("n"), vec![
-                        stf(ga("fft_re"), v("k"), mul(ldf(ga("fft_re"), v("k")), v("invn"))),
-                        stf(ga("fft_im"), v("k"), mul(ldf(ga("fft_im"), v("k")), v("invn"))),
-                    ]),
-                ]),
-            ]),
-    );
+                                stf(
+                                    ga("fft_re"),
+                                    v("j"),
+                                    sub(ldf(ga("fft_re"), v("i")), v("tr")),
+                                ),
+                                stf(
+                                    ga("fft_im"),
+                                    v("j"),
+                                    sub(ldf(ga("fft_im"), v("i")), v("ti")),
+                                ),
+                                stf(
+                                    ga("fft_re"),
+                                    v("i"),
+                                    add(ldf(ga("fft_re"), v("i")), v("tr")),
+                                ),
+                                stf(
+                                    ga("fft_im"),
+                                    v("i"),
+                                    add(ldf(ga("fft_im"), v("i")), v("ti")),
+                                ),
+                                set("i", add(v("i"), v("istep"))),
+                            ],
+                        ),
+                    ],
+                ),
+                set("mmax", v("istep")),
+            ],
+        ),
+        if_(
+            lt(v("dir"), ci(0)),
+            vec![
+                letf("invn", div(cf(1.0), i2f(v("n")))),
+                for_(
+                    "k",
+                    ci(0),
+                    v("n"),
+                    vec![
+                        stf(
+                            ga("fft_re"),
+                            v("k"),
+                            mul(ldf(ga("fft_re"), v("k")), v("invn")),
+                        ),
+                        stf(
+                            ga("fft_im"),
+                            v("k"),
+                            mul(ldf(ga("fft_im"), v("k")), v("invn")),
+                        ),
+                    ],
+                ),
+            ],
+        ),
+    ]));
 
     m.func(
         Function::new("zeroRealVec")
             .param("ptr", Ty::I64)
             .param("n", Ty::I64)
-            .body(vec![for_("i", ci(0), v("n"), vec![stf(v("ptr"), v("i"), cf(0.0))])]),
+            .body(vec![for_(
+                "i",
+                ci(0),
+                v("n"),
+                vec![stf(v("ptr"), v("i"), cf(0.0))],
+            )]),
     );
 
     m.func(Function::new("zeroCplxVec").body(vec![
         leti("n", cfg(cfg_idx::N)),
-        for_("i", ci(0), v("n"), vec![
-            stf(ga("fft_re"), v("i"), cf(0.0)),
-            stf(ga("fft_im"), v("i"), cf(0.0)),
-        ]),
+        for_(
+            "i",
+            ci(0),
+            v("n"),
+            vec![
+                stf(ga("fft_re"), v("i"), cf(0.0)),
+                stf(ga("fft_im"), v("i"), cf(0.0)),
+            ],
+        ),
     ]));
 
     m.func(Function::new("r2c").body(vec![
         leti("c", cfg(cfg_idx::C)),
-        for_("i", ci(0), v("c"), vec![stf(
-            ga("fft_re"),
-            v("i"),
-            load(ga("inbuf"), ElemTy::F32, v("i")),
-        )]),
+        for_(
+            "i",
+            ci(0),
+            v("c"),
+            vec![stf(
+                ga("fft_re"),
+                v("i"),
+                load(ga("inbuf"), ElemTy::F32, v("i")),
+            )],
+        ),
     ]));
 
     m.func(Function::new("c2r").body(vec![
         leti("c", cfg(cfg_idx::C)),
-        for_("i", ci(0), v("c"), vec![store(
-            ga("procbuf"),
-            ElemTy::F32,
-            v("i"),
-            ldf(ga("fft_re"), v("i")),
-        )]),
+        for_(
+            "i",
+            ci(0),
+            v("c"),
+            vec![store(
+                ga("procbuf"),
+                ElemTy::F32,
+                v("i"),
+                ldf(ga("fft_re"), v("i")),
+            )],
+        ),
     ]));
 
-    m.func(
-        Function::new("cmult")
-            .param("k", Ty::I64)
-            .body(vec![
-                stf(
-                    ga("tmp_re"),
-                    v("k"),
-                    sub(
-                        mul(ldf(ga("fft_re"), v("k")), ldf(ga("coef1_re"), v("k"))),
-                        mul(ldf(ga("fft_im"), v("k")), ldf(ga("coef1_im"), v("k"))),
-                    ),
-                ),
-                stf(
-                    ga("tmp_im"),
-                    v("k"),
-                    add(
-                        mul(ldf(ga("fft_re"), v("k")), ldf(ga("coef1_im"), v("k"))),
-                        mul(ldf(ga("fft_im"), v("k")), ldf(ga("coef1_re"), v("k"))),
-                    ),
-                ),
-            ]),
-    );
+    m.func(Function::new("cmult").param("k", Ty::I64).body(vec![
+        stf(
+            ga("tmp_re"),
+            v("k"),
+            sub(
+                mul(ldf(ga("fft_re"), v("k")), ldf(ga("coef1_re"), v("k"))),
+                mul(ldf(ga("fft_im"), v("k")), ldf(ga("coef1_im"), v("k"))),
+            ),
+        ),
+        stf(
+            ga("tmp_im"),
+            v("k"),
+            add(
+                mul(ldf(ga("fft_re"), v("k")), ldf(ga("coef1_im"), v("k"))),
+                mul(ldf(ga("fft_im"), v("k")), ldf(ga("coef1_re"), v("k"))),
+            ),
+        ),
+    ]));
 
-    m.func(
-        Function::new("cadd")
-            .param("k", Ty::I64)
-            .body(vec![
-                stf(
-                    ga("fft_re"),
-                    v("k"),
-                    add(ldf(ga("tmp_re"), v("k")), ldf(ga("carry_re"), v("k"))),
-                ),
-                stf(
-                    ga("fft_im"),
-                    v("k"),
-                    add(ldf(ga("tmp_im"), v("k")), ldf(ga("carry_im"), v("k"))),
-                ),
-            ]),
-    );
+    m.func(Function::new("cadd").param("k", Ty::I64).body(vec![
+        stf(
+            ga("fft_re"),
+            v("k"),
+            add(ldf(ga("tmp_re"), v("k")), ldf(ga("carry_re"), v("k"))),
+        ),
+        stf(
+            ga("fft_im"),
+            v("k"),
+            add(ldf(ga("tmp_im"), v("k")), ldf(ga("carry_im"), v("k"))),
+        ),
+    ]));
 
     m.func(Function::new("Filter_process_pre_").body(vec![
         leti("n", cfg(cfg_idx::N)),
-        for_("k", ci(0), v("n"), vec![
-            stf(
-                ga("carry_re"),
-                v("k"),
-                add(
-                    mul(ldf(ga("carry_re"), v("k")), cf(0.5)),
-                    mul(mul(ldf(ga("fft_re"), v("k")), ldf(ga("coef2_re"), v("k"))), cf(0.05)),
+        for_(
+            "k",
+            ci(0),
+            v("n"),
+            vec![
+                stf(
+                    ga("carry_re"),
+                    v("k"),
+                    add(
+                        mul(ldf(ga("carry_re"), v("k")), cf(0.5)),
+                        mul(
+                            mul(ldf(ga("fft_re"), v("k")), ldf(ga("coef2_re"), v("k"))),
+                            cf(0.05),
+                        ),
+                    ),
                 ),
-            ),
-            stf(
-                ga("carry_im"),
-                v("k"),
-                add(
-                    mul(ldf(ga("carry_im"), v("k")), cf(0.5)),
-                    mul(mul(ldf(ga("fft_im"), v("k")), ldf(ga("coef2_re"), v("k"))), cf(0.05)),
+                stf(
+                    ga("carry_im"),
+                    v("k"),
+                    add(
+                        mul(ldf(ga("carry_im"), v("k")), cf(0.5)),
+                        mul(
+                            mul(ldf(ga("fft_im"), v("k")), ldf(ga("coef2_re"), v("k"))),
+                            cf(0.05),
+                        ),
+                    ),
                 ),
-            ),
-        ]),
+            ],
+        ),
     ]));
 
     m.func(Function::new("Filter_process").body(vec![
         call("Filter_process_pre_", vec![]),
         leti("n", cfg(cfg_idx::N)),
-        for_("k", ci(0), v("n"), vec![
-            call("cmult", vec![v("k")]),
-            call("cadd", vec![v("k")]),
-        ]),
+        for_(
+            "k",
+            ci(0),
+            v("n"),
+            vec![call("cmult", vec![v("k")]), call("cadd", vec![v("k")])],
+        ),
     ]));
 
     m.func(
@@ -566,7 +735,11 @@ pub fn build_module(config: &WfsConfig) -> Module {
                 leti("cl", cfg(cfg_idx::C)),
                 call(
                     "lib_memcpy4",
-                    vec![ga("inbuf"), add(ga("src"), mul(mul(v("c"), v("cl")), ci(4))), v("cl")],
+                    vec![
+                        ga("inbuf"),
+                        add(ga("src"), mul(mul(v("c"), v("cl")), ci(4))),
+                        v("cl"),
+                    ],
                 ),
             ]),
     );
@@ -580,41 +753,61 @@ pub fn build_module(config: &WfsConfig) -> Module {
                 leti("dl", cfg(cfg_idx::DLEN)),
                 leti("p", div(mul(v("c"), cfg(cfg_idx::P)), cfg(cfg_idx::K))),
                 leti("dp", ldi(ga("dpos"), ci(0))),
-                for_("s", ci(0), v("ns"), vec![
-                    call(
-                        "zeroRealVec",
-                        vec![
-                            add(ga("mix"), mul(mul(v("s"), mul(v("cl"), ci(2))), ci(8))),
-                            mul(v("cl"), ci(2)),
-                        ],
-                    ),
-                    letf("g", ldf(ga("gains"), add(mul(v("p"), v("ns")), v("s")))),
-                    leti("d", ldi(ga("delays"), add(mul(v("p"), v("ns")), v("s")))),
-                    for_("i", ci(0), v("cl"), vec![
-                        leti("wpos", rem(add(v("dp"), v("i")), v("dl"))),
-                        store(
-                            ga("dline"),
-                            ElemTy::F32,
-                            add(mul(v("s"), v("dl")), v("wpos")),
-                            load(ga("procbuf"), ElemTy::F32, v("i")),
+                for_(
+                    "s",
+                    ci(0),
+                    v("ns"),
+                    vec![
+                        call(
+                            "zeroRealVec",
+                            vec![
+                                add(ga("mix"), mul(mul(v("s"), mul(v("cl"), ci(2))), ci(8))),
+                                mul(v("cl"), ci(2)),
+                            ],
                         ),
-                        leti(
-                            "rpos",
-                            rem(
-                                add(sub(add(v("dp"), v("i")), v("d")), mul(v("dl"), ci(4))),
-                                v("dl"),
-                            ),
+                        letf("g", ldf(ga("gains"), add(mul(v("p"), v("ns")), v("s")))),
+                        leti("d", ldi(ga("delays"), add(mul(v("p"), v("ns")), v("s")))),
+                        for_(
+                            "i",
+                            ci(0),
+                            v("cl"),
+                            vec![
+                                leti("wpos", rem(add(v("dp"), v("i")), v("dl"))),
+                                store(
+                                    ga("dline"),
+                                    ElemTy::F32,
+                                    add(mul(v("s"), v("dl")), v("wpos")),
+                                    load(ga("procbuf"), ElemTy::F32, v("i")),
+                                ),
+                                leti(
+                                    "rpos",
+                                    rem(
+                                        add(sub(add(v("dp"), v("i")), v("d")), mul(v("dl"), ci(4))),
+                                        v("dl"),
+                                    ),
+                                ),
+                                stf(
+                                    ga("mix"),
+                                    add(mul(v("s"), mul(v("cl"), ci(2))), v("i")),
+                                    add(
+                                        ldf(
+                                            ga("mix"),
+                                            add(mul(v("s"), mul(v("cl"), ci(2))), v("i")),
+                                        ),
+                                        mul(
+                                            load(
+                                                ga("dline"),
+                                                ElemTy::F32,
+                                                add(mul(v("s"), v("dl")), v("rpos")),
+                                            ),
+                                            v("g"),
+                                        ),
+                                    ),
+                                ),
+                            ],
                         ),
-                        stf(
-                            ga("mix"),
-                            add(mul(v("s"), mul(v("cl"), ci(2))), v("i")),
-                            add(
-                                ldf(ga("mix"), add(mul(v("s"), mul(v("cl"), ci(2))), v("i"))),
-                                mul(load(ga("dline"), ElemTy::F32, add(mul(v("s"), v("dl")), v("rpos"))), v("g")),
-                            ),
-                        ),
-                    ]),
-                ]),
+                    ],
+                ),
                 sti(ga("dpos"), ci(0), rem(add(v("dp"), v("cl")), v("dl"))),
             ]),
     );
@@ -631,68 +824,95 @@ pub fn build_module(config: &WfsConfig) -> Module {
                 leti("ns", cfg(cfg_idx::S)),
                 leti("cl", cfg(cfg_idx::C)),
                 leti("nsm", cfg(cfg_idx::NSAMP)),
-                for_("s", ci(0), v("ns"), vec![memcpy_(
-                    add(
-                        ga("frames"),
-                        mul(add(mul(v("s"), v("nsm")), mul(v("c"), v("cl"))), ci(8)),
-                    ),
-                    add(ga("mix"), mul(mul(v("s"), mul(v("cl"), ci(2))), ci(8))),
-                    mul(v("cl"), ci(8)),
-                )]),
+                for_(
+                    "s",
+                    ci(0),
+                    v("ns"),
+                    vec![memcpy_(
+                        add(
+                            ga("frames"),
+                            mul(add(mul(v("s"), v("nsm")), mul(v("c"), v("cl"))), ci(8)),
+                        ),
+                        add(ga("mix"), mul(mul(v("s"), mul(v("cl"), ci(2))), ci(8))),
+                        mul(v("cl"), ci(8)),
+                    )],
+                ),
             ]),
     );
 
     m.func(Function::new("wav_store").body(vec![
         leti("fd", ci(0)),
-        host_ret("fd", HostFn::FsOpen, vec![ga("path_out"), ci(OUTPUT_WAV.len() as i64), ci(1)]),
+        host_ret(
+            "fd",
+            HostFn::FsOpen,
+            vec![ga("path_out"), ci(OUTPUT_WAV.len() as i64), ci(1)],
+        ),
         host(HostFn::FsWrite, vec![v("fd"), ga("outhdr"), ci(44)]),
         leti("total", mul(cfg(cfg_idx::NSAMP), cfg(cfg_idx::S))),
         leti("pos", ci(0)),
-        while_(lt(v("pos"), v("total")), vec![
-            leti("todo", sub(v("total"), v("pos"))),
-            if_(gt(v("todo"), ci(2048)), vec![set("todo", ci(2048))]),
-            for_("i", ci(0), v("todo"), vec![
-                // Interleave on the fly from the planar frame store:
-                // output sample index pos+i maps to (t = idx/S, s = idx%S).
-                leti("idx", add(v("pos"), v("i"))),
-                letf(
-                    "x",
-                    ldf(
-                        ga("frames"),
-                        add(
-                            mul(rem(v("idx"), cfg(cfg_idx::S)), cfg(cfg_idx::NSAMP)),
-                            div(v("idx"), cfg(cfg_idx::S)),
+        while_(
+            lt(v("pos"), v("total")),
+            vec![
+                leti("todo", sub(v("total"), v("pos"))),
+                if_(gt(v("todo"), ci(2048)), vec![set("todo", ci(2048))]),
+                for_(
+                    "i",
+                    ci(0),
+                    v("todo"),
+                    vec![
+                        // Interleave on the fly from the planar frame store:
+                        // output sample index pos+i maps to (t = idx/S, s = idx%S).
+                        leti("idx", add(v("pos"), v("i"))),
+                        letf(
+                            "x",
+                            ldf(
+                                ga("frames"),
+                                add(
+                                    mul(rem(v("idx"), cfg(cfg_idx::S)), cfg(cfg_idx::NSAMP)),
+                                    div(v("idx"), cfg(cfg_idx::S)),
+                                ),
+                            ),
                         ),
-                    ),
+                        // Triangular dither from two LCG draws.
+                        leti("r", ldi(ga("lcg"), ci(0))),
+                        set("r", add(mul(v("r"), ci(LCG_MUL)), ci(LCG_INC))),
+                        letf("d1", i2f(band(shr(v("r"), ci(33)), ci(0xFFFF)))),
+                        set("r", add(mul(v("r"), ci(LCG_MUL)), ci(LCG_INC))),
+                        letf("d2", i2f(band(shr(v("r"), ci(33)), ci(0xFFFF)))),
+                        sti(ga("lcg"), ci(0), v("r")),
+                        letf(
+                            "y",
+                            add(
+                                mul(v("x"), cf(32767.0)),
+                                mul(sub(add(v("d1"), v("d2")), cf(65536.0)), cf(DITHER_SCALE)),
+                            ),
+                        ),
+                        // First-order error-feedback noise shaping.
+                        set("y", add(v("y"), mul(ldf(ga("errfb"), ci(0)), cf(0.25)))),
+                        leti("q", ci(0)),
+                        call_ret("q", "lib_round", vec![v("y")]),
+                        stf(ga("errfb"), ci(0), sub(v("y"), i2f(v("q")))),
+                        // Output peak + power meters.
+                        letf("am", fabs(v("y"))),
+                        if_(
+                            gt(v("am"), ldf(ga("meter"), ci(0))),
+                            vec![stf(ga("meter"), ci(0), v("am"))],
+                        ),
+                        stf(
+                            ga("rms"),
+                            ci(0),
+                            add(ldf(ga("rms"), ci(0)), mul(v("y"), v("y"))),
+                        ),
+                        store(ga("stage"), ElemTy::I16, v("i"), v("q")),
+                    ],
                 ),
-                // Triangular dither from two LCG draws.
-                leti("r", ldi(ga("lcg"), ci(0))),
-                set("r", add(mul(v("r"), ci(LCG_MUL)), ci(LCG_INC))),
-                letf("d1", i2f(band(shr(v("r"), ci(33)), ci(0xFFFF)))),
-                set("r", add(mul(v("r"), ci(LCG_MUL)), ci(LCG_INC))),
-                letf("d2", i2f(band(shr(v("r"), ci(33)), ci(0xFFFF)))),
-                sti(ga("lcg"), ci(0), v("r")),
-                letf(
-                    "y",
-                    add(
-                        mul(v("x"), cf(32767.0)),
-                        mul(sub(add(v("d1"), v("d2")), cf(65536.0)), cf(DITHER_SCALE)),
-                    ),
+                host(
+                    HostFn::FsWrite,
+                    vec![v("fd"), ga("stage"), mul(v("todo"), ci(2))],
                 ),
-                // First-order error-feedback noise shaping.
-                set("y", add(v("y"), mul(ldf(ga("errfb"), ci(0)), cf(0.25)))),
-                leti("q", ci(0)),
-                call_ret("q", "lib_round", vec![v("y")]),
-                stf(ga("errfb"), ci(0), sub(v("y"), i2f(v("q")))),
-                // Output peak + power meters.
-                letf("am", fabs(v("y"))),
-                if_(gt(v("am"), ldf(ga("meter"), ci(0))), vec![stf(ga("meter"), ci(0), v("am"))]),
-                stf(ga("rms"), ci(0), add(ldf(ga("rms"), ci(0)), mul(v("y"), v("y")))),
-                store(ga("stage"), ElemTy::I16, v("i"), v("q")),
-            ]),
-            host(HostFn::FsWrite, vec![v("fd"), ga("stage"), mul(v("todo"), ci(2))]),
-            set("pos", add(v("pos"), v("todo"))),
-        ]),
+                set("pos", add(v("pos"), v("todo"))),
+            ],
+        ),
         host(HostFn::FsClose, vec![v("fd")]),
     ]));
 
@@ -705,29 +925,44 @@ pub fn build_module(config: &WfsConfig) -> Module {
         // point × speaker, with ~7 % culled (out-of-aperture pairs).
         leti("np", cfg(cfg_idx::P)),
         leti("nsp", cfg(cfg_idx::S)),
-        for_("p", ci(0), v("np"), vec![
-            call("PrimarySource_deriveTP", vec![v("p")]),
-            for_("s", ci(0), v("nsp"), vec![if_(
-                ne(rem(add(v("p"), v("s")), ci(13)), ci(0)),
-                vec![
-                    call("calculateGainPQ", vec![v("p"), v("s")]),
-                    call("vsmult2d", vec![v("p"), v("s")]),
-                ],
-            )]),
-        ]),
+        for_(
+            "p",
+            ci(0),
+            v("np"),
+            vec![
+                call("PrimarySource_deriveTP", vec![v("p")]),
+                for_(
+                    "s",
+                    ci(0),
+                    v("nsp"),
+                    vec![if_(
+                        ne(rem(add(v("p"), v("s")), ci(13)), ci(0)),
+                        vec![
+                            call("calculateGainPQ", vec![v("p"), v("s")]),
+                            call("vsmult2d", vec![v("p"), v("s")]),
+                        ],
+                    )],
+                ),
+            ],
+        ),
         // Main WFS processing loop.
         leti("nk", cfg(cfg_idx::K)),
-        for_("c", ci(0), v("nk"), vec![
-            call("AudioIo_getFrames", vec![v("c")]),
-            call("zeroCplxVec", vec![]),
-            call("r2c", vec![]),
-            call("fft1d", vec![ci(1)]),
-            call("Filter_process", vec![]),
-            call("fft1d", vec![ci(-1)]),
-            call("c2r", vec![]),
-            call("DelayLine_processChunk", vec![v("c")]),
-            call("AudioIo_setFrames", vec![v("c")]),
-        ]),
+        for_(
+            "c",
+            ci(0),
+            v("nk"),
+            vec![
+                call("AudioIo_getFrames", vec![v("c")]),
+                call("zeroCplxVec", vec![]),
+                call("r2c", vec![]),
+                call("fft1d", vec![ci(1)]),
+                call("Filter_process", vec![]),
+                call("fft1d", vec![ci(-1)]),
+                call("c2r", vec![]),
+                call("DelayLine_processChunk", vec![v("c")]),
+                call("AudioIo_setFrames", vec![v("c")]),
+            ],
+        ),
         // Wave-save phase.
         call("wav_store", vec![]),
     ]));
@@ -758,7 +993,11 @@ mod tests {
 
     #[test]
     fn module_checks_for_all_presets() {
-        for c in [WfsConfig::tiny(), WfsConfig::small(), WfsConfig::paper_scaled()] {
+        for c in [
+            WfsConfig::tiny(),
+            WfsConfig::small(),
+            WfsConfig::paper_scaled(),
+        ] {
             let m = build_module(&c);
             check(&m).expect("wfs module type-checks");
         }

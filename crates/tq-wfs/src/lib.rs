@@ -23,5 +23,5 @@ pub mod wav;
 
 pub use app::WfsApp;
 pub use config::WfsConfig;
-pub use kernels::{build_module, cfg_idx, KERNEL_NAMES, INPUT_WAV, OUTPUT_WAV};
+pub use kernels::{build_module, cfg_idx, INPUT_WAV, KERNEL_NAMES, OUTPUT_WAV};
 pub use reference::RefWfs;

@@ -237,10 +237,8 @@ impl RefWfs {
         let n = self.cfg.fft_size as usize;
         for k in 0..n {
             // cmult
-            self.tmp_re[k] =
-                self.fft_re[k] * self.coef1_re[k] - self.fft_im[k] * self.coef1_im[k];
-            self.tmp_im[k] =
-                self.fft_re[k] * self.coef1_im[k] + self.fft_im[k] * self.coef1_re[k];
+            self.tmp_re[k] = self.fft_re[k] * self.coef1_re[k] - self.fft_im[k] * self.coef1_im[k];
+            self.tmp_im[k] = self.fft_re[k] * self.coef1_im[k] + self.fft_im[k] * self.coef1_re[k];
             // cadd
             self.fft_re[k] = self.tmp_re[k] + self.carry_re[k];
             self.fft_im[k] = self.tmp_im[k] + self.carry_im[k];
@@ -391,7 +389,11 @@ mod tests {
     #[test]
     fn reference_produces_wellformed_output() {
         let cfg = WfsConfig::tiny();
-        let input = encode_wav(1, cfg.sample_rate, &synth_source(cfg.n_samples(), cfg.sample_rate, 1));
+        let input = encode_wav(
+            1,
+            cfg.sample_rate,
+            &synth_source(cfg.n_samples(), cfg.sample_rate, 1),
+        );
         let out = RefWfs::new(cfg).run(&input);
         let w = decode_wav(&out).unwrap();
         assert_eq!(w.n_channels as u32, cfg.n_speakers);
@@ -434,8 +436,16 @@ mod tests {
                 re += x * ang.cos();
                 im += x * ang.sin();
             }
-            assert!((r.fft_re[k] - re).abs() < 1e-6, "re[{k}]: {} vs {re}", r.fft_re[k]);
-            assert!((r.fft_im[k] - im).abs() < 1e-6, "im[{k}]: {} vs {im}", r.fft_im[k]);
+            assert!(
+                (r.fft_re[k] - re).abs() < 1e-6,
+                "re[{k}]: {} vs {re}",
+                r.fft_re[k]
+            );
+            assert!(
+                (r.fft_im[k] - im).abs() < 1e-6,
+                "im[{k}]: {} vs {im}",
+                r.fft_im[k]
+            );
         }
     }
 
@@ -463,7 +473,11 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let cfg = WfsConfig::tiny();
-        let input = encode_wav(1, cfg.sample_rate, &synth_source(cfg.n_samples(), cfg.sample_rate, 3));
+        let input = encode_wav(
+            1,
+            cfg.sample_rate,
+            &synth_source(cfg.n_samples(), cfg.sample_rate, 3),
+        );
         let a = RefWfs::new(cfg).run(&input);
         let b = RefWfs::new(cfg).run(&input);
         assert_eq!(a, b);

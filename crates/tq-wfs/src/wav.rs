@@ -6,8 +6,7 @@
 //! values, so a deterministic mixture of sinusoids with pseudo-random
 //! phases stands in (documented as a substitution in `DESIGN.md`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tq_isa::prng::Rng;
 
 /// Build a canonical 44-byte PCM WAVE header.
 pub fn wav_header(n_channels: u16, sample_rate: u32, n_samples_per_channel: u32) -> [u8; 44] {
@@ -81,21 +80,27 @@ pub fn decode_wav(bytes: &[u8]) -> Result<WavData, String> {
     let n = data_bytes.min(avail) / 2;
     let mut samples = Vec::with_capacity(n);
     for i in 0..n {
-        samples.push(i16::from_le_bytes(bytes[44 + 2 * i..46 + 2 * i].try_into().unwrap()));
+        samples.push(i16::from_le_bytes(
+            bytes[44 + 2 * i..46 + 2 * i].try_into().unwrap(),
+        ));
     }
-    Ok(WavData { n_channels, sample_rate, samples })
+    Ok(WavData {
+        n_channels,
+        sample_rate,
+        samples,
+    })
 }
 
 /// Deterministic synthetic source signal: a mixture of sinusoids with
 /// pseudo-random frequencies/phases plus low-level noise, in i16 PCM.
 pub fn synth_source(n_samples: u32, sample_rate: u32, seed: u64) -> Vec<i16> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let partials: Vec<(f64, f64, f64)> = (0..6)
         .map(|_| {
             (
-                rng.gen_range(80.0..2000.0),           // frequency
-                rng.gen_range(0.0..std::f64::consts::TAU), // phase
-                rng.gen_range(0.05..0.2),              // amplitude
+                rng.f64_in(80.0, 2000.0),               // frequency
+                rng.f64_in(0.0, std::f64::consts::TAU), // phase
+                rng.f64_in(0.05, 0.2),                  // amplitude
             )
         })
         .collect();
@@ -106,7 +111,7 @@ pub fn synth_source(n_samples: u32, sample_rate: u32, seed: u64) -> Vec<i16> {
             for &(f, p, a) in &partials {
                 x += a * (std::f64::consts::TAU * f * t + p).sin();
             }
-            x += rng.gen_range(-0.01..0.01);
+            x += rng.f64_in(-0.01, 0.01);
             (x.clamp(-1.0, 1.0) * 30000.0) as i16
         })
         .collect()
@@ -130,7 +135,10 @@ mod tests {
     fn header_fields() {
         let h = wav_header(4, 16000, 100);
         assert_eq!(&h[0..4], b"RIFF");
-        assert_eq!(u32::from_le_bytes(h[40..44].try_into().unwrap()), 100 * 4 * 2);
+        assert_eq!(
+            u32::from_le_bytes(h[40..44].try_into().unwrap()),
+            100 * 4 * 2
+        );
         assert_eq!(u16::from_le_bytes(h[22..24].try_into().unwrap()), 4);
     }
 

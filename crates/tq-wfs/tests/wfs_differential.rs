@@ -8,12 +8,19 @@ use tq_wfs::{RefWfs, WfsApp, WfsConfig};
 fn vm_output_matches_reference_tiny() {
     let app = WfsApp::build(WfsConfig::tiny());
     let (vm, exit) = app.run_bare().expect("wfs runs");
-    assert!(exit.icount > 100_000, "non-trivial run: {} instructions", exit.icount);
+    assert!(
+        exit.icount > 100_000,
+        "non-trivial run: {} instructions",
+        exit.icount
+    );
 
     let vm_out = app.output_wav(&vm).expect("output.wav written").to_vec();
     let ref_out = app.reference_output();
     assert_eq!(vm_out.len(), ref_out.len(), "output sizes match");
-    assert_eq!(vm_out, ref_out, "VM and reference outputs are byte-identical");
+    assert_eq!(
+        vm_out, ref_out,
+        "VM and reference outputs are byte-identical"
+    );
 }
 
 #[test]
@@ -55,7 +62,10 @@ fn output_is_sound_not_noise() {
             }
         }
     }
-    assert!(best > 0.3, "output correlates with input (best |r| = {best:.3})");
+    assert!(
+        best > 0.3,
+        "output correlates with input (best |r| = {best:.3})"
+    );
 }
 
 #[test]
@@ -70,7 +80,10 @@ fn changing_config_changes_instruction_count_proportionally() {
 
     assert!(e2.icount > e1.icount, "more chunks → more instructions");
     let ratio = e2.icount as f64 / e1.icount as f64;
-    assert!(ratio > 1.2 && ratio < 2.5, "roughly linear in chunks: {ratio:.2}");
+    assert!(
+        ratio > 1.2 && ratio < 2.5,
+        "roughly linear in chunks: {ratio:.2}"
+    );
 }
 
 #[test]
@@ -143,7 +156,9 @@ fn library_exclusion_option_changes_attribution() {
     let run = |policy: LibPolicy| {
         let mut vm = app.make_vm();
         let t = vm.attach_tool(Box::new(TquadTool::new(
-            TquadOptions::default().with_interval(1_000).with_lib_policy(policy),
+            TquadOptions::default()
+                .with_interval(1_000)
+                .with_lib_policy(policy),
         )));
         vm.run(None).expect("runs");
         vm.detach_tool::<TquadTool>(t).unwrap().into_profile()
@@ -153,7 +168,8 @@ fn library_exclusion_option_changes_attribution() {
     let drop = run(LibPolicy::Drop);
     let track = run(LibPolicy::Track);
 
-    let reads = |p: &tq_tquad::TquadProfile, name: &str| p.kernel(name).unwrap().series.totals(true).0;
+    let reads =
+        |p: &tq_tquad::TquadProfile, name: &str| p.kernel(name).unwrap().series.totals(true).0;
 
     // Dropping library traffic shrinks wav_store's attributed reads.
     assert!(
@@ -167,8 +183,14 @@ fn library_exclusion_option_changes_attribution() {
 
     // Under Track, lib_round appears as its own kernel and receives exactly
     // the traffic that moved off wav_store.
-    assert_eq!(reads(&track, "lib_round") + reads(&track, "wav_store"), reads(&attr, "wav_store"));
-    assert!(reads(&attr, "lib_round") == 0, "untracked routines report nothing");
+    assert_eq!(
+        reads(&track, "lib_round") + reads(&track, "wav_store"),
+        reads(&attr, "wav_store")
+    );
+    assert!(
+        reads(&attr, "lib_round") == 0,
+        "untracked routines report nothing"
+    );
 
     // The per-sample call count: lib_round once per output sample.
     assert_eq!(

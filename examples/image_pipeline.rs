@@ -16,7 +16,10 @@ fn main() {
         TquadOptions::default().with_interval(2_000),
     )));
     let exit = vm.run(None).expect("pipeline runs");
-    let profile = vm.detach_tool::<TquadTool>(handle).expect("tool detaches").into_profile();
+    let profile = vm
+        .detach_tool::<TquadTool>(handle)
+        .expect("tool detaches")
+        .into_profile();
 
     println!(
         "{} instructions; outputs: edges.pgm ({} B), coeffs.bin ({} B), recon.pgm ({} B)",
@@ -29,7 +32,14 @@ fn main() {
 
     let chart = figure_chart(
         &profile,
-        &["img_load", "conv3x3", "sobel_mag", "dct8x8", "idct8x8", "img_store"],
+        &[
+            "img_load",
+            "conv3x3",
+            "sobel_mag",
+            "dct8x8",
+            "idct8x8",
+            "img_store",
+        ],
         Measure::ReadIncl,
         96,
         None,

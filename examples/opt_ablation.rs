@@ -21,8 +21,10 @@ fn main() {
     let app = tquad_suite::wfs::WfsApp::build(config);
 
     let mut results = Vec::new();
-    for (label, m) in [("-O0 (default)", module.clone()), ("-O1 (folded)", fold_module(&module))]
-    {
+    for (label, m) in [
+        ("-O0 (default)", module.clone()),
+        ("-O1 (folded)", fold_module(&module)),
+    ] {
         let compiled = compile(&m).expect("compiles");
         let mut vm = Vm::new(compiled.program).expect("loads");
         vm.fs_mut().add_file(INPUT_WAV, app.input_wav.clone());
@@ -30,7 +32,10 @@ fn main() {
             TquadOptions::default().with_interval(2_000),
         )));
         let exit = vm.run(None).expect("runs");
-        let profile = vm.detach_tool::<TquadTool>(h).expect("tool detaches").into_profile();
+        let profile = vm
+            .detach_tool::<TquadTool>(h)
+            .expect("tool detaches")
+            .into_profile();
 
         let (mut incl, mut excl) = (0u64, 0u64);
         for k in &profile.kernels {
@@ -72,20 +77,32 @@ fn synthetic_comparison() {
 
     let mut m = Module::new("synth");
     m.global("out", ElemTy::F64, 4096, GlobalInit::Zero);
-    m.func(Function::new("main").body(vec![for_("i", ci(0), ci(4096), vec![
-        // Coefficients spelled out as constant arithmetic, as generated
-        // code often does.
-        letf("c0", div(mul(cf(2.0), cf(std::f64::consts::PI)), cf(32.0))),
-        letf("c1", add(mul(cf(0.5), cf(0.54)), cf(0.19))),
-        letf("x", mul(i2f(v("i")), v("c0"))),
-        if_else(
-            eq(ci(1), ci(1)), // constant branch
-            vec![stf(ga("out"), v("i"), add(mul(sin(v("x")), v("c1")), mul(cf(3.0), cf(0.1))))],
-            vec![stf(ga("out"), v("i"), cf(0.0))],
-        ),
-    ])]));
+    m.func(Function::new("main").body(vec![for_(
+        "i",
+        ci(0),
+        ci(4096),
+        vec![
+            // Coefficients spelled out as constant arithmetic, as generated
+            // code often does.
+            letf("c0", div(mul(cf(2.0), cf(std::f64::consts::PI)), cf(32.0))),
+            letf("c1", add(mul(cf(0.5), cf(0.54)), cf(0.19))),
+            letf("x", mul(i2f(v("i")), v("c0"))),
+            if_else(
+                eq(ci(1), ci(1)), // constant branch
+                vec![stf(
+                    ga("out"),
+                    v("i"),
+                    add(mul(sin(v("x")), v("c1")), mul(cf(3.0), cf(0.1))),
+                )],
+                vec![stf(ga("out"), v("i"), cf(0.0))],
+            ),
+        ],
+    )]));
 
-    for (label, module) in [("synthetic -O0", m.clone()), ("synthetic -O1", fold_module(&m))] {
+    for (label, module) in [
+        ("synthetic -O0", m.clone()),
+        ("synthetic -O1", fold_module(&m)),
+    ] {
         let compiled = compile(&module).expect("compiles");
         let mut vm = Vm::new(compiled.program).expect("loads");
         let exit = vm.run(None).expect("runs");

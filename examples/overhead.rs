@@ -26,21 +26,47 @@ fn main() {
     };
 
     let bare = time("bare VM (native baseline)", &|_| {}, true);
-    let tq = time("tquad (interval 20k)", &|vm| {
-        vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(20_000))));
-    }, true);
-    let tq_fine = time("tquad (interval 500 — fine slices)", &|vm| {
-        vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(500))));
-    }, true);
-    let gp = time("gprof-sim (sampling)", &|vm| {
-        vm.attach_tool(Box::new(GprofTool::new(GprofOptions::default())));
-    }, true);
-    let qd = time("quad (shadow memory)", &|vm| {
-        vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
-    }, true);
-    let nc = time("tquad WITHOUT the code cache", &|vm| {
-        vm.attach_tool(Box::new(TquadTool::new(TquadOptions::default().with_interval(20_000))));
-    }, false);
+    let tq = time(
+        "tquad (interval 20k)",
+        &|vm| {
+            vm.attach_tool(Box::new(TquadTool::new(
+                TquadOptions::default().with_interval(20_000),
+            )));
+        },
+        true,
+    );
+    let tq_fine = time(
+        "tquad (interval 500 — fine slices)",
+        &|vm| {
+            vm.attach_tool(Box::new(TquadTool::new(
+                TquadOptions::default().with_interval(500),
+            )));
+        },
+        true,
+    );
+    let gp = time(
+        "gprof-sim (sampling)",
+        &|vm| {
+            vm.attach_tool(Box::new(GprofTool::new(GprofOptions::default())));
+        },
+        true,
+    );
+    let qd = time(
+        "quad (shadow memory)",
+        &|vm| {
+            vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
+        },
+        true,
+    );
+    let nc = time(
+        "tquad WITHOUT the code cache",
+        &|vm| {
+            vm.attach_tool(Box::new(TquadTool::new(
+                TquadOptions::default().with_interval(20_000),
+            )));
+        },
+        false,
+    );
 
     println!();
     for (label, t) in [

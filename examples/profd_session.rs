@@ -1,0 +1,124 @@
+//! A full tq-profd session in one process: start the service on an
+//! ephemeral port, submit a batch of profiling jobs from concurrent
+//! clients, and watch the capture cache do its job — one VM run serves
+//! every tool, interval and policy variant, and repeats come back
+//! byte-identical from the result memo.
+//!
+//! ```sh
+//! cargo run --release --example profd_session
+//! ```
+
+use tquad_suite::profd::{
+    AppId, Client, JobSpec, Scale, Server, ServerConfig, StackPolicy, ToolId,
+};
+use tquad_suite::report::Json;
+
+fn main() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+    println!("tq-profd on {addr}\n");
+
+    // Eight job variants over one workload, submitted from four concurrent
+    // clients. All of them share a single capture run.
+    let jobs: Vec<JobSpec> = vec![
+        JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad),
+        JobSpec {
+            interval: 5_000,
+            ..JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad)
+        },
+        JobSpec {
+            interval: 50_000,
+            ..JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad)
+        },
+        JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Quad),
+        JobSpec {
+            stack: StackPolicy::Exclude,
+            ..JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Quad)
+        },
+        JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Gprof),
+        JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Phases),
+        // An exact repeat: served from the result memo, byte-identical.
+        JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad),
+    ];
+
+    let results = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let handles: Vec<_> = jobs
+            .chunks(2)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    chunk
+                        .iter()
+                        .map(|spec| (spec.clone(), client.submit(spec.clone()).expect("submit")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+
+    for (spec, (profile, cached)) in &results {
+        println!(
+            "{:<6} interval={:<6} stack={:<7} -> {:>6} bytes of JSON{}",
+            spec.tool.as_str(),
+            spec.interval,
+            if spec.stack.include() { "incl" } else { "excl" },
+            profile.render().len(),
+            if *cached { "  (memo hit)" } else { "" },
+        );
+    }
+
+    // The repeat really is the same bytes as its first run.
+    let first = results
+        .iter()
+        .find(|(s, _)| *s == jobs[0])
+        .map(|(_, (p, _))| p.render())
+        .expect("first tquad job");
+    let repeats: Vec<_> = results
+        .iter()
+        .filter(|(s, _)| *s == jobs[0])
+        .map(|(_, (p, _))| p.render())
+        .collect();
+    assert!(
+        repeats.iter().all(|r| *r == first),
+        "memoized responses are byte-identical"
+    );
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    println!(
+        "\nservice: {} jobs, {} VM run(s), {} capture hit(s), {} memo hit(s), {} events replayed",
+        stats
+            .get("jobs_submitted")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        stats.get("vm_runs").and_then(Json::as_u64).unwrap_or(0),
+        stats
+            .get("capture_mem_hits")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        stats.get("result_hits").and_then(Json::as_u64).unwrap_or(0),
+        stats
+            .get("events_replayed")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+    assert_eq!(
+        stats.get("vm_runs").and_then(Json::as_u64),
+        Some(1),
+        "one capture serves all"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+    println!("server stopped cleanly");
+}

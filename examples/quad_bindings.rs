@@ -15,7 +15,10 @@ fn main() {
     let mut vm = app.make_vm();
     let handle = vm.attach_tool(Box::new(QuadTool::new(QuadOptions::default())));
     vm.run(None).expect("wfs runs");
-    let profile = vm.detach_tool::<QuadTool>(handle).expect("tool detaches").into_profile();
+    let profile = vm
+        .detach_tool::<QuadTool>(handle)
+        .expect("tool detaches")
+        .into_profile();
 
     // Per-kernel IN/OUT summary (Table II columns).
     let mut t = Table::new("Data produced/consumed (stack accesses included)")
@@ -51,6 +54,8 @@ fn main() {
 
     let dot = qdu_graph(&profile, 4096).render();
     std::fs::write("qdu.dot", &dot).expect("write qdu.dot");
-    println!("\nQDU graph with {} edges written to qdu.dot (render with `dot -Tsvg`)",
-        dot.matches("->").count());
+    println!(
+        "\nQDU graph with {} edges written to qdu.dot (render with `dot -Tsvg`)",
+        dot.matches("->").count()
+    );
 }

@@ -26,7 +26,12 @@ fn main() {
 
     module.func(Function::new("consumer").body(vec![
         letf("acc", cf(0.0)),
-        for_("i", ci(0), ci(4096), vec![set("acc", add(v("acc"), ldf(ga("buf"), v("i"))))]),
+        for_(
+            "i",
+            ci(0),
+            ci(4096),
+            vec![set("acc", add(v("acc"), ldf(ga("buf"), v("i"))))],
+        ),
         stf(ga("out"), ci(0), v("acc")),
     ]));
 
@@ -46,7 +51,10 @@ fn main() {
     let exit = vm.run(None).expect("program runs");
     println!("executed {} instructions\n", exit.icount);
 
-    let profile = vm.detach_tool::<TquadTool>(handle).expect("tool detaches").into_profile();
+    let profile = vm
+        .detach_tool::<TquadTool>(handle)
+        .expect("tool detaches")
+        .into_profile();
 
     // Temporal view: who uses memory bandwidth, when.
     let chart = figure_chart(
@@ -57,7 +65,13 @@ fn main() {
         None,
     );
     println!("{}", chart.render());
-    let chart = figure_chart(&profile, &["producer", "consumer"], Measure::ReadIncl, 72, None);
+    let chart = figure_chart(
+        &profile,
+        &["producer", "consumer"],
+        Measure::ReadIncl,
+        72,
+        None,
+    );
     println!("{}", chart.render());
 
     // Per-kernel statistics (the Table IV columns).

@@ -20,7 +20,10 @@ fn main() {
             TquadOptions::default().with_interval(interval),
         )));
         vm.run(None).expect("wfs runs");
-        let profile = vm.detach_tool::<TquadTool>(handle).expect("tool detaches").into_profile();
+        let profile = vm
+            .detach_tool::<TquadTool>(handle)
+            .expect("tool detaches")
+            .into_profile();
 
         println!("── interval = {interval} instructions ({slices} slices) ──");
         let chart = figure_chart(

@@ -19,12 +19,21 @@ fn main() {
         TquadOptions::default().with_interval(2_000),
     )));
     vm.run(None).expect("wfs runs");
-    let quad = vm.detach_tool::<QuadTool>(q).expect("tool detaches").into_profile();
-    let tquad = vm.detach_tool::<TquadTool>(t).expect("tool detaches").into_profile();
+    let quad = vm
+        .detach_tool::<QuadTool>(q)
+        .expect("tool detaches")
+        .into_profile();
+    let tquad = vm
+        .detach_tool::<TquadTool>(t)
+        .expect("tool detaches")
+        .into_profile();
 
     let clustering = cluster_by_communication(
         &quad,
-        ClusterOptions { max_cluster_size: 6, min_edge_bytes: 1024 },
+        ClusterOptions {
+            max_cluster_size: 6,
+            min_edge_bytes: 1024,
+        },
     );
 
     println!(
@@ -41,7 +50,11 @@ fn main() {
     };
 
     for (i, c) in clustering.clusters.iter().enumerate() {
-        println!("cluster {} — {} B internal traffic:", i + 1, c.internal_bytes);
+        println!(
+            "cluster {} — {} B internal traffic:",
+            i + 1,
+            c.internal_bytes
+        );
         for &k in &c.kernels {
             let name = &quad.rows[k.idx()].name;
             let ph = phase_of(k)

@@ -26,7 +26,10 @@ fn main() {
         TquadOptions::default().with_interval(2_000),
     )));
     let exit = vm.run(None).expect("wfs runs");
-    let profile = vm.detach_tool::<TquadTool>(handle).expect("tool detaches").into_profile();
+    let profile = vm
+        .detach_tool::<TquadTool>(handle)
+        .expect("tool detaches")
+        .into_profile();
 
     println!(
         "{} instructions in {} slices of {}\n",

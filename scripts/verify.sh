@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (see ROADMAP.md). Everything runs offline: the
+# workspace has zero external crates, so no registry access is needed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "verify: OK"

@@ -1,0 +1,28 @@
+//! # tquad-suite — umbrella crate for the tQUAD (ICPP 2010) reproduction
+//!
+//! This crate carries the runnable `examples/` and cross-crate integration
+//! glue; the substance lives in the `crates/` workspace members, re-exported
+//! here under short aliases (`tquad_suite::vm`, `tquad_suite::tquad`, …):
+//!
+//! * [`isa`] — virtual instruction set, encoder/decoder, assembler;
+//! * [`vm`] — Pin-like DBI virtual machine with the tool API;
+//! * [`kernelc`] — mini kernel compiler (typed AST → ISA);
+//! * [`wfs`] / [`imgproc`] — the two case-study applications;
+//! * [`trace`] — capture-once/replay-many event traces;
+//! * [`gprof`] / [`quad`] / [`tquad`] — the three profiling tools the
+//!   paper compares;
+//! * [`report`] — tables, charts, DOT, HTML and the hand-rolled JSON codec;
+//! * [`profd`] — the concurrent profiling service (capture cache +
+//!   parallel replay workers).
+
+pub use tq_gprof as gprof;
+pub use tq_imgproc as imgproc;
+pub use tq_isa as isa;
+pub use tq_kernelc as kernelc;
+pub use tq_profd as profd;
+pub use tq_quad as quad;
+pub use tq_report as report;
+pub use tq_tquad as tquad;
+pub use tq_trace as trace;
+pub use tq_vm as vm;
+pub use tq_wfs as wfs;
