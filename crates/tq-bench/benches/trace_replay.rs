@@ -1,12 +1,36 @@
 //! Bench: analysing from a recorded trace versus re-running the
 //! instrumented VM — the payoff of the capture-once/analyse-many
-//! architecture for parameter sweeps like §V.B. Plain timing harness
-//! (`tq_bench::bench`).
+//! architecture for parameter sweeps like §V.B — plus the sharded-replay
+//! scaling sweep (shards vs wall clock on one wfs capture). Plain timing
+//! harness (`tq_bench::bench`).
 
-use tq_bench::bench;
+use std::time::{Duration, Instant};
+use tq_bench::{bench, save};
 use tq_tquad::{TquadOptions, TquadTool};
-use tq_trace::TraceRecorder;
+use tq_trace::{Trace, TraceRecorder};
 use tq_wfs::{WfsApp, WfsConfig};
+
+fn capture(config: WfsConfig) -> Trace {
+    let app = WfsApp::build(config);
+    let mut vm = app.make_vm();
+    let r = vm.attach_tool(Box::new(TraceRecorder::new()));
+    vm.run(None).expect("capture run");
+    vm.detach_tool::<TraceRecorder>(r).unwrap().into_trace()
+}
+
+/// Best-of-N wall clock for one sharded tquad replay.
+fn sharded_time(trace: &Trace, jobs: usize, iters: usize) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let mut tool = TquadTool::new(TquadOptions::default().with_interval(5_000));
+        let t0 = Instant::now();
+        trace.replay_sharded(&mut tool, jobs).expect("replays");
+        let dt = t0.elapsed();
+        std::hint::black_box(tool.into_profile().n_slices());
+        best = best.min(dt);
+    }
+    best
+}
 
 fn main() {
     let app = WfsApp::build(WfsConfig::tiny());
@@ -33,4 +57,40 @@ fn main() {
         trace.replay(&mut tool).expect("replays");
         tool.into_profile().n_slices()
     });
+
+    // Shard-count sweep on a bigger capture (tiny replays in microseconds,
+    // which only measures thread spawn overhead). The index is embedded
+    // once at capture time — exactly what the capture paths in tq-cli and
+    // tq-profd do — so the timed region is the pure parallel replay.
+    let iters: usize = std::env::var("TQ_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let big = capture(WfsConfig::small())
+        .with_chunk_index(tq_trace::DEFAULT_CHUNKS)
+        .expect("chunk index");
+    let seq = sharded_time(&big, 1, iters);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut report = format!(
+        "# cores={cores} events={}\njobs\tseconds\tspeedup\n",
+        big.n_events
+    );
+    println!(
+        "sharded tquad replay, wfs small ({} events, {cores} core(s) — \
+         speedup is bounded by the core count):",
+        big.n_events
+    );
+    for jobs in [1usize, 2, 4, 8] {
+        let dt = if jobs == 1 {
+            seq
+        } else {
+            sharded_time(&big, jobs, iters)
+        };
+        let speedup = seq.as_secs_f64() / dt.as_secs_f64();
+        println!("  jobs {jobs}: {dt:?}  ({speedup:.2}x vs sequential)");
+        report.push_str(&format!("{jobs}\t{:.6}\t{speedup:.3}\n", dt.as_secs_f64()));
+    }
+    save("trace_replay_shards.tsv", &report);
 }

@@ -7,12 +7,13 @@
 //!
 //! ```text
 //! tq run     [--app wfs|img] [--scale tiny|small|paper]
-//! tq gprof   [--scale …] [--interval N]
+//! tq gprof   [--scale …] [--interval N] [--jobs N]
 //! tq tquad   [--scale …] [--interval N] [--exclude-stack] [--exclude-libs]
-//!            [--chart read|write] [--kernels a,b,c] [--width N]
+//!            [--chart read|write] [--kernels a,b,c] [--width N] [--jobs N]
 //! tq quad    [--scale …] [--exclude-stack] [--exclude-libs] [--dot PATH]
-//! tq phases  [--scale …] [--interval N] [--strategy cosine|interval]
-//! tq intervals [--scale …] [--interval N] [--kernel NAME] [--gap N]
+//!            [--jobs N]
+//! tq phases  [--scale …] [--interval N] [--strategy cosine|interval] [--jobs N]
+//! tq intervals [--scale …] [--interval N] [--kernel NAME] [--gap N] [--jobs N]
 //! tq disasm  [--routine NAME]
 //! tq serve   [--addr HOST:PORT] [--workers N] [--state-dir PATH]
 //!            [--cache-mb N] [--queue N] [--timeout-ms N] [--capture-fuel N]
@@ -81,6 +82,17 @@ impl Args {
             None => Ok(default),
         }
     }
+
+    /// Like [`u64_or`], but zero is rejected with a usage error. Flags
+    /// like `--interval 0` or `--jobs 0` are always mistakes — an interval
+    /// of zero instructions has no time axis and zero shards do no work —
+    /// and must fail loudly instead of panicking deep inside a tool.
+    fn positive_u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.u64_or(name, default)? {
+            0 => Err(format!("--{name} must be a positive number")),
+            n => Ok(n),
+        }
+    }
 }
 
 /// The profiled application: compiled program + staged input, behind one
@@ -95,6 +107,43 @@ impl App {
         let mut vm = tq_vm::Vm::new(self.program.clone()).map_err(|e| e.to_string())?;
         vm.fs_mut().add_file(&self.input.0, self.input.1.clone());
         Ok(vm)
+    }
+}
+
+/// Run `tool` over the application and hand it back full of data.
+///
+/// `jobs == 1` attaches the tool to a live VM run (the classic path).
+/// `jobs > 1` records the execution once, then shards the offline replay
+/// across that many threads — the resulting profile is byte-identical to
+/// the live run, just computed in parallel.
+fn run_profiled<T: tq_vm::MergeTool + 'static>(
+    app: &App,
+    jobs: usize,
+    tool: T,
+) -> Result<T, String> {
+    let mut vm = app.make_vm()?;
+    if jobs > 1 {
+        let h = vm.attach_tool(Box::new(tq_trace::TraceRecorder::new()));
+        vm.run(None).map_err(|e| e.to_string())?;
+        // Index at capture time: the one sequential scan happens here, so
+        // the sharded replay below runs fully parallel.
+        let trace = vm
+            .detach_tool::<tq_trace::TraceRecorder>(h)
+            .ok_or("internal error: detached tool had unexpected type")?
+            .into_trace()
+            .with_chunk_index(tq_trace::DEFAULT_CHUNKS)
+            .map_err(|e| format!("chunk indexing failed: {e}"))?;
+        let mut tool = tool;
+        trace
+            .replay_sharded(&mut tool, jobs)
+            .map_err(|e| format!("sharded replay failed: {e}"))?;
+        Ok(tool)
+    } else {
+        let h = vm.attach_tool(Box::new(tool));
+        vm.run(None).map_err(|e| e.to_string())?;
+        vm.detach_tool::<T>(h)
+            .map(|boxed| *boxed)
+            .ok_or_else(|| "internal error: detached tool had unexpected type".to_string())
     }
 }
 
@@ -144,12 +193,14 @@ fn lib_policy(args: &Args) -> LibPolicy {
 fn usage() -> String {
     "usage: tq <run|gprof|tquad|quad|phases|intervals|disasm|serve|submit> [options]\n\
      common options: --app wfs|img --scale tiny|small|paper\n\
+     \u{20}               --jobs N (record once, shard the replay over N threads;\n\
+     \u{20}               the profile is byte-identical to a sequential run)\n\
      tquad options:  --interval N --exclude-stack --exclude-libs --chart read|write\n\
      \u{20}               --kernels a,b,c --width N\n\
      quad options:   --exclude-stack --exclude-libs --dot PATH\n\
      phases options: --interval N --strategy cosine|interval\n\
      intervals opts: --interval N --kernel NAME --gap N\n\
-     gprof options:  --interval N\n\
+     gprof options:  --interval N --track-libs\n\
      disasm options: --routine NAME\n\
      serve options:  --addr HOST:PORT --workers N --state-dir PATH --cache-mb N\n\
      \u{20}               --queue N --timeout-ms N --capture-fuel N\n\
@@ -206,33 +257,34 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "gprof" => {
             let app = app_for(&args)?;
-            let interval = args.u64_or("interval", 5_000)?;
-            let mut vm = app.make_vm()?;
-            let h = vm.attach_tool(Box::new(GprofTool::new(GprofOptions {
-                sample_interval: interval,
-                ..Default::default()
-            })));
-            vm.run(None).map_err(|e| e.to_string())?;
-            let p = vm
-                .detach_tool::<GprofTool>(h)
-                .ok_or("internal error: detached tool had unexpected type")?;
+            let interval = args.positive_u64_or("interval", 5_000)?;
+            let jobs = args.positive_u64_or("jobs", 1)? as usize;
+            let p = run_profiled(
+                &app,
+                jobs,
+                GprofTool::new(GprofOptions {
+                    sample_interval: interval,
+                    track_libs: matches!(lib_policy(&args), LibPolicy::Track),
+                    ..Default::default()
+                }),
+            )?;
             println!("{}", p.into_profile().table("FLAT PROFILE").render());
         }
         "tquad" => {
             let app = app_for(&args)?;
-            let interval = args.u64_or("interval", 20_000)?;
+            let interval = args.positive_u64_or("interval", 20_000)?;
+            let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let include_stack = !args.has("exclude-stack");
-            let mut vm = app.make_vm()?;
-            let h = vm.attach_tool(Box::new(TquadTool::new(
-                TquadOptions::default()
-                    .with_interval(interval)
-                    .with_lib_policy(lib_policy(&args)),
-            )));
-            vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm
-                .detach_tool::<TquadTool>(h)
-                .ok_or("internal error: detached tool had unexpected type")?
-                .into_profile();
+            let profile = run_profiled(
+                &app,
+                jobs,
+                TquadTool::new(
+                    TquadOptions::default()
+                        .with_interval(interval)
+                        .with_lib_policy(lib_policy(&args)),
+                ),
+            )?
+            .into_profile();
 
             let measure = match (args.get("chart").unwrap_or("read"), include_stack) {
                 ("read", true) => Measure::ReadIncl,
@@ -251,7 +303,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .collect(),
             };
             let names: Vec<&str> = kernels.iter().map(|s| s.as_str()).collect();
-            let width = args.u64_or("width", 96)? as usize;
+            let width = args.positive_u64_or("width", 96)? as usize;
             println!(
                 "{}",
                 figure_chart(&profile, &names, measure, width, None).render()
@@ -267,16 +319,16 @@ fn run(argv: &[String]) -> Result<(), String> {
         "quad" => {
             let app = app_for(&args)?;
             let include_stack = !args.has("exclude-stack");
-            let mut vm = app.make_vm()?;
-            let h = vm.attach_tool(Box::new(QuadTool::new(QuadOptions {
-                include_stack,
-                lib_policy: lib_policy(&args),
-            })));
-            vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm
-                .detach_tool::<QuadTool>(h)
-                .ok_or("internal error: detached tool had unexpected type")?
-                .into_profile();
+            let jobs = args.positive_u64_or("jobs", 1)? as usize;
+            let profile = run_profiled(
+                &app,
+                jobs,
+                QuadTool::new(QuadOptions {
+                    include_stack,
+                    lib_policy: lib_policy(&args),
+                }),
+            )?
+            .into_profile();
 
             let mut t = tq_report::Table::new(format!(
                 "QUAD (stack accesses {})",
@@ -309,18 +361,18 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "phases" => {
             let app = app_for(&args)?;
-            let interval = args.u64_or("interval", 2_000)?;
-            let mut vm = app.make_vm()?;
-            let h = vm.attach_tool(Box::new(TquadTool::new(
-                TquadOptions::default()
-                    .with_interval(interval)
-                    .with_lib_policy(lib_policy(&args)),
-            )));
-            vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm
-                .detach_tool::<TquadTool>(h)
-                .ok_or("internal error: detached tool had unexpected type")?
-                .into_profile();
+            let interval = args.positive_u64_or("interval", 2_000)?;
+            let jobs = args.positive_u64_or("jobs", 1)? as usize;
+            let profile = run_profiled(
+                &app,
+                jobs,
+                TquadTool::new(
+                    TquadOptions::default()
+                        .with_interval(interval)
+                        .with_lib_policy(lib_policy(&args)),
+                ),
+            )?
+            .into_profile();
             let detector = match args.get("strategy").unwrap_or("cosine") {
                 "cosine" => PhaseDetector::default(),
                 "interval" => PhaseDetector {
@@ -337,19 +389,19 @@ fn run(argv: &[String]) -> Result<(), String> {
             // about the exact time intervals in which a kernel is
             // communicating with the memory." (§V)
             let app = app_for(&args)?;
-            let interval = args.u64_or("interval", 2_000)?;
-            let gap = args.u64_or("gap", 0)?;
-            let mut vm = app.make_vm()?;
-            let h = vm.attach_tool(Box::new(TquadTool::new(
-                TquadOptions::default()
-                    .with_interval(interval)
-                    .with_lib_policy(lib_policy(&args)),
-            )));
-            vm.run(None).map_err(|e| e.to_string())?;
-            let profile = vm
-                .detach_tool::<TquadTool>(h)
-                .ok_or("internal error: detached tool had unexpected type")?
-                .into_profile();
+            let interval = args.positive_u64_or("interval", 2_000)?;
+            let gap = args.u64_or("gap", 0)?; // zero gap is meaningful: no interval merging
+            let jobs = args.positive_u64_or("jobs", 1)? as usize;
+            let profile = run_profiled(
+                &app,
+                jobs,
+                TquadTool::new(
+                    TquadOptions::default()
+                        .with_interval(interval)
+                        .with_lib_policy(lib_policy(&args)),
+                ),
+            )?
+            .into_profile();
             let wanted = args.get("kernel");
             for k in profile.active_kernels() {
                 if let Some(w) = wanted {
@@ -405,12 +457,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             let defaults = ServerConfig::default();
             let config = ServerConfig {
                 addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
-                workers: args.u64_or("workers", defaults.workers as u64)? as usize,
+                workers: args.positive_u64_or("workers", defaults.workers as u64)? as usize,
                 state_dir: args.get("state-dir").map(std::path::PathBuf::from),
                 cache_bytes: args.u64_or("cache-mb", defaults.cache_bytes >> 20)? << 20,
-                queue_depth: args.u64_or("queue", defaults.queue_depth as u64)? as usize,
+                queue_depth: args.positive_u64_or("queue", defaults.queue_depth as u64)? as usize,
                 job_timeout: Duration::from_millis(
-                    args.u64_or("timeout-ms", defaults.job_timeout.as_millis() as u64)?,
+                    args.positive_u64_or("timeout-ms", defaults.job_timeout.as_millis() as u64)?,
                 ),
                 capture_fuel: match args.u64_or("capture-fuel", 0)? {
                     0 => None,
@@ -441,7 +493,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 let app = AppId::parse(args.get("app").unwrap_or("wfs"))?;
                 let scale = Scale::parse(args.get("scale").unwrap_or("tiny"))?;
                 let mut spec = JobSpec::new(app, scale, tool);
-                spec.interval = args.u64_or("interval", spec.interval)?;
+                spec.interval = args.positive_u64_or("interval", spec.interval)?;
                 if args.has("exclude-stack") {
                     spec.stack = StackPolicy::Exclude;
                 }

@@ -15,7 +15,7 @@
 use tq_isa::RoutineId;
 use tq_report::{f as fmt_f, Align, Table};
 use tq_tquad::CallStack;
-use tq_vm::{hooks, Event, HookMask, InsContext, ProgramInfo, Tool};
+use tq_vm::{hooks, Event, HookMask, InsContext, MergeTool, ProgramInfo, ShardContext, Tool};
 
 /// Converts virtual time (instructions) to seconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -130,7 +130,10 @@ impl GprofTool {
                 count,
             })
             .collect();
-        edges.sort_by_key(|e| std::cmp::Reverse(e.count));
+        // Secondary id keys keep the order deterministic across processes
+        // (HashMap iteration order is randomised per process, and sharded
+        // replay must be byte-identical to sequential).
+        edges.sort_by_key(|e| (std::cmp::Reverse(e.count), e.caller.0, e.callee.0));
         FlatProfile {
             sample_interval: self.opts.sample_interval,
             time_model: self.opts.time_model,
@@ -213,8 +216,44 @@ impl Tool for GprofTool {
     }
 }
 
+impl MergeTool for GprofTool {
+    fn fork(&self, info: &ProgramInfo, ctx: &ShardContext) -> Box<dyn MergeTool> {
+        let mut g = GprofTool::new(self.opts);
+        g.on_attach(info);
+        // Resume the call stack this tool would hold at the shard boundary
+        // (all-routines with track_libs, main-image otherwise). Seeded
+        // frames count neither as calls nor call-graph edges — the shard
+        // that replayed the entry already recorded both.
+        for &(rtn, sp) in ctx.frames(self.opts.track_libs) {
+            g.stack.enter(rtn, sp);
+        }
+        Box::new(g)
+    }
+
+    fn absorb(&mut self, other: Box<dyn MergeTool>) {
+        let other = other
+            .into_any()
+            .downcast::<GprofTool>()
+            .expect("absorb: shard is not a GprofTool");
+        self.total_samples += other.total_samples;
+        for (mine, more) in [
+            (&mut self.self_samples, &other.self_samples),
+            (&mut self.cum_samples, &other.cum_samples),
+            (&mut self.calls, &other.calls),
+            (&mut self.extra_instr, &other.extra_instr),
+        ] {
+            for (a, b) in mine.iter_mut().zip(more) {
+                *a += b;
+            }
+        }
+        for (edge, count) in &other.edges {
+            *self.edges.entry(*edge).or_insert(0) += count;
+        }
+    }
+}
+
 /// One flat-profile row.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlatRow {
     /// Routine id.
     pub rtn: RoutineId,
@@ -233,7 +272,7 @@ pub struct FlatRow {
 }
 
 /// One caller→callee edge of the call graph (gprof's second section).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CallEdge {
     /// Calling routine.
     pub caller: RoutineId,
@@ -248,7 +287,7 @@ pub struct CallEdge {
 }
 
 /// A gprof-style flat profile.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlatProfile {
     /// Sampling interval in instructions.
     pub sample_interval: u64,
@@ -318,6 +357,45 @@ impl FlatProfile {
     /// Look a row up by name.
     pub fn row(&self, name: &str) -> Option<&FlatRow> {
         self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Fold another partial flat profile of the same program and sampling
+    /// configuration into this one (the reduce step of sharded replay):
+    /// sample/call/cost counters are summed row-wise, call-graph edges are
+    /// summed per (caller, callee) pair and re-ranked. Commutative and
+    /// associative.
+    ///
+    /// Panics if the profiles disagree on sampling interval or row table.
+    pub fn merge(&mut self, other: &FlatProfile) {
+        assert_eq!(
+            self.sample_interval, other.sample_interval,
+            "shards must share the sampling interval"
+        );
+        assert_eq!(
+            self.rows.len(),
+            other.rows.len(),
+            "shards must share the routine table"
+        );
+        self.total_samples += other.total_samples;
+        for (row, more) in self.rows.iter_mut().zip(&other.rows) {
+            debug_assert_eq!(row.rtn, more.rtn);
+            row.self_samples += more.self_samples;
+            row.cum_samples += more.cum_samples;
+            row.calls += more.calls;
+            row.extra_instr += more.extra_instr;
+        }
+        for e in &other.edges {
+            match self
+                .edges
+                .iter_mut()
+                .find(|m| m.caller == e.caller && m.callee == e.callee)
+            {
+                Some(m) => m.count += e.count,
+                None => self.edges.push(e.clone()),
+            }
+        }
+        self.edges
+            .sort_by_key(|e| (std::cmp::Reverse(e.count), e.caller.0, e.callee.0));
     }
 
     /// Rows sorted by `%time` descending, zero rows dropped — the flat

@@ -27,15 +27,24 @@ pub fn record_capture(workload: &Workload, fuel: Option<u64>) -> Result<Trace, S
     let rec = vm
         .detach_tool::<TraceRecorder>(h)
         .ok_or("trace recorder lost its handle")?;
-    Ok(rec.into_trace())
+    // Embed the chunk index while the capture is hot: one scan here buys
+    // rescan-free sharded replay for every later analysis of this capture
+    // (the index persists through the disk tier, and the content digest
+    // deliberately ignores it).
+    rec.into_trace()
+        .with_chunk_index(tq_trace::DEFAULT_CHUNKS)
+        .map_err(|e| format!("chunk indexing failed: {e:?}"))
 }
 
 /// Replay `trace` under the job's tool and render the profile as canonical
-/// JSON. Pure function of `(spec, trace)` — the basis of result memoizing.
-pub fn run_tool(spec: &JobSpec, trace: &Trace) -> Result<Json, String> {
+/// JSON. Pure function of `(spec, trace)` — the basis of result memoizing:
+/// `n_jobs` shards the replay across threads but never changes the output
+/// (sharded partials reduce to the byte-identical sequential profile), so
+/// it is deliberately *not* part of the memo key.
+pub fn run_tool(spec: &JobSpec, trace: &Trace, n_jobs: usize) -> Result<Json, String> {
     match spec.tool {
         ToolId::Tquad => {
-            let profile = replay_tquad(spec, trace)?;
+            let profile = replay_tquad(spec, trace, n_jobs)?;
             Ok(profile_json(&profile))
         }
         ToolId::Quad => {
@@ -44,7 +53,7 @@ pub fn run_tool(spec: &JobSpec, trace: &Trace) -> Result<Json, String> {
                 lib_policy: spec.lib_policy,
             });
             trace
-                .replay(&mut tool)
+                .replay_sharded(&mut tool, n_jobs)
                 .map_err(|e| format!("replay failed: {e:?}"))?;
             Ok(quad_json(&tool.into_profile()))
         }
@@ -58,12 +67,12 @@ pub fn run_tool(spec: &JobSpec, trace: &Trace) -> Result<Json, String> {
                 ..Default::default()
             });
             trace
-                .replay(&mut tool)
+                .replay_sharded(&mut tool, n_jobs)
                 .map_err(|e| format!("replay failed: {e:?}"))?;
             Ok(gprof_json(&tool.into_profile()))
         }
         ToolId::Phases => {
-            let profile = replay_tquad(spec, trace)?;
+            let profile = replay_tquad(spec, trace, n_jobs)?;
             let detector = PhaseDetector {
                 include_stack: spec.stack.include(),
                 ..PhaseDetector::default()
@@ -74,7 +83,11 @@ pub fn run_tool(spec: &JobSpec, trace: &Trace) -> Result<Json, String> {
     }
 }
 
-fn replay_tquad(spec: &JobSpec, trace: &Trace) -> Result<tq_tquad::TquadProfile, String> {
+fn replay_tquad(
+    spec: &JobSpec,
+    trace: &Trace,
+    n_jobs: usize,
+) -> Result<tq_tquad::TquadProfile, String> {
     if spec.interval == 0 {
         return Err(format!(
             "{} requires a positive `interval`",
@@ -87,7 +100,7 @@ fn replay_tquad(spec: &JobSpec, trace: &Trace) -> Result<tq_tquad::TquadProfile,
             .with_lib_policy(spec.lib_policy),
     );
     trace
-        .replay(&mut tool)
+        .replay_sharded(&mut tool, n_jobs)
         .map_err(|e| format!("replay failed: {e:?}"))?;
     Ok(tool.into_profile())
 }
@@ -223,7 +236,7 @@ mod tests {
         let (_, trace) = tiny_capture();
         for tool in [ToolId::Tquad, ToolId::Quad, ToolId::Gprof, ToolId::Phases] {
             let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, tool);
-            let json = run_tool(&spec, &trace).unwrap_or_else(|e| panic!("{tool:?}: {e}"));
+            let json = run_tool(&spec, &trace, 1).unwrap_or_else(|e| panic!("{tool:?}: {e}"));
             let line = json.render();
             assert!(!line.is_empty());
             // Canonical: render ∘ parse ∘ render is the identity.
@@ -235,22 +248,38 @@ mod tests {
     fn replay_is_deterministic_per_spec() {
         let (_, trace) = tiny_capture();
         let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Quad);
-        let a = run_tool(&spec, &trace).unwrap().render();
-        let b = run_tool(&spec, &trace).unwrap().render();
+        let a = run_tool(&spec, &trace, 1).unwrap().render();
+        let b = run_tool(&spec, &trace, 1).unwrap().render();
         assert_eq!(a, b, "same spec, same capture, same bytes");
+    }
+
+    #[test]
+    fn sharded_replay_renders_identical_json() {
+        // n_jobs must be invisible in the output — that is what makes it
+        // safe to leave out of the result-memo key.
+        let (_, trace) = tiny_capture();
+        for tool in [ToolId::Tquad, ToolId::Quad, ToolId::Gprof, ToolId::Phases] {
+            let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, tool);
+            let seq = run_tool(&spec, &trace, 1).unwrap().render();
+            for jobs in [2, 4] {
+                let sharded = run_tool(&spec, &trace, jobs).unwrap().render();
+                assert_eq!(seq, sharded, "{tool:?} with {jobs} shards");
+            }
+        }
     }
 
     #[test]
     fn variants_change_the_answer() {
         let (_, trace) = tiny_capture();
         let base = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Quad);
-        let with_stack = run_tool(&base, &trace).unwrap().render();
+        let with_stack = run_tool(&base, &trace, 1).unwrap().render();
         let without = run_tool(
             &JobSpec {
                 stack: StackPolicy::Exclude,
                 ..base.clone()
             },
             &trace,
+            1,
         )
         .unwrap()
         .render();
@@ -265,8 +294,9 @@ mod tests {
         let (_, trace) = tiny_capture();
         let mut spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad);
         spec.interval = 0;
-        assert!(run_tool(&spec, &trace).is_err());
+        assert!(run_tool(&spec, &trace, 1).is_err());
+        assert!(run_tool(&spec, &trace, 4).is_err());
         spec.tool = ToolId::Gprof;
-        assert!(run_tool(&spec, &trace).is_err());
+        assert!(run_tool(&spec, &trace, 1).is_err());
     }
 }

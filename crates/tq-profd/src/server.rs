@@ -24,7 +24,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -95,6 +95,9 @@ struct Shared {
     not_empty: Condvar,
     /// Signalled when a job is taken (backpressure release).
     not_full: Condvar,
+    /// Workers currently executing a job; the gap to `config.workers` is
+    /// idle capacity a running job may borrow as replay shards.
+    busy: AtomicUsize,
     shutdown: AtomicBool,
 }
 
@@ -180,12 +183,20 @@ impl Shared {
             }
         }
 
-        let json = run_tool(spec, &trace)?;
+        // Borrow idle workers as replay shards: a lone job on a quiet
+        // server fans out across the whole pool, a full queue degrades to
+        // one shard per worker. `busy` includes this worker, hence `+ 1`.
+        let busy = self.busy.load(Ordering::SeqCst).max(1);
+        let n_jobs = self.config.workers.max(1).saturating_sub(busy) + 1;
+        let json = run_tool(spec, &trace, n_jobs)?;
         lock(&self.results).insert(spec.clone(), Arc::new(json.clone()));
         let mut st = lock(&self.stats);
         st.jobs_completed += 1;
         st.bytes_replayed += trace.events.len() as u64;
         st.events_replayed += trace.n_events;
+        if n_jobs > 1 {
+            st.sharded_replays += 1;
+        }
         st.record_latency(spec.tool, t0.elapsed().as_micros() as u64);
         Ok((json, false))
     }
@@ -209,7 +220,9 @@ impl Shared {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.pop() {
+        shared.busy.fetch_add(1, Ordering::SeqCst);
         let result = shared.execute(&job.spec);
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
         if result.is_err() {
             lock(&shared.stats).jobs_failed += 1;
         }
@@ -315,6 +328,7 @@ impl Server {
             queue: Mutex::new(Queue::default()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            busy: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
 

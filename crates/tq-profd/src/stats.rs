@@ -89,6 +89,8 @@ pub struct ServiceStats {
     pub bytes_replayed: u64,
     /// Events fed through offline replay.
     pub events_replayed: u64,
+    /// Replays that fanned out over idle workers (more than one shard).
+    pub sharded_replays: u64,
     /// Per-tool job latency (tquad, quad, gprof, phases).
     pub latency: [LatencyHisto; 4],
 }
@@ -127,6 +129,7 @@ impl ServiceStats {
             ("vm_runs", Json::from(self.vm_runs)),
             ("bytes_replayed", Json::from(self.bytes_replayed)),
             ("events_replayed", Json::from(self.events_replayed)),
+            ("sharded_replays", Json::from(self.sharded_replays)),
             ("latency", tools),
         ])
     }

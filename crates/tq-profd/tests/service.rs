@@ -222,8 +222,8 @@ fn replayed_capture_equals_live_run() {
 
     for tool in [ToolId::Tquad, ToolId::Quad, ToolId::Gprof, ToolId::Phases] {
         let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, tool);
-        let from_live = run_tool(&spec, &live).expect("live replay").render();
-        let from_disk = run_tool(&spec, &restored).expect("disk replay").render();
+        let from_live = run_tool(&spec, &live, 1).expect("live replay").render();
+        let from_disk = run_tool(&spec, &restored, 1).expect("disk replay").render();
         assert_eq!(
             from_live, from_disk,
             "{tool:?} profile differs after save/load"

@@ -25,11 +25,13 @@ impl ShadowMemory {
     }
 
     /// Record that `writer` (a 1-based tag) wrote `[addr, addr+len)`.
+    /// Ranges are clipped at the top of the address space rather than
+    /// wrapping (only reachable via corrupt replayed traces).
     #[inline]
     pub fn write(&mut self, addr: u64, len: u32, writer: WriterTag) {
         debug_assert!(writer != 0, "writer tags are 1-based");
         let mut a = addr;
-        let end = addr + len as u64;
+        let end = addr.saturating_add(len as u64);
         while a < end {
             let page = a >> PAGE_SHIFT;
             let off = (a & 0xFFF) as usize;
@@ -55,7 +57,7 @@ impl ShadowMemory {
     #[inline]
     pub fn for_each_writer(&self, addr: u64, len: u32, mut f: impl FnMut(u64, WriterTag)) {
         let mut a = addr;
-        let end = addr + len as u64;
+        let end = addr.saturating_add(len as u64);
         while a < end {
             let page = a >> PAGE_SHIFT;
             let off = (a & 0xFFF) as usize;
@@ -73,6 +75,28 @@ impl ShadowMemory {
                 }
             }
             a += n as u64;
+        }
+    }
+
+    /// Overlay a *newer* shadow onto this one: bytes the newer shadow saw
+    /// written (nonzero tags) supersede, untouched bytes keep the older
+    /// writer. Folding per-shard shadows in chunk order with this
+    /// reproduces the sequential last-writer map exactly.
+    pub fn overlay(&mut self, newer: &ShadowMemory) {
+        use std::collections::hash_map::Entry;
+        for (page, src) in &newer.pages {
+            match self.pages.entry(*page) {
+                Entry::Vacant(v) => {
+                    v.insert(src.clone());
+                }
+                Entry::Occupied(mut o) => {
+                    for (d, &s) in o.get_mut().iter_mut().zip(src.iter()) {
+                        if s != 0 {
+                            *d = s;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -125,6 +149,21 @@ mod tests {
             seen,
             vec![(8, 0), (9, 0), (10, 5), (11, 5), (12, 0), (13, 0)]
         );
+    }
+
+    #[test]
+    fn overlay_keeps_older_writers_under_zero_bytes() {
+        let mut old = ShadowMemory::new();
+        old.write(0x100, 8, 1);
+        let mut newer = ShadowMemory::new();
+        newer.write(0x104, 8, 2); // overlaps the top half
+        newer.write(0x9000, 4, 3); // fresh page
+        old.overlay(&newer);
+        assert_eq!(old.writer_at(0x100), 1, "untouched byte keeps old writer");
+        assert_eq!(old.writer_at(0x104), 2);
+        assert_eq!(old.writer_at(0x10B), 2);
+        assert_eq!(old.writer_at(0x9000), 3);
+        assert_eq!(old.writer_at(0x9004), 0);
     }
 
     #[test]

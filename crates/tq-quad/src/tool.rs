@@ -19,7 +19,9 @@ use crate::unma::AddressSet;
 use std::collections::HashMap;
 use tq_isa::RoutineId;
 use tq_tquad::{CallStack, LibPolicy};
-use tq_vm::{hooks, is_stack_access, Event, HookMask, InsContext, ProgramInfo, Tool};
+use tq_vm::{
+    hooks, is_stack_access, Event, HookMask, InsContext, MergeTool, ProgramInfo, ShardContext, Tool,
+};
 
 /// QUAD options.
 #[derive(Clone, Copy, Debug)]
@@ -63,6 +65,13 @@ pub struct QuadTool {
     shadow: ShadowMemory,
     kernels: Vec<KernelData>,
     bindings: HashMap<(u32, u32), Binding>,
+    /// True in a forked shard worker: reads of bytes with no writer in the
+    /// *local* shadow may have a producer in an earlier chunk, so they are
+    /// logged as orphans instead of being dismissed.
+    shard_mode: bool,
+    /// Orphan reads: (address, consuming kernel) → byte count, resolved
+    /// against the accumulated prefix shadow at absorb time.
+    orphans: HashMap<(u64, u32), u64>,
 }
 
 /// One producer→consumer binding (an edge of the QDU graph).
@@ -86,6 +95,8 @@ impl QuadTool {
             shadow: ShadowMemory::new(),
             kernels: Vec::new(),
             bindings: HashMap::new(),
+            shard_mode: false,
+            orphans: HashMap::new(),
         }
     }
 
@@ -123,7 +134,7 @@ impl QuadTool {
                 traced_accesses: k.traced_accesses,
             })
             .collect();
-        let bindings = self
+        let mut bindings: Vec<QuadBinding> = self
             .bindings
             .into_iter()
             .map(|((p, c), b)| QuadBinding {
@@ -133,6 +144,9 @@ impl QuadTool {
                 unma: b.unma.len(),
             })
             .collect();
+        // Deterministic order: HashMap iteration is randomised per process,
+        // and sharded replay must render byte-identically to sequential.
+        bindings.sort_by_key(|b| (b.producer.0, b.consumer.0));
         QuadProfile {
             include_stack: self.opts.include_stack,
             rows,
@@ -213,6 +227,8 @@ impl Tool for QuadTool {
                 let shadow = &self.shadow;
                 let kernels = &mut self.kernels;
                 let bindings = &mut self.bindings;
+                let orphans = &mut self.orphans;
+                let shard_mode = self.shard_mode;
                 shadow.for_each_writer(ea, size, |addr, w| {
                     if w != 0 {
                         let producer = w - 1;
@@ -220,6 +236,10 @@ impl Tool for QuadTool {
                         let b = bindings.entry((producer, k)).or_default();
                         b.bytes += 1;
                         b.unma.insert(addr);
+                    } else if shard_mode {
+                        // The producer (if any) wrote in an earlier chunk;
+                        // resolved against the prefix shadow at absorb.
+                        *orphans.entry((addr, k)).or_insert(0) += 1;
                     }
                 });
             }
@@ -256,8 +276,71 @@ impl Tool for QuadTool {
     }
 }
 
+impl MergeTool for QuadTool {
+    fn fork(&self, info: &ProgramInfo, ctx: &ShardContext) -> Box<dyn MergeTool> {
+        let mut t = QuadTool::new(self.opts);
+        t.shard_mode = true;
+        t.on_attach(info);
+        for &(rtn, sp) in ctx.frames(self.opts.lib_policy == LibPolicy::Track) {
+            t.stack.enter(rtn, sp);
+        }
+        Box::new(t)
+    }
+
+    /// Fold a finished shard in. Order is the whole point:
+    ///
+    /// 1. the worker's orphan reads are resolved against `self.shadow`,
+    ///    which (workers being absorbed in chunk order) holds exactly the
+    ///    last-writer map of the worker's prefix — producers in earlier
+    ///    chunks get their OUT bytes and binding edges stitched here;
+    /// 2. only then is the worker's shadow overlaid (its writes are newer);
+    /// 3. counters sum and UnMA sets union, both order-insensitive.
+    fn absorb(&mut self, other: Box<dyn MergeTool>) {
+        let other = other
+            .into_any()
+            .downcast::<QuadTool>()
+            .expect("absorb: shard is not a QuadTool");
+        let QuadTool {
+            shadow: other_shadow,
+            kernels: other_kernels,
+            bindings: other_bindings,
+            orphans: other_orphans,
+            ..
+        } = *other;
+
+        for ((addr, consumer), count) in other_orphans {
+            let w = self.shadow.writer_at(addr);
+            if w != 0 {
+                let producer = w - 1;
+                self.kernels[producer as usize].out_bytes += count;
+                let b = self.bindings.entry((producer, consumer)).or_default();
+                b.bytes += count;
+                b.unma.insert(addr);
+            } else if self.shard_mode {
+                // This tool is itself a shard of a larger fold: pass the
+                // still-unresolved read up to the next level.
+                *self.orphans.entry((addr, consumer)).or_insert(0) += count;
+            }
+        }
+        self.shadow.overlay(&other_shadow);
+        for (k, ok) in self.kernels.iter_mut().zip(other_kernels) {
+            k.in_bytes += ok.in_bytes;
+            k.out_bytes += ok.out_bytes;
+            k.checked_accesses += ok.checked_accesses;
+            k.traced_accesses += ok.traced_accesses;
+            k.in_unma.union(&ok.in_unma);
+            k.out_unma.union(&ok.out_unma);
+        }
+        for (edge, b) in other_bindings {
+            let mine = self.bindings.entry(edge).or_default();
+            mine.bytes += b.bytes;
+            mine.unma.union(&b.unma);
+        }
+    }
+}
+
 /// One Table II row.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuadRow {
     /// Routine id.
     pub rtn: RoutineId,
@@ -280,7 +363,7 @@ pub struct QuadRow {
 }
 
 /// A producer→consumer edge.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QuadBinding {
     /// Writing kernel.
     pub producer: RoutineId,
@@ -293,7 +376,7 @@ pub struct QuadBinding {
 }
 
 /// Results of a QUAD run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuadProfile {
     /// Stack setting of the run.
     pub include_stack: bool,

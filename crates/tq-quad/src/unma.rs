@@ -74,8 +74,27 @@ impl AddressSet {
             *word |= mask;
             return;
         }
-        for a in addr..addr + len as u64 {
+        // Clip at the top of the address space rather than overflowing
+        // (only reachable via corrupt replayed traces).
+        for a in addr..addr.saturating_add(len as u64) {
             self.insert(a);
+        }
+    }
+
+    /// Union another set into this one, page-bitmap-wise (`len` tracks the
+    /// newly set bits). The reduce step for UnMA counters in sharded
+    /// replay: a union of per-shard address sets is exactly the sequential
+    /// set, since addresses dedupe no matter which shard touched them.
+    pub fn union(&mut self, other: &AddressSet) {
+        for (page, src) in &other.pages {
+            let dst = self
+                .pages
+                .entry(*page)
+                .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]));
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                self.len += (s & !*d).count_ones() as u64;
+                *d |= s;
+            }
         }
     }
 
@@ -145,6 +164,25 @@ mod tests {
         s.insert_range(100, 8);
         s.insert_range(104, 8);
         assert_eq!(s.len(), 12);
+    }
+
+    #[test]
+    fn union_counts_overlap_once() {
+        let mut a = AddressSet::new();
+        a.insert_range(100, 8);
+        let mut b = AddressSet::new();
+        b.insert_range(104, 8); // 4 bytes overlap
+        b.insert(0x5000); // different page
+        a.union(&b);
+        assert_eq!(a.len(), 13);
+        assert!(a.contains(100) && a.contains(111) && a.contains(0x5000));
+        // Union with an empty set is identity both ways.
+        let before = a.len();
+        a.union(&AddressSet::new());
+        assert_eq!(a.len(), before);
+        let mut empty = AddressSet::new();
+        empty.union(&a);
+        assert_eq!(empty.len(), a.len());
     }
 
     /// Differential check against a HashSet reference over random inserts.

@@ -129,10 +129,10 @@ impl PhaseDetector {
                 continue;
             }
             let indices = k.series.active_indices(self.include_stack);
-            if indices.is_empty() {
+            let Some(interval) = trimmed_interval(&indices, self.trim_quantile) else {
+                // Inactive under this stack filter: nothing to cluster.
                 continue;
-            }
-            let interval = trimmed_interval(&indices, self.trim_quantile);
+            };
             let span_frac = (interval.1 - interval.0 + 1) as f64 / n_slices.max(1) as f64;
             if span_frac >= self.max_span_fraction {
                 continue;
@@ -232,11 +232,17 @@ impl PhaseDetector {
     }
 }
 
-fn trimmed_interval(sorted_indices: &[u64], q: f64) -> (u64, u64) {
+/// Quantile-trimmed first/last active slice; `None` for an empty list (a
+/// kernel can have zero active slices under the chosen stack filter, which
+/// previously underflowed `n - 1` here).
+fn trimmed_interval(sorted_indices: &[u64], q: f64) -> Option<(u64, u64)> {
     let n = sorted_indices.len();
+    if n == 0 {
+        return None;
+    }
     let lo = ((n as f64 * q).floor() as usize).min(n - 1);
     let hi = ((n as f64 * (1.0 - q)).ceil() as usize).clamp(lo + 1, n) - 1;
-    (sorted_indices[lo], sorted_indices[hi])
+    Some((sorted_indices[lo], sorted_indices[hi]))
 }
 
 fn bucket_vector(indices: &[u64], n_slices: u64, buckets: usize) -> Vec<f64> {
@@ -416,9 +422,42 @@ mod tests {
             s.record(slice, true, 8, false);
         }
         let idx = s.active_indices(true);
-        let (lo, hi) = trimmed_interval(&idx, 0.01);
+        let (lo, hi) = trimmed_interval(&idx, 0.01).unwrap();
         assert!(lo >= 400, "early blip trimmed: lo={lo}");
         assert!(hi >= 790, "symmetric trim keeps ~the top: hi={hi}");
+    }
+
+    #[test]
+    fn trimmed_interval_of_nothing_is_none() {
+        // Regression: used to compute `n - 1` on an empty list and panic.
+        assert_eq!(trimmed_interval(&[], 0.01), None);
+        assert_eq!(trimmed_interval(&[7], 0.01), Some((7, 7)));
+    }
+
+    #[test]
+    fn stack_only_kernel_does_not_panic_the_detector() {
+        // Regression: a kernel whose only traffic is stack-local has zero
+        // active slices under include_stack=false; the detector must skip
+        // it, not underflow in the quantile trim.
+        let mut p = synthetic(&[("worker", 10, 60), ("helper", 15, 55)], 100);
+        let mut s = KernelSeries::new();
+        s.record(20, true, 8, true); // stack-only activity
+        p.kernels.push(KernelProfile {
+            rtn: RoutineId(2),
+            name: "stack_only".into(),
+            main_image: true,
+            calls: 1,
+            series: s,
+        });
+        let det = PhaseDetector {
+            include_stack: false,
+            ..PhaseDetector::default()
+        };
+        let phases = det.detect(&p);
+        assert!(
+            phases.iter().all(|ph| !ph.kernels.contains(&RoutineId(2))),
+            "inactive kernel excluded: {phases:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::series::KernelSeries;
 use tq_isa::RoutineId;
 
 /// Measurements for one kernel.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KernelProfile {
     /// Routine id.
     pub rtn: RoutineId,
@@ -39,7 +39,7 @@ pub struct BandwidthStats {
 }
 
 /// The complete result of a tQUAD run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TquadProfile {
     /// Slice interval in instructions.
     pub interval: u64,
@@ -63,6 +63,33 @@ impl TquadProfile {
     /// Look a kernel up by name.
     pub fn kernel(&self, name: &str) -> Option<&KernelProfile> {
         self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Fold another partial profile of the *same program and interval*
+    /// into this one: per-kernel call counts and slice series are summed,
+    /// drop/prefetch counters are summed, and the total instruction count
+    /// takes the maximum (each shard reports the clock it reached, not a
+    /// duration). This is the reduce step of sharded replay; merging is
+    /// commutative and associative, so any fold order yields the same
+    /// profile.
+    ///
+    /// Panics if the profiles disagree on interval or kernel table — they
+    /// would not be shards of the same run.
+    pub fn merge(&mut self, other: &TquadProfile) {
+        assert_eq!(self.interval, other.interval, "shards must share interval");
+        assert_eq!(
+            self.kernels.len(),
+            other.kernels.len(),
+            "shards must share the routine table"
+        );
+        self.total_icount = self.total_icount.max(other.total_icount);
+        self.dropped_accesses += other.dropped_accesses;
+        self.prefetches_ignored += other.prefetches_ignored;
+        for (k, ok) in self.kernels.iter_mut().zip(&other.kernels) {
+            debug_assert_eq!(k.rtn, ok.rtn);
+            k.calls += ok.calls;
+            k.series.merge(&ok.series);
+        }
     }
 
     /// Kernels that accessed memory at all, ordered by total traffic

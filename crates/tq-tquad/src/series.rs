@@ -51,7 +51,7 @@ impl SliceEntry {
 }
 
 /// The sparse slice series of one kernel.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelSeries {
     entries: Vec<SliceEntry>,
 }
@@ -96,6 +96,45 @@ impl KernelSeries {
     /// All entries, in slice order.
     pub fn entries(&self) -> &[SliceEntry] {
         &self.entries
+    }
+
+    /// Merge another series into this one, summing the counters of equal
+    /// slices (a sorted merge-join; both inputs are in slice order by
+    /// construction). Shards of a time-partitioned replay only ever share
+    /// the boundary slice, so this reduces partial series exactly.
+    pub fn merge(&mut self, other: &KernelSeries) {
+        if other.entries.is_empty() {
+            return;
+        }
+        if self.entries.is_empty() {
+            self.entries = other.entries.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, b) = (self.entries[i], other.entries[j]);
+            if a.slice < b.slice {
+                merged.push(a);
+                i += 1;
+            } else if b.slice < a.slice {
+                merged.push(b);
+                j += 1;
+            } else {
+                merged.push(SliceEntry {
+                    slice: a.slice,
+                    r_incl: a.r_incl + b.r_incl,
+                    r_excl: a.r_excl + b.r_excl,
+                    w_incl: a.w_incl + b.w_incl,
+                    w_excl: a.w_excl + b.w_excl,
+                });
+                i += 1;
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        merged.extend_from_slice(&other.entries[j..]);
+        self.entries = merged;
     }
 
     /// Number of *active* slices under the given stack filter (the paper's
@@ -144,7 +183,11 @@ impl KernelSeries {
     }
 
     /// Dense vector of per-slice values over `0..n_slices` (for charts).
-    /// `f` selects the measure (e.g. `|e| e.read(true)`).
+    /// `f` selects the measure (e.g. `|e| e.read(true)`). Entries at or
+    /// past `n_slices` are silently dropped rather than indexed
+    /// out-of-bounds — callers may legitimately ask for a shorter horizon
+    /// than the series covers (or pass an `n_slices` computed from a
+    /// different interval).
     pub fn dense(&self, n_slices: u64, f: impl Fn(&SliceEntry) -> u64) -> Vec<f64> {
         let mut out = vec![0.0; n_slices as usize];
         for e in &self.entries {
@@ -213,6 +256,42 @@ mod tests {
         s.record(3, true, 2, false);
         let d = s.dense(5, |e| e.r_incl);
         assert_eq!(d, vec![0.0, 8.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_ignores_entries_past_the_horizon() {
+        // Regression: entries beyond `n_slices` must be dropped, not
+        // indexed out of bounds (and n_slices == 0 must not panic).
+        let mut s = KernelSeries::new();
+        s.record(1, true, 8, false);
+        s.record(9, true, 2, false);
+        assert_eq!(s.dense(3, |e| e.r_incl), vec![0.0, 8.0, 0.0]);
+        assert_eq!(s.dense(0, |e| e.r_incl), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn merge_is_a_sorted_join() {
+        let mut a = KernelSeries::new();
+        a.record(0, true, 8, false);
+        a.record(3, false, 4, false);
+        let mut b = KernelSeries::new();
+        b.record(3, true, 2, true);
+        b.record(5, false, 1, false);
+        a.merge(&b);
+        let slices: Vec<u64> = a.entries().iter().map(|e| e.slice).collect();
+        assert_eq!(slices, vec![0, 3, 5]);
+        let boundary = a.entries()[1];
+        assert_eq!(
+            (boundary.r_incl, boundary.r_excl, boundary.w_incl),
+            (2, 0, 4),
+            "boundary slice sums both shards"
+        );
+        // Merging from/into empty is identity.
+        let mut empty = KernelSeries::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        a.merge(&KernelSeries::new());
+        assert_eq!(empty, a);
     }
 
     #[test]

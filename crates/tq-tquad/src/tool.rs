@@ -20,7 +20,9 @@ use crate::options::{LibPolicy, TquadOptions};
 use crate::profile::{KernelProfile, TquadProfile};
 use crate::series::KernelSeries;
 use tq_isa::RoutineId;
-use tq_vm::{hooks, is_stack_access, Event, HookMask, InsContext, ProgramInfo, Tool};
+use tq_vm::{
+    hooks, is_stack_access, Event, HookMask, InsContext, MergeTool, ProgramInfo, ShardContext, Tool,
+};
 
 /// The tQUAD profiler tool. Attach to a [`tq_vm::Vm`], run the program, then
 /// [`TquadTool::into_profile`] the detached tool.
@@ -215,6 +217,37 @@ impl Tool for TquadTool {
 
     fn on_fini(&mut self, final_icount: u64) {
         self.max_icount = self.max_icount.max(final_icount);
+    }
+}
+
+impl MergeTool for TquadTool {
+    fn fork(&self, info: &ProgramInfo, ctx: &ShardContext) -> Box<dyn MergeTool> {
+        let mut t = TquadTool::new(self.opts);
+        t.on_attach(info);
+        // Seed the internal call stack with the frames this tool would
+        // have pushed over the prefix: all routines under Track, main-image
+        // only otherwise. Seeded frames are resumed, not entered — `calls`
+        // stays zero (the shard that saw the entry event counts it).
+        for &(rtn, sp) in ctx.frames(self.opts.lib_policy == LibPolicy::Track) {
+            t.stack.enter(rtn, sp);
+        }
+        Box::new(t)
+    }
+
+    fn absorb(&mut self, other: Box<dyn MergeTool>) {
+        let other = other
+            .into_any()
+            .downcast::<TquadTool>()
+            .expect("absorb: shard is not a TquadTool");
+        self.max_icount = self.max_icount.max(other.max_icount);
+        self.dropped_accesses += other.dropped_accesses;
+        self.prefetches_ignored += other.prefetches_ignored;
+        for (calls, more) in self.calls.iter_mut().zip(&other.calls) {
+            *calls += more;
+        }
+        for (series, partial) in self.series.iter_mut().zip(&other.series) {
+            series.merge(partial);
+        }
     }
 }
 

@@ -15,18 +15,25 @@
 //! pointer is the most recent event's, an approximation documented on
 //! [`Trace::replay`].
 
+pub mod chunk;
 pub mod digest;
 pub mod varint;
 
 use std::io::{Read, Write};
 use std::path::Path;
 use tq_isa::RoutineId;
-use tq_vm::{standard_mask, Event, HookMask, InsContext, ProgramInfo, RoutineMeta, Tool};
+use tq_vm::{
+    standard_mask, Event, HookMask, InsContext, ProgramInfo, RoutineMeta, ShardContext, Tool,
+};
 use varint::{read_i64, read_u64, write_i64, write_u64};
 
+pub use chunk::{ChunkMeta, DEFAULT_CHUNKS};
 pub use digest::{digest_program, Digest128};
 
 const MAGIC: &[u8; 8] = b"TQTRACE1";
+/// Version 2 adds an optional chunk index after the event stream; v1 files
+/// load unchanged (with no index).
+const MAGIC2: &[u8; 8] = b"TQTRACE2";
 
 const K_MEM_READ: u64 = 0;
 const K_MEM_WRITE: u64 = 1;
@@ -34,6 +41,21 @@ const K_CALL: u64 = 2;
 const K_RET: u64 = 3;
 const K_RTN_ENTER: u64 = 4;
 const K_FINI: u64 = 5;
+
+/// Upper bound on a single access size the decoder will believe. Real
+/// accesses are a handful of bytes (the VM records per-instruction loads
+/// and stores); anything bigger is a corrupt varint, and rejecting it here
+/// keeps downstream per-byte structures (shadow memory, UnMA bitmaps) from
+/// chewing through gigabytes of garbage.
+const MAX_ACCESS_BYTES: u64 = 1 << 16;
+
+#[inline]
+fn check_size(raw: u64) -> Result<u32, TraceError> {
+    if raw > MAX_ACCESS_BYTES {
+        return Err(TraceError::Malformed("implausible access size"));
+    }
+    Ok(raw as u32)
+}
 
 /// A recorded trace: program facts plus the encoded event stream.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +66,10 @@ pub struct Trace {
     pub events: Vec<u8>,
     /// Number of events recorded.
     pub n_events: u64,
+    /// Optional precomputed chunk index for sharded replay (saved as the
+    /// TQTRACE2 format). `None` means sequential-only metadata; replay
+    /// semantics and [`Trace::digest`] are unaffected either way.
+    pub chunks: Option<Vec<ChunkMeta>>,
 }
 
 /// Decoder state shared by writer and reader so deltas stay in sync.
@@ -81,6 +107,7 @@ impl TraceRecorder {
             info: self.info.expect("recorder was attached"),
             events: self.buf,
             n_events: self.n_events,
+            chunks: None,
         }
     }
 
@@ -203,12 +230,23 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::Malformed(what) => write!(f, "malformed trace: {what}"),
-            TraceError::BadHeader => write!(f, "not a TQTRACE1 file"),
+            TraceError::BadHeader => write!(f, "not a TQTRACE1/TQTRACE2 file"),
         }
     }
 }
 
 impl std::error::Error for TraceError {}
+
+/// Where a [`Trace::replay_span`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayEnd {
+    /// Virtual clock after the last decoded event (the span's starting
+    /// clock if the span was empty).
+    pub last_icount: u64,
+    /// Whether the span ended on a `Fini` record (in which case the tool's
+    /// `on_fini` has already been delivered).
+    pub saw_fini: bool,
+}
 
 impl Trace {
     /// Replay the trace into `tool`: `on_attach`, every event in order,
@@ -224,13 +262,58 @@ impl Trace {
     /// across long event-free stretches).
     pub fn replay(&self, tool: &mut dyn Tool) -> Result<(), TraceError> {
         tool.on_attach(&self.info);
-        let tick = tool.tick_interval().unwrap_or(0);
-        let mut next_tick = if tick > 0 { tick } else { u64::MAX };
+        let end = self.replay_span(0, self.events.len(), &ShardContext::default(), tool)?;
+        if !end.saw_fini {
+            // No Fini record (recorder detached before program end).
+            tool.on_fini(end.last_icount);
+        }
+        Ok(())
+    }
 
-        let buf = &self.events;
-        let mut pos = 0usize;
-        let mut st = DeltaState::default();
-        let bad = TraceError::Malformed("truncated event");
+    /// Replay the byte range `start..end` of the event stream into `tool`,
+    /// resuming the delta decoder (and the tick schedule) from the snapshot
+    /// in `ctx`. This is the sharded-replay building block: `on_attach` is
+    /// *not* called and no fallback `on_fini` is synthesised — the caller
+    /// owns both (a `Fini` record inside the span still reaches the tool).
+    ///
+    /// Decoding is panic-proof on corrupt input: truncated varints and
+    /// unknown event kinds return `Err`, delta accumulation wraps rather
+    /// than overflowing, and events are validated before they reach the
+    /// tool — routine ids must be in the routine table (or
+    /// [`RoutineId::INVALID`] where the live VM can produce it) and access
+    /// sizes must be plausible, so tools may index by routine id without
+    /// re-checking, exactly as they do against live VM events.
+    pub fn replay_span(
+        &self,
+        start: usize,
+        end: usize,
+        ctx: &ShardContext,
+        tool: &mut dyn Tool,
+    ) -> Result<ReplayEnd, TraceError> {
+        let mut tick = tool.tick_interval().unwrap_or(0);
+        // First tick strictly after the prefix clock; at stream start
+        // (icount 0) this is simply `tick`.
+        let mut next_tick = if tick > 0 {
+            (ctx.icount / tick)
+                .checked_add(1)
+                .and_then(|n| n.checked_mul(tick))
+                .unwrap_or(u64::MAX)
+        } else {
+            u64::MAX
+        };
+
+        let buf = self
+            .events
+            .get(..end)
+            .ok_or(TraceError::Malformed("span past end of stream"))?;
+        let mut pos = start;
+        let mut st = DeltaState {
+            icount: ctx.icount,
+            ip: ctx.ip,
+            ea: ctx.ea,
+            sp: ctx.sp,
+        };
+        let bad = TraceError::Malformed("unknown event kind");
         macro_rules! ru {
             () => {
                 read_u64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
@@ -241,30 +324,46 @@ impl Trace {
                 read_i64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
             };
         }
+        // Validate a routine id against the routine table; INVALID is
+        // legal where the live VM can emit it (unresolved call targets,
+        // code outside all symbols).
+        let n_rtns = self.info.routines.len() as u32;
+        macro_rules! rid {
+            ($raw:expr) => {{
+                let r = RoutineId($raw as u32);
+                if r != RoutineId::INVALID && r.0 >= n_rtns {
+                    return Err(TraceError::Malformed("routine id out of range"));
+                }
+                r
+            }};
+        }
 
-        let mut last_rtn = RoutineId::INVALID;
+        let mut last_rtn = ctx.last_rtn;
         while pos < buf.len() {
             let kind = ru!();
-            let icount = st.icount + ru!();
+            let icount = st.icount.wrapping_add(ru!());
             st.icount = icount;
 
-            while next_tick <= icount {
+            while tick != 0 && next_tick <= icount {
                 tool.on_event(&Event::Tick {
                     icount: next_tick,
                     ip: st.ip,
                     rtn: last_rtn,
                 });
-                next_tick += tick;
+                match next_tick.checked_add(tick) {
+                    Some(n) => next_tick = n,
+                    None => tick = 0, // clock saturated; no further ticks
+                }
             }
 
             match kind {
                 K_MEM_READ => {
-                    st.ip = (st.ip as i64 + ri!()) as u64;
-                    st.ea = (st.ea as i64 + ri!()) as u64;
-                    let size = ru!() as u32;
-                    st.sp = (st.sp as i64 + ri!()) as u64;
+                    st.ip = st.ip.wrapping_add_signed(ri!());
+                    st.ea = st.ea.wrapping_add_signed(ri!());
+                    let size = check_size(ru!())?;
+                    st.sp = st.sp.wrapping_add_signed(ri!());
                     let packed = ru!();
-                    let rtn = RoutineId((packed >> 1) as u32);
+                    let rtn = rid!(packed >> 1);
                     last_rtn = rtn;
                     tool.on_event(&Event::MemRead {
                         ip: st.ip,
@@ -277,11 +376,11 @@ impl Trace {
                     });
                 }
                 K_MEM_WRITE => {
-                    st.ip = (st.ip as i64 + ri!()) as u64;
-                    st.ea = (st.ea as i64 + ri!()) as u64;
-                    let size = ru!() as u32;
-                    st.sp = (st.sp as i64 + ri!()) as u64;
-                    let rtn = RoutineId(ru!() as u32);
+                    st.ip = st.ip.wrapping_add_signed(ri!());
+                    st.ea = st.ea.wrapping_add_signed(ri!());
+                    let size = check_size(ru!())?;
+                    st.sp = st.sp.wrapping_add_signed(ri!());
+                    let rtn = rid!(ru!());
                     last_rtn = rtn;
                     tool.on_event(&Event::MemWrite {
                         ip: st.ip,
@@ -293,9 +392,9 @@ impl Trace {
                     });
                 }
                 K_CALL => {
-                    st.ip = (st.ip as i64 + ri!()) as u64;
-                    let callee = RoutineId(ru!() as u32);
-                    let rtn = RoutineId(ru!() as u32);
+                    st.ip = st.ip.wrapping_add_signed(ri!());
+                    let callee = rid!(ru!());
+                    let rtn = rid!(ru!());
                     last_rtn = rtn;
                     tool.on_event(&Event::Call {
                         ip: st.ip,
@@ -305,9 +404,9 @@ impl Trace {
                     });
                 }
                 K_RET => {
-                    st.ip = (st.ip as i64 + ri!()) as u64;
-                    let return_to = (st.ip as i64 + ri!()) as u64;
-                    let rtn = RoutineId(ru!() as u32);
+                    st.ip = st.ip.wrapping_add_signed(ri!());
+                    let return_to = st.ip.wrapping_add_signed(ri!());
+                    let rtn = rid!(ru!());
                     last_rtn = rtn;
                     tool.on_event(&Event::Ret {
                         ip: st.ip,
@@ -317,8 +416,12 @@ impl Trace {
                     });
                 }
                 K_RTN_ENTER => {
-                    let rtn = RoutineId(ru!() as u32);
-                    st.sp = (st.sp as i64 + ri!()) as u64;
+                    let rtn = rid!(ru!());
+                    if rtn == RoutineId::INVALID {
+                        // The VM only announces entries to known routines.
+                        return Err(TraceError::Malformed("routine id out of range"));
+                    }
+                    st.sp = st.sp.wrapping_add_signed(ri!());
                     last_rtn = rtn;
                     tool.on_event(&Event::RoutineEnter {
                         rtn,
@@ -328,20 +431,27 @@ impl Trace {
                 }
                 K_FINI => {
                     tool.on_fini(icount);
-                    return Ok(());
+                    return Ok(ReplayEnd {
+                        last_icount: icount,
+                        saw_fini: true,
+                    });
                 }
                 _ => return Err(bad),
             }
         }
-        // No Fini record (recorder detached before program end).
-        tool.on_fini(st.icount);
-        Ok(())
+        Ok(ReplayEnd {
+            last_icount: st.icount,
+            saw_fini: false,
+        })
     }
 
-    /// Serialise (header + routine table + events) to a writer.
+    /// Serialise (header + routine table + events) to a writer. Traces
+    /// without a chunk index write the original `TQTRACE1` layout; traces
+    /// carrying one write `TQTRACE2`, which appends the index after the
+    /// event stream so v1 readers of v1 files are unaffected.
     pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         let mut head = Vec::new();
-        head.extend_from_slice(MAGIC);
+        head.extend_from_slice(if self.chunks.is_some() { MAGIC2 } else { MAGIC });
         write_u64(&mut head, self.info.stack_base);
         write_u64(&mut head, self.info.entry);
         write_u64(&mut head, self.info.routines.len() as u64);
@@ -357,17 +467,25 @@ impl Trace {
         write_u64(&mut head, self.n_events);
         write_u64(&mut head, self.events.len() as u64);
         w.write_all(&head)?;
-        w.write_all(&self.events)
+        w.write_all(&self.events)?;
+        if let Some(chunks) = &self.chunks {
+            let mut tail = Vec::new();
+            chunk::write_index(&mut tail, chunks);
+            w.write_all(&tail)?;
+        }
+        Ok(())
     }
 
-    /// Deserialise from a reader.
+    /// Deserialise from a reader. Accepts both `TQTRACE1` and `TQTRACE2`.
     pub fn load<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)
             .map_err(|_| TraceError::Malformed("io error"))?;
-        if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        let versioned = bytes.len() >= 8 && (&bytes[..8] == MAGIC || &bytes[..8] == MAGIC2);
+        if !versioned {
             return Err(TraceError::BadHeader);
         }
+        let has_index = &bytes[..8] == MAGIC2;
         let mut pos = 8usize;
         let bad = |_: ()| TraceError::Malformed("truncated header");
         let ru = |pos: &mut usize| read_u64(&bytes, pos).ok_or(bad(()));
@@ -399,7 +517,18 @@ impl Trace {
         }
         let n_events = ru(&mut pos)?;
         let ev_len = ru(&mut pos)? as usize;
-        let events = bytes.get(pos..pos + ev_len).ok_or(bad(()))?.to_vec();
+        let events = bytes
+            .get(pos..pos.checked_add(ev_len).ok_or(bad(()))?)
+            .ok_or(bad(()))?
+            .to_vec();
+        pos += ev_len;
+        let chunks = if has_index {
+            let idx = chunk::read_index(&bytes, &mut pos)?;
+            chunk::validate_index(&idx, routines.len() as u32, ev_len as u64)?;
+            Some(idx)
+        } else {
+            None
+        };
         Ok(Trace {
             info: ProgramInfo {
                 routines,
@@ -408,6 +537,7 @@ impl Trace {
             },
             events,
             n_events,
+            chunks,
         })
     }
 
@@ -418,7 +548,8 @@ impl Trace {
 
     /// Content digest of the trace itself (routine table + event stream).
     /// Two traces digest equal iff replay delivers the same event sequence
-    /// to any tool.
+    /// to any tool — the chunk index is derived metadata and deliberately
+    /// excluded, so indexing a capture never invalidates cached results.
     pub fn digest(&self) -> String {
         let mut d = Digest128::new();
         d.update_u64(self.info.stack_base);

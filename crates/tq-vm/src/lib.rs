@@ -27,6 +27,7 @@ pub use hostfs::{FsMode, HostFs};
 pub use layout::is_stack_access;
 pub use mem::{Memory, OutOfRange};
 pub use tool::{
-    hooks, standard_mask, AsAny, Event, HookMask, InsContext, ProgramInfo, RoutineMeta, Tool,
+    hooks, standard_mask, AsAny, Event, HookMask, InsContext, MergeTool, ProgramInfo, RoutineMeta,
+    ShardContext, Tool,
 };
 pub use vm::{ExitReason, RunExit, ToolHandle, Vm, VmError, VmStats};

@@ -251,6 +251,91 @@ pub trait Tool: AsAny {
     fn on_fini(&mut self, _final_icount: u64) {}
 }
 
+/// Replay-resume snapshot taken at a trace-chunk boundary — everything a
+/// tool needs to start analysing mid-stream as if it had replayed the whole
+/// prefix itself.
+///
+/// Tools maintain an *internal call stack* (tQUAD §IV.A) whose contents
+/// depend on the library policy: under a track-everything policy every
+/// routine entry pushes a frame, under main-image-only policies library
+/// routines never get one. The two variants diverge on returns (a `ret`
+/// only pops when the top frame belongs to the returning routine), so a
+/// single stack filtered after the fact is *not* faithful — the snapshot
+/// therefore carries both stacks, maintained independently, and each tool
+/// picks the one matching its policy via [`ShardContext::frames`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardContext {
+    /// Index of the first event of the chunk (0-based).
+    pub start_event: u64,
+    /// Virtual clock after the last event of the prefix (0 at stream start).
+    pub icount: u64,
+    /// Delta-decoder instruction pointer.
+    pub ip: u64,
+    /// Delta-decoder effective address.
+    pub ea: u64,
+    /// Delta-decoder stack pointer.
+    pub sp: u64,
+    /// Routine of the most recent event ([`RoutineId::INVALID`] at start);
+    /// synthesised ticks attribute to it.
+    pub last_rtn: RoutineId,
+    /// Call stack with a frame `(routine, sp-at-entry)` for *every* routine
+    /// entered, outermost first.
+    pub frames_all: Vec<(RoutineId, u64)>,
+    /// Call stack restricted to main-image routines only.
+    pub frames_main: Vec<(RoutineId, u64)>,
+}
+
+impl Default for ShardContext {
+    fn default() -> Self {
+        ShardContext {
+            start_event: 0,
+            icount: 0,
+            ip: 0,
+            ea: 0,
+            sp: 0,
+            last_rtn: RoutineId::INVALID,
+            frames_all: Vec::new(),
+            frames_main: Vec::new(),
+        }
+    }
+}
+
+impl ShardContext {
+    /// The call-stack snapshot matching a tool's tracking policy:
+    /// `track_all_images` selects the every-routine stack, otherwise the
+    /// main-image-only stack.
+    pub fn frames(&self, track_all_images: bool) -> &[(RoutineId, u64)] {
+        if track_all_images {
+            &self.frames_all
+        } else {
+            &self.frames_main
+        }
+    }
+}
+
+/// A tool whose state is *mergeable*: the event stream can be split into
+/// chunks, each chunk analysed by an independent worker clone, and the
+/// partial results reduced back into one — the map/reduce shape behind
+/// `Trace::replay_sharded`.
+///
+/// Contract (what the sharded-equals-sequential determinism test enforces):
+///
+/// * [`MergeTool::fork`] returns a worker that, fed the chunk's events,
+///   behaves exactly as `self` would have from that point — the call stack
+///   is seeded from the snapshot (without counting the seeded entries as
+///   calls), counters start at zero;
+/// * [`MergeTool::absorb`] folds a finished worker back in. Workers must be
+///   absorbed in chunk order: ordered state (e.g. QUAD's last-writer shadow
+///   memory) resolves cross-chunk references during the fold.
+pub trait MergeTool: Tool + Send {
+    /// Clone an attached worker for the chunk starting at `ctx`.
+    fn fork(&self, info: &ProgramInfo, ctx: &ShardContext) -> Box<dyn MergeTool>;
+
+    /// Fold the next chunk's finished worker into `self`. Panics when
+    /// `other` is not the same concrete tool type.
+    fn absorb(&mut self, other: Box<dyn MergeTool>);
+}
+
 /// A convenience mask builder: subscribe to the memory/call/ret events that
 /// `inst` can actually produce, plus routine entries. This is what a
 /// "instrument every load, store, call and return" tool like tQUAD asks for.

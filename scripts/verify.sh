@@ -14,4 +14,17 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> sharded replay determinism smoke (tquad/quad/gprof, 4 shards vs sequential)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+for tool in tquad quad gprof; do
+    ./target/release/tq "$tool" --app img --scale tiny --jobs 1 > "$smoke_dir/$tool.seq"
+    ./target/release/tq "$tool" --app img --scale tiny --jobs 4 > "$smoke_dir/$tool.sharded"
+    diff "$smoke_dir/$tool.seq" "$smoke_dir/$tool.sharded" \
+        || { echo "verify: FAIL ($tool sharded output diverged)"; exit 1; }
+done
+if ./target/release/tq tquad --app img --scale tiny --interval 0 > /dev/null 2>&1; then
+    echo "verify: FAIL (--interval 0 must be rejected)"; exit 1
+fi
+
 echo "verify: OK"
