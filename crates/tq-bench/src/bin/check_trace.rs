@@ -1,0 +1,72 @@
+//! `check_trace FILE [SPAN...]` — validate a Chrome trace-event document
+//! produced by `tq --trace-out` with the workspace's own strict JSON
+//! parser, then assert every SPAN name given on the command line appears
+//! as a complete ("X") event. Used by `scripts/verify.sh` as the obs
+//! smoke; exits non-zero with a reason on any violation.
+
+use std::process::ExitCode;
+use tq_report::Json;
+
+fn check(path: &str, want: &[String]) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&raw).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    let mut names = Vec::new();
+    let mut last_ts = f64::MIN;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing `ph`"))?;
+        if ph != "X" {
+            continue;
+        }
+        for field in ["name", "cat"] {
+            if e.get(field).and_then(Json::as_str).is_none() {
+                return Err(format!("event {i}: missing `{field}`"));
+            }
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing numeric `ts`"))?;
+        if ts < last_ts {
+            return Err(format!("event {i}: ts {ts} < previous {last_ts}"));
+        }
+        last_ts = ts;
+        names.push(e.get("name").and_then(Json::as_str).unwrap().to_string());
+    }
+    for w in want {
+        if !names.iter().any(|n| n == w) {
+            return Err(format!("no `{w}` span (saw: {names:?})"));
+        }
+    }
+    println!(
+        "{path}: OK ({} complete event(s){})",
+        names.len(),
+        if want.is_empty() {
+            String::new()
+        } else {
+            format!(", all of {want:?} present")
+        }
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, want)) = args.split_first() else {
+        eprintln!("usage: check_trace FILE [SPAN...]");
+        return ExitCode::FAILURE;
+    };
+    match check(path, want) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("check_trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

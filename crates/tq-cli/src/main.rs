@@ -25,6 +25,11 @@
 //! `serve`/`submit` are the front end for the `tq-profd` service: one
 //! daemon records each workload once and answers every profiling variant
 //! by parallel offline replay (see `crates/tq-profd`).
+//!
+//! Every subcommand also accepts the self-observability flags:
+//! `--trace-out FILE` writes a Chrome trace-event JSON of the run's
+//! internal spans (open in Perfetto / chrome://tracing), and `--no-obs`
+//! disables the instrumentation layer entirely (see `crates/tq-obs`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -123,16 +128,18 @@ fn run_profiled<T: tq_vm::MergeTool + 'static>(
 ) -> Result<T, String> {
     let mut vm = app.make_vm()?;
     if jobs > 1 {
-        let h = vm.attach_tool(Box::new(tq_trace::TraceRecorder::new()));
-        vm.run(None).map_err(|e| e.to_string())?;
-        // Index at capture time: the one sequential scan happens here, so
-        // the sharded replay below runs fully parallel.
-        let trace = vm
-            .detach_tool::<tq_trace::TraceRecorder>(h)
-            .ok_or("internal error: detached tool had unexpected type")?
-            .into_trace()
-            .with_chunk_index(tq_trace::DEFAULT_CHUNKS)
-            .map_err(|e| format!("chunk indexing failed: {e}"))?;
+        let trace = {
+            let _span = tq_obs::span("capture", "vm");
+            let h = vm.attach_tool(Box::new(tq_trace::TraceRecorder::new()));
+            vm.run(None).map_err(|e| e.to_string())?;
+            // Index at capture time: the one sequential scan happens here,
+            // so the sharded replay below runs fully parallel.
+            vm.detach_tool::<tq_trace::TraceRecorder>(h)
+                .ok_or("internal error: detached tool had unexpected type")?
+                .into_trace()
+                .with_chunk_index(tq_trace::DEFAULT_CHUNKS)
+                .map_err(|e| format!("chunk indexing failed: {e}"))?
+        };
         let mut tool = tool;
         trace
             .replay_sharded(&mut tool, jobs)
@@ -195,6 +202,9 @@ fn usage() -> String {
      common options: --app wfs|img --scale tiny|small|paper\n\
      \u{20}               --jobs N (record once, shard the replay over N threads;\n\
      \u{20}               the profile is byte-identical to a sequential run)\n\
+     \u{20}               --trace-out FILE (write a Chrome trace of this run's\n\
+     \u{20}               internal spans; open in Perfetto) --no-obs (disable\n\
+     \u{20}               the self-profiling layer)\n\
      tquad options:  --interval N --exclude-stack --exclude-libs --chart read|write\n\
      \u{20}               --kernels a,b,c --width N\n\
      quad options:   --exclude-stack --exclude-libs --dot PATH\n\
@@ -206,7 +216,7 @@ fn usage() -> String {
      \u{20}               --queue N --timeout-ms N --capture-fuel N\n\
      submit options: --addr HOST:PORT --tool tquad|quad|gprof|phases --app --scale\n\
      \u{20}               --interval N --exclude-stack --exclude-libs --track-libs\n\
-     \u{20}               (or one of: --stats --ping --shutdown)"
+     \u{20}               (or one of: --stats --metrics --ping --shutdown)"
         .to_string()
 }
 
@@ -226,6 +236,15 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Err("missing subcommand".into());
     };
     let args = Args::parse(&argv[1..])?;
+    if args.has("no-obs") {
+        tq_obs::set_enabled(false);
+    }
+    if tq_obs::enabled() {
+        tq_obs::set_thread_name("main".to_string());
+    }
+    // Held across the whole subcommand, dropped explicitly before the
+    // trace drain below so the top-level span makes it into the export.
+    let cmd_span = tq_obs::span_named(format!("tq {cmd}"), "cli");
 
     match cmd.as_str() {
         "run" => {
@@ -469,8 +488,16 @@ fn run(argv: &[String]) -> Result<(), String> {
                     n => Some(n),
                 },
             };
+            let workers = config.workers;
+            let cache_mb = config.cache_bytes >> 20;
             let server = Server::start(config)?;
             let addr = server.local_addr();
+            // One-line startup banner on stderr: stdout stays parseable
+            // (scripts read the "listening on" line for the bound port).
+            eprintln!(
+                "# tq-profd: addr={addr} workers={workers} cache_mb={cache_mb} \
+                 (metrics: tq submit --addr {addr} --metrics)"
+            );
             println!("tq-profd listening on {addr}");
             println!("stop with: tq submit --addr {addr} --shutdown");
             server.join()?;
@@ -488,6 +515,8 @@ fn run(argv: &[String]) -> Result<(), String> {
                 println!("{}", r.encode());
             } else if args.has("stats") {
                 println!("{}", client.stats()?.render());
+            } else if args.has("metrics") {
+                print!("{}", client.metrics()?);
             } else {
                 let tool = ToolId::parse(args.get("tool").unwrap_or("tquad"))?;
                 let app = AppId::parse(args.get("app").unwrap_or("wfs"))?;
@@ -506,6 +535,15 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
         }
         other => return Err(format!("unknown subcommand `{other}`")),
+    }
+    drop(cmd_span);
+    if let Some(path) = args.get("trace-out") {
+        let doc = tq_obs::drain_chrome_trace();
+        std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "# trace: {path} ({} bytes; open in Perfetto or chrome://tracing)",
+            doc.len()
+        );
     }
     Ok(())
 }

@@ -17,6 +17,18 @@ use tq_report::{f as fmt_f, Align, Table};
 use tq_tquad::CallStack;
 use tq_vm::{hooks, Event, HookMask, InsContext, MergeTool, ProgramInfo, ShardContext, Tool};
 
+/// Counter for IP samples taken — the sampling profiler's flush point.
+fn samples_total() -> &'static tq_obs::Counter {
+    use std::sync::OnceLock;
+    static C: OnceLock<tq_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        tq_obs::counter(
+            "tq_gprof_samples_total",
+            "Instruction-pointer samples taken by the gprof tool",
+        )
+    })
+}
+
 /// Converts virtual time (instructions) to seconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimeModel {
@@ -179,6 +191,7 @@ impl Tool for GprofTool {
     fn on_event(&mut self, ev: &Event) {
         match *ev {
             Event::Tick { rtn, .. } => {
+                samples_total().inc();
                 self.total_samples += 1;
                 if rtn != RoutineId::INVALID && self.tracked[rtn.idx()] {
                     self.self_samples[rtn.idx()] += 1;

@@ -1,0 +1,305 @@
+//! Process-global metrics: monotonic counters, gauges and log₂ histograms.
+//!
+//! Handles are cheap `Arc`-wrapped atomics: call sites register once (a
+//! short registry lock) and update lock-free afterwards. The registry is
+//! keyed by metric name with `BTreeMap`, so the text exposition is emitted
+//! in a stable, sorted order — byte-identical for identical values, which
+//! keeps the `metrics` endpoint testable.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of log₂ histogram buckets; bucket `i` holds values in
+/// `[2^i, 2^(i+1))` (bucket 0 also holds 0), the last is open-ended.
+/// 28 buckets cover one nanosecond-to-minutes range in microseconds.
+pub const HISTO_BUCKETS: usize = 28;
+
+/// A monotonic counter. Clone freely; all clones share one cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one. A relaxed load and a branch while disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depths,
+/// resident bytes). Clone freely; all clones share one cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCells {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂ histogram of non-negative integer observations (typically
+/// microseconds). Clone freely; all clones share the cells.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = (63 - v.max(1).leading_zeros() as usize).min(HISTO_BUCKETS - 1);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Entry>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> MutexGuard<'static, BTreeMap<&'static str, Entry>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Register (or fetch) the counter `name`. Registration is idempotent:
+/// every call site for one name shares the same cell.
+///
+/// Panics if `name` is already registered as a different metric kind —
+/// that is a programming error, not an operational condition.
+pub fn counter(name: &'static str, help: &'static str) -> Counter {
+    let mut reg = registry();
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        help,
+        metric: Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))),
+    });
+    match &entry.metric {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Register (or fetch) the gauge `name`. See [`counter`] for semantics.
+pub fn gauge(name: &'static str, help: &'static str) -> Gauge {
+    let mut reg = registry();
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        help,
+        metric: Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))),
+    });
+    match &entry.metric {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Register (or fetch) the histogram `name`. See [`counter`] for semantics.
+pub fn histogram(name: &'static str, help: &'static str) -> Histogram {
+    let mut reg = registry();
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        help,
+        metric: Metric::Histogram(Histogram(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))),
+    });
+    match &entry.metric {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Render every registered metric as Prometheus-style text exposition
+/// (`# HELP` / `# TYPE` comments, `_bucket{le="…"}` cumulative histogram
+/// lines, sorted by metric name). Includes `tq_obs_spans_dropped_total`,
+/// the layer's own loss counter.
+pub fn prometheus_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let reg = registry();
+    for (name, entry) in reg.iter() {
+        let _ = writeln!(out, "# HELP {name} {}", entry.help);
+        match &entry.metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (i, b) in h.0.buckets.iter().enumerate() {
+                    cumulative += b.load(Ordering::Relaxed);
+                    if i + 1 == HISTO_BUCKETS {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    } else {
+                        // Bucket i holds integer values < 2^(i+1); the
+                        // inclusive upper bound is 2^(i+1)-1.
+                        let le = (1u64 << (i + 1)) - 1;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                }
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    drop(reg);
+    let dropped = crate::span::dropped_spans();
+    let _ = writeln!(
+        out,
+        "# HELP tq_obs_spans_dropped_total Span events lost to ring-buffer overwrites\n\
+         # TYPE tq_obs_spans_dropped_total counter\n\
+         tq_obs_spans_dropped_total {dropped}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counters_share_cells_by_name() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let a = counter("test_shared_total", "shared cell");
+        let b = counter("test_shared_total", "shared cell");
+        let before = a.get();
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), before + 3);
+    }
+
+    #[test]
+    fn disabled_metrics_do_not_move() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let c = counter("test_gated_total", "gated");
+        let g = gauge("test_gated_gauge", "gated");
+        let h = histogram("test_gated_histo", "gated");
+        let (c0, g0, h0) = (c.get(), g.get(), h.count());
+        crate::set_enabled(false);
+        c.inc();
+        g.set(99);
+        h.observe(5);
+        crate::set_enabled(true);
+        assert_eq!((c.get(), g.get(), h.count()), (c0, g0, h0));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let h = histogram("test_histo_micros", "log2 test");
+        for v in [0, 1, 2, 3, 4, 1 << 20, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        let text = prometheus_text();
+        // Values 0 and 1 land in bucket 0 (le="1"); 2 and 3 raise the
+        // cumulative le="3" line to 4.
+        assert!(text.contains("test_histo_micros_bucket{le=\"1\"} 2"));
+        assert!(text.contains("test_histo_micros_bucket{le=\"3\"} 4"));
+        assert!(text.contains("test_histo_micros_bucket{le=\"+Inf\"} 7"));
+        assert!(text.contains("test_histo_micros_count 7"));
+    }
+
+    #[test]
+    fn exposition_format_shape() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let c = counter("test_expo_total", "an example counter");
+        c.add(5);
+        gauge("test_expo_gauge", "an example gauge").set(-3);
+        let text = prometheus_text();
+        assert!(text.contains("# HELP test_expo_total an example counter"));
+        assert!(text.contains("# TYPE test_expo_total counter"));
+        assert!(text.contains("# TYPE test_expo_gauge gauge"));
+        assert!(text.contains("test_expo_gauge -3"));
+        assert!(text.contains("tq_obs_spans_dropped_total"));
+        // Sorted by name: the gauge section precedes the counter section
+        // ("test_expo_gauge" < "test_expo_total" lexicographically).
+        let gpos = text.find("# TYPE test_expo_gauge").unwrap();
+        let cpos = text.find("# TYPE test_expo_total").unwrap();
+        assert!(gpos < cpos);
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<i64>().is_ok() || value.parse::<f64>().is_ok(),
+                "bad exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let _c = counter("test_kind_clash", "first as counter");
+        let _g = gauge("test_kind_clash", "then as gauge");
+    }
+}

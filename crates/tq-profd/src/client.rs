@@ -75,6 +75,20 @@ impl Client {
             .ok_or_else(|| "response missing `stats`".into())
     }
 
+    /// Fetch the Prometheus-style text exposition of the server's
+    /// process-wide metrics.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        let resp = self.request(&Request::Metrics)?;
+        if !resp.is_ok() {
+            return Err(resp.error().unwrap_or("unknown server error").to_string());
+        }
+        resp.0
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "response missing `metrics`".into())
+    }
+
     /// Request a graceful shutdown.
     pub fn shutdown(&mut self) -> Result<Response, String> {
         self.request(&Request::Shutdown)

@@ -20,6 +20,7 @@ use tq_trace::{Trace, TraceRecorder};
 /// content address ever needs. `fuel` bounds the run (a misbehaving
 /// workload must not wedge a worker forever).
 pub fn record_capture(workload: &Workload, fuel: Option<u64>) -> Result<Trace, String> {
+    let _span = tq_obs::span("capture", "vm");
     let mut vm = workload.make_vm()?;
     let h = vm.attach_tool(Box::new(TraceRecorder::new()));
     vm.run(fuel)

@@ -184,6 +184,9 @@ pub enum Request {
     Submit(JobSpec),
     /// Service statistics snapshot.
     Stats,
+    /// Prometheus-style text exposition of the process-wide tq-obs
+    /// metrics (counters, gauges, histograms).
+    Metrics,
     /// Graceful shutdown: drain the queue, stop workers, exit.
     Shutdown,
 }
@@ -194,6 +197,7 @@ impl Request {
         match self {
             Request::Ping => Json::obj([("type", Json::from("ping"))]).render(),
             Request::Stats => Json::obj([("type", Json::from("stats"))]).render(),
+            Request::Metrics => Json::obj([("type", Json::from("metrics"))]).render(),
             Request::Shutdown => Json::obj([("type", Json::from("shutdown"))]).render(),
             Request::Submit(spec) => spec.to_json().render(),
         }
@@ -205,6 +209,7 @@ impl Request {
         match v.get("type").and_then(Json::as_str) {
             Some("ping") => Ok(Request::Ping),
             Some("stats") => Ok(Request::Stats),
+            Some("metrics") => Ok(Request::Metrics),
             Some("shutdown") => Ok(Request::Shutdown),
             Some("submit") => Ok(Request::Submit(JobSpec::from_json(&v)?)),
             Some(other) => Err(format!("unknown request type `{other}`")),
@@ -268,6 +273,7 @@ mod tests {
         for req in [
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Submit(JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad)),
             Request::Submit(JobSpec {

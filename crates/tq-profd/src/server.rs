@@ -105,6 +105,88 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// tq-obs handles for the job lifecycle. These mirror (not replace) the
+/// mutex-guarded [`ServiceStats`]: stats are the service's own snapshot
+/// protocol, the tq-obs registry feeds the cross-crate `metrics`
+/// exposition alongside replay/tool metrics from other crates.
+mod obs {
+    use std::sync::OnceLock;
+    use tq_obs::{Counter, Gauge, Histogram};
+
+    macro_rules! handle {
+        ($fn_name:ident, $kind:ident, $ctor:ident, $name:literal, $help:literal) => {
+            pub fn $fn_name() -> &'static $kind {
+                static H: OnceLock<$kind> = OnceLock::new();
+                H.get_or_init(|| tq_obs::$ctor($name, $help))
+            }
+        };
+    }
+
+    handle!(
+        queue_depth,
+        Gauge,
+        gauge,
+        "tq_profd_queue_depth",
+        "Jobs currently waiting in the bounded queue"
+    );
+    handle!(
+        uptime_seconds,
+        Gauge,
+        gauge,
+        "tq_profd_uptime_seconds",
+        "Seconds since the service started (set at each metrics scrape)"
+    );
+    handle!(
+        jobs_submitted,
+        Counter,
+        counter,
+        "tq_profd_jobs_submitted_total",
+        "Valid submit requests received"
+    );
+    handle!(
+        jobs_completed,
+        Counter,
+        counter,
+        "tq_profd_jobs_completed_total",
+        "Jobs that produced a profile"
+    );
+    handle!(
+        jobs_failed,
+        Counter,
+        counter,
+        "tq_profd_jobs_failed_total",
+        "Jobs that errored"
+    );
+    handle!(
+        result_hits,
+        Counter,
+        counter,
+        "tq_profd_result_hits_total",
+        "Result-memo hits (byte-identical replies, no replay)"
+    );
+    handle!(
+        capture_hits,
+        Counter,
+        counter,
+        "tq_profd_capture_hits_total",
+        "Captures served from the cache (memory or disk tier)"
+    );
+    handle!(
+        capture_misses,
+        Counter,
+        counter,
+        "tq_profd_capture_misses_total",
+        "Cold captures recorded by running the VM"
+    );
+    handle!(
+        job_micros,
+        Histogram,
+        histogram,
+        "tq_profd_job_micros",
+        "End-to-end job latency in microseconds"
+    );
+}
+
 impl Shared {
     /// Enqueue a job, blocking while the queue is full. Fails once
     /// shutdown has begun.
@@ -117,6 +199,7 @@ impl Shared {
             return Err("server is shutting down".into());
         }
         q.jobs.push_back(job);
+        obs::queue_depth().set(q.jobs.len() as i64);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -126,6 +209,7 @@ impl Shared {
         let mut q = lock(&self.queue);
         loop {
             if let Some(job) = q.jobs.pop_front() {
+                obs::queue_depth().set(q.jobs.len() as i64);
                 self.not_full.notify_one();
                 return Some(job);
             }
@@ -156,13 +240,19 @@ impl Shared {
 
     /// Execute one job through the three answer tiers.
     fn execute(&self, spec: &JobSpec) -> Result<(Json, bool), String> {
+        let _span = tq_obs::span_named(format!("job-{}", spec.tool.as_str()), "profd");
         let t0 = Instant::now();
         if let Some(hit) = lock(&self.results).get(spec) {
             let json = (**hit).clone();
+            let micros = t0.elapsed().as_micros() as u64;
             let mut st = lock(&self.stats);
             st.result_hits += 1;
             st.jobs_completed += 1;
-            st.record_latency(spec.tool, t0.elapsed().as_micros() as u64);
+            st.record_latency(spec.tool, micros);
+            drop(st);
+            obs::result_hits().inc();
+            obs::jobs_completed().inc();
+            obs::job_micros().observe(micros);
             return Ok((json, true));
         }
 
@@ -182,6 +272,10 @@ impl Shared {
                 CaptureSource::Recorded => st.vm_runs += 1,
             }
         }
+        match source {
+            CaptureSource::Memory | CaptureSource::Disk => obs::capture_hits().inc(),
+            CaptureSource::Recorded => obs::capture_misses().inc(),
+        }
 
         // Borrow idle workers as replay shards: a lone job on a quiet
         // server fans out across the whole pool, a full queue degrades to
@@ -190,6 +284,7 @@ impl Shared {
         let n_jobs = self.config.workers.max(1).saturating_sub(busy) + 1;
         let json = run_tool(spec, &trace, n_jobs)?;
         lock(&self.results).insert(spec.clone(), Arc::new(json.clone()));
+        let micros = t0.elapsed().as_micros() as u64;
         let mut st = lock(&self.stats);
         st.jobs_completed += 1;
         st.bytes_replayed += trace.events.len() as u64;
@@ -197,7 +292,10 @@ impl Shared {
         if n_jobs > 1 {
             st.sharded_replays += 1;
         }
-        st.record_latency(spec.tool, t0.elapsed().as_micros() as u64);
+        st.record_latency(spec.tool, micros);
+        drop(st);
+        obs::jobs_completed().inc();
+        obs::job_micros().observe(micros);
         Ok((json, false))
     }
 
@@ -205,7 +303,12 @@ impl Shared {
         let uptime = self.started.elapsed().as_micros() as u64;
         let mut j = lock(&self.stats).to_json(uptime);
         j.set("workers", Json::from(self.config.workers as u64));
+        j.set(
+            "busy_workers",
+            Json::from(self.busy.load(Ordering::SeqCst) as u64),
+        );
         j.set("queue_depth", Json::from(self.config.queue_depth as u64));
+        j.set("queue_len", Json::from(lock(&self.queue).jobs.len() as u64));
         j.set(
             "captures_in_memory",
             Json::from(self.store.mem_entries() as u64),
@@ -225,9 +328,11 @@ fn worker_loop(shared: &Shared) {
         shared.busy.fetch_sub(1, Ordering::SeqCst);
         if result.is_err() {
             lock(&shared.stats).jobs_failed += 1;
+            obs::jobs_failed().inc();
         }
         // A submitter that timed out dropped its receiver; the work is
         // done and cached either way.
+        let _span = tq_obs::span("respond", "profd");
         let _ = job.reply.send(result);
     }
 }
@@ -236,6 +341,13 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
     match req {
         Request::Ping => (Response::ok([("pong", Json::from(true))]), false),
         Request::Stats => (Response::ok([("stats", shared.stats_json())]), false),
+        Request::Metrics => {
+            obs::uptime_seconds().set(shared.started.elapsed().as_secs() as i64);
+            (
+                Response::ok([("metrics", Json::from(tq_obs::prometheus_text()))]),
+                false,
+            )
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.close_queue();
@@ -245,9 +357,15 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
         }
         Request::Submit(spec) => {
             lock(&shared.stats).jobs_submitted += 1;
+            obs::jobs_submitted().inc();
             let (tx, rx) = mpsc::channel();
-            if let Err(e) = shared.push(Job { spec, reply: tx }) {
+            let pushed = {
+                let _span = tq_obs::span("enqueue", "profd");
+                shared.push(Job { spec, reply: tx })
+            };
+            if let Err(e) = pushed {
                 lock(&shared.stats).jobs_failed += 1;
+                obs::jobs_failed().inc();
                 return (Response::err(e), false);
             }
             match rx.recv_timeout(shared.config.job_timeout) {
@@ -337,7 +455,10 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("tq-profd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        tq_obs::set_thread_name(format!("tq-profd-worker-{i}"));
+                        worker_loop(&shared)
+                    })
                     .map_err(|e| e.to_string())
             })
             .collect::<Result<Vec<_>, _>>()?;

@@ -110,6 +110,19 @@ impl ServiceStats {
         self.latency[Self::tool_idx(tool)].record(micros);
     }
 
+    /// Answers that avoided a VM run entirely: result-memo hits plus
+    /// capture-cache hits from either tier.
+    pub fn cache_hits(&self) -> u64 {
+        self.result_hits + self.capture_mem_hits + self.capture_disk_hits
+    }
+
+    /// Answers that had to record a fresh capture (cold misses). Equal to
+    /// `vm_runs` by construction; exposed under the name operators expect
+    /// next to `cache_hits`.
+    pub fn cache_misses(&self) -> u64 {
+        self.vm_runs
+    }
+
     /// JSON snapshot; `uptime_micros` comes from the server's start instant.
     pub fn to_json(&self, uptime_micros: u64) -> Json {
         let tools = Json::obj([
@@ -120,12 +133,18 @@ impl ServiceStats {
         ]);
         Json::obj([
             ("uptime_micros", Json::from(uptime_micros)),
+            (
+                "uptime_seconds",
+                Json::from(uptime_micros as f64 / 1_000_000.0),
+            ),
             ("jobs_submitted", Json::from(self.jobs_submitted)),
             ("jobs_completed", Json::from(self.jobs_completed)),
             ("jobs_failed", Json::from(self.jobs_failed)),
             ("result_hits", Json::from(self.result_hits)),
             ("capture_mem_hits", Json::from(self.capture_mem_hits)),
             ("capture_disk_hits", Json::from(self.capture_disk_hits)),
+            ("cache_hits", Json::from(self.cache_hits())),
+            ("cache_misses", Json::from(self.cache_misses())),
             ("vm_runs", Json::from(self.vm_runs)),
             ("bytes_replayed", Json::from(self.bytes_replayed)),
             ("events_replayed", Json::from(self.events_replayed)),
@@ -164,10 +183,18 @@ mod tests {
         let mut s = ServiceStats::default();
         s.jobs_submitted = 3;
         s.vm_runs = 1;
+        s.result_hits = 2;
+        s.capture_disk_hits = 1;
         s.record_latency(ToolId::Tquad, 1500);
         let j = s.to_json(42);
         assert_eq!(j.get("uptime_micros").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            j.get("uptime_seconds").and_then(Json::as_f64),
+            Some(42.0 / 1_000_000.0)
+        );
         assert_eq!(j.get("vm_runs").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("cache_misses").and_then(Json::as_u64), Some(1));
         let lat = j.get("latency").unwrap();
         assert_eq!(
             lat.get("tquad")

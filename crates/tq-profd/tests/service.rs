@@ -262,3 +262,42 @@ fn stack_option_propagates_through_the_service() {
     client.shutdown().expect("shutdown");
     server.join().expect("clean join");
 }
+
+/// The `metrics` request returns Prometheus-style text exposition carrying
+/// counters, gauges and histograms, and the stats snapshot reports cache
+/// hit/miss counts, live queue depth and uptime.
+#[test]
+fn metrics_exposition_and_stats_fields() {
+    let (server, addr) = start(None);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Gprof);
+    client.submit(spec.clone()).expect("cold submit");
+    client.submit(spec).expect("warm submit");
+
+    let text = client.metrics().expect("metrics");
+    for needle in [
+        "# TYPE tq_profd_jobs_submitted_total counter",
+        "# TYPE tq_profd_queue_depth gauge",
+        "# TYPE tq_profd_job_micros histogram",
+        "tq_profd_job_micros_bucket{le=\"+Inf\"}",
+        "tq_profd_job_micros_count",
+        "# TYPE tq_profd_uptime_seconds gauge",
+        "tq_obs_spans_dropped_total",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    let stats = client.stats().expect("stats");
+    assert!(stat(&stats, "cache_hits") >= 1, "warm job counted as a hit");
+    assert_eq!(stat(&stats, "cache_misses"), stat(&stats, "vm_runs"));
+    assert_eq!(stat(&stats, "queue_len"), 0, "queue drained");
+    let _ = stat(&stats, "busy_workers");
+    assert!(
+        stats.get("uptime_seconds").and_then(Json::as_f64).is_some(),
+        "uptime_seconds present"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean join");
+}

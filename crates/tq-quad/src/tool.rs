@@ -116,7 +116,8 @@ impl QuadTool {
 
     /// Consume the tool into its results.
     pub fn into_profile(self) -> QuadProfile {
-        let rows = self
+        let _span = tq_obs::span("quad-flush", "tool");
+        let rows: Vec<QuadRow> = self
             .names
             .into_iter()
             .zip(self.kernels)
@@ -147,6 +148,17 @@ impl QuadTool {
         // Deterministic order: HashMap iteration is randomised per process,
         // and sharded replay must render byte-identically to sequential.
         bindings.sort_by_key(|b| (b.producer.0, b.consumer.0));
+        {
+            use std::sync::OnceLock;
+            static ROWS: OnceLock<tq_obs::Counter> = OnceLock::new();
+            ROWS.get_or_init(|| {
+                tq_obs::counter(
+                    "tq_quad_rows_flushed_total",
+                    "QUAD profile rows flushed by into_profile",
+                )
+            })
+            .add(rows.len() as u64);
+        }
         QuadProfile {
             include_stack: self.opts.include_stack,
             rows,

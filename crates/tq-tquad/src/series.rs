@@ -50,6 +50,19 @@ impl SliceEntry {
     }
 }
 
+/// Counter for new (kernel, slice) entries — the tool's per-slice flush
+/// point: one increment each time a kernel first touches memory in a slice.
+fn slices_flushed() -> &'static tq_obs::Counter {
+    use std::sync::OnceLock;
+    static C: OnceLock<tq_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        tq_obs::counter(
+            "tq_tquad_slices_flushed_total",
+            "New per-kernel slice entries appended to tQUAD bandwidth series",
+        )
+    })
+}
+
 /// The sparse slice series of one kernel.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelSeries {
@@ -73,6 +86,7 @@ impl KernelSeries {
                     self.entries.last().is_none_or(|e| e.slice < slice),
                     "slices must be recorded in order"
                 );
+                slices_flushed().inc();
                 self.entries.push(SliceEntry {
                     slice,
                     ..Default::default()

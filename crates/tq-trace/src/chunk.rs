@@ -49,6 +49,7 @@ impl Trace {
     /// routine ids outside the routine table are treated as non-main-image
     /// rather than panicking.
     pub fn chunk_index(&self, n_chunks: usize) -> Result<Vec<ChunkMeta>, TraceError> {
+        let _span = tq_obs::span("decode", "replay");
         let n_chunks = n_chunks.max(1);
         let buf = &self.events;
         let mut pos = 0usize;
@@ -208,11 +209,13 @@ impl Trace {
         tool: &mut dyn MergeTool,
         n_jobs: usize,
     ) -> Result<(), TraceError> {
+        let _span = tq_obs::span("replay_sharded", "replay");
         let max_shards = self.n_events.clamp(1, 1 << 16) as usize;
         let shards = n_jobs.clamp(1, max_shards);
         if shards <= 1 {
             return self.replay(tool);
         }
+        crate::obs::sharded_replays().inc();
         let chunks: Vec<ChunkMeta> = match &self.chunks {
             // Coarsen a finer (or equal) index: shard `k` spans the
             // contiguous chunk run `[k*len/shards, (k+1)*len/shards)`.
@@ -231,24 +234,35 @@ impl Trace {
         };
 
         tool.on_attach(&self.info);
-        let mut workers: Vec<Box<dyn MergeTool>> = chunks[1..]
-            .iter()
-            .map(|c| tool.fork(&self.info, &c.ctx))
-            .collect();
+        let mut workers: Vec<Box<dyn MergeTool>> = {
+            let _fork = tq_obs::span("fork", "replay");
+            chunks[1..]
+                .iter()
+                .map(|c| tool.fork(&self.info, &c.ctx))
+                .collect()
+        };
 
         let (head, tails) = std::thread::scope(|s| {
             let handles: Vec<_> = workers
                 .iter_mut()
                 .zip(&chunks[1..])
-                .map(|(w, c)| {
+                .enumerate()
+                .map(|(i, (w, c))| {
                     s.spawn(move || {
+                        if tq_obs::enabled() {
+                            tq_obs::set_thread_name(format!("shard-{}", i + 1));
+                        }
+                        let _shard = tq_obs::span_named(format!("shard-{}", i + 1), "replay");
                         self.replay_span(c.start as usize, c.end as usize, &c.ctx, &mut **w)
                     })
                 })
                 .collect();
             // The root tool takes chunk 0 on this thread instead of idling.
             let c0 = &chunks[0];
-            let head = self.replay_span(c0.start as usize, c0.end as usize, &c0.ctx, tool);
+            let head = {
+                let _shard = tq_obs::span("shard-0", "replay");
+                self.replay_span(c0.start as usize, c0.end as usize, &c0.ctx, tool)
+            };
             let tails: Vec<_> = handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
@@ -256,6 +270,7 @@ impl Trace {
             (head, tails)
         });
 
+        let _merge = tq_obs::span("merge", "replay");
         let mut end = head?;
         for (worker, result) in workers.into_iter().zip(tails) {
             end = result?;

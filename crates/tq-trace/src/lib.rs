@@ -19,6 +19,29 @@ pub mod chunk;
 pub mod digest;
 pub mod varint;
 
+/// Shared metric handles: registered once, updated lock-free afterwards.
+pub(crate) mod obs {
+    use std::sync::OnceLock;
+    use tq_obs::Counter;
+
+    pub fn replays() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| {
+            tq_obs::counter("tq_trace_replays_total", "Sequential trace replays started")
+        })
+    }
+
+    pub fn sharded_replays() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| {
+            tq_obs::counter(
+                "tq_trace_sharded_replays_total",
+                "Sharded trace replays started (after degrading 1-job calls to sequential)",
+            )
+        })
+    }
+}
+
 use std::io::{Read, Write};
 use std::path::Path;
 use tq_isa::RoutineId;
@@ -261,6 +284,8 @@ impl Trace {
     /// *current* instruction — exact for event-dense code, approximate
     /// across long event-free stretches).
     pub fn replay(&self, tool: &mut dyn Tool) -> Result<(), TraceError> {
+        let _span = tq_obs::span("replay", "replay");
+        obs::replays().inc();
         tool.on_attach(&self.info);
         let end = self.replay_span(0, self.events.len(), &ShardContext::default(), tool)?;
         if !end.saw_fini {

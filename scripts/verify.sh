@@ -27,4 +27,40 @@ if ./target/release/tq tquad --app img --scale tiny --interval 0 > /dev/null 2>&
     echo "verify: FAIL (--interval 0 must be rejected)"; exit 1
 fi
 
+echo "==> obs smoke: --trace-out exports a valid Chrome trace"
+./target/release/tq tquad --app img --scale tiny --jobs 2 \
+    --trace-out "$smoke_dir/replay.trace.json" > /dev/null 2>&1
+./target/release/check_trace "$smoke_dir/replay.trace.json" \
+    capture decode shard-0 shard-1 merge \
+    || { echo "verify: FAIL (trace-out export invalid)"; exit 1; }
+./target/release/tq tquad --app img --scale tiny --jobs 2 --no-obs \
+    --trace-out "$smoke_dir/empty.trace.json" > /dev/null 2>&1
+./target/release/check_trace "$smoke_dir/empty.trace.json" \
+    || { echo "verify: FAIL (--no-obs trace must still be valid JSON)"; exit 1; }
+
+echo "==> obs smoke: tq serve answers a metrics request"
+./target/release/tq serve --addr 127.0.0.1:0 --workers 1 \
+    > "$smoke_dir/serve.out" 2> /dev/null &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^tq-profd listening on //p' "$smoke_dir/serve.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: FAIL (tq serve did not come up)"; exit 1; }
+./target/release/tq submit --addr "$addr" --tool gprof --scale tiny > /dev/null 2>&1 \
+    || { echo "verify: FAIL (submit against smoke server)"; exit 1; }
+./target/release/tq submit --addr "$addr" --metrics > "$smoke_dir/metrics.txt" 2>&1 \
+    || { echo "verify: FAIL (metrics request)"; exit 1; }
+for needle in \
+    "# TYPE tq_profd_jobs_submitted_total counter" \
+    "# TYPE tq_profd_queue_depth gauge" \
+    "# TYPE tq_profd_job_micros histogram"; do
+    grep -q "$needle" "$smoke_dir/metrics.txt" \
+        || { echo "verify: FAIL (metrics missing: $needle)"; exit 1; }
+done
+./target/release/tq submit --addr "$addr" --shutdown > /dev/null 2>&1 || true
+wait "$serve_pid" 2> /dev/null || true
+
 echo "verify: OK"
