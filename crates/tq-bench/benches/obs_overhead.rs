@@ -5,8 +5,9 @@
 //! 1. **Direct comparison** — best-of-N sharded tquad replay with the
 //!    layer disabled vs enabled (informational: the enabled cost is the
 //!    price of a Perfetto trace).
-//! 2. **The guard** — the disabled fast path of every instrument kind is
-//!    timed in a tight loop (one relaxed atomic load + branch), then
+//! 2. **The guard** — the disabled fast path of every instrument kind
+//!    (spans, counters, and the `tq-faults` injection hooks) is timed in
+//!    a tight loop (one relaxed atomic load + branch), then
 //!    scaled by the number of gated call sites one replay actually
 //!    executes. That bounds the disabled overhead as a fraction of replay
 //!    wall time, and the bench **fails** if the bound exceeds 2% — the
@@ -103,11 +104,29 @@ fn main() {
     });
     let counter = tq_obs::counter("tq_bench_guard_total", "obs_overhead guard probe");
     let counter_ns = gated_ns("counter inc", REPS, || counter.inc());
-    let per_call_ns = span_ns.max(counter_ns);
+    // The tq-faults hooks share the same discipline (relaxed load +
+    // branch when no plan is installed) and sit on the replay path
+    // (slow-replay check in run_tool), so they fall under the same bound.
+    tq_faults::clear();
+    let fault_ns = {
+        assert!(!tq_faults::active(), "fault guard bench must run unplanned");
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                std::hint::black_box(tq_faults::sleep_if(tq_faults::FaultPoint::SlowReplay));
+            }
+            best = best.min(t0.elapsed());
+        }
+        let ns = best.as_nanos() as f64 / REPS as f64;
+        println!("  disabled fault hook: {ns:.2} ns/call");
+        ns
+    };
+    let per_call_ns = span_ns.max(counter_ns).max(fault_ns);
 
     // Gated sites one sharded tquad replay executes: one counter inc per
     // flushed slice, plus a handful of spans (replay_sharded, decode,
-    // fork, merge, one per shard).
+    // fork, merge, one per shard) and the per-job fault hooks.
     let gated_calls = slices + 16;
     let bound = (gated_calls as f64 * per_call_ns) / off.as_nanos() as f64;
     println!(
@@ -118,8 +137,8 @@ fn main() {
     save(
         "obs_overhead.tsv",
         &format!(
-            "replay_disabled_s\treplay_enabled_s\tspan_ns\tcounter_ns\tgated_calls\tbound_pct\n\
-             {:.6}\t{:.6}\t{span_ns:.3}\t{counter_ns:.3}\t{gated_calls}\t{:.5}\n",
+            "replay_disabled_s\treplay_enabled_s\tspan_ns\tcounter_ns\tfault_ns\tgated_calls\tbound_pct\n\
+             {:.6}\t{:.6}\t{span_ns:.3}\t{counter_ns:.3}\t{fault_ns:.3}\t{gated_calls}\t{:.5}\n",
             off.as_secs_f64(),
             on.as_secs_f64(),
             bound * 100.0

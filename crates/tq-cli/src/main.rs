@@ -17,10 +17,16 @@
 //! tq disasm  [--routine NAME]
 //! tq serve   [--addr HOST:PORT] [--workers N] [--state-dir PATH]
 //!            [--cache-mb N] [--queue N] [--timeout-ms N] [--capture-fuel N]
+//!            [--max-conns N] [--read-timeout-ms N]
 //! tq submit  [--addr HOST:PORT] [--tool tquad|quad|gprof|phases]
 //!            [--app …] [--scale …] [--interval N] [--exclude-stack]
-//!            [--exclude-libs|--track-libs] | --stats | --ping | --shutdown
+//!            [--exclude-libs|--track-libs] [--retries N] [--timeout SECS]
+//!            | --stats | --ping | --shutdown
 //! ```
+//!
+//! See `docs/CLI.md` for the complete flag-by-flag reference and
+//! `docs/OPERATIONS.md` for running `tq serve` in production (overload
+//! behaviour, fault injection via `TQ_FAULTS`, reading `stats`/`metrics`).
 //!
 //! `serve`/`submit` are the front end for the `tq-profd` service: one
 //! daemon records each workload once and answers every profiling variant
@@ -36,7 +42,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 use tq_gprof::{GprofOptions, GprofTool};
 use tq_imgproc::{ImgApp, ImgConfig};
-use tq_profd::{AppId, Client, JobSpec, Scale, Server, ServerConfig, StackPolicy, ToolId};
+use tq_profd::{
+    AppId, Client, ClientConfig, JobSpec, Scale, Server, ServerConfig, StackPolicy, ToolId,
+};
 use tq_quad::{qdu_graph, QuadOptions, QuadTool};
 use tq_tquad::{
     figure_chart, phase_table, LibPolicy, Measure, PhaseDetector, PhaseStrategy, TquadOptions,
@@ -213,10 +221,15 @@ fn usage() -> String {
      gprof options:  --interval N --track-libs\n\
      disasm options: --routine NAME\n\
      serve options:  --addr HOST:PORT --workers N --state-dir PATH --cache-mb N\n\
-     \u{20}               --queue N --timeout-ms N --capture-fuel N\n\
+     \u{20}               --queue N --timeout-ms N --capture-fuel N --max-conns N\n\
+     \u{20}               --read-timeout-ms N (0 = never reap idle connections;\n\
+     \u{20}               fault injection via TQ_FAULTS=, see docs/OPERATIONS.md)\n\
      submit options: --addr HOST:PORT --tool tquad|quad|gprof|phases --app --scale\n\
      \u{20}               --interval N --exclude-stack --exclude-libs --track-libs\n\
-     \u{20}               (or one of: --stats --metrics --ping --shutdown)"
+     \u{20}               --retries N (resubmit with backoff on busy responses)\n\
+     \u{20}               --timeout SECS (connect/read socket timeouts)\n\
+     \u{20}               (or one of: --stats --metrics --ping --shutdown)\n\
+     full reference: docs/CLI.md; operations handbook: docs/OPERATIONS.md"
         .to_string()
 }
 
@@ -487,7 +500,26 @@ fn run(argv: &[String]) -> Result<(), String> {
                     0 => None,
                     n => Some(n),
                 },
+                max_conns: args.positive_u64_or("max-conns", defaults.max_conns as u64)? as usize,
+                read_timeout: match args.u64_or(
+                    "read-timeout-ms",
+                    defaults
+                        .read_timeout
+                        .map(|d| d.as_millis() as u64)
+                        .unwrap_or(0),
+                )? {
+                    0 => None,
+                    ms => Some(Duration::from_millis(ms)),
+                },
             };
+            // Fault plans only arm the long-running service, never the
+            // one-shot subcommands: rehearsing failure is a server
+            // operator's deliberate act (TQ_FAULTS=... tq serve …).
+            if tq_faults::init_from_env()? {
+                eprintln!(
+                    "# tq-profd: TQ_FAULTS plan ACTIVE — this server will misbehave on purpose"
+                );
+            }
             let workers = config.workers;
             let cache_mb = config.cache_bytes >> 20;
             let server = Server::start(config)?;
@@ -506,7 +538,27 @@ fn run(argv: &[String]) -> Result<(), String> {
         "submit" => {
             let default_addr = ServerConfig::default().addr;
             let addr = args.get("addr").unwrap_or(&default_addr);
-            let mut client = Client::connect(addr)?;
+            let client_defaults = ClientConfig::default();
+            // One knob bounds both socket timeouts: connect keeps its
+            // short default unless the cap is lower, reads get the full
+            // budget (a cold paper-scale job can take minutes).
+            let timeout = Duration::from_secs(
+                args.positive_u64_or(
+                    "timeout",
+                    client_defaults
+                        .read_timeout
+                        .map(|d| d.as_secs())
+                        .unwrap_or(630),
+                )?,
+            );
+            let mut client = Client::connect_with(
+                addr,
+                ClientConfig {
+                    connect_timeout: client_defaults.connect_timeout.min(timeout),
+                    read_timeout: Some(timeout),
+                    ..client_defaults
+                },
+            )?;
             if args.has("ping") {
                 let r = client.ping()?;
                 println!("{}", r.encode());
@@ -527,7 +579,8 @@ fn run(argv: &[String]) -> Result<(), String> {
                     spec.stack = StackPolicy::Exclude;
                 }
                 spec.lib_policy = lib_policy(&args);
-                let (profile, cached) = client.submit(spec)?;
+                let retries = args.u64_or("retries", 0)? as u32;
+                let (profile, cached) = client.submit_with_retry(spec, retries)?;
                 // Profile JSON alone on stdout (byte-identical cold vs warm);
                 // bookkeeping goes to stderr.
                 println!("{}", profile.render());

@@ -27,6 +27,8 @@
 //! long-running `tq-profd` daemon can therefore leave observability on
 //! forever.
 
+#![warn(missing_docs)]
+
 pub mod chrome;
 pub mod metrics;
 pub mod span;

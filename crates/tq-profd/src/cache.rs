@@ -177,22 +177,42 @@ impl CaptureStore {
         digest: &str,
         record: impl FnOnce() -> Result<Trace, String>,
     ) -> Result<(Arc<Trace>, CaptureSource), String> {
+        // Fault rehearsal: an injected disk-read failure behaves like any
+        // unreadable capture file — fall back to recording. Correctness is
+        // untouched, only the warm-restart benefit is lost.
+        let disk_ok = tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError).is_ok();
         let loaded = self
             .capture_path(digest)
+            .filter(|_| disk_ok)
             .filter(|p| p.is_file())
             .and_then(|p| Trace::load_from_path(&p).ok())
             .map(|t| (Arc::new(t), CaptureSource::Disk));
         let result = match loaded {
             Some(hit) => Ok(hit),
-            None => record().map(|t| {
-                if let Some(path) = self.capture_path(digest) {
-                    // Best-effort persistence: a full disk must not fail
-                    // the job, it just loses the warm-restart benefit.
-                    let _ = path.parent().map(std::fs::create_dir_all);
-                    let _ = t.save_to_path(&path);
-                }
-                (Arc::new(t), CaptureSource::Recorded)
-            }),
+            None => {
+                // Contain recorder panics: an unwind escaping here would
+                // leave the inflight gate armed forever and hang every
+                // waiter for this digest.
+                let recorded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(record))
+                    .unwrap_or_else(|p| {
+                        Err(format!(
+                            "capture recording panicked: {}",
+                            crate::panic_message(p.as_ref())
+                        ))
+                    });
+                recorded.map(|t| {
+                    // Best-effort persistence: a full disk (or an injected
+                    // write failure) must not fail the job, it just loses
+                    // the warm-restart benefit.
+                    if let Some(path) = self.capture_path(digest) {
+                        if tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError).is_ok() {
+                            let _ = path.parent().map(std::fs::create_dir_all);
+                            let _ = t.save_to_path(&path);
+                        }
+                    }
+                    (Arc::new(t), CaptureSource::Recorded)
+                })
+            }
         };
         let mut inner = self.lock();
         if let Ok((t, _)) = &result {

@@ -1,26 +1,106 @@
 //! The line-oriented client used by `tq submit` and the tests.
+//!
+//! Resilience lives here, mirrored against the server's overload controls:
+//! connects and reads are bounded by [`ClientConfig`] timeouts (a dead
+//! server address fails fast instead of hanging forever), and
+//! [`Client::submit_with_retry`] resubmits after `busy` responses with
+//! capped exponential backoff, jittered by `tq_isa::prng` so a stampede of
+//! shed clients does not return in lockstep.
 
 use crate::protocol::{JobSpec, Request, Response};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use tq_report::Json;
 
+/// Client-side socket policy.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout per resolved address.
+    pub connect_timeout: Duration,
+    /// Socket read timeout while waiting for a response line (`None` =
+    /// wait forever). Must exceed the server's per-job reply timeout or
+    /// slow cold jobs will be misreported as transport errors.
+    pub read_timeout: Option<Duration>,
+    /// Upper bound on one backoff sleep in [`Client::submit_with_retry`].
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            // The server's default job timeout is 600s; leave headroom so
+            // the server's own timeout error reaches us first.
+            read_timeout: Some(Duration::from_secs(630)),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
 /// A connected client. One request/response at a time; the connection
-/// stays open across requests.
+/// stays open across requests and transparently reopens inside
+/// [`Client::submit_with_retry`] if the server shed it.
 pub struct Client {
+    addr: String,
+    config: ClientConfig,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Jitter source for backoff sleeps; deterministic per process+addr,
+    /// decorrelated across client processes.
+    rng: tq_isa::prng::Rng,
+}
+
+fn open(addr: &str, config: &ClientConfig) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let addrs: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .collect();
+    let mut last_err = format!("connect {addr}: no addresses");
+    for a in &addrs {
+        match TcpStream::connect_timeout(a, config.connect_timeout) {
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(config.read_timeout)
+                    .map_err(|e| e.to_string())?;
+                let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+                return Ok((stream, BufReader::new(read_half)));
+            }
+            Err(e) => last_err = format!("connect {a}: {e}"),
+        }
+    }
+    Err(last_err)
 }
 
 impl Client {
-    /// Connect to a running service.
+    /// Connect to a running service with default timeouts.
     pub fn connect(addr: &str) -> Result<Client, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit socket policy.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Client, String> {
+        let (writer, reader) = open(addr, &config)?;
+        let mut seed = 0xC1E5_7D00u64 ^ u64::from(std::process::id());
+        for b in addr.bytes() {
+            seed = seed.rotate_left(8) ^ u64::from(b);
+        }
         Ok(Client {
-            writer: stream,
-            reader: BufReader::new(read_half),
+            addr: addr.to_string(),
+            config,
+            writer,
+            reader,
+            rng: tq_isa::prng::Rng::new(seed),
         })
+    }
+
+    /// Drop the current connection and open a fresh one (used after the
+    /// server sheds us or the transport dies mid-retry).
+    fn reconnect(&mut self) -> Result<(), String> {
+        let (writer, reader) = open(&self.addr, &self.config)?;
+        self.writer = writer;
+        self.reader = reader;
+        Ok(())
     }
 
     /// Send one request, wait for its response line.
@@ -44,9 +124,15 @@ impl Client {
         self.request(&Request::Ping)
     }
 
-    /// Submit a job; on success returns `(profile, cached)`.
+    /// Submit a job once; on success returns `(profile, cached)`. A `busy`
+    /// shed comes back as a plain `Err` — use [`Client::submit_with_retry`]
+    /// to honor the server's backpressure instead.
     pub fn submit(&mut self, spec: JobSpec) -> Result<(Json, bool), String> {
-        let resp = self.request(&Request::Submit(spec))?;
+        let resp = self.request(&Request::Submit { spec, attempt: 0 })?;
+        Self::parse_submit(resp)
+    }
+
+    fn parse_submit(resp: Response) -> Result<(Json, bool), String> {
         if !resp.is_ok() {
             return Err(resp.error().unwrap_or("unknown server error").to_string());
         }
@@ -61,6 +147,62 @@ impl Client {
             .cloned()
             .ok_or("response missing `profile`")?;
         Ok((profile, cached))
+    }
+
+    /// One backoff sleep: exponential in the attempt number, seeded by the
+    /// server's `retry_after_ms` hint, capped, and jittered ±50% so shed
+    /// clients spread out instead of re-stampeding.
+    fn backoff(&mut self, hint_ms: u64, attempt: u32) {
+        let base_ms = hint_ms.max(1).saturating_mul(1u64 << attempt.min(16));
+        let capped_ms = base_ms.min(self.config.backoff_cap.as_millis() as u64);
+        let jittered = (capped_ms as f64 * self.rng.f64_in(0.5, 1.5)).max(1.0);
+        std::thread::sleep(Duration::from_millis(jittered as u64));
+    }
+
+    /// Submit a job, resubmitting up to `retries` times when the server
+    /// sheds us — a `busy` response (queue full, connection limit) or a
+    /// dropped connection. Sleeps between attempts per [`Client::backoff`],
+    /// honoring the server's `retry_after_ms` hint. Non-busy job errors are
+    /// returned immediately: the job failed on its merits and a retry
+    /// would fail identically.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: JobSpec,
+        retries: u32,
+    ) -> Result<(Json, bool), String> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.request(&Request::Submit {
+                spec: spec.clone(),
+                attempt: u64::from(attempt),
+            });
+            let (hint_ms, err) = match result {
+                Ok(resp) if resp.is_busy() => {
+                    let hint = resp.retry_after_ms().unwrap_or(50);
+                    (hint, resp.error().unwrap_or("server busy").to_string())
+                }
+                Ok(resp) => return Self::parse_submit(resp),
+                // Transport failure: the server may have shed the whole
+                // connection (max-conns reject closes it) or died; only a
+                // reconnect can tell.
+                Err(e) => (50, e),
+            };
+            if attempt >= retries {
+                return Err(format!("giving up after {attempt} retries: {err}"));
+            }
+            self.backoff(hint_ms, attempt);
+            attempt += 1;
+            tq_obs::counter(
+                "tq_profd_client_retries_total",
+                "Submissions this client retried after busy/shed responses",
+            )
+            .inc();
+            // Best effort: if the old connection is gone, replace it. A
+            // failed reconnect burns this attempt and backs off again.
+            if self.ping().is_err() {
+                let _ = self.reconnect();
+            }
+        }
     }
 
     /// Fetch the service stats object.

@@ -43,6 +43,9 @@ pub fn record_capture(workload: &Workload, fuel: Option<u64>) -> Result<Trace, S
 /// (sharded partials reduce to the byte-identical sequential profile), so
 /// it is deliberately *not* part of the memo key.
 pub fn run_tool(spec: &JobSpec, trace: &Trace, n_jobs: usize) -> Result<Json, String> {
+    // Fault rehearsal: an artificially slow replay is the chaos tests'
+    // lever for forcing queue pressure; free when no plan is installed.
+    tq_faults::sleep_if(tq_faults::FaultPoint::SlowReplay);
     match spec.tool {
         ToolId::Tquad => {
             let profile = replay_tquad(spec, trace, n_jobs)?;

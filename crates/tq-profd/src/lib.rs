@@ -31,6 +31,17 @@
 //! * [`server`] / [`client`] — the TCP daemon (bounded job queue, worker
 //!   pool, graceful shutdown, per-job timeout) and the line-oriented
 //!   client used by `tq submit`.
+//!
+//! Under load the service degrades predictably rather than queueing
+//! unboundedly: full queues and connection limits answer `busy` with a
+//! `retry_after_ms` hint, idle connections are reaped, panicking workers
+//! recover, and shutdown sheds the waiting queue. The client side mirrors
+//! this with socket timeouts and [`Client::submit_with_retry`]. Every
+//! degradation path can be rehearsed deterministically via `tq-faults`
+//! (the `TQ_FAULTS` plan string) — see `docs/OPERATIONS.md` for the
+//! operator's handbook and DESIGN.md §10 for the model.
+
+#![warn(missing_docs)]
 
 pub mod apps;
 pub mod cache;
@@ -42,7 +53,21 @@ pub mod stats;
 
 pub use apps::{AppId, Scale, Workload};
 pub use cache::CaptureStore;
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use protocol::{JobSpec, Request, Response, StackPolicy, ToolId};
 pub use server::{Server, ServerConfig};
 pub use stats::ServiceStats;
+
+/// Best-effort text of a caught panic payload (`&str` / `String`
+/// payloads; anything else reports its opaqueness). Used by the worker
+/// pool and the capture cache to turn contained unwinds into error
+/// replies.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}

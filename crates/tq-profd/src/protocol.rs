@@ -181,7 +181,15 @@ pub enum Request {
     /// Liveness check.
     Ping,
     /// Run (or fetch) a profiling job.
-    Submit(JobSpec),
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+        /// Retry generation: 0 for a first submission, `n` for the n-th
+        /// resubmission after a `busy` response. Not part of the job
+        /// identity — the server only counts it (`retries_observed`), so
+        /// operators can see clients backing off in `stats`.
+        attempt: u64,
+    },
     /// Service statistics snapshot.
     Stats,
     /// Prometheus-style text exposition of the process-wide tq-obs
@@ -199,7 +207,13 @@ impl Request {
             Request::Stats => Json::obj([("type", Json::from("stats"))]).render(),
             Request::Metrics => Json::obj([("type", Json::from("metrics"))]).render(),
             Request::Shutdown => Json::obj([("type", Json::from("shutdown"))]).render(),
-            Request::Submit(spec) => spec.to_json().render(),
+            Request::Submit { spec, attempt } => {
+                let mut obj = spec.to_json();
+                if *attempt > 0 {
+                    obj.set("attempt", Json::from(*attempt));
+                }
+                obj.render()
+            }
         }
     }
 
@@ -211,7 +225,10 @@ impl Request {
             Some("stats") => Ok(Request::Stats),
             Some("metrics") => Ok(Request::Metrics),
             Some("shutdown") => Ok(Request::Shutdown),
-            Some("submit") => Ok(Request::Submit(JobSpec::from_json(&v)?)),
+            Some("submit") => Ok(Request::Submit {
+                spec: JobSpec::from_json(&v)?,
+                attempt: v.get("attempt").and_then(Json::as_u64).unwrap_or(0),
+            }),
             Some(other) => Err(format!("unknown request type `{other}`")),
             None => Err("request missing `type`".into()),
         }
@@ -241,6 +258,19 @@ impl Response {
         ]))
     }
 
+    /// An overload response: the request was shed without being processed
+    /// and the client should retry after `retry_after_ms`. Distinguished
+    /// from a plain [`Response::err`] by `busy: true` — a busy job is safe
+    /// to resubmit, an errored one failed on its merits.
+    pub fn busy(message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response(Json::obj([
+            ("ok", Json::from(false)),
+            ("busy", Json::from(true)),
+            ("error", Json::from(message.into())),
+            ("retry_after_ms", Json::from(retry_after_ms)),
+        ]))
+    }
+
     /// Encode as one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         self.0.render()
@@ -262,6 +292,16 @@ impl Response {
     pub fn error(&self) -> Option<&str> {
         self.0.get("error").and_then(Json::as_str)
     }
+
+    /// Whether this is an overload (`busy`) response the client may retry.
+    pub fn is_busy(&self) -> bool {
+        self.0.get("busy").and_then(Json::as_bool).unwrap_or(false)
+    }
+
+    /// The server's retry hint in milliseconds, on `busy` responses.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        self.0.get("retry_after_ms").and_then(Json::as_u64)
+    }
 }
 
 #[cfg(test)]
@@ -275,13 +315,19 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
-            Request::Submit(JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad)),
-            Request::Submit(JobSpec {
-                interval: 123,
-                stack: StackPolicy::Exclude,
-                lib_policy: LibPolicy::Drop,
-                ..JobSpec::new(AppId::Img, Scale::Small, ToolId::Quad)
-            }),
+            Request::Submit {
+                spec: JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad),
+                attempt: 0,
+            },
+            Request::Submit {
+                spec: JobSpec {
+                    interval: 123,
+                    stack: StackPolicy::Exclude,
+                    lib_policy: LibPolicy::Drop,
+                    ..JobSpec::new(AppId::Img, Scale::Small, ToolId::Quad)
+                },
+                attempt: 3,
+            },
         ] {
             let line = req.encode();
             assert!(!line.contains('\n'), "one line per request");
@@ -292,13 +338,14 @@ mod tests {
     #[test]
     fn submit_defaults_fill_in() {
         let req = Request::decode(r#"{"type":"submit","tool":"gprof"}"#).unwrap();
-        let Request::Submit(spec) = req else {
+        let Request::Submit { spec, attempt } = req else {
             panic!("submit")
         };
         assert_eq!(spec.app, AppId::Wfs);
         assert_eq!(spec.scale, Scale::Tiny);
         assert_eq!(spec.interval, ToolId::Gprof.default_interval());
         assert_eq!(spec.stack, StackPolicy::Include);
+        assert_eq!(attempt, 0, "first submissions default to attempt 0");
     }
 
     #[test]
@@ -324,5 +371,15 @@ mod tests {
         let e = Response::err("boom");
         assert!(!e.is_ok());
         assert_eq!(e.error(), Some("boom"));
+        assert!(!e.is_busy(), "plain errors are not retryable");
+        assert_eq!(e.retry_after_ms(), None);
+
+        let b = Response::busy("queue full", 150);
+        assert!(!b.is_ok());
+        assert!(b.is_busy());
+        assert_eq!(b.retry_after_ms(), Some(150));
+        let back = Response::decode(&b.encode()).unwrap();
+        assert!(back.is_busy(), "busy survives the wire");
+        assert_eq!(back.retry_after_ms(), Some(150));
     }
 }

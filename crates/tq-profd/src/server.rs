@@ -1,9 +1,8 @@
 //! The TCP daemon: acceptor, bounded job queue, replay worker pool.
 //!
 //! One thread per client connection parses JSON-line requests; `submit`
-//! requests go through a bounded queue (backpressure: submitters block
-//! while the queue is full) to N worker threads. Workers answer in three
-//! tiers, cheapest first:
+//! requests go through a bounded queue to N worker threads. Workers answer
+//! in three tiers, cheapest first:
 //!
 //! 1. **result memo** — this exact [`JobSpec`] ran before: return the
 //!    memoized profile (byte-identical, no replay);
@@ -12,8 +11,22 @@
 //! 3. **cold** — run the VM once under the trace recorder (single-flight
 //!    per content address), then replay.
 //!
-//! Shutdown is graceful: the queue drains, workers exit, the acceptor is
-//! woken by a self-connection and joins.
+//! **Overload policy** (see `docs/OPERATIONS.md` and DESIGN.md §10): the
+//! server degrades by answering fast, never by queueing unboundedly.
+//! A full job queue gets an immediate `busy` + `retry_after_ms` response
+//! instead of blocking the submitter; a connection over `max_conns` is
+//! told `busy` and closed before a thread is spawned for it; an idle or
+//! stalled connection is closed after `read_timeout`; a worker that panics
+//! is caught and answers with an error instead of shrinking the pool.
+//!
+//! Shutdown is graceful for *running* work only: jobs still waiting in the
+//! queue are shed with an error reply (counted in `sheds`), in-flight jobs
+//! finish and reply, workers exit, the acceptor is woken by a
+//! self-connection and joins.
+//!
+//! Every degradation path above can be rehearsed: `tq-faults` hooks sit at
+//! the accept, read, worker, cache-IO and replay points and are free when
+//! no fault plan is installed.
 
 use crate::apps::{AppId, Scale, Workload};
 use crate::cache::{CaptureSource, CaptureStore};
@@ -21,7 +34,7 @@ use crate::exec::{record_capture, run_tool};
 use crate::protocol::{JobSpec, Request, Response};
 use crate::stats::ServiceStats;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -42,13 +55,23 @@ pub struct ServerConfig {
     pub state_dir: Option<PathBuf>,
     /// In-memory capture budget in bytes.
     pub cache_bytes: u64,
-    /// Bounded job-queue depth; submitters block when it is full.
+    /// Bounded job-queue depth; a submission against a full queue is
+    /// answered immediately with `busy` + `retry_after_ms`, never queued
+    /// or blocked.
     pub queue_depth: usize,
     /// Per-job reply timeout. The job keeps running and still populates
     /// the caches; only the waiting client gets an error.
     pub job_timeout: Duration,
     /// Instruction budget for capture runs (`None` = unbounded).
     pub capture_fuel: Option<u64>,
+    /// Maximum concurrently served connections. One over the limit is
+    /// answered with a single `busy` line and closed before a connection
+    /// thread exists for it.
+    pub max_conns: usize,
+    /// Per-connection read/idle timeout: a client that sends nothing for
+    /// this long is disconnected (`None` = never). Bounds both idle
+    /// connections and read-stalled requests.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -63,9 +86,15 @@ impl Default for ServerConfig {
             queue_depth: 64,
             job_timeout: Duration::from_secs(600),
             capture_fuel: None,
+            max_conns: 256,
+            read_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
+
+/// Longest accepted request line (a valid request is well under 1 KiB; a
+/// client streaming an unbounded "line" must not grow server memory).
+const MAX_REQUEST_LINE: u64 = 64 * 1024;
 
 /// One queued job: the spec plus where to send the answer. The reply is
 /// the rendered-deterministic profile and whether it was a memo hit.
@@ -93,12 +122,24 @@ struct Shared {
     queue: Mutex<Queue>,
     /// Signalled when a job arrives or the queue closes.
     not_empty: Condvar,
-    /// Signalled when a job is taken (backpressure release).
-    not_full: Condvar,
     /// Workers currently executing a job; the gap to `config.workers` is
     /// idle capacity a running job may borrow as replay shards.
     busy: AtomicUsize,
+    /// Connections currently being served (the acceptor rejects above
+    /// `config.max_conns`).
+    conns: AtomicUsize,
     shutdown: AtomicBool,
+}
+
+/// Why a submit was not enqueued.
+enum PushError {
+    /// The queue is at `queue_depth`: shed now, client retries later.
+    Busy {
+        /// Suggested client wait before resubmitting.
+        retry_after_ms: u64,
+    },
+    /// Shutdown has begun; the queue accepts nothing more.
+    Closed,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -185,18 +226,64 @@ mod obs {
         "tq_profd_job_micros",
         "End-to-end job latency in microseconds"
     );
+    handle!(
+        sheds,
+        Counter,
+        counter,
+        "tq_profd_sheds_total",
+        "Queued jobs shed with an error reply at shutdown"
+    );
+    handle!(
+        rejects,
+        Counter,
+        counter,
+        "tq_profd_rejects_total",
+        "Submits answered busy (queue full) plus connections turned away at the limit"
+    );
+    handle!(
+        retries_observed,
+        Counter,
+        counter,
+        "tq_profd_retries_observed_total",
+        "Submits that arrived flagged as client retries (attempt > 0)"
+    );
+    handle!(
+        faults_injected,
+        Gauge,
+        gauge,
+        "tq_profd_faults_injected",
+        "Faults injected by the active tq-faults plan (set at each metrics scrape)"
+    );
 }
 
 impl Shared {
-    /// Enqueue a job, blocking while the queue is full. Fails once
-    /// shutdown has begun.
-    fn push(&self, job: Job) -> Result<(), String> {
+    /// The server's `retry_after_ms` hint on a shed: roughly how long the
+    /// backlog ahead of this client needs to drain, from the measured mean
+    /// job latency (100ms before any job has finished), clamped to
+    /// [25ms, 5s].
+    fn retry_after_ms(&self, queue_len: usize) -> u64 {
+        let mean_ms = lock(&self.stats)
+            .mean_job_micros()
+            .map(|us| us / 1_000.0)
+            .unwrap_or(100.0);
+        let workers = self.config.workers.max(1) as f64;
+        ((queue_len + 1) as f64 * mean_ms / workers).clamp(25.0, 5_000.0) as u64
+    }
+
+    /// Enqueue a job without blocking: a full queue is the client's
+    /// problem (it gets `busy` + a retry hint), never the acceptor's or
+    /// the connection thread's.
+    fn try_push(&self, job: Job) -> Result<(), PushError> {
         let mut q = lock(&self.queue);
-        while q.jobs.len() >= self.config.queue_depth && !q.closed {
-            q = self.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
-        }
         if q.closed {
-            return Err("server is shutting down".into());
+            return Err(PushError::Closed);
+        }
+        if q.jobs.len() >= self.config.queue_depth {
+            let len = q.jobs.len();
+            drop(q);
+            return Err(PushError::Busy {
+                retry_after_ms: self.retry_after_ms(len),
+            });
         }
         q.jobs.push_back(job);
         obs::queue_depth().set(q.jobs.len() as i64);
@@ -210,7 +297,6 @@ impl Shared {
         loop {
             if let Some(job) = q.jobs.pop_front() {
                 obs::queue_depth().set(q.jobs.len() as i64);
-                self.not_full.notify_one();
                 return Some(job);
             }
             if q.closed {
@@ -220,10 +306,26 @@ impl Shared {
         }
     }
 
+    /// Begin shutdown: close the queue and shed every job still waiting in
+    /// it (oldest first — they have waited longest and would be last to
+    /// run). Running jobs are left to finish and reply normally.
     fn close_queue(&self) {
-        lock(&self.queue).closed = true;
+        let shed: Vec<Job> = {
+            let mut q = lock(&self.queue);
+            q.closed = true;
+            q.jobs.drain(..).collect()
+        };
         self.not_empty.notify_all();
-        self.not_full.notify_all();
+        obs::queue_depth().set(0);
+        if !shed.is_empty() {
+            lock(&self.stats).sheds += shed.len() as u64;
+            obs::sheds().add(shed.len() as u64);
+            for job in shed {
+                let _ = job.reply.send(Err(
+                    "shed: server is shutting down; resubmit elsewhere".into()
+                ));
+            }
+        }
     }
 
     /// The content address for `(app, scale)`, building the workload at
@@ -241,6 +343,9 @@ impl Shared {
     /// Execute one job through the three answer tiers.
     fn execute(&self, spec: &JobSpec) -> Result<(Json, bool), String> {
         let _span = tq_obs::span_named(format!("job-{}", spec.tool.as_str()), "profd");
+        // Fault rehearsal: a worker may be told to die here; worker_loop
+        // contains the unwind and answers with an error.
+        tq_faults::panic_if(tq_faults::FaultPoint::WorkerPanic);
         let t0 = Instant::now();
         if let Some(hit) = lock(&self.results).get(spec) {
             let json = (**hit).clone();
@@ -309,6 +414,12 @@ impl Shared {
         );
         j.set("queue_depth", Json::from(self.config.queue_depth as u64));
         j.set("queue_len", Json::from(lock(&self.queue).jobs.len() as u64));
+        j.set("max_conns", Json::from(self.config.max_conns as u64));
+        j.set(
+            "open_conns",
+            Json::from(self.conns.load(Ordering::SeqCst) as u64),
+        );
+        j.set("faults_injected", Json::from(tq_faults::injected()));
         j.set(
             "captures_in_memory",
             Json::from(self.store.mem_entries() as u64),
@@ -324,7 +435,18 @@ impl Shared {
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.pop() {
         shared.busy.fetch_add(1, Ordering::SeqCst);
-        let result = shared.execute(&job.spec);
+        // A panicking job (tool bug, injected worker_panic fault) must not
+        // shrink the worker pool or leave its submitter waiting: contain
+        // the unwind and answer with an error. Shared state stays sound —
+        // every lock in this crate recovers from poisoning.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.execute(&job.spec)))
+                .unwrap_or_else(|p| {
+                    Err(format!(
+                        "worker panicked while running the job (worker recovered): {}",
+                        crate::panic_message(p.as_ref())
+                    ))
+                });
         shared.busy.fetch_sub(1, Ordering::SeqCst);
         if result.is_err() {
             lock(&shared.stats).jobs_failed += 1;
@@ -343,6 +465,7 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
         Request::Stats => (Response::ok([("stats", shared.stats_json())]), false),
         Request::Metrics => {
             obs::uptime_seconds().set(shared.started.elapsed().as_secs() as i64);
+            obs::faults_injected().set(tq_faults::injected() as i64);
             (
                 Response::ok([("metrics", Json::from(tq_obs::prometheus_text()))]),
                 false,
@@ -355,18 +478,38 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
             let _ = TcpStream::connect(addr);
             (Response::ok([("stopping", Json::from(true))]), true)
         }
-        Request::Submit(spec) => {
-            lock(&shared.stats).jobs_submitted += 1;
+        Request::Submit { spec, attempt } => {
+            {
+                let mut st = lock(&shared.stats);
+                st.jobs_submitted += 1;
+                if attempt > 0 {
+                    st.retries_observed += 1;
+                }
+            }
             obs::jobs_submitted().inc();
+            if attempt > 0 {
+                obs::retries_observed().inc();
+            }
             let (tx, rx) = mpsc::channel();
             let pushed = {
                 let _span = tq_obs::span("enqueue", "profd");
-                shared.push(Job { spec, reply: tx })
+                shared.try_push(Job { spec, reply: tx })
             };
-            if let Err(e) = pushed {
-                lock(&shared.stats).jobs_failed += 1;
-                obs::jobs_failed().inc();
-                return (Response::err(e), false);
+            match pushed {
+                Ok(()) => {}
+                Err(PushError::Busy { retry_after_ms }) => {
+                    lock(&shared.stats).rejects += 1;
+                    obs::rejects().inc();
+                    return (
+                        Response::busy("queue full: job shed, retry later", retry_after_ms),
+                        false,
+                    );
+                }
+                Err(PushError::Closed) => {
+                    lock(&shared.stats).jobs_failed += 1;
+                    obs::jobs_failed().inc();
+                    return (Response::err("server is shutting down"), false);
+                }
             }
             match rx.recv_timeout(shared.config.job_timeout) {
                 Ok(Ok((profile, cached))) => (
@@ -386,7 +529,25 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
     }
 }
 
+/// Decrements the live-connection count when a connection thread exits,
+/// however it exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn connection_loop(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
+    let _guard = ConnGuard(Arc::clone(&shared));
+    // The read timeout doubles as the idle timeout: a connection that
+    // sends nothing (or stalls mid-line) for this long is closed. Reads
+    // and writes share the socket, so only SO_RCVTIMEO is set — replies
+    // are never timed out from our side.
+    if stream.set_read_timeout(shared.config.read_timeout).is_err() {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -395,13 +556,33 @@ fn connection_loop(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
+        // Cap the request line: a valid request is well under 1 KiB, and
+        // `read_line` on the raw reader would otherwise buffer an
+        // unbounded "line" from a hostile or broken client.
+        let mut limited = reader.take(MAX_REQUEST_LINE + 1);
+        let n = limited.read_line(&mut line);
+        reader = limited.into_inner();
+        match n {
+            Ok(0) | Err(_) => return, // client hung up, stalled past the timeout, or sent non-UTF-8
             Ok(_) => {}
+        }
+        if line.len() as u64 > MAX_REQUEST_LINE {
+            // Oversized: the tail of the line is still in flight, so the
+            // stream cannot be resynchronized — answer and hang up.
+            let mut out =
+                Response::err(format!("request line exceeds {MAX_REQUEST_LINE} bytes")).encode();
+            out.push('\n');
+            let _ = writer
+                .write_all(out.as_bytes())
+                .and_then(|_| writer.flush());
+            return;
         }
         if line.trim().is_empty() {
             continue;
         }
+        // Fault rehearsal: a stalled client link delays the request here,
+        // after the bytes arrived and before any work happens.
+        tq_faults::sleep_if(tq_faults::FaultPoint::ReadStall);
         let (response, stop) = match Request::decode(&line) {
             Ok(req) => handle_request(&shared, addr, req),
             Err(e) => (Response::err(format!("bad request: {e}")), false),
@@ -445,8 +626,8 @@ impl Server {
             results: Mutex::new(HashMap::new()),
             queue: Mutex::new(Queue::default()),
             not_empty: Condvar::new(),
-            not_full: Condvar::new(),
             busy: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
 
@@ -472,11 +653,43 @@ impl Server {
                         if shared.shutdown.load(Ordering::SeqCst) {
                             break;
                         }
-                        let Ok(stream) = stream else { continue };
-                        let shared = Arc::clone(&shared);
-                        let _ = std::thread::Builder::new()
+                        let Ok(mut stream) = stream else { continue };
+                        // Fault rehearsal: a slow accept path delays every
+                        // connection behind this one (the backlog is the
+                        // kernel's listen queue).
+                        tq_faults::sleep_if(tq_faults::FaultPoint::AcceptDelay);
+                        // Connection limit: answer `busy` inline and close
+                        // before a thread exists for this client. The
+                        // counter is reserved here and released by the
+                        // connection thread's ConnGuard.
+                        let occupied = shared.conns.fetch_add(1, Ordering::SeqCst);
+                        if occupied >= shared.config.max_conns {
+                            shared.conns.fetch_sub(1, Ordering::SeqCst);
+                            lock(&shared.stats).rejects += 1;
+                            obs::rejects().inc();
+                            let mut out = Response::busy(
+                                format!(
+                                    "connection limit reached ({} open)",
+                                    shared.config.max_conns
+                                ),
+                                shared.retry_after_ms(lock(&shared.queue).jobs.len()),
+                            )
+                            .encode();
+                            out.push('\n');
+                            let _ = stream
+                                .write_all(out.as_bytes())
+                                .and_then(|_| stream.flush());
+                            continue; // drop closes the rejected stream
+                        }
+                        let conn_shared = Arc::clone(&shared);
+                        if std::thread::Builder::new()
                             .name("tq-profd-conn".into())
-                            .spawn(move || connection_loop(shared, addr, stream));
+                            .spawn(move || connection_loop(conn_shared, addr, stream))
+                            .is_err()
+                        {
+                            // Spawn failed: nothing will run ConnGuard.
+                            shared.conns.fetch_sub(1, Ordering::SeqCst);
+                        }
                     }
                 })
                 .map_err(|e| e.to_string())?

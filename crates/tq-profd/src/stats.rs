@@ -91,6 +91,14 @@ pub struct ServiceStats {
     pub events_replayed: u64,
     /// Replays that fanned out over idle workers (more than one shard).
     pub sharded_replays: u64,
+    /// Queued jobs shed with an error reply when shutdown began.
+    pub sheds: u64,
+    /// Requests turned away under overload: submits answered `busy`
+    /// (queue full) plus connections refused at the `max_conns` limit.
+    pub rejects: u64,
+    /// Submits that arrived flagged as client retries (`attempt > 0`) —
+    /// nonzero means clients are seeing `busy` and backing off.
+    pub retries_observed: u64,
     /// Per-tool job latency (tquad, quad, gprof, phases).
     pub latency: [LatencyHisto; 4],
 }
@@ -108,6 +116,16 @@ impl ServiceStats {
     /// Record a finished job's latency under its tool.
     pub fn record_latency(&mut self, tool: ToolId, micros: u64) {
         self.latency[Self::tool_idx(tool)].record(micros);
+    }
+
+    /// Mean end-to-end job latency in microseconds across every tool, or
+    /// `None` before the first job finishes. Feeds the server's
+    /// `retry_after_ms` hint on `busy` responses.
+    pub fn mean_job_micros(&self) -> Option<f64> {
+        let (count, total) = self.latency.iter().fold((0u64, 0u64), |(c, t), h| {
+            (c + h.count, t.saturating_add(h.total_micros))
+        });
+        (count > 0).then(|| total as f64 / count as f64)
     }
 
     /// Answers that avoided a VM run entirely: result-memo hits plus
@@ -149,6 +167,9 @@ impl ServiceStats {
             ("bytes_replayed", Json::from(self.bytes_replayed)),
             ("events_replayed", Json::from(self.events_replayed)),
             ("sharded_replays", Json::from(self.sharded_replays)),
+            ("sheds", Json::from(self.sheds)),
+            ("rejects", Json::from(self.rejects)),
+            ("retries_observed", Json::from(self.retries_observed)),
             ("latency", tools),
         ])
     }

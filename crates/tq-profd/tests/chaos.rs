@@ -1,0 +1,275 @@
+//! Chaos and overload tests: a real server with a seeded `tq-faults` plan
+//! installed in-process. The contract under test is the ISSUE's acceptance
+//! bar — every submitted job terminates with either a profile that is
+//! byte-identical to the fault-free output or an explicit error/busy
+//! response; nothing hangs and no reply is dropped.
+//!
+//! The fault plan is process-global, so these tests serialize on a mutex
+//! and always clear the plan on exit (panic included) via a drop guard.
+
+use std::sync::Mutex;
+use std::time::Duration;
+use tq_faults::{FaultPlan, FaultPoint};
+use tq_profd::exec::{record_capture, run_tool};
+use tq_profd::{
+    AppId, Client, ClientConfig, JobSpec, Scale, Server, ServerConfig, ToolId, Workload,
+};
+use tq_report::Json;
+
+/// Serializes the tests sharing the global fault plan.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Clears the installed plan when the test ends, pass or fail.
+struct PlanGuard;
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        tq_faults::clear();
+    }
+}
+
+fn start(config: ServerConfig) -> (Server, String) {
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// A distinct-but-same-capture job: varying the slice interval changes the
+/// result-memo key without needing a new workload capture.
+fn spec_n(n: u64) -> JobSpec {
+    let mut spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad);
+    spec.interval = 1000 + n;
+    spec
+}
+
+/// Fault-free expected profile for `spec`, computed below the service
+/// layer. Must be called with no fault plan installed.
+fn expected_profile(trace: &tq_trace::Trace, spec: &JobSpec) -> String {
+    assert!(!tq_faults::active(), "expected profiles need a clean plan");
+    run_tool(spec, trace, 1)
+        .expect("fault-free run_tool")
+        .render()
+}
+
+/// Queue-full submissions are answered immediately with `busy` and a
+/// `retry_after_ms` hint, and `Client::submit_with_retry` rides the hint
+/// to an eventual success.
+#[test]
+fn queue_full_yields_busy_and_retry_succeeds() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = PlanGuard;
+    tq_faults::clear();
+
+    let workload = Workload::build(AppId::Wfs, Scale::Tiny);
+    let trace = record_capture(&workload, None).expect("capture");
+    let want = expected_profile(&trace, &spec_n(3));
+
+    let (server, addr) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+
+    // Warm the capture cache so the slow-replay fault below only stretches
+    // replay, not the recording single-flight.
+    let mut client = Client::connect(&addr).expect("connect");
+    client.submit(spec_n(0)).expect("warm capture");
+
+    // From here on every replay takes >= 500ms: one job pins the worker,
+    // one fills the queue, and the third must be shed.
+    tq_faults::install(FaultPlan::seeded(42).with(
+        FaultPoint::SlowReplay,
+        1.0,
+        Duration::from_millis(500),
+    ));
+
+    let occupants: Vec<_> = (1..=2)
+        .map(|n| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                c.submit(spec_n(n))
+            })
+        })
+        .collect();
+    // Let both occupants land (worker + queue slot) before probing.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let resp = client
+        .request(&tq_profd::Request::Submit {
+            spec: spec_n(3),
+            attempt: 0,
+        })
+        .expect("probe transmits");
+    assert!(resp.is_busy(), "queue-full probe must be shed: {resp:?}");
+    let hint = resp.retry_after_ms().expect("busy carries retry_after_ms");
+    assert!(hint >= 25, "hint respects the floor: {hint}");
+
+    // The resilient path: same job, retried with backoff, succeeds once
+    // the occupants drain — and the profile matches the fault-free run.
+    let (profile, _cached) = client
+        .submit_with_retry(spec_n(3), 10)
+        .expect("retry eventually lands");
+    assert_eq!(
+        profile.render(),
+        want,
+        "shed-then-retried job is byte-identical"
+    );
+
+    for t in occupants {
+        t.join().expect("occupant thread").expect("occupant job");
+    }
+
+    let stats = client.stats().expect("stats");
+    let rejects = stats.get("rejects").and_then(Json::as_u64).unwrap_or(0);
+    assert!(rejects >= 1, "stats count the shed submission: {stats:?}");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean join");
+}
+
+/// The chaos soak: a mixed seeded plan (worker panics, read stalls, cache
+/// IO errors, slow replays, accept delays) while a batch of jobs runs
+/// through `submit_with_retry`. Every job must terminate — a profile
+/// byte-identical to its fault-free output, or an explicit error — and the
+/// service must report the injections.
+#[test]
+fn chaos_soak_terminates_every_job_correctly_or_cleanly() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = PlanGuard;
+    tq_faults::clear();
+
+    const JOBS: u64 = 12;
+    let workload = Workload::build(AppId::Wfs, Scale::Tiny);
+    let trace = record_capture(&workload, None).expect("capture");
+    let expected: Vec<String> = (0..JOBS)
+        .map(|n| expected_profile(&trace, &spec_n(n)))
+        .collect();
+
+    let state_dir = std::env::temp_dir().join(format!("tq-profd-chaos-{}", std::process::id()));
+    let (server, addr) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 4,
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    });
+
+    tq_faults::install(
+        FaultPlan::seeded(7)
+            .with(FaultPoint::WorkerPanic, 0.15, Duration::ZERO)
+            .with(FaultPoint::ReadStall, 0.20, Duration::from_millis(20))
+            .with(FaultPoint::CacheIoError, 0.30, Duration::ZERO)
+            .with(FaultPoint::SlowReplay, 0.30, Duration::from_millis(30))
+            .with(FaultPoint::AcceptDelay, 0.20, Duration::from_millis(20)),
+    );
+
+    let outcomes: Vec<_> = (0..JOBS)
+        .map(|n| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let config = ClientConfig {
+                    read_timeout: Some(Duration::from_secs(60)),
+                    ..ClientConfig::default()
+                };
+                let mut c = Client::connect_with(&addr, config).expect("connect");
+                (n, c.submit_with_retry(spec_n(n), 8))
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("no client thread hangs or panics"))
+        .collect();
+
+    let mut ok = 0usize;
+    let mut errored = 0usize;
+    for (n, outcome) in outcomes {
+        match outcome {
+            Ok((profile, _cached)) => {
+                assert_eq!(
+                    profile.render(),
+                    expected[n as usize],
+                    "job {n} survived chaos but diverged from the fault-free profile"
+                );
+                ok += 1;
+            }
+            Err(e) => {
+                // Explicit, human-readable failure — never a hang, never a
+                // silent drop. Injected worker panics surface here.
+                assert!(!e.is_empty(), "job {n} failed without a message");
+                errored += 1;
+            }
+        }
+    }
+    assert_eq!(ok + errored, JOBS as usize, "every job terminated");
+    assert!(ok >= 1, "at least one job survives the plan (seed=7)");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let injected = stats
+        .get("faults_injected")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(injected > 0, "the plan actually fired: {stats:?}");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean join");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+/// Shutdown under backlog sheds the queued jobs with an explicit error
+/// (never leaves a client waiting on a dead socket) and counts them.
+#[test]
+fn shutdown_sheds_queued_jobs_explicitly() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = PlanGuard;
+    tq_faults::clear();
+
+    let (server, addr) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 4,
+        ..ServerConfig::default()
+    });
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.submit(spec_n(0)).expect("warm capture");
+
+    tq_faults::install(FaultPlan::seeded(11).with(
+        FaultPoint::SlowReplay,
+        1.0,
+        Duration::from_millis(400),
+    ));
+
+    // One job pins the worker, three wait in the queue.
+    let waiters: Vec<_> = (1..=4)
+        .map(|n| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                c.submit(spec_n(n))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+
+    client.shutdown().expect("shutdown accepted");
+
+    let mut shed = 0usize;
+    for t in waiters {
+        match t.join().expect("waiter thread") {
+            // The in-flight job may finish normally.
+            Ok(_) => {}
+            Err(e) => {
+                assert!(
+                    e.contains("shed"),
+                    "queued jobs fail with the shed message, got: {e}"
+                );
+                shed += 1;
+            }
+        }
+    }
+    assert!(shed >= 1, "shutdown shed the backlog");
+
+    server.join().expect("clean join");
+}

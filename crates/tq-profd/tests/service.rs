@@ -43,12 +43,17 @@ fn warm_submit_is_byte_identical_cache_hit() {
 
     let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad);
     let cold = client
-        .request(&Request::Submit(spec.clone()))
+        .request(&Request::Submit {
+            spec: spec.clone(),
+            attempt: 0,
+        })
         .expect("cold submit");
     assert!(cold.is_ok(), "{:?}", cold.error());
     assert_eq!(cold.0.get("cached").and_then(Json::as_bool), Some(false));
 
-    let warm = client.request(&Request::Submit(spec)).expect("warm submit");
+    let warm = client
+        .request(&Request::Submit { spec, attempt: 0 })
+        .expect("warm submit");
     assert!(warm.is_ok());
     assert_eq!(warm.0.get("cached").and_then(Json::as_bool), Some(true));
 
@@ -258,6 +263,76 @@ fn stack_option_propagates_through_the_service() {
     let (repeat, cached) = client.submit(base).expect("repeat");
     assert!(cached);
     assert_eq!(repeat.render(), with_stack.render());
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean join");
+}
+
+/// An oversized request line (a hostile or broken client streaming bytes
+/// with no newline) gets a clean error response and a closed connection —
+/// the server neither buffers it unboundedly nor hangs a worker.
+#[test]
+fn oversized_request_line_is_rejected_cleanly() {
+    let (server, addr) = start(None);
+
+    use std::io::{BufRead, Write};
+    let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+    let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+    // Well past the 64 KiB cap, in one line. The server stops reading at
+    // the cap and hangs up, so these writes may themselves fail with a
+    // reset — that is the "close" half of the contract, not a test bug.
+    let blob = "x".repeat(96 * 1024);
+    let sent = raw
+        .write_all(blob.as_bytes())
+        .and_then(|()| raw.write_all(b"\n"))
+        .and_then(|()| raw.flush());
+    let mut line = String::new();
+    match (sent, reader.read_line(&mut line)) {
+        // Best case: the error reply survived the teardown race.
+        (Ok(()), Ok(n)) if n > 0 => {
+            let resp = tq_profd::Response::decode(&line).expect("decodes");
+            assert!(!resp.is_ok(), "oversized line must fail");
+            assert!(
+                resp.error().unwrap_or("").contains("exceeds"),
+                "error names the cap: {:?}",
+                resp.error()
+            );
+        }
+        // Otherwise the server closed on us (EOF or RST while our unread
+        // bytes were still in flight). Equally acceptable: the request was
+        // refused without buffering it, and crucially without hanging.
+        (_, Ok(_)) | (_, Err(_)) => {}
+    }
+
+    // And the service is still healthy for everyone else.
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(client.ping().expect("ping").is_ok());
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean join");
+}
+
+/// A client that disconnects mid-request (partial line, no newline) must
+/// not wedge anything: the connection thread exits and the service keeps
+/// answering.
+#[test]
+fn mid_request_disconnect_leaves_service_healthy() {
+    let (server, addr) = start(None);
+
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        raw.write_all(br#"{"type":"sub"#).expect("partial send");
+        raw.flush().expect("flush");
+        // Drop: closes the socket with the request line unterminated.
+    }
+    // A fresh client gets served immediately — no worker was consumed by
+    // the partial request, no lock is stuck.
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(client.ping().expect("ping").is_ok());
+    let (profile, _) = client
+        .submit(JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Gprof))
+        .expect("submit after disconnect");
+    assert!(!profile.render().is_empty());
 
     client.shutdown().expect("shutdown");
     server.join().expect("clean join");

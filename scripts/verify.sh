@@ -14,6 +14,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> cargo doc --no-deps --offline (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
+
 echo "==> sharded replay determinism smoke (tquad/quad/gprof, 4 shards vs sequential)"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
