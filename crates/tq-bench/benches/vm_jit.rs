@@ -1,0 +1,205 @@
+//! Guard bench for the interpreter optimisation levels (`VmOpt`).
+//!
+//! Times `vm.run()` alone (VM construction allocates the page directory
+//! and is excluded) on a memory-heavy hot loop at each level, twice:
+//!
+//! 1. **bare** — no tool attached: pure dispatch throughput, where
+//!    pre-decoded fused ops and lowered traces pay off most;
+//! 2. **instrumented** — a trace recorder capturing every event: the
+//!    profiling configuration, where trace mode additionally batches the
+//!    per-event tool dispatch into one `on_events` flush per iteration.
+//!
+//! The **guard**: the bare `trace` level must be at least 1.5x faster
+//! than `off` (best-of-N on both sides), and every level must produce the
+//! byte-identical capture digest — the bench fails otherwise, holding the
+//! speedup claim and the fidelity contract at once. Results land in
+//! `results/vm_dispatch_modes.tsv`.
+
+use std::time::{Duration, Instant};
+use tq_bench::save;
+use tq_isa::{Asm, BrCond, Inst, MemWidth, Program, Reg};
+use tq_trace::TraceRecorder;
+use tq_vm::{layout, Vm, VmOpt, VmStats};
+
+/// Speedup floor for bare `trace` over bare `off` (the acceptance
+/// criterion checked by `scripts/verify.sh`).
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+/// A memory-heavy counted loop: address compute + store, load-modify-
+/// store, induction step + branch — the shapes the fusion peephole and
+/// the trace recorder both target (AddrLd/LdOpSt/IncBr).
+fn hot_loop(iters: i32) -> Program {
+    let mut a = Asm::new();
+    a.begin_routine("main").unwrap();
+    a.emit(Inst::Li {
+        rd: Reg(1),
+        imm: layout::GLOBALS_BASE as i32,
+    });
+    a.emit(Inst::Li { rd: Reg(2), imm: 0 });
+    a.emit(Inst::Li {
+        rd: Reg(3),
+        imm: iters,
+    });
+    a.label("loop").unwrap();
+    // Three in-place read-modify-write triples (each fuses to LdOpSt)
+    // at distinct slots, an address-compute + store pair, then the
+    // induction step + branch (fuses to IncBr).
+    for (slot, step) in [(8, 3), (16, 5), (24, 7)] {
+        a.emit(Inst::Ld {
+            rd: Reg(5),
+            base: Reg(1),
+            off: slot,
+            width: MemWidth::B8,
+        });
+        a.emit(Inst::AddI {
+            rd: Reg(5),
+            rs1: Reg(5),
+            imm: step,
+        });
+        a.emit(Inst::St {
+            rs: Reg(5),
+            base: Reg(1),
+            off: slot,
+            width: MemWidth::B8,
+        });
+    }
+    a.emit(Inst::AddI {
+        rd: Reg(4),
+        rs1: Reg(1),
+        imm: 64,
+    });
+    a.emit(Inst::St {
+        rs: Reg(2),
+        base: Reg(4),
+        off: 0,
+        width: MemWidth::B8,
+    });
+    a.emit(Inst::AddI {
+        rd: Reg(2),
+        rs1: Reg(2),
+        imm: 1,
+    });
+    a.br(BrCond::Lt, Reg(2), Reg(3), "loop");
+    a.emit(Inst::Halt);
+    let img = a.finish("jit", layout::MAIN_TEXT_BASE, true).unwrap();
+    let entry = img.routines[0].start;
+    Program::new(img, entry)
+}
+
+struct Run {
+    wall: Duration,
+    icount: u64,
+    digest: Option<String>,
+    stats: VmStats,
+}
+
+/// One run at `opt`; only `vm.run()` is inside the timed window.
+fn run_once(program: &Program, opt: VmOpt, instrument: bool) -> Run {
+    let mut vm = Vm::new(program.clone()).expect("loads");
+    vm.set_vm_opt(opt);
+    let h = instrument.then(|| vm.attach_tool(Box::new(TraceRecorder::new())));
+    let t0 = Instant::now();
+    let exit = vm.run(None).expect("runs");
+    let wall = t0.elapsed();
+    let stats = *vm.stats();
+    let digest = h.map(|h| {
+        vm.detach_tool::<TraceRecorder>(h)
+            .expect("recorder")
+            .into_trace()
+            .digest()
+    });
+    Run {
+        wall,
+        icount: exit.icount,
+        digest,
+        stats,
+    }
+}
+
+/// Best-of-N wall clock (best-of filters preemption spikes).
+fn best_of(program: &Program, opt: VmOpt, instrument: bool, iters: usize) -> Run {
+    let mut best = run_once(program, opt, instrument);
+    for _ in 1..iters {
+        let r = run_once(program, opt, instrument);
+        if r.wall < best.wall {
+            best.wall = r.wall;
+        }
+        assert_eq!(r.icount, best.icount, "{opt}: icount unstable across reps");
+    }
+    best
+}
+
+fn mips(r: &Run) -> f64 {
+    r.icount as f64 / r.wall.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let iters: usize = std::env::var("TQ_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let program = hot_loop(1_500_000);
+    let modes = [VmOpt::Off, VmOpt::Fuse, VmOpt::Trace];
+
+    println!("vm_jit: 1.5M-iteration memory loop, best of {iters}, vm.run() only");
+    let mut tsv = String::from(
+        "mode\tbare_s\tbare_mips\tinstr_s\tinstr_mips\tblocks_fused\ttraces_recorded\ttrace_share\tdigest\n",
+    );
+    let mut bare = Vec::new();
+    let mut inst = Vec::new();
+    for &opt in &modes {
+        let b = best_of(&program, opt, false, iters);
+        let i = best_of(&program, opt, true, iters);
+        println!(
+            "  {opt:<5} bare {:>10?} ({:>7.1} Minst/s)   instrumented {:>10?} ({:>7.1} Minst/s)",
+            b.wall,
+            mips(&b),
+            i.wall,
+            mips(&i),
+        );
+        tsv.push_str(&format!(
+            "{opt}\t{:.6}\t{:.1}\t{:.6}\t{:.1}\t{}\t{}\t{:.4}\t{}\n",
+            b.wall.as_secs_f64(),
+            mips(&b),
+            i.wall.as_secs_f64(),
+            mips(&i),
+            i.stats.blocks_fused,
+            i.stats.traces_recorded,
+            i.stats.trace_instr_share(i.icount),
+            i.digest.as_deref().unwrap_or("-"),
+        ));
+        bare.push(b);
+        inst.push(i);
+    }
+
+    // Fidelity: every level records the byte-identical capture.
+    for (opt, i) in modes.iter().zip(&inst) {
+        assert_eq!(
+            i.digest, inst[0].digest,
+            "{opt}: capture digest diverged from off"
+        );
+        assert_eq!(i.icount, inst[0].icount, "{opt}: icount diverged");
+    }
+    // The machinery engaged: fuse found superinstructions, trace mode ran
+    // most of the loop inside lowered traces.
+    assert!(inst[1].stats.blocks_fused >= 1, "fusion never engaged");
+    assert!(inst[2].stats.traces_recorded >= 1, "no trace recorded");
+    let share = inst[2].stats.trace_instr_share(inst[2].icount);
+    assert!(share > 0.9, "trace share too low: {share:.4}");
+
+    let speedup = bare[0].wall.as_secs_f64() / bare[2].wall.as_secs_f64();
+    let instr_speedup = inst[0].wall.as_secs_f64() / inst[2].wall.as_secs_f64();
+    println!(
+        "  speedup trace vs off: bare {speedup:.2}x, instrumented {instr_speedup:.2}x \
+         (floor {SPEEDUP_FLOOR}x on bare)"
+    );
+    tsv.push_str(&format!(
+        "# speedup_bare={speedup:.3} speedup_instrumented={instr_speedup:.3} floor={SPEEDUP_FLOOR}\n"
+    ));
+    save("vm_dispatch_modes.tsv", &tsv);
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "bare trace speedup {speedup:.2}x is below the {SPEEDUP_FLOOR}x floor"
+    );
+    println!("  guard: PASS");
+}

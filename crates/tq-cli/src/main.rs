@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! tq run     [--app wfs|img] [--scale tiny|small|paper]
+//! tq capture [--app …] [--scale …] --out FILE [--fuel N]
 //! tq gprof   [--scale …] [--interval N] [--jobs N]
 //! tq tquad   [--scale …] [--interval N] [--exclude-stack] [--exclude-libs]
 //!            [--chart read|write] [--kernels a,b,c] [--width N] [--jobs N]
@@ -18,6 +19,8 @@
 //! tq serve   [--addr HOST:PORT] [--workers N] [--state-dir PATH]
 //!            [--cache-mb N] [--queue N] [--timeout-ms N] [--capture-fuel N]
 //!            [--max-conns N] [--read-timeout-ms N]
+//!
+//! every VM-running subcommand: [--vm-opt off|fuse|trace]
 //! tq submit  [--addr HOST:PORT] [--tool tquad|quad|gprof|phases]
 //!            [--app …] [--scale …] [--interval N] [--exclude-stack]
 //!            [--exclude-libs|--track-libs] [--retries N] [--timeout SECS]
@@ -116,10 +119,23 @@ struct App {
 }
 
 impl App {
-    fn make_vm(&self) -> Result<tq_vm::Vm, String> {
+    fn make_vm(&self, opt: tq_vm::VmOpt) -> Result<tq_vm::Vm, String> {
         let mut vm = tq_vm::Vm::new(self.program.clone()).map_err(|e| e.to_string())?;
+        vm.set_vm_opt(opt);
         vm.fs_mut().add_file(&self.input.0, self.input.1.clone());
         Ok(vm)
+    }
+}
+
+/// Parse `--vm-opt off|fuse|trace`. Every level is observationally
+/// identical (same profiles, same captured trace bytes); the flag only
+/// trades decode-time work for interpreter speed, so each subcommand
+/// picks its own default: one-shot commands stay on `off`, the long-lived
+/// `serve` daemon defaults to `trace`.
+fn vm_opt(args: &Args, default: tq_vm::VmOpt) -> Result<tq_vm::VmOpt, String> {
+    match args.get("vm-opt") {
+        Some(v) => tq_vm::VmOpt::parse(v),
+        None => Ok(default),
     }
 }
 
@@ -131,10 +147,11 @@ impl App {
 /// the live run, just computed in parallel.
 fn run_profiled<T: tq_vm::MergeTool + 'static>(
     app: &App,
+    args: &Args,
     jobs: usize,
     tool: T,
 ) -> Result<T, String> {
-    let mut vm = app.make_vm()?;
+    let mut vm = app.make_vm(vm_opt(args, tq_vm::VmOpt::Off)?)?;
     if jobs > 1 {
         let trace = {
             let _span = tq_obs::span("capture", "vm");
@@ -206,13 +223,17 @@ fn lib_policy(args: &Args) -> LibPolicy {
 }
 
 fn usage() -> String {
-    "usage: tq <run|gprof|tquad|quad|phases|intervals|disasm|serve|submit> [options]\n\
+    "usage: tq <run|capture|gprof|tquad|quad|phases|intervals|disasm|serve|submit> [options]\n\
      common options: --app wfs|img --scale tiny|small|paper\n\
+     \u{20}               --vm-opt off|fuse|trace (interpreter optimisation level;\n\
+     \u{20}               observationally identical — same profiles, same capture\n\
+     \u{20}               bytes — only faster; default off, `serve` defaults trace)\n\
      \u{20}               --jobs N (record once, shard the replay over N threads;\n\
      \u{20}               the profile is byte-identical to a sequential run)\n\
      \u{20}               --trace-out FILE (write a Chrome trace of this run's\n\
      \u{20}               internal spans; open in Perfetto) --no-obs (disable\n\
      \u{20}               the self-profiling layer)\n\
+     capture options: --out FILE (required) --fuel N (0 = unbounded)\n\
      tquad options:  --interval N --exclude-stack --exclude-libs --chart read|write\n\
      \u{20}               --kernels a,b,c --width N\n\
      quad options:   --exclude-stack --exclude-libs --dot PATH\n\
@@ -262,7 +283,8 @@ fn run(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "run" => {
             let app = app_for(&args)?;
-            let mut vm = app.make_vm()?;
+            let opt = vm_opt(&args, tq_vm::VmOpt::Off)?;
+            let mut vm = app.make_vm(opt)?;
             let exit = vm.run(None).map_err(|e| e.to_string())?;
             println!(
                 "finished: {} instructions, exit {:?}",
@@ -286,6 +308,59 @@ fn run(argv: &[String]) -> Result<(), String> {
                 "code cache: {} blocks built, {} block executions, {} hits",
                 s.blocks_built, s.block_execs, s.cache_hits
             );
+            if opt != tq_vm::VmOpt::Off {
+                println!(
+                    "vm-opt {opt}: {} blocks fused, {} traces recorded, \
+                     {} side exits, {:.1}% of instructions in traces",
+                    s.blocks_fused,
+                    s.traces_recorded,
+                    s.trace_side_exits,
+                    s.trace_instr_share(exit.icount) * 100.0
+                );
+            }
+        }
+        "capture" => {
+            // Record the workload once under the trace recorder and write
+            // the encoded capture to disk — the offline artifact every
+            // analysis tool can replay. The file is byte-identical
+            // whatever `--vm-opt` level recorded it; `scripts/verify.sh`
+            // diffs an `off` capture against a `trace` capture to hold
+            // the interpreter optimisations to that contract.
+            let app = app_for(&args)?;
+            let opt = vm_opt(&args, tq_vm::VmOpt::Off)?;
+            let out = args
+                .get("out")
+                .ok_or("capture requires --out FILE (the trace file to write)")?;
+            let fuel = match args.u64_or("fuel", 0)? {
+                0 => None,
+                n => Some(n),
+            };
+            let mut vm = app.make_vm(opt)?;
+            let h = vm.attach_tool(Box::new(tq_trace::TraceRecorder::new()));
+            match vm.run(fuel) {
+                Ok(_) => {}
+                // A fuel-bounded capture is still a capture (the service
+                // uses the same convention for misbehaving workloads).
+                Err(tq_vm::VmError::FuelExhausted { .. }) if fuel.is_some() => {}
+                Err(e) => return Err(e.to_string()),
+            }
+            let trace = vm
+                .detach_tool::<tq_trace::TraceRecorder>(h)
+                .ok_or("internal error: detached tool had unexpected type")?
+                .into_trace();
+            trace
+                .save_to_path(std::path::Path::new(out))
+                .map_err(|e| format!("write {out}: {e}"))?;
+            let s = vm.stats();
+            println!(
+                "capture written to {out}: {} events, digest {}",
+                trace.events.len(),
+                trace.digest()
+            );
+            eprintln!(
+                "# vm-opt {opt}: {} blocks fused, {} traces recorded, {} side exits",
+                s.blocks_fused, s.traces_recorded, s.trace_side_exits
+            );
         }
         "gprof" => {
             let app = app_for(&args)?;
@@ -293,6 +368,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let p = run_profiled(
                 &app,
+                &args,
                 jobs,
                 GprofTool::new(GprofOptions {
                     sample_interval: interval,
@@ -309,6 +385,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let include_stack = !args.has("exclude-stack");
             let profile = run_profiled(
                 &app,
+                &args,
                 jobs,
                 TquadTool::new(
                     TquadOptions::default()
@@ -354,6 +431,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let profile = run_profiled(
                 &app,
+                &args,
                 jobs,
                 QuadTool::new(QuadOptions {
                     include_stack,
@@ -397,6 +475,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let profile = run_profiled(
                 &app,
+                &args,
                 jobs,
                 TquadTool::new(
                     TquadOptions::default()
@@ -426,6 +505,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let profile = run_profiled(
                 &app,
+                &args,
                 jobs,
                 TquadTool::new(
                     TquadOptions::default()
@@ -500,6 +580,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                     0 => None,
                     n => Some(n),
                 },
+                vm_opt: vm_opt(&args, defaults.vm_opt)?,
                 max_conns: args.positive_u64_or("max-conns", defaults.max_conns as u64)? as usize,
                 read_timeout: match args.u64_or(
                     "read-timeout-ms",

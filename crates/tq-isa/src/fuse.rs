@@ -1,0 +1,504 @@
+//! Superinstruction (fused-op) representation.
+//!
+//! The tq-vm hot loop pays a dispatch cost per *operation* it executes, so
+//! the dominant instruction pairs and triples of the profiled kernels are
+//! worth collapsing into single fused ops with one match arm each — the
+//! classic threaded-interpreter "superinstruction" technique. This module
+//! defines the architecture-level representation: which concrete instruction
+//! windows fuse, and into what. The peephole matcher runs once per basic
+//! block at decode time (instrumentation time, in Pin terms), so the cost of
+//! matching is paid where the paper's architecture already pays its
+//! once-per-block costs.
+//!
+//! Fusion never changes observable semantics. A fused op *is* its
+//! constituent instructions executed in original order: the executing VM
+//! advances the virtual clock once per constituent and fires exactly the
+//! analysis events the unfused sequence would have fired, so fuel
+//! accounting, `VmStats` and recorded traces stay byte-identical whether or
+//! not fusion is enabled. The only thing that changes is how many dispatch
+//! decisions the interpreter makes.
+//!
+//! The fused shapes mirror the patterns that dominate the compiled wfs /
+//! imgproc kernels and the memory-heavy microbenchmarks: address-compute +
+//! load, load + op, op + store, the full load-modify-store triple, and the
+//! loop-closing induction step + compare-and-branch. (`Br` itself already
+//! fuses compare and branch architecturally; [`Fused::IncBr`] additionally
+//! absorbs the preceding induction update.)
+
+use crate::inst::{BrCond, Inst, MemWidth};
+use crate::reg::{FReg, Reg};
+
+/// A superinstruction: two or three adjacent [`Inst`]s fused into one
+/// dispatch unit. Field prefixes name the constituent: `a_*` the leading
+/// `AddI`, `o_*` the middle op, `s_*` the trailing store.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Fused {
+    /// `AddI a_rd, a_rs1, a_imm` ; `Ld rd, [a_rd + off]` — address compute
+    /// feeding an integer load.
+    AddrLd {
+        /// Destination of the address compute (the load's base register).
+        a_rd: Reg,
+        /// Source of the address compute.
+        a_rs1: Reg,
+        /// Address-compute immediate.
+        a_imm: i32,
+        /// Load destination.
+        rd: Reg,
+        /// Load displacement.
+        off: i32,
+        /// Load width.
+        width: MemWidth,
+    },
+    /// `AddI a_rd, a_rs1, a_imm` ; `FLd fd, [a_rd + off]` — address compute
+    /// feeding a float load (the wfs kernels are float-heavy).
+    AddrFLd {
+        /// Destination of the address compute (the load's base register).
+        a_rd: Reg,
+        /// Source of the address compute.
+        a_rs1: Reg,
+        /// Address-compute immediate.
+        a_imm: i32,
+        /// Load destination.
+        fd: FReg,
+        /// Load displacement.
+        off: i32,
+    },
+    /// `Ld rd, [base + off]` ; `AddI o_rd, rd, o_imm` — load feeding an
+    /// immediate op.
+    LdOp {
+        /// Load destination (consumed by the op).
+        rd: Reg,
+        /// Load base register.
+        base: Reg,
+        /// Load displacement.
+        off: i32,
+        /// Load width.
+        width: MemWidth,
+        /// Op destination.
+        o_rd: Reg,
+        /// Op immediate.
+        o_imm: i32,
+    },
+    /// `AddI a_rd, a_rs1, a_imm` ; `St a_rd, [base + off]` — computed value
+    /// stored immediately.
+    OpSt {
+        /// Op destination (the stored register).
+        a_rd: Reg,
+        /// Op source.
+        a_rs1: Reg,
+        /// Op immediate.
+        a_imm: i32,
+        /// Store base register.
+        base: Reg,
+        /// Store displacement.
+        off: i32,
+        /// Store width.
+        width: MemWidth,
+    },
+    /// `Ld rd, [base + off]` ; `AddI o_rd, rd, o_imm` ;
+    /// `St o_rd, [s_base + s_off]` — the read-modify-write triple that forms
+    /// the body of in-place update loops.
+    LdOpSt {
+        /// Load destination (consumed by the op).
+        rd: Reg,
+        /// Load base register.
+        base: Reg,
+        /// Load displacement.
+        off: i32,
+        /// Load width.
+        width: MemWidth,
+        /// Op destination (the stored register).
+        o_rd: Reg,
+        /// Op immediate.
+        o_imm: i32,
+        /// Store base register.
+        s_base: Reg,
+        /// Store displacement.
+        s_off: i32,
+        /// Store width.
+        s_width: MemWidth,
+    },
+    /// `AddI a_rd, a_rs1, a_imm` ; `Br cond, rs1, rs2, target` — loop
+    /// induction step + compare-and-branch. Ends a basic block, like the
+    /// `Br` it absorbs.
+    IncBr {
+        /// Induction-step destination.
+        a_rd: Reg,
+        /// Induction-step source.
+        a_rs1: Reg,
+        /// Induction-step immediate.
+        a_imm: i32,
+        /// Branch condition.
+        cond: BrCond,
+        /// First branch operand.
+        rs1: Reg,
+        /// Second branch operand.
+        rs2: Reg,
+        /// Branch target (absolute byte address).
+        target: u32,
+    },
+}
+
+impl Fused {
+    /// Number of constituent instructions (2 or 3). The virtual clock
+    /// advances by this much when the fused op executes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Fused::LdOpSt { .. } => 3,
+            _ => 2,
+        }
+    }
+
+    /// True when the fused op absorbs a block-ending branch (its last
+    /// constituent redirects control flow).
+    pub fn ends_block(&self) -> bool {
+        matches!(self, Fused::IncBr { .. })
+    }
+}
+
+impl std::fmt::Display for Fused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Fused::AddrLd {
+                a_rd,
+                a_rs1,
+                a_imm,
+                rd,
+                off,
+                width,
+            } => write!(
+                f,
+                "addr.ld r{}, r{}, {a_imm} ; r{}, {off}({}B)",
+                a_rd.0,
+                a_rs1.0,
+                rd.0,
+                width.bytes()
+            ),
+            Fused::AddrFLd {
+                a_rd,
+                a_rs1,
+                a_imm,
+                fd,
+                off,
+            } => write!(
+                f,
+                "addr.fld r{}, r{}, {a_imm} ; f{}, {off}",
+                a_rd.0, a_rs1.0, fd.0
+            ),
+            Fused::LdOp {
+                rd,
+                base,
+                off,
+                width,
+                o_rd,
+                o_imm,
+            } => write!(
+                f,
+                "ld.op r{}, {off}(r{})({}B) ; r{} += {o_imm}",
+                rd.0,
+                base.0,
+                width.bytes(),
+                o_rd.0
+            ),
+            Fused::OpSt {
+                a_rd,
+                a_rs1,
+                a_imm,
+                base,
+                off,
+                width,
+            } => write!(
+                f,
+                "op.st r{} = r{} + {a_imm} ; {off}(r{})({}B)",
+                a_rd.0,
+                a_rs1.0,
+                base.0,
+                width.bytes()
+            ),
+            Fused::LdOpSt {
+                rd,
+                base,
+                off,
+                o_imm,
+                s_base,
+                s_off,
+                ..
+            } => write!(
+                f,
+                "ld.op.st r{}, {off}(r{}) ; += {o_imm} ; {s_off}(r{})",
+                rd.0, base.0, s_base.0
+            ),
+            Fused::IncBr {
+                a_rd,
+                a_rs1,
+                a_imm,
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(
+                f,
+                "inc.br r{} = r{} + {a_imm} ; {cond:?} r{}, r{} -> {target:#x}",
+                a_rd.0, a_rs1.0, rs1.0, rs2.0
+            ),
+        }
+    }
+}
+
+/// Try to fuse the three adjacent instructions `a ; b ; c`.
+pub fn fuse_triple(a: &Inst, b: &Inst, c: &Inst) -> Option<Fused> {
+    if let (
+        Inst::Ld {
+            rd,
+            base,
+            off,
+            width,
+        },
+        Inst::AddI {
+            rd: o_rd,
+            rs1,
+            imm: o_imm,
+        },
+        Inst::St {
+            rs,
+            base: s_base,
+            off: s_off,
+            width: s_width,
+        },
+    ) = (*a, *b, *c)
+    {
+        if rs1 == rd && rs == o_rd {
+            return Some(Fused::LdOpSt {
+                rd,
+                base,
+                off,
+                width,
+                o_rd,
+                o_imm,
+                s_base,
+                s_off,
+                s_width,
+            });
+        }
+    }
+    None
+}
+
+/// Try to fuse the two adjacent instructions `a ; b`.
+pub fn fuse_pair(a: &Inst, b: &Inst) -> Option<Fused> {
+    match (*a, *b) {
+        (
+            Inst::AddI { rd, rs1, imm },
+            Inst::Ld {
+                rd: l_rd,
+                base,
+                off,
+                width,
+            },
+        ) if base == rd => Some(Fused::AddrLd {
+            a_rd: rd,
+            a_rs1: rs1,
+            a_imm: imm,
+            rd: l_rd,
+            off,
+            width,
+        }),
+        (Inst::AddI { rd, rs1, imm }, Inst::FLd { fd, base, off }) if base == rd => {
+            Some(Fused::AddrFLd {
+                a_rd: rd,
+                a_rs1: rs1,
+                a_imm: imm,
+                fd,
+                off,
+            })
+        }
+        (
+            Inst::Ld {
+                rd,
+                base,
+                off,
+                width,
+            },
+            Inst::AddI {
+                rd: o_rd,
+                rs1,
+                imm: o_imm,
+            },
+        ) if rs1 == rd => Some(Fused::LdOp {
+            rd,
+            base,
+            off,
+            width,
+            o_rd,
+            o_imm,
+        }),
+        (
+            Inst::AddI { rd, rs1, imm },
+            Inst::St {
+                rs,
+                base,
+                off,
+                width,
+            },
+        ) if rs == rd => Some(Fused::OpSt {
+            a_rd: rd,
+            a_rs1: rs1,
+            a_imm: imm,
+            base,
+            off,
+            width,
+        }),
+        (
+            Inst::AddI { rd, rs1, imm },
+            Inst::Br {
+                cond,
+                rs1: b_rs1,
+                rs2: b_rs2,
+                target,
+            },
+        ) => Some(Fused::IncBr {
+            a_rd: rd,
+            a_rs1: rs1,
+            a_imm: imm,
+            cond,
+            rs1: b_rs1,
+            rs2: b_rs2,
+            target,
+        }),
+        _ => None,
+    }
+}
+
+/// Greedy peephole step: fuse the longest match at the start of `window`
+/// (triples before pairs) and report how many instructions it consumed.
+/// `None` means the first instruction stays a plain single op.
+pub fn fuse_window(window: &[Inst]) -> Option<(Fused, usize)> {
+    if window.len() >= 3 {
+        if let Some(f) = fuse_triple(&window[0], &window[1], &window[2]) {
+            return Some((f, 3));
+        }
+    }
+    if window.len() >= 2 {
+        if let Some(f) = fuse_pair(&window[0], &window[1]) {
+            return Some((f, 2));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addi(rd: u8, rs1: u8, imm: i32) -> Inst {
+        Inst::AddI {
+            rd: Reg(rd),
+            rs1: Reg(rs1),
+            imm,
+        }
+    }
+
+    fn ld(rd: u8, base: u8, off: i32) -> Inst {
+        Inst::Ld {
+            rd: Reg(rd),
+            base: Reg(base),
+            off,
+            width: MemWidth::B8,
+        }
+    }
+
+    fn st(rs: u8, base: u8, off: i32) -> Inst {
+        Inst::St {
+            rs: Reg(rs),
+            base: Reg(base),
+            off,
+            width: MemWidth::B8,
+        }
+    }
+
+    #[test]
+    fn pairs_fuse_when_linked() {
+        // Address compute feeding the load's base.
+        assert!(matches!(
+            fuse_pair(&addi(5, 6, 8), &ld(3, 5, 0)),
+            Some(Fused::AddrLd { .. })
+        ));
+        // Unrelated base register: no fusion.
+        assert!(fuse_pair(&addi(5, 6, 8), &ld(3, 7, 0)).is_none());
+
+        // Load feeding the op.
+        assert!(matches!(
+            fuse_pair(&ld(3, 5, 0), &addi(3, 3, 1)),
+            Some(Fused::LdOp { .. })
+        ));
+        assert!(fuse_pair(&ld(3, 5, 0), &addi(4, 9, 1)).is_none());
+
+        // Computed value stored.
+        assert!(matches!(
+            fuse_pair(&addi(3, 3, 1), &st(3, 5, 0)),
+            Some(Fused::OpSt { .. })
+        ));
+        assert!(fuse_pair(&addi(3, 3, 1), &st(4, 5, 0)).is_none());
+
+        // Induction step + branch always pairs.
+        let br = Inst::Br {
+            cond: BrCond::Lt,
+            rs1: Reg(1),
+            rs2: Reg(2),
+            target: 0x1000,
+        };
+        let f = fuse_pair(&addi(1, 1, 1), &br).unwrap();
+        assert!(matches!(f, Fused::IncBr { .. }));
+        assert!(f.ends_block());
+        assert_eq!(f.arity(), 2);
+    }
+
+    #[test]
+    fn float_addr_load_fuses() {
+        let fld = Inst::FLd {
+            fd: FReg(2),
+            base: Reg(5),
+            off: 16,
+        };
+        assert!(matches!(
+            fuse_pair(&addi(5, 6, 8), &fld),
+            Some(Fused::AddrFLd { .. })
+        ));
+    }
+
+    #[test]
+    fn triple_wins_over_pair() {
+        // ld r3 ; addi r3 += 1 ; st r3 — the in-place update triple. The
+        // window matcher must take all three, not stop at the LdOp pair.
+        let w = [ld(3, 5, 0), addi(3, 3, 1), st(3, 5, 0)];
+        let (f, n) = fuse_window(&w).unwrap();
+        assert_eq!(n, 3);
+        assert!(matches!(f, Fused::LdOpSt { .. }));
+        assert_eq!(f.arity(), 3);
+        assert!(!f.ends_block());
+    }
+
+    #[test]
+    fn triple_requires_both_links() {
+        // Store of an unrelated register: the triple must not match, but
+        // the leading LdOp pair still does.
+        let w = [ld(3, 5, 0), addi(3, 3, 1), st(9, 5, 0)];
+        let (f, n) = fuse_window(&w).unwrap();
+        assert_eq!(n, 2);
+        assert!(matches!(f, Fused::LdOp { .. }));
+    }
+
+    #[test]
+    fn unfusable_window_returns_none() {
+        let w = [Inst::Nop, ld(3, 5, 0), Inst::Halt];
+        assert!(fuse_window(&w).is_none());
+        assert!(fuse_window(&w[..1]).is_none());
+        assert!(fuse_window(&[]).is_none());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let f = fuse_pair(&addi(5, 6, 8), &ld(3, 5, 0)).unwrap();
+        assert_eq!(format!("{f}"), "addr.ld r5, r6, 8 ; r3, 0(8B)");
+    }
+}

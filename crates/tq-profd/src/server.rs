@@ -30,7 +30,7 @@
 
 use crate::apps::{AppId, Scale, Workload};
 use crate::cache::{CaptureSource, CaptureStore};
-use crate::exec::{record_capture, run_tool};
+use crate::exec::{record_capture_opt, run_tool};
 use crate::protocol::{JobSpec, Request, Response};
 use crate::stats::ServiceStats;
 use std::collections::{HashMap, VecDeque};
@@ -64,6 +64,10 @@ pub struct ServerConfig {
     pub job_timeout: Duration,
     /// Instruction budget for capture runs (`None` = unbounded).
     pub capture_fuel: Option<u64>,
+    /// Interpreter optimisation level for capture runs. Every level
+    /// produces byte-identical captures (and so identical memoized
+    /// results); the long-lived daemon defaults to the fastest.
+    pub vm_opt: tq_vm::VmOpt,
     /// Maximum concurrently served connections. One over the limit is
     /// answered with a single `busy` line and closed before a connection
     /// thread exists for it.
@@ -86,6 +90,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             job_timeout: Duration::from_secs(600),
             capture_fuel: None,
+            vm_opt: tq_vm::VmOpt::Trace,
             max_conns: 256,
             read_timeout: Some(Duration::from_secs(300)),
         }
@@ -363,11 +368,15 @@ impl Shared {
 
         let (digest, mut prebuilt) = self.digest_for(spec.app, spec.scale);
         let fuel = self.config.capture_fuel;
+        let vm_opt = self.config.vm_opt;
+        let mut capture_stats = None;
         let (trace, source) = self.store.get_or_record(&digest, || {
             let w = prebuilt
                 .take()
                 .unwrap_or_else(|| Workload::build(spec.app, spec.scale));
-            record_capture(&w, fuel)
+            let (trace, stats) = record_capture_opt(&w, fuel, vm_opt)?;
+            capture_stats = Some(stats);
+            Ok(trace)
         })?;
         {
             let mut st = lock(&self.stats);
@@ -375,6 +384,14 @@ impl Shared {
                 CaptureSource::Memory => st.capture_mem_hits += 1,
                 CaptureSource::Disk => st.capture_disk_hits += 1,
                 CaptureSource::Recorded => st.vm_runs += 1,
+            }
+            // Interpreter-optimisation counters from the capture run (the
+            // service's only VM executions; Prometheus gets the same
+            // numbers process-wide via the `tq_vm_*` metrics).
+            if let Some(s) = capture_stats {
+                st.vm_blocks_fused += s.blocks_fused;
+                st.vm_traces_recorded += s.traces_recorded;
+                st.vm_trace_side_exits += s.trace_side_exits;
             }
         }
         match source {

@@ -99,6 +99,12 @@ pub struct ServiceStats {
     /// Submits that arrived flagged as client retries (`attempt > 0`) —
     /// nonzero means clients are seeing `busy` and backing off.
     pub retries_observed: u64,
+    /// Blocks fused by capture-run interpreters (see `tq_vm::VmStats`).
+    pub vm_blocks_fused: u64,
+    /// Hot-loop traces recorded by capture-run interpreters.
+    pub vm_traces_recorded: u64,
+    /// Trace side-exits taken by capture-run interpreters.
+    pub vm_trace_side_exits: u64,
     /// Per-tool job latency (tquad, quad, gprof, phases).
     pub latency: [LatencyHisto; 4],
 }
@@ -170,6 +176,9 @@ impl ServiceStats {
             ("sheds", Json::from(self.sheds)),
             ("rejects", Json::from(self.rejects)),
             ("retries_observed", Json::from(self.retries_observed)),
+            ("vm_blocks_fused", Json::from(self.vm_blocks_fused)),
+            ("vm_traces_recorded", Json::from(self.vm_traces_recorded)),
+            ("vm_trace_side_exits", Json::from(self.vm_trace_side_exits)),
             ("latency", tools),
         ])
     }

@@ -1,0 +1,109 @@
+//! The interpreter main loop: block-level dispatch with hoisted checks.
+//!
+//! The original interpreter paid three branches per instruction before even
+//! reaching the opcode match: fuel, tick and routine-entry checks. This
+//! loop hoists the first two to block granularity: a block whose full body
+//! fits below both the fuel limit and the next tool tick executes on a
+//! *fast path* with no per-instruction checks at all — over the fused
+//! dispatch plan when [`VmOpt`] enables it. Only when a boundary could fall
+//! inside the block does the *slow path* replicate the original
+//! per-instruction sequence exactly (over the unfused body), so boundary
+//! behaviour — which instruction exhausts fuel, where a tick fires — is
+//! bit-identical to the baseline by construction.
+//!
+//! In [`VmOpt::Trace`], the loop additionally checks for an executable
+//! trace at the current pc before dispatching, and profiles back-edges
+//! after every block (see [`crate::trace`]).
+
+use crate::vm::{Block, Next, RunExit, Vm, VmError, VmOpt};
+use tq_isa::INST_BYTES;
+
+impl Vm {
+    /// Run until the program halts/exits, a fatal error occurs, or `fuel`
+    /// instructions have executed. `None` means unlimited fuel.
+    pub fn run(&mut self, fuel: Option<u64>) -> Result<RunExit, VmError> {
+        let fuel_limit = fuel
+            .map(|f| self.icount.saturating_add(f))
+            .unwrap_or(u64::MAX);
+
+        loop {
+            if self.vm_opt == VmOpt::Trace && self.recording.is_none() {
+                if let Some(tr) = self.traces.get(&self.pc) {
+                    let tr = tr.clone();
+                    if crate::trace::can_enter(self, &tr, fuel_limit) {
+                        self.pc = crate::trace::run_trace(self, &tr, fuel_limit)?;
+                        continue;
+                    }
+                }
+            }
+
+            let block = self.fetch_block(self.pc)?;
+            self.stats.block_execs += 1;
+            let block_pc = self.pc;
+
+            let next_pc = match self.exec_block(&block, fuel_limit)? {
+                // Fallthrough off the end of a block that stopped at a
+                // routine boundary or image end.
+                Next::Fall => block.insts.last().expect("blocks are non-empty").pc + INST_BYTES,
+                Next::Jump(t) => t,
+                Next::Exit(reason) => {
+                    self.fini();
+                    return Ok(RunExit {
+                        reason,
+                        icount: self.icount,
+                    });
+                }
+            };
+            if self.vm_opt == VmOpt::Trace {
+                crate::trace::after_block(self, &block, block_pc, next_pc);
+            }
+            self.pc = next_pc;
+        }
+    }
+
+    /// Execute one cached block body. Picks the checked slow path whenever
+    /// the fuel limit or a tool tick could fall inside the block.
+    fn exec_block(&mut self, block: &Block, fuel_limit: u64) -> Result<Next, VmError> {
+        let n = block.insts.len() as u64;
+        let end = self.icount.saturating_add(n);
+        if end <= fuel_limit && end < self.next_tick {
+            if self.vm_opt == VmOpt::Off {
+                for (i, d) in block.insts.iter().enumerate() {
+                    self.icount += 1;
+                    self.fire_rtn_enter(d);
+                    match self.exec::<false>(d, 0, i as u16)? {
+                        Next::Fall => {}
+                        other => return Ok(other),
+                    }
+                }
+            } else {
+                for op in block.ops.iter() {
+                    match crate::fuse::exec_op::<false>(self, block, op, 0)? {
+                        Next::Fall => {}
+                        other => return Ok(other),
+                    }
+                }
+            }
+        } else {
+            // Boundary-exact slow path: the original interpreter's
+            // per-instruction check sequence, over the unfused body.
+            for (i, d) in block.insts.iter().enumerate() {
+                if self.icount >= fuel_limit {
+                    return Err(VmError::FuelExhausted {
+                        icount: self.icount,
+                    });
+                }
+                self.icount += 1;
+                if self.icount >= self.next_tick {
+                    self.fire_ticks(d.pc, d.rtn);
+                }
+                self.fire_rtn_enter(d);
+                match self.exec::<false>(d, 0, i as u16)? {
+                    Next::Fall => {}
+                    other => return Ok(other),
+                }
+            }
+        }
+        Ok(Next::Fall)
+    }
+}

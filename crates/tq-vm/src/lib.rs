@@ -17,10 +17,14 @@
 //! See `DESIGN.md` at the workspace root for how this substitutes for Pin in
 //! the paper's experiments.
 
+mod dispatch;
+mod fuse;
 pub mod hostfs;
 pub mod layout;
 pub mod mem;
+mod obs;
 pub mod tool;
+mod trace;
 pub mod vm;
 
 pub use hostfs::{FsMode, HostFs};
@@ -30,4 +34,4 @@ pub use tool::{
     hooks, standard_mask, AsAny, Event, HookMask, InsContext, MergeTool, ProgramInfo, RoutineMeta,
     ShardContext, Tool,
 };
-pub use vm::{ExitReason, RunExit, ToolHandle, Vm, VmError, VmStats};
+pub use vm::{ExitReason, RunExit, ToolHandle, Vm, VmError, VmOpt, VmStats};

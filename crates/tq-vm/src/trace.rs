@@ -1,0 +1,311 @@
+//! Hot-loop trace recording and execution ([`VmOpt::Trace`]).
+//!
+//! The lifecycle follows the classic trace-JIT arc, minus native codegen:
+//!
+//! 1. **Profiling** — every back-edge (a jump or taken branch to a lower or
+//!    equal address) bumps a counter keyed by the *target* address. At
+//!    [`HOT_THRESHOLD`] the target becomes a candidate loop head.
+//! 2. **Recorded** — the interpreter keeps running normally, but appends
+//!    every dispatched block (with the control-flow direction it actually
+//!    took) to a [`Recording`] until control returns to the head. Recording
+//!    aborts — permanently, via the [`ABORTED`] sentinel — if the path runs
+//!    through an untraceable block (calls, returns, host I/O, routine
+//!    heads), revisits an address (an inner loop), or exceeds
+//!    [`MAX_TRACE_BLOCKS`].
+//! 3. **Lowered** — the closed recording is flattened into an
+//!    [`ExecTrace`]: a straight line of segments sharing the cached blocks'
+//!    pre-decoded bodies, with every intermediate branch turned into a
+//!    *guard* that checks the recorded direction.
+//! 4. **Executable** — [`run_trace`] spins iterations of the lowered loop.
+//!    A failed guard is a *side-exit*: the trace stops and hands the
+//!    other direction's address back to the interpreter. Analysis events
+//!    are buffered per iteration and flushed to each tool in one
+//!    [`Tool::on_events`] batch, preserving per-tool event order exactly.
+//!
+//! Fidelity is contractual: an iteration is only entered when it fits
+//! entirely below the fuel limit and the next tool tick, so the
+//! per-instruction fuel/tick checks the trace skips could never have fired;
+//! everything else (event payloads, `icount` stamps, stats) is identical by
+//! construction because traces execute the same decoded instructions.
+
+use crate::tool::{Event, HookMask};
+use crate::vm::{Block, Next, Vm, VmError};
+use std::collections::HashSet;
+use std::rc::Rc;
+use tq_isa::{BrCond, Fused, Inst, Reg, INST_BYTES};
+
+/// Back-edge executions of a loop head before it is recorded.
+pub(crate) const HOT_THRESHOLD: u32 = 64;
+
+/// Longest loop body (in basic blocks) a recording may span.
+pub(crate) const MAX_TRACE_BLOCKS: usize = 64;
+
+/// Sentinel in `Vm::hot` marking a head whose recording aborted: never
+/// try again.
+pub(crate) const ABORTED: u32 = u32::MAX;
+
+/// One analysis event deferred during a trace iteration. `seg`/`inst`
+/// locate the originating [`crate::vm::DecodedInst`] (and so its hook
+/// list) inside the executing trace.
+pub(crate) struct Pending {
+    pub(crate) seg: u32,
+    pub(crate) inst: u16,
+    pub(crate) bit: HookMask,
+    pub(crate) ev: Event,
+}
+
+/// An in-progress recording: the blocks the interpreter dispatched since
+/// the hot head, each with the address it ran at and the address control
+/// went to next.
+pub(crate) struct Recording {
+    pub(crate) head: u64,
+    pub(crate) segs: Vec<(Rc<Block>, u64, u64)>,
+    /// Addresses already in the recording — a revisit means an inner loop,
+    /// which aborts (the inner loop deserves its own trace).
+    pub(crate) seen: HashSet<u64>,
+}
+
+/// How a lowered segment hands control to the next one.
+pub(crate) enum TraceEnd {
+    /// The block fell through (no ender instruction): nothing to do.
+    Fall,
+    /// Unconditional `Jmp`: retire one instruction and continue.
+    Count,
+    /// Conditional branch turned into a guard: the branch retires one
+    /// instruction, then the trace continues only if the condition
+    /// evaluates to the recorded direction.
+    Guard {
+        cond: BrCond,
+        rs1: Reg,
+        rs2: Reg,
+        /// Direction the recording took (`true` = branch taken).
+        taken: bool,
+        /// Interpreter resume address when the guard fails.
+        fail_pc: u64,
+    },
+}
+
+/// One straight-line segment of a lowered trace: a cached block plus how
+/// its ender was resolved at record time.
+pub(crate) struct TraceSeg {
+    pub(crate) block: Rc<Block>,
+    /// Ops of `block.ops` executed as the body (the ender op, if any, is
+    /// replayed by `pre_add`/`end` instead).
+    pub(crate) n_body: usize,
+    /// When the ender op was a fused [`Fused::IncBr`], the absorbed
+    /// induction step `(rd, rs1, sign-extended imm)` replayed before the
+    /// guard.
+    pub(crate) pre_add: Option<(Reg, Reg, u64)>,
+    pub(crate) end: TraceEnd,
+}
+
+/// An executable lowered trace: one full loop iteration, straightened.
+pub(crate) struct ExecTrace {
+    /// Loop-head address (trace entry, and the back-edge target).
+    pub(crate) head: u64,
+    /// Instructions retired by one complete iteration.
+    pub(crate) n_instrs: u64,
+    pub(crate) segs: Vec<TraceSeg>,
+}
+
+/// True when one complete iteration fits below both the fuel limit and the
+/// next tool tick — the only condition under which the trace's hoisted
+/// per-instruction checks are sound.
+pub(crate) fn can_enter(vm: &Vm, tr: &ExecTrace, fuel_limit: u64) -> bool {
+    let end = vm.icount.saturating_add(tr.n_instrs);
+    end <= fuel_limit && end < vm.next_tick
+}
+
+/// Post-dispatch bookkeeping for [`crate::vm::VmOpt::Trace`]: extend or
+/// close the active recording, or profile back-edges toward the hot
+/// threshold. `pc` is the address the block ran at, `next_pc` where
+/// control went.
+pub(crate) fn after_block(vm: &mut Vm, block: &Rc<Block>, pc: u64, next_pc: u64) {
+    // Traces are built from cached blocks; with the cache off the whole
+    // hot-loop machinery stays off (see `Vm::set_cache_enabled`).
+    if !vm.cache_enabled() {
+        return;
+    }
+    if let Some(mut rec) = vm.recording.take() {
+        if !block.traceable || rec.segs.len() >= MAX_TRACE_BLOCKS || rec.seen.contains(&pc) {
+            vm.hot.insert(rec.head, ABORTED);
+            return;
+        }
+        rec.seen.insert(pc);
+        rec.segs.push((block.clone(), pc, next_pc));
+        if next_pc == rec.head {
+            let tr = lower(&rec);
+            vm.stats.traces_recorded += 1;
+            vm.traces.insert(rec.head, Rc::new(tr));
+        } else {
+            vm.recording = Some(rec);
+        }
+        return;
+    }
+
+    if next_pc <= pc {
+        let c = vm.hot.entry(next_pc).or_insert(0);
+        if *c == ABORTED || vm.traces.contains_key(&next_pc) {
+            return;
+        }
+        *c += 1;
+        if *c >= HOT_THRESHOLD {
+            vm.recording = Some(Recording {
+                head: next_pc,
+                segs: Vec::new(),
+                seen: HashSet::new(),
+            });
+        }
+    }
+}
+
+/// Flatten a closed recording into an executable trace.
+fn lower(rec: &Recording) -> ExecTrace {
+    let mut segs = Vec::with_capacity(rec.segs.len());
+    let mut n_instrs = 0u64;
+    for (block, _pc, next_pc) in &rec.segs {
+        n_instrs += block.insts.len() as u64;
+        let last = block.insts.last().expect("blocks are non-empty");
+        let (n_body, pre_add, end) = match last.inst {
+            Inst::Jmp { .. } => (block.ops.len() - 1, None, TraceEnd::Count),
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = *next_pc == target as u64;
+                let fail_pc = if taken {
+                    last.pc + INST_BYTES
+                } else {
+                    target as u64
+                };
+                let pre_add = match block.ops.last() {
+                    Some(crate::fuse::BlockOp::Fused {
+                        f:
+                            Fused::IncBr {
+                                a_rd, a_rs1, a_imm, ..
+                            },
+                        ..
+                    }) => Some((*a_rd, *a_rs1, *a_imm as i64 as u64)),
+                    _ => None,
+                };
+                (
+                    block.ops.len() - 1,
+                    pre_add,
+                    TraceEnd::Guard {
+                        cond,
+                        rs1,
+                        rs2,
+                        taken,
+                        fail_pc,
+                    },
+                )
+            }
+            // Traceable blocks only end in `Br`, `Jmp` or fallthrough.
+            _ => (block.ops.len(), None, TraceEnd::Fall),
+        };
+        segs.push(TraceSeg {
+            block: block.clone(),
+            n_body,
+            pre_add,
+            end,
+        });
+    }
+    ExecTrace {
+        head: rec.head,
+        n_instrs,
+        segs,
+    }
+}
+
+/// Run iterations of `tr` until a guard fails or the next iteration no
+/// longer fits the fuel/tick windows. Returns the interpreter resume
+/// address. The caller must have checked [`can_enter`] for the first
+/// iteration.
+pub(crate) fn run_trace(vm: &mut Vm, tr: &ExecTrace, fuel_limit: u64) -> Result<u64, VmError> {
+    debug_assert!(vm.ev_buf.is_empty());
+    loop {
+        let iter_start = vm.icount;
+        for (si, seg) in tr.segs.iter().enumerate() {
+            // Stats parity: the interpreter would have fetched this block
+            // from the cache and dispatched it.
+            vm.stats.cache_hits += 1;
+            vm.stats.block_execs += 1;
+            for op in &seg.block.ops[..seg.n_body] {
+                match crate::fuse::exec_op::<true>(vm, &seg.block, op, si as u32) {
+                    Ok(Next::Fall) => {}
+                    Ok(_) => unreachable!("trace body ops cannot redirect control"),
+                    Err(e) => {
+                        vm.stats.trace_instrs += vm.icount - iter_start;
+                        flush_events(vm, tr);
+                        return Err(e);
+                    }
+                }
+            }
+            match seg.end {
+                TraceEnd::Fall => {}
+                TraceEnd::Count => vm.icount += 1,
+                TraceEnd::Guard {
+                    cond,
+                    rs1,
+                    rs2,
+                    taken,
+                    fail_pc,
+                } => {
+                    if let Some((rd, rs1a, imm)) = seg.pre_add {
+                        vm.icount += 1;
+                        vm.regs[rd.idx()] = vm.regs[rs1a.idx()].wrapping_add(imm);
+                    }
+                    vm.icount += 1;
+                    if cond.eval(vm.regs[rs1.idx()], vm.regs[rs2.idx()]) != taken {
+                        vm.stats.trace_side_exits += 1;
+                        vm.stats.trace_instrs += vm.icount - iter_start;
+                        flush_events(vm, tr);
+                        return Ok(fail_pc);
+                    }
+                }
+            }
+        }
+        vm.stats.trace_instrs += vm.icount - iter_start;
+        flush_events(vm, tr);
+        if !can_enter(vm, tr, fuel_limit) {
+            return Ok(tr.head);
+        }
+    }
+}
+
+/// Flush the iteration's buffered events: one [`Tool::on_events`] batch
+/// per subscribed tool, in execution order. Delivery counts and per-tool
+/// ordering match what per-event dispatch would have produced.
+///
+/// [`Tool::on_events`]: crate::tool::Tool::on_events
+pub(crate) fn flush_events(vm: &mut Vm, tr: &ExecTrace) {
+    if vm.ev_buf.is_empty() {
+        return;
+    }
+    let buf = std::mem::take(&mut vm.ev_buf);
+    let mut scratch = std::mem::take(&mut vm.ev_scratch);
+    for ti in 0..vm.tools.len() {
+        scratch.clear();
+        for p in &buf {
+            let d = &tr.segs[p.seg as usize].block.insts[p.inst as usize];
+            for &(hti, mask) in d.hooks.iter() {
+                if hti as usize == ti && mask & p.bit != 0 {
+                    scratch.push(p.ev);
+                }
+            }
+        }
+        if scratch.is_empty() {
+            continue;
+        }
+        if let Some(tool) = vm.tools[ti].as_mut() {
+            vm.stats.events_delivered += scratch.len() as u64;
+            tool.on_events(&scratch);
+        }
+    }
+    scratch.clear();
+    vm.ev_scratch = scratch;
+    vm.ev_buf = buf;
+    vm.ev_buf.clear();
+}

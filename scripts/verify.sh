@@ -30,6 +30,20 @@ if ./target/release/tq tquad --app img --scale tiny --interval 0 > /dev/null 2>&
     echo "verify: FAIL (--interval 0 must be rejected)"; exit 1
 fi
 
+echo "==> vm-opt smoke: off and trace captures are byte-identical"
+./target/release/tq capture --app wfs --scale tiny --vm-opt off \
+    --out "$smoke_dir/cap.off" > /dev/null
+./target/release/tq capture --app wfs --scale tiny --vm-opt trace \
+    --out "$smoke_dir/cap.trace" > /dev/null 2> "$smoke_dir/cap.trace.log"
+cmp "$smoke_dir/cap.off" "$smoke_dir/cap.trace" \
+    || { echo "verify: FAIL (vm-opt trace capture diverged from off)"; exit 1; }
+grep -q "traces recorded" "$smoke_dir/cap.trace.log" \
+    || { echo "verify: FAIL (trace capture reported no trace stats)"; exit 1; }
+
+echo "==> vm_jit bench guard (trace dispatch >= 1.5x off, identical digests)"
+TQ_BENCH_ITERS=3 cargo bench -q --offline -p tq-bench --bench vm_jit \
+    || { echo "verify: FAIL (vm_jit speedup/fidelity guard)"; exit 1; }
+
 echo "==> obs smoke: --trace-out exports a valid Chrome trace"
 ./target/release/tq tquad --app img --scale tiny --jobs 2 \
     --trace-out "$smoke_dir/replay.trace.json" > /dev/null 2>&1
@@ -59,7 +73,10 @@ done
 for needle in \
     "# TYPE tq_profd_jobs_submitted_total counter" \
     "# TYPE tq_profd_queue_depth gauge" \
-    "# TYPE tq_profd_job_micros histogram"; do
+    "# TYPE tq_profd_job_micros histogram" \
+    "# TYPE tq_vm_blocks_fused_total counter" \
+    "# TYPE tq_vm_traces_recorded_total counter" \
+    "# TYPE tq_vm_trace_instr_share_bp gauge"; do
     grep -q "$needle" "$smoke_dir/metrics.txt" \
         || { echo "verify: FAIL (metrics missing: $needle)"; exit 1; }
 done
