@@ -19,12 +19,14 @@
 //! tq serve   [--addr HOST:PORT] [--workers N] [--state-dir PATH]
 //!            [--cache-mb N] [--queue N] [--timeout-ms N] [--capture-fuel N]
 //!            [--max-conns N] [--read-timeout-ms N]
+//!            [--peers A,B,C] [--advertise HOST:PORT] [--probe-interval-ms N]
 //!
 //! every VM-running subcommand: [--vm-opt off|fuse|trace]
 //! tq submit  [--addr HOST:PORT] [--tool tquad|quad|gprof|phases]
 //!            [--app …] [--scale …] [--interval N] [--exclude-stack]
 //!            [--exclude-libs|--track-libs] [--retries N] [--timeout SECS]
-//!            | --stats | --ping | --shutdown
+//!            [--peers A,B,C] [--fallback-hint-ms N] [--backoff-cap-ms N]
+//!            | --route | --stats | --ping | --shutdown
 //! ```
 //!
 //! See `docs/CLI.md` for the complete flag-by-flag reference and
@@ -46,7 +48,8 @@ use std::time::Duration;
 use tq_gprof::{GprofOptions, GprofTool};
 use tq_imgproc::{ImgApp, ImgConfig};
 use tq_profd::{
-    AppId, Client, ClientConfig, JobSpec, Scale, Server, ServerConfig, StackPolicy, ToolId,
+    AppId, Client, ClientConfig, FleetClient, JobSpec, Request, RetryPolicy, RetryTrail, Scale,
+    Server, ServerConfig, StackPolicy, ToolId,
 };
 use tq_quad::{qdu_graph, QuadOptions, QuadTool};
 use tq_tquad::{
@@ -245,27 +248,75 @@ fn usage() -> String {
      \u{20}               --queue N --timeout-ms N --capture-fuel N --max-conns N\n\
      \u{20}               --read-timeout-ms N (0 = never reap idle connections;\n\
      \u{20}               fault injection via TQ_FAULTS=, see docs/OPERATIONS.md)\n\
+     \u{20}               --peers A,B,C (join a fleet; cache shards by digest)\n\
+     \u{20}               --advertise HOST:PORT --probe-interval-ms N\n\
      submit options: --addr HOST:PORT --tool tquad|quad|gprof|phases --app --scale\n\
      \u{20}               --interval N --exclude-stack --exclude-libs --track-libs\n\
      \u{20}               --retries N (resubmit with backoff on busy responses)\n\
      \u{20}               --timeout SECS (connect/read socket timeouts)\n\
-     \u{20}               (or one of: --stats --metrics --ping --shutdown)\n\
+     \u{20}               --peers A,B,C (route to the ring owner, with failover)\n\
+     \u{20}               --fallback-hint-ms N --backoff-cap-ms N (retry tuning)\n\
+     \u{20}               (or one of: --route --stats --metrics --ping --shutdown;\n\
+     \u{20}               exit 3 = job finally failed after exhausting retries)\n\
      full reference: docs/CLI.md; operations handbook: docs/OPERATIONS.md"
         .to_string()
+}
+
+/// A CLI failure: what to print, whether the usage text helps, and the
+/// process exit code. Exit codes are part of the interface (docs/CLI.md):
+/// `1` = usage/config/tool error, `3` = a submitted job finally failed
+/// after exhausting its retries (scripts distinguish "you called it wrong"
+/// from "the fleet could not serve this").
+struct Failure {
+    message: String,
+    exit: u8,
+    print_usage: bool,
+}
+
+impl Failure {
+    /// Final submit failure: exit 3, no usage text (the invocation was
+    /// fine; the service was not).
+    fn submit(message: String) -> Failure {
+        Failure {
+            message,
+            exit: 3,
+            print_usage: false,
+        }
+    }
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure {
+            message,
+            exit: 1,
+            print_usage: true,
+        }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(message: &str) -> Failure {
+        Failure::from(message.to_string())
+    }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
-            ExitCode::FAILURE
+        Err(f) => {
+            if f.print_usage {
+                eprintln!("error: {}\n\n{}", f.message, usage());
+            } else {
+                eprintln!("error: {}", f.message);
+            }
+            ExitCode::from(f.exit)
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), Failure> {
     let Some(cmd) = argv.first() else {
         return Err("missing subcommand".into());
     };
@@ -342,7 +393,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 // A fuel-bounded capture is still a capture (the service
                 // uses the same convention for misbehaving workloads).
                 Err(tq_vm::VmError::FuelExhausted { .. }) if fuel.is_some() => {}
-                Err(e) => return Err(e.to_string()),
+                Err(e) => return Err(e.to_string().into()),
             }
             let trace = vm
                 .detach_tool::<tq_trace::TraceRecorder>(h)
@@ -400,7 +451,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 ("read", false) => Measure::ReadExcl,
                 ("write", true) => Measure::WriteIncl,
                 ("write", false) => Measure::WriteExcl,
-                (other, _) => return Err(format!("unknown --chart `{other}` (read|write)")),
+                (other, _) => return Err(format!("unknown --chart `{other}` (read|write)").into()),
             };
             let kernels: Vec<String> = match args.get("kernels") {
                 Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
@@ -490,7 +541,9 @@ fn run(argv: &[String]) -> Result<(), String> {
                     strategy: PhaseStrategy::IntervalOverlap { threshold: 0.3 },
                     ..PhaseDetector::default()
                 },
-                other => return Err(format!("unknown --strategy `{other}` (cosine|interval)")),
+                other => {
+                    return Err(format!("unknown --strategy `{other}` (cosine|interval)").into())
+                }
             };
             let phases = detector.detect(&profile);
             println!("{}", phase_table(&profile, &phases).render());
@@ -592,6 +645,23 @@ fn run(argv: &[String]) -> Result<(), String> {
                     0 => None,
                     ms => Some(Duration::from_millis(ms)),
                 },
+                // Fleet membership: `--peers` lists the *other* members'
+                // advertised addresses; `--advertise` names this node on
+                // the ring when the bind address is not it (port 0, NAT).
+                peers: args
+                    .get("peers")
+                    .map(|list| {
+                        list.split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                advertise: args.get("advertise").map(str::to_string),
+                probe_interval: Duration::from_millis(args.positive_u64_or(
+                    "probe-interval-ms",
+                    defaults.probe_interval.as_millis() as u64,
+                )?),
             };
             // Fault plans only arm the long-running service, never the
             // one-shot subcommands: rehearsing failure is a server
@@ -603,8 +673,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
             let workers = config.workers;
             let cache_mb = config.cache_bytes >> 20;
+            let peer_list = config.peers.join(",");
             let server = Server::start(config)?;
             let addr = server.local_addr();
+            if !peer_list.is_empty() {
+                eprintln!("# tq-profd: fleet member; peers={peer_list}");
+            }
             // One-line startup banner on stderr: stdout stays parseable
             // (scripts read the "listening on" line for the bound port).
             eprintln!(
@@ -632,23 +706,46 @@ fn run(argv: &[String]) -> Result<(), String> {
                         .unwrap_or(630),
                 )?,
             );
-            let mut client = Client::connect_with(
-                addr,
-                ClientConfig {
-                    connect_timeout: client_defaults.connect_timeout.min(timeout),
-                    read_timeout: Some(timeout),
-                    ..client_defaults
-                },
-            )?;
+            // Backoff tuning (satellite knobs over RetryPolicy; the
+            // defaults are the service's long-standing behaviour).
+            let retry = RetryPolicy {
+                fallback_hint_ms: args
+                    .positive_u64_or("fallback-hint-ms", RetryPolicy::default().fallback_hint_ms)?,
+                backoff_cap: Duration::from_millis(args.positive_u64_or(
+                    "backoff-cap-ms",
+                    RetryPolicy::default().backoff_cap.as_millis() as u64,
+                )?),
+            };
+            let config = ClientConfig {
+                connect_timeout: client_defaults.connect_timeout.min(timeout),
+                read_timeout: Some(timeout),
+                retry,
+            };
+            // `--peers a,b,c` switches routing on: jobs go to the ring
+            // owner of their content digest, with failover. The fleet
+            // member list must match what the servers were started with.
+            let peers: Vec<String> = args
+                .get("peers")
+                .map(|list| {
+                    list.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                })
+                .unwrap_or_default();
             if args.has("ping") {
+                let mut client = Client::connect_with(addr, config)?;
                 let r = client.ping()?;
                 println!("{}", r.encode());
             } else if args.has("shutdown") {
+                let mut client = Client::connect_with(addr, config)?;
                 let r = client.shutdown()?;
                 println!("{}", r.encode());
             } else if args.has("stats") {
+                let mut client = Client::connect_with(addr, config)?;
                 println!("{}", client.stats()?.render());
             } else if args.has("metrics") {
+                let mut client = Client::connect_with(addr, config)?;
                 print!("{}", client.metrics()?);
             } else {
                 let tool = ToolId::parse(args.get("tool").unwrap_or("tquad"))?;
@@ -660,15 +757,59 @@ fn run(argv: &[String]) -> Result<(), String> {
                     spec.stack = StackPolicy::Exclude;
                 }
                 spec.lib_policy = lib_policy(&args);
+                if args.has("route") {
+                    // Ask the server who owns this job's digest — the
+                    // answer is the same from every fleet member.
+                    let mut client = Client::connect_with(addr, config)?;
+                    let resp = client.request(&Request::Route { spec })?;
+                    println!("{}", resp.encode());
+                    drop(cmd_span);
+                    return Ok(());
+                }
                 let retries = args.u64_or("retries", 0)? as u32;
-                let (profile, cached) = client.submit_with_retry(spec, retries)?;
-                // Profile JSON alone on stdout (byte-identical cold vs warm);
-                // bookkeeping goes to stderr.
-                println!("{}", profile.render());
-                eprintln!("# cached: {cached}");
+                let mut trail = RetryTrail::default();
+                let outcome = if peers.is_empty() {
+                    // A dead server on a job submission is a service
+                    // failure (exit 3 with the trail), not a usage error
+                    // — fold the connect error into the same path as a
+                    // failed submit.
+                    match Client::connect_with(addr, config) {
+                        Ok(mut client) => client
+                            .submit_with_retry_trail(spec, retries, &mut trail)
+                            .map(|(profile, cached)| (profile, cached, None)),
+                        Err(e) => {
+                            trail.attempts += 1;
+                            trail.peers_tried.push(addr.to_string());
+                            trail.last_error = Some(e.clone());
+                            Err(e)
+                        }
+                    }
+                } else {
+                    FleetClient::with_config(peers, config)
+                        .submit_with_trail(spec, retries, &mut trail)
+                        .map(|(profile, cached, served_by)| (profile, cached, Some(served_by)))
+                };
+                match outcome {
+                    Ok((profile, cached, served_by)) => {
+                        // Profile JSON alone on stdout (byte-identical
+                        // cold vs warm); bookkeeping goes to stderr.
+                        println!("{}", profile.render());
+                        eprintln!("# cached: {cached}");
+                        if let Some(by) = served_by {
+                            eprintln!("# served_by: {by}");
+                        }
+                    }
+                    Err(e) => {
+                        // Final failure: say what was actually tried, and
+                        // exit 3 so scripts can tell a dead/overloaded
+                        // service from a bad invocation.
+                        eprintln!("# submit failed: {}", trail.describe());
+                        return Err(Failure::submit(e));
+                    }
+                }
             }
         }
-        other => return Err(format!("unknown subcommand `{other}`")),
+        other => return Err(format!("unknown subcommand `{other}`").into()),
     }
     drop(cmd_span);
     if let Some(path) = args.get("trace-out") {

@@ -1,0 +1,227 @@
+//! The consistent-hash ring.
+//!
+//! Classic Karger-style hashing with virtual nodes: each member
+//! contributes `replicas` points on a `u64` circle, a key is owned by the
+//! first point at or clockwise-after its hash, and losing a member only
+//! reassigns the keys that member owned. Everything is deterministic —
+//! members are sorted before placement and the hash is a fixed FNV-1a /
+//! splitmix64 composition — so every node and client that knows the same
+//! member list computes the same owner for every digest, with no
+//! coordination traffic at all.
+
+/// A 64-bit hash of arbitrary bytes: FNV-1a for byte mixing, finished
+/// with the splitmix64 finalizer for avalanche (FNV alone clusters short
+/// ASCII keys like `host:port` strings).
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // splitmix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Default virtual nodes per member. 64 points keep the ownership split
+/// of a 2–8 node fleet within a few percent of even (see the balance
+/// test) while the whole ring stays a few KiB.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// A deterministic consistent-hash ring over named nodes.
+///
+/// Construction sorts and dedups the member list, so two rings built from
+/// the same members in any order are identical — the property that lets
+/// every fleet member and every client route independently.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// Sorted `(point, node index)` pairs — the circle.
+    points: Vec<(u64, u32)>,
+    /// Sorted, deduped member names.
+    nodes: Vec<String>,
+}
+
+impl Ring {
+    /// Build a ring with [`DEFAULT_REPLICAS`] virtual nodes per member.
+    pub fn new(members: impl IntoIterator<Item = String>) -> Ring {
+        Ring::with_replicas(members, DEFAULT_REPLICAS)
+    }
+
+    /// Build a ring with an explicit virtual-node count (`replicas` is
+    /// clamped to at least 1).
+    pub fn with_replicas(members: impl IntoIterator<Item = String>, replicas: usize) -> Ring {
+        let mut nodes: Vec<String> = members.into_iter().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(nodes.len() * replicas);
+        for (idx, node) in nodes.iter().enumerate() {
+            for r in 0..replicas {
+                let mut key = Vec::with_capacity(node.len() + 9);
+                key.extend_from_slice(node.as_bytes());
+                key.push(b'|');
+                key.extend_from_slice(&(r as u64).to_le_bytes());
+                points.push((hash64(&key), idx as u32));
+            }
+        }
+        // Tie-break equal points by node index so collisions (vanishingly
+        // rare but possible) still order deterministically.
+        points.sort_unstable();
+        Ring { points, nodes }
+    }
+
+    /// The sorted member list.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index of the ring point owning `key`'s hash.
+    fn point_at(&self, key: &str) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash64(key.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        Some(if idx == self.points.len() { 0 } else { idx })
+    }
+
+    /// The member owning `key`, or `None` on an empty ring.
+    pub fn owner_of(&self, key: &str) -> Option<&str> {
+        let at = self.point_at(key)?;
+        Some(self.nodes[self.points[at].1 as usize].as_str())
+    }
+
+    /// Every member in preference order for `key`: the owner first, then
+    /// each remaining member in clockwise ring order. This is the
+    /// failover sequence — when the owner is dead, the next ring node is
+    /// the deterministic second choice on every client.
+    pub fn route(&self, key: &str) -> Vec<&str> {
+        let Some(start) = self.point_at(key) else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.points.len() {
+            let node = self.points[(start + i) % self.points.len()].1 as usize;
+            if !seen[node] {
+                seen[node] = true;
+                order.push(self.nodes[node].as_str());
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        // Digest-shaped keys: 32 hex chars, deterministic.
+        (0..n)
+            .map(|i| format!("{:032x}", hash64(&(i as u64).to_le_bytes()) as u128 * 7919))
+            .collect()
+    }
+
+    #[test]
+    fn construction_is_order_independent() {
+        let a = Ring::new(["n1".into(), "n2".into(), "n3".into()]);
+        let b = Ring::new(["n3".into(), "n1".into(), "n2".into(), "n1".into()]);
+        assert_eq!(a.nodes(), b.nodes());
+        for k in keys(500) {
+            assert_eq!(a.owner_of(&k), b.owner_of(&k));
+            assert_eq!(a.route(&k), b.route(&k));
+        }
+    }
+
+    #[test]
+    fn ownership_is_roughly_balanced() {
+        let members: Vec<String> = (0..3).map(|i| format!("127.0.0.1:747{i}")).collect();
+        let ring = Ring::new(members.clone());
+        let mut counts = vec![0usize; members.len()];
+        let n = 9000;
+        for k in keys(n) {
+            let owner = ring.owner_of(&k).unwrap();
+            counts[members.iter().position(|m| m == owner).unwrap()] += 1;
+        }
+        for (m, &c) in members.iter().zip(&counts) {
+            let share = c as f64 / n as f64;
+            assert!(
+                (0.15..=0.55).contains(&share),
+                "{m} owns {share:.3} of keys — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_nodes_keys() {
+        let three = Ring::new(["a".into(), "b".into(), "c".into()]);
+        let two = Ring::new(["a".into(), "c".into()]);
+        let mut moved = 0usize;
+        let ks = keys(4000);
+        for k in &ks {
+            let before = three.owner_of(k).unwrap();
+            let after = two.owner_of(k).unwrap();
+            if before != "b" {
+                assert_eq!(before, after, "key {k} moved although its owner survived");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved > 0,
+            "node b owned nothing — balance test should fail too"
+        );
+    }
+
+    #[test]
+    fn route_is_owner_first_and_covers_everyone() {
+        let ring = Ring::new((0..4).map(|i| format!("node-{i}")));
+        for k in keys(200) {
+            let route = ring.route(&k);
+            assert_eq!(route.len(), 4);
+            assert_eq!(route[0], ring.owner_of(&k).unwrap());
+            let mut sorted: Vec<_> = route.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "route repeats a node: {route:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_rings_degenerate_sanely() {
+        let empty = Ring::new(Vec::<String>::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.owner_of("x"), None);
+        assert!(empty.route("x").is_empty());
+
+        let one = Ring::new(["solo".into()]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.owner_of("anything"), Some("solo"));
+        assert_eq!(one.route("anything"), vec!["solo"]);
+    }
+
+    #[test]
+    fn hash64_avalanches_short_keys() {
+        // Adjacent ports must not produce adjacent hashes (FNV alone
+        // does; the splitmix finalizer is what this pins down).
+        let a = hash64(b"127.0.0.1:7471");
+        let b = hash64(b"127.0.0.1:7472");
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "poor diffusion: {a:#x} vs {b:#x}");
+    }
+}

@@ -1,0 +1,237 @@
+//! The static-roster membership table.
+//!
+//! Fleet membership is configured, not discovered: the operator hands
+//! every node the same peer list (`tq serve --peers`), and the roster
+//! only tracks each configured peer's observed *health* and last
+//! reported *load*. Health is a three-state ladder driven by probe
+//! outcomes — one failure makes a peer [`Health::Suspect`] (still
+//! routable; transient hiccups must not reshuffle work),
+//! [`DEAD_AFTER`] consecutive failures make it [`Health::Dead`]
+//! (skipped by routing and redirect hints), and any success restores
+//! [`Health::Alive`] immediately.
+
+/// Consecutive probe failures after which a peer is considered dead.
+pub const DEAD_AFTER: u32 = 3;
+
+/// A peer's observed liveness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Health {
+    /// Last probe succeeded (or nothing has failed yet).
+    #[default]
+    Alive,
+    /// At least one recent probe failed; still routable.
+    Suspect,
+    /// [`DEAD_AFTER`] consecutive failures; routing skips this peer until
+    /// a probe succeeds again.
+    Dead,
+}
+
+impl Health {
+    /// Wire/JSON name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Alive => "alive",
+            Health::Suspect => "suspect",
+            Health::Dead => "dead",
+        }
+    }
+}
+
+/// One configured peer's observed state.
+#[derive(Clone, Debug)]
+pub struct PeerState {
+    /// The peer's address (its ring name).
+    pub addr: String,
+    /// Current health.
+    pub health: Health,
+    /// Consecutive probe failures since the last success.
+    pub consecutive_failures: u32,
+    /// Probes attempted against this peer.
+    pub probes: u64,
+    /// Probe failures in total.
+    pub failures: u64,
+    /// Queue length the peer last reported (load signal for redirects).
+    pub last_queue_len: u64,
+    /// Busy workers the peer last reported.
+    pub last_busy_workers: u64,
+}
+
+impl PeerState {
+    fn new(addr: String) -> PeerState {
+        PeerState {
+            addr,
+            health: Health::Alive,
+            consecutive_failures: 0,
+            probes: 0,
+            failures: 0,
+            last_queue_len: 0,
+            last_busy_workers: 0,
+        }
+    }
+
+    /// Load metric used by "least-loaded live peer": queued plus running
+    /// work the peer last admitted to.
+    pub fn load(&self) -> u64 {
+        self.last_queue_len + self.last_busy_workers
+    }
+}
+
+/// The membership table for one node's configured peers (the node itself
+/// is not listed — it never probes or redirects to itself).
+#[derive(Clone, Debug, Default)]
+pub struct Roster {
+    peers: Vec<PeerState>,
+}
+
+impl Roster {
+    /// A roster over the configured peer addresses (sorted and deduped,
+    /// mirroring [`crate::Ring`] construction).
+    pub fn new(addrs: impl IntoIterator<Item = String>) -> Roster {
+        let mut addrs: Vec<String> = addrs.into_iter().collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        Roster {
+            peers: addrs.into_iter().map(PeerState::new).collect(),
+        }
+    }
+
+    /// All peers, in sorted-address order.
+    pub fn peers(&self) -> &[PeerState] {
+        &self.peers
+    }
+
+    /// Number of configured peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when no peers are configured.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    fn find_mut(&mut self, addr: &str) -> Option<&mut PeerState> {
+        self.peers.iter_mut().find(|p| p.addr == addr)
+    }
+
+    /// The peer's current health, if it is on the roster.
+    pub fn health(&self, addr: &str) -> Option<Health> {
+        self.peers.iter().find(|p| p.addr == addr).map(|p| p.health)
+    }
+
+    /// True unless the peer is known-dead. Unknown addresses are live:
+    /// the roster never vetoes routing to a node it is not tracking.
+    pub fn is_live(&self, addr: &str) -> bool {
+        self.health(addr) != Some(Health::Dead)
+    }
+
+    /// Record a successful probe and the load the peer reported.
+    pub fn record_success(&mut self, addr: &str, queue_len: u64, busy_workers: u64) {
+        if let Some(p) = self.find_mut(addr) {
+            p.probes += 1;
+            p.consecutive_failures = 0;
+            p.health = Health::Alive;
+            p.last_queue_len = queue_len;
+            p.last_busy_workers = busy_workers;
+        }
+    }
+
+    /// Record a failed probe (or an observed transport failure from a
+    /// routed request — both are evidence the peer is unreachable).
+    pub fn record_failure(&mut self, addr: &str) {
+        if let Some(p) = self.find_mut(addr) {
+            p.probes += 1;
+            p.failures += 1;
+            p.consecutive_failures += 1;
+            p.health = if p.consecutive_failures >= DEAD_AFTER {
+                Health::Dead
+            } else {
+                Health::Suspect
+            };
+        }
+    }
+
+    /// Mark a peer dead immediately (used when a routed request finds the
+    /// peer gone — waiting out [`DEAD_AFTER`] probe rounds would keep
+    /// routing work at a corpse).
+    pub fn mark_dead(&mut self, addr: &str) {
+        if let Some(p) = self.find_mut(addr) {
+            p.failures += 1;
+            p.consecutive_failures = p.consecutive_failures.max(DEAD_AFTER);
+            p.health = Health::Dead;
+        }
+    }
+
+    /// Number of peers currently not dead.
+    pub fn live_count(&self) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| p.health != Health::Dead)
+            .count()
+    }
+
+    /// The live peer with the smallest last-reported load — the redirect
+    /// hint a `busy` node attaches for shed clients. Ties break on the
+    /// sorted address order, so every node hints deterministically.
+    pub fn least_loaded_live(&self) -> Option<&PeerState> {
+        self.peers
+            .iter()
+            .filter(|p| p.health != Health::Dead)
+            .min_by_key(|p| p.load())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_ladder_demotes_and_recovers() {
+        let mut r = Roster::new(["b".into(), "a".into(), "b".into()]);
+        assert_eq!(r.len(), 2, "sorted + deduped");
+        assert_eq!(r.health("a"), Some(Health::Alive));
+
+        r.record_failure("a");
+        assert_eq!(r.health("a"), Some(Health::Suspect));
+        assert!(r.is_live("a"), "suspect peers are still routable");
+        for _ in 1..DEAD_AFTER {
+            r.record_failure("a");
+        }
+        assert_eq!(r.health("a"), Some(Health::Dead));
+        assert!(!r.is_live("a"));
+
+        r.record_success("a", 0, 0);
+        assert_eq!(r.health("a"), Some(Health::Alive), "one success restores");
+        assert!(r.is_live("a"));
+    }
+
+    #[test]
+    fn mark_dead_is_immediate() {
+        let mut r = Roster::new(["p".into()]);
+        r.mark_dead("p");
+        assert_eq!(r.health("p"), Some(Health::Dead));
+        assert_eq!(r.live_count(), 0);
+    }
+
+    #[test]
+    fn least_loaded_live_skips_the_dead() {
+        let mut r = Roster::new(["x".into(), "y".into(), "z".into()]);
+        r.record_success("x", 9, 1);
+        r.record_success("y", 1, 1);
+        r.record_success("z", 0, 0);
+        assert_eq!(r.least_loaded_live().unwrap().addr, "z");
+        r.mark_dead("z");
+        assert_eq!(r.least_loaded_live().unwrap().addr, "y");
+        r.mark_dead("y");
+        r.mark_dead("x");
+        assert!(r.least_loaded_live().is_none());
+    }
+
+    #[test]
+    fn unknown_addresses_are_live_but_untracked() {
+        let mut r = Roster::new(["known".into()]);
+        assert!(r.is_live("unknown"));
+        r.record_failure("unknown"); // no-op, no panic
+        assert_eq!(r.health("unknown"), None);
+    }
+}

@@ -130,6 +130,32 @@ impl CaptureStore {
         }
     }
 
+    /// Fetch the capture for `digest` only if some tier already holds it —
+    /// never records. This is the fleet `peek` path for digests this node
+    /// does *not* own: a non-owner may hand out what it happens to have,
+    /// but only the ring owner is allowed to spend a VM run. A recording
+    /// in flight counts as "not cached yet" (the peer falls back rather
+    /// than blocking a connection thread on our recorder).
+    pub fn get_if_cached(&self, digest: &str) -> Option<(Arc<Trace>, CaptureSource)> {
+        {
+            let mut inner = self.lock();
+            if let Some(t) = Self::touch(&mut inner, digest) {
+                return Some((t, CaptureSource::Memory));
+            }
+            if inner.inflight.contains_key(digest) {
+                return None;
+            }
+        }
+        let t = self
+            .capture_path(digest)
+            .filter(|p| p.is_file())
+            .and_then(|p| Trace::load_from_path(&p).ok())
+            .map(Arc::new)?;
+        let mut inner = self.lock();
+        self.insert(&mut inner, digest, Arc::clone(&t));
+        Some((t, CaptureSource::Disk))
+    }
+
     /// Fetch the capture for `digest`, recording it with `record` on a cold
     /// miss. Returns the trace and where it came from. Concurrent callers
     /// for the same digest block until the single recording finishes.
@@ -350,6 +376,19 @@ mod tests {
         back.replay(&mut restored).unwrap();
         assert_eq!(live.0, restored.0);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_if_cached_never_records() {
+        let dir = std::env::temp_dir().join(format!("tq-profd-peek-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CaptureStore::new(Some(dir.clone()), 1 << 20);
+        assert!(store.get_if_cached("missing").is_none());
+        store.get_or_record("k", || Ok(tiny_trace(4))).unwrap();
+        let (t, s) = store.get_if_cached("k").expect("cached");
+        assert_eq!(s, CaptureSource::Memory);
+        assert_eq!(t.digest(), tiny_trace(4).digest());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,13 +5,41 @@
 //! server address fails fast instead of hanging forever), and
 //! [`Client::submit_with_retry`] resubmits after `busy` responses with
 //! capped exponential backoff, jittered by `tq_isa::prng` so a stampede of
-//! shed clients does not return in lockstep.
+//! shed clients does not return in lockstep. Backoff shape is an explicit
+//! [`RetryPolicy`] so the fleet bench and operators can tune it.
+//!
+//! [`FleetClient`] layers routing on top: it computes the same
+//! consistent-hash ring as the servers (`tq-fleet`), submits each job to
+//! its owner first, honors `redirect_to` hints on `busy`, and fails over
+//! around dead or shedding peers.
 
+use crate::apps::{AppId, Scale, Workload};
 use crate::protocol::{JobSpec, Request, Response};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use tq_fleet::{Ring, Roster};
 use tq_report::Json;
+
+/// Backoff shape for resubmission after `busy`/shed responses.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Hint to assume when a response carries no `retry_after_ms` (e.g.
+    /// the transport died before the server could answer).
+    pub fallback_hint_ms: u64,
+    /// Upper bound on one backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            fallback_hint_ms: 50,
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
 
 /// Client-side socket policy.
 #[derive(Clone, Debug)]
@@ -22,8 +50,8 @@ pub struct ClientConfig {
     /// wait forever). Must exceed the server's per-job reply timeout or
     /// slow cold jobs will be misreported as transport errors.
     pub read_timeout: Option<Duration>,
-    /// Upper bound on one backoff sleep in [`Client::submit_with_retry`].
-    pub backoff_cap: Duration,
+    /// Backoff shape for [`Client::submit_with_retry`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -33,8 +61,53 @@ impl Default for ClientConfig {
             // The server's default job timeout is 600s; leave headroom so
             // the server's own timeout error reaches us first.
             read_timeout: Some(Duration::from_secs(630)),
-            backoff_cap: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// What a retried submission actually did: how many attempts ran, which
+/// peers saw one, and the last backpressure hint. `tq submit` prints this
+/// on final failure so an operator sees *where* the job died, not just
+/// that it did.
+#[derive(Clone, Debug, Default)]
+pub struct RetryTrail {
+    /// Total submit attempts made (including the first).
+    pub attempts: u32,
+    /// Distinct peer addresses tried, in first-contact order.
+    pub peers_tried: Vec<String>,
+    /// The last `retry_after_ms` hint a server sent (None: no server ever
+    /// answered with one).
+    pub last_retry_after_ms: Option<u64>,
+    /// The last per-attempt error before success or giving up.
+    pub last_error: Option<String>,
+}
+
+impl RetryTrail {
+    fn note_peer(&mut self, addr: &str) {
+        if self.peers_tried.last().map(String::as_str) != Some(addr)
+            && !self.peers_tried.iter().any(|p| p == addr)
+        {
+            self.peers_tried.push(addr.to_string());
+        }
+    }
+
+    /// One-line rendering for diagnostics (`attempts=3 peers=a,b last_hint=50ms`).
+    pub fn describe(&self) -> String {
+        let hint = match self.last_retry_after_ms {
+            Some(ms) => format!("{ms}ms"),
+            None => "none".into(),
+        };
+        format!(
+            "attempts={} peers_tried={} last_retry_after_ms={}",
+            self.attempts,
+            if self.peers_tried.is_empty() {
+                "none".into()
+            } else {
+                self.peers_tried.join(",")
+            },
+            hint
+        )
     }
 }
 
@@ -149,14 +222,16 @@ impl Client {
         Ok((profile, cached))
     }
 
+    /// The address this client is currently connected to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
     /// One backoff sleep: exponential in the attempt number, seeded by the
-    /// server's `retry_after_ms` hint, capped, and jittered ±50% so shed
-    /// clients spread out instead of re-stampeding.
+    /// server's `retry_after_ms` hint, capped per [`RetryPolicy`], and
+    /// jittered ±50% so shed clients spread out instead of re-stampeding.
     fn backoff(&mut self, hint_ms: u64, attempt: u32) {
-        let base_ms = hint_ms.max(1).saturating_mul(1u64 << attempt.min(16));
-        let capped_ms = base_ms.min(self.config.backoff_cap.as_millis() as u64);
-        let jittered = (capped_ms as f64 * self.rng.f64_in(0.5, 1.5)).max(1.0);
-        std::thread::sleep(Duration::from_millis(jittered as u64));
+        backoff_sleep(&self.config.retry, &mut self.rng, hint_ms, attempt);
     }
 
     /// Submit a job, resubmitting up to `retries` times when the server
@@ -170,23 +245,53 @@ impl Client {
         spec: JobSpec,
         retries: u32,
     ) -> Result<(Json, bool), String> {
+        self.submit_with_retry_trail(spec, retries, &mut RetryTrail::default())
+    }
+
+    /// [`Client::submit_with_retry`], recording every attempt into `trail`.
+    /// A `busy` response carrying a `redirect_to` hint moves the retry to
+    /// the hinted peer (the server names its least-loaded live fleet
+    /// sibling); if the hinted peer is unreachable the client stays put.
+    pub fn submit_with_retry_trail(
+        &mut self,
+        spec: JobSpec,
+        retries: u32,
+        trail: &mut RetryTrail,
+    ) -> Result<(Json, bool), String> {
         let mut attempt: u32 = 0;
         loop {
+            trail.attempts += 1;
+            trail.note_peer(&self.addr);
             let result = self.request(&Request::Submit {
                 spec: spec.clone(),
                 attempt: u64::from(attempt),
             });
-            let (hint_ms, err) = match result {
+            let (hint_ms, redirect, err) = match result {
                 Ok(resp) if resp.is_busy() => {
-                    let hint = resp.retry_after_ms().unwrap_or(50);
-                    (hint, resp.error().unwrap_or("server busy").to_string())
+                    let hint = resp
+                        .retry_after_ms()
+                        .unwrap_or(self.config.retry.fallback_hint_ms);
+                    trail.last_retry_after_ms = Some(hint);
+                    let redirect = resp.redirect_to().map(str::to_string);
+                    (
+                        hint,
+                        redirect,
+                        resp.error().unwrap_or("server busy").to_string(),
+                    )
                 }
-                Ok(resp) => return Self::parse_submit(resp),
+                Ok(resp) => {
+                    let parsed = Self::parse_submit(resp);
+                    if let Err(e) = &parsed {
+                        trail.last_error = Some(e.clone());
+                    }
+                    return parsed;
+                }
                 // Transport failure: the server may have shed the whole
                 // connection (max-conns reject closes it) or died; only a
                 // reconnect can tell.
-                Err(e) => (50, e),
+                Err(e) => (self.config.retry.fallback_hint_ms, None, e),
             };
+            trail.last_error = Some(err.clone());
             if attempt >= retries {
                 return Err(format!("giving up after {attempt} retries: {err}"));
             }
@@ -197,6 +302,16 @@ impl Client {
                 "Submissions this client retried after busy/shed responses",
             )
             .inc();
+            if let Some(peer) = redirect.filter(|p| *p != self.addr) {
+                // Follow the server's hint to its less-loaded sibling; if
+                // the sibling is unreachable, fall back to where we were.
+                let old = std::mem::replace(&mut self.addr, peer);
+                if self.reconnect().is_err() {
+                    self.addr = old;
+                    let _ = self.reconnect();
+                }
+                continue;
+            }
             // Best effort: if the old connection is gone, replace it. A
             // failed reconnect burns this attempt and backs off again.
             if self.ping().is_err() {
@@ -234,5 +349,254 @@ impl Client {
     /// Request a graceful shutdown.
     pub fn shutdown(&mut self) -> Result<Response, String> {
         self.request(&Request::Shutdown)
+    }
+}
+
+fn backoff_sleep(policy: &RetryPolicy, rng: &mut tq_isa::prng::Rng, hint_ms: u64, attempt: u32) {
+    let base_ms = hint_ms.max(1).saturating_mul(1u64 << attempt.min(16));
+    let capped_ms = base_ms.min(policy.backoff_cap.as_millis() as u64);
+    let jittered = (capped_ms as f64 * rng.f64_in(0.5, 1.5)).max(1.0);
+    std::thread::sleep(Duration::from_millis(jittered as u64));
+}
+
+/// Errors that justify trying the next ring node instead of giving up:
+/// the transport died, the server announced it is shutting down and shed
+/// the job, or a bounded retry run on one peer was exhausted.
+fn is_failover_error(err: &str) -> bool {
+    err.starts_with("shed:")
+        || err.contains(": shed:")
+        || err.contains("server is shutting down")
+        || err.starts_with("send:")
+        || err.starts_with("recv:")
+        || err.starts_with("connect ")
+        || err.starts_with("resolve ")
+        || err.contains("server closed the connection")
+}
+
+/// A ring-aware client for a tq-profd fleet.
+///
+/// Builds the same consistent-hash ring as the servers (`tq-fleet` is
+/// deterministic on the sorted member list, so client and servers agree
+/// without any coordination), routes each job to the owner of its content
+/// digest first, and walks the ring on failure: dead peers are remembered
+/// in a local [`Roster`] and skipped, shedding peers ("shed: …" errors,
+/// which the server sends when shutting down) trigger immediate failover,
+/// and `busy` responses burn a bounded number of backoff retries before
+/// moving on. Digest computation builds the workload once per
+/// `(app, scale)` and is memoized.
+pub struct FleetClient {
+    ring: Ring,
+    roster: Roster,
+    config: ClientConfig,
+    conns: HashMap<String, Client>,
+    digests: HashMap<(AppId, Scale), String>,
+    rng: tq_isa::prng::Rng,
+}
+
+impl FleetClient {
+    /// A fleet client over the given member addresses (order-insensitive),
+    /// with default socket policy.
+    pub fn new(members: Vec<String>) -> FleetClient {
+        FleetClient::with_config(members, ClientConfig::default())
+    }
+
+    /// A fleet client with explicit socket/backoff policy.
+    pub fn with_config(members: Vec<String>, config: ClientConfig) -> FleetClient {
+        let mut seed = 0xF1EE_7C11u64 ^ u64::from(std::process::id());
+        for m in &members {
+            for b in m.bytes() {
+                seed = seed.rotate_left(7) ^ u64::from(b);
+            }
+        }
+        FleetClient {
+            ring: Ring::new(members.clone()),
+            roster: Roster::new(members),
+            config,
+            conns: HashMap::new(),
+            digests: HashMap::new(),
+            rng: tq_isa::prng::Rng::new(seed),
+        }
+    }
+
+    /// The ring owner for a job's content digest.
+    pub fn owner_of(&mut self, spec: &JobSpec) -> Option<String> {
+        let digest = self.digest_for(spec.app, spec.scale);
+        self.ring.owner_of(&digest).map(str::to_string)
+    }
+
+    fn digest_for(&mut self, app: AppId, scale: Scale) -> String {
+        self.digests
+            .entry((app, scale))
+            .or_insert_with(|| Workload::build(app, scale).digest())
+            .clone()
+    }
+
+    fn connection(&mut self, addr: &str) -> Result<&mut Client, String> {
+        if !self.conns.contains_key(addr) {
+            let client = Client::connect_with(addr, self.config.clone())?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).expect("just inserted"))
+    }
+
+    /// Submit a job to the fleet. Returns `(profile, cached, served_by)`;
+    /// `retries` bounds the *total* extra attempts across all peers.
+    pub fn submit(&mut self, spec: JobSpec, retries: u32) -> Result<(Json, bool, String), String> {
+        self.submit_with_trail(spec, retries, &mut RetryTrail::default())
+    }
+
+    /// [`FleetClient::submit`], recording the attempt trail.
+    pub fn submit_with_trail(
+        &mut self,
+        spec: JobSpec,
+        retries: u32,
+        trail: &mut RetryTrail,
+    ) -> Result<(Json, bool, String), String> {
+        let digest = self.digest_for(spec.app, spec.scale);
+        let route: Vec<String> = self
+            .ring
+            .route(&digest)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        if route.is_empty() {
+            return Err("fleet has no members".into());
+        }
+        let budget = retries.saturating_add(1); // total attempts allowed
+        let mut spent: u32 = 0;
+        let mut last_err = String::from("no live fleet member reachable");
+        // Walk the ring repeatedly until the attempt budget runs out; a
+        // full pass with every peer dead resets the roster so a recovered
+        // peer gets another look instead of permanent exile.
+        while spent < budget {
+            let mut touched_any = false;
+            for addr in &route {
+                if spent >= budget {
+                    break;
+                }
+                if !self.roster.is_live(addr) {
+                    continue;
+                }
+                touched_any = true;
+                let client = match self.connection(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        spent += 1;
+                        trail.attempts += 1;
+                        trail.note_peer(addr);
+                        trail.last_error = Some(e.clone());
+                        last_err = format!("{addr}: {e}");
+                        self.roster.mark_dead(addr);
+                        continue;
+                    }
+                };
+                let result = client.request(&Request::Submit {
+                    spec: spec.clone(),
+                    attempt: u64::from(spent),
+                });
+                spent += 1;
+                trail.attempts += 1;
+                trail.note_peer(addr);
+                match result {
+                    Ok(resp) if resp.is_busy() => {
+                        let hint = resp
+                            .retry_after_ms()
+                            .unwrap_or(self.config.retry.fallback_hint_ms);
+                        trail.last_retry_after_ms = Some(hint);
+                        last_err = format!("{addr}: {}", resp.error().unwrap_or("server busy"));
+                        trail.last_error = Some(last_err.clone());
+                        self.roster.record_success(addr, u64::MAX, u64::MAX);
+                        let next = resp.redirect_to().map(str::to_string);
+                        backoff_sleep(&self.config.retry, &mut self.rng, hint, spent.min(8));
+                        // A redirect hint names a less-loaded sibling: jump
+                        // there next instead of continuing in ring order —
+                        // but only if it is one of ours and alive.
+                        if let Some(hinted) = next {
+                            if hinted != *addr
+                                && route.contains(&hinted)
+                                && self.roster.is_live(&hinted)
+                                && spent < budget
+                            {
+                                if let Ok((json, cached)) =
+                                    self.try_once(&hinted, &spec, spent, trail)
+                                {
+                                    return Ok((json, cached, hinted));
+                                }
+                                spent += 1;
+                            }
+                        }
+                    }
+                    Ok(resp) => match Client::parse_submit(resp) {
+                        Ok((json, cached)) => {
+                            self.roster.record_success(addr, 0, 0);
+                            return Ok((json, cached, addr.clone()));
+                        }
+                        Err(e) if is_failover_error(&e) => {
+                            last_err = format!("{addr}: {e}");
+                            trail.last_error = Some(last_err.clone());
+                            self.roster.record_failure(addr);
+                            self.conns.remove(addr);
+                        }
+                        // The job failed on its merits; every peer would
+                        // fail it identically.
+                        Err(e) => {
+                            trail.last_error = Some(e.clone());
+                            return Err(format!("{addr}: {e}"));
+                        }
+                    },
+                    Err(e) => {
+                        last_err = format!("{addr}: {e}");
+                        trail.last_error = Some(last_err.clone());
+                        self.roster.mark_dead(addr);
+                        self.conns.remove(addr);
+                    }
+                }
+            }
+            if !touched_any {
+                // Every member looked dead: forget the verdicts and retry
+                // from scratch (the alternative is failing without ever
+                // re-checking a peer that may have restarted).
+                self.roster = Roster::new(route.clone());
+                spent += 1;
+            }
+        }
+        Err(format!("giving up after {spent} attempts: {last_err}"))
+    }
+
+    /// One single-shot submit against a specific peer (used to chase a
+    /// redirect hint). Failures are recorded but never fatal — the caller
+    /// resumes its ring walk.
+    fn try_once(
+        &mut self,
+        addr: &str,
+        spec: &JobSpec,
+        attempt: u32,
+        trail: &mut RetryTrail,
+    ) -> Result<(Json, bool), String> {
+        trail.attempts += 1;
+        trail.note_peer(addr);
+        let client = match self.connection(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                self.roster.mark_dead(addr);
+                return Err(e);
+            }
+        };
+        let resp = match client.request(&Request::Submit {
+            spec: spec.clone(),
+            attempt: u64::from(attempt),
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                self.roster.mark_dead(addr);
+                self.conns.remove(addr);
+                return Err(e);
+            }
+        };
+        if resp.is_busy() {
+            trail.last_retry_after_ms = resp.retry_after_ms().or(trail.last_retry_after_ms);
+            return Err(resp.error().unwrap_or("server busy").to_string());
+        }
+        Client::parse_submit(resp)
     }
 }

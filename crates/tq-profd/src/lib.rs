@@ -47,13 +47,15 @@ pub mod apps;
 pub mod cache;
 pub mod client;
 pub mod exec;
+pub mod fleet;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
 pub use apps::{AppId, Scale, Workload};
 pub use cache::CaptureStore;
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, FleetClient, RetryPolicy, RetryTrail};
+pub use fleet::{FleetConfig, FleetState};
 pub use protocol::{JobSpec, Request, Response, StackPolicy, ToolId};
 pub use server::{Server, ServerConfig};
 pub use stats::ServiceStats;

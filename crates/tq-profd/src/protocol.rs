@@ -128,8 +128,14 @@ impl JobSpec {
     }
 
     fn to_json(&self) -> Json {
+        self.to_json_typed("submit")
+    }
+
+    /// The spec's wire object under an explicit request `type` (`submit`
+    /// and `route` carry identical job fields).
+    fn to_json_typed(&self, ty: &'static str) -> Json {
         Json::obj([
-            ("type", Json::from("submit")),
+            ("type", Json::from(ty)),
             ("app", Json::from(self.app.as_str())),
             ("scale", Json::from(self.scale.as_str())),
             ("tool", Json::from(self.tool.as_str())),
@@ -190,6 +196,28 @@ pub enum Request {
         /// operators can see clients backing off in `stats`.
         attempt: u64,
     },
+    /// Where does this job live? Answers with the fleet owner of the
+    /// job's content digest (and the digest itself) without running
+    /// anything — clients and scripts use it to route submissions.
+    Route {
+        /// The job whose owner is asked for.
+        spec: JobSpec,
+    },
+    /// Fleet-internal capture transfer: fetch the capture for a content
+    /// digest from the node that owns it, so a non-owner can serve a
+    /// routed job by replaying the owner's recording instead of making
+    /// its own. Carries `(app, scale)` so an owner that has not recorded
+    /// the capture yet can do so on demand (that recording is the *one*
+    /// per fleet).
+    Peek {
+        /// Which application the digest belongs to.
+        app: AppId,
+        /// Workload scale.
+        scale: Scale,
+        /// The content address being fetched; the receiver verifies it
+        /// matches its own digest for `(app, scale)`.
+        digest: String,
+    },
     /// Service statistics snapshot.
     Stats,
     /// Prometheus-style text exposition of the process-wide tq-obs
@@ -214,6 +242,14 @@ impl Request {
                 }
                 obj.render()
             }
+            Request::Route { spec } => spec.to_json_typed("route").render(),
+            Request::Peek { app, scale, digest } => Json::obj([
+                ("type", Json::from("peek")),
+                ("app", Json::from(app.as_str())),
+                ("scale", Json::from(scale.as_str())),
+                ("digest", Json::from(digest.as_str())),
+            ])
+            .render(),
         }
     }
 
@@ -228,6 +264,18 @@ impl Request {
             Some("submit") => Ok(Request::Submit {
                 spec: JobSpec::from_json(&v)?,
                 attempt: v.get("attempt").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            Some("route") => Ok(Request::Route {
+                spec: JobSpec::from_json(&v)?,
+            }),
+            Some("peek") => Ok(Request::Peek {
+                app: AppId::parse(v.get("app").and_then(Json::as_str).unwrap_or("wfs"))?,
+                scale: Scale::parse(v.get("scale").and_then(Json::as_str).unwrap_or("tiny"))?,
+                digest: v
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .ok_or("peek requires `digest`")?
+                    .to_string(),
             }),
             Some(other) => Err(format!("unknown request type `{other}`")),
             None => Err("request missing `type`".into()),
@@ -302,6 +350,54 @@ impl Response {
     pub fn retry_after_ms(&self) -> Option<u64> {
         self.0.get("retry_after_ms").and_then(Json::as_u64)
     }
+
+    /// Attach a fleet redirect hint to a `busy` response: the address of
+    /// the least-loaded live peer the shed client should resubmit to.
+    pub fn with_redirect(mut self, addr: &str) -> Response {
+        self.0.set("redirect_to", Json::from(addr));
+        self
+    }
+
+    /// The peer a `busy` response suggests resubmitting to, if the
+    /// server is part of a fleet and had a live peer to hint at.
+    pub fn redirect_to(&self) -> Option<&str> {
+        self.0.get("redirect_to").and_then(Json::as_str)
+    }
+}
+
+/// Lowercase-hex encoding for binary payloads carried inside the JSON
+/// line protocol (`peek` capture transfers). Hex doubles the size but
+/// survives any JSON string escaping untouched, keeps the line protocol
+/// line-oriented, and needs no alphabet table a reviewer has to trust.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xF) as usize] as char);
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or a non-hex digit.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let nib = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        out.push((nib(pair[0])? << 4) | nib(pair[1])?);
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -327,6 +423,14 @@ mod tests {
                     ..JobSpec::new(AppId::Img, Scale::Small, ToolId::Quad)
                 },
                 attempt: 3,
+            },
+            Request::Route {
+                spec: JobSpec::new(AppId::Img, Scale::Tiny, ToolId::Gprof),
+            },
+            Request::Peek {
+                app: AppId::Wfs,
+                scale: Scale::Tiny,
+                digest: "00112233445566778899aabbccddeeff".into(),
             },
         ] {
             let line = req.encode();
@@ -378,8 +482,35 @@ mod tests {
         assert!(!b.is_ok());
         assert!(b.is_busy());
         assert_eq!(b.retry_after_ms(), Some(150));
+        assert_eq!(b.redirect_to(), None);
         let back = Response::decode(&b.encode()).unwrap();
         assert!(back.is_busy(), "busy survives the wire");
         assert_eq!(back.retry_after_ms(), Some(150));
+
+        let r = Response::busy("queue full", 150).with_redirect("127.0.0.1:7472");
+        let back = Response::decode(&r.encode()).unwrap();
+        assert_eq!(back.redirect_to(), Some("127.0.0.1:7472"));
+    }
+
+    #[test]
+    fn peek_decode_requires_digest() {
+        assert!(Request::decode(r#"{"type":"peek","app":"wfs","scale":"tiny"}"#).is_err());
+        assert!(Request::decode(r#"{"type":"peek","digest":"ab","app":"nope"}"#).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrips_and_rejects_garbage() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xAB, 0xCD, 0x00, 0xFF],
+            (0..=255).collect(),
+        ] {
+            let enc = hex_encode(&bytes);
+            assert_eq!(hex_decode(&enc).as_deref(), Some(bytes.as_slice()));
+        }
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("zz"), None, "non-hex digit");
+        assert_eq!(hex_decode("ABCD"), Some(vec![0xAB, 0xCD]), "upper accepted");
     }
 }

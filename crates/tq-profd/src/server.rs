@@ -31,7 +31,8 @@
 use crate::apps::{AppId, Scale, Workload};
 use crate::cache::{CaptureSource, CaptureStore};
 use crate::exec::{record_capture_opt, run_tool};
-use crate::protocol::{JobSpec, Request, Response};
+use crate::fleet::{FleetConfig, FleetState};
+use crate::protocol::{hex_encode, JobSpec, Request, Response};
 use crate::stats::ServiceStats;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -76,6 +77,16 @@ pub struct ServerConfig {
     /// this long is disconnected (`None` = never). Bounds both idle
     /// connections and read-stalled requests.
     pub read_timeout: Option<Duration>,
+    /// Advertised addresses of the *other* fleet members. Empty = this
+    /// node serves alone (no ring, no probing, no redirects).
+    pub peers: Vec<String>,
+    /// This node's own advertised address — its name on the consistent-
+    /// hash ring, which must match what peers list in their `--peers`.
+    /// `None` uses the bound listen address (fine when `addr` is concrete;
+    /// required when binding port 0 behind a fixed roster).
+    pub advertise: Option<String>,
+    /// Pause between fleet health-probe rounds.
+    pub probe_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +104,9 @@ impl Default for ServerConfig {
             vm_opt: tq_vm::VmOpt::Trace,
             max_conns: 256,
             read_timeout: Some(Duration::from_secs(300)),
+            peers: Vec::new(),
+            advertise: None,
+            probe_interval: Duration::from_millis(500),
         }
     }
 }
@@ -133,6 +147,8 @@ struct Shared {
     /// Connections currently being served (the acceptor rejects above
     /// `config.max_conns`).
     conns: AtomicUsize,
+    /// Fleet membership, routing and peeking (None: serving alone).
+    fleet: Option<FleetState>,
     shutdown: AtomicBool,
 }
 
@@ -367,10 +383,29 @@ impl Shared {
         }
 
         let (digest, mut prebuilt) = self.digest_for(spec.app, spec.scale);
+        if let Some(f) = &self.fleet {
+            if !f.is_owner(&digest) {
+                f.note_remote_owned_job();
+            }
+        }
         let fuel = self.config.capture_fuel;
         let vm_opt = self.config.vm_opt;
         let mut capture_stats = None;
+        let mut peeked = false;
         let (trace, source) = self.store.get_or_record(&digest, || {
+            // Fleet cache sharding: a digest another node owns is fetched
+            // from that node (which records it on demand — keeping one
+            // recording per digest fleet-wide) instead of re-recorded
+            // here. A dead or failing owner falls through to a local
+            // recording; routing is an optimisation, never a dependency.
+            if let Some(f) = &self.fleet {
+                if !f.is_owner(&digest) {
+                    if let Some(t) = f.try_peek(spec.app, spec.scale, &digest) {
+                        peeked = true;
+                        return Ok(t);
+                    }
+                }
+            }
             let w = prebuilt
                 .take()
                 .unwrap_or_else(|| Workload::build(spec.app, spec.scale));
@@ -383,6 +418,9 @@ impl Shared {
             match source {
                 CaptureSource::Memory => st.capture_mem_hits += 1,
                 CaptureSource::Disk => st.capture_disk_hits += 1,
+                // A peeked capture entered the cache without a VM run; the
+                // fleet counters (`peek_fetches`) account for it instead.
+                CaptureSource::Recorded if peeked => {}
                 CaptureSource::Recorded => st.vm_runs += 1,
             }
             // Interpreter-optimisation counters from the capture run (the
@@ -396,6 +434,7 @@ impl Shared {
         }
         match source {
             CaptureSource::Memory | CaptureSource::Disk => obs::capture_hits().inc(),
+            CaptureSource::Recorded if peeked => {}
             CaptureSource::Recorded => obs::capture_misses().inc(),
         }
 
@@ -419,6 +458,92 @@ impl Shared {
         obs::jobs_completed().inc();
         obs::job_micros().observe(micros);
         Ok((json, false))
+    }
+
+    /// Answer a fleet sibling's `peek` for a capture. The rules keep
+    /// recording work where the ring says it belongs:
+    ///
+    /// * this node **owns** the digest → serve from cache, recording on
+    ///   demand if cold (that recording is the fleet's one recording for
+    ///   the digest, and is bookkept exactly like a cold submit);
+    /// * this node does **not** own it → answer only if the capture
+    ///   happens to be cached; never spend a VM run on another node's
+    ///   keyspace.
+    fn handle_peek(&self, app: AppId, scale: Scale, digest: String) -> Response {
+        // Validate the address: a peek answered for the wrong digest
+        // would poison the requester's cache.
+        let (expected, mut prebuilt) = self.digest_for(app, scale);
+        if expected != digest {
+            return Response::err(format!(
+                "peek digest mismatch: {}/{} addresses {expected}",
+                app.as_str(),
+                scale.as_str()
+            ));
+        }
+        let owned = self
+            .fleet
+            .as_ref()
+            .map(|f| f.is_owner(&digest))
+            .unwrap_or(true);
+        let trace = if owned {
+            let fuel = self.config.capture_fuel;
+            let vm_opt = self.config.vm_opt;
+            let mut capture_stats = None;
+            let recorded = self.store.get_or_record(&digest, || {
+                let w = prebuilt
+                    .take()
+                    .unwrap_or_else(|| Workload::build(app, scale));
+                let (trace, stats) = record_capture_opt(&w, fuel, vm_opt)?;
+                capture_stats = Some(stats);
+                Ok(trace)
+            });
+            match recorded {
+                Ok((trace, source)) => {
+                    let mut st = lock(&self.stats);
+                    match source {
+                        CaptureSource::Memory => st.capture_mem_hits += 1,
+                        CaptureSource::Disk => st.capture_disk_hits += 1,
+                        CaptureSource::Recorded => st.vm_runs += 1,
+                    }
+                    if let Some(s) = capture_stats {
+                        st.vm_blocks_fused += s.blocks_fused;
+                        st.vm_traces_recorded += s.traces_recorded;
+                        st.vm_trace_side_exits += s.trace_side_exits;
+                    }
+                    drop(st);
+                    match source {
+                        CaptureSource::Memory | CaptureSource::Disk => obs::capture_hits().inc(),
+                        CaptureSource::Recorded => obs::capture_misses().inc(),
+                    }
+                    Some(trace)
+                }
+                Err(e) => return Response::err(format!("peek recording failed: {e}")),
+            }
+        } else {
+            self.store.get_if_cached(&digest).map(|(t, _)| t)
+        };
+        match trace {
+            Some(trace) => {
+                let mut bytes = Vec::new();
+                if let Err(e) = trace.save(&mut bytes) {
+                    return Response::err(format!("peek serialization failed: {e}"));
+                }
+                if let Some(f) = &self.fleet {
+                    f.note_peek_served();
+                }
+                Response::ok([
+                    ("found", Json::from(true)),
+                    ("digest", Json::from(digest)),
+                    ("capture_hex", Json::from(hex_encode(&bytes))),
+                ])
+            }
+            None => {
+                if let Some(f) = &self.fleet {
+                    f.note_peek_missed();
+                }
+                Response::ok([("found", Json::from(false)), ("digest", Json::from(digest))])
+            }
+        }
     }
 
     fn stats_json(&self) -> Json {
@@ -445,6 +570,18 @@ impl Shared {
             "capture_bytes_in_memory",
             Json::from(self.store.mem_bytes()),
         );
+        j.set("vm_opt", Json::from(self.config.vm_opt.to_string()));
+        j.set(
+            "role",
+            Json::from(if self.fleet.is_some() {
+                "fleet"
+            } else {
+                "single"
+            }),
+        );
+        if let Some(f) = &self.fleet {
+            j.set("fleet", f.to_json());
+        }
         j
     }
 }
@@ -478,8 +615,40 @@ fn worker_loop(shared: &Shared) {
 
 fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Response, bool) {
     match req {
-        Request::Ping => (Response::ok([("pong", Json::from(true))]), false),
+        Request::Ping => (
+            // Load rides along so one cheap ping doubles as a fleet
+            // health-and-load probe.
+            Response::ok([
+                ("pong", Json::from(true)),
+                (
+                    "queue_len",
+                    Json::from(lock(&shared.queue).jobs.len() as u64),
+                ),
+                (
+                    "busy_workers",
+                    Json::from(shared.busy.load(Ordering::SeqCst) as u64),
+                ),
+            ]),
+            false,
+        ),
         Request::Stats => (Response::ok([("stats", shared.stats_json())]), false),
+        Request::Peek { app, scale, digest } => (shared.handle_peek(app, scale, digest), false),
+        Request::Route { spec } => {
+            let (digest, _) = shared.digest_for(spec.app, spec.scale);
+            let (owner, self_name) = match &shared.fleet {
+                Some(f) => (f.owner_of(&digest).to_string(), f.self_addr().to_string()),
+                None => (addr.to_string(), addr.to_string()),
+            };
+            let is_owner = owner == self_name;
+            (
+                Response::ok([
+                    ("digest", Json::from(digest)),
+                    ("owner", Json::from(owner)),
+                    ("is_owner", Json::from(is_owner)),
+                ]),
+                false,
+            )
+        }
         Request::Metrics => {
             obs::uptime_seconds().set(shared.started.elapsed().as_secs() as i64);
             obs::faults_injected().set(tq_faults::injected() as i64);
@@ -517,10 +686,14 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
                 Err(PushError::Busy { retry_after_ms }) => {
                     lock(&shared.stats).rejects += 1;
                     obs::rejects().inc();
-                    return (
-                        Response::busy("queue full: job shed, retry later", retry_after_ms),
-                        false,
-                    );
+                    let mut resp =
+                        Response::busy("queue full: job shed, retry later", retry_after_ms);
+                    // In a fleet, tell the shed client *where* to go: the
+                    // least-loaded live sibling by the latest probes.
+                    if let Some(hint) = shared.fleet.as_ref().and_then(FleetState::redirect_hint) {
+                        resp = resp.with_redirect(&hint);
+                    }
+                    return (resp, false);
                 }
                 Err(PushError::Closed) => {
                     lock(&shared.stats).jobs_failed += 1;
@@ -625,15 +798,28 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind and start: acceptor plus `config.workers` replay workers.
+    /// Bind and start: acceptor plus `config.workers` replay workers, and
+    /// (when `config.peers` is non-empty) the fleet prober.
     pub fn start(config: ServerConfig) -> Result<Server, String> {
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
         let workers_n = config.workers.max(1);
+        // The ring name defaults to the *bound* address so `--addr` with a
+        // concrete port needs no extra flag; port-0 binds behind a fixed
+        // roster must advertise explicitly.
+        let fleet = if config.peers.is_empty() {
+            None
+        } else {
+            let self_addr = config.advertise.clone().unwrap_or_else(|| addr.to_string());
+            let mut fc = FleetConfig::new(self_addr, config.peers.clone());
+            fc.probe_interval = config.probe_interval;
+            Some(FleetState::new(fc))
+        };
         let shared = Arc::new(Shared {
             store: CaptureStore::new(config.state_dir.clone(), config.cache_bytes),
             config,
@@ -645,8 +831,38 @@ impl Server {
             not_empty: Condvar::new(),
             busy: AtomicUsize::new(0),
             conns: AtomicUsize::new(0),
+            fleet,
             shutdown: AtomicBool::new(false),
         });
+
+        let prober = match &shared.fleet {
+            None => None,
+            Some(f) => {
+                let interval = f.probe_interval();
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("tq-profd-prober".into())
+                        .spawn(move || {
+                            tq_obs::set_thread_name("tq-profd-prober");
+                            while !shared.shutdown.load(Ordering::SeqCst) {
+                                if let Some(f) = &shared.fleet {
+                                    f.probe_once();
+                                }
+                                // Sleep in small slices so shutdown is not
+                                // held up by a long probe interval.
+                                let deadline = Instant::now() + interval;
+                                while Instant::now() < deadline
+                                    && !shared.shutdown.load(Ordering::SeqCst)
+                                {
+                                    std::thread::sleep(Duration::from_millis(25));
+                                }
+                            }
+                        })
+                        .map_err(|e| e.to_string())?,
+                )
+            }
+        };
 
         let workers = (0..workers_n)
             .map(|i| {
@@ -684,14 +900,19 @@ impl Server {
                             shared.conns.fetch_sub(1, Ordering::SeqCst);
                             lock(&shared.stats).rejects += 1;
                             obs::rejects().inc();
-                            let mut out = Response::busy(
+                            let mut resp = Response::busy(
                                 format!(
                                     "connection limit reached ({} open)",
                                     shared.config.max_conns
                                 ),
                                 shared.retry_after_ms(lock(&shared.queue).jobs.len()),
-                            )
-                            .encode();
+                            );
+                            if let Some(hint) =
+                                shared.fleet.as_ref().and_then(FleetState::redirect_hint)
+                            {
+                                resp = resp.with_redirect(&hint);
+                            }
+                            let mut out = resp.encode();
                             out.push('\n');
                             let _ = stream
                                 .write_all(out.as_bytes())
@@ -717,6 +938,7 @@ impl Server {
             shared,
             acceptor,
             workers,
+            prober,
         })
     }
 
@@ -745,6 +967,9 @@ impl Server {
             .map_err(|_| "acceptor panicked".to_string())?;
         for w in self.workers {
             w.join().map_err(|_| "worker panicked".to_string())?;
+        }
+        if let Some(p) = self.prober {
+            p.join().map_err(|_| "prober panicked".to_string())?;
         }
         Ok(())
     }

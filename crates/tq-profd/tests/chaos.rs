@@ -12,7 +12,8 @@ use std::time::Duration;
 use tq_faults::{FaultPlan, FaultPoint};
 use tq_profd::exec::{record_capture, run_tool};
 use tq_profd::{
-    AppId, Client, ClientConfig, JobSpec, Scale, Server, ServerConfig, ToolId, Workload,
+    AppId, Client, ClientConfig, FleetClient, JobSpec, RetryTrail, Scale, Server, ServerConfig,
+    ToolId, Workload,
 };
 use tq_report::Json;
 
@@ -48,6 +49,30 @@ fn expected_profile(trace: &tq_trace::Trace, spec: &JobSpec) -> String {
     run_tool(spec, trace, 1)
         .expect("fault-free run_tool")
         .render()
+}
+
+/// Poll `cond` until it holds or `limit` passes (then panic).
+fn wait_for(limit: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + limit;
+    while !cond() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "condition not reached within {limit:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Reserve `n` distinct loopback addresses (bind port 0, note, drop) so a
+/// fixed roster can be handed to every member before any server binds.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect()
 }
 
 /// Queue-full submissions are answered immediately with `busy` and a
@@ -92,8 +117,16 @@ fn queue_full_yields_busy_and_retry_succeeds() {
             })
         })
         .collect();
-    // Let both occupants land (worker + queue slot) before probing.
-    std::thread::sleep(Duration::from_millis(150));
+    // Wait until both occupants actually landed (one in the worker, one in
+    // the queue) — a fixed sleep flakes under load.
+    wait_for(Duration::from_secs(5), || {
+        let stats = Client::connect(&addr)
+            .expect("connect for stats")
+            .stats()
+            .expect("stats");
+        stats.get("busy_workers").and_then(Json::as_u64) == Some(1)
+            && stats.get("queue_len").and_then(Json::as_u64) == Some(1)
+    });
 
     let resp = client
         .request(&tq_profd::Request::Submit {
@@ -271,5 +304,180 @@ fn shutdown_sheds_queued_jobs_explicitly() {
     }
     assert!(shed >= 1, "shutdown shed the backlog");
 
+    server.join().expect("clean join");
+}
+
+/// Fleet chaos: the owner of a job's digest dies *mid-response* — its one
+/// worker is pinned by a slow replay and the routed job sits in its queue
+/// when shutdown sheds it. The fleet client must fail over to the next
+/// ring node and still produce a byte-identical profile (the survivor
+/// records locally once its peek at the dying owner fails).
+#[test]
+fn fleet_failover_when_owner_dies_mid_response() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = PlanGuard;
+    tq_faults::clear();
+
+    let workload = Workload::build(AppId::Wfs, Scale::Tiny);
+    let trace = record_capture(&workload, None).expect("capture");
+    let want = expected_profile(&trace, &spec_n(2));
+
+    let addrs = reserve_addrs(2);
+    let servers: Vec<Server> = addrs
+        .iter()
+        .map(|addr| {
+            let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
+            Server::start(ServerConfig {
+                addr: addr.clone(),
+                workers: 1,
+                peers,
+                ..ServerConfig::default()
+            })
+            .expect("fleet member starts")
+        })
+        .collect();
+
+    let mut fc = FleetClient::new(addrs.clone());
+    let owner = fc.owner_of(&spec_n(0)).expect("owner");
+    let survivor = addrs.iter().find(|a| **a != owner).expect("two nodes");
+
+    // Warm the owner's capture so the fault below only stretches replays.
+    Client::connect(&owner)
+        .expect("connect owner")
+        .submit(spec_n(0))
+        .expect("warm capture");
+
+    tq_faults::install(FaultPlan::seeded(7).with(
+        FaultPoint::SlowReplay,
+        1.0,
+        Duration::from_millis(400),
+    ));
+
+    // Pin the owner's only worker with a slow replay...
+    let pin_addr = owner.clone();
+    let pin = std::thread::spawn(move || {
+        let mut c = Client::connect(&pin_addr).expect("connect");
+        c.submit(spec_n(1))
+    });
+    wait_for(Duration::from_secs(5), || {
+        let stats = Client::connect(&owner)
+            .expect("connect for stats")
+            .stats()
+            .expect("stats");
+        stats.get("busy_workers").and_then(Json::as_u64) == Some(1)
+    });
+
+    // ...then kill the owner shortly after the routed job lands behind it.
+    let trail = {
+        // Stop the owner from a helper thread 150ms from now, while the
+        // fleet submit below is waiting in its queue.
+        let stop_addr = owner.clone();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            // Shutdown over the wire: same path as Server::request_stop.
+            if let Ok(mut c) = Client::connect(&stop_addr) {
+                let _ = c.shutdown();
+            }
+        });
+        let mut trail = RetryTrail::default();
+        let (profile, _cached, served_by) = fc
+            .submit_with_trail(spec_n(2), 5, &mut trail)
+            .expect("fleet submit survives the owner dying");
+        killer.join().expect("killer thread");
+        assert_eq!(profile.render(), want, "failover profile is byte-identical");
+        assert_eq!(&served_by, survivor, "served by the surviving ring node");
+        trail
+    };
+    assert!(trail.attempts >= 2, "took more than one attempt: {trail:?}");
+    assert!(
+        trail.peers_tried.contains(&owner) && trail.peers_tried.contains(survivor),
+        "trail names both peers: {trail:?}"
+    );
+
+    // The pinned job ran to completion through the graceful shutdown.
+    pin.join()
+        .expect("pin thread")
+        .expect("pinned job finishes");
+
+    tq_faults::clear();
+    let survivor_stats = Client::connect(survivor)
+        .expect("connect survivor")
+        .stats()
+        .expect("stats");
+    assert_eq!(
+        survivor_stats.get("vm_runs").and_then(Json::as_u64),
+        Some(1),
+        "survivor recorded locally after its peek failed: {survivor_stats:?}"
+    );
+
+    let _ = Client::connect(survivor).and_then(|mut c| c.shutdown());
+    for s in servers {
+        s.join().expect("clean join");
+    }
+}
+
+/// Fleet chaos: a stale roster entry — the ring names a member that is not
+/// running at all. A routed submit must fail over past the corpse to the
+/// next ring node and return a byte-identical capture.
+#[test]
+fn fleet_stale_roster_entry_fails_over() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = PlanGuard;
+    tq_faults::clear();
+
+    let workload = Workload::build(AppId::Wfs, Scale::Tiny);
+    let trace = record_capture(&workload, None).expect("capture");
+    let want = expected_profile(&trace, &spec_n(0));
+
+    let addrs = reserve_addrs(2);
+    // Find which reserved address the ring makes the owner, then start a
+    // server ONLY on the other one: the owner entry is stale.
+    let digest = workload.digest();
+    let ring = tq_fleet::Ring::new(addrs.clone());
+    let stale = ring.owner_of(&digest).expect("owner").to_string();
+    let live = addrs
+        .iter()
+        .find(|a| **a != stale)
+        .expect("two addrs")
+        .clone();
+    let server = Server::start(ServerConfig {
+        addr: live.clone(),
+        workers: 1,
+        peers: vec![stale.clone()],
+        ..ServerConfig::default()
+    })
+    .expect("live member starts");
+
+    let mut fc = FleetClient::new(addrs.clone());
+    assert_eq!(fc.owner_of(&spec_n(0)), Some(stale.clone()));
+
+    let mut trail = RetryTrail::default();
+    let (profile, cached, served_by) = fc
+        .submit_with_trail(spec_n(0), 3, &mut trail)
+        .expect("submit fails over past the stale entry");
+    assert!(!cached);
+    assert_eq!(profile.render(), want, "failover profile is byte-identical");
+    assert_eq!(served_by, live, "served by the live node");
+    assert_eq!(
+        trail.peers_tried,
+        vec![stale.clone(), live.clone()],
+        "owner tried first, then the live node: {trail:?}"
+    );
+
+    // The live node recorded locally (peeking a corpse cannot succeed) and
+    // counted the failed fetch.
+    let stats = Client::connect(&live)
+        .expect("connect live")
+        .stats()
+        .expect("stats");
+    assert_eq!(stats.get("vm_runs").and_then(Json::as_u64), Some(1));
+    let fetch_failures = stats
+        .get("fleet")
+        .and_then(|f| f.get("peek_fetch_failures"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(fetch_failures >= 1, "failed peek is counted: {stats:?}");
+
+    let _ = Client::connect(&live).and_then(|mut c| c.shutdown());
     server.join().expect("clean join");
 }

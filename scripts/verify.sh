@@ -83,4 +83,83 @@ done
 ./target/release/tq submit --addr "$addr" --shutdown > /dev/null 2>&1 || true
 wait "$serve_pid" 2> /dev/null || true
 
+echo "==> fleet smoke: 2-node fleet shards the capture cache (one recording fleet-wide)"
+# Find two free loopback ports: bind ephemeral throwaway servers, note
+# their addresses, shut them down. The fleet roster must be fixed before
+# either real member starts, which rules out port 0.
+./target/release/tq serve --addr 127.0.0.1:0 --workers 1 \
+    > "$smoke_dir/probe1.out" 2> /dev/null &
+probe1_pid=$!
+./target/release/tq serve --addr 127.0.0.1:0 --workers 1 \
+    > "$smoke_dir/probe2.out" 2> /dev/null &
+probe2_pid=$!
+fleet_a=""
+fleet_b=""
+for _ in $(seq 1 50); do
+    fleet_a=$(sed -n 's/^tq-profd listening on //p' "$smoke_dir/probe1.out")
+    fleet_b=$(sed -n 's/^tq-profd listening on //p' "$smoke_dir/probe2.out")
+    [ -n "$fleet_a" ] && [ -n "$fleet_b" ] && break
+    sleep 0.1
+done
+[ -n "$fleet_a" ] && [ -n "$fleet_b" ] \
+    || { echo "verify: FAIL (fleet port probes did not come up)"; exit 1; }
+./target/release/tq submit --addr "$fleet_a" --shutdown > /dev/null 2>&1 || true
+./target/release/tq submit --addr "$fleet_b" --shutdown > /dev/null 2>&1 || true
+wait "$probe1_pid" 2> /dev/null || true
+wait "$probe2_pid" 2> /dev/null || true
+
+./target/release/tq serve --addr "$fleet_a" --workers 1 --peers "$fleet_b" \
+    > /dev/null 2>&1 &
+fleet_a_pid=$!
+./target/release/tq serve --addr "$fleet_b" --workers 1 --peers "$fleet_a" \
+    > /dev/null 2>&1 &
+fleet_b_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if ./target/release/tq submit --addr "$fleet_a" --ping > /dev/null 2>&1 \
+        && ./target/release/tq submit --addr "$fleet_b" --ping > /dev/null 2>&1; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || { echo "verify: FAIL (fleet members did not come up)"; exit 1; }
+
+# Every member answers `route` with the same deterministic ring owner.
+owner=$(./target/release/tq submit --addr "$fleet_a" --route --app wfs --scale tiny \
+    2> /dev/null | sed -n 's/.*"owner":"\([^"]*\)".*/\1/p')
+case "$owner" in
+    "$fleet_a") non_owner=$fleet_b ;;
+    "$fleet_b") non_owner=$fleet_a ;;
+    *) echo "verify: FAIL (route owner '$owner' is not a fleet member)"; exit 1 ;;
+esac
+
+# Submit to the NON-owner: it must serve the job by peeking the owner's
+# cache (which records on demand), never by recording locally.
+./target/release/tq submit --addr "$non_owner" --app wfs --scale tiny \
+    > "$smoke_dir/fleet.profile" 2> /dev/null \
+    || { echo "verify: FAIL (fleet submit to non-owner)"; exit 1; }
+owner_stats=$(./target/release/tq submit --addr "$owner" --stats 2> /dev/null)
+non_owner_stats=$(./target/release/tq submit --addr "$non_owner" --stats 2> /dev/null)
+printf '%s' "$owner_stats" | grep -q '"cache_misses":1' \
+    || { echo "verify: FAIL (owner must hold the fleet's one recording)"; exit 1; }
+printf '%s' "$owner_stats" | grep -q '"peek_serves":1' \
+    || { echo "verify: FAIL (owner never served the peek)"; exit 1; }
+printf '%s' "$non_owner_stats" | grep -q '"cache_misses":0' \
+    || { echo "verify: FAIL (non-owner recorded instead of peeking)"; exit 1; }
+printf '%s' "$non_owner_stats" | grep -q '"peek_fetches":1' \
+    || { echo "verify: FAIL (non-owner never fetched from the owner)"; exit 1; }
+printf '%s' "$non_owner_stats" | grep -q '"role":"fleet"' \
+    || { echo "verify: FAIL (fleet member reports wrong role)"; exit 1; }
+./target/release/tq submit --addr "$fleet_a" --shutdown > /dev/null 2>&1 || true
+./target/release/tq submit --addr "$fleet_b" --shutdown > /dev/null 2>&1 || true
+wait "$fleet_a_pid" \
+    || { echo "verify: FAIL (fleet node A unclean exit)"; exit 1; }
+wait "$fleet_b_pid" \
+    || { echo "verify: FAIL (fleet node B unclean exit)"; exit 1; }
+
+echo "==> fleet_load bench gate (redirect/peek/remote-owned counters nonzero)"
+TQ_BENCH_ITERS=1 cargo bench -q --offline -p tq-bench --bench fleet_load \
+    || { echo "verify: FAIL (fleet_load gates)"; exit 1; }
+
 echo "verify: OK"
