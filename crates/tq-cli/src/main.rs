@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! tq run     [--app wfs|img] [--scale tiny|small|paper]
-//! tq capture [--app …] [--scale …] --out FILE [--fuel N]
+//! tq capture [--app …] [--scale …] --out FILE [--fuel N] [--format v1|v2|v3]
 //! tq gprof   [--scale …] [--interval N] [--jobs N]
 //! tq tquad   [--scale …] [--interval N] [--exclude-stack] [--exclude-libs]
 //!            [--chart read|write] [--kernels a,b,c] [--width N] [--jobs N]
@@ -15,6 +15,11 @@
 //!            [--jobs N]
 //! tq phases  [--scale …] [--interval N] [--strategy cosine|interval] [--jobs N]
 //! tq intervals [--scale …] [--interval N] [--kernel NAME] [--gap N] [--jobs N]
+//!
+//! every profiling subcommand (gprof/tquad/quad/phases/intervals) also
+//! accepts [--capture FILE]: replay a `tq capture` file through the
+//! streaming reader (one decoded chunk at a time — works on captures
+//! larger than RAM) instead of building and running the application.
 //! tq disasm  [--routine NAME]
 //! tq serve   [--addr HOST:PORT] [--workers N] [--state-dir PATH]
 //!            [--cache-mb N] [--queue N] [--timeout-ms N] [--capture-fuel N]
@@ -142,18 +147,58 @@ fn vm_opt(args: &Args, default: tq_vm::VmOpt) -> Result<tq_vm::VmOpt, String> {
     }
 }
 
-/// Run `tool` over the application and hand it back full of data.
+/// Where a profiling subcommand gets its event stream: a live VM run over
+/// the rebuilt application, or a capture file written by `tq capture`.
+enum Source {
+    Live(App),
+    Capture(std::path::PathBuf),
+}
+
+/// `--capture FILE` replays an existing capture (no application build, no
+/// VM run); otherwise build the app named by `--app`/`--scale`.
+fn source_for(args: &Args) -> Result<Source, String> {
+    match args.get("capture") {
+        Some(path) => Ok(Source::Capture(path.into())),
+        None => app_for(args).map(Source::Live),
+    }
+}
+
+/// Run `tool` over the source and hand it back full of data.
 ///
-/// `jobs == 1` attaches the tool to a live VM run (the classic path).
-/// `jobs > 1` records the execution once, then shards the offline replay
-/// across that many threads — the resulting profile is byte-identical to
-/// the live run, just computed in parallel.
+/// Live source: `jobs == 1` attaches the tool to a live VM run (the
+/// classic path); `jobs > 1` records the execution once, then shards the
+/// offline replay across that many threads — the resulting profile is
+/// byte-identical to the live run, just computed in parallel.
+///
+/// Capture source: the file is opened with [`tq_trace::Trace::open_streaming`]
+/// and decoded one chunk at a time, so profiling a larger-than-RAM capture
+/// costs one chunk of decoded events per replay thread, never the whole
+/// stream. The profile is byte-identical to a live run of the same
+/// workload (`scripts/verify.sh` holds this gate).
 fn run_profiled<T: tq_vm::MergeTool + 'static>(
-    app: &App,
+    source: &Source,
     args: &Args,
     jobs: usize,
     tool: T,
 ) -> Result<T, String> {
+    let app = match source {
+        Source::Capture(path) => {
+            let streaming = tq_trace::Trace::open_streaming(path)
+                .map_err(|e| format!("open capture {}: {e}", path.display()))?;
+            let mut tool = tool;
+            if jobs > 1 {
+                streaming
+                    .replay_sharded(&mut tool, jobs)
+                    .map_err(|e| format!("sharded streaming replay failed: {e}"))?;
+            } else {
+                streaming
+                    .replay(&mut tool)
+                    .map_err(|e| format!("streaming replay failed: {e}"))?;
+            }
+            return Ok(tool);
+        }
+        Source::Live(app) => app,
+    };
     let mut vm = app.make_vm(vm_opt(args, tq_vm::VmOpt::Off)?)?;
     if jobs > 1 {
         let trace = {
@@ -233,10 +278,16 @@ fn usage() -> String {
      \u{20}               bytes — only faster; default off, `serve` defaults trace)\n\
      \u{20}               --jobs N (record once, shard the replay over N threads;\n\
      \u{20}               the profile is byte-identical to a sequential run)\n\
+     \u{20}               --capture FILE (gprof/tquad/quad/phases/intervals:\n\
+     \u{20}               replay an existing `tq capture` file via the streaming\n\
+     \u{20}               reader — one decoded chunk at a time, larger-than-RAM\n\
+     \u{20}               safe — instead of building and running the app)\n\
      \u{20}               --trace-out FILE (write a Chrome trace of this run's\n\
      \u{20}               internal spans; open in Perfetto) --no-obs (disable\n\
      \u{20}               the self-profiling layer)\n\
      capture options: --out FILE (required) --fuel N (0 = unbounded)\n\
+     \u{20}               --format v1|v2|v3 (on-disk trace format; default v3 —\n\
+     \u{20}               columnar, smallest, chunk-seekable)\n\
      tquad options:  --interval N --exclude-stack --exclude-libs --chart read|write\n\
      \u{20}               --kernels a,b,c --width N\n\
      quad options:   --exclude-stack --exclude-libs --dot PATH\n\
@@ -395,16 +446,32 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                 Err(tq_vm::VmError::FuelExhausted { .. }) if fuel.is_some() => {}
                 Err(e) => return Err(e.to_string().into()),
             }
-            let trace = vm
+            let format = match args.get("format").unwrap_or("v3") {
+                "v1" => tq_trace::TraceFormat::V1,
+                "v2" => tq_trace::TraceFormat::V2,
+                "v3" => tq_trace::TraceFormat::V3,
+                other => return Err(format!("unknown --format `{other}` (v1|v2|v3)").into()),
+            };
+            let mut trace = vm
                 .detach_tool::<tq_trace::TraceRecorder>(h)
                 .ok_or("internal error: detached tool had unexpected type")?
                 .into_trace();
+            // Index at capture time (v2/v3): the one sequential scan
+            // happens here, so later `--capture FILE --jobs N` replays and
+            // streaming readers never pay it. v1 keeps the index-less
+            // legacy layout.
+            if format != tq_trace::TraceFormat::V1 {
+                trace = trace
+                    .with_chunk_index(tq_trace::DEFAULT_CHUNKS)
+                    .map_err(|e| format!("chunk indexing failed: {e}"))?;
+            }
             trace
-                .save_to_path(std::path::Path::new(out))
+                .save_to_path_as(std::path::Path::new(out), format)
                 .map_err(|e| format!("write {out}: {e}"))?;
             let s = vm.stats();
+            let written = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
             println!(
-                "capture written to {out}: {} events, digest {}",
+                "capture written to {out}: {} events, {written} bytes, digest {}",
                 trace.events.len(),
                 trace.digest()
             );
@@ -414,11 +481,11 @@ fn run(argv: &[String]) -> Result<(), Failure> {
             );
         }
         "gprof" => {
-            let app = app_for(&args)?;
+            let src = source_for(&args)?;
             let interval = args.positive_u64_or("interval", 5_000)?;
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let p = run_profiled(
-                &app,
+                &src,
                 &args,
                 jobs,
                 GprofTool::new(GprofOptions {
@@ -430,12 +497,12 @@ fn run(argv: &[String]) -> Result<(), Failure> {
             println!("{}", p.into_profile().table("FLAT PROFILE").render());
         }
         "tquad" => {
-            let app = app_for(&args)?;
+            let src = source_for(&args)?;
             let interval = args.positive_u64_or("interval", 20_000)?;
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let include_stack = !args.has("exclude-stack");
             let profile = run_profiled(
-                &app,
+                &src,
                 &args,
                 jobs,
                 TquadTool::new(
@@ -477,11 +544,11 @@ fn run(argv: &[String]) -> Result<(), Failure> {
             );
         }
         "quad" => {
-            let app = app_for(&args)?;
+            let src = source_for(&args)?;
             let include_stack = !args.has("exclude-stack");
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let profile = run_profiled(
-                &app,
+                &src,
                 &args,
                 jobs,
                 QuadTool::new(QuadOptions {
@@ -521,11 +588,11 @@ fn run(argv: &[String]) -> Result<(), Failure> {
             }
         }
         "phases" => {
-            let app = app_for(&args)?;
+            let src = source_for(&args)?;
             let interval = args.positive_u64_or("interval", 2_000)?;
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let profile = run_profiled(
-                &app,
+                &src,
                 &args,
                 jobs,
                 TquadTool::new(
@@ -552,12 +619,12 @@ fn run(argv: &[String]) -> Result<(), Failure> {
             // "tQUAD is capable of providing the detailed information
             // about the exact time intervals in which a kernel is
             // communicating with the memory." (§V)
-            let app = app_for(&args)?;
+            let src = source_for(&args)?;
             let interval = args.positive_u64_or("interval", 2_000)?;
             let gap = args.u64_or("gap", 0)?; // zero gap is meaningful: no interval merging
             let jobs = args.positive_u64_or("jobs", 1)? as usize;
             let profile = run_profiled(
-                &app,
+                &src,
                 &args,
                 jobs,
                 TquadTool::new(

@@ -32,4 +32,4 @@ pub use check::{check, CompileError};
 pub use codegen::{compile, Compiled};
 pub use interp::{CallOutcome, Interp, InterpError, Value};
 pub use layout::{GlobalLayout, GlobalSlot};
-pub use opt::{fold_expr, fold_module};
+pub use opt::{fold_expr, fold_module, fold_module_with_stats, FoldStats};

@@ -17,15 +17,51 @@
 use crate::ast::*;
 use crate::interp::{eval_bin, Value};
 
+/// What one [`fold_module`] pass actually did. The opt-level ablation
+/// reads these to tell "the pass found nothing" apart from "the pass
+/// never fired" — on the wfs kernels every dimension is a runtime load
+/// from the `cfg` global, so a near-zero count is the *correct* result
+/// there, and the ablation must be able to assert that at the IR level
+/// instead of inferring it from an unchanged profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Operator applications (binary or unary) evaluated to a constant.
+    pub consts_folded: u64,
+    /// Integer identity rewrites applied (`x+0`, `x*1`, `x^0`, `x<<0`, …).
+    pub identities_applied: u64,
+    /// `if` statements with a constant condition replaced by one arm.
+    pub branches_eliminated: u64,
+    /// Loops removed: `while 0` bodies and zero-trip `for` ranges.
+    pub loops_eliminated: u64,
+}
+
+impl FoldStats {
+    /// Total rewrites of any kind; zero means the pass provably changed
+    /// nothing.
+    pub fn total(&self) -> u64 {
+        self.consts_folded
+            + self.identities_applied
+            + self.branches_eliminated
+            + self.loops_eliminated
+    }
+}
+
 /// Fold a whole module. The input is unchanged; the result is
 /// semantically identical (same memory effects and results, typically
 /// fewer instructions once compiled).
 pub fn fold_module(module: &Module) -> Module {
+    fold_module_with_stats(module).0
+}
+
+/// [`fold_module`], also reporting what the pass did (for the `-O0` vs
+/// `-O1` ablation and its IR-level assertions).
+pub fn fold_module_with_stats(module: &Module) -> (Module, FoldStats) {
+    let mut stats = FoldStats::default();
     let mut out = module.clone();
     for f in &mut out.functions {
-        f.body = fold_block(std::mem::take(&mut f.body));
+        f.body = fold_block(std::mem::take(&mut f.body), &mut stats);
     }
-    out
+    (out, stats)
 }
 
 fn as_const(e: &Expr) -> Option<Value> {
@@ -45,29 +81,40 @@ fn from_value(v: Value) -> Expr {
 
 /// Fold one expression bottom-up.
 pub fn fold_expr(e: Expr) -> Expr {
+    fold_expr_st(e, &mut FoldStats::default())
+}
+
+fn fold_expr_st(e: Expr, st: &mut FoldStats) -> Expr {
     match e {
         Expr::Bin { op, lhs, rhs } => {
-            let l = fold_expr(*lhs);
-            let r = fold_expr(*rhs);
+            let l = fold_expr_st(*lhs, st);
+            let r = fold_expr_st(*rhs, st);
             if let (Some(a), Some(b)) = (as_const(&l), as_const(&r)) {
                 // NaN-producing float folds are still exact: the constant
                 // carries the same bits the runtime op would produce.
+                st.consts_folded += 1;
                 return from_value(eval_bin(op, a, b));
             }
             // Integer identities that drop only the constant operand
             // (never a side-effect-bearing subtree). Float identities are
             // deliberately omitted: x + 0.0 is NOT identity for -0.0.
             match (op, &l, &r) {
-                (BinOp::Add, _, Expr::ConstI(0)) => return l,
-                (BinOp::Add, Expr::ConstI(0), _) => return r,
-                (BinOp::Sub, _, Expr::ConstI(0)) => return l,
-                (BinOp::Mul, _, Expr::ConstI(1)) => return l,
-                (BinOp::Mul, Expr::ConstI(1), _) => return r,
-                (BinOp::Or, _, Expr::ConstI(0)) => return l,
-                (BinOp::Or, Expr::ConstI(0), _) => return r,
-                (BinOp::Xor, _, Expr::ConstI(0)) => return l,
-                (BinOp::Xor, Expr::ConstI(0), _) => return r,
-                (BinOp::Shl | BinOp::Shr | BinOp::Sra, _, Expr::ConstI(0)) => return l,
+                (BinOp::Add, _, Expr::ConstI(0))
+                | (BinOp::Sub, _, Expr::ConstI(0))
+                | (BinOp::Mul, _, Expr::ConstI(1))
+                | (BinOp::Or, _, Expr::ConstI(0))
+                | (BinOp::Xor, _, Expr::ConstI(0))
+                | (BinOp::Shl | BinOp::Shr | BinOp::Sra, _, Expr::ConstI(0)) => {
+                    st.identities_applied += 1;
+                    return l;
+                }
+                (BinOp::Add, Expr::ConstI(0), _)
+                | (BinOp::Mul, Expr::ConstI(1), _)
+                | (BinOp::Or, Expr::ConstI(0), _)
+                | (BinOp::Xor, Expr::ConstI(0), _) => {
+                    st.identities_applied += 1;
+                    return r;
+                }
                 _ => {}
             }
             Expr::Bin {
@@ -77,7 +124,7 @@ pub fn fold_expr(e: Expr) -> Expr {
             }
         }
         Expr::Un { op, e } => {
-            let inner = fold_expr(*e);
+            let inner = fold_expr_st(*e, st);
             if let Some(v) = as_const(&inner) {
                 let folded = match (op, v) {
                     (UnOp::Neg, Value::I(x)) => Some(Value::I(x.wrapping_neg())),
@@ -91,6 +138,7 @@ pub fn fold_expr(e: Expr) -> Expr {
                     _ => None,
                 };
                 if let Some(v) = folded {
+                    st.consts_folded += 1;
                     return from_value(v);
                 }
             }
@@ -100,18 +148,18 @@ pub fn fold_expr(e: Expr) -> Expr {
             }
         }
         Expr::Load { base, elem, idx } => Expr::Load {
-            base: Box::new(fold_expr(*base)),
+            base: Box::new(fold_expr_st(*base, st)),
             elem,
-            idx: Box::new(fold_expr(*idx)),
+            idx: Box::new(fold_expr_st(*idx, st)),
         },
         leaf @ (Expr::ConstI(_) | Expr::ConstF(_) | Expr::Var(_) | Expr::GlobalAddr(_)) => leaf,
     }
 }
 
-fn fold_block(body: Vec<Stmt>) -> Vec<Stmt> {
+fn fold_block(body: Vec<Stmt>, st: &mut FoldStats) -> Vec<Stmt> {
     let mut out = Vec::with_capacity(body.len());
     for s in body {
-        match fold_stmt(s) {
+        match fold_stmt(s, st) {
             Folded::Keep(s) => out.push(s),
             Folded::Splice(stmts) => out.extend(stmts),
             Folded::Drop => {}
@@ -126,16 +174,16 @@ enum Folded {
     Drop,
 }
 
-fn fold_stmt(s: Stmt) -> Folded {
+fn fold_stmt(s: Stmt, st: &mut FoldStats) -> Folded {
     Folded::Keep(match s {
         Stmt::Let { var, ty, init } => Stmt::Let {
             var,
             ty,
-            init: fold_expr(init),
+            init: fold_expr_st(init, st),
         },
         Stmt::Assign { var, e } => Stmt::Assign {
             var,
-            e: fold_expr(e),
+            e: fold_expr_st(e, st),
         },
         Stmt::Store {
             base,
@@ -143,41 +191,44 @@ fn fold_stmt(s: Stmt) -> Folded {
             idx,
             val,
         } => Stmt::Store {
-            base: fold_expr(base),
+            base: fold_expr_st(base, st),
             elem,
-            idx: fold_expr(idx),
-            val: fold_expr(val),
+            idx: fold_expr_st(idx, st),
+            val: fold_expr_st(val, st),
         },
         Stmt::If { cond, then, els } => {
-            let cond = fold_expr(cond);
+            let cond = fold_expr_st(cond, st);
             if let Expr::ConstI(c) = cond {
                 // Dead-branch elimination.
+                st.branches_eliminated += 1;
                 let taken = if c != 0 { then } else { els };
-                return Folded::Splice(fold_block(taken));
+                return Folded::Splice(fold_block(taken, st));
             }
             Stmt::If {
                 cond,
-                then: fold_block(then),
-                els: fold_block(els),
+                then: fold_block(then, st),
+                els: fold_block(els, st),
             }
         }
         Stmt::While { cond, body } => {
-            let cond = fold_expr(cond);
+            let cond = fold_expr_st(cond, st);
             if matches!(cond, Expr::ConstI(0)) {
+                st.loops_eliminated += 1;
                 return Folded::Drop;
             }
             Stmt::While {
                 cond,
-                body: fold_block(body),
+                body: fold_block(body, st),
             }
         }
         Stmt::For { var, lo, hi, body } => {
-            let lo = fold_expr(lo);
-            let hi = fold_expr(hi);
+            let lo = fold_expr_st(lo, st);
+            let hi = fold_expr_st(hi, st);
             if let (Expr::ConstI(a), Expr::ConstI(b)) = (&lo, &hi) {
                 if a >= b {
                     // Zero-trip loop still defines its variable (the
                     // compiled form stores `lo` before the bound check).
+                    st.loops_eliminated += 1;
                     return Folded::Keep(Stmt::Let {
                         var,
                         ty: Ty::I64,
@@ -189,29 +240,29 @@ fn fold_stmt(s: Stmt) -> Folded {
                 var,
                 lo,
                 hi,
-                body: fold_block(body),
+                body: fold_block(body, st),
             }
         }
         Stmt::Call { func, args, ret } => Stmt::Call {
             func,
-            args: args.into_iter().map(fold_expr).collect(),
+            args: args.into_iter().map(|a| fold_expr_st(a, st)).collect(),
             ret,
         },
         Stmt::Host { func, args, ret } => Stmt::Host {
             func,
-            args: args.into_iter().map(fold_expr).collect(),
+            args: args.into_iter().map(|a| fold_expr_st(a, st)).collect(),
             ret,
         },
         Stmt::MemCpy { dst, src, bytes } => Stmt::MemCpy {
-            dst: fold_expr(dst),
-            src: fold_expr(src),
-            bytes: fold_expr(bytes),
+            dst: fold_expr_st(dst, st),
+            src: fold_expr_st(src, st),
+            bytes: fold_expr_st(bytes, st),
         },
         Stmt::Prefetch { base, idx } => Stmt::Prefetch {
-            base: fold_expr(base),
-            idx: fold_expr(idx),
+            base: fold_expr_st(base, st),
+            idx: fold_expr_st(idx, st),
         },
-        Stmt::Return(e) => Stmt::Return(e.map(fold_expr)),
+        Stmt::Return(e) => Stmt::Return(e.map(|e| fold_expr_st(e, st))),
         Stmt::Break => Stmt::Break,
         Stmt::Continue => Stmt::Continue,
     })
@@ -276,6 +327,34 @@ mod tests {
         let m = tq_wfs_placeholder();
         let folded = fold_module(&m);
         crate::check(&folded).expect("folded module still checks");
+    }
+
+    #[test]
+    fn stats_count_each_rewrite_kind() {
+        let m = {
+            let mut m = Module::new("t");
+            m.func(Function::new("main").body(vec![
+                leti("a", add(ci(2), ci(3))),                        // consts_folded
+                leti("b", add(v("a"), ci(0))),                       // identities_applied
+                if_else(ci(1), vec![leti("c", ci(1))], vec![]),      // branch
+                while_(ci(0), vec![leti("dead", ci(9))]),            // loop dropped
+                for_("i", ci(5), ci(5), vec![leti("dead2", ci(9))]), // zero-trip
+            ]));
+            m
+        };
+        let (folded, stats) = fold_module_with_stats(&m);
+        assert_eq!(stats.consts_folded, 1, "{stats:?}");
+        assert_eq!(stats.identities_applied, 1, "{stats:?}");
+        assert_eq!(stats.branches_eliminated, 1, "{stats:?}");
+        assert_eq!(stats.loops_eliminated, 2, "{stats:?}");
+        assert_eq!(stats.total(), 5);
+        crate::check(&folded).expect("still checks");
+
+        // An already-minimal module reports exactly zero rewrites — the
+        // signal the opt-level ablation relies on to distinguish
+        // "nothing to fold" from "pass never ran".
+        let (_, none) = fold_module_with_stats(&fold_module(&m));
+        assert_eq!(none, FoldStats::default(), "second pass finds nothing");
     }
 
     /// A small stand-in (tq-wfs depends on this crate, not vice versa).

@@ -130,6 +130,23 @@ impl CaptureStore {
         }
     }
 
+    /// The *encoded* capture image for `digest`, read straight off the
+    /// disk tier — no decode, no memory-LRU churn. This is the cheap serve
+    /// path for fleet peeks: the bytes on disk are exactly what the peer
+    /// will feed `Trace::load` (or stream chunk-by-chunk), so serving them
+    /// skips decode + re-encode entirely and keeps the columnar TQTRACE3
+    /// form's size advantage on the wire. `None` when there is no disk
+    /// tier, the file is absent, or it does not look like a capture (a
+    /// torn write must not be handed to a peer as truth).
+    pub fn peek_bytes(&self, digest: &str) -> Option<Vec<u8>> {
+        // Same fault point as the other disk-tier reads: an injected IO
+        // failure degrades to the decode-and-reencode path, never a panic.
+        tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError).ok()?;
+        let path = self.capture_path(digest)?;
+        let bytes = std::fs::read(&path).ok()?;
+        bytes.starts_with(b"TQTRACE").then_some(bytes)
+    }
+
     /// Fetch the capture for `digest` only if some tier already holds it —
     /// never records. This is the fleet `peek` path for digests this node
     /// does *not* own: a non-owner may hand out what it happens to have,
@@ -389,6 +406,29 @@ mod tests {
         let (t, s) = store.get_if_cached("k").expect("cached");
         assert_eq!(s, CaptureSource::Memory);
         assert_eq!(t.digest(), tiny_trace(4).digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_bytes_serves_the_encoded_disk_image_without_decoding() {
+        let dir = std::env::temp_dir().join(format!("tq-profd-peekbytes-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CaptureStore::new(Some(dir.clone()), 1 << 20);
+        assert!(store.peek_bytes("missing").is_none());
+        let t = tiny_trace(16);
+        store.get_or_record("k", || Ok(t.clone())).unwrap();
+        let bytes = store.peek_bytes("k").expect("disk image");
+        // The raw image is exactly what the recorder persisted: it loads
+        // back to the same digest without this node decoding it.
+        let back = Trace::load(&mut bytes.as_slice()).expect("valid capture");
+        assert_eq!(back.digest(), t.digest());
+        // A torn or garbage file is refused, never handed to a peer.
+        std::fs::write(dir.join("captures").join("bad.capture"), b"not a capture").unwrap();
+        assert!(store.peek_bytes("bad").is_none());
+        // No disk tier, no raw image (the caller falls back to decoding).
+        let mem = CaptureStore::new(None, 1 << 20);
+        mem.get_or_record("k", || Ok(tiny_trace(4))).unwrap();
+        assert!(mem.peek_bytes("k").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,7 +14,7 @@
 //! around dead or shedding peers.
 
 use crate::apps::{AppId, Scale, Workload};
-use crate::protocol::{JobSpec, Request, Response};
+use crate::protocol::{hex_decode, JobSpec, Request, Response, PEEK_FRAME_BYTES};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -349,6 +349,96 @@ impl Client {
     /// Request a graceful shutdown.
     pub fn shutdown(&mut self) -> Result<Response, String> {
         self.request(&Request::Shutdown)
+    }
+
+    /// Fetch the encoded capture for `digest` via a chunked `peek`:
+    /// a header line declaring `frames`/`total_bytes`, then that many
+    /// bounded frame lines ([`PEEK_FRAME_BYTES`] raw bytes each). A legacy
+    /// server that predates the chunked form ignores the flag and answers
+    /// with a single `capture_hex` line, which is accepted too, so mixed
+    /// fleets keep working during a rolling upgrade.
+    ///
+    /// `Ok(None)` is a clean miss (the peer does not have the capture);
+    /// `Err` is a transport or protocol failure.
+    pub fn peek_fetch(
+        &mut self,
+        app: AppId,
+        scale: Scale,
+        digest: &str,
+    ) -> Result<Option<Vec<u8>>, String> {
+        let header = self.request(&Request::Peek {
+            app,
+            scale,
+            digest: digest.to_string(),
+            chunked: true,
+        })?;
+        if !header.is_ok() {
+            return Err(header.error().unwrap_or("unknown server error").to_string());
+        }
+        if header.0.get("found").and_then(Json::as_bool) != Some(true) {
+            return Ok(None);
+        }
+        // The server echoes the digest it answered for; a mismatch means
+        // the response belongs to some other request and is discarded.
+        if header.0.get("digest").and_then(Json::as_str) != Some(digest) {
+            return Err("peek response digest mismatch".into());
+        }
+        if let Some(hex) = header.0.get("capture_hex").and_then(Json::as_str) {
+            // Legacy single-line answer from a pre-chunking server.
+            return hex_decode(hex)
+                .map(Some)
+                .ok_or_else(|| "peek capture_hex is not valid hex".into());
+        }
+        if header.0.get("chunked").and_then(Json::as_bool) != Some(true) {
+            return Err("peek response carries neither capture_hex nor chunked frames".into());
+        }
+        let frames = header
+            .0
+            .get("frames")
+            .and_then(Json::as_u64)
+            .ok_or("chunked peek header missing `frames`")? as usize;
+        let total = header
+            .0
+            .get("total_bytes")
+            .and_then(Json::as_u64)
+            .ok_or("chunked peek header missing `total_bytes`")? as usize;
+        // The declared sizes must be mutually consistent before any
+        // allocation happens — a lying header cannot make us reserve more
+        // than the frames it is about to send could ever fill.
+        if total.div_ceil(PEEK_FRAME_BYTES).max(1) != frames.max(1) {
+            return Err(format!(
+                "chunked peek header inconsistent: {frames} frames for {total} bytes"
+            ));
+        }
+        let mut bytes = Vec::with_capacity(total);
+        for i in 0..frames {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err(format!("server closed mid-peek at frame {i}/{frames}")),
+                Ok(_) => {}
+                Err(e) => return Err(format!("recv frame {i}: {e}")),
+            }
+            let frame = Json::parse(line.trim()).map_err(|e| format!("frame {i}: {e}"))?;
+            if frame.get("frame").and_then(Json::as_u64) != Some(i as u64) {
+                return Err(format!("peek frames out of order at frame {i}"));
+            }
+            let hex = frame
+                .get("data_hex")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("frame {i} missing `data_hex`"))?;
+            let data = hex_decode(hex).ok_or_else(|| format!("frame {i} is not valid hex"))?;
+            if data.len() > PEEK_FRAME_BYTES || bytes.len() + data.len() > total {
+                return Err(format!("frame {i} overruns the declared transfer size"));
+            }
+            bytes.extend_from_slice(&data);
+        }
+        if bytes.len() != total {
+            return Err(format!(
+                "chunked peek delivered {} bytes, header declared {total}",
+                bytes.len()
+            ));
+        }
+        Ok(Some(bytes))
     }
 }
 

@@ -21,7 +21,6 @@
 
 use crate::apps::{AppId, Scale};
 use crate::client::{Client, ClientConfig, RetryPolicy};
-use crate::protocol::{hex_decode, Request};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -293,23 +292,10 @@ impl FleetState {
                 return None;
             }
         };
-        let resp = client
-            .request(&Request::Peek {
-                app,
-                scale,
-                digest: digest.to_string(),
-            })
-            .ok()?;
-        if !resp.is_ok() || resp.0.get("found").and_then(Json::as_bool) != Some(true) {
-            return None;
-        }
-        // The owner echoes the digest it answered for; a mismatch means
-        // the response belongs to some other request and is discarded.
-        if resp.0.get("digest").and_then(Json::as_str) != Some(digest) {
-            return None;
-        }
-        let hex = resp.0.get("capture_hex").and_then(Json::as_str)?;
-        let bytes = hex_decode(hex)?;
+        // Chunked transfer: bounded frame lines instead of one hex line
+        // holding 2× the capture (`Client::peek_fetch` also accepts the
+        // legacy single-line answer from a pre-chunking owner).
+        let bytes = client.peek_fetch(app, scale, digest).ok()??;
         // `Trace::load` validates framing and checksums, so a payload
         // mangled in transit fails here rather than poisoning the cache.
         Trace::load(&mut bytes.as_slice()).ok()

@@ -56,7 +56,10 @@ pub use apps::{AppId, Scale, Workload};
 pub use cache::CaptureStore;
 pub use client::{Client, ClientConfig, FleetClient, RetryPolicy, RetryTrail};
 pub use fleet::{FleetConfig, FleetState};
-pub use protocol::{JobSpec, Request, Response, StackPolicy, ToolId};
+pub use protocol::{
+    hex_decode, hex_encode, JobSpec, Request, Response, StackPolicy, ToolId, PEEK_FRAME_BYTES,
+    PEEK_SINGLE_LINE_MAX,
+};
 pub use server::{Server, ServerConfig};
 pub use stats::ServiceStats;
 

@@ -217,6 +217,15 @@ pub enum Request {
         /// The content address being fetched; the receiver verifies it
         /// matches its own digest for `(app, scale)`.
         digest: String,
+        /// Ask for the length-framed multi-line transfer instead of one
+        /// giant `capture_hex` line: a header carrying `frames` and
+        /// `total_bytes`, then that many bounded frame lines (at most
+        /// [`PEEK_FRAME_BYTES`] raw bytes each). Large captures (TQTRACE3
+        /// files of real workloads) must use this — the single-line form
+        /// is capped at [`PEEK_SINGLE_LINE_MAX`] and refused above it. A
+        /// server that predates the field ignores it and answers with the
+        /// legacy single line, which chunked-aware clients still accept.
+        chunked: bool,
     },
     /// Service statistics snapshot.
     Stats,
@@ -243,13 +252,25 @@ impl Request {
                 obj.render()
             }
             Request::Route { spec } => spec.to_json_typed("route").render(),
-            Request::Peek { app, scale, digest } => Json::obj([
-                ("type", Json::from("peek")),
-                ("app", Json::from(app.as_str())),
-                ("scale", Json::from(scale.as_str())),
-                ("digest", Json::from(digest.as_str())),
-            ])
-            .render(),
+            Request::Peek {
+                app,
+                scale,
+                digest,
+                chunked,
+            } => {
+                let mut obj = Json::obj([
+                    ("type", Json::from("peek")),
+                    ("app", Json::from(app.as_str())),
+                    ("scale", Json::from(scale.as_str())),
+                    ("digest", Json::from(digest.as_str())),
+                ]);
+                // Only written when set, so the wire form old servers see
+                // is unchanged.
+                if *chunked {
+                    obj.set("chunked", Json::from(true));
+                }
+                obj.render()
+            }
         }
     }
 
@@ -276,6 +297,7 @@ impl Request {
                     .and_then(Json::as_str)
                     .ok_or("peek requires `digest`")?
                     .to_string(),
+                chunked: v.get("chunked").and_then(Json::as_bool).unwrap_or(false),
             }),
             Some(other) => Err(format!("unknown request type `{other}`")),
             None => Err("request missing `type`".into()),
@@ -365,6 +387,20 @@ impl Response {
     }
 }
 
+/// Raw capture bytes per frame of a chunked `peek` transfer. Hex doubles
+/// it on the wire, so one frame line is ~48 KiB plus framing — bounded on
+/// both sides and symmetric with the server's 64 KiB request-line cap.
+/// Neither peer ever materialises more than one frame's hex at a time, so
+/// transferring a multi-GB TQTRACE3 capture costs the capture bytes plus
+/// one frame, not 3× the capture (bytes + full hex + line buffer).
+pub const PEEK_FRAME_BYTES: usize = 24 * 1024;
+
+/// Largest capture (raw bytes) the legacy single-line `peek` form will
+/// hex-encode into one response line. Anything larger is refused with a
+/// clean error telling the client to use a chunked peek — never an
+/// unbounded line that forces the receiver to buffer 2× the capture.
+pub const PEEK_SINGLE_LINE_MAX: usize = 4 << 20;
+
 /// Lowercase-hex encoding for binary payloads carried inside the JSON
 /// line protocol (`peek` capture transfers). Hex doubles the size but
 /// survives any JSON string escaping untouched, keeps the line protocol
@@ -431,6 +467,13 @@ mod tests {
                 app: AppId::Wfs,
                 scale: Scale::Tiny,
                 digest: "00112233445566778899aabbccddeeff".into(),
+                chunked: false,
+            },
+            Request::Peek {
+                app: AppId::Img,
+                scale: Scale::Small,
+                digest: "ffeeddccbbaa99887766554433221100".into(),
+                chunked: true,
             },
         ] {
             let line = req.encode();
@@ -496,6 +539,26 @@ mod tests {
     fn peek_decode_requires_digest() {
         assert!(Request::decode(r#"{"type":"peek","app":"wfs","scale":"tiny"}"#).is_err());
         assert!(Request::decode(r#"{"type":"peek","digest":"ab","app":"nope"}"#).is_err());
+    }
+
+    #[test]
+    fn peek_chunked_defaults_off_and_stays_off_the_wire() {
+        // Requests from clients that predate the field decode as legacy
+        // single-line peeks…
+        let legacy = Request::decode(r#"{"type":"peek","digest":"ab"}"#).unwrap();
+        let Request::Peek { chunked, .. } = legacy else {
+            panic!("peek")
+        };
+        assert!(!chunked, "absent flag means legacy transfer");
+        // …and a legacy peek encodes without the field, so old servers
+        // never see an unknown key carrying `false`.
+        let req = Request::Peek {
+            app: AppId::Wfs,
+            scale: Scale::Tiny,
+            digest: "ab".into(),
+            chunked: false,
+        };
+        assert!(!req.encode().contains("chunked"));
     }
 
     #[test]

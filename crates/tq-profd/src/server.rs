@@ -32,7 +32,9 @@ use crate::apps::{AppId, Scale, Workload};
 use crate::cache::{CaptureSource, CaptureStore};
 use crate::exec::{record_capture_opt, run_tool};
 use crate::fleet::{FleetConfig, FleetState};
-use crate::protocol::{hex_encode, JobSpec, Request, Response};
+use crate::protocol::{
+    hex_encode, JobSpec, Request, Response, PEEK_FRAME_BYTES, PEEK_SINGLE_LINE_MAX,
+};
 use crate::stats::ServiceStats;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -460,8 +462,9 @@ impl Shared {
         Ok((json, false))
     }
 
-    /// Answer a fleet sibling's `peek` for a capture. The rules keep
-    /// recording work where the ring says it belongs:
+    /// The encoded capture bytes a `peek` for `digest` should serve, or
+    /// `Ok(None)` for a clean miss, or `Err(response)` for a refusal. The
+    /// rules keep recording work where the ring says it belongs:
     ///
     /// * this node **owns** the digest → serve from cache, recording on
     ///   demand if cold (that recording is the fleet's one recording for
@@ -469,27 +472,41 @@ impl Shared {
     /// * this node does **not** own it → answer only if the capture
     ///   happens to be cached; never spend a VM run on another node's
     ///   keyspace.
-    fn handle_peek(&self, app: AppId, scale: Scale, digest: String) -> Response {
+    ///
+    /// When the disk tier holds the capture, its bytes are served as-is
+    /// (one `fs::read`, no decode, no re-encode) — the cheap path for
+    /// TQTRACE3-sized captures.
+    fn peek_capture_bytes(
+        &self,
+        app: AppId,
+        scale: Scale,
+        digest: &str,
+    ) -> Result<Option<Vec<u8>>, Response> {
         // Validate the address: a peek answered for the wrong digest
         // would poison the requester's cache.
         let (expected, mut prebuilt) = self.digest_for(app, scale);
         if expected != digest {
-            return Response::err(format!(
+            return Err(Response::err(format!(
                 "peek digest mismatch: {}/{} addresses {expected}",
                 app.as_str(),
                 scale.as_str()
-            ));
+            )));
+        }
+        if let Some(bytes) = self.store.peek_bytes(digest) {
+            lock(&self.stats).capture_disk_hits += 1;
+            obs::capture_hits().inc();
+            return Ok(Some(bytes));
         }
         let owned = self
             .fleet
             .as_ref()
-            .map(|f| f.is_owner(&digest))
+            .map(|f| f.is_owner(digest))
             .unwrap_or(true);
         let trace = if owned {
             let fuel = self.config.capture_fuel;
             let vm_opt = self.config.vm_opt;
             let mut capture_stats = None;
-            let recorded = self.store.get_or_record(&digest, || {
+            let recorded = self.store.get_or_record(digest, || {
                 let w = prebuilt
                     .take()
                     .unwrap_or_else(|| Workload::build(app, scale));
@@ -517,16 +534,44 @@ impl Shared {
                     }
                     Some(trace)
                 }
-                Err(e) => return Response::err(format!("peek recording failed: {e}")),
+                Err(e) => return Err(Response::err(format!("peek recording failed: {e}"))),
             }
         } else {
-            self.store.get_if_cached(&digest).map(|(t, _)| t)
+            self.store.get_if_cached(digest).map(|(t, _)| t)
         };
         match trace {
             Some(trace) => {
                 let mut bytes = Vec::new();
-                if let Err(e) = trace.save(&mut bytes) {
-                    return Response::err(format!("peek serialization failed: {e}"));
+                trace
+                    .save(&mut bytes)
+                    .map_err(|e| Response::err(format!("peek serialization failed: {e}")))?;
+                Ok(Some(bytes))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Answer a legacy single-line `peek`. Captures over
+    /// [`PEEK_SINGLE_LINE_MAX`] are refused with a clean error naming the
+    /// chunked form — hex-doubling a huge capture into one response line
+    /// would cost 2× its size on each side and an unbounded line on the
+    /// wire.
+    fn handle_peek(&self, app: AppId, scale: Scale, digest: String) -> Response {
+        match self.peek_capture_bytes(app, scale, &digest) {
+            Err(resp) => resp,
+            Ok(None) => {
+                if let Some(f) = &self.fleet {
+                    f.note_peek_missed();
+                }
+                Response::ok([("found", Json::from(false)), ("digest", Json::from(digest))])
+            }
+            Ok(Some(bytes)) => {
+                if bytes.len() > PEEK_SINGLE_LINE_MAX {
+                    return Response::err(format!(
+                        "capture is {} bytes, over the {PEEK_SINGLE_LINE_MAX}-byte \
+                         single-line peek cap; request a chunked peek",
+                        bytes.len()
+                    ));
                 }
                 if let Some(f) = &self.fleet {
                     f.note_peek_served();
@@ -537,13 +582,65 @@ impl Shared {
                     ("capture_hex", Json::from(hex_encode(&bytes))),
                 ])
             }
-            None => {
+        }
+    }
+
+    /// Answer a chunked `peek` directly on the connection: a header line
+    /// declaring `frames` and `total_bytes`, then that many frame lines of
+    /// at most [`PEEK_FRAME_BYTES`] raw bytes each. Only one frame's hex
+    /// exists at a time on this side, so serving a capture costs its byte
+    /// size, not 3× it. An IO error aborts the connection (the client
+    /// counts the failed fetch and falls back to recording locally).
+    fn stream_peek(
+        &self,
+        writer: &mut impl Write,
+        app: AppId,
+        scale: Scale,
+        digest: String,
+    ) -> std::io::Result<()> {
+        let (header, bytes) = match self.peek_capture_bytes(app, scale, &digest) {
+            Err(resp) => (resp, None),
+            Ok(None) => {
                 if let Some(f) = &self.fleet {
                     f.note_peek_missed();
                 }
-                Response::ok([("found", Json::from(false)), ("digest", Json::from(digest))])
+                (
+                    Response::ok([("found", Json::from(false)), ("digest", Json::from(digest))]),
+                    None,
+                )
+            }
+            Ok(Some(bytes)) => {
+                if let Some(f) = &self.fleet {
+                    f.note_peek_served();
+                }
+                let header = Response::ok([
+                    ("found", Json::from(true)),
+                    ("digest", Json::from(digest)),
+                    ("chunked", Json::from(true)),
+                    (
+                        "frames",
+                        Json::from(bytes.len().div_ceil(PEEK_FRAME_BYTES) as u64),
+                    ),
+                    ("total_bytes", Json::from(bytes.len() as u64)),
+                ]);
+                (header, Some(bytes))
+            }
+        };
+        let mut line = header.encode();
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+        if let Some(bytes) = bytes {
+            for (i, frame) in bytes.chunks(PEEK_FRAME_BYTES).enumerate() {
+                let mut line = Json::obj([
+                    ("frame", Json::from(i as u64)),
+                    ("data_hex", Json::from(hex_encode(frame))),
+                ])
+                .render();
+                line.push('\n');
+                writer.write_all(line.as_bytes())?;
             }
         }
+        writer.flush()
     }
 
     fn stats_json(&self) -> Json {
@@ -632,7 +729,14 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
             false,
         ),
         Request::Stats => (Response::ok([("stats", shared.stats_json())]), false),
-        Request::Peek { app, scale, digest } => (shared.handle_peek(app, scale, digest), false),
+        // `chunked: true` never reaches here — connection_loop intercepts it
+        // and streams the frames straight onto the socket.
+        Request::Peek {
+            app,
+            scale,
+            digest,
+            chunked: _,
+        } => (shared.handle_peek(app, scale, digest), false),
         Request::Route { spec } => {
             let (digest, _) = shared.digest_for(spec.app, spec.scale);
             let (owner, self_name) = match &shared.fleet {
@@ -774,6 +878,19 @@ fn connection_loop(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
         // after the bytes arrived and before any work happens.
         tq_faults::sleep_if(tq_faults::FaultPoint::ReadStall);
         let (response, stop) = match Request::decode(&line) {
+            // Chunked peeks write a multi-line response (header + frames)
+            // straight onto the socket instead of the one-line path below.
+            Ok(Request::Peek {
+                app,
+                scale,
+                digest,
+                chunked: true,
+            }) => {
+                if shared.stream_peek(&mut writer, app, scale, digest).is_err() {
+                    return;
+                }
+                continue;
+            }
             Ok(req) => handle_request(&shared, addr, req),
             Err(e) => (Response::err(format!("bad request: {e}")), false),
         };

@@ -197,6 +197,66 @@ fn fleet_client_routes_to_the_owner() {
     shutdown_all(&addrs, servers);
 }
 
+/// A chunked peek delivers the exact same capture bytes as the legacy
+/// single-line form, split into bounded frames instead of one hex line
+/// holding 2× the capture. Both forms run against the same server, so the
+/// second answer is also the disk/memory-cache fast path.
+#[test]
+fn chunked_peek_matches_the_legacy_single_line_transfer() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+    let digest = Workload::build(AppId::Wfs, Scale::Tiny).digest();
+
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Legacy single-line form first (this records the capture).
+    let resp = client
+        .request(&Request::Peek {
+            app: AppId::Wfs,
+            scale: Scale::Tiny,
+            digest: digest.clone(),
+            chunked: false,
+        })
+        .expect("legacy peek");
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.0.get("found").and_then(Json::as_bool), Some(true));
+    let hex = resp
+        .0
+        .get("capture_hex")
+        .and_then(Json::as_str)
+        .expect("capture_hex");
+    let legacy = tq_profd::hex_decode(hex).expect("valid hex");
+
+    // Chunked form over the same connection.
+    let chunked = client
+        .peek_fetch(AppId::Wfs, Scale::Tiny, &digest)
+        .expect("chunked peek")
+        .expect("capture found");
+    assert_eq!(chunked, legacy, "both forms deliver identical bytes");
+    assert!(chunked.starts_with(b"TQTRACE"), "framed as a trace");
+
+    // Both decode to the same trace, and the connection survives the
+    // multi-line exchange (a follow-up request still works).
+    let t1 = tq_trace::Trace::load(&mut legacy.as_slice()).expect("legacy loads");
+    let t2 = tq_trace::Trace::load(&mut chunked.as_slice()).expect("chunked loads");
+    assert_eq!(t1.digest(), t2.digest());
+    assert!(client.ping().expect("ping after peek").is_ok());
+
+    // A miss (wrong digest) is a clean error, not a hang.
+    let err = client
+        .peek_fetch(AppId::Wfs, Scale::Tiny, "not-a-digest")
+        .expect_err("digest mismatch refused");
+    assert!(err.contains("mismatch"), "{err}");
+
+    let _ = client.shutdown();
+    server.join().expect("clean join");
+}
+
 /// A server with no peers serves alone: `role` says so, and there is no
 /// `fleet` stats block to mislead dashboards.
 #[test]

@@ -25,6 +25,16 @@ use tq_vm::{MergeTool, ShardContext};
 /// the event stream.
 pub const DEFAULT_CHUNKS: usize = 64;
 
+/// Event index at which chunk `k` of `n_chunks` begins:
+/// `k * total / n_chunks`, computed in u128 so the product cannot wrap for
+/// any u64 event count. The pre-fix u64 `wrapping_mul` silently misplaced
+/// shard boundaries once `k * total` passed 2^64 — the regime the paper's
+/// full-scale runs (billions of events) head towards — instead of erroring.
+#[inline]
+fn chunk_start_event(k: usize, total: u64, n_chunks: usize) -> u64 {
+    ((k as u128 * total as u128) / n_chunks as u128) as u64
+}
+
 /// One shard of the event stream: a byte range plus the snapshot needed to
 /// resume decoding (and tool analysis) at its first event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,10 +57,12 @@ impl Trace {
     ///
     /// Corrupt streams (truncated varints, unknown kinds) return `Err`;
     /// routine ids outside the routine table are treated as non-main-image
-    /// rather than panicking.
+    /// rather than panicking. `n_chunks` is clamped to the same 2^20
+    /// ceiling the loader accepts, so a wild request cannot blow up the
+    /// index allocation.
     pub fn chunk_index(&self, n_chunks: usize) -> Result<Vec<ChunkMeta>, TraceError> {
         let _span = tq_obs::span("decode", "replay");
-        let n_chunks = n_chunks.max(1);
+        let n_chunks = n_chunks.clamp(1, 1 << 20);
         let buf = &self.events;
         let mut pos = 0usize;
         let mut st = DeltaState::default();
@@ -91,9 +103,7 @@ impl Trace {
         }
 
         let end_pos = loop {
-            while next_k < n_chunks
-                && (next_k as u64).wrapping_mul(total) / n_chunks as u64 == ev_idx
-            {
+            while next_k < n_chunks && chunk_start_event(next_k, total, n_chunks) == ev_idx {
                 starts.push((pos as u64, snapshot!()));
                 next_k += 1;
             }
@@ -560,14 +570,68 @@ mod tests {
     }
 
     #[test]
+    fn chunk_boundary_math_survives_u64_overflow() {
+        // For total >= 2^63 the product k * total wraps u64 at k = 2. The
+        // pre-fix `wrapping_mul` math placed chunk 2's boundary at event 1
+        // instead of total / 2 — prove the old formula really diverged,
+        // then that the u128 formula lands exactly.
+        let total = (1u64 << 63) + 2;
+        let wrapped = 2u64.wrapping_mul(total) / 4;
+        assert_eq!(wrapped, 1, "the pre-fix math wrapped to a tiny boundary");
+        assert_eq!(chunk_start_event(2, total, 4), total / 2);
+        assert_eq!(chunk_start_event(0, total, 4), 0);
+        assert_eq!(chunk_start_event(1, total, 4), total / 4);
+        // Boundaries are monotonic non-decreasing across the whole range,
+        // even at the absolute edge.
+        let mut prev = 0u64;
+        for k in 0..=64usize {
+            let b = chunk_start_event(k, u64::MAX, 64);
+            assert!(b >= prev, "boundary {k} went backwards");
+            prev = b;
+        }
+        assert_eq!(chunk_start_event(64, u64::MAX, 64), u64::MAX);
+    }
+
+    #[test]
+    fn overstated_event_count_at_overflow_edge_chunks_sanely() {
+        // A corrupt header can claim u64::MAX events over a tiny stream.
+        // Boundary math at the overflow edge must keep the index sane:
+        // chunk 0 covers the decoded stream, unreachable boundaries become
+        // trailing empty chunks, and span replay still reproduces the
+        // sequential event sequence.
+        let mut t = sample_trace();
+        t.n_events = u64::MAX;
+        let end = t.events.len() as u64;
+        for n in [2usize, 3, 4, 7] {
+            let chunks = t.chunk_index(n).unwrap();
+            assert_eq!(chunks.len(), n);
+            assert_eq!((chunks[0].start, chunks[0].end), (0, end));
+            for (i, c) in chunks[1..].iter().enumerate() {
+                assert_eq!(
+                    (c.start, c.end),
+                    (end, end),
+                    "chunk {} should be a trailing empty",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
     fn index_roundtrips_through_save_load() {
         let trace = sample_trace().with_chunk_index(4).unwrap();
+        // Default save upgrades an indexed trace to the columnar v3 form.
         let mut bytes = Vec::new();
         trace.save(&mut bytes).unwrap();
-        assert_eq!(&bytes[..8], b"TQTRACE2");
+        assert_eq!(&bytes[..8], b"TQTRACE3");
         let back = Trace::load(&mut bytes.as_slice()).unwrap();
         assert_eq!(back, trace);
         // The index is derived metadata: digests match the plain trace.
         assert_eq!(back.digest(), sample_trace().digest());
+        // An explicitly pinned v2 carries the same index and rows.
+        let mut v2 = Vec::new();
+        trace.save_as(&mut v2, crate::TraceFormat::V2).unwrap();
+        assert_eq!(&v2[..8], b"TQTRACE2");
+        assert_eq!(Trace::load(&mut v2.as_slice()).unwrap(), trace);
     }
 }

@@ -16,7 +16,9 @@
 //! [`Trace::replay`].
 
 pub mod chunk;
+pub(crate) mod columnar;
 pub mod digest;
+pub mod stream;
 pub mod varint;
 
 /// Shared metric handles: registered once, updated lock-free afterwards.
@@ -40,6 +42,26 @@ pub(crate) mod obs {
             )
         })
     }
+
+    pub fn streaming_replays() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| {
+            tq_obs::counter(
+                "tq_trace_streaming_replays_total",
+                "Replays driven through the lazy chunk reader (StreamingTrace)",
+            )
+        })
+    }
+
+    pub fn streamed_chunks() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| {
+            tq_obs::counter(
+                "tq_trace_streamed_chunks_total",
+                "Chunks decoded on demand by the lazy chunk reader",
+            )
+        })
+    }
 }
 
 use std::io::{Read, Write};
@@ -52,11 +74,34 @@ use varint::{read_i64, read_u64, write_i64, write_u64};
 
 pub use chunk::{ChunkMeta, DEFAULT_CHUNKS};
 pub use digest::{digest_program, Digest128};
+pub use stream::StreamingTrace;
 
 const MAGIC: &[u8; 8] = b"TQTRACE1";
 /// Version 2 adds an optional chunk index after the event stream; v1 files
 /// load unchanged (with no index).
 const MAGIC2: &[u8; 8] = b"TQTRACE2";
+/// Version 3 keeps the v1/v2 header and chunk index but stores each chunk
+/// as a columnar blob (see [`columnar`]): per-(kind, field) columns,
+/// in-column deltas, byte-run RLE. Loads to the exact same [`Trace`] —
+/// same row bytes, same digest — as the v2 form it was saved from.
+const MAGIC3: &[u8; 8] = b"TQTRACE3";
+
+/// On-disk format selector for [`Trace::save_as`].
+///
+/// The ladder only ever negotiates *down*, never invents data: `V2` on a
+/// trace without a chunk index writes v1 (there is no index to append);
+/// `V3` on a trace whose chunks cannot be columnar-encoded exactly (no
+/// index, a non-contiguous hand-crafted index, or non-canonical row
+/// varints) falls back to v2/v1. Every format loads back byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Header + raw row event stream, no chunk index.
+    V1,
+    /// V1 plus the chunk index tail for sharded replay.
+    V2,
+    /// Header + chunk index + per-chunk columnar blobs (smallest, seekable).
+    V3,
+}
 
 const K_MEM_READ: u64 = 0;
 const K_MEM_WRITE: u64 = 1;
@@ -241,7 +286,7 @@ impl Tool for TraceRecorder {
 }
 
 /// Replay/serialisation error.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceError {
     /// The byte stream is truncated or malformed.
     Malformed(&'static str),
@@ -253,7 +298,7 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::Malformed(what) => write!(f, "malformed trace: {what}"),
-            TraceError::BadHeader => write!(f, "not a TQTRACE1/TQTRACE2 file"),
+            TraceError::BadHeader => write!(f, "not a TQTRACE1/TQTRACE2/TQTRACE3 file"),
         }
     }
 }
@@ -315,168 +360,253 @@ impl Trace {
         ctx: &ShardContext,
         tool: &mut dyn Tool,
     ) -> Result<ReplayEnd, TraceError> {
-        let mut tick = tool.tick_interval().unwrap_or(0);
-        // First tick strictly after the prefix clock; at stream start
-        // (icount 0) this is simply `tick`.
-        let mut next_tick = if tick > 0 {
-            (ctx.icount / tick)
-                .checked_add(1)
-                .and_then(|n| n.checked_mul(tick))
-                .unwrap_or(u64::MAX)
-        } else {
-            u64::MAX
+        replay_span_buf(&self.info, &self.events, start, end, ctx, tool)
+    }
+}
+
+/// Common header fields shared by every format version, parsed up to (but
+/// not including) the per-format payload.
+pub(crate) struct ParsedHeader {
+    pub info: ProgramInfo,
+    pub n_events: u64,
+    /// Row event-stream length in bytes (for v3, the length the decoded
+    /// chunks must reassemble to).
+    pub ev_len: usize,
+    /// Format version: 1, 2, or 3.
+    pub version: u8,
+    /// Byte offset just past the header.
+    pub pos: usize,
+}
+
+/// Parse the magic + routine table + counts common to all versions.
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<ParsedHeader, TraceError> {
+    if bytes.len() < 8 {
+        return Err(TraceError::BadHeader);
+    }
+    let version = match &bytes[..8] {
+        m if m == MAGIC => 1u8,
+        m if m == MAGIC2 => 2,
+        m if m == MAGIC3 => 3,
+        _ => return Err(TraceError::BadHeader),
+    };
+    let mut pos = 8usize;
+    let bad = |_: ()| TraceError::Malformed("truncated header");
+    let ru = |pos: &mut usize| read_u64(bytes, pos).ok_or(bad(()));
+    let stack_base = ru(&mut pos)?;
+    let entry = ru(&mut pos)?;
+    let n_routines = ru(&mut pos)? as usize;
+    let mut routines = Vec::with_capacity(n_routines.min(1 << 16));
+    for i in 0..n_routines {
+        let name_len = ru(&mut pos)? as usize;
+        let name = String::from_utf8(bytes.get(pos..pos + name_len).ok_or(bad(()))?.to_vec())
+            .map_err(|_| TraceError::Malformed("bad utf8"))?;
+        pos += name_len;
+        let img_len = ru(&mut pos)? as usize;
+        let image = String::from_utf8(bytes.get(pos..pos + img_len).ok_or(bad(()))?.to_vec())
+            .map_err(|_| TraceError::Malformed("bad utf8"))?;
+        pos += img_len;
+        let main_image = *bytes.get(pos).ok_or(bad(()))? != 0;
+        pos += 1;
+        let start = ru(&mut pos)?;
+        let end = ru(&mut pos)?;
+        routines.push(RoutineMeta {
+            id: RoutineId(i as u32),
+            name,
+            image,
+            main_image,
+            start,
+            end,
+        });
+    }
+    let n_events = ru(&mut pos)?;
+    let ev_len = ru(&mut pos)? as usize;
+    Ok(ParsedHeader {
+        info: ProgramInfo {
+            routines,
+            stack_base,
+            entry,
+        },
+        n_events,
+        ev_len,
+        version,
+        pos,
+    })
+}
+
+/// Buffer-generic core of [`Trace::replay_span`]: replay `events[start..end]`
+/// into `tool`, resuming from `ctx`. The lazy chunk reader
+/// ([`stream::StreamingTrace`]) calls this over one decoded chunk at a time,
+/// which is what keeps streaming replay's peak memory at a chunk, not the
+/// whole stream. Semantics are exactly those documented on
+/// [`Trace::replay_span`].
+pub(crate) fn replay_span_buf(
+    info: &ProgramInfo,
+    events: &[u8],
+    start: usize,
+    end: usize,
+    ctx: &ShardContext,
+    tool: &mut dyn Tool,
+) -> Result<ReplayEnd, TraceError> {
+    let mut tick = tool.tick_interval().unwrap_or(0);
+    // First tick strictly after the prefix clock; at stream start
+    // (icount 0) this is simply `tick`.
+    let mut next_tick = if tick > 0 {
+        (ctx.icount / tick)
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(tick))
+            .unwrap_or(u64::MAX)
+    } else {
+        u64::MAX
+    };
+
+    let buf = events
+        .get(..end)
+        .ok_or(TraceError::Malformed("span past end of stream"))?;
+    let mut pos = start;
+    let mut st = DeltaState {
+        icount: ctx.icount,
+        ip: ctx.ip,
+        ea: ctx.ea,
+        sp: ctx.sp,
+    };
+    let bad = TraceError::Malformed("unknown event kind");
+    macro_rules! ru {
+        () => {
+            read_u64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
         };
-
-        let buf = self
-            .events
-            .get(..end)
-            .ok_or(TraceError::Malformed("span past end of stream"))?;
-        let mut pos = start;
-        let mut st = DeltaState {
-            icount: ctx.icount,
-            ip: ctx.ip,
-            ea: ctx.ea,
-            sp: ctx.sp,
+    }
+    macro_rules! ri {
+        () => {
+            read_i64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
         };
-        let bad = TraceError::Malformed("unknown event kind");
-        macro_rules! ru {
-            () => {
-                read_u64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
-            };
-        }
-        macro_rules! ri {
-            () => {
-                read_i64(buf, &mut pos).ok_or(TraceError::Malformed("truncated varint"))?
-            };
-        }
-        // Validate a routine id against the routine table; INVALID is
-        // legal where the live VM can emit it (unresolved call targets,
-        // code outside all symbols).
-        let n_rtns = self.info.routines.len() as u32;
-        macro_rules! rid {
-            ($raw:expr) => {{
-                let r = RoutineId($raw as u32);
-                if r != RoutineId::INVALID && r.0 >= n_rtns {
-                    return Err(TraceError::Malformed("routine id out of range"));
-                }
-                r
-            }};
-        }
-
-        let mut last_rtn = ctx.last_rtn;
-        while pos < buf.len() {
-            let kind = ru!();
-            let icount = st.icount.wrapping_add(ru!());
-            st.icount = icount;
-
-            while tick != 0 && next_tick <= icount {
-                tool.on_event(&Event::Tick {
-                    icount: next_tick,
-                    ip: st.ip,
-                    rtn: last_rtn,
-                });
-                match next_tick.checked_add(tick) {
-                    Some(n) => next_tick = n,
-                    None => tick = 0, // clock saturated; no further ticks
-                }
+    }
+    // Validate a routine id against the routine table; INVALID is
+    // legal where the live VM can emit it (unresolved call targets,
+    // code outside all symbols).
+    let n_rtns = info.routines.len() as u32;
+    macro_rules! rid {
+        ($raw:expr) => {{
+            let r = RoutineId($raw as u32);
+            if r != RoutineId::INVALID && r.0 >= n_rtns {
+                return Err(TraceError::Malformed("routine id out of range"));
             }
-
-            match kind {
-                K_MEM_READ => {
-                    st.ip = st.ip.wrapping_add_signed(ri!());
-                    st.ea = st.ea.wrapping_add_signed(ri!());
-                    let size = check_size(ru!())?;
-                    st.sp = st.sp.wrapping_add_signed(ri!());
-                    let packed = ru!();
-                    let rtn = rid!(packed >> 1);
-                    last_rtn = rtn;
-                    tool.on_event(&Event::MemRead {
-                        ip: st.ip,
-                        ea: st.ea,
-                        size,
-                        sp: st.sp,
-                        is_prefetch: packed & 1 != 0,
-                        icount,
-                        rtn,
-                    });
-                }
-                K_MEM_WRITE => {
-                    st.ip = st.ip.wrapping_add_signed(ri!());
-                    st.ea = st.ea.wrapping_add_signed(ri!());
-                    let size = check_size(ru!())?;
-                    st.sp = st.sp.wrapping_add_signed(ri!());
-                    let rtn = rid!(ru!());
-                    last_rtn = rtn;
-                    tool.on_event(&Event::MemWrite {
-                        ip: st.ip,
-                        ea: st.ea,
-                        size,
-                        sp: st.sp,
-                        icount,
-                        rtn,
-                    });
-                }
-                K_CALL => {
-                    st.ip = st.ip.wrapping_add_signed(ri!());
-                    let callee = rid!(ru!());
-                    let rtn = rid!(ru!());
-                    last_rtn = rtn;
-                    tool.on_event(&Event::Call {
-                        ip: st.ip,
-                        callee,
-                        icount,
-                        rtn,
-                    });
-                }
-                K_RET => {
-                    st.ip = st.ip.wrapping_add_signed(ri!());
-                    let return_to = st.ip.wrapping_add_signed(ri!());
-                    let rtn = rid!(ru!());
-                    last_rtn = rtn;
-                    tool.on_event(&Event::Ret {
-                        ip: st.ip,
-                        return_to,
-                        icount,
-                        rtn,
-                    });
-                }
-                K_RTN_ENTER => {
-                    let rtn = rid!(ru!());
-                    if rtn == RoutineId::INVALID {
-                        // The VM only announces entries to known routines.
-                        return Err(TraceError::Malformed("routine id out of range"));
-                    }
-                    st.sp = st.sp.wrapping_add_signed(ri!());
-                    last_rtn = rtn;
-                    tool.on_event(&Event::RoutineEnter {
-                        rtn,
-                        sp: st.sp,
-                        icount,
-                    });
-                }
-                K_FINI => {
-                    tool.on_fini(icount);
-                    return Ok(ReplayEnd {
-                        last_icount: icount,
-                        saw_fini: true,
-                    });
-                }
-                _ => return Err(bad),
-            }
-        }
-        Ok(ReplayEnd {
-            last_icount: st.icount,
-            saw_fini: false,
-        })
+            r
+        }};
     }
 
-    /// Serialise (header + routine table + events) to a writer. Traces
-    /// without a chunk index write the original `TQTRACE1` layout; traces
-    /// carrying one write `TQTRACE2`, which appends the index after the
-    /// event stream so v1 readers of v1 files are unaffected.
-    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+    let mut last_rtn = ctx.last_rtn;
+    while pos < buf.len() {
+        let kind = ru!();
+        let icount = st.icount.wrapping_add(ru!());
+        st.icount = icount;
+
+        while tick != 0 && next_tick <= icount {
+            tool.on_event(&Event::Tick {
+                icount: next_tick,
+                ip: st.ip,
+                rtn: last_rtn,
+            });
+            match next_tick.checked_add(tick) {
+                Some(n) => next_tick = n,
+                None => tick = 0, // clock saturated; no further ticks
+            }
+        }
+
+        match kind {
+            K_MEM_READ => {
+                st.ip = st.ip.wrapping_add_signed(ri!());
+                st.ea = st.ea.wrapping_add_signed(ri!());
+                let size = check_size(ru!())?;
+                st.sp = st.sp.wrapping_add_signed(ri!());
+                let packed = ru!();
+                let rtn = rid!(packed >> 1);
+                last_rtn = rtn;
+                tool.on_event(&Event::MemRead {
+                    ip: st.ip,
+                    ea: st.ea,
+                    size,
+                    sp: st.sp,
+                    is_prefetch: packed & 1 != 0,
+                    icount,
+                    rtn,
+                });
+            }
+            K_MEM_WRITE => {
+                st.ip = st.ip.wrapping_add_signed(ri!());
+                st.ea = st.ea.wrapping_add_signed(ri!());
+                let size = check_size(ru!())?;
+                st.sp = st.sp.wrapping_add_signed(ri!());
+                let rtn = rid!(ru!());
+                last_rtn = rtn;
+                tool.on_event(&Event::MemWrite {
+                    ip: st.ip,
+                    ea: st.ea,
+                    size,
+                    sp: st.sp,
+                    icount,
+                    rtn,
+                });
+            }
+            K_CALL => {
+                st.ip = st.ip.wrapping_add_signed(ri!());
+                let callee = rid!(ru!());
+                let rtn = rid!(ru!());
+                last_rtn = rtn;
+                tool.on_event(&Event::Call {
+                    ip: st.ip,
+                    callee,
+                    icount,
+                    rtn,
+                });
+            }
+            K_RET => {
+                st.ip = st.ip.wrapping_add_signed(ri!());
+                let return_to = st.ip.wrapping_add_signed(ri!());
+                let rtn = rid!(ru!());
+                last_rtn = rtn;
+                tool.on_event(&Event::Ret {
+                    ip: st.ip,
+                    return_to,
+                    icount,
+                    rtn,
+                });
+            }
+            K_RTN_ENTER => {
+                let rtn = rid!(ru!());
+                if rtn == RoutineId::INVALID {
+                    // The VM only announces entries to known routines.
+                    return Err(TraceError::Malformed("routine id out of range"));
+                }
+                st.sp = st.sp.wrapping_add_signed(ri!());
+                last_rtn = rtn;
+                tool.on_event(&Event::RoutineEnter {
+                    rtn,
+                    sp: st.sp,
+                    icount,
+                });
+            }
+            K_FINI => {
+                tool.on_fini(icount);
+                return Ok(ReplayEnd {
+                    last_icount: icount,
+                    saw_fini: true,
+                });
+            }
+            _ => return Err(bad),
+        }
+    }
+    Ok(ReplayEnd {
+        last_icount: st.icount,
+        saw_fini: false,
+    })
+}
+
+impl Trace {
+    /// Header bytes shared by every format version: magic, stack base,
+    /// entry, routine table, event count, and the row event-stream length.
+    fn encode_head(&self, magic: &[u8; 8]) -> Vec<u8> {
         let mut head = Vec::new();
-        head.extend_from_slice(if self.chunks.is_some() { MAGIC2 } else { MAGIC });
+        head.extend_from_slice(magic);
         write_u64(&mut head, self.info.stack_base);
         write_u64(&mut head, self.info.entry);
         write_u64(&mut head, self.info.routines.len() as u64);
@@ -491,9 +621,84 @@ impl Trace {
         }
         write_u64(&mut head, self.n_events);
         write_u64(&mut head, self.events.len() as u64);
+        head
+    }
+
+    /// The chunk layout v3 can encode: a non-empty index that starts at
+    /// byte 0 and is contiguous (which `chunk_index` always produces).
+    /// Returns the chunks and the offset where the uncovered tail begins
+    /// (bytes past the last chunk — possible when `n_events` overstates
+    /// the stream — are stored raw so no format loses data).
+    fn v3_layout(&self) -> Option<(&[ChunkMeta], usize)> {
+        let chunks = self.chunks.as_deref()?;
+        if chunks.is_empty() {
+            return None;
+        }
+        let mut at = 0u64;
+        for c in chunks {
+            if c.start != at || c.end < c.start {
+                return None;
+            }
+            at = c.end;
+        }
+        if at > self.events.len() as u64 {
+            return None;
+        }
+        Some((chunks, at as usize))
+    }
+
+    /// Encode the TQTRACE3 byte image, or `None` if this trace's chunk
+    /// layout is not v3-encodable or a chunk fails the exact-inversion
+    /// check (non-canonical row varints in a hand-crafted stream).
+    fn encode_v3(&self) -> Option<Vec<u8>> {
+        let (chunks, tail_at) = self.v3_layout()?;
+        let mut out = self.encode_head(MAGIC3);
+        chunk::write_index(&mut out, chunks);
+        for c in chunks {
+            let rows = &self.events[c.start as usize..c.end as usize];
+            let blob = columnar::encode_chunk(rows, &c.ctx).ok()?;
+            // The ladder's contract is byte-exact loads; verify inversion
+            // before committing to the columnar form.
+            if columnar::decode_chunk(&blob, &c.ctx, rows.len()).ok()? != rows {
+                return None;
+            }
+            write_u64(&mut out, blob.len() as u64);
+            out.extend_from_slice(&blob);
+        }
+        let tail = &self.events[tail_at..];
+        write_u64(&mut out, tail.len() as u64);
+        out.extend_from_slice(tail);
+        Some(out)
+    }
+
+    /// Serialise to a writer in the best format the trace supports:
+    /// `TQTRACE3` when a chunk index is present (columnar, smallest),
+    /// `TQTRACE2` when the index cannot be columnar-encoded exactly, and
+    /// the original `TQTRACE1` for index-less traces. Use
+    /// [`Trace::save_as`] to pin an explicit format.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.save_as(w, TraceFormat::V3)
+    }
+
+    /// Serialise in the requested format, negotiating *down* when the
+    /// trace cannot honour it (see [`TraceFormat`]): `V3` falls back to
+    /// `V2` without an exact columnar encoding, and `V2`/`V3` fall back to
+    /// `V1` when there is no chunk index. Loads of any produced file are
+    /// byte-exact: same rows, same digest.
+    pub fn save_as<W: Write>(&self, w: &mut W, format: TraceFormat) -> std::io::Result<()> {
+        if format == TraceFormat::V3 {
+            if let Some(bytes) = self.encode_v3() {
+                return w.write_all(&bytes);
+            }
+        }
+        let chunks = match (format, &self.chunks) {
+            (TraceFormat::V1, _) | (_, None) => None,
+            (_, Some(chunks)) => Some(chunks),
+        };
+        let head = self.encode_head(if chunks.is_some() { MAGIC2 } else { MAGIC });
         w.write_all(&head)?;
         w.write_all(&self.events)?;
-        if let Some(chunks) = &self.chunks {
+        if let Some(chunks) = chunks {
             let mut tail = Vec::new();
             chunk::write_index(&mut tail, chunks);
             w.write_all(&tail)?;
@@ -501,67 +706,75 @@ impl Trace {
         Ok(())
     }
 
-    /// Deserialise from a reader. Accepts both `TQTRACE1` and `TQTRACE2`.
+    /// Deserialise from a reader. Accepts `TQTRACE1`, `TQTRACE2`, and
+    /// `TQTRACE3`; v3 chunk blobs are decoded back into the canonical row
+    /// stream, so the loaded trace is byte-identical (same digest) no
+    /// matter which format carried it.
     pub fn load<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)
             .map_err(|_| TraceError::Malformed("io error"))?;
-        let versioned = bytes.len() >= 8 && (&bytes[..8] == MAGIC || &bytes[..8] == MAGIC2);
-        if !versioned {
-            return Err(TraceError::BadHeader);
-        }
-        let has_index = &bytes[..8] == MAGIC2;
-        let mut pos = 8usize;
+        let h = parse_header(&bytes)?;
+        let mut pos = h.pos;
         let bad = |_: ()| TraceError::Malformed("truncated header");
         let ru = |pos: &mut usize| read_u64(&bytes, pos).ok_or(bad(()));
-        let stack_base = ru(&mut pos)?;
-        let entry = ru(&mut pos)?;
-        let n_routines = ru(&mut pos)? as usize;
-        let mut routines = Vec::with_capacity(n_routines);
-        for i in 0..n_routines {
-            let name_len = ru(&mut pos)? as usize;
-            let name = String::from_utf8(bytes.get(pos..pos + name_len).ok_or(bad(()))?.to_vec())
-                .map_err(|_| TraceError::Malformed("bad utf8"))?;
-            pos += name_len;
-            let img_len = ru(&mut pos)? as usize;
-            let image = String::from_utf8(bytes.get(pos..pos + img_len).ok_or(bad(()))?.to_vec())
-                .map_err(|_| TraceError::Malformed("bad utf8"))?;
-            pos += img_len;
-            let main_image = *bytes.get(pos).ok_or(bad(()))? != 0;
-            pos += 1;
-            let start = ru(&mut pos)?;
-            let end = ru(&mut pos)?;
-            routines.push(RoutineMeta {
-                id: RoutineId(i as u32),
-                name,
-                image,
-                main_image,
-                start,
-                end,
-            });
-        }
-        let n_events = ru(&mut pos)?;
-        let ev_len = ru(&mut pos)? as usize;
-        let events = bytes
-            .get(pos..pos.checked_add(ev_len).ok_or(bad(()))?)
-            .ok_or(bad(()))?
-            .to_vec();
-        pos += ev_len;
-        let chunks = if has_index {
+        let ev_len = h.ev_len;
+        let routines = &h.info.routines;
+        let (events, chunks) = if h.version == 3 {
+            // TQTRACE3: chunk index first, then one columnar blob per
+            // chunk, then the raw uncovered tail. Cap the claimed stream
+            // length before trusting it with allocations — byte-run RLE
+            // cannot legitimately expand further than this.
+            if ev_len > bytes.len().saturating_mul(256) {
+                return Err(TraceError::Malformed("implausible event stream length"));
+            }
             let idx = chunk::read_index(&bytes, &mut pos)?;
             chunk::validate_index(&idx, routines.len() as u32, ev_len as u64)?;
-            Some(idx)
+            let mut events = Vec::new();
+            for c in &idx {
+                if c.start as usize != events.len() {
+                    return Err(TraceError::Malformed("non-contiguous v3 chunk index"));
+                }
+                let blob_len = ru(&mut pos)? as usize;
+                let blob = bytes
+                    .get(pos..pos.checked_add(blob_len).ok_or(bad(()))?)
+                    .ok_or(bad(()))?;
+                pos += blob_len;
+                let span = (c.end - c.start) as usize;
+                let rows = columnar::decode_chunk(blob, &c.ctx, span)?;
+                if rows.len() != span {
+                    return Err(TraceError::Malformed("chunk decoded to wrong length"));
+                }
+                events.extend_from_slice(&rows);
+            }
+            let tail_len = ru(&mut pos)? as usize;
+            let tail = bytes
+                .get(pos..pos.checked_add(tail_len).ok_or(bad(()))?)
+                .ok_or(bad(()))?;
+            events.extend_from_slice(tail);
+            if events.len() != ev_len {
+                return Err(TraceError::Malformed("event stream length mismatch"));
+            }
+            (events, Some(idx))
         } else {
-            None
+            let events = bytes
+                .get(pos..pos.checked_add(ev_len).ok_or(bad(()))?)
+                .ok_or(bad(()))?
+                .to_vec();
+            pos += ev_len;
+            let chunks = if h.version == 2 {
+                let idx = chunk::read_index(&bytes, &mut pos)?;
+                chunk::validate_index(&idx, routines.len() as u32, ev_len as u64)?;
+                Some(idx)
+            } else {
+                None
+            };
+            (events, chunks)
         };
         Ok(Trace {
-            info: ProgramInfo {
-                routines,
-                stack_base,
-                entry,
-            },
+            info: h.info,
             events,
-            n_events,
+            n_events: h.n_events,
             chunks,
         })
     }
@@ -595,9 +808,15 @@ impl Trace {
     /// Serialise to a file (written via a sibling temp file + rename so a
     /// crash mid-write never leaves a torn capture behind).
     pub fn save_to_path(&self, path: &Path) -> std::io::Result<()> {
+        self.save_to_path_as(path, TraceFormat::V3)
+    }
+
+    /// [`Trace::save_to_path`] with an explicit on-disk format (same
+    /// downward negotiation as [`Trace::save_as`]).
+    pub fn save_to_path_as(&self, path: &Path, format: TraceFormat) -> std::io::Result<()> {
         let tmp = path.with_extension("tmp");
         let mut f = std::fs::File::create(&tmp)?;
-        self.save(&mut f)?;
+        self.save_as(&mut f, format)?;
         f.sync_all()?;
         drop(f);
         std::fs::rename(&tmp, path)

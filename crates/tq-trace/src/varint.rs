@@ -91,4 +91,63 @@ mod tests {
             assert_eq!(buf.len(), 1);
         }
     }
+
+    #[test]
+    fn read_i64_advances_pos_by_encoded_length() {
+        // Several values back to back: each read must advance `pos` by
+        // exactly the value's encoded length, leaving it on the next
+        // varint's first byte (the decoder state machine depends on it).
+        let vals = [0i64, -1, 300, -70_000, i64::MAX, i64::MIN, 42];
+        let mut buf = Vec::new();
+        let mut lens = Vec::new();
+        for v in vals {
+            let before = buf.len();
+            write_i64(&mut buf, v);
+            lens.push(buf.len() - before);
+        }
+        let mut pos = 0;
+        for (v, len) in vals.iter().zip(&lens) {
+            let before = pos;
+            assert_eq!(read_i64(&buf, &mut pos), Some(*v));
+            assert_eq!(pos - before, *len, "pos advanced past value {v}");
+        }
+        assert_eq!(pos, buf.len(), "stream fully consumed");
+        // A truncated signed varint is None, same as the unsigned reader.
+        let mut cut = Vec::new();
+        write_i64(&mut cut, i64::MIN);
+        let mut p = 0;
+        assert_eq!(read_i64(&cut[..cut.len() - 1], &mut p), None);
+    }
+
+    #[test]
+    fn ten_byte_acceptance_boundary_is_exact() {
+        // u64::MAX is the canonical worst case: nine 0xFF continuation
+        // bytes plus a final 0x01 carrying bit 63 — exactly 10 bytes,
+        // accepted, with pos landing one past the last byte.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf[9], 0x01);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Some(u64::MAX));
+        assert_eq!(pos, 10);
+
+        // At shift 63 the tenth byte may contribute only bit 63 (value
+        // 0 or 1): anything above 1 would overflow u64 and is rejected.
+        let mut bad = buf.clone();
+        bad[9] = 0x02;
+        let mut pos = 0;
+        assert_eq!(read_u64(&bad, &mut pos), None, "tenth byte > 1 overflows");
+
+        // A continuation bit on the tenth byte is rejected no matter what
+        // the trailing bytes would decode to — varints are at most
+        // 10 bytes, full stop.
+        for tenth in [0x80u8, 0x81] {
+            let mut long = vec![0xFFu8; 9];
+            long.push(tenth);
+            long.push(0x00);
+            let mut pos = 0;
+            assert_eq!(read_u64(&long, &mut pos), None, "11-byte varint rejected");
+        }
+    }
 }

@@ -1030,4 +1030,47 @@ mod tests {
         let sum_x: f64 = p.iter().step_by(2).sum();
         assert!(sum_x.abs() < 1.1, "roughly centred");
     }
+
+    /// The opt-level ablation reports a 0% fold on wfs — this pins down
+    /// *why* at the IR level: the module is genuinely fold-free. Every
+    /// dimension (`fft_size`, `n_speakers`, …) is pre-evaluated in Rust
+    /// while building the AST and then read back at runtime through the
+    /// `cfg` global (see [`cfg`]), so the constant-fold pass finds no
+    /// constant subexpression, no `x+0`-style identity, no constant
+    /// branch, and no constant-bound loop — zero rewrites of any kind,
+    /// at every scale. The measured -O0 vs -O1 delta on wfs is therefore
+    /// expected to be nil; imgproc (which folds a couple of constants)
+    /// is the module that shows a non-trivial delta.
+    ///
+    /// The sibling assertion proves the *pass* still fires on this
+    /// module's shape: materialising one config value as an AST constant
+    /// immediately produces folds, so a future kernel change that does
+    /// introduce foldable IR will show up in `FoldStats`, not vanish
+    /// into an unchanged profile.
+    #[test]
+    fn wfs_is_genuinely_fold_free_at_the_ir_level() {
+        for config in [
+            WfsConfig::tiny(),
+            WfsConfig::small(),
+            WfsConfig::paper_scaled(),
+        ] {
+            let m = build_module(&config);
+            let (folded, stats) = tq_kernelc::fold_module_with_stats(&m);
+            assert_eq!(
+                stats.total(),
+                0,
+                "wfs gained foldable IR — update the ablation docs: {stats:?}"
+            );
+            check(&folded).expect("folded module still checks");
+        }
+
+        // Control: the same pass on an almost-identical module with one
+        // AST-level constant expression does fold. `n = 4 + 4` mirrors
+        // what wfs would look like if config values were inlined.
+        let mut m = build_module(&WfsConfig::tiny());
+        use tq_kernelc::dsl::*;
+        m.func(Function::new("fold_canary").body(vec![leti("n", add(ci(4), ci(4))), ret(v("n"))]));
+        let (_, stats) = tq_kernelc::fold_module_with_stats(&m);
+        assert_eq!(stats.consts_folded, 1, "pass fires on foldable IR");
+    }
 }

@@ -40,6 +40,30 @@ cmp "$smoke_dir/cap.off" "$smoke_dir/cap.trace" \
 grep -q "traces recorded" "$smoke_dir/cap.trace.log" \
     || { echo "verify: FAIL (trace capture reported no trace stats)"; exit 1; }
 
+echo "==> TQTRACE3 smoke: columnar capture <= 0.7x v2, identical profiles via the streaming reader"
+./target/release/tq capture --app wfs --scale tiny --format v2 \
+    --out "$smoke_dir/cap.v2" > /dev/null
+./target/release/tq capture --app wfs --scale tiny --format v3 \
+    --out "$smoke_dir/cap.v3" > /dev/null
+v2_bytes=$(wc -c < "$smoke_dir/cap.v2")
+v3_bytes=$(wc -c < "$smoke_dir/cap.v3")
+[ "$((v3_bytes * 10))" -le "$((v2_bytes * 7))" ] \
+    || { echo "verify: FAIL (v3 capture $v3_bytes bytes > 0.7x v2 $v2_bytes bytes)"; exit 1; }
+for tool in tquad quad gprof; do
+    ./target/release/tq "$tool" --capture "$smoke_dir/cap.v2" > "$smoke_dir/$tool.capv2"
+    ./target/release/tq "$tool" --capture "$smoke_dir/cap.v3" > "$smoke_dir/$tool.capv3"
+    diff "$smoke_dir/$tool.capv2" "$smoke_dir/$tool.capv3" \
+        || { echo "verify: FAIL ($tool profile diverged between v2 and v3 captures)"; exit 1; }
+done
+./target/release/tq tquad --capture "$smoke_dir/cap.v3" --jobs 2 \
+    --trace-out "$smoke_dir/streaming.trace.json" \
+    > "$smoke_dir/tquad.capv3.j2" 2> /dev/null
+diff "$smoke_dir/tquad.capv3" "$smoke_dir/tquad.capv3.j2" \
+    || { echo "verify: FAIL (sharded streaming replay diverged from sequential)"; exit 1; }
+./target/release/check_trace "$smoke_dir/streaming.trace.json" \
+    replay_sharded_streaming shard-0 shard-1 \
+    || { echo "verify: FAIL (streaming spans missing — the lazy reader never fired)"; exit 1; }
+
 echo "==> vm_jit bench guard (trace dispatch >= 1.5x off, identical digests)"
 TQ_BENCH_ITERS=3 cargo bench -q --offline -p tq-bench --bench vm_jit \
     || { echo "verify: FAIL (vm_jit speedup/fidelity guard)"; exit 1; }
