@@ -104,6 +104,16 @@ fn main() {
     });
     let counter = tq_obs::counter("tq_bench_guard_total", "obs_overhead guard probe");
     let counter_ns = gated_ns("counter inc", REPS, || counter.inc());
+    // The structured log hook: with the master gate off, emit() must cost
+    // the same relaxed-load-and-branch as every other instrument — the
+    // fields must not even be rendered.
+    let log_ns = gated_ns("log emit", REPS, || {
+        tq_obs::log::debug(
+            "bench",
+            "guard_probe",
+            &[("value", tq_obs::log::Value::U64(1))],
+        );
+    });
     // The tq-faults hooks share the same discipline (relaxed load +
     // branch when no plan is installed) and sit on the replay path
     // (slow-replay check in run_tool), so they fall under the same bound.
@@ -122,7 +132,7 @@ fn main() {
         println!("  disabled fault hook: {ns:.2} ns/call");
         ns
     };
-    let per_call_ns = span_ns.max(counter_ns).max(fault_ns);
+    let per_call_ns = span_ns.max(counter_ns).max(fault_ns).max(log_ns);
 
     // Gated sites one sharded tquad replay executes: one counter inc per
     // flushed slice, plus a handful of spans (replay_sharded, decode,
@@ -137,8 +147,8 @@ fn main() {
     save(
         "obs_overhead.tsv",
         &format!(
-            "replay_disabled_s\treplay_enabled_s\tspan_ns\tcounter_ns\tfault_ns\tgated_calls\tbound_pct\n\
-             {:.6}\t{:.6}\t{span_ns:.3}\t{counter_ns:.3}\t{fault_ns:.3}\t{gated_calls}\t{:.5}\n",
+            "replay_disabled_s\treplay_enabled_s\tspan_ns\tcounter_ns\tfault_ns\tlog_ns\tgated_calls\tbound_pct\n\
+             {:.6}\t{:.6}\t{span_ns:.3}\t{counter_ns:.3}\t{fault_ns:.3}\t{log_ns:.3}\t{gated_calls}\t{:.5}\n",
             off.as_secs_f64(),
             on.as_secs_f64(),
             bound * 100.0

@@ -1,0 +1,101 @@
+//! `check_fleet_trace FILE [MIN_PIDS]` — validate a *merged* fleet trace
+//! written by `tq fleet-trace` with the workspace's own strict JSON
+//! parser, then assert the distributed-tracing contract: some
+//! `args.job_id` appears on complete ("X") events under at least
+//! MIN_PIDS (default 2) distinct `pid` tracks — i.e. one routed job's
+//! hops on different fleet members were actually correlated into one
+//! trace. Used by `scripts/verify.sh` as the fleet telemetry smoke;
+//! exits non-zero with a reason on any violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+use tq_report::Json;
+
+fn check(path: &str, min_pids: u64) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&raw).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+
+    // Every peer contributes a named process track in a merged trace.
+    let mut process_pids = BTreeSet::new();
+    // job_id -> set of pids its spans appear under.
+    let mut job_pids: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or(format!("event {i}: missing numeric `pid`"))?;
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                if e.get("name").and_then(Json::as_str) == Some("process_name") {
+                    process_pids.insert(pid);
+                }
+            }
+            Some("X") => {
+                if let Some(job_id) = e
+                    .get("args")
+                    .and_then(|a| a.get("job_id"))
+                    .and_then(Json::as_str)
+                {
+                    if job_id.len() != 16 || !job_id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(format!("event {i}: malformed job_id `{job_id}`"));
+                    }
+                    job_pids.entry(job_id.to_string()).or_default().insert(pid);
+                }
+            }
+            Some(_) => {}
+            None => return Err(format!("event {i}: missing `ph`")),
+        }
+    }
+
+    if (process_pids.len() as u64) < min_pids {
+        return Err(format!(
+            "only {} named process track(s), need {min_pids} (peers missing from the merge)",
+            process_pids.len()
+        ));
+    }
+    let best = job_pids
+        .iter()
+        .max_by_key(|(_, pids)| pids.len())
+        .ok_or("no span carries an args.job_id (nothing was tagged)")?;
+    if (best.1.len() as u64) < min_pids {
+        return Err(format!(
+            "no job_id spans {min_pids} peers; best is {} on pids {:?} \
+             (hops were not correlated)",
+            best.0, best.1
+        ));
+    }
+    println!(
+        "{path}: OK ({} tagged job(s); job {} spans pids {:?})",
+        job_pids.len(),
+        best.0,
+        best.1
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: check_fleet_trace FILE [MIN_PIDS]");
+        return ExitCode::FAILURE;
+    };
+    let min_pids = match args.get(1).map(|s| s.parse::<u64>()) {
+        None => 2,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("usage: check_fleet_trace FILE [MIN_PIDS]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(path, min_pids) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("check_fleet_trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

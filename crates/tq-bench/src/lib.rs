@@ -2,7 +2,7 @@
 //!
 //! One `repro_*` binary per table/figure of the paper (see the
 //! per-experiment index in `DESIGN.md`), plus plain timing benches
-//! ([`bench`], `benches/*.rs` with `harness = false`) for the performance
+//! ([`bench()`], `benches/*.rs` with `harness = false`) for the performance
 //! claims and the design-choice ablations. Binaries print the paper-shaped
 //! rows/series to stdout and drop machine-readable copies under
 //! `results/`.

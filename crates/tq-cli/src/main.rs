@@ -23,7 +23,7 @@
 //! tq disasm  [--routine NAME]
 //! tq serve   [--addr HOST:PORT] [--workers N] [--state-dir PATH]
 //!            [--cache-mb N] [--queue N] [--timeout-ms N] [--capture-fuel N]
-//!            [--max-conns N] [--read-timeout-ms N]
+//!            [--max-conns N] [--read-timeout-ms N] [--slow-job-ms N]
 //!            [--peers A,B,C] [--advertise HOST:PORT] [--probe-interval-ms N]
 //!
 //! every VM-running subcommand: [--vm-opt off|fuse|trace]
@@ -31,12 +31,20 @@
 //!            [--app …] [--scale …] [--interval N] [--exclude-stack]
 //!            [--exclude-libs|--track-libs] [--retries N] [--timeout SECS]
 //!            [--peers A,B,C] [--fallback-hint-ms N] [--backoff-cap-ms N]
-//!            | --route | --stats | --ping | --shutdown
+//!            | --route | --stats | --metrics | --logs | --ping | --shutdown
+//! tq fleet-status --peers A,B,C [--metrics] [--timeout SECS]
+//! tq fleet-trace  --peers A,B,C --out FILE [--timeout SECS]
 //! ```
+//!
+//! `--stats`/`--metrics` become roster-wide when `--peers` is given:
+//! stats print one JSON line per peer, metrics print one merged
+//! exposition with a `peer` label on every sample.
 //!
 //! See `docs/CLI.md` for the complete flag-by-flag reference and
 //! `docs/OPERATIONS.md` for running `tq serve` in production (overload
-//! behaviour, fault injection via `TQ_FAULTS`, reading `stats`/`metrics`).
+//! behaviour, fault injection via `TQ_FAULTS`, the structured event log
+//! and its `TQ_LOG` filter, reading `stats`/`metrics`, and reading a
+//! merged distributed trace).
 //!
 //! `serve`/`submit` are the front end for the `tq-profd` service: one
 //! daemon records each workload once and answers every profiling variant
@@ -57,6 +65,7 @@ use tq_profd::{
     Server, ServerConfig, StackPolicy, ToolId,
 };
 use tq_quad::{qdu_graph, QuadOptions, QuadTool};
+use tq_report::Json;
 use tq_tquad::{
     figure_chart, phase_table, LibPolicy, Measure, PhaseDetector, PhaseStrategy, TquadOptions,
     TquadTool,
@@ -107,7 +116,7 @@ impl Args {
         }
     }
 
-    /// Like [`u64_or`], but zero is rejected with a usage error. Flags
+    /// Like [`Self::u64_or`], but zero is rejected with a usage error. Flags
     /// like `--interval 0` or `--jobs 0` are always mistakes — an interval
     /// of zero instructions has no time axis and zero shards do no work —
     /// and must fail loudly instead of panicking deep inside a tool.
@@ -260,6 +269,32 @@ fn app_for(args: &Args) -> Result<App, String> {
     }
 }
 
+/// Socket policy for fleet scrapes (`fleet-status`, `fleet-trace`):
+/// short timeouts, because a scrape visits every peer sequentially and
+/// an unreachable member must cost seconds, not the submit default's
+/// ten-minute read budget. `--timeout SECS` overrides.
+fn fleet_scrape_config(args: &Args) -> Result<ClientConfig, String> {
+    let timeout = Duration::from_secs(args.positive_u64_or("timeout", 5)?);
+    let defaults = ClientConfig::default();
+    Ok(ClientConfig {
+        connect_timeout: defaults.connect_timeout.min(timeout),
+        read_timeout: Some(timeout),
+        retry: RetryPolicy::default(),
+    })
+}
+
+/// `--peers a,b,c` as a cleaned list (empty when the flag is absent).
+fn peers_arg(args: &Args) -> Vec<String> {
+    args.get("peers")
+        .map(|list| {
+            list.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 fn lib_policy(args: &Args) -> LibPolicy {
     if args.has("exclude-libs") {
         LibPolicy::Drop
@@ -271,7 +306,8 @@ fn lib_policy(args: &Args) -> LibPolicy {
 }
 
 fn usage() -> String {
-    "usage: tq <run|capture|gprof|tquad|quad|phases|intervals|disasm|serve|submit> [options]\n\
+    "usage: tq <run|capture|gprof|tquad|quad|phases|intervals|disasm|serve|submit|\n\
+     \u{20}          fleet-status|fleet-trace> [options]\n\
      common options: --app wfs|img --scale tiny|small|paper\n\
      \u{20}               --vm-opt off|fuse|trace (interpreter optimisation level;\n\
      \u{20}               observationally identical — same profiles, same capture\n\
@@ -301,14 +337,23 @@ fn usage() -> String {
      \u{20}               fault injection via TQ_FAULTS=, see docs/OPERATIONS.md)\n\
      \u{20}               --peers A,B,C (join a fleet; cache shards by digest)\n\
      \u{20}               --advertise HOST:PORT --probe-interval-ms N\n\
+     \u{20}               --slow-job-ms N (warn-log jobs slower than N; 0 = off)\n\
+     \u{20}               structured event log filter via TQ_LOG=level, see docs\n\
      submit options: --addr HOST:PORT --tool tquad|quad|gprof|phases --app --scale\n\
      \u{20}               --interval N --exclude-stack --exclude-libs --track-libs\n\
      \u{20}               --retries N (resubmit with backoff on busy responses)\n\
      \u{20}               --timeout SECS (connect/read socket timeouts)\n\
      \u{20}               --peers A,B,C (route to the ring owner, with failover)\n\
      \u{20}               --fallback-hint-ms N --backoff-cap-ms N (retry tuning)\n\
-     \u{20}               (or one of: --route --stats --metrics --ping --shutdown;\n\
+     \u{20}               (or one of: --route --stats --metrics --logs --ping\n\
+     \u{20}               --shutdown;\n\
+     \u{20}               --stats/--metrics with --peers scrape the whole roster;\n\
      \u{20}               exit 3 = job finally failed after exhausting retries)\n\
+     fleet-status:   --peers A,B,C (required) --metrics --timeout SECS\n\
+     \u{20}               (per-peer health table, or one merged peer-labelled\n\
+     \u{20}               Prometheus exposition with --metrics)\n\
+     fleet-trace:    --peers A,B,C --out FILE (merge every peer's span ring\n\
+     \u{20}               into one clock-aligned Chrome trace; open in Perfetto)\n\
      full reference: docs/CLI.md; operations handbook: docs/OPERATIONS.md"
         .to_string()
 }
@@ -715,42 +760,50 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                 // Fleet membership: `--peers` lists the *other* members'
                 // advertised addresses; `--advertise` names this node on
                 // the ring when the bind address is not it (port 0, NAT).
-                peers: args
-                    .get("peers")
-                    .map(|list| {
-                        list.split(',')
-                            .map(|s| s.trim().to_string())
-                            .filter(|s| !s.is_empty())
-                            .collect()
-                    })
-                    .unwrap_or_default(),
+                peers: peers_arg(&args),
                 advertise: args.get("advertise").map(str::to_string),
                 probe_interval: Duration::from_millis(args.positive_u64_or(
                     "probe-interval-ms",
                     defaults.probe_interval.as_millis() as u64,
                 )?),
+                // 0 disables the slow-job log entirely.
+                slow_job_ms: args.u64_or("slow-job-ms", defaults.slow_job_ms)?,
             };
             // Fault plans only arm the long-running service, never the
             // one-shot subcommands: rehearsing failure is a server
             // operator's deliberate act (TQ_FAULTS=... tq serve …).
             if tq_faults::init_from_env()? {
-                eprintln!(
-                    "# tq-profd: TQ_FAULTS plan ACTIVE — this server will misbehave on purpose"
+                tq_obs::log::warn(
+                    "tq",
+                    "faults_armed",
+                    &[(
+                        "plan",
+                        std::env::var("TQ_FAULTS").unwrap_or_default().into(),
+                    )],
                 );
             }
-            let workers = config.workers;
+            let workers = config.workers as u64;
             let cache_mb = config.cache_bytes >> 20;
             let peer_list = config.peers.join(",");
             let server = Server::start(config)?;
             let addr = server.local_addr();
             if !peer_list.is_empty() {
-                eprintln!("# tq-profd: fleet member; peers={peer_list}");
+                tq_obs::log::info(
+                    "tq",
+                    "fleet_member",
+                    &[("peers", peer_list.as_str().into())],
+                );
             }
-            // One-line startup banner on stderr: stdout stays parseable
-            // (scripts read the "listening on" line for the bound port).
-            eprintln!(
-                "# tq-profd: addr={addr} workers={workers} cache_mb={cache_mb} \
-                 (metrics: tq submit --addr {addr} --metrics)"
+            // Startup record on stderr: stdout stays parseable (scripts
+            // read the "listening on" line for the bound port).
+            tq_obs::log::info(
+                "tq",
+                "serving",
+                &[
+                    ("addr", addr.to_string().into()),
+                    ("workers", workers.into()),
+                    ("cache_mb", cache_mb.into()),
+                ],
             );
             println!("tq-profd listening on {addr}");
             println!("stop with: tq submit --addr {addr} --shutdown");
@@ -791,15 +844,7 @@ fn run(argv: &[String]) -> Result<(), Failure> {
             // `--peers a,b,c` switches routing on: jobs go to the ring
             // owner of their content digest, with failover. The fleet
             // member list must match what the servers were started with.
-            let peers: Vec<String> = args
-                .get("peers")
-                .map(|list| {
-                    list.split(',')
-                        .map(|s| s.trim().to_string())
-                        .filter(|s| !s.is_empty())
-                        .collect()
-                })
-                .unwrap_or_default();
+            let peers: Vec<String> = peers_arg(&args);
             if args.has("ping") {
                 let mut client = Client::connect_with(addr, config)?;
                 let r = client.ping()?;
@@ -809,11 +854,53 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                 let r = client.shutdown()?;
                 println!("{}", r.encode());
             } else if args.has("stats") {
+                // `--peers` makes the query roster-aware: one JSON line
+                // per member instead of silently asking a single host.
+                if peers.is_empty() {
+                    let mut client = Client::connect_with(addr, config)?;
+                    println!("{}", client.stats()?.render());
+                } else {
+                    for st in tq_profd::telemetry::scrape_fleet(&peers, &config) {
+                        let mut line = Json::obj([("peer", Json::from(st.addr.as_str()))]);
+                        match (st.stats, st.error) {
+                            (Some(stats), _) => line.set("stats", stats),
+                            (None, err) => line.set(
+                                "error",
+                                Json::from(err.unwrap_or_else(|| "no answer".into())),
+                            ),
+                        }
+                        println!("{}", line.render());
+                    }
+                }
+            } else if args.has("logs") {
+                // The server's bounded log tail, one JSON record per
+                // line — the daemon's recent history without touching
+                // its stderr.
                 let mut client = Client::connect_with(addr, config)?;
-                println!("{}", client.stats()?.render());
+                let (level, records) = client.logs_tail()?;
+                eprintln!("# level: {level}, {} record(s)", records.len());
+                for record in records {
+                    println!("{record}");
+                }
             } else if args.has("metrics") {
-                let mut client = Client::connect_with(addr, config)?;
-                print!("{}", client.metrics()?);
+                if peers.is_empty() {
+                    let mut client = Client::connect_with(addr, config)?;
+                    print!("{}", client.metrics()?);
+                } else {
+                    // Merged exposition with a `peer` label per sample —
+                    // the same document `tq fleet-status --metrics` prints.
+                    let scraped: Vec<(String, String)> =
+                        tq_profd::telemetry::scrape_fleet(&peers, &config)
+                            .into_iter()
+                            .filter_map(|st| st.metrics.map(|m| (st.addr, m)))
+                            .collect();
+                    if scraped.is_empty() {
+                        return Err("no fleet member answered a metrics request"
+                            .to_string()
+                            .into());
+                    }
+                    print!("{}", tq_profd::telemetry::merge_prometheus(&scraped));
+                }
             } else {
                 let tool = ToolId::parse(args.get("tool").unwrap_or("tquad"))?;
                 let app = AppId::parse(args.get("app").unwrap_or("wfs"))?;
@@ -828,7 +915,7 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                     // Ask the server who owns this job's digest — the
                     // answer is the same from every fleet member.
                     let mut client = Client::connect_with(addr, config)?;
-                    let resp = client.request(&Request::Route { spec })?;
+                    let resp = client.request(&Request::Route { spec, job_id: 0 })?;
                     println!("{}", resp.encode());
                     drop(cmd_span);
                     return Ok(());
@@ -856,25 +943,158 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                         .submit_with_trail(spec, retries, &mut trail)
                         .map(|(profile, cached, served_by)| (profile, cached, Some(served_by)))
                 };
+                // The full attempt trail as one structured JSON line on
+                // stderr — visible under TQ_LOG=debug, silent otherwise.
+                tq_obs::log::debug(
+                    "tq",
+                    "retry_trail",
+                    &[("trail", trail.to_json().render().into())],
+                );
                 match outcome {
                     Ok((profile, cached, served_by)) => {
                         // Profile JSON alone on stdout (byte-identical
                         // cold vs warm); bookkeeping goes to stderr.
                         println!("{}", profile.render());
-                        eprintln!("# cached: {cached}");
-                        if let Some(by) = served_by {
-                            eprintln!("# served_by: {by}");
+                        let mut fields = vec![
+                            ("job_id", tq_profd::job_id_hex(trail.job_id).into()),
+                            ("cached", cached.into()),
+                            ("attempts", u64::from(trail.attempts).into()),
+                        ];
+                        if let Some(by) = &served_by {
+                            fields.push(("served_by", by.as_str().into()));
                         }
+                        tq_obs::log::info("tq", "submit_done", &fields);
                     }
                     Err(e) => {
                         // Final failure: say what was actually tried, and
                         // exit 3 so scripts can tell a dead/overloaded
                         // service from a bad invocation.
-                        eprintln!("# submit failed: {}", trail.describe());
+                        tq_obs::log::error(
+                            "tq",
+                            "submit_failed",
+                            &[
+                                ("job_id", tq_profd::job_id_hex(trail.job_id).into()),
+                                ("trail", trail.describe().into()),
+                                ("error", e.as_str().into()),
+                            ],
+                        );
                         return Err(Failure::submit(e));
                     }
                 }
             }
+        }
+        "fleet-status" => {
+            // Scrape stats + metrics from every roster member and render
+            // one fleet-level view; a dead peer is a row, not a failure.
+            let peers = peers_arg(&args);
+            if peers.is_empty() {
+                return Err("fleet-status requires --peers A,B,C (the fleet roster)".into());
+            }
+            let config = fleet_scrape_config(&args)?;
+            let statuses = tq_profd::telemetry::scrape_fleet(&peers, &config);
+            if args.has("metrics") {
+                // Merged Prometheus exposition alone on stdout, every
+                // sample labelled peer="addr".
+                let scraped: Vec<(String, String)> = statuses
+                    .into_iter()
+                    .filter_map(|st| st.metrics.map(|m| (st.addr, m)))
+                    .collect();
+                if scraped.is_empty() {
+                    return Err("no fleet member answered a metrics request"
+                        .to_string()
+                        .into());
+                }
+                print!("{}", tq_profd::telemetry::merge_prometheus(&scraped));
+            } else {
+                let mut table = tq_report::Table::new("fleet status")
+                    .col("peer", tq_report::Align::Left)
+                    .col("state", tq_report::Align::Left)
+                    .col("role", tq_report::Align::Left)
+                    .col("uptime_s", tq_report::Align::Right)
+                    .col("jobs", tq_report::Align::Right)
+                    .col("hits", tq_report::Align::Right)
+                    .col("misses", tq_report::Align::Right)
+                    .col("peek_srv", tq_report::Align::Right)
+                    .col("peek_fetch", tq_report::Align::Right)
+                    .col("slow", tq_report::Align::Right);
+                let mut errors: Vec<(String, String)> = Vec::new();
+                for st in statuses {
+                    match st.stats {
+                        Some(stats) => {
+                            // Fleet coordination counters live under the
+                            // nested `fleet` object; solo nodes have none.
+                            let u = |key: &str| {
+                                stats
+                                    .get(key)
+                                    .or_else(|| stats.get("fleet").and_then(|f| f.get(key)))
+                                    .and_then(Json::as_u64)
+                                    .map(|v| v.to_string())
+                                    .unwrap_or_else(|| "-".into())
+                            };
+                            let uptime = stats
+                                .get("uptime_seconds")
+                                .and_then(Json::as_f64)
+                                .map(|s| format!("{s:.1}"))
+                                .unwrap_or_else(|| "-".into());
+                            let role = stats
+                                .get("role")
+                                .and_then(Json::as_str)
+                                .unwrap_or("-")
+                                .to_string();
+                            table.row(vec![
+                                st.addr.clone(),
+                                "up".into(),
+                                role,
+                                uptime,
+                                u("jobs_submitted"),
+                                u("cache_hits"),
+                                u("cache_misses"),
+                                u("peek_serves"),
+                                u("peek_fetches"),
+                                u("slow_jobs"),
+                            ]);
+                        }
+                        None => {
+                            table.row(vec![
+                                st.addr.clone(),
+                                "unreachable".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                            ]);
+                            errors.push((st.addr, st.error.unwrap_or_else(|| "no answer".into())));
+                        }
+                    }
+                }
+                println!("{}", table.render());
+                for (addr, err) in errors {
+                    eprintln!("# {addr}: {err}");
+                }
+            }
+        }
+        "fleet-trace" => {
+            // One merged Chrome trace over every peer's span ring: clock
+            // offsets estimated per peer, each peer re-homed under its
+            // own pid, spans correlated across hops by args.job_id.
+            let peers = peers_arg(&args);
+            if peers.is_empty() {
+                return Err("fleet-trace requires --peers A,B,C (the fleet roster)".into());
+            }
+            let out = args
+                .get("out")
+                .ok_or("fleet-trace requires --out FILE (the merged trace to write)")?;
+            let config = fleet_scrape_config(&args)?;
+            let doc = tq_profd::telemetry::fetch_merged_trace(&peers, &config)?;
+            std::fs::write(out, &doc).map_err(|e| format!("write {out}: {e}"))?;
+            println!(
+                "fleet trace written to {out} ({} bytes; open in Perfetto or chrome://tracing)",
+                doc.len()
+            );
         }
         other => return Err(format!("unknown subcommand `{other}`").into()),
     }

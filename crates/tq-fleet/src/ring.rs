@@ -43,7 +43,7 @@ pub struct Ring {
 }
 
 impl Ring {
-    /// Build a ring with [`DEFAULT_REPLICAS`] virtual nodes per member.
+    /// Build a ring with `DEFAULT_REPLICAS` virtual nodes per member.
     pub fn new(members: impl IntoIterator<Item = String>) -> Ring {
         Ring::with_replicas(members, DEFAULT_REPLICAS)
     }

@@ -21,7 +21,7 @@ pub enum Health {
     Alive,
     /// At least one recent probe failed; still routable.
     Suspect,
-    /// [`DEAD_AFTER`] consecutive failures; routing skips this peer until
+    /// `DEAD_AFTER` consecutive failures; routing skips this peer until
     /// a probe succeeds again.
     Dead,
 }
@@ -125,41 +125,57 @@ impl Roster {
         self.health(addr) != Some(Health::Dead)
     }
 
-    /// Record a successful probe and the load the peer reported.
-    pub fn record_success(&mut self, addr: &str, queue_len: u64, busy_workers: u64) {
-        if let Some(p) = self.find_mut(addr) {
-            p.probes += 1;
-            p.consecutive_failures = 0;
-            p.health = Health::Alive;
-            p.last_queue_len = queue_len;
-            p.last_busy_workers = busy_workers;
-        }
+    /// Record a successful probe and the load the peer reported. Returns
+    /// the `(old, new)` health pair when the peer's health changed (e.g.
+    /// a recovery from `Suspect` or `Dead` back to `Alive`), `None` when
+    /// the health is unchanged or the address is not on the roster —
+    /// callers use the transition to emit health-change events without
+    /// the roster itself taking a logging dependency.
+    pub fn record_success(
+        &mut self,
+        addr: &str,
+        queue_len: u64,
+        busy_workers: u64,
+    ) -> Option<(Health, Health)> {
+        let p = self.find_mut(addr)?;
+        let old = p.health;
+        p.probes += 1;
+        p.consecutive_failures = 0;
+        p.health = Health::Alive;
+        p.last_queue_len = queue_len;
+        p.last_busy_workers = busy_workers;
+        (old != p.health).then_some((old, p.health))
     }
 
     /// Record a failed probe (or an observed transport failure from a
     /// routed request — both are evidence the peer is unreachable).
-    pub fn record_failure(&mut self, addr: &str) {
-        if let Some(p) = self.find_mut(addr) {
-            p.probes += 1;
-            p.failures += 1;
-            p.consecutive_failures += 1;
-            p.health = if p.consecutive_failures >= DEAD_AFTER {
-                Health::Dead
-            } else {
-                Health::Suspect
-            };
-        }
+    /// Returns the `(old, new)` health pair on a transition (see
+    /// [`Roster::record_success`]).
+    pub fn record_failure(&mut self, addr: &str) -> Option<(Health, Health)> {
+        let p = self.find_mut(addr)?;
+        let old = p.health;
+        p.probes += 1;
+        p.failures += 1;
+        p.consecutive_failures += 1;
+        p.health = if p.consecutive_failures >= DEAD_AFTER {
+            Health::Dead
+        } else {
+            Health::Suspect
+        };
+        (old != p.health).then_some((old, p.health))
     }
 
     /// Mark a peer dead immediately (used when a routed request finds the
-    /// peer gone — waiting out [`DEAD_AFTER`] probe rounds would keep
-    /// routing work at a corpse).
-    pub fn mark_dead(&mut self, addr: &str) {
-        if let Some(p) = self.find_mut(addr) {
-            p.failures += 1;
-            p.consecutive_failures = p.consecutive_failures.max(DEAD_AFTER);
-            p.health = Health::Dead;
-        }
+    /// peer gone — waiting out `DEAD_AFTER` probe rounds would keep
+    /// routing work at a corpse). Returns the `(old, new)` health pair on
+    /// a transition (see [`Roster::record_success`]).
+    pub fn mark_dead(&mut self, addr: &str) -> Option<(Health, Health)> {
+        let p = self.find_mut(addr)?;
+        let old = p.health;
+        p.failures += 1;
+        p.consecutive_failures = p.consecutive_failures.max(DEAD_AFTER);
+        p.health = Health::Dead;
+        (old != p.health).then_some((old, p.health))
     }
 
     /// Number of peers currently not dead.
@@ -191,26 +207,39 @@ mod tests {
         assert_eq!(r.len(), 2, "sorted + deduped");
         assert_eq!(r.health("a"), Some(Health::Alive));
 
-        r.record_failure("a");
+        assert_eq!(
+            r.record_failure("a"),
+            Some((Health::Alive, Health::Suspect))
+        );
         assert_eq!(r.health("a"), Some(Health::Suspect));
         assert!(r.is_live("a"), "suspect peers are still routable");
-        for _ in 1..DEAD_AFTER {
-            r.record_failure("a");
+        for i in 1..DEAD_AFTER {
+            let transition = r.record_failure("a");
+            if i == DEAD_AFTER - 1 {
+                assert_eq!(transition, Some((Health::Suspect, Health::Dead)));
+            } else {
+                assert_eq!(transition, None, "suspect→suspect is not a transition");
+            }
         }
         assert_eq!(r.health("a"), Some(Health::Dead));
         assert!(!r.is_live("a"));
 
-        r.record_success("a", 0, 0);
+        assert_eq!(
+            r.record_success("a", 0, 0),
+            Some((Health::Dead, Health::Alive))
+        );
         assert_eq!(r.health("a"), Some(Health::Alive), "one success restores");
         assert!(r.is_live("a"));
+        assert_eq!(r.record_success("a", 0, 0), None, "alive→alive is quiet");
     }
 
     #[test]
     fn mark_dead_is_immediate() {
         let mut r = Roster::new(["p".into()]);
-        r.mark_dead("p");
+        assert_eq!(r.mark_dead("p"), Some((Health::Alive, Health::Dead)));
         assert_eq!(r.health("p"), Some(Health::Dead));
         assert_eq!(r.live_count(), 0);
+        assert_eq!(r.mark_dead("p"), None, "already dead: no transition");
     }
 
     #[test]
@@ -231,7 +260,7 @@ mod tests {
     fn unknown_addresses_are_live_but_untracked() {
         let mut r = Roster::new(["known".into()]);
         assert!(r.is_live("unknown"));
-        r.record_failure("unknown"); // no-op, no panic
+        assert_eq!(r.record_failure("unknown"), None); // no-op, no panic
         assert_eq!(r.health("unknown"), None);
     }
 }

@@ -2,14 +2,20 @@
 //!
 //! tQUAD's whole premise is that cheap, always-on measurement changes how
 //! you build systems; this crate applies the premise to the reproduction
-//! itself. It provides the three primitives a self-hosted telemetry layer
+//! itself. It provides the primitives a self-hosted telemetry layer
 //! needs, with zero external dependencies (the workspace builds offline):
 //!
-//! * **spans** ([`span`]/[`span_named`]) — RAII wall-clock timers recorded
+//! * **spans** ([`span()`]/[`span_named`]) — RAII wall-clock timers recorded
 //!   into per-thread ring buffers. Each recording thread is its own
 //!   *track*, so a sharded replay shows one lane per shard when the log is
 //!   exported as Chrome trace-event JSON ([`chrome`]) and loaded in
-//!   `chrome://tracing` or Perfetto;
+//!   `chrome://tracing` or Perfetto. Spans opened inside a [`with_job`]
+//!   scope carry a distributed-trace `job_id`, the correlation key the
+//!   fleet trace merger joins on;
+//! * **a structured event log** ([`log`]) — JSON-lines records with
+//!   severity levels, a `TQ_LOG` environment filter and a bounded
+//!   in-memory tail ring, so a daemon can export its recent history over
+//!   the wire;
 //! * **metrics** ([`counter`]/[`gauge`]/[`histogram`]) — process-global
 //!   monotonic counters, gauges and log₂ histograms behind cloneable
 //!   atomic handles, exported as Prometheus-style text exposition
@@ -30,14 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod log;
 pub mod metrics;
 pub mod span;
 
-pub use chrome::{chrome_trace, drain_chrome_trace};
+pub use chrome::{chrome_trace, drain_chrome_trace, snapshot_chrome_trace};
 pub use metrics::{counter, gauge, histogram, prometheus_text, Counter, Gauge, Histogram};
 pub use span::{
-    current_tid, drain_spans, dropped_spans, set_thread_name, span, span_named, thread_names,
-    SpanEvent, SpanGuard,
+    current_job, current_tid, drain_spans, dropped_spans, set_thread_name, snapshot_spans, span,
+    span_named, thread_names, with_job, JobGuard, SpanEvent, SpanGuard,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -92,8 +99,12 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Nanoseconds since the process epoch.
-pub(crate) fn now_ns() -> u64 {
+/// Nanoseconds since the process epoch. Public because distributed
+/// tracing needs it: a client timestamps its round-trip to a peer's
+/// `trace` endpoint in this clock, the peer reports its own `now_ns`,
+/// and the difference (NTP-style) estimates the per-peer clock offset
+/// used to merge span rings onto one timeline.
+pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 

@@ -1,0 +1,431 @@
+//! Structured JSON-lines event log.
+//!
+//! Every record is one JSON object on one line — machine-parseable with
+//! `tq_report::Json`, greppable by humans — written to stderr and kept in
+//! a bounded in-memory tail ring so a running daemon can export its recent
+//! history over the wire (`tq-profd`'s `logs` request) without any file
+//! plumbing. Like the rest of the crate this is dependency-free and
+//! gated: while observability is disabled (or the record's level is
+//! filtered out) a log call is one relaxed atomic load and a branch.
+//!
+//! Severity is filtered by the `TQ_LOG` environment variable: one of
+//! `off`, `error`, `warn`, `info` (the default), `debug` or `trace`,
+//! case-insensitive. [`set_level`]/[`set_level_off`] override it at
+//! runtime (a `logs` admin request could do the same).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{counter, Counter};
+
+/// Tail-ring capacity, in rendered records. Oldest records are
+/// overwritten (and counted in `tq_log_dropped_total`) past this.
+pub const TAIL_CAP: usize = 1024;
+
+/// Severity of a log record. Ordered: `Error` is most severe, `Trace`
+/// least; a filter at level L admits records with `level <= L`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed and was not recovered.
+    Error = 1,
+    /// Degraded but handled: sheds, suspect peers, slow jobs.
+    Warn = 2,
+    /// Normal lifecycle milestones (startup, config, recovery).
+    Info = 3,
+    /// Per-job lifecycle detail; quiet at the default filter.
+    Debug = 4,
+    /// High-volume internals (per-frame, per-probe).
+    Trace = 5,
+}
+
+impl Level {
+    /// Lowercase name, as rendered into records and accepted by `TQ_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name (case-insensitive). `off` is not a record
+    /// level — see [`set_level_off`] / the `TQ_LOG` grammar.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// One field value. `From` impls cover the workspace's common types so
+/// call sites read `("micros", n.into())`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values render as `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String, escaped on render.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Filter states beyond the five levels: `OFF` admits nothing, `UNINIT`
+/// means "consult `TQ_LOG` on first use".
+const OFF: u8 = 0;
+const UNINIT: u8 = 0xFF;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+static STDERR: AtomicBool = AtomicBool::new(true);
+static TAIL: Mutex<VecDeque<String>> = Mutex::new(VecDeque::new());
+
+fn current_level() -> u8 {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNINIT => init_from_env(),
+        v => v,
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let filter = match std::env::var("TQ_LOG").as_deref() {
+        Ok(s) if s.eq_ignore_ascii_case("off") => OFF,
+        Ok(s) => Level::parse(s).map_or(Level::Info as u8, |l| l as u8),
+        Err(_) => Level::Info as u8,
+    };
+    // A concurrent set_level wins: only replace the uninitialised state.
+    let _ = LEVEL.compare_exchange(UNINIT, filter, Ordering::Relaxed, Ordering::Relaxed);
+    LEVEL.load(Ordering::Relaxed)
+}
+
+/// Whether a record at `level` would be admitted right now. This is the
+/// whole disabled fast path: the global gate load plus one filter load.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    crate::enabled() && (level as u8) <= current_level()
+}
+
+/// Set the severity filter: records with `level <= filter` are admitted.
+/// Overrides whatever `TQ_LOG` said.
+pub fn set_level(filter: Level) {
+    LEVEL.store(filter as u8, Ordering::Relaxed);
+}
+
+/// Silence the log entirely (the `TQ_LOG=off` state).
+pub fn set_level_off() {
+    LEVEL.store(OFF, Ordering::Relaxed);
+}
+
+/// The current filter as its `TQ_LOG` name (`off` when silenced).
+pub fn level_name() -> &'static str {
+    match current_level() {
+        OFF => "off",
+        1 => "error",
+        2 => "warn",
+        3 => "info",
+        4 => "debug",
+        _ => "trace",
+    }
+}
+
+/// Route records to stderr (default true). Tests and embedders that only
+/// want the tail ring turn this off; the ring is always fed.
+pub fn set_stderr(on: bool) {
+    STDERR.store(on, Ordering::Relaxed);
+}
+
+fn records_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| counter("tq_log_records_total", "Structured log records emitted."))
+}
+
+fn dropped_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        counter(
+            "tq_log_dropped_total",
+            "Structured log records overwritten in the bounded tail ring.",
+        )
+    })
+}
+
+/// Render one record as a single JSON line. Key order is fixed
+/// (`ts_ns`, `level`, `target`, `event`, then fields in call order) so
+/// records are stable for tests and diffs.
+fn render(level: Level, target: &str, event: &str, fields: &[(&str, Value)]) -> String {
+    let mut out = String::with_capacity(96 + fields.len() * 24);
+    let _ = write!(out, "{{\"ts_ns\":{},\"level\":\"", crate::now_ns());
+    out.push_str(level.as_str());
+    out.push_str("\",\"target\":");
+    crate::chrome::push_escaped(target, &mut out);
+    out.push_str(",\"event\":");
+    crate::chrome::push_escaped(event, &mut out);
+    for (key, value) in fields {
+        out.push(',');
+        crate::chrome::push_escaped(key, &mut out);
+        out.push(':');
+        match value {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(v) => crate::chrome::push_escaped(v, &mut out),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Emit one structured record if `level` passes the filter. `target`
+/// names the emitting subsystem (`tq-profd`, `tq-cli`…), `event` is a
+/// stable machine-matchable name (`job_done`, `overload_shed`…), and
+/// `fields` carry the payload.
+pub fn emit(level: Level, target: &str, event: &str, fields: &[(&str, Value)]) {
+    if !level_enabled(level) {
+        return;
+    }
+    let line = render(level, target, event, fields);
+    records_total().inc();
+    {
+        let mut tail = TAIL.lock().unwrap_or_else(|e| e.into_inner());
+        if tail.len() >= TAIL_CAP {
+            tail.pop_front();
+            dropped_total().inc();
+        }
+        tail.push_back(line.clone());
+    }
+    if STDERR.load(Ordering::Relaxed) {
+        let _ = writeln!(std::io::stderr().lock(), "{line}");
+    }
+}
+
+/// [`emit`] at [`Level::Error`].
+pub fn error(target: &str, event: &str, fields: &[(&str, Value)]) {
+    emit(Level::Error, target, event, fields);
+}
+/// [`emit`] at [`Level::Warn`].
+pub fn warn(target: &str, event: &str, fields: &[(&str, Value)]) {
+    emit(Level::Warn, target, event, fields);
+}
+/// [`emit`] at [`Level::Info`].
+pub fn info(target: &str, event: &str, fields: &[(&str, Value)]) {
+    emit(Level::Info, target, event, fields);
+}
+/// [`emit`] at [`Level::Debug`].
+pub fn debug(target: &str, event: &str, fields: &[(&str, Value)]) {
+    emit(Level::Debug, target, event, fields);
+}
+/// [`emit`] at [`Level::Trace`].
+pub fn trace(target: &str, event: &str, fields: &[(&str, Value)]) {
+    emit(Level::Trace, target, event, fields);
+}
+
+/// Snapshot of the tail ring, oldest first. Non-destructive: the ring
+/// keeps its records so repeated exports see overlapping history.
+pub fn tail() -> Vec<String> {
+    TAIL.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Empty the tail ring (tests; an operator "ack" could use it too).
+pub fn clear_tail() {
+    TAIL.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use tq_report::Json;
+
+    fn quiet() {
+        crate::set_enabled(true);
+        set_stderr(false);
+        clear_tail();
+    }
+
+    #[test]
+    fn records_render_as_parseable_json_lines() {
+        let _g = test_lock::hold();
+        quiet();
+        set_level(Level::Debug);
+        debug(
+            "tq-test",
+            "job_done",
+            &[
+                ("job_id", "00ab".into()),
+                ("micros", 123u64.into()),
+                ("cached", true.into()),
+                ("note", "quote\" nl\n".into()),
+            ],
+        );
+        let tail = tail();
+        assert_eq!(tail.len(), 1);
+        let doc = Json::parse(&tail[0]).expect("record parses");
+        assert_eq!(doc.get("level").and_then(Json::as_str), Some("debug"));
+        assert_eq!(doc.get("target").and_then(Json::as_str), Some("tq-test"));
+        assert_eq!(doc.get("event").and_then(Json::as_str), Some("job_done"));
+        assert_eq!(doc.get("micros").and_then(Json::as_u64), Some(123));
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("note").and_then(Json::as_str), Some("quote\" nl\n"));
+        assert!(doc.get("ts_ns").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn filter_admits_at_or_above_severity_only() {
+        let _g = test_lock::hold();
+        quiet();
+        set_level(Level::Warn);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        info("tq-test", "filtered", &[]);
+        warn("tq-test", "admitted", &[]);
+        let tail = tail();
+        assert_eq!(tail.len(), 1, "{tail:?}");
+        assert!(tail[0].contains("\"admitted\""));
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let _g = test_lock::hold();
+        quiet();
+        set_level_off();
+        assert_eq!(level_name(), "off");
+        assert!(!level_enabled(Level::Error));
+        error("tq-test", "silenced", &[]);
+        assert!(tail().is_empty());
+        set_level(Level::Info);
+        assert_eq!(level_name(), "info");
+    }
+
+    #[test]
+    fn disabled_gate_beats_any_filter() {
+        let _g = test_lock::hold();
+        quiet();
+        set_level(Level::Trace);
+        crate::set_enabled(false);
+        assert!(!level_enabled(Level::Error));
+        error("tq-test", "gated", &[]);
+        crate::set_enabled(true);
+        assert!(tail().is_empty());
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn tail_ring_is_bounded_and_counts_drops() {
+        let _g = test_lock::hold();
+        quiet();
+        set_level(Level::Info);
+        for i in 0..(TAIL_CAP + 16) {
+            info("tq-test", "tick", &[("i", (i as u64).into())]);
+        }
+        let tail = tail();
+        assert_eq!(tail.len(), TAIL_CAP);
+        // The survivors are the newest records.
+        assert!(tail[0].contains("\"i\":16"), "{}", tail[0]);
+        assert!(tail[TAIL_CAP - 1].contains(&format!("\"i\":{}", TAIL_CAP + 15)));
+        clear_tail();
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert_eq!(Level::parse("off"), None, "off is a filter, not a level");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let _g = test_lock::hold();
+        quiet();
+        set_level(Level::Info);
+        info(
+            "tq-test",
+            "f",
+            &[("x", f64::NAN.into()), ("y", 1.5f64.into())],
+        );
+        let tail = tail();
+        assert!(tail[0].contains("\"x\":null"), "{}", tail[0]);
+        assert!(tail[0].contains("\"y\":1.5"), "{}", tail[0]);
+        clear_tail();
+    }
+}

@@ -30,6 +30,19 @@ pub enum CaptureSource {
     Recorded,
 }
 
+/// Structured record for an injected cache IO failure: every rehearsed
+/// degradation leaves an operator-visible trail naming the site it hit.
+fn log_fault_fired(site: &str) {
+    tq_obs::log::warn(
+        "tq-profd",
+        "fault_fired",
+        &[
+            ("point", tq_faults::FaultPoint::CacheIoError.key().into()),
+            ("site", site.into()),
+        ],
+    );
+}
+
 /// Estimated resident size of a trace, for the LRU budget.
 fn trace_bytes(t: &Trace) -> u64 {
     let names: usize = t
@@ -141,7 +154,10 @@ impl CaptureStore {
     pub fn peek_bytes(&self, digest: &str) -> Option<Vec<u8>> {
         // Same fault point as the other disk-tier reads: an injected IO
         // failure degrades to the decode-and-reencode path, never a panic.
-        tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError).ok()?;
+        if tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError).is_err() {
+            log_fault_fired("peek_bytes");
+            return None;
+        }
         let path = self.capture_path(digest)?;
         let bytes = std::fs::read(&path).ok()?;
         bytes.starts_with(b"TQTRACE").then_some(bytes)
@@ -224,6 +240,9 @@ impl CaptureStore {
         // unreadable capture file — fall back to recording. Correctness is
         // untouched, only the warm-restart benefit is lost.
         let disk_ok = tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError).is_ok();
+        if !disk_ok {
+            log_fault_fired("disk_load");
+        }
         let loaded = self
             .capture_path(digest)
             .filter(|_| disk_ok)
@@ -248,9 +267,12 @@ impl CaptureStore {
                     // write failure) must not fail the job, it just loses
                     // the warm-restart benefit.
                     if let Some(path) = self.capture_path(digest) {
-                        if tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError).is_ok() {
-                            let _ = path.parent().map(std::fs::create_dir_all);
-                            let _ = t.save_to_path(&path);
+                        match tq_faults::fail_if(tq_faults::FaultPoint::CacheIoError) {
+                            Ok(()) => {
+                                let _ = path.parent().map(std::fs::create_dir_all);
+                                let _ = t.save_to_path(&path);
+                            }
+                            Err(_) => log_fault_fired("disk_save"),
                         }
                     }
                     (Arc::new(t), CaptureSource::Recorded)

@@ -14,13 +14,33 @@
 //! around dead or shedding peers.
 
 use crate::apps::{AppId, Scale, Workload};
-use crate::protocol::{hex_decode, JobSpec, Request, Response, PEEK_FRAME_BYTES};
+use crate::protocol::{
+    hex_decode, job_id_hex, mint_job_id, JobSpec, Request, Response, PEEK_FRAME_BYTES,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 use tq_fleet::{Ring, Roster};
 use tq_report::Json;
+
+/// Per-process submission sequence, mixed into client-minted job ids so
+/// two submissions of the same spec from one process still get distinct
+/// distributed-trace ids.
+static SUBMISSION_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Mint the distributed-trace id for one logical submission. The id is
+/// reused verbatim across every retry and failover hop of that
+/// submission — that reuse is what lets the fleet trace merger correlate
+/// the hops into one track.
+fn mint_submission_id(identity: &str) -> u64 {
+    let seq = SUBMISSION_SEQ.fetch_add(1, Ordering::Relaxed);
+    mint_job_id(
+        identity,
+        seq ^ u64::from(std::process::id()).rotate_left(32),
+    )
+}
 
 /// Backoff shape for resubmission after `busy`/shed responses.
 #[derive(Clone, Debug)]
@@ -72,8 +92,14 @@ impl Default for ClientConfig {
 /// that it did.
 #[derive(Clone, Debug, Default)]
 pub struct RetryTrail {
+    /// The distributed-trace id minted for this submission (0 before the
+    /// first attempt). Every retry and failover hop carries the same id.
+    pub job_id: u64,
     /// Total submit attempts made (including the first).
     pub attempts: u32,
+    /// Wall-clock milliseconds each attempt spent (request send to
+    /// response/error), in attempt order.
+    pub attempt_ms: Vec<u64>,
     /// Distinct peer addresses tried, in first-contact order.
     pub peers_tried: Vec<String>,
     /// The last `retry_after_ms` hint a server sent (None: no server ever
@@ -92,6 +118,10 @@ impl RetryTrail {
         }
     }
 
+    fn note_elapsed(&mut self, started: Instant) {
+        self.attempt_ms.push(started.elapsed().as_millis() as u64);
+    }
+
     /// One-line rendering for diagnostics (`attempts=3 peers=a,b last_hint=50ms`).
     pub fn describe(&self) -> String {
         let hint = match self.last_retry_after_ms {
@@ -99,7 +129,8 @@ impl RetryTrail {
             None => "none".into(),
         };
         format!(
-            "attempts={} peers_tried={} last_retry_after_ms={}",
+            "job_id={} attempts={} peers_tried={} last_retry_after_ms={}",
+            job_id_hex(self.job_id),
             self.attempts,
             if self.peers_tried.is_empty() {
                 "none".into()
@@ -109,6 +140,56 @@ impl RetryTrail {
             hint
         )
     }
+
+    /// Structured rendering: the JSON object `tq submit` logs at debug
+    /// level after every submission, successful or not.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj([
+            ("job_id", Json::from(job_id_hex(self.job_id))),
+            ("attempts", Json::from(u64::from(self.attempts))),
+            (
+                "attempt_ms",
+                Json::from(
+                    self.attempt_ms
+                        .iter()
+                        .map(|&ms| Json::from(ms))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "peers_tried",
+                Json::from(
+                    self.peers_tried
+                        .iter()
+                        .map(|p| Json::from(p.as_str()))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ]);
+        if let Some(ms) = self.last_retry_after_ms {
+            obj.set("last_retry_after_ms", Json::from(ms));
+        }
+        if let Some(err) = &self.last_error {
+            obj.set("last_error", Json::from(err.as_str()));
+        }
+        obj
+    }
+}
+
+/// One peer's span ring as exported by its `trace` endpoint, bracketed by
+/// the client-side round-trip timestamps needed to place the peer's
+/// clock: `offset ≈ server_now_ns − (t0_ns + t1_ns) / 2` (NTP's
+/// single-sample estimator; see `crate::telemetry`).
+#[derive(Clone, Debug)]
+pub struct TraceExport {
+    /// Client clock (`tq_obs::now_ns`) just before the request was sent.
+    pub t0_ns: u64,
+    /// Client clock just after the response arrived.
+    pub t1_ns: u64,
+    /// The peer's own `tq_obs::now_ns` when it answered.
+    pub server_now_ns: u64,
+    /// The peer's retired+live spans as a Chrome trace-event JSON document.
+    pub doc: String,
 }
 
 /// A connected client. One request/response at a time; the connection
@@ -201,7 +282,12 @@ impl Client {
     /// shed comes back as a plain `Err` — use [`Client::submit_with_retry`]
     /// to honor the server's backpressure instead.
     pub fn submit(&mut self, spec: JobSpec) -> Result<(Json, bool), String> {
-        let resp = self.request(&Request::Submit { spec, attempt: 0 })?;
+        let job_id = mint_submission_id(&format!("{spec:?}"));
+        let resp = self.request(&Request::Submit {
+            spec,
+            attempt: 0,
+            job_id,
+        })?;
         Self::parse_submit(resp)
     }
 
@@ -236,7 +322,7 @@ impl Client {
 
     /// Submit a job, resubmitting up to `retries` times when the server
     /// sheds us — a `busy` response (queue full, connection limit) or a
-    /// dropped connection. Sleeps between attempts per [`Client::backoff`],
+    /// dropped connection. Sleeps between attempts per the backoff policy,
     /// honoring the server's `retry_after_ms` hint. Non-busy job errors are
     /// returned immediately: the job failed on its merits and a retry
     /// would fail identically.
@@ -258,14 +344,20 @@ impl Client {
         retries: u32,
         trail: &mut RetryTrail,
     ) -> Result<(Json, bool), String> {
+        if trail.job_id == 0 {
+            trail.job_id = mint_submission_id(&format!("{spec:?}"));
+        }
         let mut attempt: u32 = 0;
         loop {
             trail.attempts += 1;
             trail.note_peer(&self.addr);
+            let started = Instant::now();
             let result = self.request(&Request::Submit {
                 spec: spec.clone(),
                 attempt: u64::from(attempt),
+                job_id: trail.job_id,
             });
+            trail.note_elapsed(started);
             let (hint_ms, redirect, err) = match result {
                 Ok(resp) if resp.is_busy() => {
                     let hint = resp
@@ -351,6 +443,59 @@ impl Client {
         self.request(&Request::Shutdown)
     }
 
+    /// Export the peer's span ring as a Chrome trace document, timing the
+    /// round-trip on the local `tq_obs` clock so the caller can estimate
+    /// the peer's clock offset (see [`TraceExport`]).
+    pub fn trace_export(&mut self) -> Result<TraceExport, String> {
+        let t0_ns = tq_obs::now_ns();
+        let resp = self.request(&Request::Trace)?;
+        let t1_ns = tq_obs::now_ns();
+        if !resp.is_ok() {
+            return Err(resp.error().unwrap_or("unknown server error").to_string());
+        }
+        let server_now_ns = resp
+            .0
+            .get("now_ns")
+            .and_then(Json::as_u64)
+            .ok_or("trace response missing `now_ns`")?;
+        let doc = resp
+            .0
+            .get("trace")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or("trace response missing `trace`")?;
+        Ok(TraceExport {
+            t0_ns,
+            t1_ns,
+            server_now_ns,
+            doc,
+        })
+    }
+
+    /// Fetch the peer's recent structured-log tail. Returns the peer's
+    /// active level name and the JSON-lines records, oldest first.
+    pub fn logs_tail(&mut self) -> Result<(String, Vec<String>), String> {
+        let resp = self.request(&Request::Logs)?;
+        if !resp.is_ok() {
+            return Err(resp.error().unwrap_or("unknown server error").to_string());
+        }
+        let level = resp
+            .0
+            .get("level")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let records = resp
+            .0
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or("logs response missing `records`")?
+            .iter()
+            .filter_map(|r| r.as_str().map(str::to_string))
+            .collect();
+        Ok((level, records))
+    }
+
     /// Fetch the encoded capture for `digest` via a chunked `peek`:
     /// a header line declaring `frames`/`total_bytes`, then that many
     /// bounded frame lines ([`PEEK_FRAME_BYTES`] raw bytes each). A legacy
@@ -366,11 +511,25 @@ impl Client {
         scale: Scale,
         digest: &str,
     ) -> Result<Option<Vec<u8>>, String> {
+        self.peek_fetch_tagged(app, scale, digest, 0)
+    }
+
+    /// [`Client::peek_fetch`] carrying the distributed-trace `job_id` of
+    /// the submission that triggered the fetch, so the serving peer's
+    /// `peek-serve` span joins the same trace (0 = untagged).
+    pub fn peek_fetch_tagged(
+        &mut self,
+        app: AppId,
+        scale: Scale,
+        digest: &str,
+        job_id: u64,
+    ) -> Result<Option<Vec<u8>>, String> {
         let header = self.request(&Request::Peek {
             app,
             scale,
             digest: digest.to_string(),
             chunked: true,
+            job_id,
         })?;
         if !header.is_ok() {
             return Err(header.error().unwrap_or("unknown server error").to_string());
@@ -543,6 +702,9 @@ impl FleetClient {
         trail: &mut RetryTrail,
     ) -> Result<(Json, bool, String), String> {
         let digest = self.digest_for(spec.app, spec.scale);
+        if trail.job_id == 0 {
+            trail.job_id = mint_submission_id(&digest);
+        }
         let route: Vec<String> = self
             .ring
             .route(&digest)
@@ -568,25 +730,30 @@ impl FleetClient {
                     continue;
                 }
                 touched_any = true;
+                let connect_started = Instant::now();
                 let client = match self.connection(addr) {
                     Ok(c) => c,
                     Err(e) => {
                         spent += 1;
                         trail.attempts += 1;
                         trail.note_peer(addr);
+                        trail.note_elapsed(connect_started);
                         trail.last_error = Some(e.clone());
                         last_err = format!("{addr}: {e}");
                         self.roster.mark_dead(addr);
                         continue;
                     }
                 };
+                let started = Instant::now();
                 let result = client.request(&Request::Submit {
                     spec: spec.clone(),
                     attempt: u64::from(spent),
+                    job_id: trail.job_id,
                 });
                 spent += 1;
                 trail.attempts += 1;
                 trail.note_peer(addr);
+                trail.note_elapsed(started);
                 match result {
                     Ok(resp) if resp.is_busy() => {
                         let hint = resp
@@ -665,17 +832,23 @@ impl FleetClient {
     ) -> Result<(Json, bool), String> {
         trail.attempts += 1;
         trail.note_peer(addr);
+        let connect_started = Instant::now();
         let client = match self.connection(addr) {
             Ok(c) => c,
             Err(e) => {
+                trail.note_elapsed(connect_started);
                 self.roster.mark_dead(addr);
                 return Err(e);
             }
         };
-        let resp = match client.request(&Request::Submit {
+        let started = Instant::now();
+        let result = client.request(&Request::Submit {
             spec: spec.clone(),
             attempt: u64::from(attempt),
-        }) {
+            job_id: trail.job_id,
+        });
+        trail.note_elapsed(started);
+        let resp = match result {
             Ok(r) => r,
             Err(e) => {
                 self.roster.mark_dead(addr);

@@ -62,7 +62,13 @@ pub fn record_capture_opt(
 pub fn run_tool(spec: &JobSpec, trace: &Trace, n_jobs: usize) -> Result<Json, String> {
     // Fault rehearsal: an artificially slow replay is the chaos tests'
     // lever for forcing queue pressure; free when no plan is installed.
-    tq_faults::sleep_if(tq_faults::FaultPoint::SlowReplay);
+    if tq_faults::sleep_if(tq_faults::FaultPoint::SlowReplay) {
+        tq_obs::log::warn(
+            "tq-profd",
+            "fault_fired",
+            &[("point", tq_faults::FaultPoint::SlowReplay.key().into())],
+        );
+    }
     match spec.tool {
         ToolId::Tquad => {
             let profile = replay_tquad(spec, trace, n_jobs)?;

@@ -24,9 +24,35 @@ use crate::client::{Client, ClientConfig, RetryPolicy};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
-use tq_fleet::{Ring, Roster};
+use tq_fleet::{Health, Ring, Roster};
 use tq_report::Json;
 use tq_trace::Trace;
+
+/// `target` field of this module's structured log records.
+const LOG: &str = "tq-profd";
+
+/// Log a roster health transition (the `Option` returned by the roster's
+/// record/mark calls): `info` while a peer degrades or recovers, `warn`
+/// when it is declared dead — the event an operator pages on.
+fn log_transition(peer: &str, transition: Option<(Health, Health)>) {
+    if let Some((from, to)) = transition {
+        let level = if to == Health::Dead {
+            tq_obs::log::Level::Warn
+        } else {
+            tq_obs::log::Level::Info
+        };
+        tq_obs::log::emit(
+            level,
+            LOG,
+            "peer_health",
+            &[
+                ("peer", peer.into()),
+                ("from", from.as_str().into()),
+                ("to", to.as_str().into()),
+            ],
+        );
+    }
+}
 
 /// Fleet membership and probing knobs.
 #[derive(Clone, Debug)]
@@ -216,7 +242,7 @@ impl FleetState {
                 .ok()
                 .filter(|r| r.is_ok());
             let mut roster = lock_roster(&self.roster);
-            match outcome {
+            let transition = match outcome {
                 Some(resp) => {
                     let q = resp.0.get("queue_len").and_then(Json::as_u64).unwrap_or(0);
                     let b = resp
@@ -224,10 +250,12 @@ impl FleetState {
                         .get("busy_workers")
                         .and_then(Json::as_u64)
                         .unwrap_or(0);
-                    roster.record_success(peer, q, b);
+                    roster.record_success(peer, q, b)
                 }
                 None => roster.record_failure(peer),
-            }
+            };
+            drop(roster);
+            log_transition(peer, transition);
         }
         self.probe_rounds.fetch_add(1, Ordering::Relaxed);
         obs::probe_rounds().inc();
@@ -251,8 +279,9 @@ impl FleetState {
     /// Fetch the capture for a remotely-owned digest from its owner.
     /// `None` means the owner is dead, unreachable, or answered without
     /// the capture — the caller records locally instead (correctness
-    /// never depends on a peer).
-    pub fn try_peek(&self, app: AppId, scale: Scale, digest: &str) -> Option<Trace> {
+    /// never depends on a peer). `job_id` rides the wire so the owner's
+    /// peek-side spans join the job's distributed trace.
+    pub fn try_peek(&self, app: AppId, scale: Scale, digest: &str, job_id: u64) -> Option<Trace> {
         let owner = self.owner_of(digest).to_string();
         if owner == self.config.self_addr {
             return None;
@@ -262,7 +291,7 @@ impl FleetState {
             obs::peek_fetch_failures().inc();
             return None;
         }
-        let fetched = self.fetch_capture(&owner, app, scale, digest);
+        let fetched = self.fetch_capture(&owner, app, scale, digest, job_id);
         match fetched {
             Some(trace) => {
                 self.peek_fetches.fetch_add(1, Ordering::Relaxed);
@@ -272,12 +301,28 @@ impl FleetState {
             None => {
                 self.peek_fetch_failures.fetch_add(1, Ordering::Relaxed);
                 obs::peek_fetch_failures().inc();
+                tq_obs::log::warn(
+                    LOG,
+                    "peek_fetch_failed",
+                    &[
+                        ("owner", owner.as_str().into()),
+                        ("digest", digest.into()),
+                        ("job_id", crate::protocol::job_id_hex(job_id).into()),
+                    ],
+                );
                 None
             }
         }
     }
 
-    fn fetch_capture(&self, owner: &str, app: AppId, scale: Scale, digest: &str) -> Option<Trace> {
+    fn fetch_capture(
+        &self,
+        owner: &str,
+        app: AppId,
+        scale: Scale,
+        digest: &str,
+        job_id: u64,
+    ) -> Option<Trace> {
         let cfg = ClientConfig {
             connect_timeout: self.config.probe_timeout,
             read_timeout: Some(self.config.peek_timeout),
@@ -288,14 +333,17 @@ impl FleetState {
             Err(_) => {
                 // Unreachable right now: mark it so routing stops
                 // betting on this owner before the prober notices.
-                lock_roster(&self.roster).record_failure(owner);
+                let transition = lock_roster(&self.roster).record_failure(owner);
+                log_transition(owner, transition);
                 return None;
             }
         };
         // Chunked transfer: bounded frame lines instead of one hex line
         // holding 2× the capture (`Client::peek_fetch` also accepts the
         // legacy single-line answer from a pre-chunking owner).
-        let bytes = client.peek_fetch(app, scale, digest).ok()??;
+        let bytes = client
+            .peek_fetch_tagged(app, scale, digest, job_id)
+            .ok()??;
         // `Trace::load` validates framing and checksums, so a payload
         // mangled in transit fails here rather than poisoning the cache.
         Trace::load(&mut bytes.as_slice()).ok()
@@ -410,7 +458,7 @@ mod tests {
             .map(|i| format!("{i:032x}"))
             .find(|d| f.is_owner(d))
             .expect("node owns something");
-        assert!(f.try_peek(AppId::Wfs, Scale::Tiny, &mine).is_none());
+        assert!(f.try_peek(AppId::Wfs, Scale::Tiny, &mine, 0).is_none());
     }
 
     #[test]
@@ -421,7 +469,7 @@ mod tests {
             .find(|d| !f.is_owner(d))
             .expect("peer owns something");
         lock_roster(&f.roster).mark_dead("peer:2");
-        assert!(f.try_peek(AppId::Wfs, Scale::Tiny, &theirs).is_none());
+        assert!(f.try_peek(AppId::Wfs, Scale::Tiny, &theirs, 0).is_none());
         assert_eq!(f.peek_fetch_failures.load(Ordering::Relaxed), 1);
         let j = f.to_json();
         assert_eq!(j.get("peek_fetch_failures").and_then(Json::as_u64), Some(1));

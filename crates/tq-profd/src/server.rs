@@ -33,7 +33,8 @@ use crate::cache::{CaptureSource, CaptureStore};
 use crate::exec::{record_capture_opt, run_tool};
 use crate::fleet::{FleetConfig, FleetState};
 use crate::protocol::{
-    hex_encode, JobSpec, Request, Response, PEEK_FRAME_BYTES, PEEK_SINGLE_LINE_MAX,
+    hex_encode, job_id_hex, mint_job_id, JobSpec, Request, Response, PEEK_FRAME_BYTES,
+    PEEK_SINGLE_LINE_MAX,
 };
 use crate::stats::ServiceStats;
 use std::collections::{HashMap, VecDeque};
@@ -89,6 +90,11 @@ pub struct ServerConfig {
     pub advertise: Option<String>,
     /// Pause between fleet health-probe rounds.
     pub probe_interval: Duration,
+    /// Slow-job threshold in milliseconds: a job whose end-to-end latency
+    /// reaches it gets a structured `slow_job` warn record with its phase
+    /// breakdown (capture vs replay) and counts in `tq_job_slow_total`.
+    /// 0 disables the log.
+    pub slow_job_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -109,9 +115,13 @@ impl Default for ServerConfig {
             peers: Vec::new(),
             advertise: None,
             probe_interval: Duration::from_millis(500),
+            slow_job_ms: 30_000,
         }
     }
 }
+
+/// `target` field of this crate's structured log records.
+const LOG: &str = "tq-profd";
 
 /// Longest accepted request line (a valid request is well under 1 KiB; a
 /// client streaming an unbounded "line" must not grow server memory).
@@ -121,6 +131,9 @@ const MAX_REQUEST_LINE: u64 = 64 * 1024;
 /// the rendered-deterministic profile and whether it was a memo hit.
 struct Job {
     spec: JobSpec,
+    /// Distributed-trace correlation id (never 0 once enqueued: the
+    /// server mints one for legacy clients that sent none).
+    job_id: u64,
     reply: mpsc::Sender<Result<(Json, bool), String>>,
 }
 
@@ -277,6 +290,27 @@ mod obs {
         "tq_profd_faults_injected",
         "Faults injected by the active tq-faults plan (set at each metrics scrape)"
     );
+    handle!(
+        jobs_tagged,
+        Counter,
+        counter,
+        "tq_job_tagged_total",
+        "Submits that arrived carrying a client-minted distributed-trace job_id"
+    );
+    handle!(
+        jobs_minted,
+        Counter,
+        counter,
+        "tq_job_minted_total",
+        "job_ids minted server-side for legacy submits that carried none"
+    );
+    handle!(
+        jobs_slow,
+        Counter,
+        counter,
+        "tq_job_slow_total",
+        "Jobs over the slow-job latency threshold (each also logs a slow_job record)"
+    );
 }
 
 impl Shared {
@@ -343,6 +377,7 @@ impl Shared {
         if !shed.is_empty() {
             lock(&self.stats).sheds += shed.len() as u64;
             obs::sheds().add(shed.len() as u64);
+            tq_obs::log::warn(LOG, "queue_shed", &[("jobs", shed.len().into())]);
             for job in shed {
                 let _ = job.reply.send(Err(
                     "shed: server is shutting down; resubmit elsewhere".into()
@@ -363,8 +398,11 @@ impl Shared {
         (d, Some(w))
     }
 
-    /// Execute one job through the three answer tiers.
-    fn execute(&self, spec: &JobSpec) -> Result<(Json, bool), String> {
+    /// Execute one job through the three answer tiers. Every span opened
+    /// on this thread (and the log records below) carries `job_id`, so
+    /// the job's work joins its distributed trace.
+    fn execute(&self, spec: &JobSpec, job_id: u64) -> Result<(Json, bool), String> {
+        let _job = tq_obs::with_job(job_id);
         let _span = tq_obs::span_named(format!("job-{}", spec.tool.as_str()), "profd");
         // Fault rehearsal: a worker may be told to die here; worker_loop
         // contains the unwind and answers with an error.
@@ -381,6 +419,16 @@ impl Shared {
             obs::result_hits().inc();
             obs::jobs_completed().inc();
             obs::job_micros().observe(micros);
+            tq_obs::log::debug(
+                LOG,
+                "job_done",
+                &[
+                    ("job_id", job_id_hex(job_id).into()),
+                    ("tool", spec.tool.as_str().into()),
+                    ("source", "memo".into()),
+                    ("micros", micros.into()),
+                ],
+            );
             return Ok((json, true));
         }
 
@@ -394,6 +442,7 @@ impl Shared {
         let vm_opt = self.config.vm_opt;
         let mut capture_stats = None;
         let mut peeked = false;
+        let capture_t0 = Instant::now();
         let (trace, source) = self.store.get_or_record(&digest, || {
             // Fleet cache sharding: a digest another node owns is fetched
             // from that node (which records it on demand — keeping one
@@ -402,7 +451,7 @@ impl Shared {
             // recording; routing is an optimisation, never a dependency.
             if let Some(f) = &self.fleet {
                 if !f.is_owner(&digest) {
-                    if let Some(t) = f.try_peek(spec.app, spec.scale, &digest) {
+                    if let Some(t) = f.try_peek(spec.app, spec.scale, &digest, job_id) {
                         peeked = true;
                         return Ok(t);
                     }
@@ -415,6 +464,7 @@ impl Shared {
             capture_stats = Some(stats);
             Ok(trace)
         })?;
+        let capture_micros = capture_t0.elapsed().as_micros() as u64;
         {
             let mut st = lock(&self.stats);
             match source {
@@ -445,7 +495,9 @@ impl Shared {
         // one shard per worker. `busy` includes this worker, hence `+ 1`.
         let busy = self.busy.load(Ordering::SeqCst).max(1);
         let n_jobs = self.config.workers.max(1).saturating_sub(busy) + 1;
+        let replay_t0 = Instant::now();
         let json = run_tool(spec, &trace, n_jobs)?;
+        let replay_micros = replay_t0.elapsed().as_micros() as u64;
         lock(&self.results).insert(spec.clone(), Arc::new(json.clone()));
         let micros = t0.elapsed().as_micros() as u64;
         let mut st = lock(&self.stats);
@@ -456,9 +508,53 @@ impl Shared {
             st.sharded_replays += 1;
         }
         st.record_latency(spec.tool, micros);
+        let source_str = match source {
+            _ if peeked => "peek",
+            CaptureSource::Memory => "memory",
+            CaptureSource::Disk => "disk",
+            CaptureSource::Recorded => "recorded",
+        };
+        let slow = self.config.slow_job_ms > 0 && micros >= self.config.slow_job_ms * 1_000;
+        if slow {
+            st.slow_jobs += 1;
+        }
         drop(st);
         obs::jobs_completed().inc();
         obs::job_micros().observe(micros);
+        tq_obs::log::debug(
+            LOG,
+            "job_done",
+            &[
+                ("job_id", job_id_hex(job_id).into()),
+                ("tool", spec.tool.as_str().into()),
+                ("app", spec.app.as_str().into()),
+                ("scale", spec.scale.as_str().into()),
+                ("source", source_str.into()),
+                ("micros", micros.into()),
+            ],
+        );
+        if slow {
+            // The slow-job record: the span breakdown an operator needs
+            // to tell "cold capture" from "big replay" without fetching
+            // the whole trace.
+            obs::jobs_slow().inc();
+            tq_obs::log::warn(
+                LOG,
+                "slow_job",
+                &[
+                    ("job_id", job_id_hex(job_id).into()),
+                    ("tool", spec.tool.as_str().into()),
+                    ("app", spec.app.as_str().into()),
+                    ("scale", spec.scale.as_str().into()),
+                    ("source", source_str.into()),
+                    ("threshold_ms", self.config.slow_job_ms.into()),
+                    ("total_micros", micros.into()),
+                    ("capture_micros", capture_micros.into()),
+                    ("replay_micros", replay_micros.into()),
+                    ("shards", n_jobs.into()),
+                ],
+            );
+        }
         Ok((json, false))
     }
 
@@ -556,7 +652,9 @@ impl Shared {
     /// chunked form — hex-doubling a huge capture into one response line
     /// would cost 2× its size on each side and an unbounded line on the
     /// wire.
-    fn handle_peek(&self, app: AppId, scale: Scale, digest: String) -> Response {
+    fn handle_peek(&self, app: AppId, scale: Scale, digest: String, job_id: u64) -> Response {
+        let _job = tq_obs::with_job(job_id);
+        let _span = tq_obs::span("peek-serve", "profd");
         match self.peek_capture_bytes(app, scale, &digest) {
             Err(resp) => resp,
             Ok(None) => {
@@ -597,7 +695,10 @@ impl Shared {
         app: AppId,
         scale: Scale,
         digest: String,
+        job_id: u64,
     ) -> std::io::Result<()> {
+        let _job = tq_obs::with_job(job_id);
+        let _span = tq_obs::span("peek-serve", "profd");
         let (header, bytes) = match self.peek_capture_bytes(app, scale, &digest) {
             Err(resp) => (resp, None),
             Ok(None) => {
@@ -690,18 +791,28 @@ fn worker_loop(shared: &Shared) {
         // shrink the worker pool or leave its submitter waiting: contain
         // the unwind and answer with an error. Shared state stays sound —
         // every lock in this crate recovers from poisoning.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.execute(&job.spec)))
-                .unwrap_or_else(|p| {
-                    Err(format!(
-                        "worker panicked while running the job (worker recovered): {}",
-                        crate::panic_message(p.as_ref())
-                    ))
-                });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.execute(&job.spec, job.job_id)
+        }))
+        .unwrap_or_else(|p| {
+            Err(format!(
+                "worker panicked while running the job (worker recovered): {}",
+                crate::panic_message(p.as_ref())
+            ))
+        });
         shared.busy.fetch_sub(1, Ordering::SeqCst);
-        if result.is_err() {
+        if let Err(e) = &result {
             lock(&shared.stats).jobs_failed += 1;
             obs::jobs_failed().inc();
+            tq_obs::log::warn(
+                LOG,
+                "job_failed",
+                &[
+                    ("job_id", job_id_hex(job.job_id).into()),
+                    ("tool", job.spec.tool.as_str().into()),
+                    ("error", e.as_str().into()),
+                ],
+            );
         }
         // A submitter that timed out dropped its receiver; the work is
         // done and cached either way.
@@ -736,8 +847,11 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
             scale,
             digest,
             chunked: _,
-        } => (shared.handle_peek(app, scale, digest), false),
-        Request::Route { spec } => {
+            job_id,
+        } => (shared.handle_peek(app, scale, digest, job_id), false),
+        Request::Route { spec, job_id } => {
+            let _job = tq_obs::with_job(job_id);
+            let _span = tq_obs::span("route", "profd");
             let (digest, _) = shared.digest_for(spec.app, spec.scale);
             let (owner, self_name) = match &shared.fleet {
                 Some(f) => (f.owner_of(&digest).to_string(), f.self_addr().to_string()),
@@ -749,6 +863,27 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
                     ("digest", Json::from(digest)),
                     ("owner", Json::from(owner)),
                     ("is_owner", Json::from(is_owner)),
+                ]),
+                false,
+            )
+        }
+        Request::Trace => (
+            // Non-destructive span export plus this process's clock so the
+            // requester can estimate the offset (`now_ns` is the server's
+            // time at answer-build, the NTP-style midpoint of the
+            // requester's round-trip).
+            Response::ok([
+                ("now_ns", Json::from(tq_obs::now_ns())),
+                ("trace", Json::from(tq_obs::snapshot_chrome_trace())),
+            ]),
+            false,
+        ),
+        Request::Logs => {
+            let records: Vec<Json> = tq_obs::log::tail().into_iter().map(Json::from).collect();
+            (
+                Response::ok([
+                    ("level", Json::from(tq_obs::log::level_name())),
+                    ("records", Json::from(records)),
                 ]),
                 false,
             )
@@ -768,7 +903,23 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
             let _ = TcpStream::connect(addr);
             (Response::ok([("stopping", Json::from(true))]), true)
         }
-        Request::Submit { spec, attempt } => {
+        Request::Submit {
+            spec,
+            attempt,
+            job_id,
+        } => {
+            // Every job is traced under a nonzero id: a tagged submit
+            // keeps the client's (so its spans correlate fleet-wide), a
+            // legacy one gets a server-minted id so local spans still
+            // group.
+            let job_id = if job_id != 0 {
+                obs::jobs_tagged().inc();
+                job_id
+            } else {
+                obs::jobs_minted().inc();
+                mint_job_id(&format!("{spec:?}"), attempt)
+            };
+            let _job = tq_obs::with_job(job_id);
             {
                 let mut st = lock(&shared.stats);
                 st.jobs_submitted += 1;
@@ -783,7 +934,11 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
             let (tx, rx) = mpsc::channel();
             let pushed = {
                 let _span = tq_obs::span("enqueue", "profd");
-                shared.try_push(Job { spec, reply: tx })
+                shared.try_push(Job {
+                    spec,
+                    job_id,
+                    reply: tx,
+                })
             };
             match pushed {
                 Ok(()) => {}
@@ -797,11 +952,25 @@ fn handle_request(shared: &Arc<Shared>, addr: SocketAddr, req: Request) -> (Resp
                     if let Some(hint) = shared.fleet.as_ref().and_then(FleetState::redirect_hint) {
                         resp = resp.with_redirect(&hint);
                     }
+                    tq_obs::log::warn(
+                        LOG,
+                        "overload_shed",
+                        &[
+                            ("job_id", job_id_hex(job_id).into()),
+                            ("retry_after_ms", retry_after_ms.into()),
+                            ("redirect_to", resp.redirect_to().unwrap_or_default().into()),
+                        ],
+                    );
                     return (resp, false);
                 }
                 Err(PushError::Closed) => {
                     lock(&shared.stats).jobs_failed += 1;
                     obs::jobs_failed().inc();
+                    tq_obs::log::warn(
+                        LOG,
+                        "shutdown_shed",
+                        &[("job_id", job_id_hex(job_id).into())],
+                    );
                     return (Response::err("server is shutting down"), false);
                 }
             }
@@ -876,7 +1045,13 @@ fn connection_loop(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
         }
         // Fault rehearsal: a stalled client link delays the request here,
         // after the bytes arrived and before any work happens.
-        tq_faults::sleep_if(tq_faults::FaultPoint::ReadStall);
+        if tq_faults::sleep_if(tq_faults::FaultPoint::ReadStall) {
+            tq_obs::log::warn(
+                LOG,
+                "fault_fired",
+                &[("point", tq_faults::FaultPoint::ReadStall.key().into())],
+            );
+        }
         let (response, stop) = match Request::decode(&line) {
             // Chunked peeks write a multi-line response (header + frames)
             // straight onto the socket instead of the one-line path below.
@@ -885,8 +1060,12 @@ fn connection_loop(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
                 scale,
                 digest,
                 chunked: true,
+                job_id,
             }) => {
-                if shared.stream_peek(&mut writer, app, scale, digest).is_err() {
+                if shared
+                    .stream_peek(&mut writer, app, scale, digest, job_id)
+                    .is_err()
+                {
                     return;
                 }
                 continue;
@@ -1007,7 +1186,13 @@ impl Server {
                         // Fault rehearsal: a slow accept path delays every
                         // connection behind this one (the backlog is the
                         // kernel's listen queue).
-                        tq_faults::sleep_if(tq_faults::FaultPoint::AcceptDelay);
+                        if tq_faults::sleep_if(tq_faults::FaultPoint::AcceptDelay) {
+                            tq_obs::log::warn(
+                                LOG,
+                                "fault_fired",
+                                &[("point", tq_faults::FaultPoint::AcceptDelay.key().into())],
+                            );
+                        }
                         // Connection limit: answer `busy` inline and close
                         // before a thread exists for this client. The
                         // counter is reserved here and released by the
@@ -1017,6 +1202,11 @@ impl Server {
                             shared.conns.fetch_sub(1, Ordering::SeqCst);
                             lock(&shared.stats).rejects += 1;
                             obs::rejects().inc();
+                            tq_obs::log::warn(
+                                LOG,
+                                "conn_limit",
+                                &[("max_conns", shared.config.max_conns.into())],
+                            );
                             let mut resp = Response::busy(
                                 format!(
                                     "connection limit reached ({} open)",

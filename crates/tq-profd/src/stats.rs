@@ -99,6 +99,9 @@ pub struct ServiceStats {
     /// Submits that arrived flagged as client retries (`attempt > 0`) —
     /// nonzero means clients are seeing `busy` and backing off.
     pub retries_observed: u64,
+    /// Jobs whose end-to-end latency reached the configured slow-job
+    /// threshold (each also emitted a structured `slow_job` record).
+    pub slow_jobs: u64,
     /// Blocks fused by capture-run interpreters (see `tq_vm::VmStats`).
     pub vm_blocks_fused: u64,
     /// Hot-loop traces recorded by capture-run interpreters.
@@ -176,6 +179,7 @@ impl ServiceStats {
             ("sheds", Json::from(self.sheds)),
             ("rejects", Json::from(self.rejects)),
             ("retries_observed", Json::from(self.retries_observed)),
+            ("slow_jobs", Json::from(self.slow_jobs)),
             ("vm_blocks_fused", Json::from(self.vm_blocks_fused)),
             ("vm_traces_recorded", Json::from(self.vm_traces_recorded)),
             ("vm_trace_side_exits", Json::from(self.vm_trace_side_exits)),

@@ -1,0 +1,344 @@
+//! Fleet-wide telemetry aggregation.
+//!
+//! A tq-profd fleet has no coordinator, so fleet-level views are built
+//! client-side by scraping every roster member and merging:
+//!
+//! * **distributed traces** — each peer's `trace` endpoint exports its
+//!   span ring as a Chrome trace document stamped with the peer's own
+//!   monotonic clock ([`tq_obs::now_ns`]). Those clocks share no epoch,
+//!   so [`merge_chrome_traces`] first estimates each peer's offset from
+//!   the request round-trip (NTP's single-sample estimator,
+//!   [`estimate_offset_ns`]), shifts every span onto the scraping
+//!   client's timeline, re-homes each peer under its own Chrome `pid`,
+//!   and sorts the union. A routed job then shows up as one correlated
+//!   set of tracks — submit on the non-owner, route/capture on the
+//!   owner, peek-serve back — joined by the `job_id` span argument;
+//! * **metrics** — [`merge_prometheus`] concatenates per-peer
+//!   expositions into one document, tagging every sample with a
+//!   `peer="addr"` label and keeping each `# HELP`/`# TYPE` header once,
+//!   which is what `tq fleet-status --metrics` prints;
+//! * **health/stats** — [`scrape_fleet`] fetches `stats` + `metrics`
+//!   from every member, reporting per-peer errors instead of failing the
+//!   whole scrape (a dead peer is a *finding*, not an excuse).
+
+use crate::client::{Client, ClientConfig, TraceExport};
+use tq_report::Json;
+
+/// NTP-style single-sample clock-offset estimate.
+///
+/// The client stamps `t0_ns` before sending a `trace` request and
+/// `t1_ns` after the reply; the server reports its own clock
+/// `server_now_ns`. Assuming symmetric network delay the server read its
+/// clock at client-time `(t0 + t1) / 2`, so the server clock runs ahead
+/// of the client clock by roughly:
+///
+/// ```text
+/// offset ≈ server_now_ns − (t0_ns + t1_ns) / 2
+/// ```
+///
+/// The error bound is half the round-trip — microseconds on localhost,
+/// which is plenty to line up millisecond-scale job spans.
+pub fn estimate_offset_ns(t0_ns: u64, t1_ns: u64, server_now_ns: u64) -> i64 {
+    let midpoint = ((t0_ns as u128 + t1_ns as u128) / 2) as i64;
+    server_now_ns as i64 - midpoint
+}
+
+/// Merge per-peer Chrome trace exports onto the scraping client's
+/// timeline: peer `i` becomes Chrome `pid` `i+1` (named by a
+/// `process_name` metadata record), every `X` event's `ts` is shifted by
+/// that peer's estimated clock offset, and the merged events are sorted
+/// by shifted start time. Shifted timestamps can go negative when a peer
+/// started before the scraper; trace viewers accept that.
+pub fn merge_chrome_traces(peers: &[(String, TraceExport)]) -> Result<String, String> {
+    let mut metas: Vec<Json> = Vec::new();
+    let mut spans: Vec<(f64, Json)> = Vec::new();
+    for (i, (addr, export)) in peers.iter().enumerate() {
+        let pid = (i + 1) as u64;
+        let offset_us =
+            estimate_offset_ns(export.t0_ns, export.t1_ns, export.server_now_ns) as f64 / 1_000.0;
+        let doc = Json::parse(&export.doc).map_err(|e| format!("{addr}: trace: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{addr}: trace missing `traceEvents`"))?;
+        metas.push(Json::obj([
+            ("name", Json::from("process_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(0u64)),
+            ("args", Json::obj([("name", Json::from(addr.as_str()))])),
+        ]));
+        for ev in events {
+            let mut ev = ev.clone();
+            ev.set("pid", Json::from(pid));
+            if ev.get("ph").and_then(Json::as_str) == Some("X") {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{addr}: X event missing `ts`"))?;
+                let shifted = ts - offset_us;
+                ev.set("ts", Json::from(shifted));
+                spans.push((shifted, ev));
+            } else {
+                metas.push(ev);
+            }
+        }
+    }
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut events = metas;
+    events.extend(spans.into_iter().map(|(_, ev)| ev));
+    Ok(Json::obj([("traceEvents", Json::from(events))]).render())
+}
+
+/// Scrape the `trace` endpoint of every peer and merge the exports
+/// ([`merge_chrome_traces`]). Unreachable peers are skipped with a
+/// structured warning — a partial fleet trace beats none — but if *no*
+/// peer answers the scrape fails.
+pub fn fetch_merged_trace(peers: &[String], config: &ClientConfig) -> Result<String, String> {
+    let mut exports: Vec<(String, TraceExport)> = Vec::new();
+    let mut last_err = String::from("no peers given");
+    for addr in peers {
+        match Client::connect_with(addr, config.clone()).and_then(|mut c| c.trace_export()) {
+            Ok(export) => exports.push((addr.clone(), export)),
+            Err(e) => {
+                tq_obs::log::warn(
+                    "tq-telemetry",
+                    "trace_scrape_failed",
+                    &[("peer", addr.as_str().into()), ("error", e.as_str().into())],
+                );
+                last_err = format!("{addr}: {e}");
+            }
+        }
+    }
+    if exports.is_empty() {
+        return Err(format!("no peer answered a trace scrape: {last_err}"));
+    }
+    merge_chrome_traces(&exports)
+}
+
+/// One roster member's scrape result: whatever `stats`/`metrics` it
+/// answered with, or the error that kept it from answering.
+#[derive(Clone, Debug)]
+pub struct PeerStatus {
+    /// The peer's address.
+    pub addr: String,
+    /// Its `stats` snapshot, when reachable.
+    pub stats: Option<Json>,
+    /// Its Prometheus exposition, when reachable.
+    pub metrics: Option<String>,
+    /// The first transport/protocol error, when not.
+    pub error: Option<String>,
+}
+
+/// Scrape `stats` and `metrics` from every peer. Never fails as a whole:
+/// a peer that cannot be reached yields a [`PeerStatus`] carrying the
+/// error, so `tq fleet-status` can render dead peers alongside live ones.
+pub fn scrape_fleet(peers: &[String], config: &ClientConfig) -> Vec<PeerStatus> {
+    peers
+        .iter()
+        .map(|addr| {
+            let mut status = PeerStatus {
+                addr: addr.clone(),
+                stats: None,
+                metrics: None,
+                error: None,
+            };
+            match Client::connect_with(addr, config.clone()) {
+                Ok(mut client) => {
+                    match client.stats() {
+                        Ok(stats) => status.stats = Some(stats),
+                        Err(e) => status.error = Some(e),
+                    }
+                    match client.metrics() {
+                        Ok(metrics) => status.metrics = Some(metrics),
+                        Err(e) => {
+                            status.error.get_or_insert(e);
+                        }
+                    }
+                }
+                Err(e) => status.error = Some(e),
+            }
+            status
+        })
+        .collect()
+}
+
+/// Merge per-peer Prometheus expositions into one document: every sample
+/// line gains a `peer="addr"` label (prepended so it survives existing
+/// labels like a histogram's `le`), and each `# HELP`/`# TYPE` header is
+/// kept only at its first occurrence. Sample order groups by peer, which
+/// Prometheus parsers accept as long as the headers are not repeated.
+pub fn merge_prometheus(peers: &[(String, String)]) -> String {
+    let mut out = String::new();
+    let mut seen_headers: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (addr, text) in peers {
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                if seen_headers.insert(rest.trim().to_string()) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                continue;
+            }
+            out.push_str(&label_sample_line(line, addr));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Insert `peer="addr"` as the first label of one exposition sample line
+/// (`name value` or `name{labels} value`). Lines that do not look like
+/// samples pass through untouched.
+fn label_sample_line(line: &str, peer: &str) -> String {
+    let space = match line.find(' ') {
+        Some(i) => i,
+        None => return line.to_string(),
+    };
+    match line.find('{') {
+        Some(brace) if brace < space => {
+            let (head, rest) = line.split_at(brace + 1);
+            format!("{head}peer=\"{peer}\",{rest}")
+        }
+        _ => {
+            let (name, rest) = line.split_at(space);
+            format!("{name}{{peer=\"{peer}\"}}{rest}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_is_server_minus_midpoint() {
+        // Request left at 100, answer back at 300; the server read 1_000
+        // at client-time ~200, so it runs 800ns ahead.
+        assert_eq!(estimate_offset_ns(100, 300, 1_000), 800);
+        // A server behind the client yields a negative offset.
+        assert_eq!(estimate_offset_ns(2_000, 2_400, 200), -2_000);
+        // Odd sums round down at the midpoint, never overflow.
+        assert_eq!(estimate_offset_ns(1, 2, 10), 9);
+        assert_eq!(estimate_offset_ns(u64::MAX, u64::MAX, u64::MAX), 0);
+    }
+
+    fn export(t0: u64, t1: u64, server_now: u64, doc: &str) -> TraceExport {
+        TraceExport {
+            t0_ns: t0,
+            t1_ns: t1,
+            server_now_ns: server_now,
+            doc: doc.to_string(),
+        }
+    }
+
+    #[test]
+    fn merge_rehomes_pids_shifts_clocks_and_sorts() {
+        // Peer A's clock matches the client (offset 0); peer B runs
+        // 1ms = 1000µs ahead, so its span at server-ts 1500µs lands at
+        // client-ts 500µs — *before* A's span at 800µs.
+        let a = export(
+            0,
+            0,
+            0,
+            r#"{"traceEvents":[{"name":"submit","cat":"profd","ph":"X","pid":1,"tid":7,"ts":800.0,"dur":10.0,"args":{"job_id":"00000000000000aa"}}]}"#,
+        );
+        let b = export(
+            1_000_000,
+            1_000_000,
+            2_000_000,
+            r#"{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":3,"args":{"name":"worker-0"}},{"name":"capture","cat":"profd","ph":"X","pid":1,"tid":3,"ts":1500.0,"dur":20.0,"args":{"job_id":"00000000000000aa"}}]}"#,
+        );
+        let merged = merge_chrome_traces(&[("host-a:1".into(), a), ("host-b:2".into(), b)])
+            .expect("merge succeeds");
+        let doc = Json::parse(&merged).expect("merged trace parses");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+        let process_names: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Json::as_u64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(process_names, vec![(1, "host-a:1"), (2, "host-b:2")]);
+
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Sorted by shifted time: B's capture (500µs) before A's submit.
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("capture"));
+        assert_eq!(spans[0].get("pid").and_then(Json::as_u64), Some(2));
+        assert_eq!(spans[0].get("ts").and_then(Json::as_f64), Some(500.0));
+        assert_eq!(spans[1].get("name").and_then(Json::as_str), Some("submit"));
+        assert_eq!(spans[1].get("pid").and_then(Json::as_u64), Some(1));
+        assert_eq!(spans[1].get("ts").and_then(Json::as_f64), Some(800.0));
+        // Both hops kept their shared correlation key.
+        for s in &spans {
+            assert_eq!(
+                s.get("args")
+                    .and_then(|a| a.get("job_id"))
+                    .and_then(Json::as_str),
+                Some("00000000000000aa")
+            );
+        }
+        // The peer thread-name metadata survived under the new pid.
+        let meta = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .expect("thread_name metadata kept");
+        assert_eq!(meta.get("pid").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn prometheus_merge_labels_samples_and_dedups_headers() {
+        let a = (
+            "host-a:1".to_string(),
+            "# HELP tq_jobs_total Jobs\n# TYPE tq_jobs_total counter\ntq_jobs_total 3\n\
+             tq_lat_bucket{le=\"15\"} 2\n"
+                .to_string(),
+        );
+        let b = (
+            "host-b:2".to_string(),
+            "# HELP tq_jobs_total Jobs\n# TYPE tq_jobs_total counter\ntq_jobs_total 5\n"
+                .to_string(),
+        );
+        let merged = merge_prometheus(&[a, b]);
+        assert_eq!(
+            merged.matches("# HELP tq_jobs_total Jobs").count(),
+            1,
+            "headers kept once:\n{merged}"
+        );
+        assert!(
+            merged.contains("tq_jobs_total{peer=\"host-a:1\"} 3"),
+            "{merged}"
+        );
+        assert!(
+            merged.contains("tq_jobs_total{peer=\"host-b:2\"} 5"),
+            "{merged}"
+        );
+        // The peer label composes with existing labels.
+        assert!(
+            merged.contains("tq_lat_bucket{peer=\"host-a:1\",le=\"15\"} 2"),
+            "{merged}"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_garbage_trace_documents() {
+        let bad = export(0, 0, 0, "not json");
+        let err = merge_chrome_traces(&[("p:1".into(), bad)]).unwrap_err();
+        assert!(err.starts_with("p:1: trace:"), "{err}");
+    }
+}

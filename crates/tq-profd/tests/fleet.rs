@@ -145,7 +145,10 @@ fn route_answers_agree_across_members() {
     for addr in &addrs {
         let mut c = Client::connect(addr).expect("connect");
         let resp = c
-            .request(&Request::Route { spec: spec() })
+            .request(&Request::Route {
+                spec: spec(),
+                job_id: 0,
+            })
             .expect("route answered");
         assert!(resp.is_ok(), "{resp:?}");
         owners.push(
@@ -221,6 +224,7 @@ fn chunked_peek_matches_the_legacy_single_line_transfer() {
             scale: Scale::Tiny,
             digest: digest.clone(),
             chunked: false,
+            job_id: 0,
         })
         .expect("legacy peek");
     assert!(resp.is_ok(), "{resp:?}");

@@ -46,13 +46,18 @@ fn warm_submit_is_byte_identical_cache_hit() {
         .request(&Request::Submit {
             spec: spec.clone(),
             attempt: 0,
+            job_id: 0,
         })
         .expect("cold submit");
     assert!(cold.is_ok(), "{:?}", cold.error());
     assert_eq!(cold.0.get("cached").and_then(Json::as_bool), Some(false));
 
     let warm = client
-        .request(&Request::Submit { spec, attempt: 0 })
+        .request(&Request::Submit {
+            spec,
+            attempt: 0,
+            job_id: 0,
+        })
         .expect("warm submit");
     assert!(warm.is_ok());
     assert_eq!(warm.0.get("cached").and_then(Json::as_bool), Some(true));

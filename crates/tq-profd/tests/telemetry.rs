@@ -1,0 +1,238 @@
+//! Fleet telemetry integration tests: a live 2-node fleet on loopback.
+//!
+//! The tentpole contract under test: one routed submit through the
+//! non-owner leaves a correlated telemetry picture — the distributed
+//! `job_id` tags spans on the wire and in the logs, the `trace`/`logs`
+//! endpoints answer with parseable documents, and the `tq_job_*` /
+//! `tq_log_*` / `tq_fleet_*` Prometheus series move.
+//!
+//! Everything here runs in ONE process, so both servers (and the client)
+//! share one `tq-obs` registry, span ring and log tail. That makes the
+//! counter assertions fleet-wide sums, which is fine — the true
+//! cross-process merge (distinct span rings joined by clock-offset
+//! estimation) is proved end-to-end by `scripts/verify.sh`.
+
+use std::net::TcpListener;
+use tq_profd::telemetry::{fetch_merged_trace, merge_prometheus};
+use tq_profd::{
+    job_id_hex, AppId, Client, ClientConfig, JobSpec, RetryTrail, Scale, Server, ServerConfig,
+    ToolId, Workload,
+};
+use tq_report::Json;
+
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect()
+}
+
+fn start_fleet(addrs: &[String]) -> Vec<Server> {
+    addrs
+        .iter()
+        .map(|addr| {
+            let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
+            Server::start(ServerConfig {
+                addr: addr.clone(),
+                workers: 2,
+                peers,
+                ..ServerConfig::default()
+            })
+            .expect("fleet member starts")
+        })
+        .collect()
+}
+
+fn shutdown_all(addrs: &[String], servers: Vec<Server>) {
+    for addr in addrs {
+        let _ = Client::connect(addr).and_then(|mut c| c.shutdown());
+    }
+    for s in servers {
+        s.join().expect("clean join");
+    }
+}
+
+/// Value of one counter sample in a Prometheus exposition (exact-name
+/// match, label-free samples only — the per-process registry emits none).
+fn sample(metrics: &str, name: &str) -> Option<u64> {
+    metrics.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[test]
+fn routed_submit_tags_spans_logs_and_counters_with_one_job_id() {
+    tq_obs::set_enabled(true);
+    tq_obs::log::set_level(tq_obs::log::Level::Debug);
+    tq_obs::log::set_stderr(false);
+
+    let addrs = reserve_addrs(2);
+    let servers = start_fleet(&addrs);
+
+    let digest = Workload::build(AppId::Wfs, Scale::Tiny).digest();
+    let ring = tq_fleet::Ring::new(addrs.clone());
+    let owner = ring.owner_of(&digest).expect("owner").to_string();
+    let non_owner = addrs
+        .iter()
+        .find(|a| **a != owner)
+        .expect("two nodes")
+        .clone();
+
+    // Route through the NON-owner: the job is served there, the capture
+    // is peeked from the owner, and both hops share the minted job_id.
+    let mut client = Client::connect(&non_owner).expect("connect non-owner");
+    let mut trail = RetryTrail::default();
+    let spec = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad);
+    client
+        .submit_with_retry_trail(spec, 0, &mut trail)
+        .expect("routed submit");
+
+    assert_ne!(trail.job_id, 0, "submission minted a job id");
+    assert_eq!(trail.attempts, 1);
+    assert_eq!(
+        trail.attempt_ms.len(),
+        1,
+        "one attempt, one elapsed sample: {trail:?}"
+    );
+    let hex = job_id_hex(trail.job_id);
+    assert_eq!(hex.len(), 16, "wire form is fixed-width hex: {hex}");
+
+    // The job_id went over the wire: the server counted a tagged job,
+    // not a server-minted one (counters are process-global sums here).
+    let metrics = Client::connect(&non_owner)
+        .expect("connect")
+        .metrics()
+        .expect("metrics");
+    assert!(
+        sample(&metrics, "tq_job_tagged_total").unwrap_or(0) >= 1,
+        "tagged-job counter must move: {:?}",
+        sample(&metrics, "tq_job_tagged_total")
+    );
+    assert!(
+        sample(&metrics, "tq_log_records_total").unwrap_or(0) >= 1,
+        "structured log counter must move"
+    );
+    assert!(
+        sample(&metrics, "tq_fleet_peek_fetches_total").unwrap_or(0) >= 1,
+        "routed submit peeks the owner"
+    );
+    assert!(
+        sample(&metrics, "tq_fleet_peek_serves_total").unwrap_or(0) >= 1,
+        "owner serves the peek"
+    );
+
+    // The logs endpoint answers with parseable JSON-lines records, and
+    // the job lifecycle record carries our job_id.
+    let (level, records) = Client::connect(&non_owner)
+        .expect("connect")
+        .logs_tail()
+        .expect("logs");
+    assert_eq!(level, "debug");
+    let mut saw_job_done = false;
+    for record in &records {
+        let parsed = Json::parse(record).unwrap_or_else(|e| panic!("bad record {record}: {e}"));
+        assert!(parsed.get("ts_ns").is_some(), "records are stamped");
+        assert!(parsed.get("level").is_some());
+        if parsed.get("event").and_then(Json::as_str) == Some("job_done")
+            && parsed.get("job_id").and_then(Json::as_str) == Some(hex.as_str())
+        {
+            saw_job_done = true;
+        }
+    }
+    assert!(
+        saw_job_done,
+        "a job_done record carries the submission's job_id; got {} records",
+        records.len()
+    );
+
+    // The trace endpoint answers with a parseable Chrome doc whose job
+    // span carries the same correlation key.
+    let export = Client::connect(&non_owner)
+        .expect("connect")
+        .trace_export()
+        .expect("trace");
+    assert!(export.t1_ns >= export.t0_ns);
+    let doc = Json::parse(&export.doc).expect("chrome doc parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let tagged: Vec<&str> = events
+        .iter()
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("job_id"))
+                .and_then(Json::as_str)
+        })
+        .collect();
+    assert!(
+        tagged.contains(&hex.as_str()),
+        "an exported span carries the job_id ({} tagged spans)",
+        tagged.len()
+    );
+
+    // The merged fleet trace still carries the key, re-homed per peer.
+    let merged = fetch_merged_trace(&addrs, &ClientConfig::default()).expect("merged trace");
+    let merged_doc = Json::parse(&merged).expect("merged doc parses");
+    let merged_events = merged_doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let process_names: Vec<&str> = merged_events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+        })
+        .collect();
+    for addr in &addrs {
+        assert!(
+            process_names.contains(&addr.as_str()),
+            "every peer gets a named pid track: {process_names:?}"
+        );
+    }
+    assert!(
+        merged_events.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("job_id"))
+                .and_then(Json::as_str)
+                == Some(hex.as_str())
+        }),
+        "merged trace keeps the correlation key"
+    );
+
+    // The merged exposition labels every sample with its peer.
+    let per_peer: Vec<(String, String)> = addrs
+        .iter()
+        .map(|addr| {
+            let m = Client::connect(addr)
+                .expect("connect")
+                .metrics()
+                .expect("metrics");
+            (addr.clone(), m)
+        })
+        .collect();
+    let merged_metrics = merge_prometheus(&per_peer);
+    for addr in &addrs {
+        assert!(
+            merged_metrics.contains(&format!("tq_job_tagged_total{{peer=\"{addr}\"}}")),
+            "peer-labelled job counter present for {addr}"
+        );
+    }
+    assert_eq!(
+        merged_metrics
+            .matches("# TYPE tq_job_tagged_total counter")
+            .count(),
+        1,
+        "headers deduped across peers"
+    );
+
+    shutdown_all(&addrs, servers);
+}

@@ -9,7 +9,7 @@
 //!   no decode work at all (v1 files carry no index and stream as a
 //!   single chunk).
 //! * v3 files: a chunk read decompresses that chunk's columnar blob back
-//!   into row bytes (see [`crate::columnar`]), an owned allocation that
+//!   into row bytes (see the `columnar` module), an owned allocation that
 //!   dies with the loop iteration.
 //!
 //! [`StreamingTrace::replay`] and [`StreamingTrace::replay_sharded`] drive
