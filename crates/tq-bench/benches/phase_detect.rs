@@ -36,6 +36,7 @@ fn synthetic(phases: usize, kernels_per_phase: usize, slices_per_phase: u64) -> 
         kernels,
         dropped_accesses: 0,
         prefetches_ignored: 0,
+        instr: None,
     }
 }
 

@@ -62,6 +62,49 @@ pub fn banner(what: &str) {
     println!();
 }
 
+/// Nanoseconds this thread has spent *executing on a CPU*, from
+/// `/proc/self/schedstat` (first field). `None` off Linux or when the
+/// kernel lacks schedstats.
+fn sched_cpu_ns() -> Option<u64> {
+    let s = std::fs::read_to_string("/proc/self/schedstat").ok()?;
+    s.split_whitespace().next()?.parse().ok()
+}
+
+/// Timer for speedup-*ratio* guards: prefers on-CPU time over wall time.
+///
+/// The verify gates compare two measured durations and assert a floor on
+/// their ratio. On a loaded single-core box, wall clock charges whichever
+/// side happens to be preempted, flaking the ratio in both directions;
+/// on-CPU time (ns-resolution via schedstat) does not advance while the
+/// bench is sitting on the runqueue, so guest-side load cancels out of
+/// the ratio. Falls back to wall clock when schedstat is unavailable.
+/// Only meaningful around single-threaded sections (schedstat is
+/// per-task).
+pub struct GuardTimer {
+    cpu0: Option<u64>,
+    wall0: std::time::Instant,
+}
+
+impl GuardTimer {
+    /// Start timing.
+    pub fn start() -> GuardTimer {
+        GuardTimer {
+            cpu0: sched_cpu_ns(),
+            wall0: std::time::Instant::now(),
+        }
+    }
+
+    /// On-CPU (preferred) or wall-clock time since `start`.
+    pub fn elapsed(&self) -> std::time::Duration {
+        if let (Some(a), Some(b)) = (self.cpu0, sched_cpu_ns()) {
+            if b > a {
+                return std::time::Duration::from_nanos(b - a);
+            }
+        }
+        self.wall0.elapsed()
+    }
+}
+
 /// Minimal timing harness for the `benches/*.rs` entry points (the
 /// workspace builds with zero external crates, so Criterion is out).
 /// Runs `f` for a warmup round, then measures `iters` timed rounds and
@@ -101,6 +144,17 @@ mod tests {
         bench("noop", || calls += 1);
         std::env::remove_var("TQ_BENCH_ITERS");
         assert_eq!(calls, 3, "warmup + 2 timed rounds");
+    }
+
+    #[test]
+    fn guard_timer_reports_positive_time() {
+        let t = GuardTimer::start();
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(std::hint::black_box(i));
+        }
+        std::hint::black_box(x);
+        assert!(t.elapsed() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //!            [--peers A,B,C] [--advertise HOST:PORT] [--probe-interval-ms N]
 //!
 //! every VM-running subcommand: [--vm-opt off|fuse|trace]
+//!                              [--instr full|filter:…|sample:…|converge:…]
 //! tq submit  [--addr HOST:PORT] [--tool tquad|quad|gprof|phases]
 //!            [--app …] [--scale …] [--interval N] [--exclude-stack]
 //!            [--exclude-libs|--track-libs] [--retries N] [--timeout SECS]
@@ -156,6 +157,21 @@ fn vm_opt(args: &Args, default: tq_vm::VmOpt) -> Result<tq_vm::VmOpt, String> {
     }
 }
 
+/// Parse `--instr full|filter:…|sample:…|converge:…` (grammar in
+/// docs/CLI.md, accuracy tradeoffs in docs/ACCURACY.md). Unlike
+/// `--vm-opt`, this flag *does* change what tools observe: reduced modes
+/// trade instrumentation coverage for speed and attach an `instr` note to
+/// the resulting profile. `None` when absent or observationally full.
+fn instr_arg(args: &Args) -> Result<Option<tq_vm::InstrMode>, String> {
+    match args.get("instr") {
+        Some(spec) => {
+            let mode = tq_vm::InstrMode::parse(spec)?;
+            Ok(if mode.is_full() { None } else { Some(mode) })
+        }
+        None => Ok(None),
+    }
+}
+
 /// Where a profiling subcommand gets its event stream: a live VM run over
 /// the rebuilt application, or a capture file written by `tq capture`.
 enum Source {
@@ -190,8 +206,14 @@ fn run_profiled<T: tq_vm::MergeTool + 'static>(
     jobs: usize,
     tool: T,
 ) -> Result<T, String> {
+    let instr = instr_arg(args)?;
     let app = match source {
         Source::Capture(path) => {
+            if instr.is_some() {
+                return Err("--instr applies to live runs; a capture replays under the \
+                     mode it was recorded with (use `tq capture --instr …`)"
+                    .into());
+            }
             let streaming = tq_trace::Trace::open_streaming(path)
                 .map_err(|e| format!("open capture {}: {e}", path.display()))?;
             let mut tool = tool;
@@ -209,6 +231,9 @@ fn run_profiled<T: tq_vm::MergeTool + 'static>(
         Source::Live(app) => app,
     };
     let mut vm = app.make_vm(vm_opt(args, tq_vm::VmOpt::Off)?)?;
+    if let Some(mode) = instr {
+        vm.set_instr_mode(mode)?;
+    }
     if jobs > 1 {
         let trace = {
             let _span = tq_obs::span("capture", "vm");
@@ -318,6 +343,13 @@ fn usage() -> String {
      \u{20}               replay an existing `tq capture` file via the streaming\n\
      \u{20}               reader — one decoded chunk at a time, larger-than-RAM\n\
      \u{20}               safe — instead of building and running the app)\n\
+     \u{20}               --instr full|filter:a,b|filter:!a,b|filter:*|\n\
+     \u{20}               sample:K[/SLICE][@SEED]|converge:TOL,N[,R][/SLICE]\n\
+     \u{20}               (reduced instrumentation on live runs: per-routine\n\
+     \u{20}               filters, every-k-th-slice sampling, convergence\n\
+     \u{20}               gating; parts compose with `+`; profiles carry an\n\
+     \u{20}               `instr` note and scale counters back — accuracy\n\
+     \u{20}               bounds and cookbook in docs/ACCURACY.md)\n\
      \u{20}               --trace-out FILE (write a Chrome trace of this run's\n\
      \u{20}               internal spans; open in Perfetto) --no-obs (disable\n\
      \u{20}               the self-profiling layer)\n\
@@ -341,6 +373,7 @@ fn usage() -> String {
      \u{20}               structured event log filter via TQ_LOG=level, see docs\n\
      submit options: --addr HOST:PORT --tool tquad|quad|gprof|phases --app --scale\n\
      \u{20}               --interval N --exclude-stack --exclude-libs --track-libs\n\
+     \u{20}               --instr SPEC (reduced-instrumentation job variant)\n\
      \u{20}               --retries N (resubmit with backoff on busy responses)\n\
      \u{20}               --timeout SECS (connect/read socket timeouts)\n\
      \u{20}               --peers A,B,C (route to the ring owner, with failover)\n\
@@ -432,6 +465,9 @@ fn run(argv: &[String]) -> Result<(), Failure> {
             let app = app_for(&args)?;
             let opt = vm_opt(&args, tq_vm::VmOpt::Off)?;
             let mut vm = app.make_vm(opt)?;
+            if let Some(mode) = instr_arg(&args)? {
+                vm.set_instr_mode(mode)?;
+            }
             let exit = vm.run(None).map_err(|e| e.to_string())?;
             println!(
                 "finished: {} instructions, exit {:?}",
@@ -465,6 +501,16 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                     s.trace_instr_share(exit.icount) * 100.0
                 );
             }
+            if let Some(info) = vm.instr_info() {
+                println!(
+                    "instr {}: {:.1}% of instructions covered, {} filtered routine(s), \
+                     {} gap(s)",
+                    info.spec,
+                    info.coverage() * 100.0,
+                    info.filtered.len(),
+                    info.gaps.len()
+                );
+            }
         }
         "capture" => {
             // Record the workload once under the trace recorder and write
@@ -483,6 +529,12 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                 n => Some(n),
             };
             let mut vm = app.make_vm(opt)?;
+            // A reduced-mode capture records fewer memory events and
+            // carries its mode metadata in the file's TQIM tail, so every
+            // later replay reconstructs with the gap log in hand.
+            if let Some(mode) = instr_arg(&args)? {
+                vm.set_instr_mode(mode)?;
+            }
             let h = vm.attach_tool(Box::new(tq_trace::TraceRecorder::new()));
             match vm.run(fuel) {
                 Ok(_) => {}
@@ -524,6 +576,14 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                 "# vm-opt {opt}: {} blocks fused, {} traces recorded, {} side exits",
                 s.blocks_fused, s.traces_recorded, s.trace_side_exits
             );
+            if let Some(info) = vm.instr_info() {
+                eprintln!(
+                    "# instr {}: {:.1}% of instructions covered, {} gap(s)",
+                    info.spec,
+                    info.coverage() * 100.0,
+                    info.gaps.len()
+                );
+            }
         }
         "gprof" => {
             let src = source_for(&args)?;
@@ -587,6 +647,17 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                 profile.prefetches_ignored,
                 profile.dropped_accesses
             );
+            // Reconstructed profiles must never pass for exact ones
+            // (docs/ACCURACY.md): the provenance note rides in the output.
+            if let Some(n) = &profile.instr {
+                println!(
+                    "# instr {}: {:.1}% coverage, {} slice(s) carry-filled, {} measured",
+                    n.spec,
+                    n.coverage() * 100.0,
+                    n.filled_slices,
+                    n.measured_slices
+                );
+            }
         }
         "quad" => {
             let src = source_for(&args)?;
@@ -626,6 +697,14 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                 ]);
             }
             println!("{}", t.render());
+            if let Some(n) = &profile.instr {
+                println!(
+                    "# instr {}: byte totals scaled from {:.1}% coverage; \
+                     UnMA counts are unscaled lower bounds",
+                    n.spec,
+                    n.coverage_ppm as f64 / 1e4
+                );
+            }
             if let Some(path) = args.get("dot") {
                 std::fs::write(path, qdu_graph(&profile, 1024).render())
                     .map_err(|e| e.to_string())?;
@@ -911,6 +990,11 @@ fn run(argv: &[String]) -> Result<(), Failure> {
                     spec.stack = StackPolicy::Exclude;
                 }
                 spec.lib_policy = lib_policy(&args);
+                if let Some(instr) = args.get("instr") {
+                    // Canonicalise through the parser so equivalent
+                    // spellings land on one cache entry server-side.
+                    spec.instr = tq_vm::InstrMode::parse(instr)?.to_string();
+                }
                 if args.has("route") {
                     // Ask the server who owns this job's digest — the
                     // answer is the same from every fleet member.

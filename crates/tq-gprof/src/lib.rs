@@ -188,6 +188,14 @@ impl Tool for GprofTool {
         Some(self.opts.sample_interval)
     }
 
+    fn event_mask(&self) -> HookMask {
+        // Replay delivery mask: entries, returns and ticks only. Because
+        // reduced `--instr` modes gate *memory* events exclusively, gprof
+        // output is exact — byte-identical — under every mode (pinned by
+        // the instr-mode integration tests).
+        hooks::RTN_ENTER | hooks::RET | hooks::TICK
+    }
+
     fn on_event(&mut self, ev: &Event) {
         match *ev {
             Event::Tick { rtn, .. } => {

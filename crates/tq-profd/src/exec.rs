@@ -69,37 +69,36 @@ pub fn run_tool(spec: &JobSpec, trace: &Trace, n_jobs: usize) -> Result<Json, St
             &[("point", tq_faults::FaultPoint::SlowReplay.key().into())],
         );
     }
+    let mode = tq_vm::InstrMode::parse(&spec.instr)?;
     match spec.tool {
         ToolId::Tquad => {
-            let profile = replay_tquad(spec, trace, n_jobs)?;
+            let profile = replay_tquad(spec, trace, &mode, n_jobs)?;
             Ok(profile_json(&profile))
         }
         ToolId::Quad => {
-            let mut tool = QuadTool::new(QuadOptions {
+            let tool = QuadTool::new(QuadOptions {
                 include_stack: spec.stack.include(),
                 lib_policy: spec.lib_policy,
             });
-            trace
-                .replay_sharded(&mut tool, n_jobs)
-                .map_err(|e| format!("replay failed: {e:?}"))?;
-            Ok(quad_json(&tool.into_profile()))
+            Ok(quad_json(
+                &replay_with_mode(trace, tool, &mode, n_jobs)?.into_profile(),
+            ))
         }
         ToolId::Gprof => {
             if spec.interval == 0 {
                 return Err("gprof requires a positive `interval`".into());
             }
-            let mut tool = GprofTool::new(GprofOptions {
+            let tool = GprofTool::new(GprofOptions {
                 sample_interval: spec.interval,
                 track_libs: matches!(spec.lib_policy, LibPolicy::Track),
                 ..Default::default()
             });
-            trace
-                .replay_sharded(&mut tool, n_jobs)
-                .map_err(|e| format!("replay failed: {e:?}"))?;
-            Ok(gprof_json(&tool.into_profile()))
+            Ok(gprof_json(
+                &replay_with_mode(trace, tool, &mode, n_jobs)?.into_profile(),
+            ))
         }
         ToolId::Phases => {
-            let profile = replay_tquad(spec, trace, n_jobs)?;
+            let profile = replay_tquad(spec, trace, &mode, n_jobs)?;
             let detector = PhaseDetector {
                 include_stack: spec.stack.include(),
                 ..PhaseDetector::default()
@@ -110,9 +109,35 @@ pub fn run_tool(spec: &JobSpec, trace: &Trace, n_jobs: usize) -> Result<Json, St
     }
 }
 
+/// Drive `tool` over the capture. Full-instrumentation jobs shard across
+/// `n_jobs` replay threads; reduced-mode jobs feed the events through the
+/// sequential [`tq_vm::InstrEmulator`] instead — the gate is one state
+/// machine over the whole stream, so those replays cannot shard, and the
+/// result is byte-identical to a live `--instr` run of the same mode.
+fn replay_with_mode<T: tq_vm::MergeTool + 'static>(
+    trace: &Trace,
+    mut tool: T,
+    mode: &tq_vm::InstrMode,
+    n_jobs: usize,
+) -> Result<T, String> {
+    if mode.is_full() {
+        trace
+            .replay_sharded(&mut tool, n_jobs)
+            .map_err(|e| format!("replay failed: {e:?}"))?;
+        Ok(tool)
+    } else {
+        let mut emu = tq_vm::InstrEmulator::new(tool, mode.clone());
+        trace
+            .replay(&mut emu)
+            .map_err(|e| format!("replay failed: {e:?}"))?;
+        emu.finish()
+    }
+}
+
 fn replay_tquad(
     spec: &JobSpec,
     trace: &Trace,
+    mode: &tq_vm::InstrMode,
     n_jobs: usize,
 ) -> Result<tq_tquad::TquadProfile, String> {
     if spec.interval == 0 {
@@ -121,15 +146,12 @@ fn replay_tquad(
             spec.tool.as_str()
         ));
     }
-    let mut tool = TquadTool::new(
+    let tool = TquadTool::new(
         TquadOptions::default()
             .with_interval(spec.interval)
             .with_lib_policy(spec.lib_policy),
     );
-    trace
-        .replay_sharded(&mut tool, n_jobs)
-        .map_err(|e| format!("replay failed: {e:?}"))?;
-    Ok(tool.into_profile())
+    Ok(replay_with_mode(trace, tool, mode, n_jobs)?.into_profile())
 }
 
 fn quad_json(p: &QuadProfile) -> Json {
@@ -314,6 +336,77 @@ mod tests {
             with_stack, without,
             "stack policy is visible in the profile"
         );
+    }
+
+    #[test]
+    fn all_routines_filter_is_byte_identical_to_full() {
+        let (_, trace) = tiny_capture();
+        for tool in [ToolId::Tquad, ToolId::Quad, ToolId::Gprof, ToolId::Phases] {
+            let full = JobSpec::new(AppId::Wfs, Scale::Tiny, tool);
+            let filtered = JobSpec {
+                instr: "filter:*".into(),
+                ..full.clone()
+            };
+            // `filter:*` is observationally full — the emulator is never
+            // engaged, so even the (absent) instr note matches.
+            assert_eq!(
+                run_tool(&full, &trace, 1).unwrap().render(),
+                run_tool(&filtered, &trace, 1).unwrap().render(),
+                "{tool:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_modes_note_their_spec_and_change_the_series() {
+        let (_, trace) = tiny_capture();
+        let full = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad);
+        let sampled = JobSpec {
+            instr: "sample:4/20000@7".into(),
+            ..full.clone()
+        };
+        let a = run_tool(&full, &trace, 1).unwrap().render();
+        let b = run_tool(&sampled, &trace, 1).unwrap().render();
+        assert_ne!(a, b, "a sampled profile is a different answer");
+        assert!(!a.contains("\"instr\""), "full profiles carry no note");
+        let note = Json::parse(&b).unwrap();
+        let note = note.get("instr").expect("sampled profiles carry a note");
+        assert_eq!(note.get("spec").unwrap().as_str(), Some("sample:4/20000@7"));
+        assert!(note.get("coverage_ppm").unwrap().as_u64().unwrap() < 1_000_000);
+        // Deterministic: same spec, same capture, same bytes (the basis
+        // of memoising reduced jobs like any other).
+        assert_eq!(b, run_tool(&sampled, &trace, 1).unwrap().render());
+    }
+
+    #[test]
+    fn gprof_is_exact_under_slice_gating() {
+        // Only memory events are gated; gprof never looks at them, so its
+        // output is byte-identical under sample and converge.
+        let (_, trace) = tiny_capture();
+        let full = JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Gprof);
+        let baseline = run_tool(&full, &trace, 1).unwrap().render();
+        for spec in ["sample:4/20000@7", "converge:0.05,4/20000"] {
+            let job = JobSpec {
+                instr: spec.into(),
+                ..full.clone()
+            };
+            assert_eq!(
+                baseline,
+                run_tool(&job, &trace, 1).unwrap().render(),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_filter_routine_is_an_error() {
+        let (_, trace) = tiny_capture();
+        let job = JobSpec {
+            instr: "filter:no_such_routine".into(),
+            ..JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Quad)
+        };
+        let err = run_tool(&job, &trace, 1).unwrap_err();
+        assert!(err.contains("no_such_routine"), "{err}");
     }
 
     #[test]

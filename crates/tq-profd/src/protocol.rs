@@ -104,6 +104,12 @@ pub struct JobSpec {
     pub stack: StackPolicy,
     /// Library-routine policy.
     pub lib_policy: LibPolicy,
+    /// Instrumentation mode spec (`"full"`, `"sample:8"`, …) in the
+    /// canonical [`tq_vm::InstrMode`] spelling. Part of the job identity:
+    /// a sampled profile is a different answer than a full one, so it
+    /// memoises separately. The underlying *capture* stays shared — the
+    /// server always records full and emulates reduced modes at replay.
+    pub instr: String,
 }
 
 impl JobSpec {
@@ -116,6 +122,7 @@ impl JobSpec {
             interval: tool.default_interval(),
             stack: StackPolicy::default(),
             lib_policy: LibPolicy::AttributeToCaller,
+            instr: "full".to_string(),
         }
     }
 
@@ -134,7 +141,7 @@ impl JobSpec {
     /// The spec's wire object under an explicit request `type` (`submit`
     /// and `route` carry identical job fields).
     fn to_json_typed(&self, ty: &'static str) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("type", Json::from(ty)),
             ("app", Json::from(self.app.as_str())),
             ("scale", Json::from(self.scale.as_str())),
@@ -142,7 +149,13 @@ impl JobSpec {
             ("interval", Json::from(self.interval)),
             ("stack", Json::from(self.stack.as_str())),
             ("libs", Json::from(self.libs_str())),
-        ])
+        ]);
+        // Only written for reduced modes, so the wire form servers that
+        // predate the field see is unchanged.
+        if self.instr != "full" {
+            obj.set("instr", Json::from(self.instr.as_str()));
+        }
+        obj
     }
 
     fn from_json(v: &Json) -> Result<JobSpec, String> {
@@ -170,6 +183,14 @@ impl JobSpec {
                 ))
             }
         };
+        // Canonicalise through the parser: the spec is part of the job's
+        // memo identity, so `sample:8` and any equivalent spelling must
+        // land on the same cache entry (and garbage must fail here, not
+        // deep inside a worker).
+        let instr = match v.get("instr").and_then(Json::as_str) {
+            Some(spec) => tq_vm::InstrMode::parse(spec)?.to_string(),
+            None => "full".to_string(),
+        };
         Ok(JobSpec {
             app,
             scale,
@@ -177,6 +198,7 @@ impl JobSpec {
             interval,
             stack,
             lib_policy,
+            instr,
         })
     }
 }
@@ -554,6 +576,14 @@ mod tests {
                 attempt: 3,
                 job_id: 0x00AB_CDEF_0123_4567,
             },
+            Request::Submit {
+                spec: JobSpec {
+                    instr: "sample:4/20000@7".into(),
+                    ..JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad)
+                },
+                attempt: 0,
+                job_id: 0,
+            },
             Request::Route {
                 spec: JobSpec::new(AppId::Img, Scale::Tiny, ToolId::Gprof),
                 job_id: u64::MAX,
@@ -596,6 +626,29 @@ mod tests {
         assert_eq!(spec.stack, StackPolicy::Include);
         assert_eq!(attempt, 0, "first submissions default to attempt 0");
         assert_eq!(job_id, 0, "legacy submissions decode as untagged");
+        assert_eq!(spec.instr, "full", "absent instr decodes as full");
+    }
+
+    #[test]
+    fn instr_is_canonicalised_and_full_stays_off_the_wire() {
+        // Full jobs encode without the field, so the wire form servers
+        // that predate it see is unchanged.
+        let full = Request::Submit {
+            spec: JobSpec::new(AppId::Wfs, Scale::Tiny, ToolId::Tquad),
+            attempt: 0,
+            job_id: 0,
+        };
+        assert!(!full.encode().contains("instr"));
+        // Decoding canonicalises the spec (the memo key must not split
+        // across equivalent spellings)…
+        let req =
+            Request::decode(r#"{"type":"submit","tool":"tquad","instr":"sample:4"}"#).unwrap();
+        let Request::Submit { spec, .. } = req else {
+            panic!("submit")
+        };
+        assert_eq!(spec.instr, "sample:4/20000@0");
+        // …and garbage fails at decode, not deep inside a worker.
+        assert!(Request::decode(r#"{"type":"submit","tool":"tquad","instr":"sample:0"}"#).is_err());
     }
 
     #[test]

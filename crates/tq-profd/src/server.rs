@@ -504,7 +504,12 @@ impl Shared {
         st.jobs_completed += 1;
         st.bytes_replayed += trace.events.len() as u64;
         st.events_replayed += trace.n_events;
-        if n_jobs > 1 {
+        if spec.instr != "full" {
+            // Reduced-mode replays run through the sequential gate
+            // emulator whatever `n_jobs` says, so they are counted here
+            // and never as sharded.
+            st.reduced_jobs += 1;
+        } else if n_jobs > 1 {
             st.sharded_replays += 1;
         }
         st.record_latency(spec.tool, micros);

@@ -102,6 +102,10 @@ pub struct ServiceStats {
     /// Jobs whose end-to-end latency reached the configured slow-job
     /// threshold (each also emitted a structured `slow_job` record).
     pub slow_jobs: u64,
+    /// Jobs served under a reduced instrumentation mode (`instr` other
+    /// than `full`): replayed sequentially through the gate emulator
+    /// over the shared full capture.
+    pub reduced_jobs: u64,
     /// Blocks fused by capture-run interpreters (see `tq_vm::VmStats`).
     pub vm_blocks_fused: u64,
     /// Hot-loop traces recorded by capture-run interpreters.
@@ -180,6 +184,7 @@ impl ServiceStats {
             ("rejects", Json::from(self.rejects)),
             ("retries_observed", Json::from(self.retries_observed)),
             ("slow_jobs", Json::from(self.slow_jobs)),
+            ("reduced_jobs", Json::from(self.reduced_jobs)),
             ("vm_blocks_fused", Json::from(self.vm_blocks_fused)),
             ("vm_traces_recorded", Json::from(self.vm_traces_recorded)),
             ("vm_trace_side_exits", Json::from(self.vm_trace_side_exits)),

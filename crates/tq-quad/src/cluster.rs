@@ -201,6 +201,7 @@ mod tests {
                     unma: 1,
                 })
                 .collect(),
+            instr: None,
         }
     }
 

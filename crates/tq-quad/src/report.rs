@@ -98,6 +98,7 @@ mod tests {
                 bytes: 2,
                 unma: 2,
             }],
+            instr: None,
         }
     }
 

@@ -20,7 +20,8 @@ use std::collections::HashMap;
 use tq_isa::RoutineId;
 use tq_tquad::{CallStack, LibPolicy};
 use tq_vm::{
-    hooks, is_stack_access, Event, HookMask, InsContext, MergeTool, ProgramInfo, ShardContext, Tool,
+    hooks, is_stack_access, Event, HookMask, InsContext, InstrInfo, MergeTool, ProgramInfo,
+    ShardContext, Tool,
 };
 
 /// QUAD options.
@@ -72,6 +73,9 @@ pub struct QuadTool {
     /// Orphan reads: (address, consuming kernel) → byte count, resolved
     /// against the accumulated prefix shadow at absorb time.
     orphans: HashMap<(u64, u32), u64>,
+    /// Reduced-instrumentation metadata of the producing run (see
+    /// [`Tool::on_instr`]); `None` under full instrumentation.
+    instr: Option<InstrInfo>,
 }
 
 /// One producer→consumer binding (an edge of the QDU graph).
@@ -97,6 +101,7 @@ impl QuadTool {
             bindings: HashMap::new(),
             shard_mode: false,
             orphans: HashMap::new(),
+            instr: None,
         }
     }
 
@@ -114,9 +119,26 @@ impl QuadTool {
         }
     }
 
-    /// Consume the tool into its results.
+    /// Consume the tool into its results. For a gated run (`--instr
+    /// sample:…`/`converge:…`) the byte totals (`IN`, `OUT`, binding
+    /// bytes) are scaled by the inverse observed coverage — they are
+    /// volume estimates — while the UnMA counts stay as measured: unseen
+    /// addresses cannot be invented, so those are reported as lower
+    /// bounds, flagged by the attached [`QuadInstrNote`].
     pub fn into_profile(self) -> QuadProfile {
         let _span = tq_obs::span("quad-flush", "tool");
+        let note = self.instr.as_ref().map(|info| QuadInstrNote {
+            spec: info.spec.clone(),
+            coverage_ppm: (info.coverage() * 1e6).round() as u64,
+        });
+        let scale = |v: u64| -> u64 {
+            match &note {
+                Some(n) if n.coverage_ppm > 0 && n.coverage_ppm < 1_000_000 => {
+                    (v as u128 * 1_000_000 / n.coverage_ppm as u128) as u64
+                }
+                _ => v,
+            }
+        };
         let rows: Vec<QuadRow> = self
             .names
             .into_iter()
@@ -127,9 +149,9 @@ impl QuadTool {
                 rtn: RoutineId(i as u32),
                 name,
                 main_image,
-                in_bytes: k.in_bytes,
+                in_bytes: scale(k.in_bytes),
                 in_unma: k.in_unma.len(),
-                out_bytes: k.out_bytes,
+                out_bytes: scale(k.out_bytes),
                 out_unma: k.out_unma.len(),
                 checked_accesses: k.checked_accesses,
                 traced_accesses: k.traced_accesses,
@@ -141,7 +163,7 @@ impl QuadTool {
             .map(|((p, c), b)| QuadBinding {
                 producer: RoutineId(p),
                 consumer: RoutineId(c),
-                bytes: b.bytes,
+                bytes: scale(b.bytes),
                 unma: b.unma.len(),
             })
             .collect();
@@ -163,6 +185,7 @@ impl QuadTool {
             include_stack: self.opts.include_stack,
             rows,
             bindings,
+            instr: note,
         }
     }
 }
@@ -200,6 +223,15 @@ impl Tool for QuadTool {
             m |= hooks::RTN_ENTER;
         }
         m
+    }
+
+    fn event_mask(&self) -> HookMask {
+        // Replay delivery mask: QUAD never inspects Call or Tick events.
+        hooks::MEM_READ | hooks::MEM_WRITE | hooks::RET | hooks::RTN_ENTER
+    }
+
+    fn on_instr(&mut self, info: &InstrInfo) {
+        self.instr = Some(info.clone());
     }
 
     fn on_event(&mut self, ev: &Event) {
@@ -387,6 +419,19 @@ pub struct QuadBinding {
     pub unma: u64,
 }
 
+/// Provenance note for a QUAD profile built from a reduced-instrumentation
+/// run. Byte totals (`IN`, `OUT`, binding bytes) were scaled up by the
+/// inverse coverage; UnMA counts and binding `unma` are **unscaled lower
+/// bounds** — addresses never observed cannot be reconstructed. See
+/// `docs/ACCURACY.md`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuadInstrNote {
+    /// Canonical `--instr` spec of the producing run.
+    pub spec: String,
+    /// Observed coverage in parts per million (1 000 000 = exact).
+    pub coverage_ppm: u64,
+}
+
 /// Results of a QUAD run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuadProfile {
@@ -396,6 +441,9 @@ pub struct QuadProfile {
     pub rows: Vec<QuadRow>,
     /// All producer→consumer bindings.
     pub bindings: Vec<QuadBinding>,
+    /// Set when the producing run used a reduced `--instr` mode; `None`
+    /// for exact profiles.
+    pub instr: Option<QuadInstrNote>,
 }
 
 impl QuadProfile {

@@ -18,6 +18,7 @@ pub mod callstack;
 pub mod options;
 pub mod phase;
 pub mod profile;
+pub mod recon;
 pub mod report;
 pub mod series;
 pub mod tool;
@@ -26,6 +27,7 @@ pub use callstack::CallStack;
 pub use options::{LibPolicy, TquadOptions};
 pub use phase::{Phase, PhaseDetector, PhaseStrategy};
 pub use profile::{ActivityInterval, BandwidthStats, KernelProfile, TquadProfile};
+pub use recon::{reconstruct_series, ReconNote};
 pub use report::{figure_chart, phase_table, profile_json, Measure};
 pub use series::{KernelSeries, SliceEntry};
 pub use tool::TquadTool;

@@ -354,6 +354,7 @@ mod tests {
             kernels,
             dropped_accesses: 0,
             prefetches_ignored: 0,
+            instr: None,
         }
     }
 

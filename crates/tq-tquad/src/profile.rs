@@ -1,6 +1,7 @@
 //! The measurement results of a tQUAD run and the derived per-kernel
 //! bandwidth statistics of Table IV.
 
+use crate::recon::ReconNote;
 use crate::series::KernelSeries;
 use tq_isa::RoutineId;
 
@@ -51,6 +52,10 @@ pub struct TquadProfile {
     pub dropped_accesses: u64,
     /// Prefetch events the analysis routines ignored.
     pub prefetches_ignored: u64,
+    /// Reconstruction provenance when the producing run used a reduced
+    /// `--instr` mode; `None` for exact full-instrumentation profiles.
+    /// See `docs/ACCURACY.md` for the measured error bounds per mode.
+    pub instr: Option<ReconNote>,
 }
 
 impl TquadProfile {
@@ -76,6 +81,11 @@ impl TquadProfile {
     /// Panics if the profiles disagree on interval or kernel table — they
     /// would not be shards of the same run.
     pub fn merge(&mut self, other: &TquadProfile) {
+        assert!(
+            self.instr.is_none() && other.instr.is_none(),
+            "reconstructed profiles cannot be merged (carry-filled slices \
+             would double-count); merge at the tool level instead"
+        );
         assert_eq!(self.interval, other.interval, "shards must share interval");
         assert_eq!(
             self.kernels.len(),
@@ -155,6 +165,7 @@ mod tests {
             }],
             dropped_accesses: 0,
             prefetches_ignored: 0,
+            instr: None,
         }
     }
 
@@ -202,6 +213,7 @@ mod tests {
             }],
             dropped_accesses: 0,
             prefetches_ignored: 0,
+            instr: None,
         };
         assert!(p.stats(&p.kernels[0], true).is_none());
         assert!(p.active_kernels().is_empty());
@@ -326,6 +338,7 @@ mod interval_tests {
             kernels: vec![k],
             dropped_accesses: 0,
             prefetches_ignored: 0,
+            instr: None,
         }
     }
 

@@ -176,13 +176,28 @@ pub fn profile_json(profile: &TquadProfile) -> Json {
             ])
         })
         .collect();
-    Json::obj([
+    let mut fields = vec![
         ("interval", Json::from(profile.interval)),
         ("total_icount", Json::from(profile.total_icount)),
         ("dropped_accesses", Json::from(profile.dropped_accesses)),
         ("prefetches_ignored", Json::from(profile.prefetches_ignored)),
-        ("kernels", Json::from(kernels)),
-    ])
+    ];
+    // Present only for reduced-instrumentation runs, so full profiles
+    // render byte-identically to their pre-`--instr` form (the profd
+    // cache and the repro fixtures depend on that).
+    if let Some(note) = &profile.instr {
+        fields.push((
+            "instr",
+            Json::obj([
+                ("spec", Json::from(note.spec.as_str())),
+                ("coverage_ppm", Json::from(note.coverage_ppm)),
+                ("filled_slices", Json::from(note.filled_slices)),
+                ("measured_slices", Json::from(note.measured_slices)),
+            ]),
+        ));
+    }
+    fields.push(("kernels", Json::from(kernels)));
+    Json::obj(fields)
 }
 
 #[cfg(test)]
@@ -219,6 +234,7 @@ mod tests {
             ],
             dropped_accesses: 0,
             prefetches_ignored: 0,
+            instr: None,
         }
     }
 

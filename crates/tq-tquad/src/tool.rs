@@ -18,10 +18,12 @@
 use crate::callstack::CallStack;
 use crate::options::{LibPolicy, TquadOptions};
 use crate::profile::{KernelProfile, TquadProfile};
+use crate::recon::{reconstruct_series, ReconNote};
 use crate::series::KernelSeries;
 use tq_isa::RoutineId;
 use tq_vm::{
-    hooks, is_stack_access, Event, HookMask, InsContext, MergeTool, ProgramInfo, ShardContext, Tool,
+    hooks, is_stack_access, Event, HookMask, InsContext, InstrInfo, MergeTool, ProgramInfo,
+    ShardContext, Tool,
 };
 
 /// The tQUAD profiler tool. Attach to a [`tq_vm::Vm`], run the program, then
@@ -40,6 +42,9 @@ pub struct TquadTool {
     dropped_accesses: u64,
     /// Prefetch events ignored by the analysis routines.
     prefetches_ignored: u64,
+    /// Reduced-instrumentation metadata of the producing run, delivered
+    /// via [`Tool::on_instr`]; `None` under full instrumentation.
+    instr: Option<InstrInfo>,
 }
 
 impl TquadTool {
@@ -56,29 +61,62 @@ impl TquadTool {
             max_icount: 0,
             dropped_accesses: 0,
             prefetches_ignored: 0,
+            instr: None,
         }
     }
 
-    /// Consume the tool into its measurement results.
+    /// Consume the tool into its measurement results. When the run used a
+    /// gating `--instr` mode (sampling or convergence), each kernel series
+    /// is reconstructed to full-run shape (see [`crate::recon`]) and the
+    /// profile carries a [`ReconNote`]; exact runs pass through untouched.
     pub fn into_profile(self) -> TquadProfile {
-        let kernels = self
+        let gated = self.instr.as_ref().filter(|i| i.slice_len > 0).map(|i| {
+            // Anchor the estimator on the true run length, not the
+            // last *delivered* event (gating can silence the tail).
+            let mut i = i.clone();
+            i.total_icount = i.total_icount.max(self.max_icount);
+            i
+        });
+        let interval = self.opts.slice_interval;
+        let mut filled = 0u64;
+        let mut measured = 0u64;
+        let kernels: Vec<KernelProfile> = self
             .names
             .into_iter()
             .enumerate()
-            .map(|(i, name)| KernelProfile {
-                rtn: RoutineId(i as u32),
-                name,
-                main_image: self.main_image[i],
-                calls: self.calls[i],
-                series: self.series[i].clone(),
+            .map(|(i, name)| {
+                let series = match &gated {
+                    Some(info) => {
+                        let (s, f, m) =
+                            reconstruct_series(&self.series[i], interval, info, i as u32);
+                        filled += f;
+                        measured += m;
+                        s
+                    }
+                    None => self.series[i].clone(),
+                };
+                KernelProfile {
+                    rtn: RoutineId(i as u32),
+                    name,
+                    main_image: self.main_image[i],
+                    calls: self.calls[i],
+                    series,
+                }
             })
             .collect();
+        let instr = self.instr.as_ref().map(|info| ReconNote {
+            spec: info.spec.clone(),
+            coverage_ppm: (info.coverage() * 1e6).round() as u64,
+            filled_slices: filled,
+            measured_slices: measured,
+        });
         TquadProfile {
-            interval: self.opts.slice_interval,
+            interval,
             total_icount: self.max_icount,
             kernels,
             dropped_accesses: self.dropped_accesses,
             prefetches_ignored: self.prefetches_ignored,
+            instr,
         }
     }
 
@@ -165,6 +203,16 @@ impl Tool for TquadTool {
             m |= hooks::RTN_ENTER;
         }
         m
+    }
+
+    fn event_mask(&self) -> HookMask {
+        // Replay delivery mask: tQUAD never inspects Call or Tick events,
+        // so replay skips constructing those deliveries entirely.
+        hooks::MEM_READ | hooks::MEM_WRITE | hooks::RET | hooks::RTN_ENTER
+    }
+
+    fn on_instr(&mut self, info: &InstrInfo) {
+        self.instr = Some(info.clone());
     }
 
     fn on_event(&mut self, ev: &Event) {

@@ -244,6 +244,9 @@ impl Trace {
         };
 
         tool.on_attach(&self.info);
+        if let Some(instr) = &self.instr {
+            tool.on_instr(instr);
+        }
         let mut workers: Vec<Box<dyn MergeTool>> = {
             let _fork = tq_obs::span("fork", "replay");
             chunks[1..]

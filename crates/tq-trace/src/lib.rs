@@ -15,6 +15,8 @@
 //! pointer is the most recent event's, an approximation documented on
 //! [`Trace::replay`].
 
+#![warn(missing_docs)]
+
 pub mod chunk;
 pub(crate) mod columnar;
 pub mod digest;
@@ -68,7 +70,8 @@ use std::io::{Read, Write};
 use std::path::Path;
 use tq_isa::RoutineId;
 use tq_vm::{
-    standard_mask, Event, HookMask, InsContext, ProgramInfo, RoutineMeta, ShardContext, Tool,
+    hooks, standard_mask, Event, HookMask, InsContext, InstrInfo, ProgramInfo, RoutineMeta,
+    ShardContext, Tool,
 };
 use varint::{read_i64, read_u64, write_i64, write_u64};
 
@@ -85,6 +88,12 @@ const MAGIC2: &[u8; 8] = b"TQTRACE2";
 /// in-column deltas, byte-run RLE. Loads to the exact same [`Trace`] —
 /// same row bytes, same digest — as the v2 form it was saved from.
 const MAGIC3: &[u8; 8] = b"TQTRACE3";
+/// Tag of the optional instrumentation-mode tail appended after a capture's
+/// structured payload (any format version): `TQIM`, a varint byte length,
+/// then [`InstrInfo::encode`] bytes. Loaders that predate the section never
+/// read past the payload, so tagged captures stay loadable everywhere;
+/// full-instrumentation captures omit the tail entirely.
+const INSTR_MAGIC: &[u8; 4] = b"TQIM";
 
 /// On-disk format selector for [`Trace::save_as`].
 ///
@@ -138,6 +147,12 @@ pub struct Trace {
     /// TQTRACE2 format). `None` means sequential-only metadata; replay
     /// semantics and [`Trace::digest`] are unaffected either way.
     pub chunks: Option<Vec<ChunkMeta>>,
+    /// Instrumentation-mode metadata when the capture was recorded under a
+    /// reduced mode (`--instr`): what was dropped, and where. Saved as a
+    /// tagged tail section older readers skip; `None` for full captures,
+    /// whose on-disk bytes and [`Trace::digest`] are unchanged. Replay
+    /// hands it to tools via [`Tool::on_instr`] right after attach.
+    pub instr: Option<InstrInfo>,
 }
 
 /// Decoder state shared by writer and reader so deltas stay in sync.
@@ -155,6 +170,7 @@ pub struct TraceRecorder {
     buf: Vec<u8>,
     state: DeltaState,
     n_events: u64,
+    instr: Option<InstrInfo>,
 }
 
 impl TraceRecorder {
@@ -165,6 +181,7 @@ impl TraceRecorder {
             buf: Vec::new(),
             state: DeltaState::default(),
             n_events: 0,
+            instr: None,
         }
     }
 
@@ -176,6 +193,7 @@ impl TraceRecorder {
             events: self.buf,
             n_events: self.n_events,
             chunks: None,
+            instr: self.instr,
         }
     }
 
@@ -280,6 +298,12 @@ impl Tool for TraceRecorder {
         }
     }
 
+    fn on_instr(&mut self, info: &InstrInfo) {
+        // A gated run: carry the mode metadata into the capture so replay
+        // knows exactly which memory events are missing.
+        self.instr = Some(info.clone());
+    }
+
     fn on_fini(&mut self, final_icount: u64) {
         self.head(K_FINI, final_icount);
     }
@@ -332,6 +356,9 @@ impl Trace {
         let _span = tq_obs::span("replay", "replay");
         obs::replays().inc();
         tool.on_attach(&self.info);
+        if let Some(instr) = &self.instr {
+            tool.on_instr(instr);
+        }
         let end = self.replay_span(0, self.events.len(), &ShardContext::default(), tool)?;
         if !end.saw_fini {
             // No Fini record (recorder detached before program end).
@@ -447,6 +474,13 @@ pub(crate) fn replay_span_buf(
     ctx: &ShardContext,
     tool: &mut dyn Tool,
 ) -> Result<ReplayEnd, TraceError> {
+    // Per-trace precomputed per-tool event mask (DESIGN.md §14): ask the
+    // tool once which event kinds it ever acts on, and skip constructing
+    // and delivering the rest. The delta decoders still advance over every
+    // record, so the byte stream decodes identically; only the calls into
+    // the tool disappear — which is why a narrowed mask cannot change any
+    // tool's output.
+    let mask = tool.event_mask();
     let mut tick = tool.tick_interval().unwrap_or(0);
     // First tick strictly after the prefix clock; at stream start
     // (icount 0) this is simply `tick`.
@@ -501,11 +535,13 @@ pub(crate) fn replay_span_buf(
         st.icount = icount;
 
         while tick != 0 && next_tick <= icount {
-            tool.on_event(&Event::Tick {
-                icount: next_tick,
-                ip: st.ip,
-                rtn: last_rtn,
-            });
+            if mask & hooks::TICK != 0 {
+                tool.on_event(&Event::Tick {
+                    icount: next_tick,
+                    ip: st.ip,
+                    rtn: last_rtn,
+                });
+            }
             match next_tick.checked_add(tick) {
                 Some(n) => next_tick = n,
                 None => tick = 0, // clock saturated; no further ticks
@@ -521,15 +557,17 @@ pub(crate) fn replay_span_buf(
                 let packed = ru!();
                 let rtn = rid!(packed >> 1);
                 last_rtn = rtn;
-                tool.on_event(&Event::MemRead {
-                    ip: st.ip,
-                    ea: st.ea,
-                    size,
-                    sp: st.sp,
-                    is_prefetch: packed & 1 != 0,
-                    icount,
-                    rtn,
-                });
+                if mask & hooks::MEM_READ != 0 {
+                    tool.on_event(&Event::MemRead {
+                        ip: st.ip,
+                        ea: st.ea,
+                        size,
+                        sp: st.sp,
+                        is_prefetch: packed & 1 != 0,
+                        icount,
+                        rtn,
+                    });
+                }
             }
             K_MEM_WRITE => {
                 st.ip = st.ip.wrapping_add_signed(ri!());
@@ -538,38 +576,44 @@ pub(crate) fn replay_span_buf(
                 st.sp = st.sp.wrapping_add_signed(ri!());
                 let rtn = rid!(ru!());
                 last_rtn = rtn;
-                tool.on_event(&Event::MemWrite {
-                    ip: st.ip,
-                    ea: st.ea,
-                    size,
-                    sp: st.sp,
-                    icount,
-                    rtn,
-                });
+                if mask & hooks::MEM_WRITE != 0 {
+                    tool.on_event(&Event::MemWrite {
+                        ip: st.ip,
+                        ea: st.ea,
+                        size,
+                        sp: st.sp,
+                        icount,
+                        rtn,
+                    });
+                }
             }
             K_CALL => {
                 st.ip = st.ip.wrapping_add_signed(ri!());
                 let callee = rid!(ru!());
                 let rtn = rid!(ru!());
                 last_rtn = rtn;
-                tool.on_event(&Event::Call {
-                    ip: st.ip,
-                    callee,
-                    icount,
-                    rtn,
-                });
+                if mask & hooks::CALL != 0 {
+                    tool.on_event(&Event::Call {
+                        ip: st.ip,
+                        callee,
+                        icount,
+                        rtn,
+                    });
+                }
             }
             K_RET => {
                 st.ip = st.ip.wrapping_add_signed(ri!());
                 let return_to = st.ip.wrapping_add_signed(ri!());
                 let rtn = rid!(ru!());
                 last_rtn = rtn;
-                tool.on_event(&Event::Ret {
-                    ip: st.ip,
-                    return_to,
-                    icount,
-                    rtn,
-                });
+                if mask & hooks::RET != 0 {
+                    tool.on_event(&Event::Ret {
+                        ip: st.ip,
+                        return_to,
+                        icount,
+                        rtn,
+                    });
+                }
             }
             K_RTN_ENTER => {
                 let rtn = rid!(ru!());
@@ -579,11 +623,13 @@ pub(crate) fn replay_span_buf(
                 }
                 st.sp = st.sp.wrapping_add_signed(ri!());
                 last_rtn = rtn;
-                tool.on_event(&Event::RoutineEnter {
-                    rtn,
-                    sp: st.sp,
-                    icount,
-                });
+                if mask & hooks::RTN_ENTER != 0 {
+                    tool.on_event(&Event::RoutineEnter {
+                        rtn,
+                        sp: st.sp,
+                        icount,
+                    });
+                }
             }
             K_FINI => {
                 tool.on_fini(icount);
@@ -599,6 +645,32 @@ pub(crate) fn replay_span_buf(
         last_icount: st.icount,
         saw_fini: false,
     })
+}
+
+/// Parse the optional `TQIM` instrumentation tail at `pos`. Absent tail
+/// (end of input, or trailing bytes that do not start with the tag) is
+/// `Ok(None)` — pre-section writers may leave arbitrary trailing garbage
+/// that older loaders also ignored. A *tagged* tail that is truncated or
+/// fails [`InstrInfo::decode`] is an error: the writer clearly meant to
+/// record a mode and we must not silently misreport a capture as full.
+fn parse_instr_tail(bytes: &[u8], pos: &mut usize) -> Result<Option<InstrInfo>, TraceError> {
+    match bytes.get(*pos..*pos + INSTR_MAGIC.len()) {
+        Some(tag) if tag == INSTR_MAGIC => {}
+        _ => return Ok(None),
+    }
+    *pos += INSTR_MAGIC.len();
+    let len = read_u64(bytes, pos).ok_or(TraceError::Malformed("truncated instr tail"))? as usize;
+    let body = bytes
+        .get(
+            *pos..pos
+                .checked_add(len)
+                .ok_or(TraceError::Malformed("instr tail overflow"))?,
+        )
+        .ok_or(TraceError::Malformed("truncated instr tail"))?;
+    *pos += len;
+    InstrInfo::decode(body)
+        .map(Some)
+        .ok_or(TraceError::Malformed("malformed instr tail"))
 }
 
 impl Trace {
@@ -688,7 +760,8 @@ impl Trace {
     pub fn save_as<W: Write>(&self, w: &mut W, format: TraceFormat) -> std::io::Result<()> {
         if format == TraceFormat::V3 {
             if let Some(bytes) = self.encode_v3() {
-                return w.write_all(&bytes);
+                w.write_all(&bytes)?;
+                return self.write_instr_tail(w);
             }
         }
         let chunks = match (format, &self.chunks) {
@@ -702,6 +775,23 @@ impl Trace {
             let mut tail = Vec::new();
             chunk::write_index(&mut tail, chunks);
             w.write_all(&tail)?;
+        }
+        self.write_instr_tail(w)
+    }
+
+    /// Append the instrumentation-mode tail section, if any: the `TQIM`
+    /// tag, a varint byte length, then the encoded [`InstrInfo`]. Readers
+    /// that predate the section never looked past the structured payload,
+    /// so the tail is backward compatible; full captures write nothing and
+    /// stay byte-identical to their pre-section form.
+    fn write_instr_tail<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        if let Some(info) = &self.instr {
+            let body = info.encode();
+            w.write_all(INSTR_MAGIC)?;
+            let mut len = Vec::new();
+            write_u64(&mut len, body.len() as u64);
+            w.write_all(&len)?;
+            w.write_all(&body)?;
         }
         Ok(())
     }
@@ -752,6 +842,7 @@ impl Trace {
                 .get(pos..pos.checked_add(tail_len).ok_or(bad(()))?)
                 .ok_or(bad(()))?;
             events.extend_from_slice(tail);
+            pos += tail_len;
             if events.len() != ev_len {
                 return Err(TraceError::Malformed("event stream length mismatch"));
             }
@@ -771,11 +862,13 @@ impl Trace {
             };
             (events, chunks)
         };
+        let instr = parse_instr_tail(&bytes, &mut pos)?;
         Ok(Trace {
             info: h.info,
             events,
             n_events: h.n_events,
             chunks,
+            instr,
         })
     }
 
@@ -784,10 +877,13 @@ impl Trace {
         self.events.len() as f64 / self.n_events.max(1) as f64
     }
 
-    /// Content digest of the trace itself (routine table + event stream).
-    /// Two traces digest equal iff replay delivers the same event sequence
-    /// to any tool — the chunk index is derived metadata and deliberately
-    /// excluded, so indexing a capture never invalidates cached results.
+    /// Content digest of the trace itself (routine table + event stream +
+    /// instrumentation-mode metadata when present). Two traces digest equal
+    /// iff replay delivers the same event sequence *and* the same
+    /// [`InstrInfo`] to any tool — the chunk index is derived metadata and
+    /// deliberately excluded, so indexing a capture never invalidates
+    /// cached results. Full captures (`instr: None`) digest exactly as they
+    /// did before the section existed.
     pub fn digest(&self) -> String {
         let mut d = Digest128::new();
         d.update_u64(self.info.stack_base);
@@ -802,6 +898,10 @@ impl Trace {
         }
         d.update_u64(self.n_events);
         d.update(&self.events);
+        if let Some(info) = &self.instr {
+            d.update_str("instr");
+            d.update(&info.encode());
+        }
         d.finish_hex()
     }
 

@@ -26,7 +26,7 @@ use crate::varint::read_u64;
 use crate::{chunk, columnar, replay_span_buf, ChunkMeta, ReplayEnd, Trace, TraceError};
 use std::borrow::Cow;
 use std::path::Path;
-use tq_vm::{MergeTool, ProgramInfo, ShardContext, Tool};
+use tq_vm::{InstrInfo, MergeTool, ProgramInfo, ShardContext, Tool};
 
 /// A trace opened for lazy chunk-at-a-time reading. Holds the encoded
 /// file bytes plus the chunk index; never the decoded event stream.
@@ -36,6 +36,7 @@ pub struct StreamingTrace {
     chunks: Vec<ChunkMeta>,
     data: Vec<u8>,
     payload: Payload,
+    instr: Option<InstrInfo>,
 }
 
 enum Payload {
@@ -84,6 +85,13 @@ impl StreamingTrace {
                     blobs.push((pos, blob_len));
                     pos += blob_len;
                 }
+                // Skip the raw uncovered-tail section so `pos` lands where
+                // the optional instrumentation tail begins.
+                let tail_len = read_u64(&data, &mut pos).ok_or(trunc)? as usize;
+                if data.get(pos..pos + tail_len).is_none() {
+                    return Err(trunc);
+                }
+                pos += tail_len;
                 (idx, Payload::Columnar { blobs })
             }
             2 => {
@@ -107,16 +115,26 @@ impl StreamingTrace {
                 if data.get(off..off + h.ev_len).is_none() {
                     return Err(trunc);
                 }
+                pos = off + h.ev_len;
                 (vec![whole_stream_chunk(h.ev_len)], Payload::Rows { off })
             }
         };
+        let instr = crate::parse_instr_tail(&data, &mut pos)?;
         Ok(StreamingTrace {
             info: h.info,
             n_events: h.n_events,
             chunks,
             data,
             payload,
+            instr,
         })
+    }
+
+    /// Instrumentation-mode metadata recorded with the capture, if the run
+    /// used a reduced mode (`None` for full captures). Delivered to tools
+    /// via [`Tool::on_instr`] right after attach by both replay drivers.
+    pub fn instr(&self) -> Option<&InstrInfo> {
+        self.instr.as_ref()
     }
 
     /// Program facts (routine table, stack base, entry), as tools receive
@@ -182,6 +200,9 @@ impl StreamingTrace {
         let _span = tq_obs::span("replay_streaming", "replay");
         crate::obs::streaming_replays().inc();
         tool.on_attach(&self.info);
+        if let Some(instr) = &self.instr {
+            tool.on_instr(instr);
+        }
         let mut end = ReplayEnd {
             last_icount: 0,
             saw_fini: false,
@@ -238,6 +259,9 @@ impl StreamingTrace {
         };
 
         tool.on_attach(&self.info);
+        if let Some(instr) = &self.instr {
+            tool.on_instr(instr);
+        }
         let mut workers: Vec<Box<dyn MergeTool>> = {
             let _fork = tq_obs::span("fork", "replay");
             runs[1..]

@@ -66,7 +66,10 @@ impl Vm {
     fn exec_block(&mut self, block: &Block, fuel_limit: u64) -> Result<Next, VmError> {
         let n = block.insts.len() as u64;
         let end = self.icount.saturating_add(n);
-        if end <= fuel_limit && end < self.next_tick {
+        // Tick and gating-slice boundaries fold into one hoisted bound so
+        // the fast path pays a single compare for both.
+        let stop = self.next_tick.min(self.instr_gate.next_edge());
+        if end <= fuel_limit && end < stop {
             if self.vm_opt == VmOpt::Off {
                 for (i, d) in block.insts.iter().enumerate() {
                     self.icount += 1;
@@ -97,6 +100,9 @@ impl Vm {
                 if self.icount >= self.next_tick {
                     self.fire_ticks(d.pc, d.rtn);
                 }
+                // Gating-slice boundaries are hoisted exactly like ticks:
+                // the fast path never crosses one.
+                self.instr_gate.advance(self.icount);
                 self.fire_rtn_enter(d);
                 match self.exec::<false>(d, 0, i as u16)? {
                     Next::Fall => {}

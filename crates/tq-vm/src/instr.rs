@@ -1,0 +1,1112 @@
+//! Reduced-instrumentation modes: per-routine filters, slice-level
+//! sampling and convergence gating (`--instr`, DESIGN.md §14).
+//!
+//! Full instrumentation is the accuracy gold standard — every memory
+//! event constructed and delivered. The three reduced modes trade a
+//! *measured* amount of accuracy for instrumented-run wall-time:
+//!
+//! * **filter** — an include/exclude set over routine names; excluded
+//!   routines are simply never instrumented (their cached blocks carry no
+//!   hooks), so they construct no events at all. An all-routines filter
+//!   is byte-identical to full by construction.
+//! * **sample** — record every k-th time slice. Slices are phase-aligned
+//!   to the virtual clock and the live phase is deterministic from the
+//!   run seed, so a sampled run is exactly reproducible. Tools
+//!   reconstruct full-run profiles by carrying each sampled slice
+//!   forward over the skipped ones.
+//! * **converge** — stop delivering a routine's memory events once its
+//!   per-slice byte profile has been stable within a tolerance for N
+//!   consecutive slices, re-probing periodically and un-gating on drift.
+//!   The gating gaps are recorded in [`InstrInfo`] so tools can carry
+//!   the last measured slice across each gap.
+//!
+//! Only **memory events** are gated. Control events (routine entries,
+//! calls, returns) and ticks always fire: tools keep exact call stacks
+//! and exact slice boundaries under every mode, so the only quantity
+//! that degrades is per-slice byte counts — precisely the quantity the
+//! accuracy bench ([`docs/ACCURACY.md`]) bounds against the full
+//! baseline.
+//!
+//! The same [`InstrGate`] state machine drives the live VM hot path and
+//! the replay-side emulation (`tq-profd` applies a mode to a full
+//! capture by feeding the recorded events through a gate): both are pure
+//! functions of the instrumented event stream, so a live gated capture
+//! replays identically to a gated replay of a full capture.
+
+use tq_isa::RoutineId;
+
+/// Default gating-slice width in instructions (matches the tQUAD tool's
+/// default `--interval`, so reconstruction is slice-exact by default).
+pub const DEFAULT_SLICE_LEN: u64 = 20_000;
+
+/// Per-routine instrumentation filter: either an include-list (only the
+/// named routines are instrumented) or an exclude-list (everything but).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutineFilter {
+    /// True: `names` are excluded, the rest instrumented. False: only
+    /// `names` are instrumented.
+    pub exclude: bool,
+    /// Routine names; empty with `exclude = false` means "all routines"
+    /// (the spelled-out `filter:*`, byte-identical to full).
+    pub names: Vec<String>,
+}
+
+impl RoutineFilter {
+    /// True when the filter keeps every routine instrumented.
+    pub fn is_all(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Slice-level sampling parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Record every `period`-th slice (must be ≥ 1; 1 degenerates to
+    /// full).
+    pub period: u64,
+    /// Gating-slice width in instructions.
+    pub slice_len: u64,
+    /// Run seed; the live phase within the period is derived from it
+    /// (splitmix-style), so two runs with one seed sample identically.
+    pub seed: u64,
+}
+
+impl SampleSpec {
+    /// The live phase within the period, derived deterministically from
+    /// the seed: slice `s` is recorded iff `s % period == offset`.
+    pub fn offset(&self) -> u64 {
+        if self.period <= 1 {
+            return 0;
+        }
+        // splitmix64 finalizer over the seed (and the parameters, so
+        // different configurations decorrelate).
+        let mut h = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.period.rotate_left(17))
+            .wrapping_add(self.slice_len.rotate_left(41));
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        h % self.period
+    }
+}
+
+/// Convergence-gating parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergeSpec {
+    /// Relative tolerance for "stable": two consecutive per-slice byte
+    /// counts within `tolerance` of each other extend the streak.
+    pub tolerance: f64,
+    /// Consecutive stable slices before a routine's memory events stop.
+    pub window: u32,
+    /// Re-probe every `reprobe` slices: gated routines are measured for
+    /// one slice (without emitting) and un-gated if they drifted.
+    pub reprobe: u64,
+    /// Gating-slice width in instructions.
+    pub slice_len: u64,
+}
+
+/// A parsed `--instr` mode: a filter composed with at most one of
+/// sampling or convergence gating.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct InstrMode {
+    /// Per-routine filter, if any.
+    pub filter: Option<RoutineFilter>,
+    /// Slice sampling, if any (mutually exclusive with `converge`).
+    pub sample: Option<SampleSpec>,
+    /// Convergence gating, if any (mutually exclusive with `sample`).
+    pub converge: Option<ConvergeSpec>,
+}
+
+impl InstrMode {
+    /// The full-instrumentation mode.
+    pub fn full() -> InstrMode {
+        InstrMode::default()
+    }
+
+    /// True when the mode is observationally full instrumentation: no
+    /// gating and a filter (if any) that keeps every routine.
+    pub fn is_full(&self) -> bool {
+        self.sample.is_none()
+            && self.converge.is_none()
+            && self.filter.as_ref().map(|f| f.is_all()).unwrap_or(true)
+    }
+
+    /// Gating-slice width, or 0 when no slice gating is active.
+    pub fn slice_len(&self) -> u64 {
+        if let Some(s) = &self.sample {
+            s.slice_len
+        } else if let Some(c) = &self.converge {
+            c.slice_len
+        } else {
+            0
+        }
+    }
+
+    /// Parse a `--instr` specification.
+    ///
+    /// Grammar (parts composable with `+`; `sample` and `converge` are
+    /// mutually exclusive):
+    ///
+    /// ```text
+    /// full
+    /// filter:*                     all routines (byte-identical to full)
+    /// filter:a,b,c                 instrument only these routines
+    /// filter:!a,b                  instrument everything but these
+    /// sample:K[/SLICE][@SEED]      record every K-th SLICE-instr slice
+    /// converge:TOL,N[,R][/SLICE]   gate after N stable slices (rel. TOL),
+    ///                              re-probe every R slices (default 8N)
+    /// ```
+    pub fn parse(spec: &str) -> Result<InstrMode, String> {
+        let mut mode = InstrMode::default();
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err("empty --instr spec".into());
+        }
+        for part in spec.split('+') {
+            let part = part.trim();
+            if part == "full" {
+                continue;
+            }
+            let (kind, arg) = match part.split_once(':') {
+                Some((k, a)) => (k, a),
+                None => {
+                    return Err(format!(
+                        "bad --instr part `{part}` (full|filter:...|sample:...|converge:...)"
+                    ))
+                }
+            };
+            match kind {
+                "filter" => {
+                    if mode.filter.is_some() {
+                        return Err("duplicate filter: in --instr".into());
+                    }
+                    mode.filter = Some(parse_filter(arg)?);
+                }
+                "sample" => {
+                    if mode.sample.is_some() {
+                        return Err("duplicate sample: in --instr".into());
+                    }
+                    mode.sample = Some(parse_sample(arg)?);
+                }
+                "converge" => {
+                    if mode.converge.is_some() {
+                        return Err("duplicate converge: in --instr".into());
+                    }
+                    mode.converge = Some(parse_converge(arg)?);
+                }
+                other => return Err(format!("unknown --instr part `{other}`")),
+            }
+        }
+        if mode.sample.is_some() && mode.converge.is_some() {
+            return Err("sample and converge cannot be combined".into());
+        }
+        Ok(mode)
+    }
+}
+
+impl std::fmt::Display for InstrMode {
+    /// Canonical spec string — re-parses to an equal mode.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(fl) = &self.filter {
+            if fl.names.is_empty() {
+                parts.push("filter:*".into());
+            } else {
+                let bang = if fl.exclude { "!" } else { "" };
+                parts.push(format!("filter:{bang}{}", fl.names.join(",")));
+            }
+        }
+        if let Some(s) = &self.sample {
+            parts.push(format!("sample:{}/{}@{}", s.period, s.slice_len, s.seed));
+        }
+        if let Some(c) = &self.converge {
+            parts.push(format!(
+                "converge:{},{},{}/{}",
+                c.tolerance, c.window, c.reprobe, c.slice_len
+            ));
+        }
+        if parts.is_empty() {
+            f.write_str("full")
+        } else {
+            f.write_str(&parts.join("+"))
+        }
+    }
+}
+
+fn parse_filter(arg: &str) -> Result<RoutineFilter, String> {
+    if arg == "*" {
+        return Ok(RoutineFilter {
+            exclude: false,
+            names: Vec::new(),
+        });
+    }
+    let (exclude, list) = match arg.strip_prefix('!') {
+        Some(rest) => (true, rest),
+        None => (false, arg),
+    };
+    let names: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if names.is_empty() {
+        return Err("filter: needs `*` or a routine-name list".into());
+    }
+    Ok(RoutineFilter { exclude, names })
+}
+
+/// Split `X[/SLICE]` and parse the optional slice width.
+fn split_slice(arg: &str) -> Result<(&str, u64), String> {
+    match arg.split_once('/') {
+        Some((head, slice)) => {
+            let n: u64 = slice
+                .parse()
+                .map_err(|_| format!("bad slice width `{slice}`"))?;
+            if n == 0 {
+                return Err("slice width must be positive".into());
+            }
+            Ok((head, n))
+        }
+        None => Ok((arg, DEFAULT_SLICE_LEN)),
+    }
+}
+
+fn parse_sample(arg: &str) -> Result<SampleSpec, String> {
+    let (arg, seed) = match arg.split_once('@') {
+        Some((head, seed)) => (
+            head,
+            seed.parse::<u64>()
+                .map_err(|_| format!("bad sample seed `{seed}`"))?,
+        ),
+        None => (arg, 0),
+    };
+    let (period_s, slice_len) = split_slice(arg)?;
+    let period: u64 = period_s
+        .parse()
+        .map_err(|_| format!("bad sample period `{period_s}`"))?;
+    if period == 0 {
+        return Err("sample period must be ≥ 1".into());
+    }
+    Ok(SampleSpec {
+        period,
+        slice_len,
+        seed,
+    })
+}
+
+fn parse_converge(arg: &str) -> Result<ConvergeSpec, String> {
+    let (head, slice_len) = split_slice(arg)?;
+    let fields: Vec<&str> = head.split(',').collect();
+    if fields.len() < 2 || fields.len() > 3 {
+        return Err("converge: needs TOL,N[,R]".into());
+    }
+    let tolerance: f64 = fields[0]
+        .parse()
+        .map_err(|_| format!("bad converge tolerance `{}`", fields[0]))?;
+    if !(tolerance >= 0.0) || !tolerance.is_finite() {
+        return Err("converge tolerance must be a finite non-negative number".into());
+    }
+    let window: u32 = fields[1]
+        .parse()
+        .map_err(|_| format!("bad converge window `{}`", fields[1]))?;
+    if window == 0 {
+        return Err("converge window must be ≥ 1".into());
+    }
+    let reprobe: u64 = match fields.get(2) {
+        Some(r) => {
+            let n = r.parse().map_err(|_| format!("bad reprobe `{r}`"))?;
+            if n == 0 {
+                return Err("reprobe period must be ≥ 1".into());
+            }
+            n
+        }
+        None => 8 * window as u64,
+    };
+    Ok(ConvergeSpec {
+        tolerance,
+        window,
+        reprobe,
+        slice_len,
+    })
+}
+
+/// One convergence-gating gap: routine `rtn` delivered no memory events
+/// for gating slices `start_slice .. end_slice` (half-open).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstrGap {
+    /// Gated routine id (`u32::MAX` for code outside all symbols).
+    pub rtn: u32,
+    /// First gated slice.
+    pub start_slice: u64,
+    /// One past the last gated slice.
+    pub end_slice: u64,
+}
+
+/// What a reduced-instrumentation run actually did — the metadata tools
+/// (and captures) need to reconstruct full-run profiles and report their
+/// confidence. Delivered to tools via [`crate::Tool::on_instr`]; stored
+/// in captures so replay reconstructs identically.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct InstrInfo {
+    /// Canonical mode spec (`InstrMode::to_string`).
+    pub spec: String,
+    /// Gating-slice width in instructions (0 = no slice gating; the
+    /// mode was filter-only).
+    pub slice_len: u64,
+    /// Sampling period (0 when not sampling).
+    pub sample_period: u64,
+    /// Live phase within the period (slice `s` was recorded iff
+    /// `s % sample_period == sample_offset`).
+    pub sample_offset: u64,
+    /// Routine ids whose instrumentation the filter disabled entirely.
+    pub filtered: Vec<u32>,
+    /// Convergence-gating gaps, in (rtn, start) order.
+    pub gaps: Vec<InstrGap>,
+    /// Final virtual clock of the run (set at fini / capture save).
+    pub total_icount: u64,
+}
+
+impl InstrInfo {
+    /// Whether gating slice `s` was recorded under the sampling pattern
+    /// (always true when not sampling).
+    pub fn sample_live(&self, slice: u64) -> bool {
+        self.sample_period <= 1 || slice % self.sample_period == self.sample_offset
+    }
+
+    /// Total gating slices of the run (0 when no slice gating).
+    pub fn n_slices(&self) -> u64 {
+        if self.slice_len == 0 {
+            0
+        } else {
+            self.total_icount.div_ceil(self.slice_len)
+        }
+    }
+
+    /// Fraction of (routine × slice) cells whose memory events were
+    /// recorded — the headline coverage number reports print. 1.0 for
+    /// filter-only modes (filtering removes routines, not time).
+    pub fn coverage(&self) -> f64 {
+        let n = self.n_slices();
+        if n == 0 {
+            return 1.0;
+        }
+        if self.sample_period > 1 {
+            let live = (0..n).filter(|&s| self.sample_live(s)).count();
+            return live as f64 / n as f64;
+        }
+        // Convergence: subtract gap cells, normalised per gated routine.
+        let gap_slices: u64 = self
+            .gaps
+            .iter()
+            .map(|g| g.end_slice.min(n) - g.start_slice.min(n))
+            .sum();
+        let rtns: std::collections::HashSet<u32> = self.gaps.iter().map(|g| g.rtn).collect();
+        if rtns.is_empty() {
+            return 1.0;
+        }
+        1.0 - gap_slices as f64 / (n as f64 * rtns.len() as f64)
+    }
+
+    /// Gaps of one routine, in slice order.
+    pub fn gaps_of(&self, rtn: u32) -> impl Iterator<Item = &InstrGap> {
+        self.gaps.iter().filter(move |g| g.rtn == rtn)
+    }
+
+    /// Stable byte encoding (for capture tails and digest folding).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let spec = self.spec.as_bytes();
+        out.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+        out.extend_from_slice(spec);
+        for v in [
+            self.slice_len,
+            self.sample_period,
+            self.sample_offset,
+            self.total_icount,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.filtered.len() as u32).to_le_bytes());
+        for r in &self.filtered {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gaps.len() as u32).to_le_bytes());
+        for g in &self.gaps {
+            out.extend_from_slice(&g.rtn.to_le_bytes());
+            out.extend_from_slice(&g.start_slice.to_le_bytes());
+            out.extend_from_slice(&g.end_slice.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`InstrInfo::encode`]. `None` on truncated or
+    /// malformed bytes (trailing garbage is rejected).
+    pub fn decode(bytes: &[u8]) -> Option<InstrInfo> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let u32_at = |pos: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(pos, 4)?.try_into().ok()?))
+        };
+        let u64_at = |pos: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let spec_len = u32_at(&mut pos)? as usize;
+        if spec_len > bytes.len() {
+            return None;
+        }
+        let spec = String::from_utf8(take(&mut pos, spec_len)?.to_vec()).ok()?;
+        let slice_len = u64_at(&mut pos)?;
+        let sample_period = u64_at(&mut pos)?;
+        let sample_offset = u64_at(&mut pos)?;
+        let total_icount = u64_at(&mut pos)?;
+        let n_filtered = u32_at(&mut pos)? as usize;
+        if n_filtered.checked_mul(4)? > bytes.len() {
+            return None;
+        }
+        let mut filtered = Vec::with_capacity(n_filtered);
+        for _ in 0..n_filtered {
+            filtered.push(u32_at(&mut pos)?);
+        }
+        let n_gaps = u32_at(&mut pos)? as usize;
+        if n_gaps.checked_mul(20)? > bytes.len() {
+            return None;
+        }
+        let mut gaps = Vec::with_capacity(n_gaps);
+        for _ in 0..n_gaps {
+            gaps.push(InstrGap {
+                rtn: u32_at(&mut pos)?,
+                start_slice: u64_at(&mut pos)?,
+                end_slice: u64_at(&mut pos)?,
+            });
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(InstrInfo {
+            spec,
+            slice_len,
+            sample_period,
+            sample_offset,
+            filtered,
+            gaps,
+            total_icount,
+        })
+    }
+}
+
+/// Per-routine convergence state. Index `n_routines` stands for code
+/// outside all symbols ([`RoutineId::INVALID`]).
+struct ConvergeState {
+    spec: ConvergeSpec,
+    /// Bytes measured this slice (live and probe slices).
+    cur: Vec<u64>,
+    /// Bytes of the last measured slice.
+    prev: Vec<u64>,
+    /// Whether `prev` holds a measurement yet.
+    seen: Vec<bool>,
+    /// Consecutive stable slices.
+    streak: Vec<u32>,
+    /// Memory events currently suppressed.
+    gated: Vec<bool>,
+    /// First gated slice of the open gap.
+    gap_start: Vec<u64>,
+    /// Current slice is a re-probe slice (gated routines measure).
+    probing: bool,
+}
+
+/// The slice-gating state machine shared by the live VM hot path and
+/// the replay-side emulation. Pure function of the instrumented event
+/// stream: feed it the same `(icount, rtn, bytes)` sequence and it makes
+/// the same drop/emit decisions, which is what makes a live gated
+/// capture byte-identical to a gated replay of a full capture.
+pub struct InstrGate {
+    /// Sampling phase: slice `s` live iff `s % period == offset`.
+    period: u64,
+    offset: u64,
+    slice_len: u64,
+    /// First icount of the next slice (`u64::MAX` when inactive) — the
+    /// hoisted-check boundary the dispatcher folds into its fast path.
+    next_edge: u64,
+    /// Slice currently in effect.
+    cur_slice: u64,
+    /// Sampling verdict for the current slice.
+    sample_live: bool,
+    conv: Option<ConvergeState>,
+    gaps: Vec<InstrGap>,
+}
+
+impl InstrGate {
+    /// A gate for `mode` over a program with `n_routines` routines.
+    /// Inactive (every event admitted, `next_edge == u64::MAX`) when the
+    /// mode has no slice gating.
+    pub fn new(mode: &InstrMode, n_routines: usize) -> InstrGate {
+        let slice_len = mode.slice_len();
+        if slice_len == 0 {
+            return InstrGate {
+                period: 1,
+                offset: 0,
+                slice_len: 0,
+                next_edge: u64::MAX,
+                cur_slice: 0,
+                sample_live: true,
+                conv: None,
+                gaps: Vec::new(),
+            };
+        }
+        let (period, offset) = match &mode.sample {
+            Some(s) => (s.period, s.offset()),
+            None => (1, 0),
+        };
+        let conv = mode.converge.as_ref().map(|c| {
+            let n = n_routines + 1;
+            ConvergeState {
+                spec: *c,
+                cur: vec![0; n],
+                prev: vec![0; n],
+                seen: vec![false; n],
+                streak: vec![0; n],
+                gated: vec![false; n],
+                gap_start: vec![0; n],
+                probing: false,
+            }
+        });
+        let mut gate = InstrGate {
+            period,
+            offset,
+            slice_len,
+            next_edge: slice_len + 1,
+            cur_slice: 0,
+            sample_live: true,
+            conv,
+            gaps: Vec::new(),
+        };
+        gate.sample_live = gate.period <= 1 || gate.offset == 0;
+        gate
+    }
+
+    /// Whether slice gating is active at all (false = every memory event
+    /// admitted at zero cost).
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.slice_len != 0
+    }
+
+    /// First icount of the next gating slice (`u64::MAX` when inactive):
+    /// the dispatcher's hoisted block check must not cross it.
+    #[inline]
+    pub fn next_edge(&self) -> u64 {
+        self.next_edge
+    }
+
+    /// Process any slice boundaries up to and including `icount`. Cheap
+    /// when no boundary passed.
+    #[inline]
+    pub fn advance(&mut self, icount: u64) {
+        while icount >= self.next_edge {
+            self.slice_edge();
+        }
+    }
+
+    /// Admit or drop one memory event of `size` bytes in `rtn` at the
+    /// (already advanced) current slice. Accumulates convergence
+    /// measurements as a side effect; `measure = false` skips them
+    /// (prefetches — gated like any event but never measured, since the
+    /// tools ignore them).
+    #[inline]
+    pub fn admit(&mut self, rtn: RoutineId, size: u32, measure: bool) -> bool {
+        if !self.sample_live {
+            return false;
+        }
+        match &mut self.conv {
+            None => true,
+            Some(c) => {
+                let gi = gate_idx(rtn, c.gated.len());
+                if c.gated[gi] {
+                    if c.probing && measure {
+                        // Probe: measure silently; never emit.
+                        c.cur[gi] += size as u64;
+                    }
+                    false
+                } else {
+                    if measure {
+                        c.cur[gi] += size as u64;
+                    }
+                    true
+                }
+            }
+        }
+    }
+
+    /// One slice boundary: evaluate sampling and convergence for the
+    /// slice that begins at `next_edge`.
+    fn slice_edge(&mut self) {
+        let ending = self.cur_slice;
+        self.cur_slice += 1;
+        self.next_edge = self.next_edge.saturating_add(self.slice_len);
+        if self.period > 1 {
+            self.sample_live = self.cur_slice % self.period == self.offset;
+        }
+        let Some(c) = &mut self.conv else { return };
+        let was_probe = c.probing;
+        for gi in 0..c.cur.len() {
+            if c.gated[gi] {
+                if was_probe {
+                    // A probe slice just ended: compare the silent
+                    // measurement against the pre-gap level.
+                    if !within_tol(c.prev[gi], c.cur[gi], c.spec.tolerance) {
+                        // Drift: close the gap and resume instrumenting.
+                        c.gated[gi] = false;
+                        c.streak[gi] = 0;
+                        c.prev[gi] = c.cur[gi];
+                        self.gaps.push(InstrGap {
+                            rtn: ungate_idx(gi, c.gated.len()),
+                            start_slice: c.gap_start[gi],
+                            end_slice: self.cur_slice,
+                        });
+                    }
+                }
+            } else if c.seen[gi] || c.cur[gi] > 0 {
+                // A measured slice ended for a live routine.
+                if c.seen[gi] && within_tol(c.prev[gi], c.cur[gi], c.spec.tolerance) {
+                    c.streak[gi] += 1;
+                    if c.streak[gi] >= c.spec.window {
+                        c.gated[gi] = true;
+                        c.gap_start[gi] = self.cur_slice;
+                        c.streak[gi] = 0;
+                    }
+                } else {
+                    c.streak[gi] = 0;
+                }
+                c.prev[gi] = c.cur[gi];
+                c.seen[gi] = true;
+            }
+        }
+        for v in c.cur.iter_mut() {
+            *v = 0;
+        }
+        // The slice now beginning is a probe slice every `reprobe`
+        // slices (skipping slice 0, which is always measured anyway).
+        let _ = ending;
+        c.probing = self.cur_slice % c.spec.reprobe == 0;
+    }
+
+    /// Close the run: flush open gaps and return the gap log. The gate
+    /// is spent afterwards.
+    pub fn finish(&mut self, total_icount: u64) -> Vec<InstrGap> {
+        let n_slices = if self.slice_len == 0 {
+            0
+        } else {
+            total_icount.div_ceil(self.slice_len)
+        };
+        if let Some(c) = &mut self.conv {
+            for gi in 0..c.gated.len() {
+                if c.gated[gi] {
+                    self.gaps.push(InstrGap {
+                        rtn: ungate_idx(gi, c.gated.len()),
+                        start_slice: c.gap_start[gi],
+                        end_slice: n_slices,
+                    });
+                }
+            }
+        }
+        self.gaps.sort_by_key(|g| (g.rtn, g.start_slice));
+        std::mem::take(&mut self.gaps)
+    }
+}
+
+/// Replay-side emulation of a reduced instrumentation mode: wraps an
+/// analysis tool and feeds a **full** capture's event stream through the
+/// same [`InstrGate`] the live VM drives, dropping exactly the events a
+/// live run under `mode` would never have constructed. Because the gate
+/// is a pure function of the instrumented event stream, the wrapped
+/// tool's profile is byte-identical to the one a live `--instr` run
+/// produces — which is how `tq-profd` serves reduced-mode jobs from its
+/// one shared full capture instead of re-running the VM per mode.
+///
+/// The gate is one sequential state machine, so emulated replays cannot
+/// be sharded; callers must drive a plain sequential replay.
+pub struct InstrEmulator<T: crate::Tool + 'static> {
+    inner: T,
+    mode: InstrMode,
+    gate: InstrGate,
+    /// Per-routine "never instrumented" verdicts (indexed by routine id;
+    /// empty when no filter restricts anything).
+    filtered: Vec<bool>,
+    error: Option<String>,
+}
+
+impl<T: crate::Tool + 'static> InstrEmulator<T> {
+    /// Wrap `inner` so it observes the capture as a live run under
+    /// `mode` would have instrumented it.
+    pub fn new(inner: T, mode: InstrMode) -> InstrEmulator<T> {
+        InstrEmulator {
+            inner,
+            gate: InstrGate::new(&mode, 0),
+            mode,
+            filtered: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Unwrap the finished tool. Errors when the mode named routines the
+    /// program does not define, or the capture itself was recorded under
+    /// a reduced mode (emulating a reduction on top of another is
+    /// ill-defined — re-record the capture full).
+    pub fn finish(self) -> Result<T, String> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.inner),
+        }
+    }
+
+    #[inline]
+    fn is_filtered(&self, rtn: RoutineId) -> bool {
+        // Code outside all symbols (`RoutineId::INVALID`) is always
+        // instrumented, exactly as in `Vm::set_instr_mode`.
+        self.filtered.get(rtn.idx()).copied().unwrap_or(false)
+    }
+}
+
+impl<T: crate::Tool + 'static> crate::Tool for InstrEmulator<T> {
+    fn name(&self) -> &str {
+        "instr-emulator"
+    }
+
+    fn on_attach(&mut self, info: &crate::ProgramInfo) {
+        self.gate = InstrGate::new(&self.mode, info.routines.len());
+        if let Some(f) = &self.mode.filter {
+            if !f.is_all() {
+                let mut named = vec![false; info.routines.len()];
+                for name in &f.names {
+                    match info.routine_named(name) {
+                        Some(id) => named[id.idx()] = true,
+                        None => {
+                            self.error =
+                                Some(format!("unknown routine `{name}` in --instr filter"));
+                        }
+                    }
+                }
+                self.filtered = if f.exclude {
+                    named
+                } else {
+                    named.iter().map(|&n| !n).collect()
+                };
+            }
+        }
+        self.inner.on_attach(info);
+    }
+
+    fn instrument_ins(&mut self, ins: &crate::InsContext<'_>) -> crate::HookMask {
+        self.inner.instrument_ins(ins)
+    }
+
+    fn tick_interval(&self) -> Option<u64> {
+        self.inner.tick_interval()
+    }
+
+    fn event_mask(&self) -> crate::HookMask {
+        self.inner.event_mask()
+    }
+
+    fn on_instr(&mut self, _info: &InstrInfo) {
+        self.error = Some(
+            "capture was recorded under a reduced instrumentation mode; \
+             emulating another mode on top is ill-defined (re-record full)"
+                .into(),
+        );
+    }
+
+    fn on_event(&mut self, ev: &crate::Event) {
+        use crate::Event;
+        // The live dispatcher advances the gate per instruction, before
+        // that instruction's events fire; advancing on every event's
+        // icount reaches the same slice state at every admit decision
+        // (edges between events batch, but nothing observes the interim).
+        self.gate.advance(ev.icount());
+        match *ev {
+            Event::MemRead {
+                size,
+                rtn,
+                is_prefetch,
+                ..
+            } => {
+                if self.is_filtered(rtn)
+                    || (self.gate.active() && !self.gate.admit(rtn, size, !is_prefetch))
+                {
+                    return;
+                }
+            }
+            Event::MemWrite { size, rtn, .. } => {
+                if self.is_filtered(rtn)
+                    || (self.gate.active() && !self.gate.admit(rtn, size, true))
+                {
+                    return;
+                }
+            }
+            // Control events of a filtered routine were never constructed
+            // live (its cached blocks carry no hooks); ticks are VM-level
+            // and always fire.
+            Event::Call { rtn, .. } | Event::Ret { rtn, .. } | Event::RoutineEnter { rtn, .. } => {
+                if self.is_filtered(rtn) {
+                    return;
+                }
+            }
+            Event::Tick { .. } => {}
+        }
+        self.inner.on_event(ev);
+    }
+
+    fn on_fini(&mut self, final_icount: u64) {
+        // Mirror the live fini order: mode metadata first, then Fini,
+        // so reconstruction happens with the final gap log in hand.
+        if !self.mode.is_full() {
+            let info = InstrInfo {
+                spec: self.mode.to_string(),
+                slice_len: self.mode.slice_len(),
+                sample_period: self.mode.sample.map(|s| s.period).unwrap_or(0),
+                sample_offset: self.mode.sample.map(|s| s.offset()).unwrap_or(0),
+                filtered: self
+                    .filtered
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &f)| f.then_some(i as u32))
+                    .collect(),
+                gaps: self.gate.finish(final_icount),
+                total_icount: final_icount,
+            };
+            self.inner.on_instr(&info);
+        }
+        self.inner.on_fini(final_icount);
+    }
+}
+
+#[inline]
+fn gate_idx(rtn: RoutineId, len: usize) -> usize {
+    if rtn == RoutineId::INVALID {
+        len - 1
+    } else {
+        (rtn.idx()).min(len - 1)
+    }
+}
+
+fn ungate_idx(gi: usize, len: usize) -> u32 {
+    if gi == len - 1 {
+        u32::MAX
+    } else {
+        gi as u32
+    }
+}
+
+/// Relative stability test: `a` and `b` within `tol` of their maximum
+/// (two zero slices are stable; zero against non-zero is not, unless the
+/// tolerance admits it).
+#[inline]
+fn within_tol(a: u64, b: u64, tol: f64) -> bool {
+    let hi = a.max(b) as f64;
+    if hi == 0.0 {
+        return true;
+    }
+    (a.abs_diff(b) as f64) <= tol * hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for spec in [
+            "full",
+            "filter:*",
+            "filter:fft1d,AudioIo_setFrames",
+            "filter:!memcpy_sim",
+            "sample:4/20000@7",
+            "converge:0.05,4,32/20000",
+            "filter:!memcpy_sim+sample:2/1000@0",
+        ] {
+            let m = InstrMode::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let canon = m.to_string();
+            let again = InstrMode::parse(&canon).unwrap();
+            assert_eq!(m, again, "{spec} → {canon}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for spec in [
+            "",
+            "nope",
+            "sample:0",
+            "sample:x",
+            "converge:0.1",
+            "converge:-1,4",
+            "sample:2+converge:0.1,4",
+            "filter:",
+            "sample:2/0",
+            "filter:a+filter:b",
+        ] {
+            assert!(InstrMode::parse(spec).is_err(), "{spec} should not parse");
+        }
+    }
+
+    #[test]
+    fn full_and_all_filter_are_full() {
+        assert!(InstrMode::parse("full").unwrap().is_full());
+        assert!(InstrMode::parse("filter:*").unwrap().is_full());
+        assert!(!InstrMode::parse("filter:!x").unwrap().is_full());
+        assert!(!InstrMode::parse("sample:2").unwrap().is_full());
+    }
+
+    #[test]
+    fn sample_offset_is_deterministic_and_in_range() {
+        let s = SampleSpec {
+            period: 5,
+            slice_len: 1000,
+            seed: 42,
+        };
+        assert_eq!(s.offset(), s.offset());
+        assert!(s.offset() < 5);
+        let s2 = SampleSpec { seed: 43, ..s };
+        // Different seeds usually pick different phases (not guaranteed,
+        // but these two differ).
+        assert!(s.offset() < 5 && s2.offset() < 5);
+    }
+
+    #[test]
+    fn gate_samples_every_kth_slice() {
+        let mode = InstrMode::parse("sample:3/100@0").unwrap();
+        let off = mode.sample.unwrap().offset();
+        let mut gate = InstrGate::new(&mode, 4);
+        assert!(gate.active());
+        let mut live_slices = Vec::new();
+        for s in 0..9u64 {
+            let icount = s * 100 + 1; // first instruction of slice s
+            gate.advance(icount);
+            if gate.admit(RoutineId(0), 8, true) {
+                live_slices.push(s);
+            }
+        }
+        let expect: Vec<u64> = (0..9).filter(|s| s % 3 == off).collect();
+        assert_eq!(live_slices, expect);
+        assert!(gate.finish(900).is_empty(), "sampling records no gaps");
+    }
+
+    #[test]
+    fn gate_converges_on_steady_stream_and_reprobes() {
+        let mode = InstrMode::parse("converge:0.01,3,8/100").unwrap();
+        let mut gate = InstrGate::new(&mode, 2);
+        let mut emitted = Vec::new();
+        // 40 slices of a perfectly steady routine: 10 events × 8 bytes.
+        for s in 0..40u64 {
+            for e in 0..10u64 {
+                let icount = s * 100 + e + 1;
+                gate.advance(icount);
+                if gate.admit(RoutineId(1), 8, true) {
+                    emitted.push(s);
+                }
+            }
+        }
+        let gaps = gate.finish(4000);
+        assert_eq!(gaps.len(), 1, "steady stream gates once: {gaps:?}");
+        let g = gaps[0];
+        assert_eq!(g.rtn, 1);
+        // Stable from slice 1 (first comparison) → streak hits 3 at the
+        // edge ending slice 3 → gap starts at slice 4.
+        assert_eq!(g.start_slice, 4);
+        assert_eq!(g.end_slice, 40, "no drift: gap runs to the end");
+        assert!(emitted.iter().all(|&s| s < 4), "no events after gating");
+    }
+
+    #[test]
+    fn gate_ungates_on_drift_at_reprobe() {
+        let mode = InstrMode::parse("converge:0.01,2,4/100").unwrap();
+        let mut gate = InstrGate::new(&mode, 2);
+        // Steady for 8 slices, then the routine's bandwidth doubles.
+        let mut emitted_after_drift = false;
+        for s in 0..16u64 {
+            let events = if s < 8 { 5 } else { 10 };
+            for e in 0..events {
+                let icount = s * 100 + e + 1;
+                gate.advance(icount);
+                if gate.admit(RoutineId(0), 8, true) && s >= 9 {
+                    emitted_after_drift = true;
+                }
+            }
+        }
+        let gaps = gate.finish(1600);
+        assert!(
+            emitted_after_drift,
+            "drift at a re-probe slice must un-gate: {gaps:?}"
+        );
+        assert!(gaps.iter().all(|g| g.end_slice <= 16));
+        // The first gap closed before the end (the drift re-probe).
+        assert!(gaps[0].end_slice < 16, "{gaps:?}");
+    }
+
+    #[test]
+    fn gate_never_fires_on_phase_shifting_stream() {
+        let mode = InstrMode::parse("converge:0.05,3,16/100").unwrap();
+        let mut gate = InstrGate::new(&mode, 1);
+        // Alternating heavy/light slices: never two consecutive stable
+        // comparisons, so the streak never reaches the window.
+        let mut total = 0u64;
+        let mut emitted = 0u64;
+        for s in 0..50u64 {
+            let events = if s % 2 == 0 { 20 } else { 2 };
+            for e in 0..events {
+                let icount = s * 100 + e + 1;
+                gate.advance(icount);
+                total += 1;
+                if gate.admit(RoutineId(0), 8, true) {
+                    emitted += 1;
+                }
+            }
+        }
+        assert_eq!(emitted, total, "phase-shifting stream never gates");
+        assert!(gate.finish(5000).is_empty());
+    }
+
+    #[test]
+    fn instr_info_encode_round_trips() {
+        let info = InstrInfo {
+            spec: "sample:4/20000@9".into(),
+            slice_len: 20000,
+            sample_period: 4,
+            sample_offset: 2,
+            filtered: vec![3, 7],
+            gaps: vec![InstrGap {
+                rtn: 1,
+                start_slice: 5,
+                end_slice: 9,
+            }],
+            total_icount: 1_000_000,
+        };
+        let bytes = info.encode();
+        assert_eq!(InstrInfo::decode(&bytes).as_ref(), Some(&info));
+        assert_eq!(InstrInfo::decode(&bytes[..bytes.len() - 1]), None);
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(InstrInfo::decode(&extra), None, "trailing bytes rejected");
+    }
+
+    #[test]
+    fn coverage_reflects_sampling() {
+        let info = InstrInfo {
+            spec: "sample:4/100@0".into(),
+            slice_len: 100,
+            sample_period: 4,
+            sample_offset: 0,
+            total_icount: 1600,
+            ..Default::default()
+        };
+        assert_eq!(info.n_slices(), 16);
+        assert!((info.coverage() - 0.25).abs() < 1e-9);
+    }
+}

@@ -17,9 +17,12 @@
 //! See `DESIGN.md` at the workspace root for how this substitutes for Pin in
 //! the paper's experiments.
 
+#![warn(missing_docs)]
+
 mod dispatch;
 mod fuse;
 pub mod hostfs;
+pub mod instr;
 pub mod layout;
 pub mod mem;
 mod obs;
@@ -28,10 +31,14 @@ mod trace;
 pub mod vm;
 
 pub use hostfs::{FsMode, HostFs};
+pub use instr::{
+    ConvergeSpec, InstrEmulator, InstrGap, InstrGate, InstrInfo, InstrMode, RoutineFilter,
+    SampleSpec,
+};
 pub use layout::is_stack_access;
 pub use mem::{Memory, OutOfRange};
 pub use tool::{
-    hooks, standard_mask, AsAny, Event, HookMask, InsContext, MergeTool, ProgramInfo, RoutineMeta,
-    ShardContext, Tool,
+    event_bit, hooks, standard_mask, AsAny, Event, HookMask, InsContext, MergeTool, ProgramInfo,
+    RoutineMeta, ShardContext, Tool,
 };
 pub use vm::{ExitReason, RunExit, ToolHandle, Vm, VmError, VmOpt, VmStats};

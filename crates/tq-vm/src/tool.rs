@@ -40,10 +40,32 @@ pub mod hooks {
     /// first of a routine (Pin's `RTN_AddInstrumentFunction` granularity).
     pub const RTN_ENTER: HookMask = 1 << 4;
 
-    /// Everything.
+    /// Everything an instruction can produce.
     pub const ALL: HookMask = MEM_READ | MEM_WRITE | CALL | RET | RTN_ENTER;
     /// Nothing.
     pub const NONE: HookMask = 0;
+
+    /// [`super::Event::Tick`] delivery. Not an instruction hook — ticks are
+    /// requested via [`super::Tool::tick_interval`] — but part of the
+    /// *delivery mask* ([`super::Tool::event_mask`]) replay uses to skip
+    /// event kinds a tool never looks at.
+    pub const TICK: HookMask = 1 << 5;
+
+    /// Every deliverable event kind (the [`super::Tool::event_mask`]
+    /// default).
+    pub const EVERY: HookMask = ALL | TICK;
+}
+
+/// The delivery-mask bit of one event (see [`Tool::event_mask`]).
+pub fn event_bit(ev: &Event) -> HookMask {
+    match ev {
+        Event::MemRead { .. } => hooks::MEM_READ,
+        Event::MemWrite { .. } => hooks::MEM_WRITE,
+        Event::Call { .. } => hooks::CALL,
+        Event::Ret { .. } => hooks::RET,
+        Event::RoutineEnter { .. } => hooks::RTN_ENTER,
+        Event::Tick { .. } => hooks::TICK,
+    }
 }
 
 /// Metadata for one routine, shared with tools at attach time
@@ -242,6 +264,25 @@ pub trait Tool: AsAny {
     fn tick_interval(&self) -> Option<u64> {
         None
     }
+
+    /// Event kinds this tool ever acts on, as a union of [`hooks`] bits
+    /// (including [`hooks::TICK`]). Replay precomputes this once per trace
+    /// and skips delivering event kinds outside the mask — the "per-trace
+    /// precomputed per-tool event mask" lever (DESIGN.md §14). The default
+    /// is everything; a narrower mask is purely an optimisation and must
+    /// not change the tool's output (the tool would have ignored those
+    /// events anyway).
+    fn event_mask(&self) -> HookMask {
+        hooks::EVERY
+    }
+
+    /// The run (or the capture being replayed) used a reduced
+    /// instrumentation mode: `info` says exactly which memory events were
+    /// dropped, so the tool can reconstruct full-run estimates and report
+    /// its confidence. Called after [`Tool::on_attach`] on replay, and
+    /// before [`Tool::on_fini`] on live runs. Never called under full
+    /// instrumentation.
+    fn on_instr(&mut self, _info: &crate::instr::InstrInfo) {}
 
     /// Analysis time: an event this tool subscribed to fired.
     fn on_event(&mut self, ev: &Event);

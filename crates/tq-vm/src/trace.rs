@@ -108,12 +108,12 @@ pub(crate) struct ExecTrace {
     pub(crate) segs: Vec<TraceSeg>,
 }
 
-/// True when one complete iteration fits below both the fuel limit and the
-/// next tool tick — the only condition under which the trace's hoisted
-/// per-instruction checks are sound.
+/// True when one complete iteration fits below the fuel limit, the next
+/// tool tick and the next gating-slice edge — the only condition under
+/// which the trace's hoisted per-instruction checks are sound.
 pub(crate) fn can_enter(vm: &Vm, tr: &ExecTrace, fuel_limit: u64) -> bool {
     let end = vm.icount.saturating_add(tr.n_instrs);
-    end <= fuel_limit && end < vm.next_tick
+    end <= fuel_limit && end < vm.next_tick.min(vm.instr_gate.next_edge())
 }
 
 /// Post-dispatch bookkeeping for [`crate::vm::VmOpt::Trace`]: extend or

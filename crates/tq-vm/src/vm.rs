@@ -9,6 +9,7 @@
 //! traffic is invisible to tools, as kernel-mode code is to Pin.
 
 use crate::hostfs::{FsMode, HostFs};
+use crate::instr::{InstrGate, InstrInfo, InstrMode};
 use crate::layout;
 use crate::mem::{Memory, OutOfRange};
 use crate::tool::{hooks, Event, HookMask, InsContext, ProgramInfo, RoutineMeta, Tool};
@@ -127,6 +128,9 @@ pub struct VmStats {
     pub trace_side_exits: u64,
     /// Instructions retired inside lowered traces.
     pub trace_instrs: u64,
+    /// Memory events suppressed by a reduced instrumentation mode
+    /// (`--instr sample|converge`); always 0 under full instrumentation.
+    pub instr_suppressed: u64,
 }
 
 impl VmStats {
@@ -267,6 +271,16 @@ pub struct Vm {
     pub(crate) ev_buf: Vec<crate::trace::Pending>,
     /// Per-tool scratch for batched flushes (kept to reuse its allocation).
     pub(crate) ev_scratch: Vec<Event>,
+    /// Instrumentation mode; see [`Vm::set_instr_mode`].
+    instr_mode: InstrMode,
+    /// Per-routine "never instrument" flags resolved from the mode's
+    /// filter (indexed by routine id; empty when no filter restricts
+    /// anything).
+    instr_filtered: Vec<bool>,
+    /// Slice-gating state machine (inactive under full instrumentation).
+    pub(crate) instr_gate: InstrGate,
+    /// Run metadata computed at fini for non-full modes.
+    instr_info: Option<InstrInfo>,
 }
 
 impl Vm {
@@ -332,6 +346,10 @@ impl Vm {
             recording: None,
             ev_buf: Vec::new(),
             ev_scratch: Vec::new(),
+            instr_mode: InstrMode::default(),
+            instr_filtered: Vec::new(),
+            instr_gate: InstrGate::new(&InstrMode::default(), 0),
+            instr_info: None,
         })
     }
 
@@ -434,6 +452,55 @@ impl Vm {
         self.vm_opt
     }
 
+    /// Set the instrumentation mode (see [`InstrMode`], DESIGN.md §14).
+    /// Must be called before execution starts, like [`Vm::attach_tool`]:
+    /// filters act at instrumentation time, so blocks cached under another
+    /// mode would be wrong. Fails on routine names the program does not
+    /// define.
+    ///
+    /// Filters operate over symbols: code outside every routine
+    /// ([`RoutineId::INVALID`]) is always instrumented.
+    pub fn set_instr_mode(&mut self, mode: InstrMode) -> Result<(), String> {
+        assert!(
+            self.cache.is_empty() && self.icount == 0,
+            "the instrumentation mode must be set before execution starts"
+        );
+        let mut filtered = Vec::new();
+        if let Some(f) = &mode.filter {
+            if !f.is_all() {
+                let mut named = vec![false; self.info.routines.len()];
+                for name in &f.names {
+                    let id = self
+                        .info
+                        .routine_named(name)
+                        .ok_or_else(|| format!("unknown routine `{name}` in --instr filter"))?;
+                    named[id.idx()] = true;
+                }
+                filtered = if f.exclude {
+                    named
+                } else {
+                    named.iter().map(|&n| !n).collect()
+                };
+            }
+        }
+        self.instr_gate = InstrGate::new(&mode, self.info.routines.len());
+        self.instr_filtered = filtered;
+        self.instr_mode = mode;
+        Ok(())
+    }
+
+    /// The current instrumentation mode.
+    pub fn instr_mode(&self) -> &InstrMode {
+        &self.instr_mode
+    }
+
+    /// What the reduced-instrumentation run actually did. `None` until the
+    /// run finishes, and always `None` under (observationally) full
+    /// instrumentation.
+    pub fn instr_info(&self) -> Option<&InstrInfo> {
+        self.instr_info.as_ref()
+    }
+
     /// Whether the code cache is enabled (see [`Vm::set_cache_enabled`]).
     pub fn cache_enabled(&self) -> bool {
         self.cache_enabled
@@ -525,13 +592,22 @@ impl Vm {
                 main_image: is_main,
                 is_rtn_start: rtn_enter,
             };
+            // Routine filter: an excluded routine is never instrumented —
+            // its block carries no hooks, so it constructs no events at
+            // all (the cheapest possible mode; an all-routines filter takes
+            // this exact code path and stays byte-identical to full).
+            let filter_out = !self.instr_filtered.is_empty()
+                && rtn != RoutineId::INVALID
+                && self.instr_filtered[rtn.idx()];
             let mut hook_list: Vec<(u16, HookMask)> = Vec::new();
-            for (ti, slot) in self.tools.iter_mut().enumerate() {
-                if let Some(tool) = slot.as_mut() {
-                    self.stats.instrument_calls += 1;
-                    let mask = tool.instrument_ins(&ctx);
-                    if mask != hooks::NONE {
-                        hook_list.push((ti as u16, mask));
+            if !filter_out {
+                for (ti, slot) in self.tools.iter_mut().enumerate() {
+                    if let Some(tool) = slot.as_mut() {
+                        self.stats.instrument_calls += 1;
+                        let mask = tool.instrument_ins(&ctx);
+                        if mask != hooks::NONE {
+                            hook_list.push((ti as u16, mask));
+                        }
                     }
                 }
             }
@@ -654,6 +730,13 @@ impl Vm {
         if d.hooks.is_empty() {
             return;
         }
+        // Slice gating (`--instr sample|converge`): memory events of a
+        // dead slice / gated routine are never constructed. Control events
+        // and ticks are not gated, so tool call stacks stay exact.
+        if self.instr_gate.active() && !self.instr_gate.admit(d.rtn, size, !is_prefetch) {
+            self.stats.instr_suppressed += 1;
+            return;
+        }
         let ev = Event::MemRead {
             ip: d.pc,
             ea,
@@ -677,6 +760,10 @@ impl Vm {
     ) {
         self.stats.mem_writes += 1;
         if d.hooks.is_empty() {
+            return;
+        }
+        if self.instr_gate.active() && !self.instr_gate.admit(d.rtn, size, true) {
+            self.stats.instr_suppressed += 1;
             return;
         }
         let ev = Event::MemWrite {
@@ -732,6 +819,32 @@ impl Vm {
         self.finished = true;
         crate::obs::publish(&self.stats, self.icount);
         let icount = self.icount;
+        // Reduced-instrumentation runs hand every tool the mode metadata
+        // (what was dropped, and where) before its Fini callback, so
+        // reconstruction happens with the final gap log in hand.
+        if !self.instr_mode.is_full() {
+            let mut info = InstrInfo {
+                spec: self.instr_mode.to_string(),
+                slice_len: self.instr_mode.slice_len(),
+                sample_period: self.instr_mode.sample.map(|s| s.period).unwrap_or(0),
+                sample_offset: self.instr_mode.sample.map(|s| s.offset()).unwrap_or(0),
+                filtered: Vec::new(),
+                gaps: self.instr_gate.finish(icount),
+                total_icount: icount,
+            };
+            info.filtered = self
+                .instr_filtered
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &f)| f.then_some(i as u32))
+                .collect();
+            for slot in self.tools.iter_mut() {
+                if let Some(tool) = slot.as_mut() {
+                    tool.on_instr(&info);
+                }
+            }
+            self.instr_info = Some(info);
+        }
         for slot in self.tools.iter_mut() {
             if let Some(tool) = slot.as_mut() {
                 tool.on_fini(icount);

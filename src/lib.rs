@@ -14,6 +14,11 @@
 //! * [`report`] — tables, charts, DOT, HTML and the hand-rolled JSON codec;
 //! * [`profd`] — the concurrent profiling service (capture cache +
 //!   parallel replay workers).
+//!
+//! The project README is included below so its code snippets compile and
+//! run as doctests of this crate — the quickstart can never drift from
+//! the API.
+#![doc = include_str!("../README.md")]
 
 pub use tq_gprof as gprof;
 pub use tq_imgproc as imgproc;
